@@ -1,0 +1,140 @@
+// Ablation: incremental view maintenance strategy for crossfilter-style
+// interactions (the design choice behind Figure 1's interactivity).
+// Compares three ways to refresh the linked charts on a selection change:
+//   1. full DeVIL view recomputation through the engine (group-by over the
+//      fact table per chart),
+//   2. a hand-rolled full scan (no engine overhead), and
+//   3. the CrossfilterCube 2-D marginal index.
+
+#include <cstdio>
+
+#include "benchmark/benchmark.h"
+#include "core/dvms.h"
+#include "query/ivm.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using namespace dvms;
+
+const std::vector<std::string> kDims = {"region", "year", "month", "dow"};
+
+Table MakeFact(size_t rows) {
+  TpchConfig config;
+  config.num_rows = rows;
+  return GenerateTpchSales(config);
+}
+
+ValueSet YearSelection() {
+  ValueSet years;
+  years.insert(Value::Int(1997));
+  years.insert(Value::Int(1998));
+  return years;
+}
+
+/// Strategies 1a/1b: the engine path — views defined in DeVIL, recomputed
+/// when the selection relation changes, with the Online Optimizer off
+/// (plan re-execution) or on (cube refresh).
+void EngineBenchmark(benchmark::State& state, bool online_optimizer) {
+  Dvms::Options options;
+  options.auto_render = false;
+  options.enable_online_optimizer = online_optimizer;
+  Dvms engine(options);
+  Table fact = MakeFact(static_cast<size_t>(state.range(0)));
+  (void)engine.CreateBaseTable("Sales", fact.schema());
+  (void)engine.Insert("Sales", fact.rows());
+  (void)engine.CreateBaseTable("selected_years",
+                               Schema({{"year", ValueType::kInt64}}));
+  Status st = engine.LoadProgram(
+      "r1 = SELECT region, SUM(revenue) AS revenue FROM Sales "
+      "WHERE year IN selected_years GROUP BY region;"
+      "r2 = SELECT month, SUM(revenue) AS revenue FROM Sales "
+      "WHERE year IN selected_years GROUP BY month;"
+      "r3 = SELECT dow, SUM(revenue) AS revenue FROM Sales "
+      "WHERE year IN selected_years GROUP BY dow;");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  int64_t year = 1992;
+  for (auto _ : state) {
+    // Change the selection and propagate.
+    auto table = engine.catalog()->Get("selected_years").value();
+    table->mutable_current().Clear();
+    (void)table->Append({Value::Int(year)});
+    (void)table->Append({Value::Int(year + 1)});
+    year = year == 1997 ? 1992 : year + 1;
+    (void)engine.maintainer()->OnChanged({"selected_years"});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EngineViewRecompute(benchmark::State& state) {
+  EngineBenchmark(state, /*online_optimizer=*/false);
+}
+BENCHMARK(BM_EngineViewRecompute)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineWithOnlineOptimizer(benchmark::State& state) {
+  EngineBenchmark(state, /*online_optimizer=*/true);
+}
+BENCHMARK(BM_EngineWithOnlineOptimizer)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Strategy 2: a tight hand-rolled scan (upper bound for scan-based).
+void BM_HandRolledFullScan(benchmark::State& state) {
+  Table fact = MakeFact(static_cast<size_t>(state.range(0)));
+  ValueSet years = YearSelection();
+  size_t year_col = fact.schema().IndexOf("year").value();
+  size_t measure = fact.schema().IndexOf("revenue").value();
+  std::vector<size_t> dim_cols;
+  for (const std::string& dim : kDims) {
+    if (dim != "year") dim_cols.push_back(fact.schema().IndexOf(dim).value());
+  }
+  for (auto _ : state) {
+    for (size_t dim_col : dim_cols) {
+      std::unordered_map<Value, double, ValueHash, ValueEq> sums;
+      for (const Row& row : fact.rows()) {
+        if (years.count(row[year_col]) == 0) continue;
+        sums[row[dim_col]] += row[measure].double_value();
+      }
+      benchmark::DoNotOptimize(sums);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HandRolledFullScan)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Strategy 3: the crossfilter marginal cube.
+void BM_CrossfilterCube(benchmark::State& state) {
+  Table fact = MakeFact(static_cast<size_t>(state.range(0)));
+  CrossfilterCube cube =
+      CrossfilterCube::Build(fact, kDims, "revenue").value();
+  ValueSet years = YearSelection();
+  for (auto _ : state) {
+    for (const std::string& dim : kDims) {
+      if (dim == "year") continue;
+      benchmark::DoNotOptimize(
+          cube.FilteredGroupSums(dim, "year", years).value());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrossfilterCube)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// One-time cube construction cost (the tradeoff against strategy 3).
+void BM_CrossfilterCubeBuild(benchmark::State& state) {
+  Table fact = MakeFact(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CrossfilterCube::Build(fact, kDims, "revenue").value());
+  }
+}
+BENCHMARK(BM_CrossfilterCubeBuild)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

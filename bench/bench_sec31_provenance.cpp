@@ -1,0 +1,186 @@
+// §3.1: provenance for visualization interactions. Compares the two
+// lineage strategies the paper discusses:
+//   * eager — capture row-level lineage during every view recompute (pay
+//     at maintenance time, trace cheaply), and
+//   * lazy  — re-execute the view plan with lineage capture only when a
+//     trace runs (no maintenance overhead, traces cost more).
+// Also measures materialized backward-index size, the cost the paper warns
+// "can be substantial".
+
+#include <chrono>
+#include <cstdio>
+
+#include "benchmark/benchmark.h"
+#include "common/rng.h"
+#include "core/dvms.h"
+#include "parser/parser.h"
+
+namespace {
+
+using namespace dvms;
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::unique_ptr<Dvms> MakeEngine(size_t rows, bool eager) {
+  Dvms::Options options;
+  options.capture_lineage = eager;
+  options.auto_render = false;
+  auto engine = std::make_unique<Dvms>(options);
+  (void)engine->CreateBaseTable("Sales",
+                                Schema({{"productId", ValueType::kInt64},
+                                        {"profit", ValueType::kDouble},
+                                        {"revenue", ValueType::kDouble}}));
+  Rng rng(23);
+  std::vector<Row> data;
+  for (size_t i = 0; i < rows; ++i) {
+    data.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Double(rng.Uniform(0, 100)),
+                    Value::Double(rng.Uniform(0, 100))});
+  }
+  (void)engine->Insert("Sales", data);
+  (void)engine->LoadProgram(
+      "marks = SELECT productId, revenue, profit FROM Sales "
+      "WHERE revenue > 25;");
+  return engine;
+}
+
+void PrintSection31() {
+  std::printf("=== Section 3.1: eager vs lazy lineage ===\n\n");
+  std::printf("%10s | %13s %13s | %13s %13s | %12s\n", "rows",
+              "maint (off)", "maint (eager)", "trace (lazy)", "trace (eager)",
+              "index cells");
+  for (size_t rows : {1000ul, 10000ul, 50000ul}) {
+    double maintain_off = 0, maintain_eager = 0;
+    double trace_lazy = 0, trace_eager = 0;
+    size_t index_cells = 0;
+    for (int mode = 0; mode < 2; ++mode) {
+      bool eager = mode == 1;
+      auto engine = MakeEngine(rows, eager);
+      // Maintenance cost: recompute the view repeatedly.
+      constexpr int kReps = 5;
+      Clock::time_point t0 = Clock::now();
+      for (int r = 0; r < kReps; ++r) {
+        (void)engine->maintainer()->RecomputeView("marks");
+      }
+      double maintain_ms = MsSince(t0) / kReps;
+      // Trace cost: backward-trace 64 mark rows to Sales.
+      std::set<RowId> probe;
+      size_t view_rows = engine->GetTable("marks").value()->num_rows();
+      for (size_t i = 0; i < 64 && i < view_rows; ++i) probe.insert(i * 7 % view_rows);
+      TraceEngine::Mode trace_mode =
+          eager ? TraceEngine::Mode::kEager : TraceEngine::Mode::kLazy;
+      t0 = Clock::now();
+      for (int r = 0; r < kReps; ++r) {
+        auto traced = engine->traces()->TraceViewRows(
+            "marks", VersionRef::Current(), probe, "Sales", trace_mode);
+        benchmark::DoNotOptimize(traced);
+      }
+      double trace_ms = MsSince(t0) / kReps;
+      if (eager) {
+        maintain_eager = maintain_ms;
+        trace_eager = trace_ms;
+        auto index = BackwardLineageIndex::Build(engine->traces(), "marks",
+                                                 view_rows, "Sales",
+                                                 trace_mode);
+        if (index.ok()) index_cells = index.value().SizeEntries();
+      } else {
+        maintain_off = maintain_ms;
+        trace_lazy = trace_ms;
+      }
+    }
+    std::printf("%10zu | %10.2f ms %10.2f ms | %10.2f ms %10.2f ms | %12zu\n",
+                rows, maintain_off, maintain_eager, trace_lazy, trace_eager,
+                index_cells);
+  }
+
+  // End-to-end: the DeVIL 4 linked-brushing program whose interaction IS a
+  // backward trace.
+  std::printf("\nDeVIL 4 (provenance-based brushing) interaction latency:\n");
+  const char* program = R"(
+    C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+        RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+               (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+    SPLOT = SELECT 3 AS radius, 'gray' AS fill,
+        linear_scale(Sales.revenue, 0, 100, 0, 400) AS center_x,
+        linear_scale(Sales.profit, 0, 100, 0, 400) AS center_y
+      FROM Sales;
+    BBOX = SELECT x AS x0, y AS y0, x + dx AS x1, y + dy AS y1
+      FROM C ORDER BY t DESC LIMIT 1;
+    B = BACKWARD TRACE FROM SPLOT@vnow-1 AS SP, BBOX
+      WHERE in_rectangle(SP.center_x, SP.center_y,
+                         BBOX.x0, BBOX.y0, BBOX.x1, BBOX.y1)
+      TO Sales;
+  )";
+  for (size_t rows : {1000ul, 10000ul}) {
+    for (bool eager : {false, true}) {
+      Dvms::Options options;
+      options.capture_lineage = eager;
+      options.auto_render = false;
+      Dvms engine(options);
+      (void)engine.CreateBaseTable("Sales",
+                                   Schema({{"productId", ValueType::kInt64},
+                                           {"profit", ValueType::kDouble},
+                                           {"revenue", ValueType::kDouble}}));
+      Rng rng(5);
+      std::vector<Row> data;
+      for (size_t i = 0; i < rows; ++i) {
+        data.push_back({Value::Int(static_cast<int64_t>(i)),
+                        Value::Double(rng.Uniform(0, 100)),
+                        Value::Double(rng.Uniform(0, 100))});
+      }
+      (void)engine.Insert("Sales", data);
+      Status st = engine.LoadProgram(program);
+      if (!st.ok()) {
+        std::printf("  program: %s\n", st.ToString().c_str());
+        continue;
+      }
+      Clock::time_point t0 = Clock::now();
+      (void)engine.PushEvent(InputEvent::MouseDown(0, 50, 50));
+      for (int m = 1; m <= 10; ++m) {
+        (void)engine.PushEvent(
+            InputEvent::MouseMove(m, 50.0 + m * 20, 50.0 + m * 20));
+      }
+      (void)engine.PushEvent(InputEvent::MouseUp(11, 250, 250));
+      double ms = MsSince(t0) / 12.0;
+      std::printf("  %6zu rows, %-5s lineage: %7.2f ms/event, |B| = %zu\n",
+                  rows, eager ? "eager" : "lazy",
+                  ms, engine.GetTable("B").value()->num_rows());
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_BackwardTraceLazy(benchmark::State& state) {
+  auto engine = MakeEngine(static_cast<size_t>(state.range(0)), false);
+  std::set<RowId> probe = {0, 1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->traces()->TraceViewRows(
+        "marks", VersionRef::Current(), probe, "Sales",
+        TraceEngine::Mode::kLazy));
+  }
+}
+BENCHMARK(BM_BackwardTraceLazy)->Arg(1000)->Arg(10000);
+
+void BM_BackwardTraceEager(benchmark::State& state) {
+  auto engine = MakeEngine(static_cast<size_t>(state.range(0)), true);
+  std::set<RowId> probe = {0, 1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->traces()->TraceViewRows(
+        "marks", VersionRef::Current(), probe, "Sales",
+        TraceEngine::Mode::kEager));
+  }
+}
+BENCHMARK(BM_BackwardTraceEager)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSection31();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef DVMS_COMMON_RNG_H_
+#define DVMS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dvms {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64). Every
+/// stochastic component in the repository draws from an explicitly seeded
+/// Rng so benches and tests are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Exponential with the given mean (mean > 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box-Muller, scaled to (mean, stddev).
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fork a statistically independent child stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_COMMON_RNG_H_

@@ -1,0 +1,81 @@
+#include "common/schema.h"
+
+#include <cctype>
+
+namespace dvms {
+
+bool IdentEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string IdentKey(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IdentEquals(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto idx = FindColumn(name);
+  if (!idx) return Status::NotFound("no column named '" + name + "'");
+  return *idx;
+}
+
+namespace {
+
+bool TypesCompatible(ValueType declared, ValueType actual) {
+  if (actual == ValueType::kNull) return true;
+  if (declared == actual) return true;
+  auto numeric = [](ValueType t) {
+    return t == ValueType::kBool || t == ValueType::kInt64 ||
+           t == ValueType::kDouble;
+  };
+  return numeric(declared) && numeric(actual);
+}
+
+}  // namespace
+
+bool Schema::UnionCompatible(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!TypesCompatible(columns_[i].type, other.columns_[i].type) &&
+        !TypesCompatible(other.columns_[i].type, columns_[i].type)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Schema::RowMatches(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!TypesCompatible(columns_[i].type, row[i].type())) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace dvms

@@ -1,0 +1,60 @@
+#ifndef DVMS_COMMON_SCHEMA_H_
+#define DVMS_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dvms {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// An ordered list of columns describing a relation's layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Case-insensitive lookup of `name`; nullopt if absent.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Like FindColumn but returns a NotFound status naming the column.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// True iff both schemas have the same arity and pairwise equal types
+  /// (names ignored) — the SQL union-compatibility test.
+  bool UnionCompatible(const Schema& other) const;
+
+  /// True iff `row` has matching arity and each value is NULL or of the
+  /// declared column type (numeric columns accept any numeric value).
+  bool RowMatches(const Row& row) const;
+
+  /// "name:TYPE, name:TYPE, ..."
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Case-insensitive string equality for SQL identifiers.
+bool IdentEquals(const std::string& a, const std::string& b);
+
+/// Lower-cases ASCII identifiers for use as map keys.
+std::string IdentKey(const std::string& s);
+
+}  // namespace dvms
+
+#endif  // DVMS_COMMON_SCHEMA_H_

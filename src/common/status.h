@@ -1,0 +1,128 @@
+#ifndef DVMS_COMMON_STATUS_H_
+#define DVMS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dvms {
+
+/// Error categories used across the DVMS code base. Mirrors the
+/// Arrow/RocksDB convention of status-based error handling: no exceptions
+/// cross module boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kTypeError,
+  kExecutionError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;` or `return status;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Requires ok(). The stored value.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace dvms
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define DVMS_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::dvms::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error or assigns the
+/// value to `lhs`.
+#define DVMS_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define DVMS_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DVMS_ASSIGN_OR_RETURN_NAME(x, y) DVMS_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define DVMS_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  DVMS_ASSIGN_OR_RETURN_IMPL(DVMS_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), \
+                             lhs, rexpr)
+
+#endif  // DVMS_COMMON_STATUS_H_

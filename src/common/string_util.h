@@ -1,0 +1,32 @@
+#ifndef DVMS_COMMON_STRING_UTIL_H_
+#define DVMS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace dvms {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single character; empty fields preserved.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// ASCII lower-case copy.
+std::string ToLower(const std::string& s);
+
+/// ASCII upper-case copy.
+std::string ToUpper(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dvms
+
+#endif  // DVMS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,211 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace dvms {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case ValueType::kInt64:
+      return static_cast<double>(int_value());
+    case ValueType::kDouble:
+      return double_value();
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               ValueTypeToString(type()) + " to DOUBLE");
+  }
+}
+
+Result<int64_t> Value::AsInt() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return static_cast<int64_t>(bool_value());
+    case ValueType::kInt64:
+      return int_value();
+    case ValueType::kDouble:
+      return static_cast<int64_t>(double_value());
+    default:
+      return Status::TypeError(std::string("cannot convert ") +
+                               ValueTypeToString(type()) + " to INT64");
+  }
+}
+
+bool Value::IsTruthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return bool_value();
+    case ValueType::kInt64:
+      return int_value() != 0;
+    case ValueType::kDouble:
+      return double_value() != 0.0;
+    case ValueType::kString:
+      return !string_value().empty();
+  }
+  return false;
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kBool || t == ValueType::kInt64 ||
+         t == ValueType::kDouble;
+}
+
+double NumericOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kBool:
+      return v.bool_value() ? 1.0 : 0.0;
+    case ValueType::kInt64:
+      return static_cast<double>(v.int_value());
+    default:
+      return v.double_value();
+  }
+}
+
+}  // namespace
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (IsNumeric(type()) && IsNumeric(other.type())) {
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      return int_value() == other.int_value();
+    }
+    return NumericOf(*this) == NumericOf(other);
+  }
+  if (type() != other.type()) return false;
+  if (type() == ValueType::kString) {
+    return string_value() == other.string_value();
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kBool:
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(type());
+  int rb = rank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+        int64_t a = int_value(), b = other.int_value();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = NumericOf(*this), b = NumericOf(other);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      const std::string& a = string_value();
+      const std::string& b = other.string_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(int_value());
+    case ValueType::kDouble: {
+      double d = double_value();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        // Render integral doubles without a trailing ".000000".
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case ValueType::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Hash all numerics via their double image so Equals-equal values
+      // hash equal.
+      double d = NumericOf(*this);
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(string_value());
+  }
+  return 0;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x51ed2701a3c5e891ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace dvms

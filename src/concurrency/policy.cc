@@ -1,0 +1,76 @@
+#include "concurrency/policy.h"
+
+#include <algorithm>
+
+namespace dvms {
+
+const char* CcPolicyToString(CcPolicy policy) {
+  switch (policy) {
+    case CcPolicy::kNoCC:
+      return "No CC";
+    case CcPolicy::kSerial:
+      return "Serial";
+    case CcPolicy::kDiscard:
+      return "Discard";
+    case CcPolicy::kMostRecent:
+      return "Most Recent";
+    case CcPolicy::kMvcc:
+      return "MVCC";
+  }
+  return "?";
+}
+
+const std::vector<CcPolicy>& AllCcPolicies() {
+  static const std::vector<CcPolicy>* kAll = new std::vector<CcPolicy>{
+      CcPolicy::kNoCC, CcPolicy::kSerial, CcPolicy::kDiscard,
+      CcPolicy::kMostRecent, CcPolicy::kMvcc};
+  return *kAll;
+}
+
+void ResponseCoordinator::OnRequest(size_t id) {
+  latest_request_ = id;
+  any_request_ = true;
+}
+
+std::vector<size_t> ResponseCoordinator::OnResponse(size_t id) {
+  switch (policy_) {
+    case CcPolicy::kNoCC:
+    case CcPolicy::kMvcc: {
+      ++rendered_;
+      return {id};
+    }
+    case CcPolicy::kSerial: {
+      buffered_.push_back(id);
+      std::sort(buffered_.begin(), buffered_.end());
+      std::vector<size_t> released;
+      while (!buffered_.empty() && buffered_.front() == next_to_render_) {
+        released.push_back(buffered_.front());
+        buffered_.erase(buffered_.begin());
+        ++next_to_render_;
+        ++rendered_;
+      }
+      return released;
+    }
+    case CcPolicy::kDiscard: {
+      if (!high_water_set_ || id >= high_water_) {
+        high_water_ = id + 1;
+        high_water_set_ = true;
+        ++rendered_;
+        return {id};
+      }
+      ++dropped_;
+      return {};
+    }
+    case CcPolicy::kMostRecent: {
+      if (any_request_ && id == latest_request_) {
+        ++rendered_;
+        return {id};
+      }
+      ++dropped_;
+      return {};
+    }
+  }
+  return {};
+}
+
+}  // namespace dvms

@@ -1,0 +1,61 @@
+#ifndef DVMS_CONCURRENCY_POLICY_H_
+#define DVMS_CONCURRENCY_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvms {
+
+/// The reordering (concurrency-control) policies of §3.2: how a
+/// visualization handles responses to user interactions arriving with
+/// unpredictable latency.
+enum class CcPolicy {
+  kNoCC,        // render every response on arrival, any order
+  kSerial,      // buffer; render strictly in request order
+  kDiscard,     // render in order; drop responses that arrive out of order
+  kMostRecent,  // render only the response to the latest request
+  kMvcc,        // multi-visual CC: each request renders its own chart copy
+};
+
+const char* CcPolicyToString(CcPolicy policy);
+
+/// All five policies, in the paper's presentation order.
+const std::vector<CcPolicy>& AllCcPolicies();
+
+/// Implements the render decision each policy makes as responses arrive.
+/// Drives both the simulated-user study and the unit tests; time is only
+/// used for bookkeeping, ordering decisions depend on request ids.
+class ResponseCoordinator {
+ public:
+  explicit ResponseCoordinator(CcPolicy policy) : policy_(policy) {}
+
+  /// Notes that request `id` was issued. Ids must be strictly increasing.
+  void OnRequest(size_t id);
+
+  /// A response to request `id` arrived. Returns the ids whose results are
+  /// rendered *now*, in render order (Serial may release several buffered
+  /// responses at once; a drop returns an empty list).
+  std::vector<size_t> OnResponse(size_t id);
+
+  size_t rendered_count() const { return rendered_; }
+  size_t dropped_count() const { return dropped_; }
+
+  /// MVCC only: number of chart copies created (== rendered responses).
+  size_t chart_copies() const { return policy_ == CcPolicy::kMvcc ? rendered_ : 0; }
+
+ private:
+  CcPolicy policy_;
+  size_t latest_request_ = 0;
+  bool any_request_ = false;
+  size_t next_to_render_ = 0;      // Serial
+  size_t high_water_ = 0;          // Discard: first id NOT yet superseded
+  bool high_water_set_ = false;
+  std::vector<size_t> buffered_;   // Serial: out-of-order responses held back
+  size_t rendered_ = 0;
+  size_t dropped_ = 0;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_CONCURRENCY_POLICY_H_

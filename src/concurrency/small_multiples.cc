@@ -1,0 +1,51 @@
+#include "concurrency/small_multiples.h"
+
+#include <algorithm>
+
+namespace dvms {
+
+std::pair<double, double> SmallMultipleCellOrigin(
+    size_t index, const SmallMultiplesConfig& config) {
+  size_t col = index % config.columns;
+  size_t row = index / config.columns;
+  return {config.origin_x +
+              static_cast<double>(col) * (config.cell_width + config.gap),
+          config.origin_y +
+              static_cast<double>(row) * (config.cell_height + config.gap)};
+}
+
+Table LayoutSmallMultiples(const std::vector<ChartCopy>& copies,
+                           const SmallMultiplesConfig& config) {
+  Table marks(Schema({{"x", ValueType::kDouble},
+                      {"y", ValueType::kDouble},
+                      {"width", ValueType::kDouble},
+                      {"height", ValueType::kDouble},
+                      {"fill", ValueType::kString}}));
+  double global_max = 0;
+  for (const ChartCopy& copy : copies) {
+    for (double v : copy.values) global_max = std::max(global_max, v);
+  }
+  if (global_max <= 0) global_max = 1;
+
+  for (size_t i = 0; i < copies.size(); ++i) {
+    const ChartCopy& copy = copies[i];
+    auto [cx, cy] = SmallMultipleCellOrigin(i, config);
+    size_t n = copy.values.size();
+    if (n == 0) continue;
+    double band = config.cell_width / static_cast<double>(n);
+    double bar_width = band * (1.0 - config.bar_padding);
+    for (size_t b = 0; b < n; ++b) {
+      double h = config.cell_height * (copy.values[b] / global_max);
+      if (h <= 0) continue;
+      marks.AppendUnchecked(
+          {Value::Double(cx + static_cast<double>(b) * band +
+                         band * config.bar_padding * 0.5),
+           Value::Double(cy + config.cell_height - h),
+           Value::Double(bar_width), Value::Double(h),
+           Value::String(config.fill)});
+    }
+  }
+  return marks;
+}
+
+}  // namespace dvms

@@ -1,0 +1,45 @@
+#ifndef DVMS_CONCURRENCY_SMALL_MULTIPLES_H_
+#define DVMS_CONCURRENCY_SMALL_MULTIPLES_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace dvms {
+
+/// The multi-visual concurrency-control design of Figure 4(b): instead of
+/// updating one chart in place, each in-flight request renders into its
+/// own copy, laid out as small multiples so updates never conflict on
+/// pixels.
+struct SmallMultiplesConfig {
+  size_t columns = 4;
+  double cell_width = 120;
+  double cell_height = 90;
+  double origin_x = 10;
+  double origin_y = 10;
+  double gap = 10;
+  double bar_padding = 0.2;
+  std::string fill = "steelblue";
+};
+
+/// One chart copy: a label (e.g. the hovered facet) and its bar values.
+struct ChartCopy {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Lays the chart copies out in reading order and returns one rect-marks
+/// relation (x, y, width, height, fill) for all of them: copy i occupies
+/// grid cell (i % columns, i / columns); bars are scaled to the cell
+/// height by the global maximum so copies are visually comparable.
+Table LayoutSmallMultiples(const std::vector<ChartCopy>& copies,
+                           const SmallMultiplesConfig& config);
+
+/// Pixel origin of copy `index`'s cell (exposed for tests and hit testing).
+std::pair<double, double> SmallMultipleCellOrigin(
+    size_t index, const SmallMultiplesConfig& config);
+
+}  // namespace dvms
+
+#endif  // DVMS_CONCURRENCY_SMALL_MULTIPLES_H_

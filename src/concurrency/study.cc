@@ -1,0 +1,219 @@
+#include "concurrency/study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dvms {
+
+const char* JudgmentTaskToString(JudgmentTask task) {
+  switch (task) {
+    case JudgmentTask::kThreshold:
+      return "threshold";
+    case JudgmentTask::kTrend:
+      return "trend";
+  }
+  return "?";
+}
+
+namespace {
+
+double Delay(const StudyConfig& config, Rng* rng) {
+  if (config.mean_delay_ms <= 0) return 0.0;
+  return rng->Exponential(config.mean_delay_ms);
+}
+
+/// Strategy observed in the paper for concurrency-unfriendly policies:
+/// participants serialize their own input — hover, wait for the update,
+/// read it, move on.
+ParticipantResult SimulateSerialized(const StudyConfig& config, Rng* rng,
+                                     bool with_confusion) {
+  ParticipantResult result;
+  double t = 0;
+  for (size_t f = 0; f < config.num_facets; ++f) {
+    t += config.hover_ms;
+    ++result.requests_issued;
+    double arrival = t + Delay(config, rng);
+    t = std::max(t, arrival);
+    t += config.observe_ms;
+    if (with_confusion && config.mean_delay_ms > 0 &&
+        rng->Bernoulli(config.nocc_confusion_prob)) {
+      // An out-of-order render earlier in the session made the participant
+      // double-check which facet the chart shows.
+      t += config.observe_ms;
+    }
+  }
+  result.completion_ms = t;
+  return result;
+}
+
+struct PipelineOutcome {
+  std::vector<double> issue;
+  std::vector<double> arrival;
+  double issue_end = 0;
+};
+
+/// Issues one request per facet with a bounded number in flight. Responses
+/// under Serial render in request order.
+PipelineOutcome IssuePipelined(const StudyConfig& config, Rng* rng) {
+  PipelineOutcome out;
+  const size_t n = config.num_facets;
+  out.issue.resize(n);
+  out.arrival.resize(n);
+  std::vector<double> applied(n);
+  double user = 0;
+  for (size_t f = 0; f < n; ++f) {
+    double earliest = user + config.hover_ms;
+    if (f >= config.pipeline_window) {
+      // Wait until an older request has rendered before issuing another.
+      earliest = std::max(earliest, applied[f - config.pipeline_window]);
+    }
+    out.issue[f] = earliest;
+    user = earliest;
+    out.arrival[f] = earliest + Delay(config, rng);
+    applied[f] = std::max(out.arrival[f], f > 0 ? applied[f - 1] : 0.0);
+  }
+  out.issue_end = user;
+  return out;
+}
+
+ParticipantResult SimulateSerialPolicy(const StudyConfig& config, Rng* rng) {
+  ParticipantResult result;
+  PipelineOutcome pipe = IssuePipelined(config, rng);
+  result.requests_issued = config.num_facets;
+  // In-order rendering; the participant reads each update as it lands.
+  double applied = 0;
+  double observed = pipe.issue_end;
+  for (size_t f = 0; f < config.num_facets; ++f) {
+    applied = std::max(applied, pipe.arrival[f]);
+    observed = std::max(observed, applied) + config.observe_ms;
+  }
+  result.completion_ms = observed;
+  return result;
+}
+
+ParticipantResult SimulateDiscard(const StudyConfig& config, Rng* rng) {
+  ParticipantResult result;
+  PipelineOutcome pipe = IssuePipelined(config, rng);
+  result.requests_issued = config.num_facets;
+
+  // Process responses in arrival order through the Discard coordinator.
+  std::vector<size_t> order(config.num_facets);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&pipe](size_t a, size_t b) {
+    return pipe.arrival[a] < pipe.arrival[b];
+  });
+  ResponseCoordinator coordinator(CcPolicy::kDiscard);
+  for (size_t f = 0; f < config.num_facets; ++f) coordinator.OnRequest(f);
+  std::vector<bool> rendered(config.num_facets, false);
+  double observed = pipe.issue_end;
+  for (size_t f : order) {
+    auto released = coordinator.OnResponse(f);
+    for (size_t id : released) {
+      rendered[id] = true;
+      observed = std::max(observed, pipe.arrival[id]) + config.observe_ms;
+    }
+  }
+  result.responses_dropped = coordinator.dropped_count();
+
+  // Facets whose responses were discarded must be re-hovered; the
+  // participant serializes the second pass to avoid another drop.
+  double t = observed;
+  for (size_t f = 0; f < config.num_facets; ++f) {
+    if (rendered[f]) continue;
+    ++result.rehovers;
+    ++result.requests_issued;
+    t += config.hover_ms;
+    double arrival = t + Delay(config, rng);
+    t = std::max(t, arrival) + config.observe_ms;
+  }
+  result.completion_ms = t;
+  return result;
+}
+
+ParticipantResult SimulateMvcc(const StudyConfig& config, Rng* rng) {
+  ParticipantResult result;
+  result.requests_issued = config.num_facets;
+  // Fan out: hover every facet back to back; each response renders its own
+  // chart copy.
+  double t = 0;
+  std::vector<double> arrival(config.num_facets);
+  for (size_t f = 0; f < config.num_facets; ++f) {
+    t += config.hover_ms;
+    arrival[f] = t + Delay(config, rng);
+  }
+  double observed = t;
+  if (config.task == JudgmentTask::kTrend) {
+    // Trend needs facet order; the small multiples are labeled, so the
+    // participant reads them in facet order as they become available.
+    for (size_t f = 0; f < config.num_facets; ++f) {
+      observed = std::max(observed, arrival[f]) + config.mvcc_read_ms;
+    }
+  } else {
+    // Threshold is order-free: read charts in arrival order.
+    std::sort(arrival.begin(), arrival.end());
+    for (double a : arrival) {
+      observed = std::max(observed, a) + config.mvcc_read_ms;
+    }
+  }
+  result.completion_ms = observed;
+  return result;
+}
+
+}  // namespace
+
+ParticipantResult SimulateParticipant(const StudyConfig& config) {
+  Rng rng(config.seed);
+  const bool trend = config.task == JudgmentTask::kTrend;
+  switch (config.policy) {
+    case CcPolicy::kNoCC:
+      // Unordered updates force self-serialization, with occasional
+      // double-checks when an update is ambiguous.
+      return SimulateSerialized(config, &rng, /*with_confusion=*/true);
+    case CcPolicy::kMostRecent:
+      // Only the latest response renders, so pipelining would lose data:
+      // participants serialize.
+      return SimulateSerialized(config, &rng, /*with_confusion=*/false);
+    case CcPolicy::kSerial:
+      return SimulateSerialPolicy(config, &rng);
+    case CcPolicy::kDiscard:
+      if (trend) {
+        // Out-of-order responses are dropped and order matters: the safe
+        // strategy is full serialization.
+        return SimulateSerialized(config, &rng, /*with_confusion=*/false);
+      }
+      return SimulateDiscard(config, &rng);
+    case CcPolicy::kMvcc:
+      return SimulateMvcc(config, &rng);
+  }
+  return {};
+}
+
+StudyAggregate RunStudy(StudyConfig config, size_t participants) {
+  StudyAggregate aggregate;
+  std::vector<double> times;
+  times.reserve(participants);
+  double sum_requests = 0, sum_dropped = 0;
+  Rng seeder(config.seed);
+  for (size_t p = 0; p < participants; ++p) {
+    config.seed = seeder.NextUint64();
+    ParticipantResult r = SimulateParticipant(config);
+    times.push_back(r.completion_ms);
+    sum_requests += static_cast<double>(r.requests_issued);
+    sum_dropped += static_cast<double>(r.responses_dropped);
+  }
+  double sum = 0;
+  for (double t : times) sum += t;
+  aggregate.mean_completion_ms = sum / static_cast<double>(participants);
+  double sq = 0;
+  for (double t : times) {
+    double d = t - aggregate.mean_completion_ms;
+    sq += d * d;
+  }
+  aggregate.stddev_ms = std::sqrt(sq / static_cast<double>(participants));
+  aggregate.mean_requests = sum_requests / static_cast<double>(participants);
+  aggregate.mean_dropped = sum_dropped / static_cast<double>(participants);
+  return aggregate;
+}
+
+}  // namespace dvms

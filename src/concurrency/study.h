@@ -1,0 +1,66 @@
+#ifndef DVMS_CONCURRENCY_STUDY_H_
+#define DVMS_CONCURRENCY_STUDY_H_
+
+#include "common/rng.h"
+#include "concurrency/policy.h"
+
+namespace dvms {
+
+/// The judgment tasks of the §3.2 user study. The threshold task is
+/// order-insensitive (does any facet's bar exceed a threshold?); the trend
+/// task requires the user to integrate facets *in order*, so update order
+/// matters.
+enum class JudgmentTask { kThreshold, kTrend };
+
+const char* JudgmentTaskToString(JudgmentTask task);
+
+/// One simulated participant session: a faceted bar chart driven by an
+/// interaction widget; hovering a facet issues a request whose response
+/// updates the chart after a stochastic delay.
+struct StudyConfig {
+  CcPolicy policy = CcPolicy::kNoCC;
+  JudgmentTask task = JudgmentTask::kThreshold;
+  /// Mean response delay in ms (exponential); 0 disables delay.
+  double mean_delay_ms = 0.0;
+  size_t num_facets = 12;
+
+  // Behavioural constants of the simulated user, calibrated to typical
+  // HCI values: time to move to and hover a facet, time to read a chart
+  // update, and the (higher) time to locate and read one small multiple in
+  // a cluttered MVCC grid.
+  double hover_ms = 250.0;
+  double observe_ms = 400.0;
+  double mvcc_read_ms = 550.0;
+  /// Probability a NoCC participant re-reads a chart because an
+  /// out-of-order update made attribution ambiguous (only under delay).
+  double nocc_confusion_prob = 0.3;
+  /// Pipelining window participants use under order-preserving policies.
+  size_t pipeline_window = 3;
+
+  uint64_t seed = 1;
+};
+
+struct ParticipantResult {
+  double completion_ms = 0;
+  size_t requests_issued = 0;
+  size_t responses_dropped = 0;
+  size_t rehovers = 0;
+};
+
+/// Simulates one participant completing the task under the config's policy
+/// (discrete-event, virtual clock).
+ParticipantResult SimulateParticipant(const StudyConfig& config);
+
+struct StudyAggregate {
+  double mean_completion_ms = 0;
+  double stddev_ms = 0;
+  double mean_requests = 0;
+  double mean_dropped = 0;
+};
+
+/// Averages over `participants` seeded participants.
+StudyAggregate RunStudy(StudyConfig config, size_t participants);
+
+}  // namespace dvms
+
+#endif  // DVMS_CONCURRENCY_STUDY_H_

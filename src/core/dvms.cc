@@ -1,0 +1,398 @@
+#include "core/dvms.h"
+
+#include "parser/parser.h"
+#include "parser/planner.h"
+
+namespace dvms {
+
+Dvms::Dvms(Options options)
+    : options_(options),
+      udfs_(UdfRegistry::WithBuiltins()),
+      optimizer_(&catalog_),
+      maintainer_(&catalog_, &udfs_),
+      recognizer_(&catalog_, &udfs_),
+      traces_(&catalog_, &udfs_, &maintainer_),
+      pixels_(options.canvas_width, options.canvas_height) {
+  maintainer_.set_capture_lineage(options_.capture_lineage);
+  if (options_.enable_online_optimizer && !options_.capture_lineage) {
+    maintainer_.set_optimizer(&optimizer_);
+  }
+  pixels_.Clear(RGBA{255, 255, 255, 255});
+}
+
+Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
+  return catalog_.CreateTable(name, std::move(schema), RelationKind::kBase)
+      .status();
+}
+
+Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
+  for (Row& row : rows) {
+    DVMS_RETURN_IF_ERROR(table->Append(std::move(row)));
+  }
+  DVMS_RETURN_IF_ERROR(ProcessChanges({name}));
+  if (options_.auto_render) return Render();
+  return Status::OK();
+}
+
+Status Dvms::CreateScale(const std::string& name, double domain_min,
+                         double domain_max, double range_min,
+                         double range_max) {
+  DVMS_RETURN_IF_ERROR(CreateScaleRelation(&catalog_, name, domain_min,
+                                           domain_max, range_min, range_max));
+  return ProcessChanges({name});
+}
+
+Result<const Table*> Dvms::GetTable(const std::string& name) const {
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
+  return &table->current();
+}
+
+Status Dvms::Execute(const Statement& statement) {
+  switch (statement.kind) {
+    case Statement::Kind::kCreateTable:
+      return CreateBaseTable(statement.target_name, statement.create_schema);
+    case Statement::Kind::kInsert:
+      return Insert(statement.target_name, statement.insert_rows);
+    case Statement::Kind::kDelete:
+      return Delete(statement.target_name, statement.delete_where).status();
+    case Statement::Kind::kViewDef: {
+      CatalogSchemaResolver resolver(&catalog_);
+      Planner planner(&resolver);
+      DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(statement.select));
+      RelationKind kind =
+          statement.render ? RelationKind::kMarks : RelationKind::kView;
+      DVMS_RETURN_IF_ERROR(maintainer_.DefineView(statement.target_name, plan,
+                                                  kind, statement.table_udf));
+      if (statement.render) {
+        bool known = false;
+        for (const std::string& v : render_views_) {
+          if (IdentEquals(v, statement.target_name)) known = true;
+        }
+        if (!known) render_views_.push_back(statement.target_name);
+      }
+      DVMS_RETURN_IF_ERROR(maintainer_.RecomputeView(statement.target_name));
+      return maintainer_.OnChanged({statement.target_name});
+    }
+    case Statement::Kind::kEventDef:
+      return recognizer_.DefinePattern(statement.target_name, statement.event);
+    case Statement::Kind::kTraceDef: {
+      TraceDefEntry entry;
+      entry.name = statement.target_name;
+      entry.stmt = statement.trace;
+      for (const TableRef& ref : entry.stmt.from) {
+        if (ref.version.is_current() || ref.version.offset == 0) {
+          entry.deps.push_back(ref.name);
+        }
+      }
+      entry.deps.push_back(entry.stmt.target_relation);
+      // The trace relation materializes as a view-kind table with the shape
+      // of the traced relation (backward: TO's schema; forward: the target
+      // view's schema).
+      DVMS_ASSIGN_OR_RETURN(VersionedTable * target,
+                            catalog_.Get(entry.stmt.target_relation));
+      if (!catalog_.Exists(entry.name)) {
+        DVMS_RETURN_IF_ERROR(catalog_
+                                 .CreateTable(entry.name, target->schema(),
+                                              RelationKind::kView)
+                                 .status());
+      }
+      DVMS_RETURN_IF_ERROR(RecomputeTrace(entry));
+      trace_defs_.push_back(std::move(entry));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Status Dvms::LoadProgram(const std::string& source) {
+  DVMS_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  for (const Statement& stmt : program.statements) {
+    DVMS_RETURN_IF_ERROR(Execute(stmt));
+  }
+  DVMS_RETURN_IF_ERROR(ProcessChanges(catalog_.Names()));
+  // Commit the initial visualization state so @vnow-1 is addressable from
+  // the first interaction.
+  DVMS_RETURN_IF_ERROR(CommitViews());
+  return Render();
+}
+
+Result<Table> Dvms::Query(const std::string& select_sql) {
+  DVMS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(select_sql));
+  CatalogSchemaResolver resolver(&catalog_);
+  Planner planner(&resolver);
+  DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
+  Binder binder(&resolver, &udfs_);
+  DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+  Executor exec(&catalog_, &udfs_);
+  return exec.ExecuteToTable(*plan);
+}
+
+Status Dvms::RecomputeTrace(const TraceDefEntry& entry) {
+  TraceEngine::Mode mode = options_.capture_lineage
+                               ? TraceEngine::Mode::kEager
+                               : TraceEngine::Mode::kLazy;
+  Table result(Schema{});
+  if (entry.stmt.backward) {
+    DVMS_ASSIGN_OR_RETURN(result, traces_.Backward(entry.stmt, mode));
+  } else {
+    DVMS_ASSIGN_OR_RETURN(result, traces_.Forward(entry.stmt, mode));
+  }
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(entry.name));
+  DVMS_RETURN_IF_ERROR(table->SetCurrent(std::move(result)));
+  ++stats_.trace_recomputes;
+  return Status::OK();
+}
+
+Status Dvms::ProcessChanges(std::vector<std::string> changed) {
+  constexpr int kMaxRounds = 4;
+  for (int round = 0; round < kMaxRounds && !changed.empty(); ++round) {
+    DVMS_ASSIGN_OR_RETURN(std::vector<std::string> affected,
+                          maintainer_.registry().AffectedBy(changed));
+    DVMS_RETURN_IF_ERROR(maintainer_.OnChanged(changed));
+
+    std::unordered_set<std::string> dirty;
+    for (const std::string& name : changed) dirty.insert(IdentKey(name));
+    for (const std::string& name : affected) dirty.insert(IdentKey(name));
+
+    std::vector<std::string> next;
+    for (const TraceDefEntry& entry : trace_defs_) {
+      bool hit = false;
+      for (const std::string& dep : entry.deps) {
+        if (dirty.count(IdentKey(dep)) > 0) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        DVMS_RETURN_IF_ERROR(RecomputeTrace(entry));
+        next.push_back(entry.name);
+      }
+    }
+    changed = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status Dvms::CommitViews() {
+  // Commit every relation so @vnow-k addresses a consistent interaction
+  // boundary across base data, event tables, views, and traces — this is
+  // also what Undo()/Redo() step through.
+  std::unordered_map<std::string, TablePtr> snapshot;
+  for (const std::string& name : catalog_.Names()) {
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
+    table->Commit();
+    DVMS_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(name));
+    if (kind == RelationKind::kBase || kind == RelationKind::kEvent) {
+      snapshot.emplace(IdentKey(name), MakeTablePtr(table->current()));
+    }
+  }
+  if (options_.capture_lineage) maintainer_.SnapshotCommitted();
+  // Committing truncates any redo future and extends the undo history.
+  if (undo_cursor_ > 0 && undo_cursor_ < undo_history_.size()) {
+    undo_history_.resize(undo_history_.size() - undo_cursor_);
+  }
+  undo_cursor_ = 0;
+  undo_history_.push_back(std::move(snapshot));
+  constexpr size_t kMaxUndoDepth = 32;
+  if (undo_history_.size() > kMaxUndoDepth) {
+    undo_history_.erase(undo_history_.begin());
+  }
+  return Status::OK();
+}
+
+Result<size_t> Dvms::Delete(const std::string& name,
+                            const ExprPtr& predicate) {
+  DVMS_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(name));
+  if (kind != RelationKind::kBase) {
+    return Status::InvalidArgument(
+        "DELETE targets base relations; '" + name + "' is " +
+        RelationKindToString(kind));
+  }
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
+  Table& current = table->mutable_current();
+  size_t removed = 0;
+  if (predicate == nullptr) {
+    removed = current.num_rows();
+    current.Clear();
+  } else {
+    // Bind the predicate against the relation's schema.
+    ExprPtr bound = CloneExpr(predicate);
+    std::vector<BoundField> scope;
+    for (const Column& col : table->schema().columns()) {
+      scope.push_back({name, col.name, col.type});
+    }
+    CatalogSchemaResolver resolver(&catalog_);
+    Binder binder(&resolver, &udfs_);
+    DVMS_RETURN_IF_ERROR(binder.BindExpr(bound.get(), scope));
+    EvalContext ctx;
+    ctx.udfs = &udfs_;
+    std::vector<Row> kept;
+    for (const Row& row : current.rows()) {
+      DVMS_ASSIGN_OR_RETURN(bool match, EvalPredicate(*bound, row, ctx));
+      if (match) {
+        ++removed;
+      } else {
+        kept.push_back(row);
+      }
+    }
+    current.mutable_rows() = std::move(kept);
+  }
+  DVMS_RETURN_IF_ERROR(ProcessChanges({name}));
+  if (options_.auto_render) {
+    DVMS_RETURN_IF_ERROR(Render());
+  }
+  return removed;
+}
+
+Status Dvms::RestoreToCursor() {
+  const auto& snapshot = undo_history_[undo_history_.size() - 1 - undo_cursor_];
+  std::vector<std::string> changed;
+  for (const auto& [key, table_ptr] : snapshot) {
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(key));
+    DVMS_RETURN_IF_ERROR(table->SetCurrent(Table(*table_ptr)));
+    changed.push_back(key);
+  }
+  DVMS_RETURN_IF_ERROR(ProcessChanges(std::move(changed)));
+  if (options_.auto_render) return Render();
+  return Status::OK();
+}
+
+bool Dvms::CanUndo() const {
+  return undo_cursor_ + 1 < undo_history_.size();
+}
+
+Status Dvms::Undo() {
+  if (!CanUndo()) {
+    return Status::InvalidArgument("nothing to undo (history exhausted)");
+  }
+  ++undo_cursor_;
+  return RestoreToCursor();
+}
+
+Status Dvms::Redo() {
+  if (!CanRedo()) {
+    return Status::InvalidArgument("nothing to redo");
+  }
+  --undo_cursor_;
+  return RestoreToCursor();
+}
+
+std::string Dvms::DumpState() const {
+  std::string out = "relations:\n";
+  for (const std::string& name : catalog_.Names()) {
+    auto table = catalog_.Get(name);
+    auto kind = catalog_.KindOf(name);
+    if (!table.ok() || !kind.ok()) continue;
+    const VersionedTable* t = table.value();
+    out += "  " + name + " [" + RelationKindToString(kind.value()) + "] " +
+           std::to_string(t->current().num_rows()) + " rows, " +
+           std::to_string(t->num_committed_versions()) + " versions" +
+           (t->in_transaction() ? ", in transaction" : "") + "\n";
+  }
+  out += "patterns:\n";
+  for (const std::string& name : recognizer_.PatternNames()) {
+    out += "  " + name + "\n";
+  }
+  out += "trace relations:\n";
+  for (const TraceDefEntry& entry : trace_defs_) {
+    out += "  " + entry.name + " -> " + entry.stmt.target_relation +
+           (entry.stmt.backward ? " (backward)" : " (forward)") + "\n";
+  }
+  return out;
+}
+
+Result<std::string> Dvms::ExplainView(const std::string& name) const {
+  DVMS_ASSIGN_OR_RETURN(const ViewDef* def, maintainer_.registry().Get(name));
+  std::string out = "view " + def->name +
+                    (def->renders ? " (marks, rendered)" : "") + "\n";
+  out += "plan:\n" + def->plan->ToString(1);
+  out += "reads (current): ";
+  for (size_t i = 0; i < def->current_deps.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += def->current_deps[i];
+  }
+  out += "\nreads (versioned): ";
+  for (size_t i = 0; i < def->versioned_deps.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += def->versioned_deps[i];
+  }
+  out += "\n";
+  return out;
+}
+
+Status Dvms::PushEvent(const InputEvent& event) {
+  ++stats_.events_processed;
+  DVMS_ASSIGN_OR_RETURN(std::vector<EventRecognizer::FeedOutcome> outcomes,
+                        recognizer_.Feed(event));
+  if (outcomes.empty()) return Status::OK();
+
+  std::vector<std::string> changed;
+  bool committed = false;
+  for (const EventRecognizer::FeedOutcome& outcome : outcomes) {
+    switch (outcome.action) {
+      case MatchAction::kStarted:
+        ++stats_.transactions_started;
+        break;
+      case MatchAction::kCommitted:
+        ++stats_.transactions_committed;
+        committed = true;
+        break;
+      case MatchAction::kAborted:
+        ++stats_.transactions_aborted;
+        break;
+      default:
+        break;
+    }
+    if (outcome.rows_inserted > 0 || outcome.action == MatchAction::kAborted ||
+        outcome.action == MatchAction::kCommitted) {
+      changed.push_back(outcome.table);
+    }
+  }
+  if (!changed.empty()) {
+    DVMS_RETURN_IF_ERROR(ProcessChanges(std::move(changed)));
+  }
+  if (committed) {
+    // The accept state persists the new visualization state.
+    DVMS_RETURN_IF_ERROR(CommitViews());
+  }
+  if (options_.auto_render) return Render();
+  return Status::OK();
+}
+
+Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
+  for (const InputEvent& event : events) {
+    DVMS_RETURN_IF_ERROR(PushEvent(event));
+  }
+  return Status::OK();
+}
+
+Status Dvms::Render() {
+  pixels_.Clear(RGBA{255, 255, 255, 255});
+  for (const std::string& name : render_views_) {
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
+    DVMS_RETURN_IF_ERROR(RenderMarks(table->current(), &pixels_));
+  }
+  ++stats_.renders;
+  return Status::OK();
+}
+
+Status Dvms::ComposeInteractions(const std::string& first,
+                                 const std::string& second,
+                                 const std::string& merged_name) {
+  DVMS_ASSIGN_OR_RETURN(const EventStmt* a, recognizer_.GetStatement(first));
+  DVMS_ASSIGN_OR_RETURN(const EventStmt* b, recognizer_.GetStatement(second));
+  DVMS_ASSIGN_OR_RETURN(EventStmt merged, MergeSequential(*a, *b));
+  return recognizer_.DefinePattern(merged_name, merged);
+}
+
+std::vector<std::string> Dvms::AnalyzeInteractions() const {
+  std::vector<std::pair<std::string, const CompiledPattern*>> patterns;
+  for (const std::string& name : recognizer_.PatternNames()) {
+    auto pattern = recognizer_.GetPattern(name);
+    if (pattern.ok()) patterns.emplace_back(name, pattern.value());
+  }
+  return AnalyzeAmbiguity(patterns);
+}
+
+}  // namespace dvms

@@ -1,0 +1,196 @@
+#ifndef DVMS_CORE_DVMS_H_
+#define DVMS_CORE_DVMS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "events/interaction.h"
+#include "events/recognizer.h"
+#include "expr/udf_registry.h"
+#include "parser/ast.h"
+#include "provenance/trace.h"
+#include "query/maintenance.h"
+#include "query/optimizer.h"
+#include "render/pixels.h"
+#include "render/rasterizer.h"
+#include "render/scale.h"
+#include "storage/catalog.h"
+
+namespace dvms {
+
+/// The Data Visualization Management System engine of Figure 3.
+///
+/// The Interaction Management engine translates DeVIL programs into a
+/// visualization workflow (views + event patterns + traces), the Event
+/// Recognizer matches low-level input against the compiled state machines,
+/// the Executor recomputes affected views in dependency order, and marks
+/// relations are rasterized into the pixels relation P after every
+/// maintenance round.
+class Dvms {
+ public:
+  struct Options {
+    size_t canvas_width = 400;
+    size_t canvas_height = 300;
+    /// Eager row-level lineage on every view recompute (§3.1). Enables
+    /// TraceEngine::Mode::kEager; lazy traces work either way.
+    bool capture_lineage = false;
+    /// Re-render marks views automatically after each event / insert.
+    bool auto_render = true;
+    /// Enable the Online Optimizer: crossfilter-shaped views refresh from
+    /// precomputed marginal cubes instead of fact-table rescans. Ignored
+    /// (off) while capture_lineage is set.
+    bool enable_online_optimizer = true;
+  };
+
+  Dvms() : Dvms(Options()) {}
+  explicit Dvms(Options options);
+  Dvms(const Dvms&) = delete;
+  Dvms& operator=(const Dvms&) = delete;
+
+  // ---- Data loading ----
+
+  Status CreateBaseTable(const std::string& name, Schema schema);
+
+  /// Appends rows and propagates the change through dependent views.
+  Status Insert(const std::string& name, std::vector<Row> rows);
+
+  /// Deletes rows matching `predicate` (all rows when null) from a base
+  /// relation and propagates — §2.1.3's "removing marks is natively
+  /// supported by removing data". Returns the number of rows removed.
+  Result<size_t> Delete(const std::string& name, const ExprPtr& predicate);
+
+  /// Creates/updates a single-row scale relation (see render/scale.h).
+  Status CreateScale(const std::string& name, double domain_min,
+                     double domain_max, double range_min, double range_max);
+
+  /// Current contents of any relation.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  // ---- Programs ----
+
+  /// Parses and executes a DeVIL program, then recomputes all views,
+  /// commits the initial visualization state, and renders.
+  Status LoadProgram(const std::string& source);
+
+  /// Executes one pre-parsed statement.
+  Status Execute(const Statement& statement);
+
+  /// Ad-hoc query evaluation (not registered as a view).
+  Result<Table> Query(const std::string& select_sql);
+
+  // ---- Interaction loop ----
+
+  /// Feeds one low-level input event through the Event Recognizer, runs
+  /// view maintenance, manages transaction boundaries, and re-renders.
+  Status PushEvent(const InputEvent& event);
+
+  Status PushEvents(const std::vector<InputEvent>& events);
+
+  // ---- Rendering ----
+
+  /// Rasterizes every marks view (in definition order) into the pixel
+  /// buffer.
+  Status Render();
+
+  const PixelBuffer& pixels() const { return pixels_; }
+
+  // ---- Introspection / subsystem access ----
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  UdfRegistry* udfs() { return &udfs_; }
+  ViewMaintainer* maintainer() { return &maintainer_; }
+  TraceEngine* traces() { return &traces_; }
+  EventRecognizer* recognizer() { return &recognizer_; }
+  const CrossfilterOptimizer& optimizer() const { return optimizer_; }
+
+  /// Static-analysis warnings over all defined interactions (ambiguity
+  /// detection, Figure 3's Static Analysis box).
+  std::vector<std::string> AnalyzeInteractions() const;
+
+  /// The paper's merge(I1, I2): sequentially composes two defined event
+  /// patterns into a new one named `merged_name` (with alias renaming on
+  /// collision), creating its compound-event table. The developer then
+  /// writes views over the merged stream, optionally reading I1's
+  /// relations (its merge-function contract).
+  Status ComposeInteractions(const std::string& first,
+                             const std::string& second,
+                             const std::string& merged_name);
+
+  // ---- Undo / redo (§2.1.3: supported by the versioning semantics) ----
+
+  /// Steps the visualization back one committed interaction: base and
+  /// event relations are restored to the previous committed version and
+  /// all views recompute. Fails when history is exhausted.
+  Status Undo();
+
+  /// Steps forward again after Undo(). Fails at the newest state.
+  Status Redo();
+
+  bool CanUndo() const;
+  bool CanRedo() const { return undo_cursor_ > 0; }
+
+  // ---- Debugging (§3.1: expose workflow state for inspection) ----
+
+  /// Human-readable listing of every relation: kind, cardinality, version
+  /// depth, open transactions — plus defined patterns and trace relations.
+  std::string DumpState() const;
+
+  /// The bound plan and dependency lists of a view (the workflow's
+  /// input-output dependencies).
+  Result<std::string> ExplainView(const std::string& name) const;
+
+  struct Stats {
+    size_t events_processed = 0;
+    size_t transactions_started = 0;
+    size_t transactions_committed = 0;
+    size_t transactions_aborted = 0;
+    size_t renders = 0;
+    size_t trace_recomputes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct TraceDefEntry {
+    std::string name;
+    TraceStmt stmt;
+    std::vector<std::string> deps;  // current-version trigger relations
+  };
+
+  /// Propagates relation changes: view maintenance, then trace relations,
+  /// iterating until quiescent (bounded rounds).
+  Status ProcessChanges(std::vector<std::string> changed);
+
+  Status RecomputeTrace(const TraceDefEntry& entry);
+
+  /// Commits every view relation (interaction boundary) and snapshots
+  /// lineage for @vnow-1 provenance.
+  Status CommitViews();
+
+  /// Restores base/event relations from the undo history at the current
+  /// cursor and recomputes everything downstream.
+  Status RestoreToCursor();
+
+  Options options_;
+  UdfRegistry udfs_;
+  Catalog catalog_;
+  CrossfilterOptimizer optimizer_;
+  ViewMaintainer maintainer_;
+  EventRecognizer recognizer_;
+  TraceEngine traces_;
+  PixelBuffer pixels_;
+  std::vector<TraceDefEntry> trace_defs_;
+  std::vector<std::string> render_views_;
+  Stats stats_;
+  /// Committed snapshots of base/event relations, oldest first; the engine
+  /// pushes one per interaction commit (capped).
+  std::vector<std::unordered_map<std::string, TablePtr>> undo_history_;
+  /// 0 = at the newest committed state; k = k interactions undone.
+  size_t undo_cursor_ = 0;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_CORE_DVMS_H_

@@ -1,0 +1,101 @@
+#include "events/event.h"
+
+#include "common/string_util.h"
+
+namespace dvms {
+
+const char* EventTypeToString(EventType type) {
+  switch (type) {
+    case EventType::kMouseDown:
+      return "MOUSE_DOWN";
+    case EventType::kMouseMove:
+      return "MOUSE_MOVE";
+    case EventType::kMouseUp:
+      return "MOUSE_UP";
+    case EventType::kKeyPress:
+      return "KEY_PRESS";
+    case EventType::kWheel:
+      return "WHEEL";
+  }
+  return "UNKNOWN";
+}
+
+Result<EventType> EventTypeFromName(const std::string& name) {
+  if (IdentEquals(name, "MOUSE_DOWN")) return EventType::kMouseDown;
+  if (IdentEquals(name, "MOUSE_MOVE")) return EventType::kMouseMove;
+  if (IdentEquals(name, "MOUSE_UP")) return EventType::kMouseUp;
+  if (IdentEquals(name, "KEY_PRESS")) return EventType::kKeyPress;
+  if (IdentEquals(name, "WHEEL")) return EventType::kWheel;
+  return Status::InvalidArgument("unknown event type '" + name + "'");
+}
+
+InputEvent InputEvent::MouseDown(int64_t t, double x, double y) {
+  InputEvent e;
+  e.type = EventType::kMouseDown;
+  e.t = t;
+  e.x = x;
+  e.y = y;
+  return e;
+}
+
+InputEvent InputEvent::MouseMove(int64_t t, double x, double y) {
+  InputEvent e;
+  e.type = EventType::kMouseMove;
+  e.t = t;
+  e.x = x;
+  e.y = y;
+  return e;
+}
+
+InputEvent InputEvent::MouseUp(int64_t t, double x, double y) {
+  InputEvent e;
+  e.type = EventType::kMouseUp;
+  e.t = t;
+  e.x = x;
+  e.y = y;
+  return e;
+}
+
+InputEvent InputEvent::KeyPress(int64_t t, std::string key) {
+  InputEvent e;
+  e.type = EventType::kKeyPress;
+  e.t = t;
+  e.key = std::move(key);
+  return e;
+}
+
+InputEvent InputEvent::Wheel(int64_t t, double x, double y, double delta) {
+  InputEvent e;
+  e.type = EventType::kWheel;
+  e.t = t;
+  e.x = x;
+  e.y = y;
+  e.delta = delta;
+  return e;
+}
+
+std::string InputEvent::ToString() const {
+  std::string out = EventTypeToString(type);
+  out += StrFormat("(t=%lld, x=%g, y=%g", static_cast<long long>(t), x, y);
+  if (type == EventType::kKeyPress) out += ", key=" + key;
+  if (type == EventType::kWheel) out += StrFormat(", delta=%g", delta);
+  return out + ")";
+}
+
+const Schema& EventAttributeSchema() {
+  static const Schema* kSchema = new Schema({{"t", ValueType::kInt64},
+                                             {"x", ValueType::kDouble},
+                                             {"y", ValueType::kDouble},
+                                             {"key", ValueType::kString},
+                                             {"delta", ValueType::kDouble}});
+  return *kSchema;
+}
+
+size_t EventAttributeCount() { return EventAttributeSchema().num_columns(); }
+
+Row EventToRow(const InputEvent& event) {
+  return {Value::Int(event.t), Value::Double(event.x), Value::Double(event.y),
+          Value::String(event.key), Value::Double(event.delta)};
+}
+
+}  // namespace dvms

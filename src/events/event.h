@@ -1,0 +1,58 @@
+#ifndef DVMS_EVENTS_EVENT_H_
+#define DVMS_EVENTS_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dvms {
+
+/// Low-level input events, the alphabet Σ of DeVIL's event streams.
+enum class EventType {
+  kMouseDown,
+  kMouseMove,
+  kMouseUp,
+  kKeyPress,
+  kWheel,
+};
+
+const char* EventTypeToString(EventType type);
+
+/// Parses "MOUSE_DOWN", "KEY_PRESS", etc. (case-insensitive).
+Result<EventType> EventTypeFromName(const std::string& name);
+
+/// A single low-level event ⟨s, t⟩: an alphabet symbol plus the time the
+/// user performed it, with the symbol's payload attributes.
+struct InputEvent {
+  EventType type = EventType::kMouseMove;
+  int64_t t = 0;  // milliseconds
+  double x = 0.0;
+  double y = 0.0;
+  std::string key;    // KEY_PRESS payload
+  double delta = 0.0; // WHEEL payload
+
+  static InputEvent MouseDown(int64_t t, double x, double y);
+  static InputEvent MouseMove(int64_t t, double x, double y);
+  static InputEvent MouseUp(int64_t t, double x, double y);
+  static InputEvent KeyPress(int64_t t, std::string key);
+  static InputEvent Wheel(int64_t t, double x, double y, double delta);
+
+  std::string ToString() const;
+};
+
+/// Attributes every event exposes to EVENT-statement expressions
+/// (t, x, y, key, delta). Each pattern alias binds one slot of this shape.
+const Schema& EventAttributeSchema();
+
+/// Number of columns in EventAttributeSchema().
+size_t EventAttributeCount();
+
+/// Converts an event into a row laid out per EventAttributeSchema().
+Row EventToRow(const InputEvent& event);
+
+}  // namespace dvms
+
+#endif  // DVMS_EVENTS_EVENT_H_

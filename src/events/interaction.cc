@@ -1,0 +1,139 @@
+#include "events/interaction.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dvms {
+
+namespace {
+
+void RenameQualifiers(Expr* e,
+                      const std::unordered_map<std::string, std::string>& map) {
+  if (e->kind == ExprKind::kColumnRef && !e->qualifier.empty()) {
+    auto it = map.find(IdentKey(e->qualifier));
+    if (it != map.end()) e->qualifier = it->second;
+  }
+  for (auto& c : e->children) RenameQualifiers(c.get(), map);
+}
+
+std::string EffectiveAlias(const EventElem& elem) {
+  return elem.alias.empty() ? elem.event_type : elem.alias;
+}
+
+}  // namespace
+
+Result<EventStmt> MergeSequential(const EventStmt& first,
+                                  const EventStmt& second,
+                                  const std::string& rename_suffix) {
+  if (first.elems.empty() || second.elems.empty()) {
+    return Status::InvalidArgument("cannot merge an empty event statement");
+  }
+  EventStmt merged = first;
+
+  // Collect first's aliases; rename second's colliding aliases.
+  std::unordered_set<std::string> taken;
+  for (const EventElem& elem : first.elems) {
+    taken.insert(IdentKey(EffectiveAlias(elem)));
+  }
+  std::unordered_map<std::string, std::string> renames;
+  for (const EventElem& elem : second.elems) {
+    std::string alias = EffectiveAlias(elem);
+    std::string key = IdentKey(alias);
+    if (taken.count(key) > 0) {
+      std::string renamed = alias + rename_suffix;
+      while (taken.count(IdentKey(renamed)) > 0) renamed += rename_suffix;
+      renames[key] = renamed;
+      taken.insert(IdentKey(renamed));
+    } else {
+      taken.insert(key);
+    }
+  }
+
+  for (const EventElem& elem : second.elems) {
+    EventElem copy = elem;
+    std::string key = IdentKey(EffectiveAlias(elem));
+    auto it = renames.find(key);
+    if (it != renames.end()) {
+      copy.alias = it->second;
+    } else if (copy.alias.empty()) {
+      copy.alias = EffectiveAlias(elem);
+    }
+    merged.elems.push_back(std::move(copy));
+  }
+  for (const EventPredicate& pred : second.predicates) {
+    EventPredicate copy = pred;
+    copy.expr = CloneExpr(pred.expr);
+    RenameQualifiers(copy.expr.get(), renames);
+    auto it = renames.find(IdentKey(copy.over_alias));
+    if (it != renames.end()) copy.over_alias = it->second;
+    merged.predicates.push_back(std::move(copy));
+  }
+  for (const ReturnTuple& tuple : second.returns) {
+    ReturnTuple copy;
+    for (const ReturnField& field : tuple.fields) {
+      ReturnField f;
+      f.alias = field.alias;
+      f.expr = CloneExpr(field.expr);
+      RenameQualifiers(f.expr.get(), renames);
+      copy.fields.push_back(std::move(f));
+    }
+    merged.returns.push_back(std::move(copy));
+  }
+  return merged;
+}
+
+std::vector<EventType> StartableTypes(const CompiledPattern& pattern) {
+  std::vector<EventType> out;
+  for (const PatternElem& elem : pattern.elems) {
+    out.push_back(elem.type);
+    if (!elem.kleene) break;
+  }
+  return out;
+}
+
+std::vector<std::string> AnalyzeAmbiguity(
+    const std::vector<std::pair<std::string, const CompiledPattern*>>&
+        patterns) {
+  std::vector<std::string> warnings;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (size_t j = i + 1; j < patterns.size(); ++j) {
+      const auto& [name_a, pat_a] = patterns[i];
+      const auto& [name_b, pat_b] = patterns[j];
+      // Both startable by the same event type?
+      for (EventType ta : StartableTypes(*pat_a)) {
+        bool reported = false;
+        for (EventType tb : StartableTypes(*pat_b)) {
+          if (ta == tb) {
+            warnings.push_back(
+                "interactions '" + name_a + "' and '" + name_b +
+                "' can both begin on " + EventTypeToString(ta) +
+                "; consider partitioning by space/time or assigning "
+                "priorities");
+            reported = true;
+            break;
+          }
+        }
+        if (reported) break;
+      }
+      // Shared alphabet symbols mid-pattern?
+      for (const PatternElem& elem : pat_a->elems) {
+        if (pat_b->InAlphabet(elem.type)) {
+          bool both_start = false;
+          for (EventType t : StartableTypes(*pat_a)) {
+            if (t == elem.type) both_start = true;
+          }
+          if (both_start) continue;  // already covered above
+          warnings.push_back("interactions '" + name_a + "' and '" + name_b +
+                             "' both consume " +
+                             EventTypeToString(elem.type) +
+                             " events mid-pattern; an in-flight match in one "
+                             "may be rejected by input meant for the other");
+          break;
+        }
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace dvms

@@ -1,0 +1,48 @@
+#ifndef DVMS_EVENTS_INTERACTION_H_
+#define DVMS_EVENTS_INTERACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "events/pattern.h"
+#include "parser/ast.h"
+
+namespace dvms {
+
+/// An interaction, per the paper's definition: an object encapsulating an
+/// event stream together with the view statements that involve the stream.
+struct Interaction {
+  std::string name;
+  std::string event_table;
+  std::vector<std::string> views;
+};
+
+/// Sequentially composes two EVENT statements (the paper's
+/// merge(I1, I2) -> Icombined for "brush then drag" style multi-step
+/// interactions): the composed pattern matches I1's sequence followed by
+/// I2's. Aliases from `second` that collide with `first` are renamed with
+/// the given suffix, and all expressions referencing them are rewritten.
+/// The caller may further rewrite `second`'s view statements with read-only
+/// access to `first`'s relations, per the paper's merge contract.
+Result<EventStmt> MergeSequential(const EventStmt& first,
+                                  const EventStmt& second,
+                                  const std::string& rename_suffix = "_2");
+
+/// Static analysis of potential interaction conflicts (the paper's Static
+/// Analysis box in Figure 3): reports pairs of patterns that can both
+/// consume the same input events — both startable by the same event type,
+/// or sharing alphabet symbols mid-pattern. The warnings are advisory; the
+/// developer resolves them by editing event statements, partitioning by
+/// time/space, or assigning priorities.
+std::vector<std::string> AnalyzeAmbiguity(
+    const std::vector<std::pair<std::string, const CompiledPattern*>>&
+        patterns);
+
+/// The set of event types that can bind a pattern's first transition
+/// (its first element, plus subsequent elements reachable by skipping
+/// leading kleene elements).
+std::vector<EventType> StartableTypes(const CompiledPattern& pattern);
+
+}  // namespace dvms
+
+#endif  // DVMS_EVENTS_INTERACTION_H_

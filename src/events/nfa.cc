@@ -1,0 +1,140 @@
+#include "events/nfa.h"
+
+#include "expr/eval.h"
+
+namespace dvms {
+
+const char* MatchActionToString(MatchAction action) {
+  switch (action) {
+    case MatchAction::kNone:
+      return "none";
+    case MatchAction::kStarted:
+      return "started";
+    case MatchAction::kProgress:
+      return "progress";
+    case MatchAction::kCommitted:
+      return "committed";
+    case MatchAction::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+PatternMatcher::PatternMatcher(CompiledPattern pattern, const UdfRegistry* udfs)
+    : pattern_(std::move(pattern)), udfs_(udfs) {
+  Reset();
+}
+
+void PatternMatcher::Reset() {
+  active_ = false;
+  pos_ = 0;
+  slots_.assign((pattern_.NumElems() + 1) * EventAttributeCount(), Value());
+  exists_satisfied_.assign(pattern_.quantifiers.size(), false);
+}
+
+size_t PatternMatcher::FindBindable(size_t from_pos, EventType type) const {
+  for (size_t q = from_pos; q < pattern_.NumElems(); ++q) {
+    if (pattern_.elems[q].type == type) return q;
+    if (!pattern_.elems[q].kleene) return kNpos;  // mandatory element blocks
+  }
+  return kNpos;
+}
+
+Result<MatchAction> PatternMatcher::BindAt(size_t elem, const InputEvent& event,
+                                           bool starting,
+                                           std::vector<Row>* out_rows) {
+  const size_t attrs = EventAttributeCount();
+  EvalContext ctx;
+  ctx.udfs = udfs_;
+
+  // Tentatively bind into a scratch copy so a filtered event leaves no trace.
+  Row scratch = slots_;
+  Row event_row = EventToRow(event);
+  for (size_t a = 0; a < attrs; ++a) scratch[elem * attrs + a] = event_row[a];
+
+  // Plain predicates gated on this element: failure filters the event.
+  for (const GatedPredicate& gate : pattern_.gates) {
+    if (gate.gate != elem) continue;
+    DVMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*gate.expr, scratch, ctx));
+    if (!pass) return MatchAction::kNone;
+  }
+
+  // Quantifiers over this element's occurrences. The variable occupies the
+  // last slot.
+  for (size_t qi = 0; qi < pattern_.quantifiers.size(); ++qi) {
+    const QuantifiedPredicate& q = pattern_.quantifiers[qi];
+    if (q.over_elem != elem) continue;
+    Row with_var = scratch;
+    for (size_t a = 0; a < attrs; ++a) {
+      with_var[pattern_.NumElems() * attrs + a] = event_row[a];
+    }
+    DVMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*q.expr, with_var, ctx));
+    if (q.forall && !pass) {
+      Reset();
+      return MatchAction::kAborted;
+    }
+    if (!q.forall && pass) exists_satisfied_[qi] = true;
+  }
+
+  // Commit the binding.
+  slots_ = std::move(scratch);
+  pos_ = elem;
+  active_ = true;
+
+  // Emissions: every RETURN statement whose latest referenced alias is the
+  // element that just bound.
+  for (const CompiledReturn& ret : pattern_.returns) {
+    if (ret.emit_on != elem) continue;
+    Row out;
+    out.reserve(ret.exprs.size());
+    for (const ExprPtr& e : ret.exprs) {
+      DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, slots_, ctx));
+      out.push_back(std::move(v));
+    }
+    out_rows->push_back(std::move(out));
+  }
+
+  // Accept?
+  if (elem == pattern_.NumElems() - 1) {
+    bool all_exists = true;
+    for (size_t qi = 0; qi < pattern_.quantifiers.size(); ++qi) {
+      if (!pattern_.quantifiers[qi].forall && !exists_satisfied_[qi]) {
+        all_exists = false;
+      }
+    }
+    Reset();
+    return all_exists ? MatchAction::kCommitted : MatchAction::kAborted;
+  }
+  return starting ? MatchAction::kStarted : MatchAction::kProgress;
+}
+
+Result<MatchAction> PatternMatcher::Feed(const InputEvent& event,
+                                         std::vector<Row>* out_rows) {
+  // Non-alphabet event types are filtered from the input stream.
+  if (!pattern_.InAlphabet(event.type)) return MatchAction::kNone;
+
+  if (!active_) {
+    size_t q = FindBindable(0, event.type);
+    if (q == kNpos) return MatchAction::kNone;  // nothing to abort yet
+    DVMS_ASSIGN_OR_RETURN(MatchAction action,
+                          BindAt(q, event, /*starting=*/true, out_rows));
+    // A reject before the match begins is a no-op: there is no transaction
+    // to abort yet.
+    if (action == MatchAction::kAborted) return MatchAction::kNone;
+    return action;
+  }
+
+  // Prefer repeating the current kleene element (greedy), otherwise advance.
+  if (pattern_.elems[pos_].kleene && pattern_.elems[pos_].type == event.type) {
+    return BindAt(pos_, event, /*starting=*/false, out_rows);
+  }
+  size_t q = FindBindable(pos_ + 1, event.type);
+  if (q != kNpos) {
+    return BindAt(q, event, /*starting=*/false, out_rows);
+  }
+  // An alphabet event that cannot extend the match: reject state.
+  Reset();
+  return MatchAction::kAborted;
+}
+
+}  // namespace dvms

@@ -1,0 +1,71 @@
+#ifndef DVMS_EVENTS_NFA_H_
+#define DVMS_EVENTS_NFA_H_
+
+#include <vector>
+
+#include "events/pattern.h"
+
+namespace dvms {
+
+/// What happened inside the matcher when an event was fed. These map onto
+/// interaction-transaction boundaries: kStarted begins a transaction,
+/// kCommitted commits it, kAborted rolls it back.
+enum class MatchAction {
+  kNone,       // event filtered / ignored
+  kStarted,    // first element bound: transaction begins
+  kProgress,   // an element bound mid-pattern
+  kCommitted,  // final element bound: the NFA accepted
+  kAborted,    // reject state reached: the transaction aborts
+};
+
+const char* MatchActionToString(MatchAction action);
+
+/// Runs one compiled pattern as a finite-state matcher over the low-level
+/// event stream.
+///
+/// Semantics (following §2.1.2 of the paper):
+///  * events whose type is not in the pattern alphabet are filtered,
+///  * events failing a plain WHERE predicate are filtered,
+///  * events of an alphabet type that cannot extend the current match
+///    transition the NFA to its reject state (abort),
+///  * FORALL failure on a binding occurrence rejects immediately,
+///  * EXISTS must be satisfied by the time the final element binds,
+///  * binding an element emits every RETURN statement whose latest
+///    referenced alias just became bound (per occurrence for kleene).
+class PatternMatcher {
+ public:
+  PatternMatcher(CompiledPattern pattern, const UdfRegistry* udfs);
+
+  /// Feeds one event. Emitted compound-event rows (laid out per
+  /// pattern().output_schema) are appended to `out_rows`.
+  Result<MatchAction> Feed(const InputEvent& event, std::vector<Row>* out_rows);
+
+  /// Abandons any in-flight match.
+  void Reset();
+
+  bool active() const { return active_; }
+  const CompiledPattern& pattern() const { return pattern_; }
+
+ private:
+  /// Finds the element index `event` would bind from state `from_pos`
+  /// (exclusive), skipping optional kleene elements; returns npos if none.
+  size_t FindBindable(size_t from_pos, EventType type) const;
+
+  /// Binds the event into element `elem`; evaluates gates/quantifiers.
+  /// Appends emissions. Returns the resulting action.
+  Result<MatchAction> BindAt(size_t elem, const InputEvent& event,
+                             bool starting, std::vector<Row>* out_rows);
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  CompiledPattern pattern_;
+  const UdfRegistry* udfs_;
+  bool active_ = false;
+  size_t pos_ = 0;  // index of the last bound element
+  Row slots_;       // (n+1) * EventAttributeCount() values
+  std::vector<bool> exists_satisfied_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_EVENTS_NFA_H_

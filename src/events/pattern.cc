@@ -1,0 +1,162 @@
+#include "events/pattern.h"
+
+#include <unordered_map>
+
+#include "query/binder.h"
+
+namespace dvms {
+
+namespace {
+
+/// Finds the largest element index referenced by a bound expression, using
+/// the slot layout documented on CompiledPattern. Returns 0 when the
+/// expression references no element at all (literals only).
+size_t LatestElemReferenced(const Expr& e, size_t attr_count) {
+  size_t latest = 0;
+  if (e.kind == ExprKind::kColumnRef && e.resolved_index >= 0) {
+    latest = static_cast<size_t>(e.resolved_index) / attr_count;
+  }
+  for (const auto& c : e.children) {
+    latest = std::max(latest, LatestElemReferenced(*c, attr_count));
+  }
+  return latest;
+}
+
+}  // namespace
+
+bool CompiledPattern::InAlphabet(EventType type) const {
+  for (const PatternElem& elem : elems) {
+    if (elem.type == type) return true;
+  }
+  return false;
+}
+
+Result<CompiledPattern> CompilePattern(const EventStmt& stmt,
+                                       const UdfRegistry* udfs) {
+  CompiledPattern out;
+  if (stmt.elems.empty()) {
+    return Status::ParseError("EVENT statement has no pattern elements");
+  }
+  if (stmt.elems.back().kleene) {
+    return Status::ParseError(
+        "EVENT patterns must end with a non-repeating event so the "
+        "transaction can commit exactly once");
+  }
+  if (stmt.returns.empty()) {
+    return Status::ParseError("EVENT statement has no RETURN clause");
+  }
+
+  // Elements and aliases.
+  std::unordered_map<std::string, size_t> alias_to_elem;
+  for (const EventElem& elem : stmt.elems) {
+    PatternElem compiled;
+    DVMS_ASSIGN_OR_RETURN(compiled.type, EventTypeFromName(elem.event_type));
+    compiled.alias = elem.alias.empty() ? elem.event_type : elem.alias;
+    compiled.kleene = elem.kleene;
+    std::string key = IdentKey(compiled.alias);
+    if (alias_to_elem.count(key) > 0) {
+      return Status::ParseError("duplicate pattern alias '" + compiled.alias +
+                                "'");
+    }
+    alias_to_elem.emplace(std::move(key), out.elems.size());
+    out.elems.push_back(std::move(compiled));
+  }
+
+  // Binding scope: one slot of event attributes per element, plus one var
+  // slot for quantifiers.
+  const Schema& attrs = EventAttributeSchema();
+  const size_t attr_count = attrs.num_columns();
+  auto scope_with_var = [&](const std::string& var) {
+    std::vector<BoundField> scope;
+    for (const PatternElem& elem : out.elems) {
+      // A quantifier variable shadows a same-named pattern alias (the paper
+      // writes `FORALL m IN M ...` where identifiers are case-insensitive).
+      std::string qualifier = elem.alias;
+      if (!var.empty() && IdentEquals(qualifier, var)) {
+        qualifier = "__shadowed__";
+      }
+      for (const Column& col : attrs.columns()) {
+        scope.push_back({qualifier, col.name, col.type});
+      }
+    }
+    for (const Column& col : attrs.columns()) {
+      // The var slot: invisible unless a quantifier names it.
+      scope.push_back({var.empty() ? std::string("__var__") : var, col.name,
+                       col.type});
+    }
+    return scope;
+  };
+
+  // A binder with no relation resolution (event predicates cannot reference
+  // relations; IN predicates would need one).
+  class NoRelations : public SchemaResolver {
+   public:
+    Result<Schema> ResolveRelation(const std::string& name) const override {
+      return Status::BindError("EVENT predicates cannot reference relation '" +
+                               name + "'");
+    }
+  };
+  NoRelations no_relations;
+  Binder binder(&no_relations, udfs);
+
+  // Predicates.
+  for (const EventPredicate& pred : stmt.predicates) {
+    if (pred.kind == EventPredicate::Kind::kPlain) {
+      GatedPredicate gated;
+      gated.expr = CloneExpr(pred.expr);
+      DVMS_RETURN_IF_ERROR(binder.BindExpr(gated.expr.get(), scope_with_var("")));
+      gated.gate = LatestElemReferenced(*gated.expr, attr_count);
+      out.gates.push_back(std::move(gated));
+    } else {
+      QuantifiedPredicate q;
+      q.forall = pred.kind == EventPredicate::Kind::kForall;
+      auto it = alias_to_elem.find(IdentKey(pred.over_alias));
+      if (it == alias_to_elem.end()) {
+        return Status::BindError("quantifier ranges over unknown alias '" +
+                                 pred.over_alias + "'");
+      }
+      q.over_elem = it->second;
+      q.expr = CloneExpr(pred.expr);
+      DVMS_RETURN_IF_ERROR(
+          binder.BindExpr(q.expr.get(), scope_with_var(pred.var)));
+      out.quantifiers.push_back(std::move(q));
+    }
+  }
+
+  // RETURN tuples.
+  Schema first_schema;
+  for (size_t ti = 0; ti < stmt.returns.size(); ++ti) {
+    const ReturnTuple& tuple = stmt.returns[ti];
+    CompiledReturn compiled;
+    Schema schema;
+    for (size_t fi = 0; fi < tuple.fields.size(); ++fi) {
+      const ReturnField& field = tuple.fields[fi];
+      ExprPtr e = CloneExpr(field.expr);
+      DVMS_RETURN_IF_ERROR(binder.BindExpr(e.get(), scope_with_var("")));
+      compiled.emit_on =
+          std::max(compiled.emit_on, LatestElemReferenced(*e, attr_count));
+      std::string name = field.alias;
+      if (name.empty()) {
+        if (e->kind == ExprKind::kColumnRef) {
+          name = e->column;
+        } else {
+          name = "col" + std::to_string(fi);
+        }
+      }
+      schema.AddColumn({name, e->resolved_type});
+      compiled.exprs.push_back(std::move(e));
+    }
+    if (ti == 0) {
+      first_schema = schema;
+    } else if (!first_schema.UnionCompatible(schema)) {
+      return Status::BindError(
+          "RETURN projection statements must be union-compatible: [" +
+          first_schema.ToString() + "] vs [" + schema.ToString() + "]");
+    }
+    out.returns.push_back(std::move(compiled));
+  }
+  out.output_schema = std::move(first_schema);
+  return out;
+}
+
+}  // namespace dvms

@@ -1,0 +1,72 @@
+#ifndef DVMS_EVENTS_PATTERN_H_
+#define DVMS_EVENTS_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "events/event.h"
+#include "expr/udf_registry.h"
+#include "parser/ast.h"
+
+namespace dvms {
+
+/// One element of a compiled sequence pattern.
+struct PatternElem {
+  EventType type;
+  std::string alias;
+  bool kleene = false;
+};
+
+/// A plain WHERE predicate, gated on the latest pattern element it
+/// references: it is checked when an event is about to bind that element,
+/// and a failing event is filtered from the input stream (not a reject).
+struct GatedPredicate {
+  ExprPtr expr;     // bound against the slot layout (see CompiledPattern)
+  size_t gate = 0;  // element index at which to evaluate
+};
+
+/// A FORALL/EXISTS predicate over the occurrences of one (typically kleene)
+/// element. FORALL failure triggers the NFA's reject state (transaction
+/// abort); EXISTS must be satisfied by some occurrence before commit.
+struct QuantifiedPredicate {
+  bool forall = true;
+  size_t over_elem = 0;  // which element's occurrences it ranges over
+  ExprPtr expr;          // bound; the variable occupies the extra var slot
+};
+
+/// One RETURN projection statement, emitted whenever its latest referenced
+/// element binds (per occurrence for kleene elements).
+struct CompiledReturn {
+  std::vector<ExprPtr> exprs;  // bound
+  size_t emit_on = 0;          // latest element index referenced
+};
+
+/// An EVENT statement compiled against the event-attribute schema.
+///
+/// Expression slot layout: element i's attributes occupy flat row indexes
+/// [i*A, (i+1)*A) where A = EventAttributeCount(); the quantifier variable
+/// occupies [n*A, (n+1)*A).
+struct CompiledPattern {
+  std::vector<PatternElem> elems;
+  std::vector<GatedPredicate> gates;
+  std::vector<QuantifiedPredicate> quantifiers;
+  std::vector<CompiledReturn> returns;
+  Schema output_schema;
+
+  /// True if `type` appears anywhere in the pattern (the NFA's alphabet).
+  bool InAlphabet(EventType type) const;
+
+  size_t NumElems() const { return elems.size(); }
+};
+
+/// Compiles and validates an EVENT statement:
+///  * event types must be known, aliases unique,
+///  * the last element must be non-repeating (the paper's termination rule),
+///  * all expressions bind against the alias slots,
+///  * all RETURN tuples must be union-compatible (they feed one table).
+Result<CompiledPattern> CompilePattern(const EventStmt& stmt,
+                                       const UdfRegistry* udfs);
+
+}  // namespace dvms
+
+#endif  // DVMS_EVENTS_PATTERN_H_

@@ -1,0 +1,96 @@
+#include "events/recognizer.h"
+
+#include <algorithm>
+
+namespace dvms {
+
+Status EventRecognizer::DefinePattern(const std::string& name,
+                                      const EventStmt& stmt, int priority) {
+  DVMS_ASSIGN_OR_RETURN(CompiledPattern pattern, CompilePattern(stmt, udfs_));
+  DVMS_RETURN_IF_ERROR(catalog_
+                           ->CreateTable(name, pattern.output_schema,
+                                         RelationKind::kEvent)
+                           .status());
+  Entry entry;
+  entry.name = name;
+  entry.matcher =
+      std::make_unique<PatternMatcher>(std::move(pattern), udfs_);
+  entry.statement = stmt;
+  entry.priority = priority;
+  entry.definition_order = entries_.size();
+  entries_.push_back(std::move(entry));
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority > b.priority;
+                     }
+                     return a.definition_order < b.definition_order;
+                   });
+  return Status::OK();
+}
+
+Result<std::vector<EventRecognizer::FeedOutcome>> EventRecognizer::Feed(
+    const InputEvent& event) {
+  std::vector<FeedOutcome> outcomes;
+  for (Entry& entry : entries_) {
+    std::vector<Row> rows;
+    DVMS_ASSIGN_OR_RETURN(MatchAction action,
+                          entry.matcher->Feed(event, &rows));
+    if (action == MatchAction::kNone && rows.empty()) continue;
+    // Exclusive mode: this pattern consumed the event; lower-priority
+    // patterns (later entries) do not see it.
+    const bool consumed = exclusive_;
+
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(entry.name));
+    if (action == MatchAction::kStarted) {
+      // A fresh interaction: clear the compound-event table, then open the
+      // transaction so @vnow-1 refers to the pre-interaction state.
+      table->mutable_current().Clear();
+      table->BeginTransaction();
+    }
+    // Snapshot the pre-event state so `@tnow-j` addresses the table as it
+    // was j events ago within this interaction.
+    if (!rows.empty()) table->RecordStep();
+    for (Row& row : rows) {
+      DVMS_RETURN_IF_ERROR(table->Append(std::move(row)));
+    }
+    if (action == MatchAction::kCommitted) {
+      table->Commit();
+    } else if (action == MatchAction::kAborted) {
+      table->Abort();
+      table->mutable_current().Clear();
+    }
+    FeedOutcome outcome;
+    outcome.table = entry.name;
+    outcome.action = action;
+    outcome.rows_inserted = rows.size();
+    outcomes.push_back(std::move(outcome));
+    if (consumed) break;
+  }
+  return outcomes;
+}
+
+std::vector<std::string> EventRecognizer::PatternNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+Result<const CompiledPattern*> EventRecognizer::GetPattern(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (IdentEquals(entry.name, name)) return &entry.matcher->pattern();
+  }
+  return Status::NotFound("no pattern named '" + name + "'");
+}
+
+Result<const EventStmt*> EventRecognizer::GetStatement(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (IdentEquals(entry.name, name)) return &entry.statement;
+  }
+  return Status::NotFound("no pattern named '" + name + "'");
+}
+
+}  // namespace dvms

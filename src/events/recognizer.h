@@ -1,0 +1,80 @@
+#ifndef DVMS_EVENTS_RECOGNIZER_H_
+#define DVMS_EVENTS_RECOGNIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "events/nfa.h"
+#include "storage/catalog.h"
+
+namespace dvms {
+
+/// The Event Recognizer of Figure 3: compiles EVENT statements into state
+/// machines, matches them against the low-level input stream, and inserts
+/// matches into the corresponding compound-event tables in the storage
+/// manager.
+///
+/// Transaction mapping per pattern:
+///   kStarted   -> the event table is cleared (a fresh interaction) and a
+///                 transaction is opened on it,
+///   kProgress  -> emitted rows are appended; a step version is recorded,
+///   kCommitted -> the event table commits,
+///   kAborted   -> the event table is cleared and the transaction aborts
+///                 (the paper's rollback: clearing C).
+class EventRecognizer {
+ public:
+  EventRecognizer(Catalog* catalog, const UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  /// Compiles `stmt` and creates the compound-event table `name`.
+  /// `priority` orders delivery when exclusive mode is on (higher first;
+  /// ties broken by definition order).
+  Status DefinePattern(const std::string& name, const EventStmt& stmt,
+                       int priority = 0);
+
+  /// One of the paper's ambiguity-resolution rules: with exclusive mode
+  /// on, an event consumed by a higher-priority pattern (any transition —
+  /// start, progress, commit, or abort) is not offered to lower-priority
+  /// patterns. Default off: every pattern sees every event.
+  void set_exclusive(bool exclusive) { exclusive_ = exclusive; }
+  bool exclusive() const { return exclusive_; }
+
+  /// What one pattern did in response to an event.
+  struct FeedOutcome {
+    std::string table;
+    MatchAction action = MatchAction::kNone;
+    size_t rows_inserted = 0;
+  };
+
+  /// Feeds one low-level event to every pattern. Outcomes with
+  /// action == kNone and no insertions are omitted.
+  Result<std::vector<FeedOutcome>> Feed(const InputEvent& event);
+
+  /// Names of all defined patterns (in definition order).
+  std::vector<std::string> PatternNames() const;
+
+  Result<const CompiledPattern*> GetPattern(const std::string& name) const;
+
+  /// The source EVENT statement a pattern was defined from (used for
+  /// composition).
+  Result<const EventStmt*> GetStatement(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<PatternMatcher> matcher;
+    EventStmt statement;
+    int priority = 0;
+    size_t definition_order = 0;
+  };
+
+  Catalog* catalog_;
+  const UdfRegistry* udfs_;
+  std::vector<Entry> entries_;  // kept sorted: priority desc, then order
+  bool exclusive_ = false;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_EVENTS_RECOGNIZER_H_

@@ -1,0 +1,356 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "expr/udf_registry.h"
+
+namespace dvms {
+
+namespace {
+
+Status CheckArity(const std::string& name, const std::vector<Value>& args,
+                  size_t n) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(name + " expects " + std::to_string(n) +
+                                   " arguments, got " +
+                                   std::to_string(args.size()));
+  }
+  return Status::OK();
+}
+
+/// Any-NULL-in -> NULL-out convention for numeric builtins.
+bool AnyNull(const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Result<Value> LinearScale(const std::vector<Value>& args) {
+  // linear_scale(v, domain_min, domain_max, range_min, range_max):
+  // the paper's scale UDF; the scale_x/scale_y relations contribute the
+  // domain/range bounds via a join.
+  DVMS_RETURN_IF_ERROR(CheckArity("linear_scale", args, 5));
+  if (AnyNull(args)) return Value::Null();
+  double vals[5];
+  for (int i = 0; i < 5; ++i) {
+    DVMS_ASSIGN_OR_RETURN(vals[i], args[i].AsDouble());
+  }
+  double domain = vals[2] - vals[1];
+  if (domain == 0.0) return Value::Double(vals[3]);
+  double t = (vals[0] - vals[1]) / domain;
+  return Value::Double(vals[3] + t * (vals[4] - vals[3]));
+}
+
+Result<Value> LogScale(const std::vector<Value>& args) {
+  // log_scale(v, domain_min, domain_max, range_min, range_max): positions
+  // v on a logarithmic axis. Domain must be positive.
+  DVMS_RETURN_IF_ERROR(CheckArity("log_scale", args, 5));
+  if (AnyNull(args)) return Value::Null();
+  double vals[5];
+  for (int i = 0; i < 5; ++i) {
+    DVMS_ASSIGN_OR_RETURN(vals[i], args[i].AsDouble());
+  }
+  if (vals[0] <= 0 || vals[1] <= 0 || vals[2] <= 0) {
+    return Status::InvalidArgument("log_scale requires a positive domain");
+  }
+  double span = std::log(vals[2]) - std::log(vals[1]);
+  if (span == 0.0) return Value::Double(vals[3]);
+  double t = (std::log(vals[0]) - std::log(vals[1])) / span;
+  return Value::Double(vals[3] + t * (vals[4] - vals[3]));
+}
+
+Result<Value> SqrtScale(const std::vector<Value>& args) {
+  // sqrt_scale(v, domain_min, domain_max, range_min, range_max): square
+  // root axis (area-true circle sizing).
+  DVMS_RETURN_IF_ERROR(CheckArity("sqrt_scale", args, 5));
+  if (AnyNull(args)) return Value::Null();
+  double vals[5];
+  for (int i = 0; i < 5; ++i) {
+    DVMS_ASSIGN_OR_RETURN(vals[i], args[i].AsDouble());
+  }
+  if (vals[0] < 0 || vals[1] < 0 || vals[2] < 0) {
+    return Status::InvalidArgument("sqrt_scale requires a non-negative domain");
+  }
+  double span = std::sqrt(vals[2]) - std::sqrt(vals[1]);
+  if (span == 0.0) return Value::Double(vals[3]);
+  double t = (std::sqrt(vals[0]) - std::sqrt(vals[1])) / span;
+  return Value::Double(vals[3] + t * (vals[4] - vals[3]));
+}
+
+Result<Value> LerpColor(const std::vector<Value>& args) {
+  // lerp_color(t, '#rrggbb', '#rrggbb') -> '#rrggbb' interpolated; t
+  // clamped to [0, 1]. Enables continuous visual encodings from queries.
+  DVMS_RETURN_IF_ERROR(CheckArity("lerp_color", args, 3));
+  if (AnyNull(args)) return Value::Null();
+  DVMS_ASSIGN_OR_RETURN(double t, args[0].AsDouble());
+  t = std::clamp(t, 0.0, 1.0);
+  auto parse_hex = [](const std::string& s, int out[3]) -> Status {
+    if (s.size() != 7 || s[0] != '#') {
+      return Status::InvalidArgument("lerp_color expects '#rrggbb' colors");
+    }
+    for (int i = 0; i < 3; ++i) {
+      out[i] = std::stoi(s.substr(1 + 2 * static_cast<size_t>(i), 2), nullptr, 16);
+    }
+    return Status::OK();
+  };
+  if (args[1].type() != ValueType::kString ||
+      args[2].type() != ValueType::kString) {
+    return Status::TypeError("lerp_color expects string colors");
+  }
+  int a[3], b[3];
+  DVMS_RETURN_IF_ERROR(parse_hex(args[1].string_value(), a));
+  DVMS_RETURN_IF_ERROR(parse_hex(args[2].string_value(), b));
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x",
+                static_cast<int>(a[0] + t * (b[0] - a[0]) + 0.5),
+                static_cast<int>(a[1] + t * (b[1] - a[1]) + 0.5),
+                static_cast<int>(a[2] + t * (b[2] - a[2]) + 0.5));
+  return Value::String(buf);
+}
+
+Result<Value> InvLinearScale(const std::vector<Value>& args) {
+  // inv_linear_scale(pixel, domain_min, domain_max, range_min, range_max):
+  // maps a pixel coordinate back into the data domain (hit testing).
+  DVMS_RETURN_IF_ERROR(CheckArity("inv_linear_scale", args, 5));
+  if (AnyNull(args)) return Value::Null();
+  double vals[5];
+  for (int i = 0; i < 5; ++i) {
+    DVMS_ASSIGN_OR_RETURN(vals[i], args[i].AsDouble());
+  }
+  double range = vals[4] - vals[3];
+  if (range == 0.0) return Value::Double(vals[1]);
+  double t = (vals[0] - vals[3]) / range;
+  return Value::Double(vals[1] + t * (vals[2] - vals[1]));
+}
+
+Result<Value> BandScale(const std::vector<Value>& args) {
+  // band_scale(index, count, range_min, range_max, padding) -> left edge of
+  // band `index` among `count` equal bands across [range_min, range_max).
+  DVMS_RETURN_IF_ERROR(CheckArity("band_scale", args, 5));
+  if (AnyNull(args)) return Value::Null();
+  DVMS_ASSIGN_OR_RETURN(int64_t index, args[0].AsInt());
+  DVMS_ASSIGN_OR_RETURN(int64_t count, args[1].AsInt());
+  DVMS_ASSIGN_OR_RETURN(double lo, args[2].AsDouble());
+  DVMS_ASSIGN_OR_RETURN(double hi, args[3].AsDouble());
+  DVMS_ASSIGN_OR_RETURN(double padding, args[4].AsDouble());
+  if (count <= 0) return Status::InvalidArgument("band_scale: count <= 0");
+  double band = (hi - lo) / static_cast<double>(count);
+  return Value::Double(lo + band * static_cast<double>(index) +
+                       band * padding * 0.5);
+}
+
+Result<Value> BandWidth(const std::vector<Value>& args) {
+  // band_width(count, range_min, range_max, padding) -> usable band width.
+  DVMS_RETURN_IF_ERROR(CheckArity("band_width", args, 4));
+  if (AnyNull(args)) return Value::Null();
+  DVMS_ASSIGN_OR_RETURN(int64_t count, args[0].AsInt());
+  DVMS_ASSIGN_OR_RETURN(double lo, args[1].AsDouble());
+  DVMS_ASSIGN_OR_RETURN(double hi, args[2].AsDouble());
+  DVMS_ASSIGN_OR_RETURN(double padding, args[3].AsDouble());
+  if (count <= 0) return Status::InvalidArgument("band_width: count <= 0");
+  double band = (hi - lo) / static_cast<double>(count);
+  return Value::Double(band * (1.0 - padding));
+}
+
+Result<Value> InRectangle(const std::vector<Value>& args) {
+  // in_rectangle(px, py, x0, y0, x1, y1): the paper's hit-test predicate.
+  // The rectangle corners may arrive in any order (drag direction).
+  DVMS_RETURN_IF_ERROR(CheckArity("in_rectangle", args, 6));
+  if (AnyNull(args)) return Value::Bool(false);
+  double v[6];
+  for (int i = 0; i < 6; ++i) {
+    DVMS_ASSIGN_OR_RETURN(v[i], args[i].AsDouble());
+  }
+  double x0 = std::min(v[2], v[4]);
+  double x1 = std::max(v[2], v[4]);
+  double y0 = std::min(v[3], v[5]);
+  double y1 = std::max(v[3], v[5]);
+  return Value::Bool(v[0] >= x0 && v[0] <= x1 && v[1] >= y0 && v[1] <= y1);
+}
+
+template <typename F>
+Result<Value> Numeric1(const std::string& name, const std::vector<Value>& args,
+                       F f) {
+  DVMS_RETURN_IF_ERROR(CheckArity(name, args, 1));
+  if (AnyNull(args)) return Value::Null();
+  DVMS_ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+  return Value::Double(f(x));
+}
+
+template <typename F>
+Result<Value> Numeric2(const std::string& name, const std::vector<Value>& args,
+                       F f) {
+  DVMS_RETURN_IF_ERROR(CheckArity(name, args, 2));
+  if (AnyNull(args)) return Value::Null();
+  DVMS_ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+  DVMS_ASSIGN_OR_RETURN(double y, args[1].AsDouble());
+  return Value::Double(f(x, y));
+}
+
+Result<Value> If(const std::vector<Value>& args) {
+  DVMS_RETURN_IF_ERROR(CheckArity("if", args, 3));
+  return args[0].IsTruthy() ? args[1] : args[2];
+}
+
+Result<Value> Concat(const std::vector<Value>& args) {
+  std::string out;
+  for (const Value& v : args) {
+    if (!v.is_null()) out += v.ToString();
+  }
+  return Value::String(std::move(out));
+}
+
+}  // namespace
+
+UdfRegistry UdfRegistry::WithBuiltins() {
+  UdfRegistry reg;
+  auto add_typed =
+      [&reg](const char* name, int arity, ValueType return_type,
+             std::function<Result<Value>(const std::vector<Value>&)> fn) {
+        ScalarUdf udf;
+        udf.name = name;
+        udf.arity = arity;
+        udf.pure = true;
+        udf.return_type = return_type;
+        udf.fn = std::move(fn);
+        // Builtins are registered once into a fresh registry; failure would
+        // be a programming error, so the status is intentionally ignored.
+        (void)reg.RegisterScalar(std::move(udf));
+      };
+  auto add = [&add_typed](
+                 const char* name, int arity,
+                 std::function<Result<Value>(const std::vector<Value>&)> fn) {
+    add_typed(name, arity, ValueType::kDouble, std::move(fn));
+  };
+
+  add("linear_scale", 5, LinearScale);
+  add("log_scale", 5, LogScale);
+  add("sqrt_scale", 5, SqrtScale);
+  add("inv_linear_scale", 5, InvLinearScale);
+  add_typed("lerp_color", 3, ValueType::kString, LerpColor);
+  add("band_scale", 5, BandScale);
+  add("band_width", 4, BandWidth);
+  add_typed("in_rectangle", 6, ValueType::kBool, InRectangle);
+  add("abs", 1, [](const std::vector<Value>& a) {
+    return Numeric1("abs", a, [](double x) { return std::abs(x); });
+  });
+  add("floor", 1, [](const std::vector<Value>& a) {
+    return Numeric1("floor", a, [](double x) { return std::floor(x); });
+  });
+  add("ceil", 1, [](const std::vector<Value>& a) {
+    return Numeric1("ceil", a, [](double x) { return std::ceil(x); });
+  });
+  add("round", 1, [](const std::vector<Value>& a) {
+    return Numeric1("round", a, [](double x) { return std::round(x); });
+  });
+  add("sqrt", 1, [](const std::vector<Value>& a) {
+    return Numeric1("sqrt", a, [](double x) { return std::sqrt(x); });
+  });
+  add("log", 1, [](const std::vector<Value>& a) {
+    return Numeric1("log", a, [](double x) { return std::log(x); });
+  });
+  add("pow", 2, [](const std::vector<Value>& a) {
+    return Numeric2("pow", a, [](double x, double y) { return std::pow(x, y); });
+  });
+  add("min2", 2, [](const std::vector<Value>& a) {
+    return Numeric2("min2", a, [](double x, double y) { return std::min(x, y); });
+  });
+  add("max2", 2, [](const std::vector<Value>& a) {
+    return Numeric2("max2", a, [](double x, double y) { return std::max(x, y); });
+  });
+  add("clamp", 3, [](const std::vector<Value>& a) -> Result<Value> {
+    DVMS_RETURN_IF_ERROR(CheckArity("clamp", a, 3));
+    if (AnyNull(a)) return Value::Null();
+    DVMS_ASSIGN_OR_RETURN(double x, a[0].AsDouble());
+    DVMS_ASSIGN_OR_RETURN(double lo, a[1].AsDouble());
+    DVMS_ASSIGN_OR_RETURN(double hi, a[2].AsDouble());
+    return Value::Double(std::clamp(x, lo, hi));
+  });
+  add("if", 3, If);
+  add_typed("concat", -1, ValueType::kString, Concat);
+  // ---- Builtin table UDFs (layout computations, per the paper's
+  // ---- implementation section) ----
+
+  // layout_stack: contract — column 0 is the stack key, column 1 is a
+  // numeric value; appends running (y0, y1) extents per key, in row order.
+  // Turns a (category, value, ...) relation into stacked-bar geometry.
+  {
+    TableUdf stack;
+    stack.name = "layout_stack";
+    stack.schema_fn = [](const Schema& in) -> Result<Schema> {
+      if (in.num_columns() < 2) {
+        return Status::InvalidArgument(
+            "layout_stack needs at least (key, value) columns");
+      }
+      Schema out = in;
+      out.AddColumn({"y0", ValueType::kDouble});
+      out.AddColumn({"y1", ValueType::kDouble});
+      return out;
+    };
+    stack.fn = [](const Table& in,
+                  const std::vector<Value>&) -> Result<Table> {
+      DVMS_ASSIGN_OR_RETURN(Schema schema, [&in]() -> Result<Schema> {
+        if (in.schema().num_columns() < 2) {
+          return Status::InvalidArgument(
+              "layout_stack needs at least (key, value) columns");
+        }
+        Schema out = in.schema();
+        out.AddColumn({"y0", ValueType::kDouble});
+        out.AddColumn({"y1", ValueType::kDouble});
+        return out;
+      }());
+      Table out(schema);
+      std::unordered_map<std::string, double> offsets;
+      for (const Row& row : in.rows()) {
+        DVMS_ASSIGN_OR_RETURN(double v, row[1].is_null()
+                                            ? Result<double>(0.0)
+                                            : row[1].AsDouble());
+        double& offset = offsets[row[0].ToString()];
+        Row extended = row;
+        extended.push_back(Value::Double(offset));
+        extended.push_back(Value::Double(offset + v));
+        offset += v;
+        out.AppendUnchecked(std::move(extended));
+      }
+      return out;
+    };
+    (void)reg.RegisterTable(std::move(stack));
+  }
+
+  // layout_index: appends a 0-based row index column (`idx`), the bridge
+  // from arbitrary relations to band_scale positioning.
+  {
+    TableUdf index;
+    index.name = "layout_index";
+    index.schema_fn = [](const Schema& in) -> Result<Schema> {
+      Schema out = in;
+      out.AddColumn({"idx", ValueType::kInt64});
+      return out;
+    };
+    index.fn = [](const Table& in,
+                  const std::vector<Value>&) -> Result<Table> {
+      Schema schema = in.schema();
+      schema.AddColumn({"idx", ValueType::kInt64});
+      Table out(schema);
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        Row extended = in.row(i);
+        extended.push_back(Value::Int(static_cast<int64_t>(i)));
+        out.AppendUnchecked(std::move(extended));
+      }
+      return out;
+    };
+    (void)reg.RegisterTable(std::move(index));
+  }
+
+  add_typed("length", 1, ValueType::kInt64,
+            [](const std::vector<Value>& a) -> Result<Value> {
+              DVMS_RETURN_IF_ERROR(CheckArity("length", a, 1));
+              if (a[0].is_null()) return Value::Null();
+              return Value::Int(static_cast<int64_t>(a[0].ToString().size()));
+            });
+  return reg;
+}
+
+}  // namespace dvms

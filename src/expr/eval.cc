@@ -1,0 +1,191 @@
+#include "expr/eval.h"
+
+#include <cmath>
+
+#include "common/schema.h"
+
+namespace dvms {
+
+namespace {
+
+bool BothInts(const Value& a, const Value& b) {
+  return a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64;
+}
+
+}  // namespace
+
+Result<Value> ApplyBinary(BinaryOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      // String + string concatenates.
+      if (op == BinaryOp::kAdd && lhs.type() == ValueType::kString &&
+          rhs.type() == ValueType::kString) {
+        return Value::String(lhs.string_value() + rhs.string_value());
+      }
+      if (BothInts(lhs, rhs)) {
+        int64_t a = lhs.int_value(), b = rhs.int_value();
+        switch (op) {
+          case BinaryOp::kAdd:
+            return Value::Int(a + b);
+          case BinaryOp::kSub:
+            return Value::Int(a - b);
+          case BinaryOp::kMul:
+            return Value::Int(a * b);
+          case BinaryOp::kDiv:
+            if (b == 0) return Status::ExecutionError("integer division by zero");
+            return Value::Int(a / b);
+          default:
+            if (b == 0) return Status::ExecutionError("integer modulo by zero");
+            return Value::Int(a % b);
+        }
+      }
+      DVMS_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+      DVMS_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::Double(a + b);
+        case BinaryOp::kSub:
+          return Value::Double(a - b);
+        case BinaryOp::kMul:
+          return Value::Double(a * b);
+        case BinaryOp::kDiv:
+          if (b == 0.0) return Status::ExecutionError("division by zero");
+          return Value::Double(a / b);
+        default:
+          if (b == 0.0) return Status::ExecutionError("modulo by zero");
+          return Value::Double(std::fmod(a, b));
+      }
+    }
+    case BinaryOp::kEq:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(lhs.Equals(rhs));
+    case BinaryOp::kNe:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(!lhs.Equals(rhs));
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      int c = lhs.Compare(rhs);
+      switch (op) {
+        case BinaryOp::kLt:
+          return Value::Bool(c < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(c > 0);
+        default:
+          return Value::Bool(c >= 0);
+      }
+    }
+    case BinaryOp::kAnd:
+      return Value::Bool(lhs.IsTruthy() && rhs.IsTruthy());
+    case BinaryOp::kOr:
+      return Value::Bool(lhs.IsTruthy() || rhs.IsTruthy());
+  }
+  return Status::Internal("unknown binary operator");
+}
+
+Result<Value> EvalExpr(const Expr& expr, const Row& row,
+                       const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      if (expr.resolved_index < 0) {
+        return Status::BindError("unresolved column reference '" +
+                                 expr.ToString() + "'");
+      }
+      size_t idx = static_cast<size_t>(expr.resolved_index);
+      if (idx >= row.size()) {
+        return Status::Internal("column index " + std::to_string(idx) +
+                                " out of range for row of width " +
+                                std::to_string(row.size()));
+      }
+      return row[idx];
+    }
+    case ExprKind::kUnary: {
+      DVMS_ASSIGN_OR_RETURN(Value child, EvalExpr(*expr.children[0], row, ctx));
+      if (expr.unary_op == UnaryOp::kNot) {
+        return Value::Bool(!child.IsTruthy());
+      }
+      if (child.is_null()) return Value::Null();
+      if (child.type() == ValueType::kInt64) {
+        return Value::Int(-child.int_value());
+      }
+      DVMS_ASSIGN_OR_RETURN(double d, child.AsDouble());
+      return Value::Double(-d);
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit AND/OR on the truthiness of the left side.
+      if (expr.binary_op == BinaryOp::kAnd || expr.binary_op == BinaryOp::kOr) {
+        DVMS_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row, ctx));
+        bool left = lhs.IsTruthy();
+        if (expr.binary_op == BinaryOp::kAnd && !left) return Value::Bool(false);
+        if (expr.binary_op == BinaryOp::kOr && left) return Value::Bool(true);
+        DVMS_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row, ctx));
+        return Value::Bool(rhs.IsTruthy());
+      }
+      DVMS_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row, ctx));
+      DVMS_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row, ctx));
+      return ApplyBinary(expr.binary_op, lhs, rhs);
+    }
+    case ExprKind::kFunctionCall: {
+      if (ctx.udfs == nullptr) {
+        return Status::BindError("no UDF registry available for call to '" +
+                                 expr.function_name + "'");
+      }
+      DVMS_ASSIGN_OR_RETURN(const ScalarUdf* udf,
+                            ctx.udfs->FindScalar(expr.function_name));
+      if (udf->arity >= 0 &&
+          static_cast<size_t>(udf->arity) != expr.children.size()) {
+        return Status::InvalidArgument(
+            "UDF '" + expr.function_name + "' expects " +
+            std::to_string(udf->arity) + " args, got " +
+            std::to_string(expr.children.size()));
+      }
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const auto& c : expr.children) {
+        DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*c, row, ctx));
+        args.push_back(std::move(v));
+      }
+      return udf->fn(args);
+    }
+    case ExprKind::kAggregateCall:
+      return Status::BindError(
+          "aggregate '" + expr.ToString() +
+          "' cannot be evaluated as a scalar expression (missing GROUP BY "
+          "lowering?)");
+    case ExprKind::kInRelation: {
+      if (ctx.in_sets == nullptr) {
+        return Status::Internal("IN-relation set for '" + expr.in_relation +
+                                "' was not materialized");
+      }
+      auto it = ctx.in_sets->find(IdentKey(expr.in_relation));
+      if (it == ctx.in_sets->end()) {
+        return Status::Internal("IN-relation set for '" + expr.in_relation +
+                                "' was not materialized");
+      }
+      DVMS_ASSIGN_OR_RETURN(Value needle, EvalExpr(*expr.children[0], row, ctx));
+      if (needle.is_null()) return Value::Bool(false);
+      bool found = it->second->count(needle) > 0;
+      return Value::Bool(expr.negated ? !found : found);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Row& row,
+                           const EvalContext& ctx) {
+  DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, row, ctx));
+  return v.IsTruthy();
+}
+
+}  // namespace dvms

@@ -1,0 +1,53 @@
+#ifndef DVMS_EXPR_EVAL_H_
+#define DVMS_EXPR_EVAL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "expr/expr.h"
+#include "expr/udf_registry.h"
+
+namespace dvms {
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+
+/// A hashed set of values, used to evaluate `IN <relation>` predicates
+/// against a materialized single-column relation.
+using ValueSet = std::unordered_set<Value, ValueHash, ValueEq>;
+
+/// Everything an expression needs besides the input row. `in_sets` maps
+/// IdentKey(relation-name) -> materialized first-column set for IN
+/// predicates; callers populate it before evaluation (see
+/// Executor::CollectInSets).
+struct EvalContext {
+  const UdfRegistry* udfs = nullptr;
+  const std::unordered_map<std::string, std::shared_ptr<const ValueSet>>*
+      in_sets = nullptr;
+};
+
+/// Evaluates a bound expression against `row`. Column references must have
+/// resolved_index set (see Binder). Aggregate calls are a bind-time error
+/// here; they are evaluated by the Aggregate operator.
+Result<Value> EvalExpr(const Expr& expr, const Row& row,
+                       const EvalContext& ctx);
+
+/// Evaluates `expr` as a predicate: NULL and errors-of-type collapse to
+/// false per DeVIL's predicate semantics.
+Result<bool> EvalPredicate(const Expr& expr, const Row& row,
+                           const EvalContext& ctx);
+
+/// Applies a binary operator to two values (exposed for unit tests).
+Result<Value> ApplyBinary(BinaryOp op, const Value& lhs, const Value& rhs);
+
+}  // namespace dvms
+
+#endif  // DVMS_EXPR_EVAL_H_

@@ -1,0 +1,185 @@
+#include "expr/expr.h"
+
+namespace dvms {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.type() == ValueType::kString) {
+        return "'" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kUnary:
+      return std::string(unary_op == UnaryOp::kNot ? "NOT " : "-") +
+             children[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             BinaryOpToString(binary_op) + " " + children[1]->ToString() + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kAggregateCall:
+      if (count_star) return "COUNT(*)";
+      return std::string(AggFuncToString(agg_func)) + "(" +
+             children[0]->ToString() + ")";
+    case ExprKind::kInRelation:
+      return children[0]->ToString() + (negated ? " NOT IN " : " IN ") +
+             in_relation;
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregateCall) return true;
+  for (const auto& c : children) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+void Expr::CollectInRelations(std::vector<std::string>* out) const {
+  if (kind == ExprKind::kInRelation) out->push_back(in_relation);
+  for (const auto& c : children) c->CollectInRelations(out);
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string column) {
+  return MakeColumnRef("", std::move(column));
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->function_name = std::move(function);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr MakeAggregate(AggFunc func, ExprPtr arg) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggregateCall;
+  e->agg_func = func;
+  e->children.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr MakeCountStar() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggregateCall;
+  e->agg_func = AggFunc::kCount;
+  e->count_star = true;
+  return e;
+}
+
+ExprPtr MakeInRelation(ExprPtr needle, std::string relation, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInRelation;
+  e->in_relation = std::move(relation);
+  e->negated = negated;
+  e->children.push_back(std::move(needle));
+  return e;
+}
+
+ExprPtr MakeConjunction(std::vector<ExprPtr> terms) {
+  if (terms.empty()) return MakeLiteral(Value::Bool(true));
+  ExprPtr out = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    out = MakeBinary(BinaryOp::kAnd, out, terms[i]);
+  }
+  return out;
+}
+
+ExprPtr CloneExpr(const ExprPtr& e) {
+  auto out = std::make_shared<Expr>(*e);
+  out->children.clear();
+  for (const auto& c : e->children) out->children.push_back(CloneExpr(c));
+  return out;
+}
+
+}  // namespace dvms

@@ -1,0 +1,115 @@
+#ifndef DVMS_EXPR_EXPR_H_
+#define DVMS_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dvms {
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kFunctionCall,   // scalar UDF / builtin
+  kAggregateCall,  // SUM/COUNT/AVG/MIN/MAX — only valid in projections
+  kInRelation,     // <expr> [NOT] IN <relation-name>
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+enum class AggFunc { kSum, kCount, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc func);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// A node in the (bound or unbound) scalar-expression tree.
+///
+/// Column references carry an optional qualifier (`Sales.revenue`). Binding
+/// resolves them to a flat index into the executor's concatenated input row
+/// (`resolved_index`).
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string qualifier;  // may be empty
+  std::string column;
+  int resolved_index = -1;  // set by the binder
+  ValueType resolved_type = ValueType::kNull;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kAnd;
+
+  // kFunctionCall
+  std::string function_name;
+
+  // kAggregateCall
+  AggFunc agg_func = AggFunc::kCount;
+  bool count_star = false;
+
+  // kInRelation
+  std::string in_relation;
+  bool negated = false;
+
+  std::vector<ExprPtr> children;
+
+  /// Pretty-prints the expression (for error messages and plan dumps).
+  std::string ToString() const;
+
+  /// True if any node in this subtree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Collects the names of relations referenced via IN/NOT IN.
+  void CollectInRelations(std::vector<std::string>* out) const;
+};
+
+// ---- Construction helpers (used by the parser, tests, and programmatic
+// ---- plan building) ----
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeColumnRef(std::string column);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args);
+ExprPtr MakeAggregate(AggFunc func, ExprPtr arg);
+ExprPtr MakeCountStar();
+ExprPtr MakeInRelation(ExprPtr needle, std::string relation, bool negated);
+
+/// Conjunction of `terms` (returns TRUE literal when empty).
+ExprPtr MakeConjunction(std::vector<ExprPtr> terms);
+
+/// Deep copy.
+ExprPtr CloneExpr(const ExprPtr& e);
+
+}  // namespace dvms
+
+#endif  // DVMS_EXPR_EXPR_H_

@@ -1,0 +1,51 @@
+#include "expr/udf_registry.h"
+
+#include "common/schema.h"
+
+namespace dvms {
+
+Status UdfRegistry::RegisterScalar(ScalarUdf udf) {
+  std::string key = IdentKey(udf.name);
+  if (scalar_.count(key) > 0) {
+    return Status::AlreadyExists("scalar UDF '" + udf.name +
+                                 "' already registered");
+  }
+  scalar_.emplace(std::move(key), std::move(udf));
+  return Status::OK();
+}
+
+Status UdfRegistry::RegisterTable(TableUdf udf) {
+  std::string key = IdentKey(udf.name);
+  if (table_.count(key) > 0) {
+    return Status::AlreadyExists("table UDF '" + udf.name +
+                                 "' already registered");
+  }
+  table_.emplace(std::move(key), std::move(udf));
+  return Status::OK();
+}
+
+Result<const ScalarUdf*> UdfRegistry::FindScalar(const std::string& name) const {
+  auto it = scalar_.find(IdentKey(name));
+  if (it == scalar_.end()) {
+    return Status::NotFound("no scalar UDF named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<const TableUdf*> UdfRegistry::FindTable(const std::string& name) const {
+  auto it = table_.find(IdentKey(name));
+  if (it == table_.end()) {
+    return Status::NotFound("no table UDF named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool UdfRegistry::HasScalar(const std::string& name) const {
+  return scalar_.count(IdentKey(name)) > 0;
+}
+
+bool UdfRegistry::HasTable(const std::string& name) const {
+  return table_.count(IdentKey(name)) > 0;
+}
+
+}  // namespace dvms

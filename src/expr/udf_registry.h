@@ -1,0 +1,66 @@
+#ifndef DVMS_EXPR_UDF_REGISTRY_H_
+#define DVMS_EXPR_UDF_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace dvms {
+
+/// A scalar (record) UDF: values in, value out. DeVIL restricts UDFs to pure
+/// functions without side effects; the registry records purity and the
+/// binder rejects impure scalar UDFs inside view definitions.
+struct ScalarUdf {
+  std::string name;
+  /// -1 means variadic.
+  int arity = -1;
+  bool pure = true;
+  /// Static return type used by the binder for type inference.
+  ValueType return_type = ValueType::kDouble;
+  std::function<Result<Value>(const std::vector<Value>&)> fn;
+};
+
+/// A table UDF: relation in, relation out (e.g. layout computations). The
+/// only side-effecting table UDF in DeVIL is `render`, which is handled
+/// separately by the render subsystem, not through this registry.
+struct TableUdf {
+  std::string name;
+  bool pure = true;
+  /// Output schema given the input schema (needed at view-definition time,
+  /// before any rows exist).
+  std::function<Result<Schema>(const Schema&)> schema_fn;
+  std::function<Result<Table>(const Table&, const std::vector<Value>&)> fn;
+};
+
+/// Case-insensitive registry of scalar and table UDFs.
+class UdfRegistry {
+ public:
+  /// A registry pre-populated with the builtin scalar functions (see
+  /// expr/builtin_udfs.cc): linear_scale, log_scale, sqrt_scale,
+  /// in_rectangle, band_scale, lerp_color, abs, floor, ceil, round, sqrt,
+  /// pow, log, min2, max2, clamp, concat, length, if, ... and the builtin
+  /// table UDFs: layout_stack, layout_index.
+  static UdfRegistry WithBuiltins();
+
+  Status RegisterScalar(ScalarUdf udf);
+  Status RegisterTable(TableUdf udf);
+
+  Result<const ScalarUdf*> FindScalar(const std::string& name) const;
+  Result<const TableUdf*> FindTable(const std::string& name) const;
+
+  bool HasScalar(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, ScalarUdf> scalar_;
+  std::unordered_map<std::string, TableUdf> table_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_EXPR_UDF_REGISTRY_H_

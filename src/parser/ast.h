@@ -1,0 +1,153 @@
+#ifndef DVMS_PARSER_AST_H_
+#define DVMS_PARSER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "expr/expr.h"
+#include "query/plan.h"
+
+namespace dvms {
+
+struct SelectStmt;
+
+/// A relation in a FROM clause, e.g. `SPLOT_POINTS@vnow-1 AS SP`, or a
+/// derived table `(SELECT ... MINUS ...) AS S`.
+struct TableRef {
+  std::string name;
+  VersionRef version;
+  std::string alias;  // defaults to name
+  /// Non-null for a derived table; `name` is empty then.
+  std::shared_ptr<SelectStmt> subquery;
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+/// One projection in a SELECT list. Either an expression with an optional
+/// alias, `*`, or `alias.*`.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool star = false;
+  std::string star_qualifier;  // for `alias.*`
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// One SELECT ... FROM ... block.
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+};
+
+enum class SetOp { kUnion, kUnionAll, kMinus };
+
+/// A full select statement: cores combined with UNION / UNION ALL / MINUS.
+struct SelectStmt {
+  std::vector<SelectCore> cores;
+  std::vector<SetOp> ops;  // ops[i] combines cores[i] and cores[i+1]
+};
+
+// ---- EVENT statements (DeVIL 2) ----
+
+/// One element of an event-sequence pattern, e.g. `MOUSE_MOVE* AS M`.
+struct EventElem {
+  std::string event_type;
+  std::string alias;  // may be empty
+  bool kleene = false;
+};
+
+/// A predicate in an EVENT ... WHERE clause. Plain predicates filter events
+/// out of the input stream; FORALL/EXISTS trigger a reject (transaction
+/// abort) when they fail.
+struct EventPredicate {
+  enum class Kind { kPlain, kForall, kExists };
+  Kind kind = Kind::kPlain;
+  std::string var;         // bound variable for FORALL/EXISTS
+  std::string over_alias;  // the (kleene) element the quantifier ranges over
+  ExprPtr expr;
+};
+
+/// One projection inside a RETURN tuple.
+struct ReturnField {
+  ExprPtr expr;
+  std::string alias;
+};
+
+/// One parenthesized projection statement in a RETURN clause.
+struct ReturnTuple {
+  std::vector<ReturnField> fields;
+};
+
+struct EventStmt {
+  std::vector<EventElem> elems;
+  std::vector<EventPredicate> predicates;
+  std::vector<ReturnTuple> returns;
+};
+
+// ---- TRACE statements (DeVIL 4) ----
+
+struct TraceStmt {
+  bool backward = true;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::string target_relation;
+};
+
+// ---- Top-level statements ----
+
+struct Statement {
+  enum class Kind {
+    kViewDef,      // NAME = SELECT ...           (render flag optional)
+    kEventDef,     // NAME = EVENT ...
+    kTraceDef,     // NAME = BACKWARD/FORWARD TRACE ...
+    kCreateTable,  // CREATE TABLE name (col TYPE, ...)
+    kInsert,       // INSERT INTO name VALUES (...), (...)
+    kDelete,       // DELETE FROM name [WHERE expr]
+  };
+  Kind kind = Kind::kViewDef;
+  std::string target_name;
+
+  /// True for `NAME = render(SELECT ...)`: the view is a marks relation and
+  /// its updates are pushed to the rasterizer.
+  bool render = false;
+
+  /// Non-empty for `NAME = some_table_udf(SELECT ...)`: the named table
+  /// UDF post-processes the select's result (layout computations).
+  std::string table_udf;
+
+  SelectStmt select;
+  EventStmt event;
+  TraceStmt trace;
+
+  // kCreateTable
+  Schema create_schema;
+
+  // kInsert
+  std::vector<Row> insert_rows;
+
+  // kDelete
+  ExprPtr delete_where;  // may be null (delete all rows)
+};
+
+struct Program {
+  std::vector<Statement> statements;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_PARSER_AST_H_

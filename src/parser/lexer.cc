@@ -1,0 +1,250 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/schema.h"
+
+namespace dvms {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdent && IdentEquals(text, kw);
+}
+
+std::string Token::Describe() const {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier '" + text + "'";
+    case TokenType::kInt:
+      return "integer " + std::to_string(int_value);
+    case TokenType::kDouble:
+      return "number";
+    case TokenType::kString:
+      return "string '" + text + "'";
+    case TokenType::kEof:
+      return "end of input";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1;
+  size_t col = 1;
+  auto make = [&line, &col](TokenType type, std::string text) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = col;
+    return t;
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comments: `--` or the paper's `▷` (UTF-8 0xE2 0x96 0xB7).
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (static_cast<unsigned char>(c) == 0xE2 && i + 2 < source.size() &&
+        static_cast<unsigned char>(source[i + 1]) == 0x96 &&
+        static_cast<unsigned char>(source[i + 2]) == 0xB7) {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      size_t start_col = col;
+      while (i < source.size() && IsIdentChar(source[i])) advance(1);
+      Token t = make(TokenType::kIdent, source.substr(start, i - start));
+      t.column = start_col;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      if (i < source.size() && source[i] == '.' && i + 1 < source.size() &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_double = true;
+        advance(1);
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          advance(1);
+        }
+      }
+      if (i < source.size() && (source[i] == 'e' || source[i] == 'E')) {
+        size_t save = i;
+        advance(1);
+        if (i < source.size() && (source[i] == '+' || source[i] == '-')) {
+          advance(1);
+        }
+        if (i < source.size() &&
+            std::isdigit(static_cast<unsigned char>(source[i]))) {
+          is_double = true;
+          while (i < source.size() &&
+                 std::isdigit(static_cast<unsigned char>(source[i]))) {
+            advance(1);
+          }
+        } else {
+          i = save;  // 'e' belongs to a following identifier
+        }
+      }
+      std::string text = source.substr(start, i - start);
+      Token t = make(is_double ? TokenType::kDouble : TokenType::kInt, text);
+      if (is_double) {
+        t.double_value = std::stod(text);
+      } else {
+        t.int_value = std::stoll(text);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '\'') {
+          if (i + 1 < source.size() && source[i + 1] == '\'') {
+            text += '\'';
+            advance(2);
+            continue;
+          }
+          advance(1);
+          closed = true;
+          break;
+        }
+        text += source[i];
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      tokens.push_back(make(TokenType::kString, std::move(text)));
+      continue;
+    }
+    // Multi-char operators.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    if (two('<', '=')) {
+      tokens.push_back(make(TokenType::kLe, "<="));
+      advance(2);
+      continue;
+    }
+    if (two('>', '=')) {
+      tokens.push_back(make(TokenType::kGe, ">="));
+      advance(2);
+      continue;
+    }
+    if (two('<', '>')) {
+      tokens.push_back(make(TokenType::kNe, "<>"));
+      advance(2);
+      continue;
+    }
+    if (two('!', '=')) {
+      tokens.push_back(make(TokenType::kNe, "!="));
+      advance(2);
+      continue;
+    }
+    TokenType type;
+    switch (c) {
+      case '(':
+        type = TokenType::kLParen;
+        break;
+      case ')':
+        type = TokenType::kRParen;
+        break;
+      case '{':
+        type = TokenType::kLBrace;
+        break;
+      case '}':
+        type = TokenType::kRBrace;
+        break;
+      case ',':
+        type = TokenType::kComma;
+        break;
+      case ';':
+        type = TokenType::kSemicolon;
+        break;
+      case '.':
+        type = TokenType::kDot;
+        break;
+      case '*':
+        type = TokenType::kStar;
+        break;
+      case '+':
+        type = TokenType::kPlus;
+        break;
+      case '-':
+        type = TokenType::kMinus;
+        break;
+      case '/':
+        type = TokenType::kSlash;
+        break;
+      case '%':
+        type = TokenType::kPercent;
+        break;
+      case '=':
+        type = TokenType::kEq;
+        break;
+      case '<':
+        type = TokenType::kLt;
+        break;
+      case '>':
+        type = TokenType::kGt;
+        break;
+      case '@':
+        type = TokenType::kAt;
+        break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at line " +
+                                  std::to_string(line) + ", column " +
+                                  std::to_string(col));
+    }
+    tokens.push_back(make(type, std::string(1, c)));
+    advance(1);
+  }
+  tokens.push_back(make(TokenType::kEof, ""));
+  return tokens;
+}
+
+}  // namespace dvms

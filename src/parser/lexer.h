@@ -1,0 +1,60 @@
+#ifndef DVMS_PARSER_LEXER_H_
+#define DVMS_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dvms {
+
+enum class TokenType {
+  kIdent,
+  kInt,
+  kDouble,
+  kString,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAt,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    // identifier / string contents
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t line = 1;
+  size_t column = 1;
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(const char* kw) const;
+
+  std::string Describe() const;
+};
+
+/// Tokenizes DeVIL source. Comments: `--` to end of line and `▷` to end of
+/// line (the paper's comment marker). String literals use single quotes with
+/// '' as the escape for a quote.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace dvms
+
+#endif  // DVMS_PARSER_LEXER_H_

@@ -1,0 +1,692 @@
+#include "parser/parser.h"
+
+#include "common/schema.h"
+#include "parser/lexer.h"
+
+namespace dvms {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram();
+  Result<SelectStmt> ParseSelectOnly();
+  Result<ExprPtr> ParseExprOnly();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+  bool MatchToken(TokenType type) {
+    if (!Check(type)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectToken(TokenType type, const char* what) {
+    if (MatchToken(type)) return Status::OK();
+    return Error(std::string("expected ") + what);
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(std::string("expected keyword '") + kw + "'");
+  }
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError(message + ", found " + t.Describe() +
+                              " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column));
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (!Check(TokenType::kIdent)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Result<Statement> ParseStatement();
+  Result<Statement> ParseCreateTable();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseDelete();
+  Result<SelectStmt> ParseSelectStmt();
+  Result<SelectCore> ParseSelectCore();
+  Result<TableRef> ParseTableRef();
+  Result<VersionRef> ParseVersionSuffix();
+  Result<EventStmt> ParseEventStmt();
+  Result<TraceStmt> ParseTraceStmt(bool backward);
+  Result<Value> ParseLiteralValue();
+
+  // Expression grammar, loosest binding first.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Value> Parser::ParseLiteralValue() {
+  bool negative = false;
+  if (MatchToken(TokenType::kMinus)) negative = true;
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInt: {
+      Advance();
+      return Value::Int(negative ? -t.int_value : t.int_value);
+    }
+    case TokenType::kDouble: {
+      Advance();
+      return Value::Double(negative ? -t.double_value : t.double_value);
+    }
+    case TokenType::kString:
+      if (negative) return Error("cannot negate a string literal");
+      Advance();
+      return Value::String(t.text);
+    case TokenType::kIdent:
+      if (negative) return Error("cannot negate this literal");
+      if (MatchKeyword("NULL")) return Value::Null();
+      if (MatchKeyword("TRUE")) return Value::Bool(true);
+      if (MatchKeyword("FALSE")) return Value::Bool(false);
+      return Error("expected literal value");
+    default:
+      return Error("expected literal value");
+  }
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  DVMS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    DVMS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = MakeBinary(BinaryOp::kOr, lhs, rhs);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  DVMS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    DVMS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = MakeBinary(BinaryOp::kAnd, lhs, rhs);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    DVMS_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return MakeUnary(UnaryOp::kNot, child);
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  DVMS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  // [NOT] IN relation
+  if (CheckKeyword("NOT") && Peek(1).IsKeyword("IN")) {
+    Advance();
+    Advance();
+    DVMS_ASSIGN_OR_RETURN(std::string rel, ExpectIdent("relation name"));
+    return MakeInRelation(lhs, rel, /*negated=*/true);
+  }
+  if (MatchKeyword("IN")) {
+    DVMS_ASSIGN_OR_RETURN(std::string rel, ExpectIdent("relation name"));
+    return MakeInRelation(lhs, rel, /*negated=*/false);
+  }
+  auto op = [this]() -> std::optional<BinaryOp> {
+    switch (Peek().type) {
+      case TokenType::kEq:
+        return BinaryOp::kEq;
+      case TokenType::kNe:
+        return BinaryOp::kNe;
+      case TokenType::kLt:
+        return BinaryOp::kLt;
+      case TokenType::kLe:
+        return BinaryOp::kLe;
+      case TokenType::kGt:
+        return BinaryOp::kGt;
+      case TokenType::kGe:
+        return BinaryOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }();
+  if (op.has_value()) {
+    Advance();
+    DVMS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return MakeBinary(*op, lhs, rhs);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  DVMS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    BinaryOp op =
+        Check(TokenType::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+    Advance();
+    DVMS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = MakeBinary(op, lhs, rhs);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  DVMS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash) ||
+         Check(TokenType::kPercent)) {
+    BinaryOp op = Check(TokenType::kStar)    ? BinaryOp::kMul
+                  : Check(TokenType::kSlash) ? BinaryOp::kDiv
+                                             : BinaryOp::kMod;
+    Advance();
+    DVMS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = MakeBinary(op, lhs, rhs);
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchToken(TokenType::kMinus)) {
+    DVMS_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+    return MakeUnary(UnaryOp::kNegate, child);
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInt:
+      Advance();
+      return MakeLiteral(Value::Int(t.int_value));
+    case TokenType::kDouble:
+      Advance();
+      return MakeLiteral(Value::Double(t.double_value));
+    case TokenType::kString:
+      Advance();
+      return MakeLiteral(Value::String(t.text));
+    case TokenType::kLParen: {
+      Advance();
+      DVMS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    case TokenType::kIdent:
+      break;
+    default:
+      return Error("expected expression");
+  }
+  // NULL / TRUE / FALSE literals.
+  if (t.IsKeyword("NULL")) {
+    Advance();
+    return MakeLiteral(Value::Null());
+  }
+  if (t.IsKeyword("TRUE")) {
+    Advance();
+    return MakeLiteral(Value::Bool(true));
+  }
+  if (t.IsKeyword("FALSE")) {
+    Advance();
+    return MakeLiteral(Value::Bool(false));
+  }
+
+  std::string name = Advance().text;
+  // Function or aggregate call.
+  if (Check(TokenType::kLParen)) {
+    Advance();
+    auto agg = [&name]() -> std::optional<AggFunc> {
+      if (IdentEquals(name, "SUM")) return AggFunc::kSum;
+      if (IdentEquals(name, "COUNT")) return AggFunc::kCount;
+      if (IdentEquals(name, "AVG")) return AggFunc::kAvg;
+      if (IdentEquals(name, "MIN")) return AggFunc::kMin;
+      if (IdentEquals(name, "MAX")) return AggFunc::kMax;
+      return std::nullopt;
+    }();
+    if (agg.has_value()) {
+      if (*agg == AggFunc::kCount && Check(TokenType::kStar)) {
+        Advance();
+        DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+        return MakeCountStar();
+      }
+      DVMS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+      return MakeAggregate(*agg, arg);
+    }
+    std::vector<ExprPtr> args;
+    if (!Check(TokenType::kRParen)) {
+      do {
+        DVMS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        args.push_back(arg);
+      } while (MatchToken(TokenType::kComma));
+    }
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+    return MakeCall(name, std::move(args));
+  }
+  // Qualified column reference.
+  if (Check(TokenType::kDot) && Peek(1).type == TokenType::kIdent) {
+    Advance();
+    std::string column = Advance().text;
+    return MakeColumnRef(name, column);
+  }
+  return MakeColumnRef(name);
+}
+
+Result<VersionRef> Parser::ParseVersionSuffix() {
+  // Already consumed '@'. Accept `vnow-k`, `{vnow-k}`, `tnow-j`, `{tnow-j}`.
+  bool braced = MatchToken(TokenType::kLBrace);
+  DVMS_ASSIGN_OR_RETURN(std::string kind, ExpectIdent("'vnow' or 'tnow'"));
+  bool vnow;
+  if (IdentEquals(kind, "vnow")) {
+    vnow = true;
+  } else if (IdentEquals(kind, "tnow")) {
+    vnow = false;
+  } else {
+    return Error("expected 'vnow' or 'tnow' after '@'");
+  }
+  size_t offset = 0;
+  if (MatchToken(TokenType::kMinus)) {
+    if (!Check(TokenType::kInt)) return Error("expected version offset");
+    offset = static_cast<size_t>(Advance().int_value);
+  }
+  if (braced) {
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRBrace, "'}'"));
+  }
+  return vnow ? VersionRef::Vnow(offset) : VersionRef::Tnow(offset);
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (MatchToken(TokenType::kLParen)) {
+    // Derived table: either a full subselect or the paper's relational
+    // shorthand `(Sales MINUS B)` desugared to SELECT * cores.
+    auto subquery = std::make_shared<SelectStmt>();
+    if (CheckKeyword("SELECT")) {
+      DVMS_ASSIGN_OR_RETURN(*subquery, ParseSelectStmt());
+    } else {
+      auto star_core = [this]() -> Result<SelectCore> {
+        SelectCore core;
+        SelectItem star;
+        star.star = true;
+        core.items.push_back(std::move(star));
+        DVMS_ASSIGN_OR_RETURN(TableRef inner, ParseTableRef());
+        core.from.push_back(std::move(inner));
+        return core;
+      };
+      DVMS_ASSIGN_OR_RETURN(SelectCore first, star_core());
+      subquery->cores.push_back(std::move(first));
+      while (true) {
+        if (MatchKeyword("MINUS") || MatchKeyword("EXCEPT")) {
+          subquery->ops.push_back(SetOp::kMinus);
+        } else if (MatchKeyword("UNION")) {
+          subquery->ops.push_back(MatchKeyword("ALL") ? SetOp::kUnionAll
+                                                      : SetOp::kUnion);
+        } else {
+          break;
+        }
+        DVMS_ASSIGN_OR_RETURN(SelectCore next, star_core());
+        subquery->cores.push_back(std::move(next));
+      }
+    }
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+    ref.subquery = std::move(subquery);
+    if (MatchKeyword("AS")) {
+      DVMS_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("alias"));
+    } else if (Check(TokenType::kIdent) && !CheckKeyword("WHERE") &&
+               !CheckKeyword("GROUP") && !CheckKeyword("ORDER") &&
+               !CheckKeyword("LIMIT") && !CheckKeyword("UNION") &&
+               !CheckKeyword("MINUS") && !CheckKeyword("TO")) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+  DVMS_ASSIGN_OR_RETURN(ref.name, ExpectIdent("relation name"));
+  if (MatchToken(TokenType::kAt)) {
+    DVMS_ASSIGN_OR_RETURN(ref.version, ParseVersionSuffix());
+  }
+  if (MatchKeyword("AS")) {
+    DVMS_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("alias"));
+  } else if (Check(TokenType::kIdent) && !CheckKeyword("WHERE") &&
+             !CheckKeyword("GROUP") && !CheckKeyword("ORDER") &&
+             !CheckKeyword("LIMIT") && !CheckKeyword("UNION") &&
+             !CheckKeyword("MINUS") && !CheckKeyword("TO")) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<SelectCore> Parser::ParseSelectCore() {
+  SelectCore core;
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  if (MatchKeyword("DISTINCT")) core.distinct = true;
+  do {
+    SelectItem item;
+    if (Check(TokenType::kStar)) {
+      Advance();
+      item.star = true;
+    } else if (Check(TokenType::kIdent) && Peek(1).type == TokenType::kDot &&
+               Peek(2).type == TokenType::kStar) {
+      item.star = true;
+      item.star_qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+    } else {
+      DVMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        DVMS_ASSIGN_OR_RETURN(item.alias, ExpectIdent("projection alias"));
+      }
+    }
+    core.items.push_back(std::move(item));
+  } while (MatchToken(TokenType::kComma));
+
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  do {
+    DVMS_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    core.from.push_back(std::move(ref));
+  } while (MatchToken(TokenType::kComma));
+
+  if (MatchKeyword("WHERE")) {
+    DVMS_ASSIGN_OR_RETURN(core.where, ParseExpr());
+  }
+  if (CheckKeyword("GROUP")) {
+    Advance();
+    DVMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      DVMS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      core.group_by.push_back(e);
+    } while (MatchToken(TokenType::kComma));
+  }
+  if (MatchKeyword("HAVING")) {
+    DVMS_ASSIGN_OR_RETURN(core.having, ParseExpr());
+  }
+  if (CheckKeyword("ORDER")) {
+    Advance();
+    DVMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      DVMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      core.order_by.push_back(std::move(item));
+    } while (MatchToken(TokenType::kComma));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (!Check(TokenType::kInt)) return Error("expected LIMIT count");
+    core.limit = static_cast<size_t>(Advance().int_value);
+  }
+  return core;
+}
+
+Result<SelectStmt> Parser::ParseSelectStmt() {
+  SelectStmt stmt;
+  DVMS_ASSIGN_OR_RETURN(SelectCore core, ParseSelectCore());
+  stmt.cores.push_back(std::move(core));
+  while (true) {
+    if (MatchKeyword("UNION")) {
+      bool all = MatchKeyword("ALL");
+      stmt.ops.push_back(all ? SetOp::kUnionAll : SetOp::kUnion);
+    } else if (MatchKeyword("MINUS") || MatchKeyword("EXCEPT")) {
+      stmt.ops.push_back(SetOp::kMinus);
+    } else {
+      break;
+    }
+    DVMS_ASSIGN_OR_RETURN(SelectCore next, ParseSelectCore());
+    stmt.cores.push_back(std::move(next));
+  }
+  return stmt;
+}
+
+Result<EventStmt> Parser::ParseEventStmt() {
+  EventStmt stmt;
+  // Pattern elements until WHERE or RETURN.
+  do {
+    EventElem elem;
+    DVMS_ASSIGN_OR_RETURN(elem.event_type, ExpectIdent("event type"));
+    if (MatchToken(TokenType::kStar)) elem.kleene = true;
+    if (MatchKeyword("AS")) {
+      DVMS_ASSIGN_OR_RETURN(elem.alias, ExpectIdent("event alias"));
+      // The paper writes `MOUSE_MOVE* AS M*`; a trailing star on the alias
+      // also marks the element as kleene.
+      if (MatchToken(TokenType::kStar)) elem.kleene = true;
+    }
+    stmt.elems.push_back(std::move(elem));
+  } while (MatchToken(TokenType::kComma));
+
+  if (MatchKeyword("WHERE")) {
+    do {
+      EventPredicate pred;
+      if (MatchKeyword("FORALL") ) {
+        pred.kind = EventPredicate::Kind::kForall;
+      } else if (MatchKeyword("EXISTS")) {
+        pred.kind = EventPredicate::Kind::kExists;
+      }
+      if (pred.kind != EventPredicate::Kind::kPlain) {
+        DVMS_ASSIGN_OR_RETURN(pred.var, ExpectIdent("quantifier variable"));
+        DVMS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+        DVMS_ASSIGN_OR_RETURN(pred.over_alias, ExpectIdent("pattern alias"));
+      }
+      DVMS_ASSIGN_OR_RETURN(pred.expr, ParseExpr());
+      stmt.predicates.push_back(std::move(pred));
+    } while (MatchKeyword("AND"));
+  }
+
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("RETURN"));
+  do {
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen, "'('"));
+    ReturnTuple tuple;
+    do {
+      ReturnField field;
+      DVMS_ASSIGN_OR_RETURN(field.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        DVMS_ASSIGN_OR_RETURN(field.alias, ExpectIdent("return alias"));
+      }
+      tuple.fields.push_back(std::move(field));
+    } while (MatchToken(TokenType::kComma));
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+    stmt.returns.push_back(std::move(tuple));
+  } while (MatchToken(TokenType::kComma));
+  return stmt;
+}
+
+Result<TraceStmt> Parser::ParseTraceStmt(bool backward) {
+  TraceStmt stmt;
+  stmt.backward = backward;
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("TRACE"));
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  do {
+    DVMS_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    stmt.from.push_back(std::move(ref));
+  } while (MatchToken(TokenType::kComma));
+  if (MatchKeyword("WHERE")) {
+    DVMS_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+  DVMS_ASSIGN_OR_RETURN(stmt.target_relation, ExpectIdent("target relation"));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseCreateTable() {
+  // CREATE TABLE name (col TYPE, ...)
+  Statement stmt;
+  stmt.kind = Statement::Kind::kCreateTable;
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  DVMS_ASSIGN_OR_RETURN(stmt.target_name, ExpectIdent("table name"));
+  DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen, "'('"));
+  do {
+    DVMS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+    DVMS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent("column type"));
+    ValueType type;
+    if (IdentEquals(type_name, "INT") || IdentEquals(type_name, "INTEGER") ||
+        IdentEquals(type_name, "BIGINT")) {
+      type = ValueType::kInt64;
+    } else if (IdentEquals(type_name, "DOUBLE") ||
+               IdentEquals(type_name, "FLOAT") ||
+               IdentEquals(type_name, "REAL")) {
+      type = ValueType::kDouble;
+    } else if (IdentEquals(type_name, "TEXT") ||
+               IdentEquals(type_name, "STRING") ||
+               IdentEquals(type_name, "VARCHAR")) {
+      type = ValueType::kString;
+    } else if (IdentEquals(type_name, "BOOL") ||
+               IdentEquals(type_name, "BOOLEAN")) {
+      type = ValueType::kBool;
+    } else {
+      return Error("unknown column type '" + type_name + "'");
+    }
+    stmt.create_schema.AddColumn({std::move(col), type});
+  } while (MatchToken(TokenType::kComma));
+  DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  // INSERT INTO name VALUES (v, ...), (v, ...)
+  Statement stmt;
+  stmt.kind = Statement::Kind::kInsert;
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  DVMS_ASSIGN_OR_RETURN(stmt.target_name, ExpectIdent("table name"));
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen, "'('"));
+    Row row;
+    do {
+      DVMS_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      row.push_back(std::move(v));
+    } while (MatchToken(TokenType::kComma));
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+    stmt.insert_rows.push_back(std::move(row));
+  } while (MatchToken(TokenType::kComma));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  // DELETE FROM name [WHERE expr]
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDelete;
+  DVMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  DVMS_ASSIGN_OR_RETURN(stmt.target_name, ExpectIdent("table name"));
+  if (MatchKeyword("WHERE")) {
+    DVMS_ASSIGN_OR_RETURN(stmt.delete_where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  if (MatchKeyword("CREATE")) return ParseCreateTable();
+  if (MatchKeyword("INSERT")) return ParseInsert();
+  if (MatchKeyword("DELETE")) return ParseDelete();
+
+  Statement stmt;
+  DVMS_ASSIGN_OR_RETURN(stmt.target_name, ExpectIdent("statement target name"));
+  DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kEq, "'='"));
+
+  if (CheckKeyword("SELECT")) {
+    stmt.kind = Statement::Kind::kViewDef;
+    DVMS_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+    return stmt;
+  }
+  // `NAME = fn(SELECT ...)`: render() marks the view for rasterization;
+  // any other name is a table UDF applied to the select's result.
+  if (Check(TokenType::kIdent) && Peek(1).type == TokenType::kLParen &&
+      Peek(2).IsKeyword("SELECT")) {
+    std::string fn = Advance().text;
+    Advance();  // '('
+    stmt.kind = Statement::Kind::kViewDef;
+    if (IdentEquals(fn, "render")) {
+      stmt.render = true;
+    } else {
+      stmt.table_udf = fn;
+    }
+    DVMS_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+    DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
+    return stmt;
+  }
+  if (MatchKeyword("EVENT")) {
+    stmt.kind = Statement::Kind::kEventDef;
+    DVMS_ASSIGN_OR_RETURN(stmt.event, ParseEventStmt());
+    return stmt;
+  }
+  if (MatchKeyword("BACKWARD")) {
+    stmt.kind = Statement::Kind::kTraceDef;
+    DVMS_ASSIGN_OR_RETURN(stmt.trace, ParseTraceStmt(/*backward=*/true));
+    return stmt;
+  }
+  if (MatchKeyword("FORWARD")) {
+    stmt.kind = Statement::Kind::kTraceDef;
+    DVMS_ASSIGN_OR_RETURN(stmt.trace, ParseTraceStmt(/*backward=*/false));
+    return stmt;
+  }
+  return Error(
+      "expected SELECT, render(, EVENT, BACKWARD TRACE, or FORWARD TRACE "
+      "after '='");
+}
+
+Result<Program> Parser::ParseProgram() {
+  Program program;
+  while (!Check(TokenType::kEof)) {
+    if (MatchToken(TokenType::kSemicolon)) continue;
+    DVMS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+    program.statements.push_back(std::move(stmt));
+    if (!Check(TokenType::kEof)) {
+      DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kSemicolon, "';'"));
+    }
+  }
+  return program;
+}
+
+Result<SelectStmt> Parser::ParseSelectOnly() {
+  DVMS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelectStmt());
+  MatchToken(TokenType::kSemicolon);
+  if (!Check(TokenType::kEof)) {
+    return Error("unexpected trailing input after SELECT statement");
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExprOnly() {
+  DVMS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+  if (!Check(TokenType::kEof)) {
+    return Error("unexpected trailing input after expression");
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& source) {
+  DVMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<SelectStmt> ParseSelect(const std::string& source) {
+  DVMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelectOnly();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& source) {
+  DVMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprOnly();
+}
+
+}  // namespace dvms

@@ -1,0 +1,32 @@
+#ifndef DVMS_PARSER_PARSER_H_
+#define DVMS_PARSER_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace dvms {
+
+/// Parses a full DeVIL program (a semicolon-separated statement list).
+///
+/// Supported statements:
+///   CREATE TABLE name (col TYPE, ...);
+///   INSERT INTO name VALUES (...), (...);
+///   NAME = SELECT ... [UNION [ALL] ... | MINUS ...];
+///   NAME = render(SELECT ...);
+///   NAME = EVENT E1 [AS a][*], ... [WHERE preds] RETURN (...), (...);
+///   NAME = BACKWARD|FORWARD TRACE FROM refs [WHERE pred] TO relation;
+Result<Program> ParseProgram(const std::string& source);
+
+/// Parses a single SELECT statement (no trailing semicolon required).
+/// Used by tests and by Precision Interfaces (§3.4) to turn query-log
+/// entries into ASTs.
+Result<SelectStmt> ParseSelect(const std::string& source);
+
+/// Parses a standalone scalar expression.
+Result<ExprPtr> ParseExpression(const std::string& source);
+
+}  // namespace dvms
+
+#endif  // DVMS_PARSER_PARSER_H_

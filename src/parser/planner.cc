@@ -1,0 +1,469 @@
+#include "parser/planner.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dvms {
+
+namespace {
+
+/// Flattens a conjunction into its AND-ed terms.
+void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(e->children[0], out);
+    CollectConjuncts(e->children[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// True if `e` is `A.x = B.y` with A in `left_aliases` and B == right_alias
+/// (or mirrored). On success fills (left_key, right_key).
+bool IsEquiJoinConjunct(const ExprPtr& e,
+                        const std::unordered_set<std::string>& left_aliases,
+                        const std::string& right_alias, ExprPtr* left_key,
+                        ExprPtr* right_key) {
+  if (e->kind != ExprKind::kBinary || e->binary_op != BinaryOp::kEq) {
+    return false;
+  }
+  const ExprPtr& a = e->children[0];
+  const ExprPtr& b = e->children[1];
+  if (a->kind != ExprKind::kColumnRef || b->kind != ExprKind::kColumnRef) {
+    return false;
+  }
+  if (a->qualifier.empty() || b->qualifier.empty()) return false;
+  std::string qa = IdentKey(a->qualifier);
+  std::string qb = IdentKey(b->qualifier);
+  std::string right = IdentKey(right_alias);
+  if (left_aliases.count(qa) > 0 && qb == right) {
+    *left_key = a;
+    *right_key = b;
+    return true;
+  }
+  if (left_aliases.count(qb) > 0 && qa == right) {
+    *left_key = b;
+    *right_key = a;
+    return true;
+  }
+  return false;
+}
+
+/// Collects the alias qualifiers a conjunct references. Returns false when
+/// any column reference is unqualified (the conjunct cannot be placed
+/// safely before binding resolves it).
+bool CollectQualifiers(const ExprPtr& e,
+                       std::unordered_set<std::string>* qualifiers) {
+  if (e->kind == ExprKind::kColumnRef) {
+    if (e->qualifier.empty()) return false;
+    qualifiers->insert(IdentKey(e->qualifier));
+  }
+  for (const ExprPtr& c : e->children) {
+    if (!CollectQualifiers(c, qualifiers)) return false;
+  }
+  return true;
+}
+
+/// Derives an output column name for a projection without an alias.
+std::string DeriveName(const ExprPtr& e, size_t index) {
+  if (e->kind == ExprKind::kColumnRef) return e->column;
+  if (e->kind == ExprKind::kAggregateCall) {
+    std::string base = ToLower(AggFuncToString(e->agg_func));
+    if (!e->count_star && e->children[0]->kind == ExprKind::kColumnRef) {
+      return base + "_" + e->children[0]->column;
+    }
+    return base;
+  }
+  return "col" + std::to_string(index);
+}
+
+std::string ExprKeyOf(const ExprPtr& e) { return ToLower(e->ToString()); }
+
+/// Canonical key of an aggregate spec, for matching HAVING aggregates to
+/// select-list aggregates.
+std::string AggSpecKey(const AggSpec& spec) {
+  std::string out = AggFuncToString(spec.func);
+  out += "(";
+  out += spec.count_star ? "*" : spec.arg->ToString();
+  out += ")";
+  return ToLower(out);
+}
+
+/// Rewrites a HAVING expression so it can run as a Filter above the
+/// Aggregate: every aggregate call becomes a column reference to the
+/// matching aggregate output (adding hidden aggregate specs for calls not
+/// already in the select list), and group expressions become references to
+/// their output names.
+ExprPtr RewriteHavingExpr(const ExprPtr& e,
+                          const std::vector<std::string>& group_keys,
+                          const std::vector<std::string>& group_names,
+                          std::vector<AggSpec>* aggs, size_t* hidden_count) {
+  if (e->kind == ExprKind::kAggregateCall) {
+    std::string key = ExprKeyOf(e);
+    for (const AggSpec& spec : *aggs) {
+      if (AggSpecKey(spec) == key) return MakeColumnRef(spec.output_name);
+    }
+    AggSpec spec;
+    spec.func = e->agg_func;
+    spec.count_star = e->count_star;
+    if (!spec.count_star) spec.arg = e->children[0];
+    spec.output_name = "__having" + std::to_string((*hidden_count)++);
+    std::string name = spec.output_name;
+    aggs->push_back(std::move(spec));
+    return MakeColumnRef(name);
+  }
+  // A whole subexpression matching a GROUP BY expression becomes a
+  // reference to the group output column.
+  std::string key = ExprKeyOf(e);
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    if (group_keys[g] == key) return MakeColumnRef(group_names[g]);
+  }
+  ExprPtr out = std::make_shared<Expr>(*e);
+  out->children.clear();
+  for (const ExprPtr& c : e->children) {
+    out->children.push_back(
+        RewriteHavingExpr(c, group_keys, group_names, aggs, hidden_count));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PlanPtr> Planner::PlanCore(const SelectCore& core) const {
+  if (core.from.empty()) {
+    return Status::ParseError("SELECT requires a FROM clause");
+  }
+
+  // 1. Conjuncts of the WHERE clause.
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(core.where, &conjuncts);
+  std::vector<bool> consumed(conjuncts.size(), false);
+
+  // 2. Left-deep join tree, pulling equi conjuncts into hash-join keys.
+  auto plan_ref = [this](const TableRef& ref) -> Result<PlanPtr> {
+    if (ref.subquery != nullptr) {
+      DVMS_ASSIGN_OR_RETURN(PlanPtr sub, PlanSelect(*ref.subquery));
+      if (!ref.effective_alias().empty()) {
+        return MakeAlias(sub, ref.effective_alias());
+      }
+      return sub;
+    }
+    return MakeScan(ref.name, ref.version, ref.effective_alias());
+  };
+  // Filter pushdown (the Interaction Manager's rule-based optimization): a
+  // conjunct whose qualified references are all available at some point in
+  // the left-deep tree is applied there instead of in one big top filter.
+  auto take_pushable =
+      [&conjuncts, &consumed](
+          const std::unordered_set<std::string>& available) {
+        std::vector<ExprPtr> taken;
+        for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+          if (consumed[ci]) continue;
+          std::unordered_set<std::string> quals;
+          if (!CollectQualifiers(conjuncts[ci], &quals)) continue;
+          bool subset = !quals.empty();
+          for (const std::string& q : quals) {
+            if (available.count(q) == 0) subset = false;
+          }
+          if (subset) {
+            taken.push_back(conjuncts[ci]);
+            consumed[ci] = true;
+          }
+        }
+        return taken;
+      };
+
+  DVMS_ASSIGN_OR_RETURN(PlanPtr plan, plan_ref(core.from[0]));
+  std::unordered_set<std::string> joined_aliases = {
+      IdentKey(core.from[0].effective_alias())};
+  {
+    std::vector<ExprPtr> pushed = take_pushable(joined_aliases);
+    if (!pushed.empty()) {
+      plan = MakeFilter(plan, MakeConjunction(std::move(pushed)));
+    }
+  }
+  for (size_t t = 1; t < core.from.size(); ++t) {
+    const TableRef& ref = core.from[t];
+    DVMS_ASSIGN_OR_RETURN(PlanPtr right, plan_ref(ref));
+    // Push single-side conjuncts below the join on the build side.
+    std::unordered_set<std::string> right_alias = {
+        IdentKey(ref.effective_alias())};
+    std::vector<ExprPtr> right_pushed = take_pushable(right_alias);
+    if (!right_pushed.empty()) {
+      right = MakeFilter(right, MakeConjunction(std::move(right_pushed)));
+    }
+    std::vector<std::pair<ExprPtr, ExprPtr>> keys;
+    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+      if (consumed[ci]) continue;
+      ExprPtr lk, rk;
+      if (IsEquiJoinConjunct(conjuncts[ci], joined_aliases,
+                             ref.effective_alias(), &lk, &rk)) {
+        keys.emplace_back(lk, rk);
+        consumed[ci] = true;
+      }
+    }
+    plan = MakeJoin(plan, right, std::move(keys));
+    joined_aliases.insert(IdentKey(ref.effective_alias()));
+    // Conjuncts spanning the aliases joined so far sit right above this
+    // join rather than at the top of the tree.
+    std::vector<ExprPtr> spanning = take_pushable(joined_aliases);
+    if (!spanning.empty()) {
+      plan = MakeFilter(plan, MakeConjunction(std::move(spanning)));
+    }
+  }
+
+  // 3. Residual predicate (unqualified references land here).
+  std::vector<ExprPtr> residual;
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    if (!consumed[ci]) residual.push_back(conjuncts[ci]);
+  }
+  if (!residual.empty()) {
+    plan = MakeFilter(plan, MakeConjunction(std::move(residual)));
+  }
+
+  // 4. Star expansion needs relation schemas.
+  bool has_star = false;
+  bool has_aggregate = !core.group_by.empty();
+  for (const SelectItem& item : core.items) {
+    if (item.star) has_star = true;
+    if (item.expr != nullptr && item.expr->ContainsAggregate()) {
+      has_aggregate = true;
+    }
+  }
+  if (core.having != nullptr) has_aggregate = true;
+  if (has_star && has_aggregate) {
+    return Status::Unsupported("'*' cannot be combined with aggregates");
+  }
+
+  std::vector<ExprPtr> out_exprs;
+  std::vector<std::string> out_names;
+  if (has_star) {
+    for (const SelectItem& item : core.items) {
+      if (!item.star) {
+        out_exprs.push_back(item.expr);
+        out_names.push_back(item.alias.empty()
+                                ? DeriveName(item.expr, out_names.size())
+                                : item.alias);
+        continue;
+      }
+      for (const TableRef& ref : core.from) {
+        if (!item.star_qualifier.empty() &&
+            !IdentEquals(item.star_qualifier, ref.effective_alias())) {
+          continue;
+        }
+        if (ref.subquery != nullptr) {
+          return Status::Unsupported(
+              "'*' expansion over a derived table is not supported; name "
+              "the columns explicitly");
+        }
+        DVMS_ASSIGN_OR_RETURN(Schema schema,
+                              resolver_->ResolveRelation(ref.name));
+        for (const Column& col : schema.columns()) {
+          out_exprs.push_back(
+              MakeColumnRef(ref.effective_alias(), col.name));
+          out_names.push_back(col.name);
+        }
+      }
+    }
+    return MakeProject(plan, std::move(out_exprs), std::move(out_names));
+  }
+
+  PlanPtr result;
+  if (has_aggregate) {
+    // 5a. Aggregate path. Non-aggregate select items must match a GROUP BY
+    // expression; aggregate items must be top-level aggregate calls.
+    std::vector<std::string> group_names;
+    std::vector<std::string> group_keys;
+    for (size_t gi = 0; gi < core.group_by.size(); ++gi) {
+      group_keys.push_back(ExprKeyOf(core.group_by[gi]));
+      group_names.push_back("group" + std::to_string(gi));
+    }
+    std::vector<AggSpec> aggs;
+    struct OutputRef {
+      bool is_group;
+      size_t index;
+      std::string name;
+    };
+    std::vector<OutputRef> outputs;
+    for (size_t i = 0; i < core.items.size(); ++i) {
+      const SelectItem& item = core.items[i];
+      if (item.expr->ContainsAggregate()) {
+        if (item.expr->kind != ExprKind::kAggregateCall) {
+          return Status::Unsupported(
+              "aggregate expressions must be top-level aggregate calls "
+              "(e.g. SUM(x)); found '" +
+              item.expr->ToString() + "'");
+        }
+        AggSpec spec;
+        spec.func = item.expr->agg_func;
+        spec.count_star = item.expr->count_star;
+        if (!spec.count_star) spec.arg = item.expr->children[0];
+        spec.output_name =
+            item.alias.empty() ? DeriveName(item.expr, i) : item.alias;
+        outputs.push_back({false, aggs.size(), spec.output_name});
+        aggs.push_back(std::move(spec));
+      } else {
+        std::string key = ExprKeyOf(item.expr);
+        size_t gi = group_keys.size();
+        for (size_t g = 0; g < group_keys.size(); ++g) {
+          if (group_keys[g] == key) {
+            gi = g;
+            break;
+          }
+        }
+        if (gi == group_keys.size()) {
+          return Status::BindError("select item '" + item.expr->ToString() +
+                                   "' must appear in GROUP BY");
+        }
+        std::string name =
+            item.alias.empty() ? DeriveName(item.expr, i) : item.alias;
+        group_names[gi] = name;
+        outputs.push_back({true, gi, name});
+      }
+    }
+    // HAVING runs as a Filter above the Aggregate; its aggregate calls are
+    // rewritten to references (adding hidden aggregates as needed).
+    ExprPtr having;
+    if (core.having != nullptr) {
+      size_t hidden_count = 0;
+      having = RewriteHavingExpr(core.having, group_keys, group_names, &aggs,
+                                 &hidden_count);
+    }
+    PlanPtr agg = MakeAggregate(plan, core.group_by, group_names, aggs);
+    if (having != nullptr) agg = MakeFilter(agg, having);
+    // Reorder/rename to the select-list order via a Project of column refs.
+    std::vector<ExprPtr> proj;
+    std::vector<std::string> names;
+    for (const OutputRef& ref : outputs) {
+      proj.push_back(MakeColumnRef(ref.name));
+      names.push_back(ref.name);
+    }
+    result = MakeProject(agg, std::move(proj), std::move(names));
+    if (core.distinct) result = MakeDistinct(result);
+  } else {
+    // 5b. Plain projection.
+    for (size_t i = 0; i < core.items.size(); ++i) {
+      const SelectItem& item = core.items[i];
+      out_exprs.push_back(item.expr);
+      out_names.push_back(item.alias.empty() ? DeriveName(item.expr, i)
+                                             : item.alias);
+    }
+
+    if (core.distinct && !core.order_by.empty()) {
+      // SQL requires ORDER BY keys of a DISTINCT select to be output
+      // columns, so no helper columns can be needed below.
+      for (const OrderItem& item : core.order_by) {
+        bool is_output = item.expr->kind == ExprKind::kColumnRef;
+        if (!is_output) {
+          return Status::Unsupported(
+              "ORDER BY expressions of a SELECT DISTINCT must be output "
+              "columns");
+        }
+      }
+    }
+    if (!core.order_by.empty()) {
+      // ORDER BY may reference projection aliases or pre-projection input
+      // columns. Keys that are not bare references to an output column are
+      // carried through hidden helper columns and projected away afterwards.
+      auto matches_output = [&out_names](const ExprPtr& e) {
+        if (e->kind != ExprKind::kColumnRef || !e->qualifier.empty()) {
+          return false;
+        }
+        for (const std::string& name : out_names) {
+          if (IdentEquals(name, e->column)) return true;
+        }
+        return false;
+      };
+      std::vector<ExprPtr> extended_exprs = out_exprs;
+      std::vector<std::string> extended_names = out_names;
+      std::vector<ExprPtr> sort_refs;
+      std::vector<bool> desc;
+      bool need_helpers = false;
+      for (size_t oi = 0; oi < core.order_by.size(); ++oi) {
+        const OrderItem& item = core.order_by[oi];
+        desc.push_back(item.descending);
+        if (matches_output(item.expr)) {
+          sort_refs.push_back(item.expr);
+        } else {
+          std::string helper = "__ord" + std::to_string(oi);
+          extended_exprs.push_back(item.expr);
+          extended_names.push_back(helper);
+          sort_refs.push_back(MakeColumnRef(helper));
+          need_helpers = true;
+        }
+      }
+      if (need_helpers) {
+        PlanPtr extended =
+            MakeProject(plan, std::move(extended_exprs),
+                        std::move(extended_names));
+        PlanPtr ordered =
+            MakeOrderBy(extended, std::move(sort_refs), std::move(desc));
+        if (core.limit.has_value()) ordered = MakeLimit(ordered, *core.limit);
+        std::vector<ExprPtr> final_refs;
+        for (const std::string& name : out_names) {
+          final_refs.push_back(MakeColumnRef(name));
+        }
+        std::vector<std::string> final_names = out_names;
+        return MakeProject(ordered, std::move(final_refs),
+                           std::move(final_names));
+      }
+      result = MakeProject(plan, std::move(out_exprs), std::move(out_names));
+      if (core.distinct) result = MakeDistinct(result);
+      result = MakeOrderBy(result, std::move(sort_refs), std::move(desc));
+      if (core.limit.has_value()) result = MakeLimit(result, *core.limit);
+      return result;
+    }
+    result = MakeProject(plan, std::move(out_exprs), std::move(out_names));
+    if (core.distinct) result = MakeDistinct(result);
+  }
+
+  // 6. ORDER BY / LIMIT for the aggregate path (bound against the
+  // projected schema, so keys must be select-list aliases).
+  if (!core.order_by.empty()) {
+    std::vector<ExprPtr> exprs;
+    std::vector<bool> desc;
+    for (const OrderItem& item : core.order_by) {
+      exprs.push_back(item.expr);
+      desc.push_back(item.descending);
+    }
+    result = MakeOrderBy(result, std::move(exprs), std::move(desc));
+  }
+  if (core.limit.has_value()) {
+    result = MakeLimit(result, *core.limit);
+  }
+  return result;
+}
+
+Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) const {
+  if (stmt.cores.empty()) {
+    return Status::ParseError("empty select statement");
+  }
+  DVMS_ASSIGN_OR_RETURN(PlanPtr plan, PlanCore(stmt.cores[0]));
+  for (size_t i = 0; i < stmt.ops.size(); ++i) {
+    DVMS_ASSIGN_OR_RETURN(PlanPtr next, PlanCore(stmt.cores[i + 1]));
+    switch (stmt.ops[i]) {
+      case SetOp::kUnion:
+        // Merge into an existing union node when chaining.
+        if (plan->kind == PlanKind::kUnion && plan->union_distinct) {
+          plan->children.push_back(next);
+        } else {
+          plan = MakeUnion({plan, next}, /*distinct=*/true);
+        }
+        break;
+      case SetOp::kUnionAll:
+        if (plan->kind == PlanKind::kUnion && !plan->union_distinct) {
+          plan->children.push_back(next);
+        } else {
+          plan = MakeUnion({plan, next}, /*distinct=*/false);
+        }
+        break;
+      case SetOp::kMinus:
+        plan = MakeMinus(plan, next);
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace dvms

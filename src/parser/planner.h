@@ -1,0 +1,32 @@
+#ifndef DVMS_PARSER_PLANNER_H_
+#define DVMS_PARSER_PLANNER_H_
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "query/binder.h"
+#include "query/plan.h"
+
+namespace dvms {
+
+/// Lowers SELECT ASTs into logical plans. Performs the rule-based
+/// optimizations the DVMS Interaction Manager applies offline:
+///   * extraction of equi-join conjuncts from WHERE into hash-join keys,
+///   * lifting aggregate calls into an Aggregate operator,
+///   * `*` / `alias.*` expansion (via the schema resolver).
+class Planner {
+ public:
+  explicit Planner(const SchemaResolver* resolver) : resolver_(resolver) {}
+
+  /// Plans a full select statement (cores joined by UNION/MINUS).
+  /// The returned plan is unbound; pass it to Binder::Bind.
+  Result<PlanPtr> PlanSelect(const SelectStmt& stmt) const;
+
+ private:
+  Result<PlanPtr> PlanCore(const SelectCore& core) const;
+
+  const SchemaResolver* resolver_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_PARSER_PLANNER_H_

@@ -1,0 +1,104 @@
+#include "precision/interface_synth.h"
+
+#include <limits>
+
+namespace dvms {
+
+bool WidgetSpec::Covers(const std::string& interaction) const {
+  for (const std::string& c : covers) {
+    if (c == interaction) return true;
+  }
+  return false;
+}
+
+const std::vector<WidgetSpec>& DefaultWidgetLibrary() {
+  static const std::vector<WidgetSpec>* kLibrary = new std::vector<WidgetSpec>{
+      {"range-slider", 2.0, 1.0, {"numeric-param-change"}},
+      {"text-box", 1.0, 3.0, {"numeric-param-change", "categorical-change"}},
+      {"dropdown", 1.5, 1.5, {"categorical-change"}},
+      {"checkbox-group", 2.0, 1.0, {"projection-add", "projection-remove"}},
+      {"sort-selector", 1.0, 1.0, {"orderby-change"}},
+      {"limit-stepper", 1.0, 1.0, {"limit-change"}},
+      {"table-selector", 2.0, 2.0, {"table-change"}},
+      {"groupby-selector", 1.5, 1.5, {"groupby-change"}},
+      {"query-editor",
+       8.0,
+       8.0,
+       {"numeric-param-change", "categorical-change", "projection-add",
+        "projection-remove", "orderby-change", "limit-change", "table-change",
+        "groupby-change"}},
+  };
+  return *kLibrary;
+}
+
+double EvaluateInterface(const TransformGraph& graph,
+                         const std::vector<WidgetSpec>& widgets,
+                         const SynthesisConfig& config) {
+  if (graph.edges.empty()) return 0.0;
+  double total = 0;
+  for (const TransformGraph::Edge& edge : graph.edges) {
+    double best = config.penalty;
+    for (const WidgetSpec& w : widgets) {
+      if (w.Covers(edge.interaction)) best = std::min(best, w.activation_cost);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(graph.edges.size());
+}
+
+SynthesizedInterface SynthesizeInterface(const TransformGraph& graph,
+                                         const std::vector<WidgetSpec>& library,
+                                         const SynthesisConfig& config) {
+  SynthesizedInterface result;
+  std::vector<bool> chosen(library.size(), false);
+  double budget_used = 0;
+  double current = EvaluateInterface(graph, result.widgets, config);
+
+  while (true) {
+    double best_gain_rate = 0;
+    size_t best_index = library.size();
+    double best_objective = current;
+    for (size_t i = 0; i < library.size(); ++i) {
+      if (chosen[i]) continue;
+      const WidgetSpec& w = library[i];
+      if (budget_used + w.visual_complexity > config.max_visual_complexity) {
+        continue;
+      }
+      std::vector<WidgetSpec> candidate = result.widgets;
+      candidate.push_back(w);
+      double objective = EvaluateInterface(graph, candidate, config);
+      double gain = current - objective;
+      if (gain <= 1e-12) continue;
+      double rate = gain / w.visual_complexity;
+      if (rate > best_gain_rate) {
+        best_gain_rate = rate;
+        best_index = i;
+        best_objective = objective;
+      }
+    }
+    if (best_index == library.size()) break;
+    chosen[best_index] = true;
+    result.widgets.push_back(library[best_index]);
+    budget_used += library[best_index].visual_complexity;
+    current = best_objective;
+  }
+
+  result.objective = current;
+  result.total_visual_complexity = budget_used;
+  if (!graph.edges.empty()) {
+    size_t covered = 0;
+    for (const TransformGraph::Edge& edge : graph.edges) {
+      for (const WidgetSpec& w : result.widgets) {
+        if (w.Covers(edge.interaction)) {
+          ++covered;
+          break;
+        }
+      }
+    }
+    result.coverage =
+        static_cast<double>(covered) / static_cast<double>(graph.edges.size());
+  }
+  return result;
+}
+
+}  // namespace dvms

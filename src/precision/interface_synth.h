@@ -1,0 +1,61 @@
+#ifndef DVMS_PRECISION_INTERFACE_SYNTH_H_
+#define DVMS_PRECISION_INTERFACE_SYNTH_H_
+
+#include <string>
+#include <vector>
+
+#include "precision/transform_graph.h"
+
+namespace dvms {
+
+/// A widget the generated interface can include, with the paper's
+/// cost model: a visual complexity C_vis (it consumes interface budget)
+/// and an activation cost C_act (user effort to express one transformation
+/// through it), plus the set of interaction labels it covers.
+struct WidgetSpec {
+  std::string name;
+  double visual_complexity = 1.0;
+  double activation_cost = 1.0;
+  std::vector<std::string> covers;
+
+  bool Covers(const std::string& interaction) const;
+};
+
+/// The default widget library used for Figure 7: sliders, text boxes,
+/// dropdowns, checkbox groups, sort/limit controls, a table selector, and
+/// a full query editor as the expensive catch-all.
+const std::vector<WidgetSpec>& DefaultWidgetLibrary();
+
+struct SynthesisConfig {
+  /// Cost charged when no chosen widget covers a transformation.
+  double penalty = 25.0;
+  /// Budget on the summed visual complexity of the interface.
+  double max_visual_complexity = 10.0;
+};
+
+struct SynthesizedInterface {
+  std::vector<WidgetSpec> widgets;
+  /// The paper's objective: average over observed transformations of the
+  /// cheapest covering widget's activation cost (penalty if uncovered).
+  double objective = 0.0;
+  /// Fraction of observed transformations covered by some chosen widget.
+  double coverage = 0.0;
+  double total_visual_complexity = 0.0;
+};
+
+/// Greedy solver for the paper's knapsack formulation: repeatedly adds the
+/// widget with the best objective improvement per unit of visual
+/// complexity while the budget allows, starting from the empty interface.
+SynthesizedInterface SynthesizeInterface(const TransformGraph& graph,
+                                         const std::vector<WidgetSpec>& library,
+                                         const SynthesisConfig& config);
+
+/// Evaluates the objective for a fixed widget set (exposed for tests and
+/// for comparing against exhaustive search on small instances).
+double EvaluateInterface(const TransformGraph& graph,
+                         const std::vector<WidgetSpec>& widgets,
+                         const SynthesisConfig& config);
+
+}  // namespace dvms
+
+#endif  // DVMS_PRECISION_INTERFACE_SYNTH_H_

@@ -1,0 +1,310 @@
+#include "precision/rules.h"
+
+#include <cstdlib>
+
+#include "common/schema.h"
+#include "common/string_util.h"
+
+namespace dvms {
+
+namespace {
+
+/// Serialization with the subtrees rooted at `masked` replaced by a
+/// placeholder, used to check that a pair differs only inside the match.
+std::string SerializeMasked(const AstNodePtr& node,
+                            const std::vector<AstNodePtr>& masked) {
+  for (const AstNodePtr& m : masked) {
+    if (m == node) return "<match>";
+  }
+  std::string out = node->type;
+  if (!node->value.empty()) out += "(" + node->value + ")";
+  if (!node->children.empty()) {
+    out += "[";
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (i > 0) out += ",";
+      out += SerializeMasked(node->children[i], masked);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+/// Serialization with Literal payloads masked: the tree's "shape".
+std::string SerializeShape(const AstNodePtr& node) {
+  std::string out = node->type;
+  if (!node->value.empty() && node->type != "Literal") {
+    out += "(" + node->value + ")";
+  }
+  if (!node->children.empty()) {
+    out += "[";
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (i > 0) out += ",";
+      out += SerializeShape(node->children[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+/// Collects (old, new) literal value pairs that differ, walking two trees
+/// of identical shape in lockstep.
+void CollectLiteralDiffs(const AstNodePtr& a, const AstNodePtr& b,
+                         std::vector<std::pair<std::string, std::string>>* out) {
+  if (a->type == "Literal" && b->type == "Literal" && a->value != b->value) {
+    out->emplace_back(a->value, b->value);
+  }
+  for (size_t i = 0; i < a->children.size() && i < b->children.size(); ++i) {
+    CollectLiteralDiffs(a->children[i], b->children[i], out);
+  }
+}
+
+bool IsNumericText(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Finds nodes whose type is path.back() and whose ancestor chain contains
+/// the earlier path types in order (descendant axis).
+void FindByPath(const AstNodePtr& node, const std::vector<std::string>& path,
+                size_t matched, std::vector<AstNodePtr>* out) {
+  size_t next = matched;
+  if (next < path.size() && node->type == path[next]) {
+    ++next;
+    if (next == path.size()) {
+      out->push_back(node);
+      // Do not search for nested occurrences inside a full match.
+      return;
+    }
+  }
+  for (const AstNodePtr& c : node->children) {
+    FindByPath(c, path, next, out);
+  }
+}
+
+bool PredHolds(RulePred pred, const AstNodePtr& old_node,
+               const AstNodePtr& new_node) {
+  std::string old_ser = old_node->Serialize();
+  std::string new_ser = new_node->Serialize();
+  switch (pred) {
+    case RulePred::kChanged:
+      return old_ser != new_ser;
+    case RulePred::kStructChanged:
+      return SerializeShape(old_node) != SerializeShape(new_node);
+    case RulePred::kValueChanged:
+    case RulePred::kNumericChanged:
+    case RulePred::kStringChanged: {
+      if (SerializeShape(old_node) != SerializeShape(new_node)) return false;
+      if (old_ser == new_ser) return false;
+      std::vector<std::pair<std::string, std::string>> diffs;
+      CollectLiteralDiffs(old_node, new_node, &diffs);
+      if (diffs.empty()) return false;
+      if (pred == RulePred::kValueChanged) return true;
+      bool all_numeric = true;
+      for (const auto& [a, b] : diffs) {
+        if (!IsNumericText(a) || !IsNumericText(b)) all_numeric = false;
+      }
+      return pred == RulePred::kNumericChanged ? all_numeric : !all_numeric;
+    }
+    case RulePred::kSubset:
+    case RulePred::kSuperset: {
+      const AstNodePtr& small =
+          pred == RulePred::kSubset ? old_node : new_node;
+      const AstNodePtr& large =
+          pred == RulePred::kSubset ? new_node : old_node;
+      if (small->children.size() >= large->children.size()) return false;
+      // Every child of the smaller side appears among the larger side's.
+      std::vector<std::string> pool;
+      for (const AstNodePtr& c : large->children) {
+        pool.push_back(c->Serialize());
+      }
+      for (const AstNodePtr& c : small->children) {
+        std::string ser = c->Serialize();
+        bool found = false;
+        for (std::string& p : pool) {
+          if (p == ser) {
+            p.clear();  // consume
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RuleMatches(const TransformRule& rule, const AstNodePtr& old_ast,
+                 const AstNodePtr& new_ast) {
+  std::vector<AstNodePtr> old_nodes, new_nodes;
+  FindByPath(old_ast, rule.path, 0, &old_nodes);
+  FindByPath(new_ast, rule.path, 0, &new_nodes);
+  // Clause addition/removal (e.g. a LIMIT appearing) binds zero nodes on
+  // one side; treat the whole-query pair as matching only when exactly one
+  // side is empty and the trees otherwise agree.
+  if (old_nodes.size() != new_nodes.size()) {
+    if (rule.pred != RulePred::kChanged &&
+        rule.pred != RulePred::kStructChanged) {
+      return false;
+    }
+    std::vector<AstNodePtr> masked = old_nodes;
+    masked.insert(masked.end(), new_nodes.begin(), new_nodes.end());
+    // Outside the clause, everything must be identical. Masking each
+    // side's own matches and comparing catches "clause added/removed".
+    std::string old_masked = SerializeMasked(old_ast, masked);
+    std::string new_masked = SerializeMasked(new_ast, masked);
+    // The placeholder count differs; normalize by removing them.
+    auto strip = [](std::string s) {
+      std::string out;
+      size_t pos = 0;
+      while (pos < s.size()) {
+        if (s.compare(pos, 8, ",<match>") == 0) {
+          pos += 8;
+          continue;
+        }
+        if (s.compare(pos, 8, "<match>,") == 0) {
+          pos += 8;
+          continue;
+        }
+        if (s.compare(pos, 7, "<match>") == 0) {
+          pos += 7;
+          continue;
+        }
+        out += s[pos++];
+      }
+      return out;
+    };
+    return strip(old_masked) == strip(new_masked);
+  }
+  if (old_nodes.empty()) return false;
+
+  // The trees must agree outside the bound subtrees.
+  if (SerializeMasked(old_ast, old_nodes) !=
+      SerializeMasked(new_ast, new_nodes)) {
+    return false;
+  }
+  // At least one bound pair differs, and every differing pair satisfies
+  // the predicate.
+  bool any = false;
+  for (size_t i = 0; i < old_nodes.size(); ++i) {
+    if (AstEquals(*old_nodes[i], *new_nodes[i])) continue;
+    if (!PredHolds(rule.pred, old_nodes[i], new_nodes[i])) return false;
+    any = true;
+  }
+  return any;
+}
+
+Result<TransformRule> ParseTransformRule(const std::string& source) {
+  // Tiny hand parser over whitespace-insensitive tokens.
+  std::string text = source;
+  for (char& c : text) {
+    if (c == '\n' || c == '\t' || c == ';') c = ' ';
+  }
+  std::vector<std::string> words;
+  for (const std::string& w : Split(text, ' ')) {
+    if (!Trim(w).empty()) words.push_back(Trim(w));
+  }
+  size_t i = 0;
+  auto expect = [&](const char* kw) -> Status {
+    if (i >= words.size() || !IdentEquals(words[i], kw)) {
+      return Status::ParseError(std::string("transformation rule: expected '") +
+                                kw + "'");
+    }
+    ++i;
+    return Status::OK();
+  };
+  TransformRule rule;
+  DVMS_RETURN_IF_ERROR(expect("FROM"));
+  if (i >= words.size()) return Status::ParseError("rule: missing path");
+  for (const std::string& seg : Split(words[i], '/')) {
+    if (!seg.empty()) rule.path.push_back(seg);
+  }
+  if (rule.path.empty()) return Status::ParseError("rule: empty path");
+  ++i;
+  DVMS_RETURN_IF_ERROR(expect("AS"));
+  if (i >= words.size()) return Status::ParseError("rule: missing variable");
+  rule.var = words[i++];
+  DVMS_RETURN_IF_ERROR(expect("WHERE"));
+  if (i >= words.size()) return Status::ParseError("rule: missing predicate");
+  // Either `var@old subset var@new` or `predname(var)`.
+  std::string tok = words[i];
+  if (tok.find("@old") != std::string::npos) {
+    ++i;
+    if (i >= words.size()) return Status::ParseError("rule: missing operator");
+    std::string op = words[i++];
+    if (IdentEquals(op, "subset")) {
+      rule.pred = RulePred::kSubset;
+    } else if (IdentEquals(op, "superset")) {
+      rule.pred = RulePred::kSuperset;
+    } else {
+      return Status::ParseError("rule: unknown operator '" + op + "'");
+    }
+    if (i >= words.size() || words[i].find("@new") == std::string::npos) {
+      return Status::ParseError("rule: expected <var>@new");
+    }
+    ++i;
+  } else {
+    size_t open = tok.find('(');
+    size_t close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return Status::ParseError("rule: expected predicate(var)");
+    }
+    std::string name = tok.substr(0, open);
+    if (IdentEquals(name, "changed")) {
+      rule.pred = RulePred::kChanged;
+    } else if (IdentEquals(name, "value_changed")) {
+      rule.pred = RulePred::kValueChanged;
+    } else if (IdentEquals(name, "numeric_changed")) {
+      rule.pred = RulePred::kNumericChanged;
+    } else if (IdentEquals(name, "string_changed")) {
+      rule.pred = RulePred::kStringChanged;
+    } else if (IdentEquals(name, "struct_changed")) {
+      rule.pred = RulePred::kStructChanged;
+    } else {
+      return Status::ParseError("rule: unknown predicate '" + name + "'");
+    }
+    ++i;
+  }
+  if (i >= words.size() || !IdentEquals(words[i], "MATCH:")) {
+    // Allow "MATCH :" or "MATCH" followed by name.
+    DVMS_RETURN_IF_ERROR(expect("MATCH"));
+  } else {
+    ++i;
+  }
+  if (i >= words.size()) return Status::ParseError("rule: missing interaction");
+  rule.interaction = words[i];
+  return rule;
+}
+
+std::vector<TransformRule> DefaultSdssRules() {
+  // The 8 hand-coded rules, first match wins. Clause-level rules come
+  // first so a LIMIT tweak is not reported as a numeric parameter change.
+  const char* kRuleTexts[] = {
+      "FROM Select//LimitClause AS a WHERE changed(a) MATCH: limit-change;",
+      "FROM Select//OrderByClause AS a WHERE changed(a) MATCH: orderby-change;",
+      "FROM Select//GroupByClause AS a WHERE changed(a) MATCH: groupby-change;",
+      "FROM Select//ProjectClauses AS a WHERE a@old subset a@new "
+      "MATCH: projection-add;",
+      "FROM Select//ProjectClauses AS a WHERE a@old superset a@new "
+      "MATCH: projection-remove;",
+      "FROM Select//FromClause AS a WHERE changed(a) MATCH: table-change;",
+      "FROM Select//WhereClause AS a WHERE numeric_changed(a) "
+      "MATCH: numeric-param-change;",
+      "FROM Select//WhereClause AS a WHERE string_changed(a) "
+      "MATCH: categorical-change;",
+  };
+  std::vector<TransformRule> rules;
+  for (const char* text : kRuleTexts) {
+    auto rule = ParseTransformRule(text);
+    if (rule.ok()) rules.push_back(std::move(rule).value());
+  }
+  return rules;
+}
+
+}  // namespace dvms

@@ -1,0 +1,57 @@
+#ifndef DVMS_PRECISION_RULES_H_
+#define DVMS_PRECISION_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "precision/sql_ast.h"
+
+namespace dvms {
+
+/// Predicates the transformation-matching language supports between the
+/// old and new bindings of a path variable.
+enum class RulePred {
+  kSubset,          // a@old subset a@new      (children grew)
+  kSuperset,        // a@old superset a@new    (children shrank)
+  kNumericChanged,  // numeric_changed(a)      (only numeric literals differ)
+  kStringChanged,   // string_changed(a)       (a string literal differs)
+  kValueChanged,    // value_changed(a)        (only literal values differ)
+  kStructChanged,   // struct_changed(a)       (tree shape differs)
+  kChanged,         // changed(a)              (any difference)
+};
+
+/// One rule of the paper's SQL/XPath-like transformation language:
+///
+///   FROM Select//WhereClause AS a
+///   WHERE numeric_changed(a)
+///   MATCH: numeric-param-change;
+///
+/// A rule matches a query pair (q_old, q_new) when (1) the trees are
+/// identical outside the subtrees bound by the path, and (2) the bound
+/// subtrees differ as the predicate describes.
+struct TransformRule {
+  std::string interaction;        // MATCH target (edge label)
+  std::vector<std::string> path;  // descendant-axis node types
+  std::string var;                // bound variable name (cosmetic)
+  RulePred pred = RulePred::kChanged;
+};
+
+/// Parses one rule. Grammar:
+///   FROM <Type>(//<Type>)* AS <ident>
+///   WHERE <pred-expr>
+///   MATCH: <interaction-name> ;
+/// where <pred-expr> is `<var>@old <subset|superset> <var>@new` or
+/// `<predname>(<var>)` for the unary predicates.
+Result<TransformRule> ParseTransformRule(const std::string& source);
+
+/// True iff the rule matches the ordered pair (old_ast, new_ast).
+bool RuleMatches(const TransformRule& rule, const AstNodePtr& old_ast,
+                 const AstNodePtr& new_ast);
+
+/// The 8 hand-coded transformation rules used for the SDSS analysis
+/// (Figure 6), expressed in the rule language and parsed at startup.
+std::vector<TransformRule> DefaultSdssRules();
+
+}  // namespace dvms
+
+#endif  // DVMS_PRECISION_RULES_H_

@@ -1,0 +1,132 @@
+#include "precision/script_ast.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace dvms {
+
+namespace {
+
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+};
+
+Result<std::string> ParseIdent(Cursor* cur) {
+  cur->SkipSpace();
+  size_t start = cur->pos;
+  while (cur->pos < cur->text.size() &&
+         (std::isalnum(static_cast<unsigned char>(cur->text[cur->pos])) ||
+          cur->text[cur->pos] == '_' || cur->text[cur->pos] == '.')) {
+    ++cur->pos;
+  }
+  if (cur->pos == start) {
+    return Status::ParseError("script: expected identifier at position " +
+                              std::to_string(start));
+  }
+  return cur->text.substr(start, cur->pos - start);
+}
+
+Result<std::string> ParseScriptValue(Cursor* cur) {
+  cur->SkipSpace();
+  if (cur->pos >= cur->text.size()) {
+    return Status::ParseError("script: expected value");
+  }
+  char c = cur->text[cur->pos];
+  if (c == '\'' || c == '"') {
+    char quote = c;
+    ++cur->pos;
+    std::string out;
+    while (cur->pos < cur->text.size() && cur->text[cur->pos] != quote) {
+      out += cur->text[cur->pos++];
+    }
+    if (cur->pos >= cur->text.size()) {
+      return Status::ParseError("script: unterminated string");
+    }
+    ++cur->pos;
+    return out;
+  }
+  // Bare token: number / true / false / identifier-like.
+  size_t start = cur->pos;
+  while (cur->pos < cur->text.size() && cur->text[cur->pos] != ',' &&
+         cur->text[cur->pos] != ')' &&
+         !std::isspace(static_cast<unsigned char>(cur->text[cur->pos]))) {
+    ++cur->pos;
+  }
+  if (cur->pos == start) {
+    return Status::ParseError("script: expected value");
+  }
+  return cur->text.substr(start, cur->pos - start);
+}
+
+}  // namespace
+
+Result<AstNodePtr> ParseScriptToAst(const std::string& line) {
+  Cursor cur{line};
+  DVMS_ASSIGN_OR_RETURN(std::string fn, ParseIdent(&cur));
+  if (!cur.Eat('(')) {
+    return Status::ParseError("script: expected '(' after function name");
+  }
+  AstNodePtr call = MakeAstNode("Call", fn);
+  if (!cur.Eat(')')) {
+    while (true) {
+      DVMS_ASSIGN_OR_RETURN(std::string name, ParseIdent(&cur));
+      if (!cur.Eat('=')) {
+        return Status::ParseError("script: expected '=' after argument '" +
+                                  name + "'");
+      }
+      DVMS_ASSIGN_OR_RETURN(std::string value, ParseScriptValue(&cur));
+      AstNodePtr kwarg = MakeAstNode("Kwarg", name);
+      kwarg->children.push_back(MakeAstNode("Literal", value));
+      call->children.push_back(std::move(kwarg));
+      if (cur.Eat(')')) break;
+      if (!cur.Eat(',')) {
+        return Status::ParseError("script: expected ',' or ')'");
+      }
+    }
+  }
+  if (!cur.AtEnd()) {
+    return Status::ParseError("script: trailing input after call");
+  }
+  return call;
+}
+
+std::vector<TransformRule> DefaultScriptRules() {
+  const char* kRuleTexts[] = {
+      "FROM Call//Kwarg AS a WHERE numeric_changed(a) "
+      "MATCH: numeric-param-change;",
+      "FROM Call//Kwarg AS a WHERE string_changed(a) "
+      "MATCH: categorical-change;",
+      "FROM Call AS a WHERE a@old subset a@new MATCH: projection-add;",
+      "FROM Call AS a WHERE a@old superset a@new MATCH: projection-remove;",
+      "FROM Call AS a WHERE struct_changed(a) MATCH: call-restructure;",
+  };
+  std::vector<TransformRule> rules;
+  for (const char* text : kRuleTexts) {
+    auto rule = ParseTransformRule(text);
+    if (rule.ok()) rules.push_back(std::move(rule).value());
+  }
+  return rules;
+}
+
+}  // namespace dvms

@@ -1,0 +1,37 @@
+#ifndef DVMS_PRECISION_SCRIPT_AST_H_
+#define DVMS_PRECISION_SCRIPT_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "precision/rules.h"
+#include "precision/sql_ast.h"
+
+namespace dvms {
+
+/// §3.4's generality claim: "all programs are parsed into abstract syntax
+/// trees before execution, and tweaks amount to subtree differences at the
+/// AST level. Thus, an AST-based approach can generalize to nearly any
+/// language."
+///
+/// This is a second front-end language that demonstrates it: a
+/// plotting-script call in the style of python/ggplot one-liners,
+///
+///   plot(table='photoobj', x='ra', y='dec', bins=20, color='red')
+///
+/// parsed into the same generic AstNode trees the SQL front-end produces —
+/// so the transformation rules, transformation graph, and interface
+/// synthesis run unchanged over script logs.
+///
+/// AST shape: Call(fn)[ Kwarg(name)[Literal(value)], ... ].
+Result<AstNodePtr> ParseScriptToAst(const std::string& line);
+
+/// Transformation rules for the script language, written in the same rule
+/// language as the SQL rules: numeric argument changes (sliders), string
+/// argument changes (dropdowns), and argument addition/removal
+/// (checkboxes).
+std::vector<TransformRule> DefaultScriptRules();
+
+}  // namespace dvms
+
+#endif  // DVMS_PRECISION_SCRIPT_AST_H_

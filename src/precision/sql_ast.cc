@@ -1,0 +1,171 @@
+#include "precision/sql_ast.h"
+
+#include "parser/parser.h"
+
+namespace dvms {
+
+std::string AstNode::Serialize() const {
+  std::string out = type;
+  if (!value.empty()) out += "(" + value + ")";
+  if (!children.empty()) {
+    out += "[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ",";
+      out += children[i]->Serialize();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+AstNodePtr MakeAstNode(std::string type, std::string value) {
+  auto node = std::make_shared<AstNode>();
+  node->type = std::move(type);
+  node->value = std::move(value);
+  return node;
+}
+
+namespace {
+
+AstNodePtr ExprToAst(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return MakeAstNode("Literal", e.literal.ToString());
+    case ExprKind::kColumnRef:
+      return MakeAstNode(
+          "Column", e.qualifier.empty() ? e.column : e.qualifier + "." + e.column);
+    case ExprKind::kUnary: {
+      AstNodePtr node = MakeAstNode(
+          "Unary", e.unary_op == UnaryOp::kNot ? "NOT" : "-");
+      node->children.push_back(ExprToAst(*e.children[0]));
+      return node;
+    }
+    case ExprKind::kBinary: {
+      bool comparison = e.binary_op == BinaryOp::kEq ||
+                        e.binary_op == BinaryOp::kNe ||
+                        e.binary_op == BinaryOp::kLt ||
+                        e.binary_op == BinaryOp::kLe ||
+                        e.binary_op == BinaryOp::kGt ||
+                        e.binary_op == BinaryOp::kGe;
+      AstNodePtr node = MakeAstNode(comparison ? "Comparison" : "BinaryOp",
+                                    BinaryOpToString(e.binary_op));
+      node->children.push_back(ExprToAst(*e.children[0]));
+      node->children.push_back(ExprToAst(*e.children[1]));
+      return node;
+    }
+    case ExprKind::kFunctionCall: {
+      AstNodePtr node = MakeAstNode("Function", e.function_name);
+      for (const auto& c : e.children) node->children.push_back(ExprToAst(*c));
+      return node;
+    }
+    case ExprKind::kAggregateCall: {
+      AstNodePtr node = MakeAstNode("Aggregate", AggFuncToString(e.agg_func));
+      if (e.count_star) {
+        node->children.push_back(MakeAstNode("Star"));
+      } else {
+        node->children.push_back(ExprToAst(*e.children[0]));
+      }
+      return node;
+    }
+    case ExprKind::kInRelation: {
+      AstNodePtr node = MakeAstNode("In", e.negated ? "NOT IN" : "IN");
+      node->children.push_back(ExprToAst(*e.children[0]));
+      node->children.push_back(MakeAstNode("Relation", e.in_relation));
+      return node;
+    }
+  }
+  return MakeAstNode("Unknown");
+}
+
+AstNodePtr CoreToAst(const SelectCore& core) {
+  AstNodePtr select = MakeAstNode("Select");
+
+  AstNodePtr project = MakeAstNode("ProjectClauses");
+  for (const SelectItem& item : core.items) {
+    if (item.star) {
+      project->children.push_back(
+          MakeAstNode("Star", item.star_qualifier));
+    } else {
+      AstNodePtr clause = MakeAstNode("ProjectClause", item.alias);
+      clause->children.push_back(ExprToAst(*item.expr));
+      project->children.push_back(std::move(clause));
+    }
+  }
+  select->children.push_back(std::move(project));
+
+  AstNodePtr from = MakeAstNode("FromClause");
+  for (const TableRef& ref : core.from) {
+    if (ref.subquery != nullptr) {
+      AstNodePtr sub = MakeAstNode("DerivedTable", ref.alias);
+      sub->children.push_back(BuildAst(*ref.subquery));
+      from->children.push_back(std::move(sub));
+    } else {
+      from->children.push_back(MakeAstNode("Table", ref.name));
+    }
+  }
+  select->children.push_back(std::move(from));
+
+  if (core.where != nullptr) {
+    AstNodePtr where = MakeAstNode("WhereClause");
+    where->children.push_back(ExprToAst(*core.where));
+    select->children.push_back(std::move(where));
+  }
+  if (!core.group_by.empty()) {
+    AstNodePtr group = MakeAstNode("GroupByClause");
+    for (const ExprPtr& e : core.group_by) {
+      group->children.push_back(ExprToAst(*e));
+    }
+    select->children.push_back(std::move(group));
+  }
+  if (!core.order_by.empty()) {
+    AstNodePtr order = MakeAstNode("OrderByClause");
+    for (const OrderItem& item : core.order_by) {
+      AstNodePtr key = MakeAstNode("OrderKey", item.descending ? "DESC" : "ASC");
+      key->children.push_back(ExprToAst(*item.expr));
+      order->children.push_back(std::move(key));
+    }
+    select->children.push_back(std::move(order));
+  }
+  if (core.limit.has_value()) {
+    AstNodePtr limit = MakeAstNode("LimitClause");
+    limit->children.push_back(
+        MakeAstNode("Literal", std::to_string(*core.limit)));
+    select->children.push_back(std::move(limit));
+  }
+  return select;
+}
+
+}  // namespace
+
+AstNodePtr BuildAst(const SelectStmt& stmt) {
+  if (stmt.cores.size() == 1) return CoreToAst(stmt.cores[0]);
+  AstNodePtr root = MakeAstNode("SetOp");
+  for (size_t i = 0; i < stmt.cores.size(); ++i) {
+    root->children.push_back(CoreToAst(stmt.cores[i]));
+    if (i < stmt.ops.size()) {
+      const char* name = stmt.ops[i] == SetOp::kMinus      ? "MINUS"
+                         : stmt.ops[i] == SetOp::kUnionAll ? "UNION ALL"
+                                                           : "UNION";
+      root->children.push_back(MakeAstNode("SetOperator", name));
+    }
+  }
+  return root;
+}
+
+Result<AstNodePtr> ParseToAst(const std::string& sql) {
+  DVMS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  return BuildAst(stmt);
+}
+
+bool AstEquals(const AstNode& a, const AstNode& b) {
+  return a.Serialize() == b.Serialize();
+}
+
+void FindNodesByType(const AstNodePtr& root, const std::string& type,
+                     std::vector<AstNodePtr>* out) {
+  if (root == nullptr) return;
+  if (root->type == type) out->push_back(root);
+  for (const AstNodePtr& c : root->children) FindNodesByType(c, type, out);
+}
+
+}  // namespace dvms

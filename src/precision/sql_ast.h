@@ -1,0 +1,50 @@
+#ifndef DVMS_PRECISION_SQL_AST_H_
+#define DVMS_PRECISION_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace dvms {
+
+/// A generic labeled AST used by Precision Interfaces (§3.4). The paper's
+/// key observation: tweaks and incremental program changes amount to
+/// subtree differences at the AST level, so the pipeline is
+/// parser-agnostic — this is the one tree shape rules match against.
+struct AstNode;
+using AstNodePtr = std::shared_ptr<AstNode>;
+
+struct AstNode {
+  /// Node type, e.g. "Select", "ProjectClauses", "WhereClause",
+  /// "Comparison", "Column", "Literal", "Function", "FromClause".
+  std::string type;
+  /// Leaf payload (column name, literal text, operator, function name).
+  std::string value;
+  std::vector<AstNodePtr> children;
+
+  /// Canonical serialization: type(value)[child, child, ...].
+  std::string Serialize() const;
+};
+
+AstNodePtr MakeAstNode(std::string type, std::string value = "");
+
+/// Lowers a parsed SELECT statement into the generic AST.
+AstNodePtr BuildAst(const SelectStmt& stmt);
+
+/// Parses SQL text and lowers it; ParseError for queries outside the
+/// supported dialect (the "unmappable" fraction of a real query log).
+Result<AstNodePtr> ParseToAst(const std::string& sql);
+
+/// Structural equality via serialization.
+bool AstEquals(const AstNode& a, const AstNode& b);
+
+/// Collects every node of the given type in pre-order.
+void FindNodesByType(const AstNodePtr& root, const std::string& type,
+                     std::vector<AstNodePtr>* out);
+
+}  // namespace dvms
+
+#endif  // DVMS_PRECISION_SQL_AST_H_

@@ -1,0 +1,112 @@
+#include "precision/transform_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dvms {
+
+double TransformGraph::ParsedFraction() const {
+  if (total_queries == 0) return 0.0;
+  return static_cast<double>(total_queries - unparsed_queries) /
+         static_cast<double>(total_queries);
+}
+
+std::vector<std::pair<std::string, size_t>> TransformGraph::InteractionCounts()
+    const {
+  std::map<std::string, size_t> counts;
+  for (const Edge& edge : edges) ++counts[edge.interaction];
+  std::vector<std::pair<std::string, size_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+double TransformGraph::CoverageOf(const std::string& interaction) const {
+  if (matched_pairs == 0) return 0.0;
+  size_t n = 0;
+  for (const Edge& edge : edges) {
+    if (edge.interaction == interaction) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(matched_pairs);
+}
+
+std::string TransformGraph::ToDot(size_t max_edges) const {
+  // A stable palette per interaction label (Figure 6 colors edges by
+  // interaction type).
+  const char* kColors[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                           "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"};
+  std::map<std::string, const char*> color_of;
+  for (const auto& [name, count] : InteractionCounts()) {
+    color_of[name] = kColors[color_of.size() % std::size(kColors)];
+  }
+  std::string out = "digraph transformations {\n  node [shape=point];\n";
+  std::map<size_t, bool> used;
+  size_t emitted = 0;
+  for (const Edge& edge : edges) {
+    if (emitted++ >= max_edges) break;
+    used[edge.from] = true;
+    used[edge.to] = true;
+    out += "  q" + std::to_string(edge.from) + " -> q" +
+           std::to_string(edge.to) + " [color=\"" +
+           color_of[edge.interaction] + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+TransformGraph BuildTransformGraph(
+    const std::vector<std::vector<std::string>>& sessions,
+    const std::vector<TransformRule>& rules) {
+  return BuildTransformGraph(sessions, rules, [](const std::string& sql) {
+    return ParseToAst(sql);
+  });
+}
+
+TransformGraph BuildTransformGraph(
+    const std::vector<std::vector<std::string>>& sessions,
+    const std::vector<TransformRule>& rules, const LogParser& parser) {
+  TransformGraph graph;
+  std::unordered_map<std::string, size_t> vertex_of;
+
+  auto intern = [&graph, &vertex_of](const std::string& serialized) {
+    auto it = vertex_of.find(serialized);
+    if (it != vertex_of.end()) return it->second;
+    size_t id = graph.queries.size();
+    graph.queries.push_back(serialized);
+    vertex_of.emplace(serialized, id);
+    return id;
+  };
+
+  for (const std::vector<std::string>& session : sessions) {
+    AstNodePtr prev_ast;
+    size_t prev_vertex = 0;
+    for (const std::string& sql : session) {
+      ++graph.total_queries;
+      auto ast = parser(sql);
+      if (!ast.ok()) {
+        ++graph.unparsed_queries;
+        prev_ast = nullptr;  // unparsable query breaks adjacency
+        continue;
+      }
+      AstNodePtr current = std::move(ast).value();
+      size_t vertex = intern(current->Serialize());
+      if (prev_ast != nullptr && !AstEquals(*prev_ast, *current)) {
+        bool matched = false;
+        for (const TransformRule& rule : rules) {
+          if (RuleMatches(rule, prev_ast, current)) {
+            graph.edges.push_back({prev_vertex, vertex, rule.interaction});
+            ++graph.matched_pairs;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) ++graph.unmatched_pairs;
+      }
+      prev_ast = std::move(current);
+      prev_vertex = vertex;
+    }
+  }
+  return graph;
+}
+
+}  // namespace dvms

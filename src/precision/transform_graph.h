@@ -1,0 +1,66 @@
+#ifndef DVMS_PRECISION_TRANSFORM_GRAPH_H_
+#define DVMS_PRECISION_TRANSFORM_GRAPH_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "precision/rules.h"
+
+namespace dvms {
+
+/// The transformation graph of §3.4 / Figure 6: one vertex per distinct
+/// query, one edge per observed transformation, labeled by the interaction
+/// the matching rule names.
+struct TransformGraph {
+  struct Edge {
+    size_t from = 0;
+    size_t to = 0;
+    std::string interaction;
+  };
+
+  std::vector<std::string> queries;  // canonical serializations
+  std::vector<Edge> edges;
+
+  size_t total_queries = 0;    // including duplicates and unparsable ones
+  size_t unparsed_queries = 0; // did not map to a supported template
+  size_t matched_pairs = 0;    // adjacent pairs some rule matched
+  size_t unmatched_pairs = 0;  // adjacent pairs no rule matched
+
+  /// Fraction of the log that parsed into ASTs (the paper maps >99.1% of
+  /// the SDSS log to 6 templates).
+  double ParsedFraction() const;
+
+  /// Edge count per interaction label, descending.
+  std::vector<std::pair<std::string, size_t>> InteractionCounts() const;
+
+  /// Fraction of matched pairs labeled with `interaction`.
+  double CoverageOf(const std::string& interaction) const;
+
+  /// Graphviz DOT rendering (vertices elided to ids; edges colored per
+  /// interaction type, like Figure 6). `max_edges` caps output size.
+  std::string ToDot(size_t max_edges = 500) const;
+};
+
+/// Parses one log entry into a generic AST. The default (ParseToAst)
+/// handles the SQL dialect; other languages (e.g. the plotting-script
+/// front-end in script_ast.h) plug in their own parser — the rest of the
+/// pipeline is language-agnostic.
+using LogParser = std::function<Result<AstNodePtr>(const std::string&)>;
+
+/// Builds the graph from per-session query logs: within each session,
+/// every adjacent query pair is diffed against the rules (first match
+/// wins). Unparsable queries break adjacency.
+TransformGraph BuildTransformGraph(
+    const std::vector<std::vector<std::string>>& sessions,
+    const std::vector<TransformRule>& rules);
+
+/// Language-agnostic form with an explicit parser.
+TransformGraph BuildTransformGraph(
+    const std::vector<std::vector<std::string>>& sessions,
+    const std::vector<TransformRule>& rules, const LogParser& parser);
+
+}  // namespace dvms
+
+#endif  // DVMS_PRECISION_TRANSFORM_GRAPH_H_

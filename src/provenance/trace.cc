@@ -1,0 +1,247 @@
+#include "provenance/trace.h"
+
+#include "parser/planner.h"
+#include "query/binder.h"
+#include "query/executor.h"
+
+namespace dvms {
+
+namespace {
+
+constexpr int kMaxViewDepth = 16;
+
+/// Builds the join-under-predicate plan for a trace's FROM/WHERE clause as
+/// a SELECT * over the refs.
+Result<PlanPtr> BuildFromPlan(const std::vector<TableRef>& from,
+                              const ExprPtr& where,
+                              const SchemaResolver& resolver) {
+  SelectCore core;
+  SelectItem star;
+  star.star = true;
+  core.items.push_back(star);
+  core.from = from;
+  core.where = where == nullptr ? nullptr : CloneExpr(where);
+  Planner planner(&resolver);
+  SelectStmt stmt;
+  stmt.cores.push_back(std::move(core));
+  return planner.PlanSelect(stmt);
+}
+
+}  // namespace
+
+Result<const NodeResult*> TraceEngine::ViewTree(
+    const std::string& view, const VersionRef& version, Mode mode,
+    std::unique_ptr<NodeResult>* owner) {
+  if (mode == Mode::kEager) {
+    // A versioned reference (@vnow-k, k >= 1) reads the committed snapshot
+    // taken at the last interaction boundary; the current reference reads
+    // the latest maintenance result.
+    if (!version.is_current() && version.offset >= 1) {
+      auto committed = maintainer_->CommittedResult(view);
+      if (committed.ok()) return committed.value();
+    }
+    return maintainer_->LastResult(view);
+  }
+  // Lazy: re-execute the view's plan with lineage capture. Scans inside the
+  // plan already address the versions the view definition names.
+  DVMS_ASSIGN_OR_RETURN(const ViewDef* def,
+                        maintainer_->registry().Get(view));
+  Executor exec(catalog_, udfs_);
+  ExecOptions opts;
+  opts.capture_lineage = true;
+  DVMS_ASSIGN_OR_RETURN(*owner, exec.Execute(*def->plan, opts));
+  return owner->get();
+}
+
+Result<std::vector<std::set<RowId>>> TraceEngine::ComputeLeafSets(
+    const NodeResult& root, const std::string& target, Mode mode, int depth) {
+  if (depth > kMaxViewDepth) {
+    return Status::ExecutionError("view nesting too deep during trace");
+  }
+  if (!root.has_lineage) {
+    return Status::ExecutionError(
+        "lineage was not captured for an operator during trace");
+  }
+  const size_t n = root.table.num_rows();
+  std::vector<std::set<RowId>> out(n);
+
+  if (root.node->kind == PlanKind::kScan) {
+    const std::string& rel = root.node->relation;
+    if (IdentEquals(rel, target)) {
+      for (size_t i = 0; i < n; ++i) out[i].insert(i);
+      return out;
+    }
+    // Recurse through views; base/event relations other than the target
+    // contribute nothing.
+    if (maintainer_->registry().Has(rel)) {
+      std::unique_ptr<NodeResult> owned;
+      DVMS_ASSIGN_OR_RETURN(const NodeResult* tree,
+                            ViewTree(rel, root.node->version, mode, &owned));
+      DVMS_ASSIGN_OR_RETURN(std::vector<std::set<RowId>> inner,
+                            ComputeLeafSets(*tree, target, mode, depth + 1));
+      for (size_t i = 0; i < n; ++i) {
+        // Scan row i corresponds to view output row i; guard against the
+        // scanned version differing in cardinality from the lineage tree.
+        if (i < inner.size()) out[i] = inner[i];
+      }
+    }
+    return out;
+  }
+
+  // Interior operator: union child contributions per output row.
+  std::vector<std::vector<std::set<RowId>>> child_sets;
+  child_sets.reserve(root.children.size());
+  for (const auto& child : root.children) {
+    DVMS_ASSIGN_OR_RETURN(std::vector<std::set<RowId>> sets,
+                          ComputeLeafSets(*child, target, mode, depth));
+    child_sets.push_back(std::move(sets));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (const LineageEntry& entry : root.lineage[i]) {
+      if (entry.child >= child_sets.size()) continue;
+      const auto& sets = child_sets[entry.child];
+      if (entry.row >= sets.size()) continue;
+      out[i].insert(sets[entry.row].begin(), sets[entry.row].end());
+    }
+  }
+  return out;
+}
+
+Result<std::set<RowId>> TraceEngine::TraceViewRows(const std::string& view,
+                                                   const VersionRef& version,
+                                                   const std::set<RowId>& rows,
+                                                   const std::string& target,
+                                                   Mode mode) {
+  std::unique_ptr<NodeResult> owned;
+  DVMS_ASSIGN_OR_RETURN(const NodeResult* tree,
+                        ViewTree(view, version, mode, &owned));
+  DVMS_ASSIGN_OR_RETURN(std::vector<std::set<RowId>> sets,
+                        ComputeLeafSets(*tree, target, mode, 0));
+  std::set<RowId> out;
+  for (RowId row : rows) {
+    if (row < sets.size()) out.insert(sets[row].begin(), sets[row].end());
+  }
+  return out;
+}
+
+Result<std::vector<std::set<RowId>>> TraceEngine::TraceViewAllRows(
+    const std::string& view, const VersionRef& version,
+    const std::string& target, Mode mode) {
+  std::unique_ptr<NodeResult> owned;
+  DVMS_ASSIGN_OR_RETURN(const NodeResult* tree,
+                        ViewTree(view, version, mode, &owned));
+  return ComputeLeafSets(*tree, target, mode, 0);
+}
+
+Result<Table> TraceEngine::Backward(const TraceStmt& stmt, Mode mode) {
+  if (!stmt.backward) {
+    return Status::InvalidArgument("Backward() requires a BACKWARD TRACE");
+  }
+  CatalogSchemaResolver resolver(catalog_);
+  DVMS_ASSIGN_OR_RETURN(PlanPtr plan,
+                        BuildFromPlan(stmt.from, stmt.where, resolver));
+  Binder binder(&resolver, udfs_);
+  DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+  Executor exec(catalog_, udfs_);
+  ExecOptions opts;
+  opts.capture_lineage = true;
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> joined,
+                        exec.Execute(*plan, opts));
+
+  DVMS_ASSIGN_OR_RETURN(std::vector<std::set<RowId>> sets,
+                        ComputeLeafSets(*joined, stmt.target_relation, mode, 0));
+  std::set<RowId> target_rows;
+  for (const std::set<RowId>& s : sets) target_rows.insert(s.begin(), s.end());
+
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * target,
+                        catalog_->Get(stmt.target_relation));
+  const Table& src = target->current();
+  Table out(src.schema());
+  for (RowId row : target_rows) {
+    if (row < src.num_rows()) out.AppendUnchecked(src.row(row));
+  }
+  return out;
+}
+
+Result<Table> TraceEngine::Forward(const TraceStmt& stmt, Mode mode) {
+  if (stmt.backward) {
+    return Status::InvalidArgument("Forward() requires a FORWARD TRACE");
+  }
+  if (stmt.from.size() != 1) {
+    return Status::Unsupported(
+        "FORWARD TRACE currently supports a single FROM relation");
+  }
+  const TableRef& source_ref = stmt.from[0];
+
+  // Select source rows of the FROM relation under WHERE.
+  CatalogSchemaResolver resolver(catalog_);
+  DVMS_ASSIGN_OR_RETURN(PlanPtr plan,
+                        BuildFromPlan(stmt.from, stmt.where, resolver));
+  Binder binder(&resolver, udfs_);
+  DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+  Executor exec(catalog_, udfs_);
+  ExecOptions opts;
+  opts.capture_lineage = true;
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> selected,
+                        exec.Execute(*plan, opts));
+  DVMS_ASSIGN_OR_RETURN(
+      std::vector<std::set<RowId>> src_sets,
+      ComputeLeafSets(*selected, source_ref.name, mode, 0));
+  std::set<RowId> source_rows;
+  for (const auto& s : src_sets) source_rows.insert(s.begin(), s.end());
+
+  // The TO relation must be a view; keep its rows whose backward closure to
+  // the FROM relation intersects the source set.
+  if (!maintainer_->registry().Has(stmt.target_relation)) {
+    return Status::InvalidArgument("FORWARD TRACE target '" +
+                                   stmt.target_relation +
+                                   "' is not a view");
+  }
+  std::unique_ptr<NodeResult> owned;
+  DVMS_ASSIGN_OR_RETURN(
+      const NodeResult* tree,
+      ViewTree(stmt.target_relation, VersionRef::Current(), mode, &owned));
+  DVMS_ASSIGN_OR_RETURN(std::vector<std::set<RowId>> closures,
+                        ComputeLeafSets(*tree, source_ref.name, mode, 0));
+
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * target,
+                        catalog_->Get(stmt.target_relation));
+  const Table& view_table = target->current();
+  Table out(view_table.schema());
+  for (size_t i = 0; i < view_table.num_rows() && i < closures.size(); ++i) {
+    bool hit = false;
+    for (RowId r : closures[i]) {
+      if (source_rows.count(r) > 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) out.AppendUnchecked(view_table.row(i));
+  }
+  return out;
+}
+
+Result<BackwardLineageIndex> BackwardLineageIndex::Build(
+    TraceEngine* engine, const std::string& view, size_t view_rows,
+    const std::string& target, TraceEngine::Mode mode) {
+  BackwardLineageIndex index;
+  // One pass computes all closures; per-row results are then O(1) lookups.
+  DVMS_ASSIGN_OR_RETURN(
+      index.entries_,
+      engine->TraceViewAllRows(view, VersionRef::Current(), target, mode));
+  index.entries_.resize(view_rows);
+  return index;
+}
+
+const std::set<RowId>& BackwardLineageIndex::Lookup(RowId row) const {
+  if (row >= entries_.size()) return empty_;
+  return entries_[row];
+}
+
+size_t BackwardLineageIndex::SizeEntries() const {
+  size_t n = 0;
+  for (const auto& s : entries_) n += s.size();
+  return n;
+}
+
+}  // namespace dvms

@@ -1,0 +1,97 @@
+#ifndef DVMS_PROVENANCE_TRACE_H_
+#define DVMS_PROVENANCE_TRACE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "parser/ast.h"
+#include "query/maintenance.h"
+
+namespace dvms {
+
+/// Executes DeVIL's BACKWARD TRACE / FORWARD TRACE statements (§3.1) by
+/// composing row-level lineage through the view dataflow.
+///
+/// Two strategies, matching the paper's discussion of materialization cost
+/// vs. query cost:
+///  * kEager — reuse the operator-result trees the ViewMaintainer captured
+///    during normal view maintenance (requires capture_lineage).
+///  * kLazy  — re-execute view plans with lineage capture only when a trace
+///    is evaluated; nothing is stored between traces.
+class TraceEngine {
+ public:
+  enum class Mode { kEager, kLazy };
+
+  TraceEngine(Catalog* catalog, const UdfRegistry* udfs,
+              ViewMaintainer* maintainer)
+      : catalog_(catalog), udfs_(udfs), maintainer_(maintainer) {}
+
+  /// Evaluates a BACKWARD TRACE: joins the FROM relations under WHERE, then
+  /// traces every joined row back to the TO relation. Returns the subset of
+  /// the TO relation's rows (its full schema) that contributed.
+  Result<Table> Backward(const TraceStmt& stmt, Mode mode);
+
+  /// Evaluates a FORWARD TRACE: the FROM clause (single relation plus
+  /// optional WHERE) selects source rows; returns the subset of the TO
+  /// view's rows that depend on any source row.
+  Result<Table> Forward(const TraceStmt& stmt, Mode mode);
+
+  /// Low-level primitive: maps rows of `view` to contributing rows of
+  /// `target` (a base relation or any relation reachable through views).
+  Result<std::set<RowId>> TraceViewRows(const std::string& view,
+                                        const VersionRef& version,
+                                        const std::set<RowId>& rows,
+                                        const std::string& target, Mode mode);
+
+  /// Bulk form: the contributing `target` rows for every output row of
+  /// `view`, computed in one pass over the lineage tree.
+  Result<std::vector<std::set<RowId>>> TraceViewAllRows(
+      const std::string& view, const VersionRef& version,
+      const std::string& target, Mode mode);
+
+ private:
+  /// Per-root-output-row sets of contributing `target` rows, walking the
+  /// operator tree and recursing through scanned views.
+  Result<std::vector<std::set<RowId>>> ComputeLeafSets(const NodeResult& root,
+                                                       const std::string& target,
+                                                       Mode mode, int depth);
+
+  /// The lineage tree for a view: stored (eager) or recomputed (lazy).
+  /// The returned pointer is owned by `owner` in lazy mode.
+  Result<const NodeResult*> ViewTree(const std::string& view,
+                                     const VersionRef& version, Mode mode,
+                                     std::unique_ptr<NodeResult>* owner);
+
+  Catalog* catalog_;
+  const UdfRegistry* udfs_;
+  ViewMaintainer* maintainer_;
+};
+
+/// A materialized backward index from one view's output rows to one base
+/// relation's rows — the paper's "materialize and index the lineage"
+/// strategy, whose cost bench_sec31_provenance measures against lazy traces.
+class BackwardLineageIndex {
+ public:
+  /// Builds the index for every output row of `view`.
+  static Result<BackwardLineageIndex> Build(TraceEngine* engine,
+                                            const std::string& view,
+                                            size_t view_rows,
+                                            const std::string& target,
+                                            TraceEngine::Mode mode);
+
+  /// Base-relation rows contributing to view output row `row`.
+  const std::set<RowId>& Lookup(RowId row) const;
+
+  /// Total number of (view row, base row) index entries.
+  size_t SizeEntries() const;
+
+ private:
+  std::vector<std::set<RowId>> entries_;
+  std::set<RowId> empty_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_PROVENANCE_TRACE_H_

@@ -1,0 +1,293 @@
+#include "query/binder.h"
+
+namespace dvms {
+
+Result<Schema> CatalogSchemaResolver::ResolveRelation(
+    const std::string& name) const {
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(name));
+  return table->schema();
+}
+
+Status Binder::ResolveColumn(Expr* expr,
+                             const std::vector<BoundField>& scope) const {
+  int found = -1;
+  for (size_t i = 0; i < scope.size(); ++i) {
+    const BoundField& f = scope[i];
+    if (!IdentEquals(f.name, expr->column)) continue;
+    if (!expr->qualifier.empty() && !IdentEquals(f.qualifier, expr->qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::BindError("ambiguous column reference '" +
+                               expr->ToString() + "'");
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::BindError("unknown column '" + expr->ToString() + "'");
+  }
+  expr->resolved_index = found;
+  expr->resolved_type = scope[static_cast<size_t>(found)].type;
+  return Status::OK();
+}
+
+Status Binder::BindExpr(Expr* expr, const std::vector<BoundField>& scope,
+                        bool allow_aggregates) const {
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      expr->resolved_type = expr->literal.type();
+      return Status::OK();
+    case ExprKind::kColumnRef:
+      return ResolveColumn(expr, scope);
+    case ExprKind::kUnary: {
+      DVMS_RETURN_IF_ERROR(
+          BindExpr(expr->children[0].get(), scope, allow_aggregates));
+      expr->resolved_type = expr->unary_op == UnaryOp::kNot
+                                ? ValueType::kBool
+                                : expr->children[0]->resolved_type;
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      DVMS_RETURN_IF_ERROR(
+          BindExpr(expr->children[0].get(), scope, allow_aggregates));
+      DVMS_RETURN_IF_ERROR(
+          BindExpr(expr->children[1].get(), scope, allow_aggregates));
+      switch (expr->binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          ValueType a = expr->children[0]->resolved_type;
+          ValueType b = expr->children[1]->resolved_type;
+          if (expr->binary_op == BinaryOp::kAdd && a == ValueType::kString &&
+              b == ValueType::kString) {
+            expr->resolved_type = ValueType::kString;
+          } else if (a == ValueType::kInt64 && b == ValueType::kInt64) {
+            expr->resolved_type = ValueType::kInt64;
+          } else {
+            expr->resolved_type = ValueType::kDouble;
+          }
+          return Status::OK();
+        }
+        default:
+          expr->resolved_type = ValueType::kBool;
+          return Status::OK();
+      }
+    }
+    case ExprKind::kFunctionCall: {
+      DVMS_ASSIGN_OR_RETURN(const ScalarUdf* udf,
+                            udfs_->FindScalar(expr->function_name));
+      if (!udf->pure) {
+        return Status::BindError("UDF '" + expr->function_name +
+                                 "' is not pure; DeVIL restricts scalar UDFs "
+                                 "in view definitions to pure functions");
+      }
+      if (udf->arity >= 0 &&
+          static_cast<size_t>(udf->arity) != expr->children.size()) {
+        return Status::BindError(
+            "UDF '" + expr->function_name + "' expects " +
+            std::to_string(udf->arity) + " arguments, got " +
+            std::to_string(expr->children.size()));
+      }
+      for (auto& c : expr->children) {
+        DVMS_RETURN_IF_ERROR(BindExpr(c.get(), scope, allow_aggregates));
+      }
+      // `if(cond, a, b)` returns the type of its branches.
+      if (IdentEquals(expr->function_name, "if") &&
+          expr->children.size() == 3) {
+        expr->resolved_type = expr->children[1]->resolved_type;
+      } else {
+        expr->resolved_type = udf->return_type;
+      }
+      return Status::OK();
+    }
+    case ExprKind::kAggregateCall: {
+      if (!allow_aggregates) {
+        return Status::BindError("aggregate '" + expr->ToString() +
+                                 "' is not allowed in this context");
+      }
+      if (!expr->count_star) {
+        DVMS_RETURN_IF_ERROR(BindExpr(expr->children[0].get(), scope,
+                                      /*allow_aggregates=*/false));
+      }
+      switch (expr->agg_func) {
+        case AggFunc::kCount:
+          expr->resolved_type = ValueType::kInt64;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          expr->resolved_type = ValueType::kDouble;
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          expr->resolved_type =
+              expr->count_star ? ValueType::kDouble
+                               : expr->children[0]->resolved_type;
+          break;
+      }
+      return Status::OK();
+    }
+    case ExprKind::kInRelation: {
+      DVMS_RETURN_IF_ERROR(
+          BindExpr(expr->children[0].get(), scope, allow_aggregates));
+      // Verify the relation exists and has at least one column.
+      DVMS_ASSIGN_OR_RETURN(Schema rel_schema,
+                            resolver_->ResolveRelation(expr->in_relation));
+      if (rel_schema.num_columns() == 0) {
+        return Status::BindError("IN-relation '" + expr->in_relation +
+                                 "' has no columns");
+      }
+      expr->resolved_type = ValueType::kBool;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown expression kind in binder");
+}
+
+Status Binder::BindChildren(PlanNode* node) const {
+  for (auto& c : node->children) {
+    DVMS_RETURN_IF_ERROR(Bind(c.get()));
+  }
+  return Status::OK();
+}
+
+Status Binder::Bind(PlanNode* node) const {
+  DVMS_RETURN_IF_ERROR(BindChildren(node));
+  node->output_fields.clear();
+
+  switch (node->kind) {
+    case PlanKind::kScan: {
+      DVMS_ASSIGN_OR_RETURN(Schema schema,
+                            resolver_->ResolveRelation(node->relation));
+      for (const Column& col : schema.columns()) {
+        node->output_fields.push_back({node->alias, col.name, col.type});
+      }
+      break;
+    }
+    case PlanKind::kFilter: {
+      const auto& scope = node->children[0]->output_fields;
+      DVMS_RETURN_IF_ERROR(BindExpr(node->predicate.get(), scope));
+      node->output_fields = scope;
+      break;
+    }
+    case PlanKind::kProject: {
+      const auto& scope = node->children[0]->output_fields;
+      if (node->projections.size() != node->projection_names.size()) {
+        return Status::BindError("projection list and name list differ");
+      }
+      for (size_t i = 0; i < node->projections.size(); ++i) {
+        DVMS_RETURN_IF_ERROR(BindExpr(node->projections[i].get(), scope));
+        node->output_fields.push_back(
+            {"", node->projection_names[i],
+             node->projections[i]->resolved_type});
+      }
+      break;
+    }
+    case PlanKind::kJoin: {
+      const auto& left = node->children[0]->output_fields;
+      const auto& right = node->children[1]->output_fields;
+      // Equi keys bind against their own side (the executor evaluates them
+      // on the side's row alone).
+      for (auto& kv : node->equi_keys) {
+        DVMS_RETURN_IF_ERROR(BindExpr(kv.first.get(), left));
+        DVMS_RETURN_IF_ERROR(BindExpr(kv.second.get(), right));
+      }
+      std::vector<BoundField> combined = left;
+      combined.insert(combined.end(), right.begin(), right.end());
+      if (node->predicate != nullptr) {
+        DVMS_RETURN_IF_ERROR(BindExpr(node->predicate.get(), combined));
+      }
+      node->output_fields = std::move(combined);
+      break;
+    }
+    case PlanKind::kAggregate: {
+      const auto& scope = node->children[0]->output_fields;
+      if (node->group_by.size() != node->group_names.size()) {
+        return Status::BindError("GROUP BY list and name list differ");
+      }
+      for (size_t i = 0; i < node->group_by.size(); ++i) {
+        DVMS_RETURN_IF_ERROR(BindExpr(node->group_by[i].get(), scope));
+        node->output_fields.push_back(
+            {"", node->group_names[i], node->group_by[i]->resolved_type});
+      }
+      for (AggSpec& agg : node->aggregates) {
+        ValueType out_type = ValueType::kDouble;
+        if (agg.count_star) {
+          out_type = ValueType::kInt64;
+        } else {
+          if (agg.arg == nullptr) {
+            return Status::BindError("aggregate without argument");
+          }
+          DVMS_RETURN_IF_ERROR(BindExpr(agg.arg.get(), scope));
+          switch (agg.func) {
+            case AggFunc::kCount:
+              out_type = ValueType::kInt64;
+              break;
+            case AggFunc::kSum:
+            case AggFunc::kAvg:
+              out_type = ValueType::kDouble;
+              break;
+            case AggFunc::kMin:
+            case AggFunc::kMax:
+              out_type = agg.arg->resolved_type;
+              break;
+          }
+        }
+        node->output_fields.push_back({"", agg.output_name, out_type});
+      }
+      break;
+    }
+    case PlanKind::kUnion: {
+      if (node->children.empty()) {
+        return Status::BindError("UNION requires at least one input");
+      }
+      Schema first = node->children[0]->OutputSchema();
+      for (size_t i = 1; i < node->children.size(); ++i) {
+        Schema other = node->children[i]->OutputSchema();
+        if (!first.UnionCompatible(other)) {
+          return Status::BindError(
+              "UNION inputs are not union-compatible: [" + first.ToString() +
+              "] vs [" + other.ToString() + "]");
+        }
+      }
+      node->output_fields = node->children[0]->output_fields;
+      break;
+    }
+    case PlanKind::kMinus: {
+      Schema left = node->children[0]->OutputSchema();
+      Schema right = node->children[1]->OutputSchema();
+      if (!left.UnionCompatible(right)) {
+        return Status::BindError("MINUS inputs are not union-compatible: [" +
+                                 left.ToString() + "] vs [" +
+                                 right.ToString() + "]");
+      }
+      node->output_fields = node->children[0]->output_fields;
+      break;
+    }
+    case PlanKind::kDistinct:
+    case PlanKind::kLimit:
+      node->output_fields = node->children[0]->output_fields;
+      break;
+    case PlanKind::kAlias:
+      for (const BoundField& f : node->children[0]->output_fields) {
+        node->output_fields.push_back({node->alias, f.name, f.type});
+      }
+      break;
+    case PlanKind::kOrderBy: {
+      const auto& scope = node->children[0]->output_fields;
+      if (node->order_exprs.size() != node->order_descending.size()) {
+        return Status::BindError("ORDER BY expression/direction lists differ");
+      }
+      for (auto& e : node->order_exprs) {
+        DVMS_RETURN_IF_ERROR(BindExpr(e.get(), scope));
+      }
+      node->output_fields = scope;
+      break;
+    }
+  }
+  node->bound = true;
+  return Status::OK();
+}
+
+}  // namespace dvms

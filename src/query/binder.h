@@ -1,0 +1,58 @@
+#ifndef DVMS_QUERY_BINDER_H_
+#define DVMS_QUERY_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/udf_registry.h"
+#include "query/plan.h"
+#include "storage/catalog.h"
+
+namespace dvms {
+
+/// Supplies relation schemas during binding. Decoupled from Catalog so the
+/// planner can resolve views that are declared but not yet materialized.
+class SchemaResolver {
+ public:
+  virtual ~SchemaResolver() = default;
+  virtual Result<Schema> ResolveRelation(const std::string& name) const = 0;
+};
+
+/// Resolver backed by a Catalog.
+class CatalogSchemaResolver : public SchemaResolver {
+ public:
+  explicit CatalogSchemaResolver(const Catalog* catalog) : catalog_(catalog) {}
+  Result<Schema> ResolveRelation(const std::string& name) const override;
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// Resolves column references to flat row indexes, type-checks expressions,
+/// verifies union compatibility, rejects impure scalar UDFs, and fills each
+/// plan node's output_fields. Binding is idempotent.
+class Binder {
+ public:
+  Binder(const SchemaResolver* resolver, const UdfRegistry* udfs)
+      : resolver_(resolver), udfs_(udfs) {}
+
+  /// Binds the whole tree bottom-up.
+  Status Bind(PlanNode* node) const;
+
+  /// Binds a standalone expression against an explicit field scope (used by
+  /// the event recognizer for EVENT-statement predicates).
+  Status BindExpr(Expr* expr, const std::vector<BoundField>& scope,
+                  bool allow_aggregates = false) const;
+
+ private:
+  Status BindChildren(PlanNode* node) const;
+  Status ResolveColumn(Expr* expr, const std::vector<BoundField>& scope) const;
+
+  const SchemaResolver* resolver_;
+  const UdfRegistry* udfs_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_QUERY_BINDER_H_

@@ -1,0 +1,408 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dvms {
+
+namespace {
+
+/// Group-by / dedup key: a row of values with value-equality semantics.
+using KeyMap = std::unordered_map<Row, size_t, RowHash, RowEq>;
+
+Result<TablePtr> ReadRelation(const Catalog& catalog,
+                              const std::string& relation,
+                              const VersionRef& version) {
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog.Get(relation));
+  switch (version.kind) {
+    case VersionRef::Kind::kCurrent:
+      return MakeTablePtr(table->current());
+    case VersionRef::Kind::kVnow:
+      return table->Version(version.offset);
+    case VersionRef::Kind::kTnow:
+      return table->StepVersion(version.offset);
+  }
+  return Status::Internal("bad version ref");
+}
+
+struct AggState {
+  double sum = 0.0;
+  int64_t count = 0;      // non-null inputs (or all rows for COUNT(*))
+  Value min_value;        // NULL until first non-null input
+  Value max_value;
+};
+
+void UpdateAgg(AggState* state, const AggSpec& spec, const Value& v) {
+  if (spec.count_star) {
+    ++state->count;
+    return;
+  }
+  if (v.is_null()) return;
+  ++state->count;
+  auto as_double = v.AsDouble();
+  if (as_double.ok()) state->sum += as_double.value();
+  if (state->min_value.is_null() || v.Compare(state->min_value) < 0) {
+    state->min_value = v;
+  }
+  if (state->max_value.is_null() || v.Compare(state->max_value) > 0) {
+    state->max_value = v;
+  }
+}
+
+Value FinalizeAgg(const AggState& state, const AggSpec& spec) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return Value::Int(state.count);
+    case AggFunc::kSum:
+      return state.count == 0 ? Value::Null() : Value::Double(state.sum);
+    case AggFunc::kAvg:
+      return state.count == 0
+                 ? Value::Null()
+                 : Value::Double(state.sum / static_cast<double>(state.count));
+    case AggFunc::kMin:
+      return state.min_value;
+    case AggFunc::kMax:
+      return state.max_value;
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Result<Executor::InSets> Executor::BuildInSets(const PlanNode& plan) const {
+  InSets sets;
+  std::vector<std::string> names;
+  plan.CollectInRelations(&names);
+  for (const std::string& name : names) {
+    std::string key = IdentKey(name);
+    if (sets.count(key) > 0) continue;
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(name));
+    auto set = std::make_shared<ValueSet>();
+    const Table& t = table->current();
+    if (t.schema().num_columns() == 0) {
+      return Status::ExecutionError("IN-relation '" + name + "' has no columns");
+    }
+    for (const Row& row : t.rows()) {
+      if (!row[0].is_null()) set->insert(row[0]);
+    }
+    sets.emplace(std::move(key), std::move(set));
+  }
+  return sets;
+}
+
+Result<std::unique_ptr<NodeResult>> Executor::Execute(
+    const PlanNode& plan, const ExecOptions& opts) const {
+  if (!plan.bound) {
+    return Status::BindError("plan must be bound before execution");
+  }
+  DVMS_ASSIGN_OR_RETURN(InSets in_sets, BuildInSets(plan));
+  EvalContext ctx;
+  ctx.udfs = udfs_;
+  ctx.in_sets = &in_sets;
+  return Exec(plan, opts, ctx);
+}
+
+Result<Table> Executor::ExecuteToTable(const PlanNode& plan) const {
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result, Execute(plan));
+  return std::move(result->table);
+}
+
+Result<std::unique_ptr<NodeResult>> Executor::ExecScan(
+    const PlanNode& node, const ExecOptions& opts) const {
+  auto out = std::make_unique<NodeResult>();
+  out->node = &node;
+  DVMS_ASSIGN_OR_RETURN(TablePtr src,
+                        ReadRelation(*catalog_, node.relation, node.version));
+  out->table = Table(node.OutputSchema(), std::vector<Row>(src->rows()));
+  if (opts.capture_lineage) {
+    out->has_lineage = true;
+    out->lineage.resize(out->table.num_rows());
+    // A scan is a leaf: lineage maps output row i to "source row i", encoded
+    // as child 0 / row i so provenance can read base-row ids directly.
+    for (size_t i = 0; i < out->table.num_rows(); ++i) {
+      out->lineage[i] = {{0, i}};
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<NodeResult>> Executor::Exec(
+    const PlanNode& node, const ExecOptions& opts,
+    const EvalContext& ctx) const {
+  if (node.kind == PlanKind::kScan) return ExecScan(node, opts);
+
+  auto out = std::make_unique<NodeResult>();
+  out->node = &node;
+  out->has_lineage = opts.capture_lineage;
+  for (const auto& child : node.children) {
+    DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> r,
+                          Exec(*child, opts, ctx));
+    out->children.push_back(std::move(r));
+  }
+  out->table = Table(node.OutputSchema());
+
+  auto add_row = [&out, &opts](Row row, std::vector<LineageEntry> lin) {
+    out->table.AppendUnchecked(std::move(row));
+    if (opts.capture_lineage) out->lineage.push_back(std::move(lin));
+  };
+
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return Status::Internal("unreachable");
+
+    case PlanKind::kFilter: {
+      const Table& in = out->children[0]->table;
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        DVMS_ASSIGN_OR_RETURN(bool keep,
+                              EvalPredicate(*node.predicate, in.row(i), ctx));
+        if (keep) add_row(in.row(i), {{0, i}});
+      }
+      break;
+    }
+
+    case PlanKind::kProject: {
+      const Table& in = out->children[0]->table;
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        Row row;
+        row.reserve(node.projections.size());
+        for (const auto& e : node.projections) {
+          DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
+          row.push_back(std::move(v));
+        }
+        add_row(std::move(row), {{0, i}});
+      }
+      break;
+    }
+
+    case PlanKind::kJoin: {
+      const Table& left = out->children[0]->table;
+      const Table& right = out->children[1]->table;
+      auto emit = [&](size_t li, size_t ri) -> Status {
+        Row combined = left.row(li);
+        const Row& r = right.row(ri);
+        combined.insert(combined.end(), r.begin(), r.end());
+        if (node.predicate != nullptr) {
+          DVMS_ASSIGN_OR_RETURN(bool keep,
+                                EvalPredicate(*node.predicate, combined, ctx));
+          if (!keep) return Status::OK();
+        }
+        add_row(std::move(combined), {{0, li}, {1, ri}});
+        return Status::OK();
+      };
+      if (!node.equi_keys.empty()) {
+        // Hash join: build on the right side.
+        std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> build;
+        for (size_t ri = 0; ri < right.num_rows(); ++ri) {
+          Row key;
+          key.reserve(node.equi_keys.size());
+          bool has_null = false;
+          for (const auto& kv : node.equi_keys) {
+            DVMS_ASSIGN_OR_RETURN(Value v,
+                                  EvalExpr(*kv.second, right.row(ri), ctx));
+            if (v.is_null()) has_null = true;
+            key.push_back(std::move(v));
+          }
+          if (!has_null) build[std::move(key)].push_back(ri);
+        }
+        for (size_t li = 0; li < left.num_rows(); ++li) {
+          Row key;
+          key.reserve(node.equi_keys.size());
+          bool has_null = false;
+          for (const auto& kv : node.equi_keys) {
+            DVMS_ASSIGN_OR_RETURN(Value v,
+                                  EvalExpr(*kv.first, left.row(li), ctx));
+            if (v.is_null()) has_null = true;
+            key.push_back(std::move(v));
+          }
+          if (has_null) continue;
+          auto it = build.find(key);
+          if (it == build.end()) continue;
+          for (size_t ri : it->second) {
+            DVMS_RETURN_IF_ERROR(emit(li, ri));
+          }
+        }
+      } else {
+        for (size_t li = 0; li < left.num_rows(); ++li) {
+          for (size_t ri = 0; ri < right.num_rows(); ++ri) {
+            DVMS_RETURN_IF_ERROR(emit(li, ri));
+          }
+        }
+      }
+      break;
+    }
+
+    case PlanKind::kAggregate: {
+      const Table& in = out->children[0]->table;
+      struct Group {
+        Row key;
+        std::vector<AggState> states;
+        std::vector<LineageEntry> contributors;
+      };
+      KeyMap index;
+      std::vector<Group> groups;
+      const bool global = node.group_by.empty();
+      if (global) {
+        groups.push_back({{}, std::vector<AggState>(node.aggregates.size()), {}});
+      }
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        size_t gi;
+        if (global) {
+          gi = 0;
+        } else {
+          Row key;
+          key.reserve(node.group_by.size());
+          for (const auto& e : node.group_by) {
+            DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
+            key.push_back(std::move(v));
+          }
+          auto it = index.find(key);
+          if (it == index.end()) {
+            gi = groups.size();
+            index.emplace(key, gi);
+            groups.push_back(
+                {std::move(key), std::vector<AggState>(node.aggregates.size()),
+                 {}});
+          } else {
+            gi = it->second;
+          }
+        }
+        Group& g = groups[gi];
+        for (size_t a = 0; a < node.aggregates.size(); ++a) {
+          const AggSpec& spec = node.aggregates[a];
+          if (spec.count_star) {
+            UpdateAgg(&g.states[a], spec, Value::Null());
+          } else {
+            DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, in.row(i), ctx));
+            UpdateAgg(&g.states[a], spec, v);
+          }
+        }
+        if (opts.capture_lineage) g.contributors.push_back({0, i});
+      }
+      // Deterministic output order: sort groups by key.
+      std::vector<size_t> order(groups.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&groups](size_t a, size_t b) {
+        return CompareRows(groups[a].key, groups[b].key) < 0;
+      });
+      for (size_t gi : order) {
+        Group& g = groups[gi];
+        Row row = g.key;
+        for (size_t a = 0; a < node.aggregates.size(); ++a) {
+          row.push_back(FinalizeAgg(g.states[a], node.aggregates[a]));
+        }
+        add_row(std::move(row), std::move(g.contributors));
+      }
+      break;
+    }
+
+    case PlanKind::kUnion: {
+      if (!node.union_distinct) {
+        for (size_t c = 0; c < out->children.size(); ++c) {
+          const Table& in = out->children[c]->table;
+          for (size_t i = 0; i < in.num_rows(); ++i) {
+            add_row(in.row(i), {{static_cast<uint32_t>(c), i}});
+          }
+        }
+        break;
+      }
+      KeyMap seen;
+      for (size_t c = 0; c < out->children.size(); ++c) {
+        const Table& in = out->children[c]->table;
+        for (size_t i = 0; i < in.num_rows(); ++i) {
+          auto it = seen.find(in.row(i));
+          if (it == seen.end()) {
+            seen.emplace(in.row(i), out->table.num_rows());
+            add_row(in.row(i), {{static_cast<uint32_t>(c), i}});
+          } else if (opts.capture_lineage) {
+            // Duplicates contribute lineage to the surviving row.
+            out->lineage[it->second].push_back({static_cast<uint32_t>(c), i});
+          }
+        }
+      }
+      break;
+    }
+
+    case PlanKind::kMinus: {
+      const Table& left = out->children[0]->table;
+      const Table& right = out->children[1]->table;
+      std::unordered_map<Row, bool, RowHash, RowEq> right_rows;
+      for (const Row& r : right.rows()) right_rows.emplace(r, true);
+      KeyMap seen;
+      for (size_t i = 0; i < left.num_rows(); ++i) {
+        if (right_rows.count(left.row(i)) > 0) continue;
+        auto it = seen.find(left.row(i));
+        if (it == seen.end()) {
+          seen.emplace(left.row(i), out->table.num_rows());
+          add_row(left.row(i), {{0, i}});
+        } else if (opts.capture_lineage) {
+          out->lineage[it->second].push_back({0, i});
+        }
+      }
+      break;
+    }
+
+    case PlanKind::kDistinct: {
+      const Table& in = out->children[0]->table;
+      KeyMap seen;
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        auto it = seen.find(in.row(i));
+        if (it == seen.end()) {
+          seen.emplace(in.row(i), out->table.num_rows());
+          add_row(in.row(i), {{0, i}});
+        } else if (opts.capture_lineage) {
+          out->lineage[it->second].push_back({0, i});
+        }
+      }
+      break;
+    }
+
+    case PlanKind::kOrderBy: {
+      const Table& in = out->children[0]->table;
+      std::vector<std::pair<Row, size_t>> keyed;  // sort key, input row index
+      keyed.reserve(in.num_rows());
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        Row key;
+        key.reserve(node.order_exprs.size());
+        for (const auto& e : node.order_exprs) {
+          DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
+          key.push_back(std::move(v));
+        }
+        keyed.emplace_back(std::move(key), i);
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [&node](const auto& a, const auto& b) {
+                         for (size_t k = 0; k < a.first.size(); ++k) {
+                           int c = a.first[k].Compare(b.first[k]);
+                           if (c != 0) {
+                             return node.order_descending[k] ? c > 0 : c < 0;
+                           }
+                         }
+                         return false;
+                       });
+      for (const auto& [key, i] : keyed) {
+        add_row(in.row(i), {{0, i}});
+      }
+      break;
+    }
+
+    case PlanKind::kLimit: {
+      const Table& in = out->children[0]->table;
+      size_t n = std::min(node.limit, in.num_rows());
+      for (size_t i = 0; i < n; ++i) {
+        add_row(in.row(i), {{0, i}});
+      }
+      break;
+    }
+
+    case PlanKind::kAlias: {
+      const Table& in = out->children[0]->table;
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        add_row(in.row(i), {{0, i}});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dvms

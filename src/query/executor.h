@@ -1,0 +1,75 @@
+#ifndef DVMS_QUERY_EXECUTOR_H_
+#define DVMS_QUERY_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/udf_registry.h"
+#include "query/plan.h"
+#include "storage/catalog.h"
+
+namespace dvms {
+
+/// One contribution to an output row: (child operator index, row index in
+/// that child's output).
+struct LineageEntry {
+  uint32_t child;
+  RowId row;
+};
+
+/// The materialized output of one plan node, with optional row-level
+/// lineage and the full child results (so provenance can walk the tree down
+/// to Scan leaves).
+struct NodeResult {
+  const PlanNode* node = nullptr;
+  Table table;
+  bool has_lineage = false;
+  /// lineage[i] lists the child rows that produced output row i.
+  std::vector<std::vector<LineageEntry>> lineage;
+  std::vector<std::unique_ptr<NodeResult>> children;
+};
+
+struct ExecOptions {
+  /// Record row-level lineage at every operator (the "eager" strategy of
+  /// §3.1). Costs memory and time; see bench_sec31_provenance.
+  bool capture_lineage = false;
+};
+
+/// Pull-style materializing executor over bound plans. Stateless; reads
+/// relations from the catalog at the versions named by Scan nodes.
+class Executor {
+ public:
+  Executor(const Catalog* catalog, const UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  /// Executes a bound plan. Returns the full operator-result tree.
+  Result<std::unique_ptr<NodeResult>> Execute(const PlanNode& plan,
+                                              const ExecOptions& opts = {}) const;
+
+  /// Convenience: executes and returns only the root table.
+  Result<Table> ExecuteToTable(const PlanNode& plan) const;
+
+ private:
+  using InSets =
+      std::unordered_map<std::string, std::shared_ptr<const ValueSet>>;
+
+  /// Materializes the first column of every IN-referenced relation.
+  Result<InSets> BuildInSets(const PlanNode& plan) const;
+
+  Result<std::unique_ptr<NodeResult>> Exec(const PlanNode& node,
+                                           const ExecOptions& opts,
+                                           const EvalContext& ctx) const;
+
+  Result<std::unique_ptr<NodeResult>> ExecScan(const PlanNode& node,
+                                               const ExecOptions& opts) const;
+
+  const Catalog* catalog_;
+  const UdfRegistry* udfs_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_QUERY_EXECUTOR_H_

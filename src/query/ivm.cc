@@ -1,0 +1,139 @@
+#include "query/ivm.h"
+
+#include <algorithm>
+
+#include "common/schema.h"
+
+namespace dvms {
+
+Result<CrossfilterCube> CrossfilterCube::Build(
+    const Table& fact, const std::vector<std::string>& dims,
+    const std::string& measure) {
+  if (dims.size() < 2) {
+    return Status::InvalidArgument(
+        "crossfilter needs at least two dimensions");
+  }
+  CrossfilterCube cube;
+  cube.dims_ = dims;
+  cube.measure_ = measure;
+  cube.fact_schema_ = fact.schema();
+  for (const std::string& dim : dims) {
+    DVMS_ASSIGN_OR_RETURN(size_t col, fact.schema().IndexOf(dim));
+    cube.dim_cols_.push_back(col);
+  }
+  DVMS_ASSIGN_OR_RETURN(cube.measure_col_, fact.schema().IndexOf(measure));
+  cube.marginals_.resize(dims.size() * dims.size());
+  DVMS_RETURN_IF_ERROR(cube.Fold(fact));
+  return cube;
+}
+
+Status CrossfilterCube::Fold(const Table& fact) {
+  const size_t d = dims_.size();
+  for (const Row& row : fact.rows()) {
+    auto m = row[measure_col_].AsDouble();
+    if (!m.ok()) continue;  // NULL / non-numeric measures contribute nothing
+    double v = m.value();
+    for (size_t i = 0; i < d; ++i) {
+      const Value& gval = row[dim_cols_[i]];
+      for (size_t j = 0; j < d; ++j) {
+        if (i == j) continue;
+        Marginal& marginal = marginals_[i * d + j];
+        marginal.cells[gval][row[dim_cols_[j]]] += v;
+      }
+      marginals_[i * d + (i == 0 ? 1 : 0)].totals[gval] += v;
+    }
+  }
+  return Status::OK();
+}
+
+Status CrossfilterCube::Update(const Table& delta) {
+  if (!fact_schema_.UnionCompatible(delta.schema())) {
+    return Status::TypeError("delta schema does not match fact schema");
+  }
+  return Fold(delta);
+}
+
+Result<const CrossfilterCube::Marginal*> CrossfilterCube::FindMarginal(
+    const std::string& dim, const std::string& filter_dim) const {
+  size_t gi = dims_.size(), fi = dims_.size();
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (IdentEquals(dims_[i], dim)) gi = i;
+    if (IdentEquals(dims_[i], filter_dim)) fi = i;
+  }
+  if (gi == dims_.size()) {
+    return Status::NotFound("'" + dim + "' is not a crossfilter dimension");
+  }
+  if (fi == dims_.size()) {
+    return Status::NotFound("'" + filter_dim +
+                            "' is not a crossfilter dimension");
+  }
+  if (gi == fi) {
+    return Status::InvalidArgument(
+        "group and filter dimension must differ (crossfilter never filters "
+        "a chart by its own dimension)");
+  }
+  return &marginals_[gi * dims_.size() + fi];
+}
+
+namespace {
+
+Table MakeSumsTable(std::vector<std::pair<Value, double>> rows) {
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.first.Compare(b.first) < 0;
+  });
+  Table out(Schema({{"value", ValueType::kNull}, {"total", ValueType::kDouble}}));
+  for (auto& [value, total] : rows) {
+    out.AppendUnchecked({value, Value::Double(total)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> CrossfilterCube::GroupTotals(const std::string& dim) const {
+  // Totals live on the (dim, other) marginal for an arbitrary other.
+  size_t gi = dims_.size();
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (IdentEquals(dims_[i], dim)) gi = i;
+  }
+  if (gi == dims_.size()) {
+    return Status::NotFound("'" + dim + "' is not a crossfilter dimension");
+  }
+  const Marginal& marginal = marginals_[gi * dims_.size() + (gi == 0 ? 1 : 0)];
+  std::vector<std::pair<Value, double>> rows;
+  rows.reserve(marginal.totals.size());
+  for (const auto& [value, total] : marginal.totals) {
+    rows.emplace_back(value, total);
+  }
+  return MakeSumsTable(std::move(rows));
+}
+
+Result<Table> CrossfilterCube::FilteredGroupSums(const std::string& dim,
+                                                 const std::string& filter_dim,
+                                                 const ValueSet& values) const {
+  DVMS_ASSIGN_OR_RETURN(const Marginal* marginal,
+                        FindMarginal(dim, filter_dim));
+  std::vector<std::pair<Value, double>> rows;
+  rows.reserve(marginal->cells.size());
+  for (const auto& [gval, cells] : marginal->cells) {
+    double sum = 0;
+    for (const Value& f : values) {
+      auto it = cells.find(f);
+      if (it != cells.end()) sum += it->second;
+    }
+    rows.emplace_back(gval, sum);
+  }
+  return MakeSumsTable(std::move(rows));
+}
+
+size_t CrossfilterCube::num_cells() const {
+  size_t n = 0;
+  for (const Marginal& marginal : marginals_) {
+    for (const auto& [gval, cells] : marginal.cells) {
+      n += cells.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace dvms

@@ -1,0 +1,138 @@
+#include "query/maintenance.h"
+
+namespace dvms {
+
+ViewMaintainer::ViewMaintainer(Catalog* catalog, const UdfRegistry* udfs)
+    : catalog_(catalog), udfs_(udfs) {}
+
+Status ViewMaintainer::DefineView(const std::string& name, PlanPtr plan,
+                                  RelationKind kind,
+                                  const std::string& table_udf) {
+  CatalogSchemaResolver resolver(catalog_);
+  Binder binder(&resolver, udfs_);
+  DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+  Schema schema = plan->OutputSchema();
+  if (!table_udf.empty()) {
+    DVMS_ASSIGN_OR_RETURN(const TableUdf* udf, udfs_->FindTable(table_udf));
+    if (!udf->pure) {
+      return Status::BindError("table UDF '" + table_udf +
+                               "' is not pure; only render may have side "
+                               "effects");
+    }
+    DVMS_ASSIGN_OR_RETURN(schema, udf->schema_fn(schema));
+  }
+
+  if (catalog_->Exists(name)) {
+    DVMS_ASSIGN_OR_RETURN(RelationKind existing_kind, catalog_->KindOf(name));
+    if (existing_kind == RelationKind::kBase ||
+        existing_kind == RelationKind::kEvent) {
+      return Status::BindError("cannot redefine " +
+                               std::string(RelationKindToString(existing_kind)) +
+                               " relation '" + name + "' as a view");
+    }
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(name));
+    if (!table->schema().UnionCompatible(schema)) {
+      return Status::BindError(
+          "redefinition of view '" + name +
+          "' changes its schema incompatibly: [" + table->schema().ToString() +
+          "] vs [" + schema.ToString() + "]");
+    }
+  } else {
+    DVMS_RETURN_IF_ERROR(
+        catalog_->CreateTable(name, std::move(schema), kind).status());
+  }
+
+  if (optimizer_ != nullptr && table_udf.empty()) {
+    optimizer_->TryAdopt(name, *plan);
+  }
+  ViewDef def;
+  def.name = name;
+  def.plan = std::move(plan);
+  def.renders = (kind == RelationKind::kMarks);
+  def.table_udf = table_udf;
+  return registry_.Register(std::move(def));
+}
+
+Status ViewMaintainer::RecomputeView(const std::string& name) {
+  // Online-optimizer fast path: adopted views refresh from their cube.
+  if (optimizer_ != nullptr && !capture_lineage_ &&
+      optimizer_->IsAdopted(name)) {
+    auto refreshed = optimizer_->Refresh(name);
+    if (refreshed.ok()) {
+      DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(name));
+      DVMS_RETURN_IF_ERROR(table->SetCurrent(std::move(refreshed).value()));
+      ++recompute_count_;
+      return Status::OK();
+    }
+    // Fall back to plan execution on any optimizer error.
+  }
+  DVMS_ASSIGN_OR_RETURN(const ViewDef* def, registry_.Get(name));
+  Executor exec(catalog_, udfs_);
+  ExecOptions opts;
+  opts.capture_lineage = capture_lineage_ && def->table_udf.empty();
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result,
+                        exec.Execute(*def->plan, opts));
+  if (!def->table_udf.empty()) {
+    // Layout post-processing; row-level lineage does not survive the UDF.
+    DVMS_ASSIGN_OR_RETURN(const TableUdf* udf,
+                          udfs_->FindTable(def->table_udf));
+    DVMS_ASSIGN_OR_RETURN(result->table, udf->fn(result->table, {}));
+  }
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(name));
+  if (capture_lineage_ && def->table_udf.empty()) {
+    // Keep the full operator-result tree (including the root table, whose
+    // row order matches the materialized view) for provenance walks.
+    DVMS_RETURN_IF_ERROR(table->SetCurrent(Table(result->table)));
+    last_results_[IdentKey(name)] = std::move(result);
+  } else {
+    DVMS_RETURN_IF_ERROR(table->SetCurrent(std::move(result->table)));
+  }
+  ++recompute_count_;
+  return Status::OK();
+}
+
+Status ViewMaintainer::RecomputeAll() {
+  DVMS_ASSIGN_OR_RETURN(std::vector<std::string> order, registry_.TopoOrder());
+  for (const std::string& name : order) {
+    DVMS_RETURN_IF_ERROR(RecomputeView(name));
+  }
+  return Status::OK();
+}
+
+Status ViewMaintainer::OnChanged(const std::vector<std::string>& changed) {
+  if (optimizer_ != nullptr) {
+    for (const std::string& name : changed) {
+      optimizer_->OnRelationChanged(name);
+    }
+  }
+  DVMS_ASSIGN_OR_RETURN(std::vector<std::string> affected,
+                        registry_.AffectedBy(changed));
+  for (const std::string& name : affected) {
+    DVMS_RETURN_IF_ERROR(RecomputeView(name));
+  }
+  return Status::OK();
+}
+
+Result<const NodeResult*> ViewMaintainer::LastResult(
+    const std::string& view) const {
+  auto it = last_results_.find(IdentKey(view));
+  if (it == last_results_.end()) {
+    return Status::NotFound("no lineage recorded for view '" + view +
+                            "' (is capture_lineage on?)");
+  }
+  return it->second.get();
+}
+
+void ViewMaintainer::SnapshotCommitted() { committed_results_ = last_results_; }
+
+Result<const NodeResult*> ViewMaintainer::CommittedResult(
+    const std::string& view) const {
+  auto it = committed_results_.find(IdentKey(view));
+  if (it == committed_results_.end()) {
+    return Status::NotFound("no committed lineage snapshot for view '" + view +
+                            "'");
+  }
+  return it->second.get();
+}
+
+}  // namespace dvms

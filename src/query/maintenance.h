@@ -1,0 +1,88 @@
+#ifndef DVMS_QUERY_MAINTENANCE_H_
+#define DVMS_QUERY_MAINTENANCE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/binder.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/view.h"
+#include "storage/catalog.h"
+
+namespace dvms {
+
+/// Maintains materialized views over the catalog: binds view plans, creates
+/// their backing relations, and recomputes affected views in dependency
+/// order when inputs change (the Executor role in Figure 3 of the paper).
+///
+/// Maintenance here is full recomputation of affected views; the
+/// crossfilter-style incremental path lives in query/ivm.h and is compared
+/// against this baseline in bench_ablation_ivm.
+class ViewMaintainer {
+ public:
+  ViewMaintainer(Catalog* catalog, const UdfRegistry* udfs);
+
+  /// Defines (or redefines) a view. Binds the plan, creates the catalog
+  /// relation on first definition, and registers the dependency edges.
+  /// `kind` should be kView or kMarks. A non-empty `table_udf` names a
+  /// registered table UDF applied to the plan output on every recompute.
+  Status DefineView(const std::string& name, PlanPtr plan,
+                    RelationKind kind = RelationKind::kView,
+                    const std::string& table_udf = "");
+
+  /// Recomputes every view in dependency order.
+  Status RecomputeAll();
+
+  /// Recomputes one view (not its dependents).
+  Status RecomputeView(const std::string& name);
+
+  /// Recomputes the views transitively affected by changes to `changed`
+  /// relations (base or event tables, or directly poked views).
+  Status OnChanged(const std::vector<std::string>& changed);
+
+  const ViewRegistry& registry() const { return registry_; }
+
+  /// When true, every recompute captures row-level lineage (eager
+  /// provenance, §3.1) and retains the operator-result tree per view.
+  void set_capture_lineage(bool capture) { capture_lineage_ = capture; }
+  bool capture_lineage() const { return capture_lineage_; }
+
+  /// The operator-result tree from the most recent recompute of `view`.
+  /// Requires capture_lineage(); NotFound before the first recompute.
+  Result<const NodeResult*> LastResult(const std::string& view) const;
+
+  /// Snapshots the current lineage trees as the "committed" generation.
+  /// Provenance queries against `@vnow-1` versions (DeVIL 4) read these.
+  void SnapshotCommitted();
+
+  /// The lineage tree for `view` as of the last SnapshotCommitted().
+  Result<const NodeResult*> CommittedResult(const std::string& view) const;
+
+  /// Total number of view recomputations performed (for benches).
+  size_t recompute_count() const { return recompute_count_; }
+
+  /// Installs the Online Optimizer (Figure 3): adopted views refresh from
+  /// precomputed structures instead of plan re-execution. Disabled while
+  /// capture_lineage() is on (adopted refreshes carry no row lineage).
+  void set_optimizer(CrossfilterOptimizer* optimizer) {
+    optimizer_ = optimizer;
+  }
+
+ private:
+  Catalog* catalog_;
+  const UdfRegistry* udfs_;
+  CrossfilterOptimizer* optimizer_ = nullptr;
+  ViewRegistry registry_;
+  bool capture_lineage_ = false;
+  std::unordered_map<std::string, std::shared_ptr<NodeResult>> last_results_;
+  std::unordered_map<std::string, std::shared_ptr<NodeResult>>
+      committed_results_;
+  size_t recompute_count_ = 0;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_QUERY_MAINTENANCE_H_

@@ -1,0 +1,261 @@
+#include "query/plan.h"
+
+namespace dvms {
+
+const char* PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kUnion:
+      return "Union";
+    case PlanKind::kMinus:
+      return "Minus";
+    case PlanKind::kDistinct:
+      return "Distinct";
+    case PlanKind::kOrderBy:
+      return "OrderBy";
+    case PlanKind::kLimit:
+      return "Limit";
+    case PlanKind::kAlias:
+      return "Alias";
+  }
+  return "?";
+}
+
+std::string VersionRef::ToString() const {
+  switch (kind) {
+    case Kind::kCurrent:
+      return "";
+    case Kind::kVnow:
+      return "@vnow-" + std::to_string(offset);
+    case Kind::kTnow:
+      return "@tnow-" + std::to_string(offset);
+  }
+  return "";
+}
+
+Schema PlanNode::OutputSchema() const {
+  Schema schema;
+  for (const BoundField& f : output_fields) {
+    schema.AddColumn({f.name, f.type});
+  }
+  return schema;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + PlanKindToString(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      out += " " + relation + version.ToString();
+      if (!alias.empty() && alias != relation) out += " AS " + alias;
+      break;
+    case PlanKind::kFilter:
+      out += " [" + predicate->ToString() + "]";
+      break;
+    case PlanKind::kProject: {
+      out += " [";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += projections[i]->ToString() + " AS " + projection_names[i];
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kJoin: {
+      if (!equi_keys.empty()) {
+        out += " on [";
+        for (size_t i = 0; i < equi_keys.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += equi_keys[i].first->ToString() + " = " +
+                 equi_keys[i].second->ToString();
+        }
+        out += "]";
+      }
+      if (predicate != nullptr) out += " where [" + predicate->ToString() + "]";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      out += " group=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_by[i]->ToString();
+      }
+      out += "] aggs=[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) out += ", ";
+        const AggSpec& a = aggregates[i];
+        out += std::string(AggFuncToString(a.func)) + "(" +
+               (a.count_star ? "*" : a.arg->ToString()) + ") AS " +
+               a.output_name;
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kUnion:
+      out += union_distinct ? " DISTINCT" : " ALL";
+      break;
+    case PlanKind::kLimit:
+      out += " " + std::to_string(limit);
+      break;
+    case PlanKind::kAlias:
+      out += " AS " + alias;
+      break;
+    default:
+      break;
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+void PlanNode::CollectScans(
+    std::vector<std::pair<std::string, VersionRef>>* out) const {
+  if (kind == PlanKind::kScan) out->emplace_back(relation, version);
+  for (const auto& c : children) c->CollectScans(out);
+}
+
+void PlanNode::CollectInRelations(std::vector<std::string>* out) const {
+  auto visit_expr = [out](const ExprPtr& e) {
+    if (e != nullptr) e->CollectInRelations(out);
+  };
+  visit_expr(predicate);
+  for (const auto& e : projections) visit_expr(e);
+  for (const auto& kv : equi_keys) {
+    visit_expr(kv.first);
+    visit_expr(kv.second);
+  }
+  for (const auto& e : group_by) visit_expr(e);
+  for (const auto& a : aggregates) visit_expr(a.arg);
+  for (const auto& e : order_exprs) visit_expr(e);
+  for (const auto& c : children) c->CollectInRelations(out);
+}
+
+PlanPtr MakeScan(std::string relation, VersionRef version, std::string alias) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kScan;
+  n->alias = alias.empty() ? relation : std::move(alias);
+  n->relation = std::move(relation);
+  n->version = version;
+  return n;
+}
+
+PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kFilter;
+  n->predicate = std::move(predicate);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kProject;
+  n->projections = std::move(exprs);
+  n->projection_names = std::move(names);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right,
+                 std::vector<std::pair<ExprPtr, ExprPtr>> equi_keys,
+                 ExprPtr residual) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kJoin;
+  n->equi_keys = std::move(equi_keys);
+  n->predicate = std::move(residual);
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_by,
+                      std::vector<std::string> group_names,
+                      std::vector<AggSpec> aggregates) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kAggregate;
+  n->group_by = std::move(group_by);
+  n->group_names = std::move(group_names);
+  n->aggregates = std::move(aggregates);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeUnion(std::vector<PlanPtr> children, bool distinct) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kUnion;
+  n->union_distinct = distinct;
+  n->children = std::move(children);
+  return n;
+}
+
+PlanPtr MakeMinus(PlanPtr left, PlanPtr right) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kMinus;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr MakeDistinct(PlanPtr child) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kDistinct;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeOrderBy(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<bool> descending) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kOrderBy;
+  n->order_exprs = std::move(exprs);
+  n->order_descending = std::move(descending);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeLimit(PlanPtr child, size_t limit) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kLimit;
+  n->limit = limit;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeAlias(PlanPtr child, std::string alias) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kAlias;
+  n->alias = std::move(alias);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr ClonePlan(const PlanPtr& plan) {
+  auto n = std::make_shared<PlanNode>(*plan);
+  auto clone_expr = [](ExprPtr& e) {
+    if (e != nullptr) e = CloneExpr(e);
+  };
+  clone_expr(n->predicate);
+  for (auto& e : n->projections) clone_expr(e);
+  for (auto& kv : n->equi_keys) {
+    clone_expr(kv.first);
+    clone_expr(kv.second);
+  }
+  for (auto& e : n->group_by) clone_expr(e);
+  for (auto& a : n->aggregates) clone_expr(a.arg);
+  for (auto& e : n->order_exprs) clone_expr(e);
+  n->children.clear();
+  for (const auto& c : plan->children) n->children.push_back(ClonePlan(c));
+  return n;
+}
+
+}  // namespace dvms

@@ -1,0 +1,149 @@
+#ifndef DVMS_QUERY_PLAN_H_
+#define DVMS_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "expr/expr.h"
+
+namespace dvms {
+
+enum class PlanKind {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,       // cross join + optional equi keys + residual predicate
+  kAggregate,  // hash group-by
+  kUnion,      // n-ary; distinct or ALL
+  kMinus,      // set difference (distinct semantics)
+  kDistinct,
+  kOrderBy,
+  kLimit,
+  kAlias,  // re-qualifies child columns under a new relation alias
+};
+
+const char* PlanKindToString(PlanKind kind);
+
+/// Which version of a relation a scan reads (DeVIL's `@vnow-k` / `@tnow-j`
+/// suffixes). kCurrent is the working state.
+struct VersionRef {
+  enum class Kind { kCurrent, kVnow, kTnow };
+  Kind kind = Kind::kCurrent;
+  size_t offset = 0;
+
+  static VersionRef Current() { return {}; }
+  static VersionRef Vnow(size_t k) { return {Kind::kVnow, k}; }
+  static VersionRef Tnow(size_t j) { return {Kind::kTnow, j}; }
+
+  bool is_current() const { return kind == Kind::kCurrent; }
+  std::string ToString() const;
+};
+
+/// One aggregate in an Aggregate node's output.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;  // null for COUNT(*)
+  bool count_star = false;
+  std::string output_name;
+};
+
+/// One column visible to expressions at some point in the plan, with the
+/// qualifier it can be referenced through.
+struct BoundField {
+  std::string qualifier;  // table alias, may be empty
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// A logical/physical plan node (the engine executes the logical plan
+/// directly; the only physical choice — hash vs. nested-loop join — is made
+/// inside the executor from `equi_keys`).
+struct PlanNode {
+  PlanKind kind;
+
+  // kScan
+  std::string relation;
+  VersionRef version;
+  std::string alias;  // defaults to relation name
+
+  // kFilter / kJoin residual
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> projection_names;
+
+  // kJoin: pairs of (left-side expr, right-side expr) compared with '='.
+  std::vector<std::pair<ExprPtr, ExprPtr>> equi_keys;
+
+  // kAggregate
+  std::vector<ExprPtr> group_by;
+  std::vector<std::string> group_names;
+  std::vector<AggSpec> aggregates;
+
+  // kUnion
+  bool union_distinct = true;
+
+  // kOrderBy
+  std::vector<ExprPtr> order_exprs;
+  std::vector<bool> order_descending;
+
+  // kLimit
+  size_t limit = 0;
+
+  std::vector<PlanPtr> children;
+
+  // Filled in by the binder.
+  bool bound = false;
+  std::vector<BoundField> output_fields;
+
+  /// Output schema derived from output_fields (after binding).
+  Schema OutputSchema() const;
+
+  /// Indented plan dump for debugging.
+  std::string ToString(int indent = 0) const;
+
+  /// Collects the names of relations scanned anywhere in this subtree,
+  /// along with their version refs.
+  void CollectScans(std::vector<std::pair<std::string, VersionRef>>* out) const;
+
+  /// Collects relations referenced via IN/NOT IN predicates in this subtree.
+  void CollectInRelations(std::vector<std::string>* out) const;
+};
+
+// ---- Construction helpers ----
+
+PlanPtr MakeScan(std::string relation, VersionRef version = VersionRef::Current(),
+                 std::string alias = "");
+PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate);
+PlanPtr MakeProject(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names);
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right,
+                 std::vector<std::pair<ExprPtr, ExprPtr>> equi_keys = {},
+                 ExprPtr residual = nullptr);
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ExprPtr> group_by,
+                      std::vector<std::string> group_names,
+                      std::vector<AggSpec> aggregates);
+PlanPtr MakeUnion(std::vector<PlanPtr> children, bool distinct = true);
+PlanPtr MakeMinus(PlanPtr left, PlanPtr right);
+PlanPtr MakeDistinct(PlanPtr child);
+PlanPtr MakeOrderBy(PlanPtr child, std::vector<ExprPtr> exprs,
+                    std::vector<bool> descending);
+PlanPtr MakeLimit(PlanPtr child, size_t limit);
+
+/// Wraps a derived table (`FROM (SELECT ...) AS alias`) so its columns are
+/// addressable through `alias`.
+PlanPtr MakeAlias(PlanPtr child, std::string alias);
+
+/// Deep copy (expressions are cloned too, so a bound copy can be re-bound).
+PlanPtr ClonePlan(const PlanPtr& plan);
+
+}  // namespace dvms
+
+#endif  // DVMS_QUERY_PLAN_H_

@@ -1,0 +1,161 @@
+#include "query/view.h"
+
+#include <algorithm>
+
+#include "common/schema.h"
+
+namespace dvms {
+
+void ComputeDependencies(ViewDef* def) {
+  def->current_deps.clear();
+  def->versioned_deps.clear();
+  std::vector<std::pair<std::string, VersionRef>> scans;
+  def->plan->CollectScans(&scans);
+  std::unordered_set<std::string> current, versioned;
+  for (const auto& [name, version] : scans) {
+    std::string key = IdentKey(name);
+    // `@tnow-j` states advance as events arrive within the transaction, so
+    // they are live dependencies; only committed-past `@vnow-k` (k >= 1)
+    // references are frozen during the interaction (and break recursion).
+    bool live = version.is_current() || version.offset == 0 ||
+                version.kind == VersionRef::Kind::kTnow;
+    if (live) {
+      if (current.insert(key).second) def->current_deps.push_back(name);
+    } else {
+      if (versioned.insert(key).second) def->versioned_deps.push_back(name);
+    }
+  }
+  std::vector<std::string> in_rels;
+  def->plan->CollectInRelations(&in_rels);
+  for (const std::string& name : in_rels) {
+    if (current.insert(IdentKey(name)).second) {
+      def->current_deps.push_back(name);
+    }
+  }
+}
+
+Status ViewRegistry::CheckRecursion(const ViewDef& def) const {
+  // DFS from def over current-version edges; reaching def.name again means
+  // the program is recursive.
+  std::string target = IdentKey(def.name);
+  std::vector<std::string> stack(def.current_deps.begin(),
+                                 def.current_deps.end());
+  std::unordered_set<std::string> visited;
+  while (!stack.empty()) {
+    std::string key = IdentKey(stack.back());
+    stack.pop_back();
+    if (key == target) {
+      return Status::BindError(
+          "view '" + def.name +
+          "' is recursive through current-version references; use @vnow-k "
+          "(k >= 1) to reference a past version");
+    }
+    if (!visited.insert(key).second) continue;
+    auto it = views_.find(key);
+    if (it == views_.end()) continue;  // base/event relation: no out-edges
+    for (const std::string& dep : it->second.current_deps) {
+      stack.push_back(dep);
+    }
+  }
+  return Status::OK();
+}
+
+Status ViewRegistry::Register(ViewDef def) {
+  if (def.plan == nullptr) {
+    return Status::InvalidArgument("view '" + def.name + "' has no plan");
+  }
+  ComputeDependencies(&def);
+  DVMS_RETURN_IF_ERROR(CheckRecursion(def));
+  std::string key = IdentKey(def.name);
+  auto it = views_.find(key);
+  if (it == views_.end()) {
+    order_.push_back(key);
+    views_.emplace(std::move(key), std::move(def));
+  } else {
+    it->second = std::move(def);  // redefinition (DeVIL 3 pattern)
+  }
+  return Status::OK();
+}
+
+Result<const ViewDef*> ViewRegistry::Get(const std::string& name) const {
+  auto it = views_.find(IdentKey(name));
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool ViewRegistry::Has(const std::string& name) const {
+  return views_.count(IdentKey(name)) > 0;
+}
+
+Result<std::vector<std::string>> ViewRegistry::TopoOrder() const {
+  // Kahn's algorithm over view->view current-version edges.
+  std::unordered_map<std::string, size_t> in_degree;
+  std::unordered_map<std::string, std::vector<std::string>> rdeps;
+  for (const std::string& key : order_) {
+    in_degree.emplace(key, 0);
+  }
+  for (const std::string& key : order_) {
+    const ViewDef& def = views_.at(key);
+    for (const std::string& dep : def.current_deps) {
+      std::string dep_key = IdentKey(dep);
+      if (views_.count(dep_key) == 0) continue;
+      rdeps[dep_key].push_back(key);
+      ++in_degree[key];
+    }
+  }
+  std::vector<std::string> ready;
+  for (const std::string& key : order_) {
+    if (in_degree[key] == 0) ready.push_back(key);
+  }
+  std::vector<std::string> out;
+  while (!ready.empty()) {
+    std::string key = ready.front();
+    ready.erase(ready.begin());
+    out.push_back(views_.at(key).name);
+    auto it = rdeps.find(key);
+    if (it == rdeps.end()) continue;
+    for (const std::string& succ : it->second) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (out.size() != order_.size()) {
+    return Status::Internal("view dependency graph contains a cycle");
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ViewRegistry::AffectedBy(
+    const std::vector<std::string>& changed) const {
+  std::unordered_set<std::string> dirty;
+  for (const std::string& name : changed) dirty.insert(IdentKey(name));
+  DVMS_ASSIGN_OR_RETURN(std::vector<std::string> topo, TopoOrder());
+  std::vector<std::string> out;
+  for (const std::string& name : topo) {
+    const ViewDef& def = views_.at(IdentKey(name));
+    bool affected = false;
+    for (const std::string& dep : def.current_deps) {
+      if (dirty.count(IdentKey(dep)) > 0) {
+        affected = true;
+        break;
+      }
+    }
+    if (affected) {
+      dirty.insert(IdentKey(name));
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ViewRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(order_.size());
+  for (const std::string& key : order_) {
+    out.push_back(views_.at(key).name);
+  }
+  return out;
+}
+
+}  // namespace dvms

@@ -1,0 +1,68 @@
+#ifndef DVMS_QUERY_VIEW_H_
+#define DVMS_QUERY_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "query/plan.h"
+
+namespace dvms {
+
+/// One DeVIL assignment statement `NAME = SELECT ...` compiled to a plan.
+struct ViewDef {
+  std::string name;
+  PlanPtr plan;  // bound
+  /// True when the statement was wrapped in render(...) — the view is a
+  /// marks relation whose updates trigger rasterization.
+  bool renders = false;
+  /// Table UDF applied to the plan's output on every recompute (layout
+  /// computations); empty for plain views.
+  std::string table_udf;
+  /// Relations this view reads at their *current* version (scan or IN).
+  /// These edges drive recomputation order and the recursion check.
+  std::vector<std::string> current_deps;
+  /// Relations read at past versions (@vnow-k / @tnow-j). Excluded from the
+  /// dependency graph — this is DeVIL's mechanism for breaking recursion.
+  std::vector<std::string> versioned_deps;
+};
+
+/// Computes both dependency lists from the plan.
+void ComputeDependencies(ViewDef* def);
+
+/// The set of registered views plus their dependency graph. Enforces
+/// DeVIL's recursion ban: a view may not (transitively) read its own
+/// current version; references through `@vnow-k` (k >= 1) are allowed.
+class ViewRegistry {
+ public:
+  /// Registers or redefines a view. Fails on recursion through
+  /// current-version references.
+  Status Register(ViewDef def);
+
+  Result<const ViewDef*> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// All views in a valid evaluation order (dependencies first).
+  Result<std::vector<std::string>> TopoOrder() const;
+
+  /// Views that transitively depend on any relation in `changed`, in
+  /// evaluation order.
+  Result<std::vector<std::string>> AffectedBy(
+      const std::vector<std::string>& changed) const;
+
+  /// Registration order (view names as given).
+  std::vector<std::string> Names() const;
+
+ private:
+  /// Detects a current-version cycle that would be introduced by `def`.
+  Status CheckRecursion(const ViewDef& def) const;
+
+  std::unordered_map<std::string, ViewDef> views_;  // key: IdentKey(name)
+  std::vector<std::string> order_;                  // IdentKeys
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_QUERY_VIEW_H_

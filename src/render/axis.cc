@@ -1,0 +1,60 @@
+#include "render/axis.h"
+
+namespace dvms {
+
+std::vector<double> AxisTickValues(const AxisSpec& spec) {
+  std::vector<double> values;
+  if (spec.ticks == 0) return values;
+  if (spec.ticks == 1) {
+    values.push_back(spec.domain_min);
+    return values;
+  }
+  for (size_t i = 0; i < spec.ticks; ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(spec.ticks - 1);
+    values.push_back(spec.domain_min +
+                     t * (spec.domain_max - spec.domain_min));
+  }
+  return values;
+}
+
+Table MakeAxisMarks(const AxisSpec& spec) {
+  Table marks(Schema({{"x1", ValueType::kDouble},
+                      {"y1", ValueType::kDouble},
+                      {"x2", ValueType::kDouble},
+                      {"y2", ValueType::kDouble},
+                      {"stroke", ValueType::kString}}));
+  const bool bottom = spec.orientation == AxisOrientation::kBottom;
+  // Baseline.
+  if (bottom) {
+    marks.AppendUnchecked({Value::Double(spec.range_min),
+                           Value::Double(spec.cross),
+                           Value::Double(spec.range_max),
+                           Value::Double(spec.cross),
+                           Value::String(spec.stroke)});
+  } else {
+    marks.AppendUnchecked({Value::Double(spec.cross),
+                           Value::Double(spec.range_min),
+                           Value::Double(spec.cross),
+                           Value::Double(spec.range_max),
+                           Value::String(spec.stroke)});
+  }
+  // Ticks at evenly spaced pixel positions.
+  for (double v : AxisTickValues(spec)) {
+    double span = spec.domain_max - spec.domain_min;
+    double t = span == 0 ? 0 : (v - spec.domain_min) / span;
+    double p = spec.range_min + t * (spec.range_max - spec.range_min);
+    if (bottom) {
+      marks.AppendUnchecked({Value::Double(p), Value::Double(spec.cross),
+                             Value::Double(p),
+                             Value::Double(spec.cross + spec.tick_length),
+                             Value::String(spec.stroke)});
+    } else {
+      marks.AppendUnchecked({Value::Double(spec.cross), Value::Double(p),
+                             Value::Double(spec.cross - spec.tick_length),
+                             Value::Double(p), Value::String(spec.stroke)});
+    }
+  }
+  return marks;
+}
+
+}  // namespace dvms

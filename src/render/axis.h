@@ -1,0 +1,38 @@
+#ifndef DVMS_RENDER_AXIS_H_
+#define DVMS_RENDER_AXIS_H_
+
+#include "storage/table.h"
+
+namespace dvms {
+
+/// Which side of the plot an axis sits on.
+enum class AxisOrientation { kBottom, kLeft };
+
+struct AxisSpec {
+  AxisOrientation orientation = AxisOrientation::kBottom;
+  double domain_min = 0;
+  double domain_max = 1;
+  /// Pixel extent of the axis line along its direction.
+  double range_min = 0;
+  double range_max = 100;
+  /// Pixel position of the axis line on the perpendicular direction
+  /// (y for bottom axes, x for left axes).
+  double cross = 0;
+  size_t ticks = 5;
+  double tick_length = 4;
+  std::string stroke = "black";
+};
+
+/// Generates a line-marks relation (x1, y1, x2, y2, stroke) for an axis:
+/// the baseline plus `ticks` evenly spaced tick marks. The result is a
+/// regular marks relation — render it like any other
+/// (`AXIS = render(SELECT * FROM ...)` after loading it as a base table,
+/// or pass it straight to RenderMarks).
+Table MakeAxisMarks(const AxisSpec& spec);
+
+/// The tick positions in data space (domain_min..domain_max inclusive).
+std::vector<double> AxisTickValues(const AxisSpec& spec);
+
+}  // namespace dvms
+
+#endif  // DVMS_RENDER_AXIS_H_

@@ -1,0 +1,217 @@
+#include "render/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvms {
+
+const char* MarkTypeToString(MarkType type) {
+  switch (type) {
+    case MarkType::kCircle:
+      return "circle";
+    case MarkType::kRect:
+      return "rect";
+    case MarkType::kLine:
+      return "line";
+  }
+  return "?";
+}
+
+Result<MarkType> InferMarkType(const Schema& schema) {
+  auto has = [&schema](const char* name) {
+    return schema.FindColumn(name).has_value();
+  };
+  if (has("center_x") && has("center_y") && has("radius")) {
+    return MarkType::kCircle;
+  }
+  if (has("x") && has("y") && has("width") && has("height")) {
+    return MarkType::kRect;
+  }
+  if (has("x1") && has("y1") && has("x2") && has("y2")) {
+    return MarkType::kLine;
+  }
+  return Status::TypeError(
+      "relation is not a marks relation: expected circle (center_x, "
+      "center_y, radius), rect (x, y, width, height), or line (x1, y1, x2, "
+      "y2) geometry columns; got [" +
+      schema.ToString() + "]");
+}
+
+void DrawFilledCircle(PixelBuffer* buf, double cx, double cy, double radius,
+                      RGBA color) {
+  if (color.a == 0 || radius <= 0) return;
+  int64_t y0 = static_cast<int64_t>(std::floor(cy - radius));
+  int64_t y1 = static_cast<int64_t>(std::ceil(cy + radius));
+  for (int64_t y = y0; y <= y1; ++y) {
+    double dy = y - cy;
+    double span = radius * radius - dy * dy;
+    if (span < 0) continue;
+    double dx = std::sqrt(span);
+    int64_t x0 = static_cast<int64_t>(std::ceil(cx - dx));
+    int64_t x1 = static_cast<int64_t>(std::floor(cx + dx));
+    for (int64_t x = x0; x <= x1; ++x) buf->Blend(x, y, color);
+  }
+}
+
+void DrawCircleOutline(PixelBuffer* buf, double cx, double cy, double radius,
+                       RGBA color) {
+  if (color.a == 0 || radius <= 0) return;
+  // Walk the circumference at sub-pixel steps.
+  double circumference = 2 * M_PI * radius;
+  int steps = std::max(8, static_cast<int>(circumference * 2));
+  int64_t px = INT64_MIN, py = INT64_MIN;
+  for (int i = 0; i <= steps; ++i) {
+    double theta = 2 * M_PI * i / steps;
+    int64_t x = static_cast<int64_t>(std::lround(cx + radius * std::cos(theta)));
+    int64_t y = static_cast<int64_t>(std::lround(cy + radius * std::sin(theta)));
+    if (x == px && y == py) continue;
+    buf->Blend(x, y, color);
+    px = x;
+    py = y;
+  }
+}
+
+void DrawFilledRect(PixelBuffer* buf, double x, double y, double w, double h,
+                    RGBA color) {
+  if (color.a == 0 || w <= 0 || h <= 0) return;
+  int64_t x0 = static_cast<int64_t>(std::lround(x));
+  int64_t y0 = static_cast<int64_t>(std::lround(y));
+  int64_t x1 = static_cast<int64_t>(std::lround(x + w)) - 1;
+  int64_t y1 = static_cast<int64_t>(std::lround(y + h)) - 1;
+  for (int64_t yy = y0; yy <= y1; ++yy) {
+    for (int64_t xx = x0; xx <= x1; ++xx) buf->Blend(xx, yy, color);
+  }
+}
+
+void DrawRectOutline(PixelBuffer* buf, double x, double y, double w, double h,
+                     RGBA color) {
+  if (color.a == 0 || w <= 0 || h <= 0) return;
+  int64_t x0 = static_cast<int64_t>(std::lround(x));
+  int64_t y0 = static_cast<int64_t>(std::lround(y));
+  int64_t x1 = static_cast<int64_t>(std::lround(x + w)) - 1;
+  int64_t y1 = static_cast<int64_t>(std::lround(y + h)) - 1;
+  for (int64_t xx = x0; xx <= x1; ++xx) {
+    buf->Blend(xx, y0, color);
+    buf->Blend(xx, y1, color);
+  }
+  for (int64_t yy = y0 + 1; yy < y1; ++yy) {
+    buf->Blend(x0, yy, color);
+    buf->Blend(x1, yy, color);
+  }
+}
+
+void DrawLine(PixelBuffer* buf, double x1, double y1, double x2, double y2,
+              RGBA color) {
+  if (color.a == 0) return;
+  double dx = x2 - x1;
+  double dy = y2 - y1;
+  int steps = static_cast<int>(std::max(std::abs(dx), std::abs(dy))) + 1;
+  int64_t px = INT64_MIN, py = INT64_MIN;
+  for (int i = 0; i <= steps; ++i) {
+    double t = steps == 0 ? 0.0 : static_cast<double>(i) / steps;
+    int64_t x = static_cast<int64_t>(std::lround(x1 + dx * t));
+    int64_t y = static_cast<int64_t>(std::lround(y1 + dy * t));
+    if (x == px && y == py) continue;
+    buf->Blend(x, y, color);
+    px = x;
+    py = y;
+  }
+}
+
+namespace {
+
+/// Reads an optional color column for a row; `fallback` when the column is
+/// absent or NULL.
+Result<RGBA> ColorOf(const Table& marks, size_t row, const char* column,
+                     RGBA fallback) {
+  auto idx = marks.schema().FindColumn(column);
+  if (!idx.has_value()) return fallback;
+  const Value& v = marks.row(row)[*idx];
+  if (v.is_null()) return fallback;
+  if (v.type() != ValueType::kString) {
+    return Status::TypeError(std::string(column) + " column must be a string");
+  }
+  return ParseColor(v.string_value());
+}
+
+/// Reads a required numeric column; returns NaN for NULL.
+Result<double> NumOf(const Table& marks, size_t row, size_t col) {
+  const Value& v = marks.row(row)[col];
+  if (v.is_null()) return std::nan("");
+  return v.AsDouble();
+}
+
+constexpr RGBA kDefaultFill = {127, 127, 127, 255};  // gray
+constexpr RGBA kNoColor = {0, 0, 0, 0};
+
+}  // namespace
+
+Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out) {
+  const Schema& schema = marks.schema();
+  switch (type) {
+    case MarkType::kCircle: {
+      DVMS_ASSIGN_OR_RETURN(size_t cx, schema.IndexOf("center_x"));
+      DVMS_ASSIGN_OR_RETURN(size_t cy, schema.IndexOf("center_y"));
+      DVMS_ASSIGN_OR_RETURN(size_t r, schema.IndexOf("radius"));
+      for (size_t i = 0; i < marks.num_rows(); ++i) {
+        DVMS_ASSIGN_OR_RETURN(double x, NumOf(marks, i, cx));
+        DVMS_ASSIGN_OR_RETURN(double y, NumOf(marks, i, cy));
+        DVMS_ASSIGN_OR_RETURN(double radius, NumOf(marks, i, r));
+        if (std::isnan(x) || std::isnan(y) || std::isnan(radius)) continue;
+        DVMS_ASSIGN_OR_RETURN(RGBA fill, ColorOf(marks, i, "fill", kDefaultFill));
+        DVMS_ASSIGN_OR_RETURN(RGBA stroke, ColorOf(marks, i, "stroke", kNoColor));
+        DrawFilledCircle(out, x, y, radius, fill);
+        DrawCircleOutline(out, x, y, radius, stroke);
+      }
+      return Status::OK();
+    }
+    case MarkType::kRect: {
+      DVMS_ASSIGN_OR_RETURN(size_t xc, schema.IndexOf("x"));
+      DVMS_ASSIGN_OR_RETURN(size_t yc, schema.IndexOf("y"));
+      DVMS_ASSIGN_OR_RETURN(size_t wc, schema.IndexOf("width"));
+      DVMS_ASSIGN_OR_RETURN(size_t hc, schema.IndexOf("height"));
+      for (size_t i = 0; i < marks.num_rows(); ++i) {
+        DVMS_ASSIGN_OR_RETURN(double x, NumOf(marks, i, xc));
+        DVMS_ASSIGN_OR_RETURN(double y, NumOf(marks, i, yc));
+        DVMS_ASSIGN_OR_RETURN(double w, NumOf(marks, i, wc));
+        DVMS_ASSIGN_OR_RETURN(double h, NumOf(marks, i, hc));
+        if (std::isnan(x) || std::isnan(y) || std::isnan(w) || std::isnan(h)) {
+          continue;
+        }
+        DVMS_ASSIGN_OR_RETURN(RGBA fill, ColorOf(marks, i, "fill", kDefaultFill));
+        DVMS_ASSIGN_OR_RETURN(RGBA stroke, ColorOf(marks, i, "stroke", kNoColor));
+        DrawFilledRect(out, x, y, w, h, fill);
+        DrawRectOutline(out, x, y, w, h, stroke);
+      }
+      return Status::OK();
+    }
+    case MarkType::kLine: {
+      DVMS_ASSIGN_OR_RETURN(size_t x1, schema.IndexOf("x1"));
+      DVMS_ASSIGN_OR_RETURN(size_t y1, schema.IndexOf("y1"));
+      DVMS_ASSIGN_OR_RETURN(size_t x2, schema.IndexOf("x2"));
+      DVMS_ASSIGN_OR_RETURN(size_t y2, schema.IndexOf("y2"));
+      for (size_t i = 0; i < marks.num_rows(); ++i) {
+        DVMS_ASSIGN_OR_RETURN(double a, NumOf(marks, i, x1));
+        DVMS_ASSIGN_OR_RETURN(double b, NumOf(marks, i, y1));
+        DVMS_ASSIGN_OR_RETURN(double c, NumOf(marks, i, x2));
+        DVMS_ASSIGN_OR_RETURN(double d, NumOf(marks, i, y2));
+        if (std::isnan(a) || std::isnan(b) || std::isnan(c) || std::isnan(d)) {
+          continue;
+        }
+        DVMS_ASSIGN_OR_RETURN(RGBA stroke,
+                              ColorOf(marks, i, "stroke",
+                                      RGBA{0, 0, 0, 255}));
+        DrawLine(out, a, b, c, d, stroke);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown mark type");
+}
+
+Status RenderMarks(const Table& marks, PixelBuffer* out) {
+  DVMS_ASSIGN_OR_RETURN(MarkType type, InferMarkType(marks.schema()));
+  return RenderMarks(marks, type, out);
+}
+
+}  // namespace dvms

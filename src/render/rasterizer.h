@@ -1,0 +1,50 @@
+#ifndef DVMS_RENDER_RASTERIZER_H_
+#define DVMS_RENDER_RASTERIZER_H_
+
+#include <string>
+
+#include "render/pixels.h"
+#include "storage/table.h"
+
+namespace dvms {
+
+/// The mark types DeVIL marks relations can describe. Each marks relation
+/// corresponds to one mark type (§2.1.1); the rasterizer checks the
+/// relation's schema for the type's required geometry columns.
+enum class MarkType {
+  kCircle,  // center_x, center_y, radius, [fill], [stroke]
+  kRect,    // x, y, width, height, [fill], [stroke]
+  kLine,    // x1, y1, x2, y2, [stroke]
+};
+
+const char* MarkTypeToString(MarkType type);
+
+/// Infers the mark type of a relation from its geometry columns. Errors
+/// when no mark type's required columns are present.
+Result<MarkType> InferMarkType(const Schema& schema);
+
+/// The render table UDF: rasterizes a marks relation onto the pixel buffer.
+/// This is the only side-effecting UDF DeVIL permits, and it may only be
+/// applied to marks relations — the schema is validated against the mark
+/// type. Rows render in order (painter's algorithm). Missing fill/stroke
+/// columns default to gray fill / no stroke; NULL geometry rows are skipped.
+Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out);
+
+/// Convenience: infers the mark type, then renders.
+Status RenderMarks(const Table& marks, PixelBuffer* out);
+
+// Low-level drawing primitives (exposed for tests).
+void DrawFilledCircle(PixelBuffer* buf, double cx, double cy, double radius,
+                      RGBA color);
+void DrawCircleOutline(PixelBuffer* buf, double cx, double cy, double radius,
+                       RGBA color);
+void DrawFilledRect(PixelBuffer* buf, double x, double y, double w, double h,
+                    RGBA color);
+void DrawRectOutline(PixelBuffer* buf, double x, double y, double w, double h,
+                     RGBA color);
+void DrawLine(PixelBuffer* buf, double x1, double y1, double x2, double y2,
+              RGBA color);
+
+}  // namespace dvms
+
+#endif  // DVMS_RENDER_RASTERIZER_H_

@@ -1,0 +1,59 @@
+#include "render/scale.h"
+
+namespace dvms {
+
+Status CreateScaleRelation(Catalog* catalog, const std::string& name,
+                           double domain_min, double domain_max,
+                           double range_min, double range_max) {
+  Schema schema({{"domain_min", ValueType::kDouble},
+                 {"domain_max", ValueType::kDouble},
+                 {"range_min", ValueType::kDouble},
+                 {"range_max", ValueType::kDouble}});
+  VersionedTable* table;
+  if (catalog->Exists(name)) {
+    DVMS_ASSIGN_OR_RETURN(table, catalog->Get(name));
+    table->mutable_current().Clear();
+  } else {
+    DVMS_ASSIGN_OR_RETURN(
+        table, catalog->CreateTable(name, schema, RelationKind::kBase));
+  }
+  return table->Append({Value::Double(domain_min), Value::Double(domain_max),
+                        Value::Double(range_min), Value::Double(range_max)});
+}
+
+Result<std::pair<double, double>> ComputeDomain(const Table& table,
+                                                const std::string& column) {
+  DVMS_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(column));
+  bool seen = false;
+  double lo = 0, hi = 0;
+  for (const Row& row : table.rows()) {
+    const Value& v = row[idx];
+    if (v.is_null()) continue;
+    auto d = v.AsDouble();
+    if (!d.ok()) continue;
+    if (!seen) {
+      lo = hi = d.value();
+      seen = true;
+    } else {
+      lo = std::min(lo, d.value());
+      hi = std::max(hi, d.value());
+    }
+  }
+  if (!seen) {
+    return Status::ExecutionError("column '" + column +
+                                  "' has no numeric values to scale");
+  }
+  return std::make_pair(lo, hi);
+}
+
+Status CreateScaleFromColumn(Catalog* catalog, const std::string& name,
+                             const Table& table, const std::string& column,
+                             double range_min, double range_max,
+                             double padding) {
+  DVMS_ASSIGN_OR_RETURN(auto domain, ComputeDomain(table, column));
+  double margin = (domain.second - domain.first) * padding;
+  return CreateScaleRelation(catalog, name, domain.first - margin,
+                             domain.second + margin, range_min, range_max);
+}
+
+}  // namespace dvms

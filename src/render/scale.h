@@ -1,0 +1,32 @@
+#ifndef DVMS_RENDER_SCALE_H_
+#define DVMS_RENDER_SCALE_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace dvms {
+
+/// Creates (or replaces the contents of) a single-row scale relation
+/// `name(domain_min, domain_max, range_min, range_max)` — the shape the
+/// paper's `scale_x` / `scale_y` relations take. DeVIL queries join with it
+/// and feed its columns to the `linear_scale` UDF.
+Status CreateScaleRelation(Catalog* catalog, const std::string& name,
+                           double domain_min, double domain_max,
+                           double range_min, double range_max);
+
+/// Computes [min, max] of a numeric column; NULLs ignored. Errors when the
+/// column has no non-NULL numeric values.
+Result<std::pair<double, double>> ComputeDomain(const Table& table,
+                                                const std::string& column);
+
+/// Creates a scale relation whose domain is computed from `table.column`
+/// (with a proportional `padding` margin on both ends).
+Status CreateScaleFromColumn(Catalog* catalog, const std::string& name,
+                             const Table& table, const std::string& column,
+                             double range_min, double range_max,
+                             double padding = 0.0);
+
+}  // namespace dvms
+
+#endif  // DVMS_RENDER_SCALE_H_

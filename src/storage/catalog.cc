@@ -1,0 +1,82 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/schema.h"
+
+namespace dvms {
+
+const char* RelationKindToString(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::kBase:
+      return "BASE";
+    case RelationKind::kView:
+      return "VIEW";
+    case RelationKind::kEvent:
+      return "EVENT";
+    case RelationKind::kMarks:
+      return "MARKS";
+  }
+  return "UNKNOWN";
+}
+
+Result<VersionedTable*> Catalog::CreateTable(const std::string& name,
+                                             Schema schema, RelationKind kind,
+                                             size_t max_history) {
+  std::string key = IdentKey(name);
+  if (entries_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  Entry entry;
+  entry.table =
+      std::make_unique<VersionedTable>(name, std::move(schema), max_history);
+  entry.kind = kind;
+  VersionedTable* ptr = entry.table.get();
+  entries_.emplace(key, std::move(entry));
+  creation_order_.push_back(key);
+  return ptr;
+}
+
+Result<VersionedTable*> Catalog::Get(const std::string& name) const {
+  auto it = entries_.find(IdentKey(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second.table.get();
+}
+
+Result<RelationKind> Catalog::KindOf(const std::string& name) const {
+  auto it = entries_.find(IdentKey(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second.kind;
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  return entries_.count(IdentKey(name)) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::string key = IdentKey(name);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  entries_.erase(it);
+  creation_order_.erase(
+      std::remove(creation_order_.begin(), creation_order_.end(), key),
+      creation_order_.end());
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  for (const std::string& key : creation_order_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) out.push_back(it->second.table->name());
+  }
+  return out;
+}
+
+}  // namespace dvms

@@ -1,0 +1,93 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dvms {
+
+Status Table::Append(Row row) {
+  if (!schema_.RowMatches(row)) {
+    return Status::TypeError("row does not match schema [" +
+                             schema_.ToString() + "]");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::At(RowId row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  DVMS_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(column));
+  return rows_[row][idx];
+}
+
+void Table::SortByColumns(const std::vector<size_t>& cols) {
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&cols](const Row& a, const Row& b) {
+                     for (size_t c : cols) {
+                       int cmp = a[c].Compare(b[c]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+}
+
+bool Table::SameContents(const Table& other) const {
+  if (!schema_.UnionCompatible(other.schema_)) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  std::vector<Row> a = rows_;
+  std::vector<Row> b = other.rows_;
+  auto less = [](const Row& x, const Row& y) { return CompareRows(x, y) < 0; };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowsEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    header.push_back(schema_.column(c).name);
+    widths[c] = header.back().size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      line.push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto emit_line = [&widths](const std::vector<std::string>& line) {
+    std::string out = "|";
+    for (size_t c = 0; c < line.size(); ++c) {
+      out += " " + line[c];
+      out += std::string(widths[c] - line[c].size() + 1, ' ');
+      out += "|";
+    }
+    return out + "\n";
+  };
+  std::string out = emit_line(header);
+  std::string rule = "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& line : cells) out += emit_line(line);
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+TablePtr MakeTablePtr(Table table) {
+  return std::make_shared<const Table>(std::move(table));
+}
+
+}  // namespace dvms

@@ -1,0 +1,66 @@
+#ifndef DVMS_STORAGE_TABLE_H_
+#define DVMS_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dvms {
+
+/// Row identifier within one table version: the row's index.
+using RowId = size_t;
+
+/// An in-memory row-store relation. Tables are value types; VersionedTable
+/// layers snapshot semantics on top via shared immutable versions.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Row& row(RowId i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  /// Appends after validating arity/types against the schema.
+  Status Append(Row row);
+
+  /// Appends without validation; for internal operators that construct
+  /// schema-correct rows by construction.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Clear() { rows_.clear(); }
+
+  /// Value at (row, column-name); error if the column is absent.
+  Result<Value> At(RowId row, const std::string& column) const;
+
+  /// Stable-sorts rows lexicographically by the given column indexes.
+  void SortByColumns(const std::vector<size_t>& cols);
+
+  /// True iff same schema arity/types and same multiset of rows.
+  bool SameContents(const Table& other) const;
+
+  /// ASCII rendering with a header row; for debugging and bench output.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+/// Convenience: wraps a Table in a shared immutable pointer.
+TablePtr MakeTablePtr(Table table);
+
+}  // namespace dvms
+
+#endif  // DVMS_STORAGE_TABLE_H_

@@ -1,0 +1,87 @@
+#include "storage/versioned_table.h"
+
+namespace dvms {
+
+VersionedTable::VersionedTable(std::string name, Schema schema,
+                               size_t max_history)
+    : name_(std::move(name)),
+      declared_schema_(schema),
+      current_(std::move(schema)),
+      max_history_(max_history) {
+  // Seed history with the empty initial version so @vnow-1 is always
+  // addressable.
+  committed_.push_back(MakeTablePtr(current_));
+}
+
+Status VersionedTable::SetCurrent(Table t) {
+  if (!declared_schema_.UnionCompatible(t.schema())) {
+    return Status::TypeError("table '" + name_ +
+                             "': assigned contents are not union-compatible "
+                             "with declared schema [" +
+                             declared_schema_.ToString() + "]");
+  }
+  // Keep the declared column names/types; adopt the rows.
+  Table replacement(declared_schema_, std::move(t.mutable_rows()));
+  current_ = std::move(replacement);
+  return Status::OK();
+}
+
+Status VersionedTable::Append(Row row) { return current_.Append(std::move(row)); }
+
+void VersionedTable::BeginTransaction() {
+  if (in_transaction_) return;
+  in_transaction_ = true;
+  txn_base_ = MakeTablePtr(current_);
+  steps_.clear();
+}
+
+void VersionedTable::RecordStep() {
+  if (!in_transaction_) BeginTransaction();
+  steps_.push_back(MakeTablePtr(current_));
+}
+
+void VersionedTable::Commit() {
+  committed_.push_back(MakeTablePtr(current_));
+  if (committed_.size() > max_history_) {
+    committed_.erase(committed_.begin());
+  }
+  steps_.clear();
+  txn_base_.reset();
+  in_transaction_ = false;
+}
+
+void VersionedTable::Abort() {
+  if (in_transaction_ && txn_base_ != nullptr) {
+    current_ = *txn_base_;
+  } else if (!committed_.empty()) {
+    current_ = *committed_.back();
+  }
+  steps_.clear();
+  txn_base_.reset();
+  in_transaction_ = false;
+}
+
+Result<TablePtr> VersionedTable::Version(size_t k) const {
+  if (k == 0) return MakeTablePtr(current_);
+  if (k > committed_.size()) {
+    return Status::NotFound("table '" + name_ + "' has no version @vnow-" +
+                            std::to_string(k) + " (history depth " +
+                            std::to_string(committed_.size()) + ")");
+  }
+  return committed_[committed_.size() - k];
+}
+
+Result<TablePtr> VersionedTable::StepVersion(size_t j) const {
+  if (j == 0) return MakeTablePtr(current_);
+  if (!in_transaction_) {
+    return MakeTablePtr(Table(declared_schema_));
+  }
+  if (j > steps_.size()) {
+    // Further back than any recorded event: the interaction-start state.
+    if (txn_base_ != nullptr) return txn_base_;
+    return MakeTablePtr(Table(declared_schema_));
+  }
+  return steps_[steps_.size() - j];
+}
+
+}  // namespace dvms

@@ -1,0 +1,91 @@
+#ifndef DVMS_STORAGE_VERSIONED_TABLE_H_
+#define DVMS_STORAGE_VERSIONED_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace dvms {
+
+/// A relation with DeVIL's two-level version history.
+///
+/// DeVIL maps interactions to transactions: an EVENT pattern's start state
+/// begins a transaction, accept commits, reject aborts. Queries may address
+///   * `@vnow-k` — the committed state k transactions ago (k >= 1); during an
+///     in-flight interaction `@vnow-1` is the state at the beginning of the
+///     interaction (used by DeVIL 3 to break recursion). `@vnow-0` is the
+///     current working state.
+///   * `@tnow-j` — the state j events ago *within* the current transaction
+///     (used for interactions like mouse trails).
+///
+/// Committed history is capped; old versions are discarded FIFO.
+class VersionedTable {
+ public:
+  VersionedTable(std::string name, Schema schema, size_t max_history = 16);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return current_.schema(); }
+
+  /// The current working state (uncommitted if a transaction is open).
+  const Table& current() const { return current_; }
+  Table& mutable_current() { return current_; }
+
+  /// Replaces the working state. The schema of `t` must be union-compatible
+  /// with the declared schema.
+  Status SetCurrent(Table t);
+
+  /// Appends a row to the working state (validated).
+  Status Append(Row row);
+
+  /// Begins an interaction transaction: snapshots the working state as the
+  /// transaction base and clears per-event step history. Idempotent if a
+  /// transaction is already open (nested interactions share the outer
+  /// boundary).
+  void BeginTransaction();
+
+  /// Records a per-event snapshot (`@tnow` granularity) of the working state.
+  void RecordStep();
+
+  /// Commits: pushes the working state onto committed history and closes the
+  /// transaction. Also usable outside a transaction to checkpoint.
+  void Commit();
+
+  /// Aborts: restores the working state to the transaction base (or the last
+  /// committed version if no transaction is open) and closes the transaction.
+  void Abort();
+
+  bool in_transaction() const { return in_transaction_; }
+
+  /// Number of committed versions retained.
+  size_t num_committed_versions() const { return committed_.size(); }
+
+  /// Number of per-event snapshots recorded in the open transaction.
+  size_t num_steps() const { return steps_.size(); }
+
+  /// `@vnow-k`. k == 0 returns the working state; k >= 1 returns the k-th
+  /// most recent committed version. Errors if history does not reach back
+  /// that far.
+  Result<TablePtr> Version(size_t k) const;
+
+  /// `@tnow-j`. j == 0 returns the working state; j >= 1 returns the state
+  /// j recorded events ago within the open transaction. Addressing past
+  /// the recorded steps returns the transaction-start snapshot; with no
+  /// open transaction, an empty relation (no events have happened "within
+  /// the current transaction").
+  Result<TablePtr> StepVersion(size_t j) const;
+
+ private:
+  std::string name_;
+  Schema declared_schema_;
+  Table current_;
+  std::vector<TablePtr> committed_;  // oldest first
+  std::vector<TablePtr> steps_;      // oldest first, within transaction
+  TablePtr txn_base_;
+  bool in_transaction_ = false;
+  size_t max_history_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_STORAGE_VERSIONED_TABLE_H_

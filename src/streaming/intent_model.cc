@@ -1,0 +1,83 @@
+#include "streaming/intent_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvms {
+
+namespace {
+
+constexpr size_t kWindow = 6;  // recent samples used for kinematics
+
+}  // namespace
+
+IntentModel::IntentModel(std::vector<WidgetRegion> widgets)
+    : widgets_(std::move(widgets)) {}
+
+void IntentModel::Observe(const MouseSample& sample) {
+  recent_.push_back(sample);
+  if (recent_.size() > kWindow) recent_.erase(recent_.begin());
+}
+
+void IntentModel::Reset() { recent_.clear(); }
+
+std::vector<double> IntentModel::PredictWithin(double horizon_ms) const {
+  std::vector<double> scores(widgets_.size(), 1.0);  // uniform prior
+  if (!recent_.empty()) {
+    const MouseSample& last = recent_.back();
+    // Velocity from the window endpoints.
+    double vx = 0, vy = 0;
+    if (recent_.size() >= 2) {
+      const MouseSample& first = recent_.front();
+      double dt = last.t_ms - first.t_ms;
+      if (dt > 1e-6) {
+        vx = (last.x - first.x) / dt;
+        vy = (last.y - first.y) / dt;
+      }
+    }
+    // Pointing gestures decelerate toward the target (minimum-jerk), so a
+    // constant-velocity extrapolation overshoots; damp it.
+    constexpr double kDeceleration = 0.75;
+    double px = last.x + kDeceleration * vx * horizon_ms;
+    double py = last.y + kDeceleration * vy * horizon_ms;
+    double speed = std::sqrt(vx * vx + vy * vy);
+
+    for (size_t i = 0; i < widgets_.size(); ++i) {
+      const WidgetRegion& w = widgets_[i];
+      // Distance of the extrapolated point from the widget, normalized by
+      // widget size so big targets are easier (Fitts-like).
+      double dx = std::max({w.x - px, 0.0, px - (w.x + w.width)});
+      double dy = std::max({w.y - py, 0.0, py - (w.y + w.height)});
+      double dist = std::sqrt(dx * dx + dy * dy);
+      double sigma = 0.6 * std::max(w.width, w.height) + 8.0;
+      double score = std::exp(-0.5 * (dist / sigma) * (dist / sigma));
+
+      // Heading agreement: moving toward the widget raises the score.
+      if (speed > 0.02) {
+        double tx = w.center_x() - last.x;
+        double ty = w.center_y() - last.y;
+        double tn = std::sqrt(tx * tx + ty * ty);
+        if (tn > 1e-6) {
+          double cosine = (vx * tx + vy * ty) / (speed * tn);
+          score *= 0.5 * (1.0 + cosine);  // [0, 1]
+        }
+      }
+      scores[i] = score + 1e-9;
+    }
+  }
+  double total = 0;
+  for (double s : scores) total += s;
+  for (double& s : scores) s /= total;
+  return scores;
+}
+
+size_t IntentModel::Top1(double horizon_ms) const {
+  std::vector<double> p = PredictWithin(horizon_ms);
+  size_t best = 0;
+  for (size_t i = 1; i < p.size(); ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace dvms

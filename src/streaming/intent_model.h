@@ -1,0 +1,57 @@
+#ifndef DVMS_STREAMING_INTENT_MODEL_H_
+#define DVMS_STREAMING_INTENT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace dvms {
+
+/// A screen region the user can interact with (a widget or a chart facet).
+struct WidgetRegion {
+  std::string id;
+  double x = 0, y = 0, width = 0, height = 0;
+
+  double center_x() const { return x + width / 2; }
+  double center_y() const { return y + height / 2; }
+  bool Contains(double px, double py) const {
+    return px >= x && px < x + width && py >= y && py < y + height;
+  }
+};
+
+struct MouseSample {
+  double t_ms = 0;
+  double x = 0, y = 0;
+};
+
+/// The user intent model of §3.3: estimates P(a_i, t) — the probability
+/// that the user will interact with widget i within time t — from the
+/// constrained input modality (mouse kinematics). Constant-velocity
+/// extrapolation of the recent samples plus heading/distance scoring; no
+/// training data from the specific visualization is needed, matching the
+/// paper's observation that simple models over mouse traces work well.
+class IntentModel {
+ public:
+  explicit IntentModel(std::vector<WidgetRegion> widgets);
+
+  /// Feeds the latest cursor sample (call in time order).
+  void Observe(const MouseSample& sample);
+
+  /// Drops kinematic state (e.g. after a click).
+  void Reset();
+
+  /// P(widget i within `horizon_ms`), in widget order; sums to 1.
+  std::vector<double> PredictWithin(double horizon_ms) const;
+
+  /// Index of the most likely widget within the horizon.
+  size_t Top1(double horizon_ms) const;
+
+  const std::vector<WidgetRegion>& widgets() const { return widgets_; }
+
+ private:
+  std::vector<WidgetRegion> widgets_;
+  std::vector<MouseSample> recent_;  // bounded window
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_STREAMING_INTENT_MODEL_H_

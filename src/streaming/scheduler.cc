@@ -1,0 +1,80 @@
+#include "streaming/scheduler.h"
+
+#include <queue>
+
+namespace dvms {
+
+void StreamScheduler::AddTile(StreamTile tile) {
+  for (Entry& entry : entries_) {
+    if (entry.tile.id == tile.id) {
+      entry.tile = std::move(tile);
+      return;
+    }
+  }
+  Entry entry;
+  entry.tile = std::move(tile);
+  entry.probability = 1.0 / static_cast<double>(entries_.size() + 1);
+  entries_.push_back(std::move(entry));
+}
+
+void StreamScheduler::SetProbabilities(
+    const std::map<std::string, double>& probabilities) {
+  for (Entry& entry : entries_) {
+    auto it = probabilities.find(entry.tile.id);
+    if (it != probabilities.end()) entry.probability = it->second;
+  }
+}
+
+std::map<std::string, size_t> StreamScheduler::Tick() {
+  // Greedy marginal-gain allocation: a max-heap of (expected gain of the
+  // next coefficient, entry index).
+  std::map<std::string, size_t> sent;
+  auto gain = [this](size_t idx) {
+    const Entry& e = entries_[idx];
+    const StreamTile& t = e.tile;
+    if (t.complete()) return -1.0;
+    return e.probability * (t.utility[t.sent_coeffs + 1] - t.utility[t.sent_coeffs]);
+  };
+  std::priority_queue<std::pair<double, size_t>> heap;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    double g = gain(i);
+    if (g >= 0) heap.push({g, i});
+  }
+  size_t budget = coeffs_per_tick_;
+  while (budget > 0 && !heap.empty()) {
+    auto [g, idx] = heap.top();
+    heap.pop();
+    // Lazy re-evaluation: the stored gain may be stale.
+    double fresh = gain(idx);
+    if (fresh < 0) continue;
+    if (fresh < g - 1e-12 && !heap.empty() && heap.top().first > fresh) {
+      heap.push({fresh, idx});
+      continue;
+    }
+    entries_[idx].tile.sent_coeffs += 1;
+    ++total_sent_;
+    --budget;
+    ++sent[entries_[idx].tile.id];
+    double next = gain(idx);
+    if (next >= 0) heap.push({next, idx});
+  }
+  return sent;
+}
+
+Result<const StreamTile*> StreamScheduler::GetTile(
+    const std::string& id) const {
+  for (const Entry& entry : entries_) {
+    if (entry.tile.id == id) return &entry.tile;
+  }
+  return Status::NotFound("no tile named '" + id + "'");
+}
+
+double StreamScheduler::ExpectedUtility() const {
+  double u = 0;
+  for (const Entry& entry : entries_) {
+    u += entry.probability * entry.tile.current_utility();
+  }
+  return u;
+}
+
+}  // namespace dvms

@@ -1,0 +1,73 @@
+#ifndef DVMS_STREAMING_SCHEDULER_H_
+#define DVMS_STREAMING_SCHEDULER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dvms {
+
+/// One data tile the server can stream: its concave utility curve (quality
+/// as a function of coefficients delivered, from ProgressiveEncoding) and
+/// how much has been delivered so far.
+struct StreamTile {
+  std::string id;
+  std::vector<double> utility;  // utility[k] after k coefficients
+  size_t sent_coeffs = 0;
+
+  size_t total_coeffs() const {
+    return utility.empty() ? 0 : utility.size() - 1;
+  }
+  bool complete() const { return sent_coeffs >= total_coeffs(); }
+  double current_utility() const {
+    return utility.empty() ? 0.0 : utility[sent_coeffs];
+  }
+};
+
+/// The bandwidth-bounded speculative scheduler of §3.3, modeled on partial
+/// task execution (Zeta): each 50 ms tick it allocates the tick's
+/// coefficient budget greedily by marginal expected utility
+/// p(tile) * Δu(tile) — optimal for concave per-tile utilities. Tiles
+/// whose deadline passes are simply rescheduled on the next tick, and
+/// probability updates from the intent model re-weight every tick.
+class StreamScheduler {
+ public:
+  /// `coeffs_per_tick`: bandwidth expressed in coefficients per 50 ms tick.
+  explicit StreamScheduler(size_t coeffs_per_tick)
+      : coeffs_per_tick_(coeffs_per_tick) {}
+
+  /// Registers a tile with its utility curve. Replaces an existing tile of
+  /// the same id (resetting progress).
+  void AddTile(StreamTile tile);
+
+  /// Updates P(a_i, t) from the intent model; ids absent from the map keep
+  /// their previous probability.
+  void SetProbabilities(const std::map<std::string, double>& probabilities);
+
+  /// Runs one 50 ms scheduling round. Returns (tile id -> coefficients
+  /// sent this tick).
+  std::map<std::string, size_t> Tick();
+
+  /// Delivered fraction state of a tile.
+  Result<const StreamTile*> GetTile(const std::string& id) const;
+
+  /// Expected utility across tiles, weighted by probability.
+  double ExpectedUtility() const;
+
+  size_t total_sent() const { return total_sent_; }
+
+ private:
+  struct Entry {
+    StreamTile tile;
+    double probability = 0.0;
+  };
+  size_t coeffs_per_tick_;
+  std::vector<Entry> entries_;
+  size_t total_sent_ = 0;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_STREAMING_SCHEDULER_H_

@@ -1,0 +1,153 @@
+#include "streaming/simulation.h"
+
+#include <cmath>
+#include <map>
+
+#include "streaming/wavelet.h"
+
+namespace dvms {
+
+namespace {
+
+/// Synthesizes a smooth, wavelet-compressible tile payload (an aggregate
+/// vector, e.g. one chart's bar heights at fine granularity).
+std::vector<double> MakeTilePayload(size_t n, Rng* rng) {
+  std::vector<double> payload(n);
+  double phase = rng->Uniform(0, 2 * M_PI);
+  double freq = rng->Uniform(1.0, 4.0);
+  double trend = rng->Uniform(-0.5, 0.5);
+  double level = rng->Uniform(10.0, 100.0);
+  for (size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i) / static_cast<double>(n);
+    payload[i] = level * (1.0 + 0.4 * std::sin(2 * M_PI * freq * x + phase) +
+                          trend * x) +
+                 rng->Normal(0, 0.8);
+  }
+  return payload;
+}
+
+/// First prefix length reaching the usable-quality threshold.
+size_t UsablePrefix(const std::vector<double>& utility, double threshold) {
+  for (size_t k = 0; k < utility.size(); ++k) {
+    if (utility[k] >= threshold) return k;
+  }
+  return utility.empty() ? 0 : utility.size() - 1;
+}
+
+}  // namespace
+
+StreamingSimResult SimulateStreaming(const StreamingSimConfig& config) {
+  Rng rng(config.seed);
+  StreamingSimResult result;
+
+  std::vector<WidgetRegion> widgets =
+      MakeWidgetGrid(config.grid_cols, config.grid_rows, 20, 20, 140, 100, 16);
+  const size_t num_widgets = widgets.size();
+
+  // Per-widget tiles with their utility curves.
+  std::vector<std::vector<double>> utilities(num_widgets);
+  for (size_t i = 0; i < num_widgets; ++i) {
+    ProgressiveEncoding enc(MakeTilePayload(config.tile_values, &rng));
+    utilities[i] = enc.UtilityCurve();
+  }
+  const size_t full_coeffs = utilities[0].size() - 1;
+  const double rr_latency =
+      config.rtt_ms +
+      static_cast<double>(full_coeffs) / config.bandwidth_coeffs_per_ms;
+
+  MouseTraceConfig trace_config;
+  double cursor_x = 10, cursor_y = 10;
+  const size_t coeffs_per_tick = static_cast<size_t>(
+      config.bandwidth_coeffs_per_ms * config.tick_ms + 0.5);
+
+  for (size_t it = 0; it < config.num_interactions; ++it) {
+    size_t target = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_widgets) - 1));
+    MouseTrace trace = GenerateMouseTrace(widgets, target, cursor_x, cursor_y,
+                                          trace_config, &rng);
+
+    // Fresh scheduler per interaction: each interaction invalidates the
+    // previous tiles (the selection changed), the hardest case for
+    // speculation.
+    StreamScheduler scheduler(coeffs_per_tick);
+    for (size_t i = 0; i < num_widgets; ++i) {
+      StreamTile tile;
+      tile.id = widgets[i].id;
+      tile.utility = utilities[i];
+      scheduler.AddTile(std::move(tile));
+    }
+    IntentModel model(widgets);
+
+    InteractionMeasurement m;
+    m.request_response_ms = rr_latency;
+
+    // Replay the gesture; every tick the client ships the intent estimate
+    // and the server streams one bandwidth quantum.
+    double next_tick = config.tick_ms;
+    size_t prediction_sample = 0;
+    bool predicted_checked = false;
+    for (size_t s = 0; s < trace.samples.size(); ++s) {
+      const MouseSample& sample = trace.samples[s];
+      model.Observe(sample);
+      // Evaluate the 200 ms-ahead prediction at click - horizon.
+      if (!predicted_checked &&
+          sample.t_ms >= trace.click_t_ms - config.predict_horizon_ms) {
+        prediction_sample = model.Top1(config.predict_horizon_ms);
+        m.predicted_correctly = prediction_sample == target;
+        predicted_checked = true;
+      }
+      while (sample.t_ms >= next_tick) {
+        std::vector<double> p = model.PredictWithin(config.predict_horizon_ms);
+        std::map<std::string, double> probs;
+        for (size_t i = 0; i < num_widgets; ++i) probs[widgets[i].id] = p[i];
+        scheduler.SetProbabilities(probs);
+        scheduler.Tick();
+        next_tick += config.tick_ms;
+      }
+    }
+    if (!predicted_checked && !trace.samples.empty()) {
+      prediction_sample = model.Top1(config.predict_horizon_ms);
+      m.predicted_correctly = prediction_sample == target;
+    }
+
+    // Click: how good is the prefetched prefix, and how long until usable?
+    const StreamTile* tile = scheduler.GetTile(widgets[target].id).value();
+    m.quality_at_click = tile->current_utility();
+    size_t usable = UsablePrefix(utilities[target], config.usable_quality);
+    if (tile->sent_coeffs >= usable) {
+      m.speculative_ms = 0.0;  // render immediately from the local prefix
+    } else {
+      // Fetch the remaining prefix with the stream now dedicated to it.
+      m.speculative_ms =
+          config.rtt_ms + static_cast<double>(usable - tile->sent_coeffs) /
+                              config.bandwidth_coeffs_per_ms;
+    }
+    result.interactions.push_back(m);
+
+    const MouseSample& end = trace.samples.back();
+    cursor_x = end.x;
+    cursor_y = end.y;
+  }
+
+  // Aggregates.
+  double sum_rr = 0, sum_spec = 0, sum_quality = 0;
+  size_t rr_fast = 0, spec_fast = 0, correct = 0;
+  for (const InteractionMeasurement& m : result.interactions) {
+    sum_rr += m.request_response_ms;
+    sum_spec += m.speculative_ms;
+    sum_quality += m.quality_at_click;
+    if (m.request_response_ms < 100.0) ++rr_fast;
+    if (m.speculative_ms < 100.0) ++spec_fast;
+    if (m.predicted_correctly) ++correct;
+  }
+  double n = static_cast<double>(result.interactions.size());
+  result.mean_request_response_ms = sum_rr / n;
+  result.mean_speculative_ms = sum_spec / n;
+  result.frac_rr_under_100ms = static_cast<double>(rr_fast) / n;
+  result.frac_speculative_under_100ms = static_cast<double>(spec_fast) / n;
+  result.mean_quality_at_click = sum_quality / n;
+  result.top1_accuracy = static_cast<double>(correct) / n;
+  return result;
+}
+
+}  // namespace dvms

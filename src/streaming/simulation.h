@@ -1,0 +1,66 @@
+#ifndef DVMS_STREAMING_SIMULATION_H_
+#define DVMS_STREAMING_SIMULATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "streaming/intent_model.h"
+#include "streaming/scheduler.h"
+#include "workload/mouse.h"
+
+namespace dvms {
+
+/// Client/server simulation comparing the request–response model against
+/// §3.3's speculative streaming framework on a grid of chart facets, each
+/// backed by a progressively encoded data tile.
+struct StreamingSimConfig {
+  size_t grid_cols = 4;
+  size_t grid_rows = 4;
+  size_t tile_values = 256;  // payload length per tile
+  /// Bandwidth in coefficients per millisecond (a coefficient is 8 bytes).
+  double bandwidth_coeffs_per_ms = 0.6;
+  double rtt_ms = 40.0;
+  /// Scheduler period (the paper re-runs the scheduler every 50 ms).
+  double tick_ms = 50.0;
+  /// A tile render is "usable" at this reconstruction quality.
+  double usable_quality = 0.9;
+  /// Horizon for the widget predictor (the paper reports 82% at 200 ms).
+  double predict_horizon_ms = 200.0;
+  size_t num_interactions = 200;
+  uint64_t seed = 7;
+};
+
+struct InteractionMeasurement {
+  /// Full-download latency under request–response.
+  double request_response_ms = 0;
+  /// Time from click until a usable render under speculative streaming
+  /// (0 when the prefetched prefix is already usable at click time).
+  double speculative_ms = 0;
+  /// Delivered quality of the clicked tile at the moment of the click.
+  double quality_at_click = 0;
+  /// Did the intent model's top-1 prediction 200 ms before the click name
+  /// the clicked widget?
+  bool predicted_correctly = false;
+};
+
+struct StreamingSimResult {
+  std::vector<InteractionMeasurement> interactions;
+
+  double mean_request_response_ms = 0;
+  double mean_speculative_ms = 0;
+  double frac_rr_under_100ms = 0;
+  double frac_speculative_under_100ms = 0;
+  double mean_quality_at_click = 0;
+  double top1_accuracy = 0;
+};
+
+/// Runs the simulation: for each interaction a synthetic mouse gesture
+/// moves to a random facet; during the gesture the server streams tile
+/// prefixes per the intent model every tick; at the click we measure time
+/// to a usable render, against a baseline that fetches the full tile after
+/// the click.
+StreamingSimResult SimulateStreaming(const StreamingSimConfig& config);
+
+}  // namespace dvms
+
+#endif  // DVMS_STREAMING_SIMULATION_H_

@@ -1,0 +1,44 @@
+#include "streaming/tiles.h"
+
+#include <algorithm>
+
+namespace dvms {
+
+Result<std::vector<DataTile>> MakeTilesFromCube(const CrossfilterCube& cube,
+                                                const std::string& group_dim,
+                                                const std::string& filter_dim) {
+  // The filter domain comes from the filter dimension's own totals; the
+  // group domain fixes each tile's slot order.
+  DVMS_ASSIGN_OR_RETURN(Table filter_totals, cube.GroupTotals(filter_dim));
+  DVMS_ASSIGN_OR_RETURN(Table group_totals, cube.GroupTotals(group_dim));
+
+  std::vector<Value> group_domain;
+  for (const Row& row : group_totals.rows()) group_domain.push_back(row[0]);
+
+  std::vector<DataTile> tiles;
+  for (const Row& frow : filter_totals.rows()) {
+    ValueSet one;
+    one.insert(frow[0]);
+    DVMS_ASSIGN_OR_RETURN(Table sums,
+                          cube.FilteredGroupSums(group_dim, filter_dim, one));
+    DataTile tile;
+    tile.id = filter_dim + "=" + frow[0].ToString();
+    tile.payload.assign(group_domain.size(), 0.0);
+    for (const Row& row : sums.rows()) {
+      for (size_t g = 0; g < group_domain.size(); ++g) {
+        if (row[0].Equals(group_domain[g])) {
+          tile.payload[g] = row[1].double_value();
+          break;
+        }
+      }
+    }
+    tiles.push_back(std::move(tile));
+  }
+  return tiles;
+}
+
+ProgressiveEncoding EncodeTile(const DataTile& tile) {
+  return ProgressiveEncoding(tile.payload);
+}
+
+}  // namespace dvms

@@ -1,0 +1,34 @@
+#ifndef DVMS_STREAMING_TILES_H_
+#define DVMS_STREAMING_TILES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ivm.h"
+#include "streaming/wavelet.h"
+
+namespace dvms {
+
+/// A data tile: one precomputed slice of the datacube (the offline
+/// structures of §3.3 / [8, 33]), progressively encoded so any prefix
+/// renders an approximation.
+struct DataTile {
+  std::string id;
+  std::vector<double> payload;
+};
+
+/// Builds one tile per distinct value of `filter_dim`: the tile's payload
+/// is the dense vector of `group_dim` sums restricted to that filter value
+/// — exactly what the corresponding chart facet renders when the user
+/// hovers that widget. Group slots follow the sorted group domain, so all
+/// tiles of a store are positionally comparable.
+Result<std::vector<DataTile>> MakeTilesFromCube(const CrossfilterCube& cube,
+                                                const std::string& group_dim,
+                                                const std::string& filter_dim);
+
+/// Encodes a tile progressively (convenience wrapper).
+ProgressiveEncoding EncodeTile(const DataTile& tile);
+
+}  // namespace dvms
+
+#endif  // DVMS_STREAMING_TILES_H_

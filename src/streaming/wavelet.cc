@@ -1,0 +1,106 @@
+#include "streaming/wavelet.h"
+
+#include <cmath>
+
+namespace dvms {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+}  // namespace
+
+std::vector<double> HaarForward(std::vector<double> data) {
+  size_t n = NextPow2(data.size() == 0 ? 1 : data.size());
+  data.resize(n, 0.0);
+  // Standard lifting: repeatedly average/difference the low band.
+  std::vector<double> scratch(n);
+  size_t len = n;
+  while (len > 1) {
+    size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[i] = (data[2 * i] + data[2 * i + 1]) / kSqrt2;
+      scratch[half + i] = (data[2 * i] - data[2 * i + 1]) / kSqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) data[i] = scratch[i];
+    len = half;
+  }
+  // data is already in coarse-to-fine layout: [average, d1, d2 d3, ...].
+  return data;
+}
+
+std::vector<double> HaarInverse(std::vector<double> coeffs) {
+  size_t n = NextPow2(coeffs.size() == 0 ? 1 : coeffs.size());
+  coeffs.resize(n, 0.0);
+  std::vector<double> scratch(n);
+  size_t len = 2;
+  while (len <= n) {
+    size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[2 * i] = (coeffs[i] + coeffs[half + i]) / kSqrt2;
+      scratch[2 * i + 1] = (coeffs[i] - coeffs[half + i]) / kSqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) coeffs[i] = scratch[i];
+    len *= 2;
+  }
+  return coeffs;
+}
+
+ProgressiveEncoding::ProgressiveEncoding(const std::vector<double>& data)
+    : original_size_(data.size()), original_(data) {
+  coeffs_ = HaarForward(data);
+}
+
+std::vector<double> ProgressiveEncoding::DecodePrefix(size_t k) const {
+  std::vector<double> prefix(coeffs_.size(), 0.0);
+  for (size_t i = 0; i < k && i < coeffs_.size(); ++i) prefix[i] = coeffs_[i];
+  std::vector<double> decoded = HaarInverse(std::move(prefix));
+  decoded.resize(original_size_);
+  return decoded;
+}
+
+double ProgressiveEncoding::PrefixQuality(size_t k) const {
+  double norm = 0;
+  for (double v : original_) norm += v * v;
+  if (norm == 0) return 1.0;
+  std::vector<double> decoded = DecodePrefix(k);
+  double err = 0;
+  for (size_t i = 0; i < original_.size(); ++i) {
+    double d = decoded[i] - original_[i];
+    err += d * d;
+  }
+  double q = 1.0 - std::sqrt(err / norm);
+  return q < 0 ? 0 : (q > 1 ? 1 : q);
+}
+
+std::vector<double> ProgressiveEncoding::UtilityCurve() const {
+  // Computed incrementally: the residual energy after k coefficients is
+  // ||data||^2 - sum of the first k squared coefficients (orthonormality),
+  // up to the padding truncation, so quality is monotone in k.
+  std::vector<double> curve(coeffs_.size() + 1);
+  double norm = 0;
+  for (double v : original_) norm += v * v;
+  if (norm == 0) {
+    for (double& v : curve) v = 1.0;
+    return curve;
+  }
+  double captured = 0;
+  curve[0] = 0.0;
+  for (size_t k = 1; k <= coeffs_.size(); ++k) {
+    captured += coeffs_[k - 1] * coeffs_[k - 1];
+    double residual = norm - captured;
+    if (residual < 0) residual = 0;
+    double q = 1.0 - std::sqrt(residual / norm);
+    curve[k] = q < 0 ? 0 : (q > 1 ? 1 : q);
+  }
+  curve[coeffs_.size()] = 1.0;
+  return curve;
+}
+
+}  // namespace dvms

@@ -1,0 +1,51 @@
+#ifndef DVMS_STREAMING_WAVELET_H_
+#define DVMS_STREAMING_WAVELET_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dvms {
+
+/// 1-D Haar wavelet transform (orthonormal). Input is zero-padded to the
+/// next power of two. Coefficients are returned coarse-to-fine: overall
+/// average first, then detail coefficients by level.
+std::vector<double> HaarForward(std::vector<double> data);
+
+/// Inverse of HaarForward (returns the padded length).
+std::vector<double> HaarInverse(std::vector<double> coeffs);
+
+/// A progressively decodable encoding of a data vector — the paper's
+/// wavelet-compressed data tile (§3.3): the client can render a usable
+/// approximation from any prefix of the coefficient stream.
+class ProgressiveEncoding {
+ public:
+  explicit ProgressiveEncoding(const std::vector<double>& data);
+
+  size_t original_size() const { return original_size_; }
+  size_t num_coefficients() const { return coeffs_.size(); }
+
+  /// Total encoded size (8 bytes per coefficient).
+  size_t total_bytes() const { return coeffs_.size() * sizeof(double); }
+
+  /// Reconstructs using only the first `k` coefficients (rest zero),
+  /// truncated back to the original length.
+  std::vector<double> DecodePrefix(size_t k) const;
+
+  /// Relative L2 reconstruction quality of the k-coefficient prefix in
+  /// [0, 1]: 1 - ||decode(k) - data|| / ||data||. Non-decreasing in k and
+  /// exactly 1 at k = num_coefficients(). For all-zero data, 1 everywhere.
+  double PrefixQuality(size_t k) const;
+
+  /// The full quality curve: utility[k] = PrefixQuality(k) for k = 0..n.
+  /// This is the concave utility the partial-execution scheduler consumes.
+  std::vector<double> UtilityCurve() const;
+
+ private:
+  size_t original_size_;
+  std::vector<double> coeffs_;
+  std::vector<double> original_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_STREAMING_WAVELET_H_

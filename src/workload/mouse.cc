@@ -1,0 +1,64 @@
+#include "workload/mouse.h"
+
+#include <cmath>
+
+namespace dvms {
+
+std::vector<WidgetRegion> MakeWidgetGrid(size_t cols, size_t rows, double x0,
+                                         double y0, double cell_w,
+                                         double cell_h, double gap) {
+  std::vector<WidgetRegion> widgets;
+  widgets.reserve(cols * rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      WidgetRegion w;
+      w.id = "w" + std::to_string(r * cols + c);
+      w.x = x0 + static_cast<double>(c) * (cell_w + gap);
+      w.y = y0 + static_cast<double>(r) * (cell_h + gap);
+      w.width = cell_w;
+      w.height = cell_h;
+      widgets.push_back(std::move(w));
+    }
+  }
+  return widgets;
+}
+
+MouseTrace GenerateMouseTrace(const std::vector<WidgetRegion>& widgets,
+                              size_t target, double start_x, double start_y,
+                              const MouseTraceConfig& config, Rng* rng) {
+  MouseTrace trace;
+  trace.target_widget = target;
+  const WidgetRegion& w = widgets[target];
+  // Land slightly off-center (endpoint scatter).
+  double end_x = w.center_x() + rng->Normal(0, w.width / 8);
+  double end_y = w.center_y() + rng->Normal(0, w.height / 8);
+
+  double dist = std::hypot(end_x - start_x, end_y - start_y);
+  double width = std::max(1.0, std::min(w.width, w.height));
+  double duration =
+      config.base_duration_ms +
+      config.fitts_slope_ms * std::log2(dist / width + 1.0) +
+      rng->Normal(0, 30.0);
+  if (duration < 120.0) duration = 120.0;
+
+  for (double t = 0; t <= duration; t += config.sample_interval_ms) {
+    double tau = t / duration;
+    // Minimum-jerk profile: 10t^3 - 15t^4 + 6t^5.
+    double s = tau * tau * tau * (10.0 - 15.0 * tau + 6.0 * tau * tau);
+    MouseSample sample;
+    sample.t_ms = t;
+    sample.x = start_x + (end_x - start_x) * s + rng->Normal(0, config.noise_px);
+    sample.y = start_y + (end_y - start_y) * s + rng->Normal(0, config.noise_px);
+    trace.samples.push_back(sample);
+  }
+  // Final sample lands on the endpoint; the click happens there.
+  MouseSample last;
+  last.t_ms = duration;
+  last.x = end_x;
+  last.y = end_y;
+  trace.samples.push_back(last);
+  trace.click_t_ms = duration;
+  return trace;
+}
+
+}  // namespace dvms

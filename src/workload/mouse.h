@@ -1,0 +1,43 @@
+#ifndef DVMS_WORKLOAD_MOUSE_H_
+#define DVMS_WORKLOAD_MOUSE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "streaming/intent_model.h"
+
+namespace dvms {
+
+/// A synthetic pointing gesture toward one widget, standing in for the
+/// human mouse traces §3.3's predictor is trained/evaluated on.
+struct MouseTrace {
+  std::vector<MouseSample> samples;  // 10 ms apart by default
+  size_t target_widget = 0;
+  double click_t_ms = 0;  // time of the click ending the gesture
+};
+
+struct MouseTraceConfig {
+  double sample_interval_ms = 10.0;
+  /// Positional jitter (motor noise), px.
+  double noise_px = 3.0;
+  /// Reaction-time floor and Fitts-law slope for movement duration.
+  double base_duration_ms = 260.0;
+  double fitts_slope_ms = 170.0;
+};
+
+/// A cols x rows grid of widgets (chart facets), the layout Figure 4's
+/// faceted bar chart uses.
+std::vector<WidgetRegion> MakeWidgetGrid(size_t cols, size_t rows, double x0,
+                                         double y0, double cell_w,
+                                         double cell_h, double gap);
+
+/// Generates a minimum-jerk trajectory from `start` to the center of
+/// `widgets[target]` with motor noise, sampled every sample_interval_ms.
+/// Movement time follows Fitts' law in the distance/width ratio.
+MouseTrace GenerateMouseTrace(const std::vector<WidgetRegion>& widgets,
+                              size_t target, double start_x, double start_y,
+                              const MouseTraceConfig& config, Rng* rng);
+
+}  // namespace dvms
+
+#endif  // DVMS_WORKLOAD_MOUSE_H_

@@ -1,0 +1,313 @@
+#include "workload/sdss.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dvms {
+
+namespace {
+
+/// The kinds of structured tweaks analysts apply between consecutive
+/// queries. Weights are chosen per template so that, across the mixture,
+/// numeric parameter changes dominate (~70%) followed by projection
+/// changes (~12%) — the coverage statistics Figure 6 reports.
+enum class Tweak {
+  kNumeric,
+  kProjectionAdd,
+  kProjectionRemove,
+  kCategorical,
+  kLimit,
+  kOrder,
+  kGroup,
+};
+
+/// Mutable state of one templated query; Render() emits SQL in the DeVIL
+/// dialect.
+struct QueryState {
+  std::vector<std::string> column_pool;
+  std::vector<bool> selected;
+
+  struct NumParam {
+    std::string column;
+    const char* op;
+    double value;
+    double step;
+  };
+  std::vector<NumParam> numeric_params;
+
+  struct CatParam {
+    std::string column;
+    std::vector<std::string> domain;
+    size_t index = 0;
+  };
+  std::vector<CatParam> cat_params;
+
+  std::string table;
+  std::string join_clause;  // raw SQL fragment after the table, or empty
+
+  bool has_limit = false;
+  size_t limit = 10;
+  bool has_order = false;
+  std::string order_column;
+  bool order_desc = false;
+  bool group_mode = false;  // SELECT <group_col>, COUNT(*) ... GROUP BY
+  std::string group_column;
+  std::vector<std::string> group_domain;
+
+  std::string Render() const {
+    std::string sql = "SELECT ";
+    if (group_mode) {
+      sql += group_column + ", COUNT(*) AS n";
+    } else {
+      std::vector<std::string> cols;
+      for (size_t i = 0; i < column_pool.size(); ++i) {
+        if (selected[i]) cols.push_back(column_pool[i]);
+      }
+      sql += Join(cols, ", ");
+    }
+    sql += " FROM " + table;
+    if (!join_clause.empty()) sql += join_clause;
+    std::vector<std::string> preds;
+    for (const NumParam& p : numeric_params) {
+      preds.push_back(p.column + " " + p.op + " " +
+                      StrFormat("%.4f", p.value));
+    }
+    for (const CatParam& p : cat_params) {
+      preds.push_back(p.column + " = '" + p.domain[p.index] + "'");
+    }
+    if (!preds.empty()) sql += " WHERE " + Join(preds, " AND ");
+    if (group_mode) sql += " GROUP BY " + group_column;
+    if (has_order) {
+      sql += " ORDER BY " + order_column + (order_desc ? " DESC" : "");
+    }
+    if (has_limit) sql += " LIMIT " + std::to_string(limit);
+    return sql;
+  }
+
+  void Apply(Tweak tweak, Rng* rng) {
+    switch (tweak) {
+      case Tweak::kNumeric: {
+        if (numeric_params.empty()) return;
+        NumParam& p = numeric_params[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(numeric_params.size()) - 1))];
+        double delta = p.step * rng->Uniform(0.2, 2.0) *
+                       (rng->Bernoulli(0.5) ? 1.0 : -1.0);
+        p.value += delta;
+        break;
+      }
+      case Tweak::kProjectionAdd: {
+        std::vector<size_t> off;
+        for (size_t i = 0; i < column_pool.size(); ++i) {
+          if (!selected[i]) off.push_back(i);
+        }
+        if (off.empty()) return;
+        selected[off[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(off.size()) - 1))]] = true;
+        break;
+      }
+      case Tweak::kProjectionRemove: {
+        std::vector<size_t> on;
+        for (size_t i = 0; i < column_pool.size(); ++i) {
+          if (selected[i]) on.push_back(i);
+        }
+        if (on.size() <= 1) return;  // keep at least one column
+        selected[on[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(on.size()) - 1))]] = false;
+        break;
+      }
+      case Tweak::kCategorical: {
+        if (cat_params.empty()) return;
+        CatParam& p = cat_params[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(cat_params.size()) - 1))];
+        p.index = (p.index + 1 +
+                   static_cast<size_t>(rng->UniformInt(
+                       0, static_cast<int64_t>(p.domain.size()) - 2))) %
+                  p.domain.size();
+        break;
+      }
+      case Tweak::kLimit:
+        if (!has_limit) return;
+        limit = static_cast<size_t>(rng->UniformInt(5, 500));
+        break;
+      case Tweak::kOrder:
+        if (!has_order) return;
+        order_desc = !order_desc;
+        break;
+      case Tweak::kGroup: {
+        if (!group_mode || group_domain.size() < 2) return;
+        std::string next = group_column;
+        while (next == group_column) {
+          next = group_domain[static_cast<size_t>(rng->UniformInt(
+              0, static_cast<int64_t>(group_domain.size()) - 1))];
+        }
+        group_column = next;
+        break;
+      }
+    }
+  }
+};
+
+struct TweakWeights {
+  double numeric, proj_add, proj_remove, categorical, limit, order, group;
+};
+
+struct TemplateSpec {
+  double weight;  // template mixture probability
+  TweakWeights tweaks;
+};
+
+QueryState MakeTemplate(size_t which, Rng* rng) {
+  QueryState q;
+  switch (which) {
+    case 0: {  // Box cone search on photoobj.
+      q.column_pool = {"objid", "ra", "dec", "u", "g", "r", "i", "z"};
+      q.selected = {true, true, true, false, false, false, false, false};
+      q.table = "photoobj";
+      double ra = rng->Uniform(0, 340);
+      double dec = rng->Uniform(-20, 60);
+      q.numeric_params = {{"ra", ">", ra, 0.5},
+                          {"ra", "<", ra + rng->Uniform(0.5, 5.0), 0.5},
+                          {"dec", ">", dec, 0.5},
+                          {"dec", "<", dec + rng->Uniform(0.5, 5.0), 0.5}};
+      break;
+    }
+    case 1: {  // Magnitude cut with LIMIT.
+      q.column_pool = {"objid", "u", "g", "r", "i", "z", "ra", "dec"};
+      q.selected = {true, true, true, true, false, false, false, false};
+      q.table = "photoobj";
+      q.numeric_params = {{"r", "<", rng->Uniform(16.0, 22.0), 0.25}};
+      q.has_limit = true;
+      q.limit = static_cast<size_t>(rng->UniformInt(10, 200));
+      break;
+    }
+    case 2: {  // Spectral class + redshift window.
+      q.column_pool = {"specobjid", "z", "ra", "dec", "mjd"};
+      q.selected = {true, true, false, false, false};
+      q.table = "specobj";
+      q.cat_params = {{"class", {"GALAXY", "QSO", "STAR"}, 0}};
+      double z0 = rng->Uniform(0.0, 1.5);
+      q.numeric_params = {{"z", ">", z0, 0.05},
+                          {"z", "<", z0 + rng->Uniform(0.05, 0.5), 0.05}};
+      break;
+    }
+    case 3: {  // Top-z objects, ordered.
+      q.column_pool = {"specobjid", "z", "ra", "dec"};
+      q.selected = {true, true, false, false};
+      q.table = "specobj";
+      q.cat_params = {{"specclass", {"GALAXY", "QSO", "STAR", "UNKNOWN"}, 1}};
+      q.has_order = true;
+      q.order_column = "z";
+      q.order_desc = true;
+      q.has_limit = true;
+      q.limit = static_cast<size_t>(rng->UniformInt(10, 100));
+      break;
+    }
+    case 4: {  // Photo/spec join with redshift cut.
+      q.column_pool = {"p.objid", "p.r", "p.g", "s.z", "s.mjd"};
+      q.selected = {true, true, false, true, false};
+      q.table = "photoobj AS p";
+      q.join_clause = ", specobj AS s";
+      q.numeric_params = {{"s.z", "<", rng->Uniform(0.1, 2.0), 0.05},
+                          {"p.r", "<", rng->Uniform(17.0, 23.0), 0.25}};
+      break;
+    }
+    default: {  // Field histogram for a given run.
+      q.group_mode = true;
+      q.group_column = "field";
+      q.group_domain = {"field", "camcol", "rerun"};
+      q.column_pool = {"field"};
+      q.selected = {true};
+      q.table = "photoobj";
+      q.numeric_params = {
+          {"run", "=", static_cast<double>(rng->UniformInt(94, 8000)), 1.0}};
+      break;
+    }
+  }
+  return q;
+}
+
+const TemplateSpec kTemplates[] = {
+    // weight, {numeric, +proj, -proj, cat, limit, order, group}
+    {0.40, {0.84, 0.12, 0.04, 0.0, 0.0, 0.0, 0.0}},
+    {0.18, {0.55, 0.18, 0.05, 0.0, 0.22, 0.0, 0.0}},
+    {0.14, {0.62, 0.10, 0.03, 0.25, 0.0, 0.0, 0.0}},
+    {0.10, {0.35, 0.06, 0.04, 0.25, 0.15, 0.15, 0.0}},
+    {0.10, {0.72, 0.18, 0.10, 0.0, 0.0, 0.0, 0.0}},
+    {0.08, {0.55, 0.0, 0.0, 0.0, 0.0, 0.0, 0.45}},
+};
+
+Tweak PickTweak(const TweakWeights& w, Rng* rng) {
+  double u = rng->NextDouble();
+  double acc = 0;
+  struct {
+    Tweak tweak;
+    double weight;
+  } options[] = {
+      {Tweak::kNumeric, w.numeric},        {Tweak::kProjectionAdd, w.proj_add},
+      {Tweak::kProjectionRemove, w.proj_remove},
+      {Tweak::kCategorical, w.categorical}, {Tweak::kLimit, w.limit},
+      {Tweak::kOrder, w.order},            {Tweak::kGroup, w.group},
+  };
+  for (const auto& option : options) {
+    acc += option.weight;
+    if (u < acc) return option.tweak;
+  }
+  return Tweak::kNumeric;
+}
+
+std::string GarbageQuery(Rng* rng) {
+  // Stored-procedure calls from the real SkyServer log — outside any
+  // SELECT template.
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return StrFormat("EXEC dbo.fGetNearbyObjEq %.2f, %.2f, %.1f",
+                       rng->Uniform(0, 360), rng->Uniform(-90, 90),
+                       rng->Uniform(0.5, 5.0));
+    case 1:
+      return "DECLARE @id BIGINT SET @id = 587722981742084144";
+    default:
+      return StrFormat("EXEC spGetSDSSImage %d", (int)rng->UniformInt(1, 99999));
+  }
+}
+
+}  // namespace
+
+size_t SdssTemplateCount() { return 6; }
+
+SdssLog GenerateSdssLog(const SdssLogConfig& config) {
+  Rng rng(config.seed);
+  SdssLog log;
+  for (size_t s = 0; s < config.num_sessions; ++s) {
+    // Pick a template by mixture weight.
+    double u = rng.NextDouble();
+    size_t which = 0;
+    double acc = 0;
+    for (size_t t = 0; t < 6; ++t) {
+      acc += kTemplates[t].weight;
+      if (u < acc) {
+        which = t;
+        break;
+      }
+    }
+    QueryState state = MakeTemplate(which, &rng);
+    size_t length = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(config.min_session_length),
+                       static_cast<int64_t>(config.max_session_length)));
+    std::vector<std::string> session;
+    for (size_t i = 0; i < length; ++i) {
+      if (rng.Bernoulli(config.unmappable_prob)) {
+        session.push_back(GarbageQuery(&rng));
+        ++log.total_queries;
+        continue;
+      }
+      if (i > 0) state.Apply(PickTweak(kTemplates[which].tweaks, &rng), &rng);
+      session.push_back(state.Render());
+      ++log.total_queries;
+    }
+    log.sessions.push_back(std::move(session));
+  }
+  return log;
+}
+
+}  // namespace dvms

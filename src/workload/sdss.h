@@ -1,0 +1,40 @@
+#ifndef DVMS_WORKLOAD_SDSS_H_
+#define DVMS_WORKLOAD_SDSS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dvms {
+
+/// Synthetic stand-in for the SDSS SkyServer query log of §3.4 (125,600
+/// queries, November 28-30, 2004). The paper reports that >99.1% of those
+/// statements map to only 6 query templates, and that analysts tweak
+/// queries in structured, incremental ways. The generator emits sessions
+/// drawn from 6 SkyServer-shaped templates where consecutive queries
+/// differ by one structured tweak (numeric parameter, projection list,
+/// categorical value, LIMIT, ORDER BY, GROUP BY), plus a ~0.9% residue of
+/// stored-procedure calls outside the dialect.
+struct SdssLogConfig {
+  size_t num_sessions = 600;
+  size_t min_session_length = 3;
+  size_t max_session_length = 40;
+  /// Fraction of queries that do not map to any template.
+  double unmappable_prob = 0.008;
+  uint64_t seed = 2004;
+};
+
+struct SdssLog {
+  std::vector<std::vector<std::string>> sessions;
+  size_t total_queries = 0;
+};
+
+SdssLog GenerateSdssLog(const SdssLogConfig& config);
+
+/// Number of query templates the generator draws from (6, per the paper).
+size_t SdssTemplateCount();
+
+}  // namespace dvms
+
+#endif  // DVMS_WORKLOAD_SDSS_H_

@@ -1,0 +1,60 @@
+#include "workload/tpch.h"
+
+namespace dvms {
+
+const std::vector<std::string>& TpchRegions() {
+  static const std::vector<std::string>* kRegions = new std::vector<std::string>{
+      "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  return *kRegions;
+}
+
+Schema TpchSalesSchema() {
+  return Schema({{"orderkey", ValueType::kInt64},
+                 {"region", ValueType::kString},
+                 {"year", ValueType::kInt64},
+                 {"month", ValueType::kInt64},
+                 {"dow", ValueType::kInt64},
+                 {"quantity", ValueType::kDouble},
+                 {"revenue", ValueType::kDouble}});
+}
+
+Table GenerateTpchSales(const TpchConfig& config) {
+  Rng rng(config.seed);
+  Table table(TpchSalesSchema());
+  const auto& regions = TpchRegions();
+  // Region weights: mildly skewed, like order volume differences.
+  const double weights[] = {0.15, 0.25, 0.25, 0.22, 0.13};
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    double u = rng.NextDouble();
+    size_t region = 0;
+    double acc = 0;
+    for (size_t r = 0; r < regions.size(); ++r) {
+      acc += weights[r];
+      if (u < acc) {
+        region = r;
+        break;
+      }
+    }
+    int64_t year =
+        config.first_year + rng.UniformInt(0, config.num_years - 1);
+    int64_t month = rng.UniformInt(1, 12);
+    int64_t dow = rng.UniformInt(0, 6);
+    // TPC-H: quantity in [1, 50], price ~ quantity * part price, discount
+    // up to 10%.
+    double quantity = static_cast<double>(rng.UniformInt(1, 50));
+    double unit_price = rng.Uniform(900.0, 105000.0 / 50.0);
+    double discount = rng.Uniform(0.0, 0.10);
+    double revenue = quantity * unit_price * (1.0 - discount);
+    // Seasonal trend: slightly more revenue late in the year and in later
+    // years, so the crossfilter bars have visible structure.
+    revenue *= 1.0 + 0.02 * static_cast<double>(month) +
+               0.05 * static_cast<double>(year - config.first_year);
+    table.AppendUnchecked({Value::Int(static_cast<int64_t>(i) + 1),
+                           Value::String(regions[region]), Value::Int(year),
+                           Value::Int(month), Value::Int(dow),
+                           Value::Double(quantity), Value::Double(revenue)});
+  }
+  return table;
+}
+
+}  // namespace dvms

@@ -1,0 +1,38 @@
+#ifndef DVMS_WORKLOAD_TPCH_H_
+#define DVMS_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace dvms {
+
+/// TPC-H-shaped synthetic fact data for the Figure 1 crossfilter example.
+///
+/// The paper runs the revenue-breakdown crossfilter over TPC-H. We
+/// generate a denormalized lineitem-like `Sales` relation with the
+/// dimensions Figure 1 groups by — region, year, month, day-of-week — plus
+/// a revenue measure. Cardinalities and correlations mirror TPC-H shapes:
+/// 5 regions, order dates spread over 1992-1998, revenue as
+/// extendedprice * (1 - discount).
+struct TpchConfig {
+  size_t num_rows = 10000;
+  uint64_t seed = 42;
+  int first_year = 1992;
+  int num_years = 7;  // 1992..1998 like TPC-H order dates
+};
+
+/// Schema: orderkey INT, region TEXT, year INT, month INT, dow INT,
+/// quantity DOUBLE, revenue DOUBLE.
+Schema TpchSalesSchema();
+
+/// Generates the fact table deterministically from the config seed.
+Table GenerateTpchSales(const TpchConfig& config);
+
+/// Region dimension values used by the generator (R_NAME values of TPC-H).
+const std::vector<std::string>& TpchRegions();
+
+}  // namespace dvms
+
+#endif  // DVMS_WORKLOAD_TPCH_H_

@@ -1,0 +1,76 @@
+#include "render/axis.h"
+#include "render/pixels.h"
+#include "render/rasterizer.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(AxisTest, TickValuesSpanTheDomain) {
+  AxisSpec spec;
+  spec.domain_min = 0;
+  spec.domain_max = 100;
+  spec.ticks = 5;
+  auto values = AxisTickValues(spec);
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_DOUBLE_EQ(values.front(), 0);
+  EXPECT_DOUBLE_EQ(values.back(), 100);
+  EXPECT_DOUBLE_EQ(values[2], 50);
+}
+
+TEST(AxisTest, SingleAndZeroTicks) {
+  AxisSpec spec;
+  spec.ticks = 1;
+  EXPECT_EQ(AxisTickValues(spec).size(), 1u);
+  spec.ticks = 0;
+  EXPECT_TRUE(AxisTickValues(spec).empty());
+}
+
+TEST(AxisTest, BottomAxisGeometry) {
+  AxisSpec spec;
+  spec.orientation = AxisOrientation::kBottom;
+  spec.range_min = 10;
+  spec.range_max = 110;
+  spec.cross = 90;
+  spec.ticks = 3;
+  Table marks = MakeAxisMarks(spec);
+  ASSERT_EQ(marks.num_rows(), 4u);  // baseline + 3 ticks
+  // Baseline is horizontal at y = cross.
+  EXPECT_DOUBLE_EQ(marks.row(0)[1].double_value(), 90);
+  EXPECT_DOUBLE_EQ(marks.row(0)[3].double_value(), 90);
+  // Middle tick at pixel 60, pointing down.
+  EXPECT_DOUBLE_EQ(marks.row(2)[0].double_value(), 60);
+  EXPECT_DOUBLE_EQ(marks.row(2)[3].double_value(), 94);
+}
+
+TEST(AxisTest, LeftAxisGeometry) {
+  AxisSpec spec;
+  spec.orientation = AxisOrientation::kLeft;
+  spec.range_min = 20;
+  spec.range_max = 220;
+  spec.cross = 30;
+  spec.ticks = 2;
+  Table marks = MakeAxisMarks(spec);
+  ASSERT_EQ(marks.num_rows(), 3u);
+  // Baseline is vertical at x = cross.
+  EXPECT_DOUBLE_EQ(marks.row(0)[0].double_value(), 30);
+  EXPECT_DOUBLE_EQ(marks.row(0)[2].double_value(), 30);
+  // Ticks point left (negative x).
+  EXPECT_DOUBLE_EQ(marks.row(1)[2].double_value(), 26);
+}
+
+TEST(AxisTest, AxisMarksRender) {
+  AxisSpec spec;
+  spec.range_min = 5;
+  spec.range_max = 55;
+  spec.cross = 30;
+  PixelBuffer buf(60, 40);
+  ASSERT_TRUE(RenderMarks(MakeAxisMarks(spec), &buf).ok());
+  RGBA black = ParseColor("black").value();
+  EXPECT_EQ(buf.At(30, 30), black);   // on the baseline
+  EXPECT_EQ(buf.At(5, 32), black);    // on the first tick
+  EXPECT_EQ(buf.At(30, 20).a, 0);     // above the axis
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseResult(int x, int* out) {
+  DVMS_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  int out = 0;
+  EXPECT_TRUE(UseResult(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status s = UseResult(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble().value(), 3.0);
+  EXPECT_EQ(Value::Double(3.9).AsInt().value(), 3);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsInt().ok());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Double(3.5)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::String("3")));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+}
+
+TEST(ValueTest, EqualValuesHashEqual) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("a").Hash(), Value::String("a").Hash());
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.0)), 0);
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value::Null().IsTruthy());
+  EXPECT_FALSE(Value::Int(0).IsTruthy());
+  EXPECT_TRUE(Value::Int(-1).IsTruthy());
+  EXPECT_FALSE(Value::String("").IsTruthy());
+  EXPECT_TRUE(Value::String("x").IsTruthy());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(12).ToString(), "12");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(RowTest, HashAndEquality) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("x")};
+  Row c = {Value::Int(2), Value::String("x")};
+  EXPECT_TRUE(RowsEqual(a, b));
+  EXPECT_FALSE(RowsEqual(a, c));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_EQ(CompareRows(a, c), -1);
+}
+
+TEST(SchemaTest, CaseInsensitiveLookup) {
+  Schema s({{"ProductId", ValueType::kInt64}, {"price", ValueType::kDouble}});
+  EXPECT_EQ(s.FindColumn("productid").value(), 0u);
+  EXPECT_EQ(s.FindColumn("PRICE").value(), 1u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+  EXPECT_FALSE(s.IndexOf("nope").ok());
+}
+
+TEST(SchemaTest, UnionCompatibility) {
+  Schema a({{"x", ValueType::kInt64}, {"y", ValueType::kString}});
+  Schema b({{"u", ValueType::kDouble}, {"v", ValueType::kString}});
+  Schema c({{"u", ValueType::kString}, {"v", ValueType::kString}});
+  EXPECT_TRUE(a.UnionCompatible(b));  // numeric widening allowed
+  EXPECT_FALSE(a.UnionCompatible(c));
+}
+
+TEST(SchemaTest, RowValidation) {
+  Schema s({{"x", ValueType::kInt64}, {"name", ValueType::kString}});
+  EXPECT_TRUE(s.RowMatches({Value::Int(1), Value::String("a")}));
+  EXPECT_TRUE(s.RowMatches({Value::Null(), Value::String("a")}));
+  EXPECT_TRUE(s.RowMatches({Value::Double(1.5), Value::String("a")}));
+  EXPECT_FALSE(s.RowMatches({Value::String("bad"), Value::String("a")}));
+  EXPECT_FALSE(s.RowMatches({Value::Int(1)}));
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng a(1);
+  Rng b = a.Fork();
+  // Forked stream should not track the parent.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(StringUtilTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SE", "SELECT"));
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(IdentTest, CaseInsensitive) {
+  EXPECT_TRUE(IdentEquals("Sales", "SALES"));
+  EXPECT_FALSE(IdentEquals("Sales", "Sale"));
+  EXPECT_EQ(IdentKey("SPLOT_Points"), "splot_points");
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,150 @@
+#include "concurrency/policy.h"
+#include "concurrency/study.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(ResponseCoordinatorTest, NoCcRendersEverythingInArrivalOrder) {
+  ResponseCoordinator c(CcPolicy::kNoCC);
+  for (size_t i = 0; i < 3; ++i) c.OnRequest(i);
+  EXPECT_EQ(c.OnResponse(2), std::vector<size_t>{2});
+  EXPECT_EQ(c.OnResponse(0), std::vector<size_t>{0});
+  EXPECT_EQ(c.OnResponse(1), std::vector<size_t>{1});
+  EXPECT_EQ(c.rendered_count(), 3u);
+  EXPECT_EQ(c.dropped_count(), 0u);
+}
+
+TEST(ResponseCoordinatorTest, SerialBuffersUntilInOrder) {
+  ResponseCoordinator c(CcPolicy::kSerial);
+  for (size_t i = 0; i < 3; ++i) c.OnRequest(i);
+  EXPECT_TRUE(c.OnResponse(2).empty());   // buffered
+  EXPECT_TRUE(c.OnResponse(1).empty());   // buffered
+  auto released = c.OnResponse(0);        // releases 0, 1, 2
+  EXPECT_EQ(released, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(c.rendered_count(), 3u);
+}
+
+TEST(ResponseCoordinatorTest, DiscardDropsStaleResponses) {
+  ResponseCoordinator c(CcPolicy::kDiscard);
+  for (size_t i = 0; i < 3; ++i) c.OnRequest(i);
+  EXPECT_EQ(c.OnResponse(1), std::vector<size_t>{1});
+  EXPECT_TRUE(c.OnResponse(0).empty());  // stale: dropped
+  EXPECT_EQ(c.OnResponse(2), std::vector<size_t>{2});
+  EXPECT_EQ(c.rendered_count(), 2u);
+  EXPECT_EQ(c.dropped_count(), 1u);
+}
+
+TEST(ResponseCoordinatorTest, MostRecentRendersOnlyLatestRequest) {
+  ResponseCoordinator c(CcPolicy::kMostRecent);
+  c.OnRequest(0);
+  c.OnRequest(1);
+  c.OnRequest(2);
+  EXPECT_TRUE(c.OnResponse(0).empty());
+  EXPECT_TRUE(c.OnResponse(1).empty());
+  EXPECT_EQ(c.OnResponse(2), std::vector<size_t>{2});
+  EXPECT_EQ(c.dropped_count(), 2u);
+}
+
+TEST(ResponseCoordinatorTest, MvccRendersEverythingIntoCopies) {
+  ResponseCoordinator c(CcPolicy::kMvcc);
+  for (size_t i = 0; i < 4; ++i) c.OnRequest(i);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.OnResponse(3 - i).size(), 1u);
+  }
+  EXPECT_EQ(c.chart_copies(), 4u);
+  EXPECT_EQ(c.dropped_count(), 0u);
+}
+
+TEST(StudyTest, ParticipantSimulationIsDeterministic) {
+  StudyConfig config;
+  config.policy = CcPolicy::kSerial;
+  config.mean_delay_ms = 2500;
+  config.seed = 42;
+  ParticipantResult a = SimulateParticipant(config);
+  ParticipantResult b = SimulateParticipant(config);
+  EXPECT_DOUBLE_EQ(a.completion_ms, b.completion_ms);
+}
+
+TEST(StudyTest, NoDelayPoliciesNearlyEqualWithMvccSlightlySlower) {
+  // The paper: "each of the above policies have little difference when
+  // there is no response delay (in fact, MVCC is slightly slower)".
+  StudyConfig config;
+  config.mean_delay_ms = 0;
+  double mvcc = 0, others_max = 0;
+  for (CcPolicy p : AllCcPolicies()) {
+    config.policy = p;
+    double t = RunStudy(config, 50).mean_completion_ms;
+    if (p == CcPolicy::kMvcc) {
+      mvcc = t;
+    } else {
+      others_max = std::max(others_max, t);
+    }
+  }
+  EXPECT_GT(mvcc, others_max);          // slightly slower...
+  EXPECT_LT(mvcc, others_max * 1.5);    // ...but only slightly
+}
+
+TEST(StudyTest, Figure5OrderingUnderDelay) {
+  // Under random delay (mean 2.5 s): MVCC fastest; Serial and Discard
+  // beat No CC and Most Recent, which are slowest.
+  StudyConfig config;
+  config.mean_delay_ms = 2500;
+  std::map<CcPolicy, double> mean;
+  for (CcPolicy p : AllCcPolicies()) {
+    config.policy = p;
+    mean[p] = RunStudy(config, 100).mean_completion_ms;
+  }
+  EXPECT_LT(mean[CcPolicy::kMvcc], mean[CcPolicy::kSerial]);
+  EXPECT_LT(mean[CcPolicy::kSerial], mean[CcPolicy::kNoCC]);
+  EXPECT_LT(mean[CcPolicy::kDiscard], mean[CcPolicy::kNoCC]);
+  EXPECT_LT(mean[CcPolicy::kMvcc], 0.5 * mean[CcPolicy::kNoCC]);
+  // No CC and Most Recent are close: both self-serialize.
+  EXPECT_NEAR(mean[CcPolicy::kMostRecent] / mean[CcPolicy::kNoCC], 1.0, 0.15);
+}
+
+TEST(StudyTest, TrendTaskAmplifiesTheGap) {
+  // The harder, order-sensitive task makes the effects more pronounced.
+  StudyConfig config;
+  config.mean_delay_ms = 2500;
+
+  auto gap = [&config](JudgmentTask task) {
+    config.task = task;
+    config.policy = CcPolicy::kMvcc;
+    double mvcc = RunStudy(config, 100).mean_completion_ms;
+    config.policy = CcPolicy::kDiscard;
+    double discard = RunStudy(config, 100).mean_completion_ms;
+    return discard / mvcc;
+  };
+  EXPECT_GT(gap(JudgmentTask::kTrend), gap(JudgmentTask::kThreshold));
+}
+
+TEST(StudyTest, DiscardIssuesRehovers) {
+  StudyConfig config;
+  config.policy = CcPolicy::kDiscard;
+  config.mean_delay_ms = 2500;
+  StudyAggregate a = RunStudy(config, 100);
+  EXPECT_GT(a.mean_requests, static_cast<double>(config.num_facets));
+  EXPECT_GT(a.mean_dropped, 0.0);
+}
+
+TEST(StudyTest, DelayIncreasesCompletionForEveryPolicy) {
+  for (CcPolicy p : AllCcPolicies()) {
+    StudyConfig config;
+    config.policy = p;
+    config.mean_delay_ms = 0;
+    double fast = RunStudy(config, 50).mean_completion_ms;
+    config.mean_delay_ms = 2500;
+    double slow = RunStudy(config, 50).mean_completion_ms;
+    EXPECT_GT(slow, fast) << CcPolicyToString(p);
+  }
+}
+
+TEST(StudyTest, PolicyNamesAreDistinct) {
+  std::set<std::string> names;
+  for (CcPolicy p : AllCcPolicies()) names.insert(CcPolicyToString(p));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dvms

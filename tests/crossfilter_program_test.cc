@@ -1,0 +1,143 @@
+// Integration test for the Figure 1 crossfilter program: the full DeVIL
+// pipeline — brush events on the year chart, selection via a band lookup
+// table, four pairs of linked group-by views, and rect-mark rendering.
+
+#include "core/dvms.h"
+#include "workload/tpch.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class CrossfilterProgramTest : public ::testing::Test {
+ protected:
+  static constexpr double kYearX0 = 420, kYearX1 = 780;
+
+  void SetUp() override {
+    Dvms::Options options;
+    options.canvas_width = 800;
+    options.canvas_height = 600;
+    engine_ = std::make_unique<Dvms>(options);
+
+    TpchConfig tpch;
+    tpch.num_rows = 2000;
+    Table sales = GenerateTpchSales(tpch);
+    ASSERT_TRUE(engine_->CreateBaseTable("Sales", sales.schema()).ok());
+    ASSERT_TRUE(engine_->Insert("Sales", sales.rows()).ok());
+
+    ASSERT_TRUE(engine_
+                    ->CreateBaseTable("year_bands",
+                                      Schema({{"year", ValueType::kInt64},
+                                              {"x0", ValueType::kDouble},
+                                              {"x1", ValueType::kDouble}}))
+                    .ok());
+    std::vector<Row> bands;
+    double band = (kYearX1 - kYearX0) / 7.0;
+    for (int y = 0; y < 7; ++y) {
+      bands.push_back({Value::Int(1992 + y),
+                       Value::Double(kYearX0 + y * band),
+                       Value::Double(kYearX0 + (y + 1) * band)});
+    }
+    ASSERT_TRUE(engine_->Insert("year_bands", bands).ok());
+    ASSERT_TRUE(engine_->CreateScale("chart_scale", 0, 1e8, 0, 240).ok());
+
+    const char* program = R"(
+      C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+          WHERE D.x > 420 AND D.y < 280
+          RETURN (D.t, D.x AS x, D.x AS x2),
+                 (M.t, D.x AS x, M.x AS x2);
+      C_RANGE = SELECT min2(x, x2) AS lo, max2(x, x2) AS hi
+        FROM C ORDER BY t DESC LIMIT 1;
+      selected_years = SELECT yb.year AS year
+        FROM C_RANGE, year_bands AS yb
+        WHERE yb.x1 >= C_RANGE.lo AND yb.x0 <= C_RANGE.hi;
+      rev_region   = SELECT region, SUM(revenue) AS revenue FROM Sales
+                     GROUP BY region;
+      rev_region_f = SELECT region, SUM(revenue) AS revenue FROM Sales
+                     WHERE year IN selected_years GROUP BY region;
+      REGION_BARS = SELECT
+          band_scale(r.revenue * 0, 5, 20.0, 380.0, 0.2) AS x,
+          280.0 - linear_scale(r.revenue, s.domain_min, s.domain_max,
+                               s.range_min, s.range_max) AS y,
+          band_width(5, 20.0, 380.0, 0.2) AS width,
+          linear_scale(r.revenue, s.domain_min, s.domain_max,
+                       s.range_min, s.range_max) AS height,
+          'green' AS fill
+        FROM rev_region_f AS r, chart_scale AS s;
+      P = render(SELECT * FROM REGION_BARS);
+    )";
+    ASSERT_TRUE(engine_->LoadProgram(program).ok());
+  }
+
+  void BrushYears(int first, int last) {
+    double band = (kYearX1 - kYearX0) / 7.0;
+    double lo = kYearX0 + (first - 1992) * band + 2;
+    double hi = kYearX0 + (last - 1991) * band - 2;
+    ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, lo, 100)).ok());
+    ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, hi, 100)).ok());
+    ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(2, hi, 100)).ok());
+  }
+
+  std::unique_ptr<Dvms> engine_;
+};
+
+TEST_F(CrossfilterProgramTest, SelectionMapsPixelsToYears) {
+  BrushYears(1997, 1998);
+  const Table* years = engine_->GetTable("selected_years").value();
+  ASSERT_EQ(years->num_rows(), 2u);
+  EXPECT_EQ(years->row(0)[0].int_value(), 1997);
+  EXPECT_EQ(years->row(1)[0].int_value(), 1998);
+}
+
+TEST_F(CrossfilterProgramTest, FilteredSumsAreSubsetOfTotals) {
+  BrushYears(1995, 1996);
+  Table totals = engine_->Query(
+      "SELECT region, SUM(revenue) AS r FROM Sales GROUP BY region").value();
+  const Table* filtered = engine_->GetTable("rev_region_f").value();
+  ASSERT_EQ(filtered->num_rows(), totals.num_rows());
+  for (size_t i = 0; i < totals.num_rows(); ++i) {
+    double f = filtered->row(i)[1].double_value();
+    double t = totals.row(i)[1].double_value();
+    EXPECT_GT(f, 0);
+    EXPECT_LT(f, t);
+  }
+}
+
+TEST_F(CrossfilterProgramTest, FilteredSumsMatchDirectQuery) {
+  BrushYears(1997, 1998);
+  Table reference = engine_->Query(
+      "SELECT region, SUM(revenue) AS revenue FROM Sales "
+      "WHERE year IN selected_years GROUP BY region").value();
+  const Table* filtered = engine_->GetTable("rev_region_f").value();
+  ASSERT_EQ(filtered->num_rows(), reference.num_rows());
+  for (size_t i = 0; i < reference.num_rows(); ++i) {
+    EXPECT_NEAR(filtered->row(i)[1].double_value(),
+                reference.row(i)[1].double_value(),
+                1e-6 * reference.row(i)[1].double_value());
+  }
+}
+
+TEST_F(CrossfilterProgramTest, BrushOutsideYearChartIsFiltered) {
+  // The spatial gate (D.x > 420 AND D.y < 280) keeps brushes elsewhere
+  // from starting the interaction.
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 100, 100)).ok());
+  EXPECT_EQ(engine_->stats().transactions_started, 0u);
+  EXPECT_EQ(engine_->GetTable("selected_years").value()->num_rows(), 0u);
+}
+
+TEST_F(CrossfilterProgramTest, NewBrushReplacesSelection) {
+  BrushYears(1992, 1993);
+  EXPECT_EQ(engine_->GetTable("selected_years").value()->num_rows(), 2u);
+  BrushYears(1998, 1998);
+  const Table* years = engine_->GetTable("selected_years").value();
+  ASSERT_EQ(years->num_rows(), 1u);
+  EXPECT_EQ(years->row(0)[0].int_value(), 1998);
+}
+
+TEST_F(CrossfilterProgramTest, BarsRender) {
+  BrushYears(1997, 1998);
+  EXPECT_GT(engine_->pixels().CountColor(ParseColor("green").value()), 100u);
+}
+
+}  // namespace
+}  // namespace dvms

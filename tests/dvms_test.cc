@@ -1,0 +1,221 @@
+#include "core/dvms.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+/// The Figure 2 program: a scatterplot over Sales with linked brushing.
+/// DeVIL 1 (static view) + DeVIL 2 (drag events) + DeVIL 3 (selection),
+/// with scale relations joined in to feed linear_scale.
+const char* kBrushingProgram = R"(
+C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+    RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+           (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+
+SPLOT_POINTS = SELECT
+    8 AS radius, 'gray' AS stroke, 'gray' AS fill,
+    linear_scale(Sales.revenue, sx.domain_min, sx.domain_max,
+                 sx.range_min, sx.range_max) AS center_x,
+    linear_scale(Sales.profit, sy.domain_min, sy.domain_max,
+                 sy.range_min, sy.range_max) AS center_y,
+    productId
+  FROM Sales, scale_x AS sx, scale_y AS sy;
+
+BBOX = SELECT x AS x0, y AS y0, x + dx AS x1, y + dy AS y1
+  FROM C ORDER BY t DESC LIMIT 1;
+
+selected = SELECT SP.productId AS productId
+  FROM BBOX, SPLOT_POINTS@vnow-1 AS SP
+  WHERE in_rectangle(SP.center_x, SP.center_y,
+                     BBOX.x0, BBOX.y0, BBOX.x1, BBOX.y1);
+
+SPLOT_POINTS = SELECT
+    8 AS radius, 'gray' AS stroke, 'gray' AS fill,
+    linear_scale(Sales.revenue, sx.domain_min, sx.domain_max,
+                 sx.range_min, sx.range_max) AS center_x,
+    linear_scale(Sales.profit, sy.domain_min, sy.domain_max,
+                 sy.range_min, sy.range_max) AS center_y,
+    productId
+  FROM Sales, scale_x AS sx, scale_y AS sy
+  WHERE productId NOT IN selected
+  UNION SELECT
+    8 AS radius, 'red' AS stroke, 'red' AS fill,
+    linear_scale(Sales.revenue, sx.domain_min, sx.domain_max,
+                 sx.range_min, sx.range_max) AS center_x,
+    linear_scale(Sales.profit, sy.domain_min, sy.domain_max,
+                 sy.range_min, sy.range_max) AS center_y,
+    productId
+  FROM Sales, scale_x AS sx, scale_y AS sy
+  WHERE productId IN selected;
+
+P = render(SELECT * FROM SPLOT_POINTS);
+)";
+
+class DvmsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dvms::Options options;
+    options.canvas_width = 200;
+    options.canvas_height = 200;
+    engine_ = std::make_unique<Dvms>(options);
+    ASSERT_TRUE(engine_
+                    ->CreateBaseTable("Sales",
+                                      Schema({{"productId", ValueType::kInt64},
+                                              {"price", ValueType::kDouble},
+                                              {"profit", ValueType::kDouble},
+                                              {"revenue", ValueType::kDouble}}))
+                    .ok());
+    // 4 products; revenue/profit chosen so scaled positions are easy:
+    // domain [0,100] -> range [0,200], so value v lands at pixel 2v.
+    std::vector<Row> rows = {
+        {Value::Int(1), Value::Double(10), Value::Double(10), Value::Double(10)},
+        {Value::Int(2), Value::Double(20), Value::Double(30), Value::Double(30)},
+        {Value::Int(3), Value::Double(30), Value::Double(60), Value::Double(60)},
+        {Value::Int(4), Value::Double(40), Value::Double(90), Value::Double(90)},
+    };
+    ASSERT_TRUE(engine_->Insert("Sales", rows).ok());
+    ASSERT_TRUE(engine_->CreateScale("scale_x", 0, 100, 0, 200).ok());
+    ASSERT_TRUE(engine_->CreateScale("scale_y", 0, 100, 0, 200).ok());
+  }
+
+  size_t CountFill(const std::string& fill) {
+    const Table* points = engine_->GetTable("SPLOT_POINTS").value();
+    size_t idx = points->schema().FindColumn("fill").value();
+    size_t n = 0;
+    for (const Row& row : points->rows()) {
+      if (row[idx].string_value() == fill) ++n;
+    }
+    return n;
+  }
+
+  std::unique_ptr<Dvms> engine_;
+};
+
+TEST_F(DvmsTest, StaticVisualizationRendersAllPoints) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  const Table* points = engine_->GetTable("SPLOT_POINTS").value();
+  EXPECT_EQ(points->num_rows(), 4u);
+  EXPECT_EQ(CountFill("gray"), 4u);
+  // Product 1 at (20, 20) is painted gray.
+  RGBA gray = ParseColor("gray").value();
+  EXPECT_EQ(engine_->pixels().At(20, 20), gray);
+  // Product 4 at (180, 180).
+  EXPECT_EQ(engine_->pixels().At(180, 180), gray);
+}
+
+TEST_F(DvmsTest, BrushSelectsPointsInsideRectangle) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  // Drag from (10, 10) to (100, 100): covers products 1 (20,20) and
+  // 2 (60,60), not 3 (120,120) or 4 (180,180).
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 50, 50)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(2, 100, 100)).ok());
+
+  const Table* selected = engine_->GetTable("selected").value();
+  EXPECT_EQ(selected->num_rows(), 2u);
+  EXPECT_EQ(CountFill("red"), 2u);
+  EXPECT_EQ(CountFill("gray"), 2u);
+  // Pixels update during the uncommitted interaction (the paper's point
+  // about exposing uncommitted state).
+  RGBA red = ParseColor("red").value();
+  EXPECT_EQ(engine_->pixels().At(20, 20), red);
+  EXPECT_EQ(engine_->pixels().At(180, 180), ParseColor("gray").value());
+
+  // Release commits the interaction.
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(3, 100, 100)).ok());
+  EXPECT_EQ(engine_->stats().transactions_committed, 1u);
+  EXPECT_EQ(CountFill("red"), 2u);
+}
+
+TEST_F(DvmsTest, ShrinkingBrushDeselects) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 150, 150)).ok());
+  EXPECT_EQ(CountFill("red"), 3u);
+  // Shrink the box: only product 1 remains inside.
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(2, 30, 30)).ok());
+  EXPECT_EQ(CountFill("red"), 1u);
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(3, 30, 30)).ok());
+}
+
+TEST_F(DvmsTest, AbortRollsBackToPreInteractionState) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 100, 100)).ok());
+  EXPECT_EQ(CountFill("red"), 2u);
+  // A second MOUSE_DOWN cannot extend the pattern: reject -> rollback.
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(2, 11, 11)).ok());
+  EXPECT_EQ(engine_->stats().transactions_aborted, 1u);
+  EXPECT_EQ(engine_->GetTable("C").value()->num_rows(), 0u);
+  EXPECT_EQ(CountFill("red"), 0u);
+  EXPECT_EQ(CountFill("gray"), 4u);
+  RGBA gray = ParseColor("gray").value();
+  EXPECT_EQ(engine_->pixels().At(20, 20), gray);
+}
+
+TEST_F(DvmsTest, SecondInteractionReplacesSelection) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 100, 100)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(2, 100, 100)).ok());
+  EXPECT_EQ(CountFill("red"), 2u);
+  // Select just product 4.
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(3, 170, 170)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(4, 190, 190)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(5, 190, 190)).ok());
+  EXPECT_EQ(CountFill("red"), 1u);
+  const Table* selected = engine_->GetTable("selected").value();
+  ASSERT_EQ(selected->num_rows(), 1u);
+  EXPECT_EQ(selected->row(0)[0].int_value(), 4);
+}
+
+TEST_F(DvmsTest, QueryAdHoc) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  Table t = engine_
+                ->Query("SELECT COUNT(*) AS n FROM SPLOT_POINTS")
+                .value();
+  EXPECT_EQ(t.At(0, "n").value().int_value(), 4);
+}
+
+TEST_F(DvmsTest, InsertPropagatesThroughViews) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  ASSERT_TRUE(engine_
+                  ->Insert("Sales", {{Value::Int(5), Value::Double(50),
+                                      Value::Double(50), Value::Double(50)}})
+                  .ok());
+  EXPECT_EQ(engine_->GetTable("SPLOT_POINTS").value()->num_rows(), 5u);
+  // The new point renders at (100, 100).
+  EXPECT_EQ(engine_->pixels().At(100, 100), ParseColor("gray").value());
+}
+
+TEST_F(DvmsTest, StatsTracked) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  ASSERT_TRUE(engine_->PushEvents({InputEvent::MouseDown(0, 10, 10),
+                                   InputEvent::MouseMove(1, 50, 50),
+                                   InputEvent::MouseUp(2, 50, 50)})
+                  .ok());
+  EXPECT_EQ(engine_->stats().events_processed, 3u);
+  EXPECT_EQ(engine_->stats().transactions_started, 1u);
+  EXPECT_EQ(engine_->stats().transactions_committed, 1u);
+  EXPECT_GT(engine_->stats().renders, 0u);
+}
+
+TEST_F(DvmsTest, AnalyzeInteractionsWarnsOnOverlap) {
+  ASSERT_TRUE(engine_->LoadProgram(kBrushingProgram).ok());
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "CLICKS = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U "
+                      "RETURN (D.t, D.x, D.y);")
+                  .ok());
+  auto warnings = engine_->AnalyzeInteractions();
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].find("MOUSE_DOWN"), std::string::npos);
+}
+
+TEST_F(DvmsTest, LoadProgramErrorsSurfaceCleanly) {
+  EXPECT_FALSE(engine_->LoadProgram("V = SELECT nothing FROM missing;").ok());
+  EXPECT_FALSE(engine_->LoadProgram("garbage !!").ok());
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,211 @@
+#include "core/dvms.h"
+#include "parser/parser.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class EngineFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dvms::Options options;
+    options.canvas_width = 100;
+    options.canvas_height = 100;
+    engine_ = std::make_unique<Dvms>(options);
+    ASSERT_TRUE(engine_
+                    ->CreateBaseTable("Sales",
+                                      Schema({{"productId", ValueType::kInt64},
+                                              {"region", ValueType::kString},
+                                              {"revenue", ValueType::kDouble}}))
+                    .ok());
+    std::vector<Row> rows = {
+        {Value::Int(1), Value::String("east"), Value::Double(100)},
+        {Value::Int(2), Value::String("west"), Value::Double(200)},
+        {Value::Int(3), Value::String("east"), Value::Double(300)},
+        {Value::Int(4), Value::String("west"), Value::Double(400)},
+    };
+    ASSERT_TRUE(engine_->Insert("Sales", rows).ok());
+  }
+
+  std::unique_ptr<Dvms> engine_;
+};
+
+TEST_F(EngineFeaturesTest, DeleteWithPredicate) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "big = SELECT productId FROM Sales WHERE revenue > 150;")
+                  .ok());
+  EXPECT_EQ(engine_->GetTable("big").value()->num_rows(), 3u);
+  auto removed =
+      engine_->Delete("Sales", ParseExpression("revenue >= 300").value());
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 2u);
+  EXPECT_EQ(engine_->GetTable("Sales").value()->num_rows(), 2u);
+  // The dependent view updated too: only product 2 (200) remains big.
+  EXPECT_EQ(engine_->GetTable("big").value()->num_rows(), 1u);
+}
+
+TEST_F(EngineFeaturesTest, DeleteAllRows) {
+  auto removed = engine_->Delete("Sales", nullptr);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 4u);
+  EXPECT_EQ(engine_->GetTable("Sales").value()->num_rows(), 0u);
+}
+
+TEST_F(EngineFeaturesTest, DeleteRejectsViews) {
+  ASSERT_TRUE(
+      engine_->LoadProgram("v = SELECT productId FROM Sales;").ok());
+  EXPECT_FALSE(engine_->Delete("v", nullptr).ok());
+  EXPECT_FALSE(engine_->Delete("missing", nullptr).ok());
+}
+
+TEST_F(EngineFeaturesTest, DeleteStatementThroughProgram) {
+  ASSERT_TRUE(
+      engine_->LoadProgram("DELETE FROM Sales WHERE region = 'east';").ok());
+  EXPECT_EQ(engine_->GetTable("Sales").value()->num_rows(), 2u);
+}
+
+TEST_F(EngineFeaturesTest, HavingFiltersGroups) {
+  Table t = engine_
+                ->Query("SELECT region, SUM(revenue) AS total FROM Sales "
+                        "GROUP BY region HAVING SUM(revenue) > 450")
+                .value();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.At(0, "region").value().string_value(), "west");
+}
+
+TEST_F(EngineFeaturesTest, HavingWithHiddenAggregate) {
+  // The HAVING aggregate is not in the select list.
+  Table t = engine_
+                ->Query("SELECT region FROM Sales "
+                        "GROUP BY region HAVING COUNT(*) >= 2 AND "
+                        "MIN(revenue) < 150")
+                .value();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.At(0, "region").value().string_value(), "east");
+  // The hidden aggregate columns are projected away.
+  EXPECT_EQ(t.schema().num_columns(), 1u);
+}
+
+TEST_F(EngineFeaturesTest, HavingReferencingGroupExpr) {
+  Table t = engine_
+                ->Query("SELECT region, COUNT(*) AS n FROM Sales "
+                        "GROUP BY region HAVING region = 'west'")
+                .value();
+  ASSERT_EQ(t.num_rows(), 1u);
+}
+
+TEST_F(EngineFeaturesTest, SelectDistinct) {
+  Table t = engine_->Query("SELECT DISTINCT region FROM Sales").value();
+  EXPECT_EQ(t.num_rows(), 2u);
+  Table all = engine_->Query("SELECT region FROM Sales").value();
+  EXPECT_EQ(all.num_rows(), 4u);
+}
+
+TEST_F(EngineFeaturesTest, SelectDistinctWithOrderBy) {
+  Table t = engine_
+                ->Query("SELECT DISTINCT region FROM Sales ORDER BY region DESC")
+                .value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.row(0)[0].string_value(), "west");
+}
+
+TEST_F(EngineFeaturesTest, UndoRedoRoundTrip) {
+  const char* program = R"(
+    C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t, D.x, D.y);
+    clicks = SELECT COUNT(*) AS n FROM C;
+  )";
+  ASSERT_TRUE(engine_->LoadProgram(program).ok());
+  auto clicks = [this]() {
+    return engine_->GetTable("clicks").value()->row(0)[0].int_value();
+  };
+  EXPECT_EQ(clicks(), 0);
+
+  // Interaction 1 commits one click.
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(1, 10, 10)).ok());
+  EXPECT_EQ(clicks(), 1);
+
+  // Undo restores the pre-interaction state (empty C); views follow.
+  ASSERT_TRUE(engine_->Undo().ok());
+  EXPECT_EQ(clicks(), 0);
+  EXPECT_TRUE(engine_->CanRedo());
+
+  // Redo returns to the post-interaction state.
+  ASSERT_TRUE(engine_->Redo().ok());
+  EXPECT_EQ(clicks(), 1);
+  EXPECT_FALSE(engine_->CanRedo());
+  EXPECT_FALSE(engine_->Redo().ok());
+}
+
+TEST_F(EngineFeaturesTest, UndoDepthLimitedByHistory) {
+  ASSERT_TRUE(
+      engine_->LoadProgram("v = SELECT productId FROM Sales;").ok());
+  // Only the initial commit exists: one Undo step back to the empty
+  // pre-insert version may or may not exist depending on history; drain
+  // until exhausted and expect a clean error after.
+  size_t undone = 0;
+  while (engine_->CanUndo() && undone < 32) {
+    ASSERT_TRUE(engine_->Undo().ok());
+    ++undone;
+  }
+  EXPECT_FALSE(engine_->Undo().ok());
+}
+
+TEST_F(EngineFeaturesTest, DumpStateListsRelations) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t);"
+                      "v = SELECT productId FROM Sales;")
+                  .ok());
+  std::string state = engine_->DumpState();
+  EXPECT_NE(state.find("Sales [BASE] 4 rows"), std::string::npos);
+  EXPECT_NE(state.find("C [EVENT]"), std::string::npos);
+  EXPECT_NE(state.find("v [VIEW]"), std::string::npos);
+  EXPECT_NE(state.find("patterns:"), std::string::npos);
+}
+
+TEST_F(EngineFeaturesTest, ExplainViewShowsPlanAndDeps) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "v = SELECT productId FROM Sales WHERE revenue > 150;")
+                  .ok());
+  std::string explained = engine_->ExplainView("v").value();
+  EXPECT_NE(explained.find("Scan Sales"), std::string::npos);
+  EXPECT_NE(explained.find("Filter"), std::string::npos);
+  EXPECT_NE(explained.find("reads (current): Sales"), std::string::npos);
+  EXPECT_FALSE(engine_->ExplainView("nope").ok());
+}
+
+TEST_F(EngineFeaturesTest, NewScaleUdfs) {
+  Table t = engine_
+                ->Query("SELECT log_scale(100, 1, 10000, 0, 100) AS lg, "
+                        "sqrt_scale(25, 0, 100, 0, 100) AS sq, "
+                        "lerp_color(0.5, '#000000', '#ff0000') AS c "
+                        "FROM Sales LIMIT 1")
+                .value();
+  EXPECT_DOUBLE_EQ(t.At(0, "lg").value().double_value(), 50.0);
+  EXPECT_DOUBLE_EQ(t.At(0, "sq").value().double_value(), 50.0);
+  EXPECT_EQ(t.At(0, "c").value().string_value(), "#800000");
+}
+
+TEST_F(EngineFeaturesTest, LogScaleRejectsNonPositiveDomain) {
+  auto r = engine_->Query(
+      "SELECT log_scale(revenue, 0, 100, 0, 10) AS x FROM Sales");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineFeaturesTest, LerpColorEndpointsAndClamping) {
+  Table t = engine_
+                ->Query("SELECT lerp_color(0, '#102030', '#405060') AS a, "
+                        "lerp_color(1, '#102030', '#405060') AS b, "
+                        "lerp_color(2.5, '#102030', '#405060') AS c "
+                        "FROM Sales LIMIT 1")
+                .value();
+  EXPECT_EQ(t.At(0, "a").value().string_value(), "#102030");
+  EXPECT_EQ(t.At(0, "b").value().string_value(), "#405060");
+  EXPECT_EQ(t.At(0, "c").value().string_value(), "#405060");
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,227 @@
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { udfs_ = UdfRegistry::WithBuiltins(); }
+
+  Result<Value> Eval(const ExprPtr& e, const Row& row = {}) {
+    EvalContext ctx;
+    ctx.udfs = &udfs_;
+    return EvalExpr(*e, row, ctx);
+  }
+
+  UdfRegistry udfs_;
+};
+
+TEST_F(EvalTest, IntegerArithmeticStaysIntegral) {
+  auto v = Eval(MakeBinary(BinaryOp::kAdd, MakeLiteral(Value::Int(2)),
+                           MakeLiteral(Value::Int(3))))
+               .value();
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.int_value(), 5);
+  v = Eval(MakeBinary(BinaryOp::kDiv, MakeLiteral(Value::Int(7)),
+                      MakeLiteral(Value::Int(2))))
+          .value();
+  EXPECT_EQ(v.int_value(), 3);  // truncating integer division
+  v = Eval(MakeBinary(BinaryOp::kMod, MakeLiteral(Value::Int(7)),
+                      MakeLiteral(Value::Int(4))))
+          .value();
+  EXPECT_EQ(v.int_value(), 3);
+}
+
+TEST_F(EvalTest, MixedArithmeticPromotesToDouble) {
+  auto v = Eval(MakeBinary(BinaryOp::kMul, MakeLiteral(Value::Int(2)),
+                           MakeLiteral(Value::Double(1.5))))
+               .value();
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.double_value(), 3.0);
+}
+
+TEST_F(EvalTest, DivisionByZeroIsAnError) {
+  EXPECT_FALSE(Eval(MakeBinary(BinaryOp::kDiv, MakeLiteral(Value::Int(1)),
+                               MakeLiteral(Value::Int(0))))
+                   .ok());
+  EXPECT_FALSE(Eval(MakeBinary(BinaryOp::kDiv, MakeLiteral(Value::Double(1)),
+                               MakeLiteral(Value::Double(0))))
+                   .ok());
+  EXPECT_FALSE(Eval(MakeBinary(BinaryOp::kMod, MakeLiteral(Value::Int(1)),
+                               MakeLiteral(Value::Int(0))))
+                   .ok());
+}
+
+TEST_F(EvalTest, NullPropagatesThroughArithmetic) {
+  auto v = Eval(MakeBinary(BinaryOp::kAdd, MakeLiteral(Value::Null()),
+                           MakeLiteral(Value::Int(1))))
+               .value();
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST_F(EvalTest, NullComparisonsAreFalse) {
+  for (BinaryOp op : {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                      BinaryOp::kGe}) {
+    auto v = Eval(MakeBinary(op, MakeLiteral(Value::Null()),
+                             MakeLiteral(Value::Int(1))))
+                 .value();
+    EXPECT_FALSE(v.bool_value());
+  }
+}
+
+TEST_F(EvalTest, StringConcatenationViaPlus) {
+  auto v = Eval(MakeBinary(BinaryOp::kAdd, MakeLiteral(Value::String("ab")),
+                           MakeLiteral(Value::String("cd"))))
+               .value();
+  EXPECT_EQ(v.string_value(), "abcd");
+}
+
+TEST_F(EvalTest, StringArithmeticOtherwiseFails) {
+  EXPECT_FALSE(Eval(MakeBinary(BinaryOp::kMul,
+                               MakeLiteral(Value::String("ab")),
+                               MakeLiteral(Value::Int(2))))
+                   .ok());
+}
+
+TEST_F(EvalTest, ShortCircuitAndOr) {
+  // AND short-circuits: the erroring right side is never evaluated.
+  auto division_by_zero =
+      MakeBinary(BinaryOp::kDiv, MakeLiteral(Value::Int(1)),
+                 MakeLiteral(Value::Int(0)));
+  auto v = Eval(MakeBinary(BinaryOp::kAnd, MakeLiteral(Value::Bool(false)),
+                           division_by_zero));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.value().bool_value());
+  v = Eval(MakeBinary(BinaryOp::kOr, MakeLiteral(Value::Bool(true)),
+                      division_by_zero));
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().bool_value());
+}
+
+TEST_F(EvalTest, UnaryOperators) {
+  EXPECT_EQ(Eval(MakeUnary(UnaryOp::kNegate, MakeLiteral(Value::Int(5))))
+                .value()
+                .int_value(),
+            -5);
+  EXPECT_DOUBLE_EQ(
+      Eval(MakeUnary(UnaryOp::kNegate, MakeLiteral(Value::Double(2.5))))
+          .value()
+          .double_value(),
+      -2.5);
+  EXPECT_TRUE(Eval(MakeUnary(UnaryOp::kNot, MakeLiteral(Value::Int(0))))
+                  .value()
+                  .bool_value());
+  EXPECT_TRUE(
+      Eval(MakeUnary(UnaryOp::kNegate, MakeLiteral(Value::Null())))
+          .value()
+          .is_null());
+}
+
+TEST_F(EvalTest, ColumnRefReadsRow) {
+  auto ref = MakeColumnRef("x");
+  ref->resolved_index = 1;
+  Row row = {Value::Int(1), Value::String("hello")};
+  EXPECT_EQ(Eval(ref, row).value().string_value(), "hello");
+}
+
+TEST_F(EvalTest, UnresolvedColumnRefFails) {
+  auto r = Eval(MakeColumnRef("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(EvalTest, OutOfRangeResolvedIndexFails) {
+  auto ref = MakeColumnRef("x");
+  ref->resolved_index = 5;
+  EXPECT_FALSE(Eval(ref, {Value::Int(1)}).ok());
+}
+
+TEST_F(EvalTest, UnknownFunctionFails) {
+  auto r = Eval(MakeCall("frobnicate", {MakeLiteral(Value::Int(1))}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EvalTest, WrongArityFails) {
+  EXPECT_FALSE(Eval(MakeCall("abs", {})).ok());
+  EXPECT_FALSE(Eval(MakeCall("abs", {MakeLiteral(Value::Int(1)),
+                                     MakeLiteral(Value::Int(2))}))
+                   .ok());
+}
+
+TEST_F(EvalTest, InRelationWithNullNeedleIsFalse) {
+  auto set = std::make_shared<ValueSet>();
+  set->insert(Value::Int(1));
+  std::unordered_map<std::string, std::shared_ptr<const ValueSet>> sets;
+  sets.emplace("sel", set);
+  EvalContext ctx;
+  ctx.udfs = &udfs_;
+  ctx.in_sets = &sets;
+  auto e = MakeInRelation(MakeLiteral(Value::Null()), "sel", false);
+  EXPECT_FALSE(EvalExpr(*e, {}, ctx).value().bool_value());
+  // NOT IN with NULL is also false (SQL-ish collapsed semantics).
+  auto ne = MakeInRelation(MakeLiteral(Value::Null()), "sel", true);
+  EXPECT_FALSE(EvalExpr(*ne, {}, ctx).value().bool_value());
+}
+
+TEST_F(EvalTest, InRectangleHandlesReversedCorners) {
+  auto call = [this](double px, double py, double x0, double y0, double x1,
+                     double y1) {
+    return Eval(MakeCall("in_rectangle",
+                         {MakeLiteral(Value::Double(px)),
+                          MakeLiteral(Value::Double(py)),
+                          MakeLiteral(Value::Double(x0)),
+                          MakeLiteral(Value::Double(y0)),
+                          MakeLiteral(Value::Double(x1)),
+                          MakeLiteral(Value::Double(y1))}))
+        .value()
+        .bool_value();
+  };
+  // Dragging up-left gives reversed corners; the hit test still works.
+  EXPECT_TRUE(call(5, 5, 10, 10, 0, 0));
+  EXPECT_TRUE(call(5, 5, 0, 0, 10, 10));
+  EXPECT_FALSE(call(15, 5, 0, 0, 10, 10));
+  // Boundary points are inside.
+  EXPECT_TRUE(call(10, 10, 0, 0, 10, 10));
+}
+
+TEST_F(EvalTest, BandScalePartitionsRange) {
+  auto band = [this](int i) {
+    return Eval(MakeCall("band_scale",
+                         {MakeLiteral(Value::Int(i)),
+                          MakeLiteral(Value::Int(4)),
+                          MakeLiteral(Value::Double(0)),
+                          MakeLiteral(Value::Double(400)),
+                          MakeLiteral(Value::Double(0))}))
+        .value()
+        .double_value();
+  };
+  EXPECT_DOUBLE_EQ(band(0), 0);
+  EXPECT_DOUBLE_EQ(band(1), 100);
+  EXPECT_DOUBLE_EQ(band(3), 300);
+  // band_width with padding eats into the band.
+  auto width = Eval(MakeCall("band_width",
+                             {MakeLiteral(Value::Int(4)),
+                              MakeLiteral(Value::Double(0)),
+                              MakeLiteral(Value::Double(400)),
+                              MakeLiteral(Value::Double(0.2))}))
+                   .value()
+                   .double_value();
+  EXPECT_DOUBLE_EQ(width, 80);
+}
+
+TEST_F(EvalTest, LinearScaleDegenerateDomain) {
+  auto v = Eval(MakeCall("linear_scale",
+                         {MakeLiteral(Value::Double(5)),
+                          MakeLiteral(Value::Double(5)),
+                          MakeLiteral(Value::Double(5)),
+                          MakeLiteral(Value::Double(0)),
+                          MakeLiteral(Value::Double(100))}))
+               .value();
+  EXPECT_DOUBLE_EQ(v.double_value(), 0);  // collapses to range_min
+}
+
+}  // namespace
+}  // namespace dvms

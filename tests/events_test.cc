@@ -1,0 +1,333 @@
+#include "events/event.h"
+#include "events/interaction.h"
+#include "events/nfa.h"
+#include "events/recognizer.h"
+#include "parser/parser.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+/// DeVIL 2 verbatim.
+const char* kDrag =
+    "C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U "
+    "WHERE FORALL m IN M m.y > 5 "
+    "RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy), "
+    "(M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);";
+
+EventStmt ParseEvent(const std::string& source) {
+  auto program = ParseProgram(source).value();
+  return program.statements[0].event;
+}
+
+class EventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { udfs_ = UdfRegistry::WithBuiltins(); }
+
+  PatternMatcher MakeMatcher(const std::string& source) {
+    CompiledPattern pattern =
+        CompilePattern(ParseEvent(source), &udfs_).value();
+    return PatternMatcher(std::move(pattern), &udfs_);
+  }
+
+  UdfRegistry udfs_;
+};
+
+TEST_F(EventsTest, EventTypeRoundTrip) {
+  EXPECT_EQ(EventTypeFromName("mouse_down").value(), EventType::kMouseDown);
+  EXPECT_EQ(std::string(EventTypeToString(EventType::kKeyPress)), "KEY_PRESS");
+  EXPECT_FALSE(EventTypeFromName("MOUSE_TELEPORT").ok());
+}
+
+TEST_F(EventsTest, CompileRejectsTrailingKleene) {
+  auto stmt = ParseEvent("C = EVENT MOUSE_MOVE* AS M RETURN (M.t);");
+  auto r = CompilePattern(stmt, &udfs_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("non-repeating"), std::string::npos);
+}
+
+TEST_F(EventsTest, CompileRejectsDuplicateAliases) {
+  auto stmt =
+      ParseEvent("C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS D RETURN (D.t);");
+  EXPECT_FALSE(CompilePattern(stmt, &udfs_).ok());
+}
+
+TEST_F(EventsTest, CompileRejectsIncompatibleReturns) {
+  auto stmt = ParseEvent(
+      "C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U "
+      "RETURN (D.t), (U.key);");
+  auto r = CompilePattern(stmt, &udfs_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EventsTest, CompileDerivesSchemaFromFirstReturn) {
+  CompiledPattern p = CompilePattern(ParseEvent(kDrag), &udfs_).value();
+  EXPECT_EQ(p.output_schema.num_columns(), 5u);
+  EXPECT_TRUE(p.output_schema.FindColumn("dx").has_value());
+  EXPECT_TRUE(p.output_schema.FindColumn("t").has_value());
+  EXPECT_EQ(p.returns[0].emit_on, 0u);  // references only D
+  EXPECT_EQ(p.returns[1].emit_on, 1u);  // references M
+}
+
+TEST_F(EventsTest, Table1Reproduction) {
+  // Feeds exactly the event sequence of Table 1 and checks every row.
+  PatternMatcher m = MakeMatcher(kDrag);
+  std::vector<Row> rows;
+
+  EXPECT_EQ(m.Feed(InputEvent::MouseDown(0, 5, 15), &rows).value(),
+            MatchAction::kStarted);
+  ASSERT_EQ(rows.size(), 1u);
+  // (t=0, x=5, y=15, dx=0, dy=0)
+  EXPECT_EQ(rows[0][0].int_value(), 0);
+  EXPECT_DOUBLE_EQ(rows[0][1].double_value(), 5);
+  EXPECT_DOUBLE_EQ(rows[0][2].double_value(), 15);
+  EXPECT_EQ(rows[0][3].AsDouble().value(), 0);
+  EXPECT_EQ(rows[0][4].AsDouble().value(), 0);
+
+  EXPECT_EQ(m.Feed(InputEvent::MouseMove(1, 6, 17), &rows).value(),
+            MatchAction::kProgress);
+  ASSERT_EQ(rows.size(), 2u);
+  // (t=1, x=5, y=15, dx=1, dy=2)
+  EXPECT_EQ(rows[1][0].int_value(), 1);
+  EXPECT_DOUBLE_EQ(rows[1][1].double_value(), 5);
+  EXPECT_DOUBLE_EQ(rows[1][3].double_value(), 1);
+  EXPECT_DOUBLE_EQ(rows[1][4].double_value(), 2);
+
+  EXPECT_EQ(m.Feed(InputEvent::MouseMove(40, 10, 10), &rows).value(),
+            MatchAction::kProgress);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[2][3].double_value(), 5);
+  EXPECT_DOUBLE_EQ(rows[2][4].double_value(), -5);
+
+  // MOUSE_UP terminates the query with no insertion (no RETURN statement
+  // involves U).
+  EXPECT_EQ(m.Feed(InputEvent::MouseUp(41, 10, 10), &rows).value(),
+            MatchAction::kCommitted);
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_FALSE(m.active());
+}
+
+TEST_F(EventsTest, NonAlphabetEventsAreFiltered) {
+  PatternMatcher m = MakeMatcher(kDrag);
+  std::vector<Row> rows;
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(0, 5, 15), &rows).value(),
+            MatchAction::kStarted);
+  // A key press mid-drag is not in the alphabet: ignored.
+  EXPECT_EQ(m.Feed(InputEvent::KeyPress(1, "a"), &rows).value(),
+            MatchAction::kNone);
+  EXPECT_TRUE(m.active());
+  EXPECT_EQ(m.Feed(InputEvent::MouseUp(2, 5, 15), &rows).value(),
+            MatchAction::kCommitted);
+}
+
+TEST_F(EventsTest, AlphabetEventThatCannotExtendRejects) {
+  PatternMatcher m = MakeMatcher(kDrag);
+  std::vector<Row> rows;
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(0, 5, 15), &rows).value(),
+            MatchAction::kStarted);
+  // A second MOUSE_DOWN mid-pattern cannot extend the match.
+  EXPECT_EQ(m.Feed(InputEvent::MouseDown(1, 6, 16), &rows).value(),
+            MatchAction::kAborted);
+  EXPECT_FALSE(m.active());
+}
+
+TEST_F(EventsTest, ForallFailureRejects) {
+  PatternMatcher m = MakeMatcher(kDrag);
+  std::vector<Row> rows;
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(0, 5, 15), &rows).value(),
+            MatchAction::kStarted);
+  // FORALL m IN M m.y > 5 fails for y == 3.
+  EXPECT_EQ(m.Feed(InputEvent::MouseMove(1, 6, 3), &rows).value(),
+            MatchAction::kAborted);
+  EXPECT_FALSE(m.active());
+}
+
+TEST_F(EventsTest, KleeneElementCanBeSkipped) {
+  PatternMatcher m = MakeMatcher(kDrag);
+  std::vector<Row> rows;
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(0, 5, 15), &rows).value(),
+            MatchAction::kStarted);
+  // A click with no movement: DOWN then UP commits directly.
+  EXPECT_EQ(m.Feed(InputEvent::MouseUp(1, 5, 15), &rows).value(),
+            MatchAction::kCommitted);
+  EXPECT_EQ(rows.size(), 1u);  // only the D tuple
+}
+
+TEST_F(EventsTest, PlainPredicateFiltersEventsFromStream) {
+  // D.y > 20 filters low mouse downs from the input stream (the paper's
+  // example): the match simply does not start.
+  PatternMatcher m = MakeMatcher(
+      "C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U "
+      "WHERE D.y > 20 RETURN (D.t, D.x, D.y);");
+  std::vector<Row> rows;
+  EXPECT_EQ(m.Feed(InputEvent::MouseDown(0, 5, 15), &rows).value(),
+            MatchAction::kNone);
+  EXPECT_FALSE(m.active());
+  EXPECT_EQ(m.Feed(InputEvent::MouseDown(1, 5, 25), &rows).value(),
+            MatchAction::kStarted);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(EventsTest, ExistsMustBeSatisfiedBeforeCommit) {
+  PatternMatcher m = MakeMatcher(
+      "C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U "
+      "WHERE EXISTS m IN M m.x > 100 "
+      "RETURN (D.t);");
+  std::vector<Row> rows;
+  // No move ever crosses x=100: commit becomes a reject.
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(0, 5, 15), &rows).value(),
+            MatchAction::kStarted);
+  ASSERT_EQ(m.Feed(InputEvent::MouseMove(1, 50, 15), &rows).value(),
+            MatchAction::kProgress);
+  EXPECT_EQ(m.Feed(InputEvent::MouseUp(2, 50, 15), &rows).value(),
+            MatchAction::kAborted);
+
+  // With a satisfying move it commits.
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(3, 5, 15), &rows).value(),
+            MatchAction::kStarted);
+  ASSERT_EQ(m.Feed(InputEvent::MouseMove(4, 150, 15), &rows).value(),
+            MatchAction::kProgress);
+  EXPECT_EQ(m.Feed(InputEvent::MouseUp(5, 150, 15), &rows).value(),
+            MatchAction::kCommitted);
+}
+
+TEST_F(EventsTest, MatcherReusableAcrossInteractions) {
+  PatternMatcher m = MakeMatcher(kDrag);
+  std::vector<Row> rows;
+  for (int round = 0; round < 3; ++round) {
+    rows.clear();
+    ASSERT_EQ(m.Feed(InputEvent::MouseDown(round * 10, 5, 15), &rows).value(),
+              MatchAction::kStarted);
+    ASSERT_EQ(
+        m.Feed(InputEvent::MouseMove(round * 10 + 1, 6, 16), &rows).value(),
+        MatchAction::kProgress);
+    ASSERT_EQ(m.Feed(InputEvent::MouseUp(round * 10 + 2, 6, 16), &rows).value(),
+              MatchAction::kCommitted);
+    EXPECT_EQ(rows.size(), 2u);
+  }
+}
+
+TEST_F(EventsTest, RecognizerInsertsIntoEventTable) {
+  Catalog catalog;
+  EventRecognizer recognizer(&catalog, &udfs_);
+  ASSERT_TRUE(recognizer.DefinePattern("C", ParseEvent(kDrag)).ok());
+  ASSERT_TRUE(catalog.Exists("C"));
+  EXPECT_EQ(catalog.KindOf("C").value(), RelationKind::kEvent);
+
+  auto outcomes = recognizer.Feed(InputEvent::MouseDown(0, 5, 15)).value();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].action, MatchAction::kStarted);
+  EXPECT_EQ(outcomes[0].rows_inserted, 1u);
+
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseMove(1, 6, 17)).ok());
+  auto table = catalog.Get("C").value();
+  EXPECT_EQ(table->current().num_rows(), 2u);
+  EXPECT_TRUE(table->in_transaction());
+
+  auto commit = recognizer.Feed(InputEvent::MouseUp(2, 6, 17)).value();
+  ASSERT_EQ(commit.size(), 1u);
+  EXPECT_EQ(commit[0].action, MatchAction::kCommitted);
+  EXPECT_FALSE(table->in_transaction());
+}
+
+TEST_F(EventsTest, RecognizerAbortClearsTable) {
+  Catalog catalog;
+  EventRecognizer recognizer(&catalog, &udfs_);
+  ASSERT_TRUE(recognizer.DefinePattern("C", ParseEvent(kDrag)).ok());
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseDown(0, 5, 15)).ok());
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseMove(1, 6, 17)).ok());
+  // FORALL failure aborts; the paper's rollback clears C.
+  auto outcomes = recognizer.Feed(InputEvent::MouseMove(2, 6, 2)).value();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].action, MatchAction::kAborted);
+  EXPECT_EQ(catalog.Get("C").value()->current().num_rows(), 0u);
+}
+
+TEST_F(EventsTest, RecognizerNewInteractionClearsPreviousRows) {
+  Catalog catalog;
+  EventRecognizer recognizer(&catalog, &udfs_);
+  ASSERT_TRUE(recognizer.DefinePattern("C", ParseEvent(kDrag)).ok());
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseDown(0, 5, 15)).ok());
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseUp(1, 5, 15)).ok());
+  EXPECT_EQ(catalog.Get("C").value()->current().num_rows(), 1u);
+  // Next interaction starts fresh.
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseDown(2, 9, 9)).ok());
+  const Table& t = catalog.Get("C").value()->current();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.row(0)[1].double_value(), 9);
+}
+
+TEST_F(EventsTest, StepVersionsRecordedWithinInteraction) {
+  Catalog catalog;
+  EventRecognizer recognizer(&catalog, &udfs_);
+  ASSERT_TRUE(recognizer.DefinePattern("C", ParseEvent(kDrag)).ok());
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseDown(0, 5, 15)).ok());
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseMove(1, 6, 17)).ok());
+  ASSERT_TRUE(recognizer.Feed(InputEvent::MouseMove(2, 7, 18)).ok());
+  auto table = catalog.Get("C").value();
+  // @tnow-1: one event ago (2 rows).
+  EXPECT_EQ(table->StepVersion(1).value()->num_rows(), 2u);
+  EXPECT_EQ(table->StepVersion(2).value()->num_rows(), 1u);
+}
+
+TEST_F(EventsTest, MergeSequentialRenamesCollidingAliases) {
+  EventStmt brush = ParseEvent(kDrag);
+  EventStmt drag = ParseEvent(kDrag);
+  EventStmt merged = MergeSequential(brush, drag).value();
+  ASSERT_EQ(merged.elems.size(), 6u);
+  EXPECT_EQ(merged.elems[3].alias, "D_2");
+  EXPECT_EQ(merged.elems[4].alias, "M_2");
+  // The rewritten second-half returns reference the renamed aliases; the
+  // whole merged statement must still compile.
+  CompiledPattern p = CompilePattern(merged, &udfs_).value();
+  EXPECT_EQ(p.NumElems(), 6u);
+}
+
+TEST_F(EventsTest, MergedPatternMatchesSequenceOfBothInteractions) {
+  EventStmt merged =
+      MergeSequential(ParseEvent(kDrag), ParseEvent(kDrag)).value();
+  PatternMatcher m(CompilePattern(merged, &udfs_).value(), &udfs_);
+  std::vector<Row> rows;
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(0, 1, 10), &rows).value(),
+            MatchAction::kStarted);
+  ASSERT_EQ(m.Feed(InputEvent::MouseUp(1, 1, 10), &rows).value(),
+            MatchAction::kProgress);  // first half done, second pending
+  ASSERT_EQ(m.Feed(InputEvent::MouseDown(2, 2, 20), &rows).value(),
+            MatchAction::kProgress);
+  EXPECT_EQ(m.Feed(InputEvent::MouseUp(3, 2, 20), &rows).value(),
+            MatchAction::kCommitted);
+}
+
+TEST_F(EventsTest, AmbiguityAnalysisFlagsSharedStartTypes) {
+  CompiledPattern drag = CompilePattern(ParseEvent(kDrag), &udfs_).value();
+  CompiledPattern click = CompilePattern(
+      ParseEvent("K = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t);"),
+      &udfs_).value();
+  auto warnings = AnalyzeAmbiguity({{"drag", &drag}, {"click", &click}});
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].find("MOUSE_DOWN"), std::string::npos);
+}
+
+TEST_F(EventsTest, AmbiguityAnalysisQuietForDisjointAlphabets) {
+  CompiledPattern keys = CompilePattern(
+      ParseEvent("K = EVENT KEY_PRESS AS A, KEY_PRESS AS B RETURN (A.key);"),
+      &udfs_).value();
+  CompiledPattern wheel = CompilePattern(
+      ParseEvent("W = EVENT WHEEL AS A, WHEEL AS B RETURN (A.delta);"),
+      &udfs_).value();
+  auto warnings = AnalyzeAmbiguity({{"keys", &keys}, {"wheel", &wheel}});
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST_F(EventsTest, StartableTypesSkipLeadingKleene) {
+  CompiledPattern p = CompilePattern(
+      ParseEvent("C = EVENT MOUSE_MOVE* AS M, MOUSE_UP AS U RETURN (U.t);"),
+      &udfs_).value();
+  auto types = StartableTypes(p);
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], EventType::kMouseMove);
+  EXPECT_EQ(types[1], EventType::kMouseUp);
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,347 @@
+#include <memory>
+
+#include "expr/eval.h"
+#include "query/binder.h"
+#include "query/executor.h"
+#include "query/plan.h"
+#include "storage/catalog.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    udfs_ = UdfRegistry::WithBuiltins();
+    auto sales = catalog_
+                     .CreateTable("Sales",
+                                  Schema({{"productId", ValueType::kInt64},
+                                          {"price", ValueType::kDouble},
+                                          {"profit", ValueType::kDouble},
+                                          {"revenue", ValueType::kDouble}}),
+                                  RelationKind::kBase)
+                     .value();
+    // 4 products.
+    ASSERT_TRUE(sales
+                    ->Append({Value::Int(1), Value::Double(10), Value::Double(1),
+                              Value::Double(100)})
+                    .ok());
+    ASSERT_TRUE(sales
+                    ->Append({Value::Int(2), Value::Double(20), Value::Double(4),
+                              Value::Double(200)})
+                    .ok());
+    ASSERT_TRUE(sales
+                    ->Append({Value::Int(3), Value::Double(30), Value::Double(9),
+                              Value::Double(300)})
+                    .ok());
+    ASSERT_TRUE(sales
+                    ->Append({Value::Int(4), Value::Double(40), Value::Double(16),
+                              Value::Double(100)})
+                    .ok());
+
+    auto regions =
+        catalog_
+            .CreateTable("Regions",
+                         Schema({{"productId", ValueType::kInt64},
+                                 {"region", ValueType::kString}}),
+                         RelationKind::kBase)
+            .value();
+    ASSERT_TRUE(regions->Append({Value::Int(1), Value::String("east")}).ok());
+    ASSERT_TRUE(regions->Append({Value::Int(2), Value::String("west")}).ok());
+    ASSERT_TRUE(regions->Append({Value::Int(3), Value::String("east")}).ok());
+    // productId 4 has no region row (tests inner-join semantics).
+  }
+
+  Result<Table> Run(PlanPtr plan) {
+    CatalogSchemaResolver resolver(&catalog_);
+    Binder binder(&resolver, &udfs_);
+    DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+    Executor exec(&catalog_, &udfs_);
+    return exec.ExecuteToTable(*plan);
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+};
+
+TEST_F(ExecutorTest, ScanReturnsAllRows) {
+  Table t = Run(MakeScan("Sales")).value();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.schema().num_columns(), 4u);
+}
+
+TEST_F(ExecutorTest, ScanUnknownRelationFails) {
+  auto r = Run(MakeScan("Nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, FilterByPredicate) {
+  auto plan = MakeFilter(MakeScan("Sales"),
+                         MakeBinary(BinaryOp::kGt, MakeColumnRef("price"),
+                                    MakeLiteral(Value::Double(15))));
+  Table t = Run(plan).value();
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, ProjectComputesExpressions) {
+  auto plan = MakeProject(
+      MakeScan("Sales"),
+      {MakeColumnRef("productId"),
+       MakeBinary(BinaryOp::kMul, MakeColumnRef("price"),
+                  MakeLiteral(Value::Double(2.0)))},
+      {"id", "double_price"});
+  Table t = Run(plan).value();
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(t.At(0, "double_price").value().double_value(), 20.0);
+  EXPECT_TRUE(t.schema().FindColumn("id").has_value());
+}
+
+TEST_F(ExecutorTest, ProjectWithUdf) {
+  // linear_scale(revenue, 0, 400, 0, 100)
+  auto plan = MakeProject(
+      MakeScan("Sales"),
+      {MakeCall("linear_scale",
+                {MakeColumnRef("revenue"), MakeLiteral(Value::Double(0)),
+                 MakeLiteral(Value::Double(400)), MakeLiteral(Value::Double(0)),
+                 MakeLiteral(Value::Double(100))})},
+      {"x"});
+  Table t = Run(plan).value();
+  EXPECT_DOUBLE_EQ(t.row(0)[0].double_value(), 25.0);
+  EXPECT_DOUBLE_EQ(t.row(2)[0].double_value(), 75.0);
+}
+
+TEST_F(ExecutorTest, HashJoinOnEquiKey) {
+  auto plan = MakeJoin(
+      MakeScan("Sales"), MakeScan("Regions"),
+      {{MakeColumnRef("Sales", "productId"),
+        MakeColumnRef("Regions", "productId")}});
+  Table t = Run(plan).value();
+  EXPECT_EQ(t.num_rows(), 3u);  // product 4 drops out
+  EXPECT_EQ(t.schema().num_columns(), 6u);
+}
+
+TEST_F(ExecutorTest, CrossJoinWithResidual) {
+  auto pred = MakeBinary(BinaryOp::kEq, MakeColumnRef("Sales", "productId"),
+                         MakeColumnRef("Regions", "productId"));
+  auto plan = MakeJoin(MakeScan("Sales"), MakeScan("Regions"), {}, pred);
+  Table t = Run(plan).value();
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, GroupByAggregate) {
+  // SELECT region, SUM(revenue), COUNT(*) FROM Sales JOIN Regions GROUP BY region
+  auto join = MakeJoin(MakeScan("Sales"), MakeScan("Regions"),
+                       {{MakeColumnRef("Sales", "productId"),
+                         MakeColumnRef("Regions", "productId")}});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, MakeColumnRef("revenue"), false, "total"});
+  AggSpec count_spec;
+  count_spec.func = AggFunc::kCount;
+  count_spec.count_star = true;
+  count_spec.output_name = "n";
+  aggs.push_back(count_spec);
+  auto plan =
+      MakeAggregate(join, {MakeColumnRef("region")}, {"region"}, std::move(aggs));
+  Table t = Run(plan).value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  // Sorted by group key: east before west.
+  EXPECT_EQ(t.row(0)[0].string_value(), "east");
+  EXPECT_DOUBLE_EQ(t.row(0)[1].double_value(), 400.0);
+  EXPECT_EQ(t.row(0)[2].int_value(), 2);
+  EXPECT_EQ(t.row(1)[0].string_value(), "west");
+  EXPECT_DOUBLE_EQ(t.row(1)[1].double_value(), 200.0);
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  auto empty = MakeFilter(MakeScan("Sales"),
+                          MakeLiteral(Value::Bool(false)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kMin, MakeColumnRef("price"), false, "lo"});
+  AggSpec count_spec;
+  count_spec.func = AggFunc::kCount;
+  count_spec.count_star = true;
+  count_spec.output_name = "n";
+  aggs.push_back(count_spec);
+  auto plan = MakeAggregate(empty, {}, {}, std::move(aggs));
+  Table t = Run(plan).value();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.row(0)[0].is_null());
+  EXPECT_EQ(t.row(0)[1].int_value(), 0);
+}
+
+TEST_F(ExecutorTest, AggregateMinMaxAvg) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kMin, MakeColumnRef("price"), false, "lo"});
+  aggs.push_back({AggFunc::kMax, MakeColumnRef("price"), false, "hi"});
+  aggs.push_back({AggFunc::kAvg, MakeColumnRef("price"), false, "avg"});
+  auto plan = MakeAggregate(MakeScan("Sales"), {}, {}, std::move(aggs));
+  Table t = Run(plan).value();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.row(0)[0].double_value(), 10.0);
+  EXPECT_DOUBLE_EQ(t.row(0)[1].double_value(), 40.0);
+  EXPECT_DOUBLE_EQ(t.row(0)[2].double_value(), 25.0);
+}
+
+TEST_F(ExecutorTest, UnionDistinctDeduplicates) {
+  auto a = MakeProject(MakeScan("Sales"), {MakeColumnRef("revenue")}, {"r"});
+  auto b = MakeProject(MakeScan("Sales"), {MakeColumnRef("revenue")}, {"r"});
+  auto plan = MakeUnion({a, b}, /*distinct=*/true);
+  Table t = Run(plan).value();
+  // revenues are 100,200,300,100 -> distinct {100,200,300}
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, UnionAllKeepsDuplicates) {
+  auto a = MakeProject(MakeScan("Sales"), {MakeColumnRef("revenue")}, {"r"});
+  auto b = MakeProject(MakeScan("Sales"), {MakeColumnRef("revenue")}, {"r"});
+  auto plan = MakeUnion({a, b}, /*distinct=*/false);
+  Table t = Run(plan).value();
+  EXPECT_EQ(t.num_rows(), 8u);
+}
+
+TEST_F(ExecutorTest, MinusRemovesMatchingRows) {
+  auto all = MakeProject(MakeScan("Sales"), {MakeColumnRef("productId")}, {"p"});
+  auto some = MakeProject(
+      MakeFilter(MakeScan("Sales"),
+                 MakeBinary(BinaryOp::kLe, MakeColumnRef("productId"),
+                            MakeLiteral(Value::Int(2)))),
+      {MakeColumnRef("productId")}, {"p"});
+  auto plan = MakeMinus(all, some);
+  Table t = Run(plan).value();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, OrderByDescendingAndLimit) {
+  auto plan = MakeLimit(
+      MakeOrderBy(MakeScan("Sales"), {MakeColumnRef("price")}, {true}), 2);
+  Table t = Run(plan).value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(0, "price").value().double_value(), 40.0);
+  EXPECT_DOUBLE_EQ(t.At(1, "price").value().double_value(), 30.0);
+}
+
+TEST_F(ExecutorTest, InRelationPredicate) {
+  // selected(productId) = {2, 3}; then Sales WHERE productId IN selected.
+  auto selected = catalog_
+                      .CreateTable("selected",
+                                   Schema({{"productId", ValueType::kInt64}}),
+                                   RelationKind::kView)
+                      .value();
+  ASSERT_TRUE(selected->Append({Value::Int(2)}).ok());
+  ASSERT_TRUE(selected->Append({Value::Int(3)}).ok());
+
+  auto plan = MakeFilter(
+      MakeScan("Sales"),
+      MakeInRelation(MakeColumnRef("productId"), "selected", false));
+  Table t = Run(plan).value();
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  auto not_plan = MakeFilter(
+      MakeScan("Sales"),
+      MakeInRelation(MakeColumnRef("productId"), "selected", true));
+  Table t2 = Run(not_plan).value();
+  EXPECT_EQ(t2.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, BinderRejectsUnknownColumn) {
+  auto plan = MakeFilter(MakeScan("Sales"),
+                         MakeBinary(BinaryOp::kGt, MakeColumnRef("nope"),
+                                    MakeLiteral(Value::Int(0))));
+  auto r = Run(plan);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(ExecutorTest, BinderRejectsAmbiguousColumn) {
+  auto join = MakeJoin(MakeScan("Sales"), MakeScan("Regions"), {});
+  auto plan = MakeFilter(join, MakeBinary(BinaryOp::kGt,
+                                          MakeColumnRef("productId"),
+                                          MakeLiteral(Value::Int(0))));
+  auto r = Run(plan);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, BinderRejectsIncompatibleUnion) {
+  auto a = MakeProject(MakeScan("Sales"), {MakeColumnRef("productId")}, {"x"});
+  auto b = MakeProject(MakeScan("Regions"), {MakeColumnRef("region")}, {"x"});
+  auto r = Run(MakeUnion({a, b}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(ExecutorTest, BinderRejectsAggregateInFilter) {
+  auto plan = MakeFilter(
+      MakeScan("Sales"),
+      MakeBinary(BinaryOp::kGt, MakeAggregate(AggFunc::kSum, MakeColumnRef("price")),
+                 MakeLiteral(Value::Int(0))));
+  auto r = Run(plan);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, ScanOfPastVersion) {
+  auto sales = catalog_.Get("Sales").value();
+  sales->Commit();  // version with 4 rows
+  ASSERT_TRUE(sales
+                  ->Append({Value::Int(5), Value::Double(50), Value::Double(25),
+                            Value::Double(500)})
+                  .ok());
+  Table now = Run(MakeScan("Sales")).value();
+  EXPECT_EQ(now.num_rows(), 5u);
+  Table past = Run(MakeScan("Sales", VersionRef::Vnow(1))).value();
+  EXPECT_EQ(past.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, LineageCapturedThroughFilterProject) {
+  auto plan = MakeProject(
+      MakeFilter(MakeScan("Sales"),
+                 MakeBinary(BinaryOp::kGe, MakeColumnRef("price"),
+                            MakeLiteral(Value::Double(30)))),
+      {MakeColumnRef("productId")}, {"p"});
+  CatalogSchemaResolver resolver(&catalog_);
+  Binder binder(&resolver, &udfs_);
+  ASSERT_TRUE(binder.Bind(plan.get()).ok());
+  Executor exec(&catalog_, &udfs_);
+  ExecOptions opts;
+  opts.capture_lineage = true;
+  auto result = exec.Execute(*plan, opts).value();
+  ASSERT_EQ(result->table.num_rows(), 2u);
+  ASSERT_TRUE(result->has_lineage);
+  // Project row 0 -> filter row 0 -> scan row 2 (price 30).
+  ASSERT_EQ(result->lineage[0].size(), 1u);
+  EXPECT_EQ(result->lineage[0][0].row, 0u);
+  const NodeResult* filter = result->children[0].get();
+  EXPECT_EQ(filter->lineage[0][0].row, 2u);
+}
+
+TEST_F(ExecutorTest, LineageOfAggregateListsAllContributors) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, MakeColumnRef("revenue"), false, "total"});
+  auto plan = MakeAggregate(MakeScan("Sales"), {MakeColumnRef("revenue")},
+                            {"rev"}, std::move(aggs));
+  CatalogSchemaResolver resolver(&catalog_);
+  Binder binder(&resolver, &udfs_);
+  ASSERT_TRUE(binder.Bind(plan.get()).ok());
+  Executor exec(&catalog_, &udfs_);
+  ExecOptions opts;
+  opts.capture_lineage = true;
+  auto result = exec.Execute(*plan, opts).value();
+  // Groups sorted by revenue: 100 (rows 0 and 3), 200, 300.
+  ASSERT_EQ(result->table.num_rows(), 3u);
+  EXPECT_EQ(result->lineage[0].size(), 2u);
+  EXPECT_EQ(result->lineage[1].size(), 1u);
+}
+
+TEST_F(ExecutorTest, PlanToStringMentionsOperators) {
+  auto plan = MakeFilter(MakeScan("Sales"),
+                         MakeBinary(BinaryOp::kGt, MakeColumnRef("price"),
+                                    MakeLiteral(Value::Double(15))));
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Scan Sales"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvms

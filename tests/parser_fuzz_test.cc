@@ -1,0 +1,90 @@
+// Fuzz-lite robustness: the parser must reject (not crash or hang on)
+// arbitrary token soup and random mutations of valid programs.
+
+#include "common/rng.h"
+#include "parser/parser.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, TokenSoupNeverCrashes) {
+  Rng rng(GetParam());
+  const char* vocabulary[] = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",    "ORDER",  "LIMIT",
+      "UNION",  "MINUS", "EVENT",  "RETURN", "TRACE", "TO",     "AS",
+      "IN",     "NOT",   "AND",    "OR",     "t",     "x",      "Sales",
+      "C",      "(",     ")",      ",",      ";",     "=",      "*",
+      "@",      "vnow",  "-",      "1",      "3.5",   "'str'",  "render",
+      "FORALL", "<",     ">",      "+",      "/",     "{",      "}",
+      ".",      "<>",    "<=",     "DELETE", "INSERT", "VALUES", "CREATE",
+  };
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string source;
+    size_t len = static_cast<size_t>(rng.UniformInt(1, 60));
+    for (size_t i = 0; i < len; ++i) {
+      source += vocabulary[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(vocabulary)) - 1)];
+      source += " ";
+    }
+    // Must terminate and either parse or report a clean error.
+    auto result = ParseProgram(source);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidProgramsNeverCrash) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const std::string valid =
+      "C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U "
+      "WHERE FORALL m IN M m.y > 5 "
+      "RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy), "
+      "(M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy); "
+      "V = SELECT SP.productId FROM C, SPLOT_POINTS@vnow-1 AS SP "
+      "WHERE in_rectangle(SP.x, SP.y, C.x, C.y, C.dx, C.dy);";
+  for (int trial = 0; trial < 80; ++trial) {
+    std::string mutated = valid;
+    size_t edits = static_cast<size_t>(rng.UniformInt(1, 6));
+    for (size_t e = 0; e < edits; ++e) {
+      size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, (int64_t)mutated.size() - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1,
+                         static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+        default:
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+      }
+    }
+    (void)ParseProgram(mutated);  // any Status is fine; no crash, no hang
+  }
+}
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrashLexer) {
+  Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string garbage;
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 200));
+    for (size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(1, 255));
+    }
+    (void)ParseProgram(garbage);
+    (void)ParseSelect(garbage);
+    (void)ParseExpression(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,265 @@
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(LexerTest, TokenizesPunctuationAndNumbers) {
+  auto tokens = Tokenize("SELECT a.b, 12, 3.5 FROM t WHERE x <= 4;").value();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens.back().type, TokenType::kEof);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Tokenize("'gray' 'it''s'").value();
+  EXPECT_EQ(tokens[0].text, "gray");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("a -- comment\n b").value();
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, EOF
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, OperatorsAndVersionSuffix) {
+  auto tokens = Tokenize("x <> y @vnow-1 @{tnow-2}").value();
+  EXPECT_EQ(tokens[1].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kAt);
+  EXPECT_EQ(tokens[4].text, "vnow");
+}
+
+TEST(LexerTest, LineAndColumnTracked) {
+  auto tokens = Tokenize("a\n  b").value();
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+}
+
+TEST(ExpressionParserTest, Precedence) {
+  auto e = ParseExpression("1 + 2 * 3").value();
+  EXPECT_EQ(e->ToString(), "(1 + (2 * 3))");
+  e = ParseExpression("(1 + 2) * 3").value();
+  EXPECT_EQ(e->ToString(), "((1 + 2) * 3)");
+  e = ParseExpression("a OR b AND c").value();
+  EXPECT_EQ(e->ToString(), "(a OR (b AND c))");
+  e = ParseExpression("NOT a = b").value();
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+}
+
+TEST(ExpressionParserTest, ComparisonAndIn) {
+  auto e = ParseExpression("productId NOT IN selected").value();
+  EXPECT_EQ(e->kind, ExprKind::kInRelation);
+  EXPECT_TRUE(e->negated);
+  EXPECT_EQ(e->in_relation, "selected");
+  e = ParseExpression("x IN sel").value();
+  EXPECT_FALSE(e->negated);
+}
+
+TEST(ExpressionParserTest, FunctionCallsAndQualifiedRefs) {
+  auto e = ParseExpression("linear_scale(Sales.revenue, 0, 1, 0, 100)").value();
+  EXPECT_EQ(e->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(e->children.size(), 5u);
+  EXPECT_EQ(e->children[0]->qualifier, "Sales");
+  EXPECT_EQ(e->children[0]->column, "revenue");
+}
+
+TEST(ExpressionParserTest, AggregatesAndCountStar) {
+  auto e = ParseExpression("SUM(revenue)").value();
+  EXPECT_EQ(e->kind, ExprKind::kAggregateCall);
+  EXPECT_EQ(e->agg_func, AggFunc::kSum);
+  e = ParseExpression("COUNT(*)").value();
+  EXPECT_TRUE(e->count_star);
+}
+
+TEST(ExpressionParserTest, UnaryMinusAndLiterals) {
+  auto e = ParseExpression("-x + 3.5").value();
+  EXPECT_EQ(e->kind, ExprKind::kBinary);
+  auto lit = ParseExpression("'red'").value();
+  EXPECT_EQ(lit->literal.string_value(), "red");
+  EXPECT_TRUE(ParseExpression("NULL").value()->literal.is_null());
+  EXPECT_TRUE(ParseExpression("TRUE").value()->literal.bool_value());
+}
+
+TEST(ExpressionParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseExpression("1 + 2 extra junk here ,, (").ok());
+}
+
+TEST(SelectParserTest, BasicSelect) {
+  auto stmt = ParseSelect("SELECT a, b AS bee FROM t WHERE a > 1").value();
+  ASSERT_EQ(stmt.cores.size(), 1u);
+  const SelectCore& core = stmt.cores[0];
+  EXPECT_EQ(core.items.size(), 2u);
+  EXPECT_EQ(core.items[1].alias, "bee");
+  EXPECT_EQ(core.from[0].name, "t");
+  EXPECT_NE(core.where, nullptr);
+}
+
+TEST(SelectParserTest, MultipleFromWithAliases) {
+  auto stmt =
+      ParseSelect("SELECT SP.x FROM C, SPLOT_POINTS@vnow-1 AS SP").value();
+  const SelectCore& core = stmt.cores[0];
+  ASSERT_EQ(core.from.size(), 2u);
+  EXPECT_EQ(core.from[0].name, "C");
+  EXPECT_EQ(core.from[1].name, "SPLOT_POINTS");
+  EXPECT_EQ(core.from[1].alias, "SP");
+  EXPECT_EQ(core.from[1].version.kind, VersionRef::Kind::kVnow);
+  EXPECT_EQ(core.from[1].version.offset, 1u);
+}
+
+TEST(SelectParserTest, BracedVersionSuffix) {
+  auto stmt = ParseSelect("SELECT x FROM T@{vnow-3}").value();
+  EXPECT_EQ(stmt.cores[0].from[0].version.offset, 3u);
+}
+
+TEST(SelectParserTest, GroupByOrderByLimit) {
+  auto stmt = ParseSelect(
+                  "SELECT region, SUM(revenue) AS total FROM Sales "
+                  "GROUP BY region ORDER BY total DESC LIMIT 5")
+                  .value();
+  const SelectCore& core = stmt.cores[0];
+  EXPECT_EQ(core.group_by.size(), 1u);
+  EXPECT_EQ(core.order_by.size(), 1u);
+  EXPECT_TRUE(core.order_by[0].descending);
+  EXPECT_EQ(core.limit.value(), 5u);
+}
+
+TEST(SelectParserTest, UnionAndMinus) {
+  auto stmt = ParseSelect(
+                  "SELECT x FROM a UNION SELECT x FROM b "
+                  "MINUS SELECT x FROM c")
+                  .value();
+  EXPECT_EQ(stmt.cores.size(), 3u);
+  EXPECT_EQ(stmt.ops[0], SetOp::kUnion);
+  EXPECT_EQ(stmt.ops[1], SetOp::kMinus);
+}
+
+TEST(SelectParserTest, StarVariants) {
+  auto stmt = ParseSelect("SELECT * FROM t").value();
+  EXPECT_TRUE(stmt.cores[0].items[0].star);
+  stmt = ParseSelect("SELECT t.* , x FROM t").value();
+  EXPECT_TRUE(stmt.cores[0].items[0].star);
+  EXPECT_EQ(stmt.cores[0].items[0].star_qualifier, "t");
+}
+
+TEST(ProgramParserTest, ViewDefinition) {
+  auto program = ParseProgram(
+                     "SPLOT_POINTS = SELECT 8 AS radius, 'gray' AS stroke "
+                     "FROM Sales, scale_x;")
+                     .value();
+  ASSERT_EQ(program.statements.size(), 1u);
+  const Statement& s = program.statements[0];
+  EXPECT_EQ(s.kind, Statement::Kind::kViewDef);
+  EXPECT_EQ(s.target_name, "SPLOT_POINTS");
+  EXPECT_FALSE(s.render);
+}
+
+TEST(ProgramParserTest, RenderWrapsSelect) {
+  auto program =
+      ParseProgram("P = render(SELECT * FROM SPLOT_POINTS);").value();
+  const Statement& s = program.statements[0];
+  EXPECT_TRUE(s.render);
+  EXPECT_TRUE(s.select.cores[0].items[0].star);
+}
+
+TEST(ProgramParserTest, EventStatementFromPaper) {
+  // DeVIL 2, verbatim from the paper.
+  const char* source =
+      "C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U "
+      "WHERE FORALL m IN M m.y > 5 "
+      "RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy), "
+      "(M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);";
+  auto program = ParseProgram(source).value();
+  const Statement& s = program.statements[0];
+  EXPECT_EQ(s.kind, Statement::Kind::kEventDef);
+  ASSERT_EQ(s.event.elems.size(), 3u);
+  EXPECT_EQ(s.event.elems[0].event_type, "MOUSE_DOWN");
+  EXPECT_EQ(s.event.elems[0].alias, "D");
+  EXPECT_FALSE(s.event.elems[0].kleene);
+  EXPECT_TRUE(s.event.elems[1].kleene);
+  EXPECT_EQ(s.event.elems[1].alias, "M");
+  ASSERT_EQ(s.event.predicates.size(), 1u);
+  EXPECT_EQ(s.event.predicates[0].kind, EventPredicate::Kind::kForall);
+  EXPECT_EQ(s.event.predicates[0].var, "m");
+  EXPECT_EQ(s.event.predicates[0].over_alias, "M");
+  ASSERT_EQ(s.event.returns.size(), 2u);
+  EXPECT_EQ(s.event.returns[0].fields.size(), 5u);
+  EXPECT_EQ(s.event.returns[0].fields[3].alias, "dx");
+}
+
+TEST(ProgramParserTest, KleeneStarOnAlias) {
+  auto program =
+      ParseProgram("C = EVENT MOUSE_MOVE AS M*, MOUSE_UP AS U RETURN (M.t);")
+          .value();
+  EXPECT_TRUE(program.statements[0].event.elems[0].kleene);
+  EXPECT_FALSE(program.statements[0].event.elems[1].kleene);
+}
+
+TEST(ProgramParserTest, BackwardTrace) {
+  const char* source =
+      "B = BACKWARD TRACE FROM SPLOT_POINTS@vnow-1 AS SP, C "
+      "WHERE in_rectangle(SP.center_x, SP.center_y, C.x0, C.y0, C.x1, C.y1) "
+      "TO Sales;";
+  auto program = ParseProgram(source).value();
+  const Statement& s = program.statements[0];
+  EXPECT_EQ(s.kind, Statement::Kind::kTraceDef);
+  EXPECT_TRUE(s.trace.backward);
+  ASSERT_EQ(s.trace.from.size(), 2u);
+  EXPECT_EQ(s.trace.from[0].alias, "SP");
+  EXPECT_EQ(s.trace.target_relation, "Sales");
+  EXPECT_NE(s.trace.where, nullptr);
+}
+
+TEST(ProgramParserTest, ForwardTrace) {
+  auto program =
+      ParseProgram("F = FORWARD TRACE FROM B TO HIST;").value();
+  EXPECT_FALSE(program.statements[0].trace.backward);
+}
+
+TEST(ProgramParserTest, CreateTableAndInsert) {
+  const char* source =
+      "CREATE TABLE Sales (productId INT, price DOUBLE, name TEXT);"
+      "INSERT INTO Sales VALUES (1, 9.5, 'ace'), (2, 3.0, 'bow');";
+  auto program = ParseProgram(source).value();
+  ASSERT_EQ(program.statements.size(), 2u);
+  const Statement& create = program.statements[0];
+  EXPECT_EQ(create.kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(create.create_schema.num_columns(), 3u);
+  EXPECT_EQ(create.create_schema.column(1).type, ValueType::kDouble);
+  const Statement& insert = program.statements[1];
+  EXPECT_EQ(insert.kind, Statement::Kind::kInsert);
+  ASSERT_EQ(insert.insert_rows.size(), 2u);
+  EXPECT_EQ(insert.insert_rows[1][2].string_value(), "bow");
+}
+
+TEST(ProgramParserTest, MultiStatementProgram) {
+  const char* source =
+      "selected = SELECT SP.productId FROM C, SPLOT_POINTS@vnow-1 AS SP;"
+      "SPLOT_POINTS = SELECT productId, 'gray' AS fill FROM Sales "
+      "WHERE productId NOT IN selected "
+      "UNION SELECT productId, 'red' AS fill FROM Sales "
+      "WHERE productId IN selected;";
+  auto program = ParseProgram(source).value();
+  ASSERT_EQ(program.statements.size(), 2u);
+  EXPECT_EQ(program.statements[1].select.cores.size(), 2u);
+}
+
+TEST(ProgramParserTest, SyntaxErrorsCarryLocation) {
+  auto r = ParseProgram("V = SELECT FROM;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line"), std::string::npos);
+}
+
+TEST(ProgramParserTest, MissingSemicolonFails) {
+  EXPECT_FALSE(ParseProgram("A = SELECT x FROM t B = SELECT y FROM u;").ok());
+}
+
+}  // namespace
+}  // namespace dvms

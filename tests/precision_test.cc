@@ -1,0 +1,322 @@
+#include "precision/interface_synth.h"
+#include "precision/rules.h"
+#include "precision/sql_ast.h"
+#include "precision/transform_graph.h"
+#include "workload/sdss.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(SqlAstTest, BuildsClauseStructure) {
+  AstNodePtr ast =
+      ParseToAst("SELECT ra, dec FROM photoobj WHERE ra > 180 ORDER BY ra "
+                 "LIMIT 10")
+          .value();
+  EXPECT_EQ(ast->type, "Select");
+  std::vector<AstNodePtr> found;
+  FindNodesByType(ast, "ProjectClauses", &found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->children.size(), 2u);
+  found.clear();
+  FindNodesByType(ast, "WhereClause", &found);
+  EXPECT_EQ(found.size(), 1u);
+  found.clear();
+  FindNodesByType(ast, "LimitClause", &found);
+  EXPECT_EQ(found.size(), 1u);
+}
+
+TEST(SqlAstTest, SerializationIsCanonical) {
+  AstNodePtr a = ParseToAst("SELECT x FROM t WHERE x > 5").value();
+  AstNodePtr b = ParseToAst("select x from t where x > 5").value();
+  // Identifier case survives, keyword case does not matter.
+  EXPECT_TRUE(AstEquals(*a, *b));
+  AstNodePtr c = ParseToAst("SELECT x FROM t WHERE x > 6").value();
+  EXPECT_FALSE(AstEquals(*a, *c));
+}
+
+TEST(SqlAstTest, UnparsableQueryReportsError) {
+  EXPECT_FALSE(ParseToAst("EXEC dbo.fGetNearbyObjEq 180.0, -0.5, 3.0").ok());
+}
+
+TEST(RuleParserTest, ParsesPaperStyleRule) {
+  auto rule = ParseTransformRule(
+                  "FROM Select//ProjectClauses AS a\n"
+                  "WHERE a@old subset a@new\n"
+                  "MATCH: projection-add;")
+                  .value();
+  EXPECT_EQ(rule.interaction, "projection-add");
+  ASSERT_EQ(rule.path.size(), 2u);
+  EXPECT_EQ(rule.path[0], "Select");
+  EXPECT_EQ(rule.path[1], "ProjectClauses");
+  EXPECT_EQ(rule.pred, RulePred::kSubset);
+  EXPECT_EQ(rule.var, "a");
+}
+
+TEST(RuleParserTest, ParsesUnaryPredicates) {
+  auto rule = ParseTransformRule(
+                  "FROM Select//WhereClause AS w WHERE numeric_changed(w) "
+                  "MATCH: numeric-param-change;")
+                  .value();
+  EXPECT_EQ(rule.pred, RulePred::kNumericChanged);
+}
+
+TEST(RuleParserTest, RejectsMalformedRules) {
+  EXPECT_FALSE(ParseTransformRule("FROM x").ok());
+  EXPECT_FALSE(ParseTransformRule("FROM A AS a WHERE bogus(a) MATCH: x;").ok());
+  EXPECT_FALSE(
+      ParseTransformRule("FROM A AS a WHERE a@old near a@new MATCH: x;").ok());
+}
+
+class RuleMatchTest : public ::testing::Test {
+ protected:
+  bool Matches(const char* rule_text, const char* old_sql,
+               const char* new_sql) {
+    TransformRule rule = ParseTransformRule(rule_text).value();
+    AstNodePtr old_ast = ParseToAst(old_sql).value();
+    AstNodePtr new_ast = ParseToAst(new_sql).value();
+    return RuleMatches(rule, old_ast, new_ast);
+  }
+};
+
+TEST_F(RuleMatchTest, NumericParameterChange) {
+  const char* rule =
+      "FROM Select//WhereClause AS a WHERE numeric_changed(a) MATCH: n;";
+  EXPECT_TRUE(Matches(rule, "SELECT x FROM t WHERE x > 5",
+                      "SELECT x FROM t WHERE x > 7"));
+  // A categorical change is not numeric.
+  EXPECT_FALSE(Matches(rule, "SELECT x FROM t WHERE c = 'A'",
+                       "SELECT x FROM t WHERE c = 'B'"));
+  // A change outside the where clause does not match.
+  EXPECT_FALSE(Matches(rule, "SELECT x FROM t WHERE x > 5",
+                       "SELECT x, y FROM t WHERE x > 5"));
+  // Identical queries do not match.
+  EXPECT_FALSE(Matches(rule, "SELECT x FROM t WHERE x > 5",
+                       "SELECT x FROM t WHERE x > 5"));
+}
+
+TEST_F(RuleMatchTest, SubsetDetectsProjectionGrowth) {
+  const char* rule =
+      "FROM Select//ProjectClauses AS a WHERE a@old subset a@new MATCH: p;";
+  EXPECT_TRUE(Matches(rule, "SELECT x FROM t WHERE x > 5",
+                      "SELECT x, y FROM t WHERE x > 5"));
+  EXPECT_FALSE(Matches(rule, "SELECT x, y FROM t WHERE x > 5",
+                       "SELECT x FROM t WHERE x > 5"));
+  // Replacing a column is neither subset nor superset.
+  EXPECT_FALSE(Matches(rule, "SELECT x FROM t", "SELECT y FROM t"));
+}
+
+TEST_F(RuleMatchTest, ClauseAdditionMatchesChanged) {
+  const char* rule =
+      "FROM Select//LimitClause AS a WHERE changed(a) MATCH: l;";
+  EXPECT_TRUE(
+      Matches(rule, "SELECT x FROM t", "SELECT x FROM t LIMIT 10"));
+  EXPECT_TRUE(Matches(rule, "SELECT x FROM t LIMIT 10",
+                      "SELECT x FROM t LIMIT 50"));
+  EXPECT_FALSE(Matches(rule, "SELECT x FROM t WHERE x > 1 LIMIT 10",
+                       "SELECT x FROM t WHERE x > 2 LIMIT 50"));
+}
+
+TEST_F(RuleMatchTest, StructuralChangeInWhere) {
+  const char* rule =
+      "FROM Select//WhereClause AS a WHERE struct_changed(a) MATCH: s;";
+  EXPECT_TRUE(Matches(rule, "SELECT x FROM t WHERE x > 5",
+                      "SELECT x FROM t WHERE x > 5 AND y < 2"));
+  EXPECT_FALSE(Matches(rule, "SELECT x FROM t WHERE x > 5",
+                       "SELECT x FROM t WHERE x > 6"));
+}
+
+TEST_F(RuleMatchTest, DefaultRulesClassifyTheExpectedTweaks) {
+  auto rules = DefaultSdssRules();
+  ASSERT_EQ(rules.size(), 8u);
+  auto classify = [&rules](const char* a, const char* b) -> std::string {
+    AstNodePtr old_ast = ParseToAst(a).value();
+    AstNodePtr new_ast = ParseToAst(b).value();
+    for (const TransformRule& rule : rules) {
+      if (RuleMatches(rule, old_ast, new_ast)) return rule.interaction;
+    }
+    return "(none)";
+  };
+  EXPECT_EQ(classify("SELECT x FROM t WHERE x > 1 LIMIT 5",
+                     "SELECT x FROM t WHERE x > 2 LIMIT 5"),
+            "numeric-param-change");
+  EXPECT_EQ(classify("SELECT x FROM t WHERE c = 'QSO'",
+                     "SELECT x FROM t WHERE c = 'STAR'"),
+            "categorical-change");
+  EXPECT_EQ(classify("SELECT x FROM t", "SELECT x, y FROM t"),
+            "projection-add");
+  EXPECT_EQ(classify("SELECT x, y FROM t", "SELECT y FROM t"),
+            "projection-remove");
+  EXPECT_EQ(classify("SELECT x FROM t LIMIT 5", "SELECT x FROM t LIMIT 9"),
+            "limit-change");
+  EXPECT_EQ(classify("SELECT x FROM t ORDER BY x", "SELECT x FROM t ORDER BY x DESC"),
+            "orderby-change");
+  EXPECT_EQ(classify("SELECT f, COUNT(*) AS n FROM t GROUP BY f",
+                     "SELECT g, COUNT(*) AS n FROM t GROUP BY g"),
+            "(none)");  // changes both projection and grouping: ambiguous
+  EXPECT_EQ(classify("SELECT x FROM t", "SELECT x FROM u"), "table-change");
+}
+
+TEST(TransformGraphTest, BuildsVerticesAndEdges) {
+  std::vector<std::vector<std::string>> sessions = {
+      {"SELECT x FROM t WHERE x > 1", "SELECT x FROM t WHERE x > 2",
+       "SELECT x, y FROM t WHERE x > 2"},
+  };
+  TransformGraph graph = BuildTransformGraph(sessions, DefaultSdssRules());
+  EXPECT_EQ(graph.queries.size(), 3u);
+  ASSERT_EQ(graph.edges.size(), 2u);
+  EXPECT_EQ(graph.edges[0].interaction, "numeric-param-change");
+  EXPECT_EQ(graph.edges[1].interaction, "projection-add");
+  EXPECT_EQ(graph.matched_pairs, 2u);
+  EXPECT_EQ(graph.total_queries, 3u);
+}
+
+TEST(TransformGraphTest, RepeatedQueriesShareVertices) {
+  std::vector<std::vector<std::string>> sessions = {
+      {"SELECT x FROM t WHERE x > 1", "SELECT x FROM t WHERE x > 2",
+       "SELECT x FROM t WHERE x > 1"},
+  };
+  TransformGraph graph = BuildTransformGraph(sessions, DefaultSdssRules());
+  EXPECT_EQ(graph.queries.size(), 2u);
+  EXPECT_EQ(graph.edges.size(), 2u);
+}
+
+TEST(TransformGraphTest, UnparsableQueriesBreakAdjacency) {
+  std::vector<std::vector<std::string>> sessions = {
+      {"SELECT x FROM t WHERE x > 1", "EXEC spBroken 1",
+       "SELECT x FROM t WHERE x > 2"},
+  };
+  TransformGraph graph = BuildTransformGraph(sessions, DefaultSdssRules());
+  EXPECT_EQ(graph.unparsed_queries, 1u);
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_NEAR(graph.ParsedFraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(SdssLogTest, MatchesPaperStatistics) {
+  SdssLogConfig config;
+  config.num_sessions = 300;
+  SdssLog log = GenerateSdssLog(config);
+  TransformGraph graph = BuildTransformGraph(log.sessions, DefaultSdssRules());
+  // >99.1% of the log maps to the templates.
+  EXPECT_GT(graph.ParsedFraction(), 0.985);
+  // The two most frequent interactions cover roughly 70% and 12%.
+  auto counts = graph.InteractionCounts();
+  ASSERT_GE(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "numeric-param-change");
+  EXPECT_NEAR(graph.CoverageOf(counts[0].first), 0.70, 0.08);
+  EXPECT_NEAR(graph.CoverageOf(counts[1].first), 0.12, 0.05);
+  // The graph is dense: far more edges than interaction types.
+  EXPECT_GT(graph.edges.size(), 1000u);
+}
+
+TEST(SdssLogTest, Deterministic) {
+  SdssLogConfig config;
+  config.num_sessions = 10;
+  SdssLog a = GenerateSdssLog(config);
+  SdssLog b = GenerateSdssLog(config);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  EXPECT_EQ(a.sessions[3], b.sessions[3]);
+}
+
+TEST(InterfaceSynthTest, ObjectiveUsesCheapestCoveringWidget) {
+  TransformGraph graph;
+  graph.queries = {"a", "b"};
+  graph.edges = {{0, 1, "numeric-param-change"}};
+  graph.matched_pairs = 1;
+  SynthesisConfig config;
+  // Both the slider (act 1) and the text box (act 3) cover numeric.
+  std::vector<WidgetSpec> widgets = {DefaultWidgetLibrary()[0],
+                                     DefaultWidgetLibrary()[1]};
+  EXPECT_DOUBLE_EQ(EvaluateInterface(graph, widgets, config), 1.0);
+  // No widgets: the penalty applies.
+  EXPECT_DOUBLE_EQ(EvaluateInterface(graph, {}, config), config.penalty);
+}
+
+TEST(InterfaceSynthTest, BudgetControlsSimplicityVsCoverage) {
+  SdssLogConfig log_config;
+  log_config.num_sessions = 200;
+  SdssLog log = GenerateSdssLog(log_config);
+  TransformGraph graph = BuildTransformGraph(log.sessions, DefaultSdssRules());
+
+  SynthesisConfig tight;
+  tight.max_visual_complexity = 4.0;
+  SynthesizedInterface simple =
+      SynthesizeInterface(graph, DefaultWidgetLibrary(), tight);
+
+  SynthesisConfig loose;
+  loose.max_visual_complexity = 12.0;
+  SynthesizedInterface broad =
+      SynthesizeInterface(graph, DefaultWidgetLibrary(), loose);
+
+  // Figure 7: a simplicity-preferring interface is drastically smaller; a
+  // coverage-preferring one covers (nearly) everything.
+  EXPECT_LT(simple.widgets.size(), broad.widgets.size());
+  EXPECT_LE(simple.total_visual_complexity, 4.0);
+  EXPECT_GT(simple.coverage, 0.8);  // even the small interface covers most
+  EXPECT_GT(broad.coverage, 0.99);
+  EXPECT_LE(broad.objective, simple.objective);
+}
+
+TEST(InterfaceSynthTest, GreedyIsNearExhaustiveOnSmallInstance) {
+  TransformGraph graph;
+  graph.queries = {"q0", "q1", "q2", "q3"};
+  graph.edges = {{0, 1, "numeric-param-change"},
+                 {1, 2, "limit-change"},
+                 {2, 3, "orderby-change"}};
+  graph.matched_pairs = 3;
+  SynthesisConfig config;
+  config.max_visual_complexity = 4.0;
+  const auto& library = DefaultWidgetLibrary();
+  SynthesizedInterface greedy = SynthesizeInterface(graph, library, config);
+
+  // Exhaustive search over all widget subsets within budget.
+  double best = 1e18;
+  for (size_t mask = 0; mask < (1u << library.size()); ++mask) {
+    std::vector<WidgetSpec> subset;
+    double vis = 0;
+    for (size_t i = 0; i < library.size(); ++i) {
+      if (mask & (1u << i)) {
+        subset.push_back(library[i]);
+        vis += library[i].visual_complexity;
+      }
+    }
+    if (vis > config.max_visual_complexity) continue;
+    best = std::min(best, EvaluateInterface(graph, subset, config));
+  }
+  // The paper solves the knapsack with a greedy heuristic; it can be
+  // suboptimal (here it may prefer the cheap-but-clunky text box over the
+  // slider), but must stay within a small factor of the optimum and never
+  // beat it.
+  EXPECT_GE(greedy.objective, best - 1e-9);
+  EXPECT_LE(greedy.objective, 2.0 * best + 1e-9);
+}
+
+TEST(TransformGraphTest, DotExportColorsEdgesByInteraction) {
+  std::vector<std::vector<std::string>> sessions = {
+      {"SELECT x FROM t WHERE x > 1", "SELECT x FROM t WHERE x > 2",
+       "SELECT x, y FROM t WHERE x > 2"},
+  };
+  TransformGraph graph = BuildTransformGraph(sessions, DefaultSdssRules());
+  std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q0 -> q1"), std::string::npos);
+  EXPECT_NE(dot.find("color="), std::string::npos);
+  // Edge cap respected.
+  EXPECT_EQ(graph.ToDot(1).find("q1 -> q2"), std::string::npos);
+}
+
+TEST(InterfaceSynthTest, ZeroBudgetYieldsEmptyInterface) {
+  TransformGraph graph;
+  graph.edges = {{0, 0, "numeric-param-change"}};
+  graph.matched_pairs = 1;
+  SynthesisConfig config;
+  config.max_visual_complexity = 0.0;
+  SynthesizedInterface iface =
+      SynthesizeInterface(graph, DefaultWidgetLibrary(), config);
+  EXPECT_TRUE(iface.widgets.empty());
+  EXPECT_DOUBLE_EQ(iface.objective, config.penalty);
+  EXPECT_DOUBLE_EQ(iface.coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,98 @@
+#include "events/recognizer.h"
+#include "parser/parser.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+EventStmt ParseEvent(const std::string& source) {
+  return ParseProgram(source).value().statements[0].event;
+}
+
+class PriorityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    udfs_ = UdfRegistry::WithBuiltins();
+    recognizer_ = std::make_unique<EventRecognizer>(&catalog_, &udfs_);
+  }
+
+  /// Two overlapping interactions: a full drag and a simple click, both
+  /// beginning on MOUSE_DOWN — the ambiguity AnalyzeAmbiguity warns about.
+  void DefineOverlapping(int drag_priority, int click_priority) {
+    ASSERT_TRUE(recognizer_
+                    ->DefinePattern(
+                        "DRAG",
+                        ParseEvent("D = EVENT MOUSE_DOWN AS A, MOUSE_MOVE* AS "
+                                   "M, MOUSE_UP AS U RETURN (A.t, A.x, A.y);"),
+                        drag_priority)
+                    .ok());
+    ASSERT_TRUE(recognizer_
+                    ->DefinePattern(
+                        "CLICK",
+                        ParseEvent("K = EVENT MOUSE_DOWN AS A, MOUSE_UP AS U "
+                                   "RETURN (A.t, A.x, A.y);"),
+                        click_priority)
+                    .ok());
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  std::unique_ptr<EventRecognizer> recognizer_;
+};
+
+TEST_F(PriorityTest, NonExclusiveModeFeedsAllPatterns) {
+  DefineOverlapping(1, 0);
+  auto outcomes = recognizer_->Feed(InputEvent::MouseDown(0, 5, 5)).value();
+  EXPECT_EQ(outcomes.size(), 2u);  // both patterns start
+}
+
+TEST_F(PriorityTest, ExclusiveModeSuppressesLowerPriority) {
+  DefineOverlapping(1, 0);
+  recognizer_->set_exclusive(true);
+  auto outcomes = recognizer_->Feed(InputEvent::MouseDown(0, 5, 5)).value();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].table, "DRAG");
+  // The click pattern never saw the DOWN, so the UP does not commit it —
+  // it commits the drag instead.
+  auto up = recognizer_->Feed(InputEvent::MouseUp(1, 5, 5)).value();
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].table, "DRAG");
+  EXPECT_EQ(up[0].action, MatchAction::kCommitted);
+  EXPECT_EQ(catalog_.Get("CLICK").value()->current().num_rows(), 0u);
+}
+
+TEST_F(PriorityTest, PriorityOrderBeatsDefinitionOrder) {
+  // CLICK is defined second but carries the higher priority.
+  DefineOverlapping(0, 5);
+  recognizer_->set_exclusive(true);
+  auto outcomes = recognizer_->Feed(InputEvent::MouseDown(0, 5, 5)).value();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].table, "CLICK");
+}
+
+TEST_F(PriorityTest, NonConsumedEventsFallThrough) {
+  // A wheel-only pattern at high priority does not block mouse patterns.
+  ASSERT_TRUE(recognizer_
+                  ->DefinePattern(
+                      "ZOOM",
+                      ParseEvent("Z = EVENT WHEEL AS W, WHEEL AS W2 "
+                                 "RETURN (W.delta);"),
+                      10)
+                  .ok());
+  DefineOverlapping(1, 0);
+  recognizer_->set_exclusive(true);
+  auto outcomes = recognizer_->Feed(InputEvent::MouseDown(0, 5, 5)).value();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].table, "DRAG");
+}
+
+TEST_F(PriorityTest, PatternNamesReflectPriorityOrder) {
+  DefineOverlapping(0, 5);
+  auto names = recognizer_->PatternNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "CLICK");
+  EXPECT_EQ(names[1], "DRAG");
+}
+
+}  // namespace
+}  // namespace dvms

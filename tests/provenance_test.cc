@@ -1,0 +1,218 @@
+#include "core/dvms.h"
+#include "parser/parser.h"
+#include "provenance/trace.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+/// DeVIL 4: linked brushing expressed with provenance operations. B is the
+/// backward-traced subset of Sales; the scatterplot and histogram both
+/// partition Sales into {B, Sales MINUS B}.
+const char* kProvenanceProgram = R"(
+C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+    RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+           (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+
+SPLOT_POINTS = SELECT
+    6 AS radius, 'gray' AS fill,
+    linear_scale(Sales.revenue, 0, 100, 0, 200) AS center_x,
+    linear_scale(Sales.profit, 0, 100, 0, 200) AS center_y
+  FROM Sales;
+
+BBOX = SELECT x AS x0, y AS y0, x + dx AS x1, y + dy AS y1
+  FROM C ORDER BY t DESC LIMIT 1;
+
+B = BACKWARD TRACE
+  FROM SPLOT_POINTS@vnow-1 AS SP, BBOX
+  WHERE in_rectangle(SP.center_x, SP.center_y,
+                     BBOX.x0, BBOX.y0, BBOX.x1, BBOX.y1)
+  TO Sales;
+
+SPLOT_POINTS = SELECT
+    6 AS radius, 'red' AS fill,
+    linear_scale(B.revenue, 0, 100, 0, 200) AS center_x,
+    linear_scale(B.profit, 0, 100, 0, 200) AS center_y
+  FROM B
+  UNION SELECT
+    6 AS radius, 'gray' AS fill,
+    linear_scale(S.revenue, 0, 100, 0, 200) AS center_x,
+    linear_scale(S.profit, 0, 100, 0, 200) AS center_y
+  FROM (Sales MINUS B) AS S;
+
+P = render(SELECT * FROM SPLOT_POINTS);
+)";
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dvms::Options options;
+    options.canvas_width = 200;
+    options.canvas_height = 200;
+    options.capture_lineage = true;
+    engine_ = std::make_unique<Dvms>(options);
+    ASSERT_TRUE(engine_
+                    ->CreateBaseTable("Sales",
+                                      Schema({{"productId", ValueType::kInt64},
+                                              {"profit", ValueType::kDouble},
+                                              {"revenue", ValueType::kDouble}}))
+                    .ok());
+    std::vector<Row> rows = {
+        {Value::Int(1), Value::Double(10), Value::Double(10)},
+        {Value::Int(2), Value::Double(30), Value::Double(30)},
+        {Value::Int(3), Value::Double(60), Value::Double(60)},
+        {Value::Int(4), Value::Double(90), Value::Double(90)},
+    };
+    ASSERT_TRUE(engine_->Insert("Sales", rows).ok());
+  }
+
+  std::unique_ptr<Dvms> engine_;
+};
+
+TEST_F(ProvenanceTest, TraceViewRowsThroughFilterProject) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "big = SELECT productId FROM Sales WHERE revenue > 25;")
+                  .ok());
+  // big rows: products 2, 3, 4 (view rows 0..2 -> Sales rows 1..3).
+  auto rows = engine_->traces()
+                  ->TraceViewRows("big", VersionRef::Current(), {0, 2},
+                                  "Sales", TraceEngine::Mode::kEager)
+                  .value();
+  EXPECT_EQ(rows, (std::set<RowId>{1, 3}));
+  // Lazy mode gives the same answer without stored lineage.
+  auto lazy = engine_->traces()
+                  ->TraceViewRows("big", VersionRef::Current(), {0, 2},
+                                  "Sales", TraceEngine::Mode::kLazy)
+                  .value();
+  EXPECT_EQ(lazy, rows);
+}
+
+TEST_F(ProvenanceTest, TraceThroughAggregateFansOut) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "tot = SELECT COUNT(*) AS n FROM Sales;")
+                  .ok());
+  auto rows = engine_->traces()
+                  ->TraceViewRows("tot", VersionRef::Current(), {0}, "Sales",
+                                  TraceEngine::Mode::kEager)
+                  .value();
+  EXPECT_EQ(rows.size(), 4u);  // the aggregate depends on every input row
+}
+
+TEST_F(ProvenanceTest, TraceThroughChainedViews) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "big = SELECT productId, revenue FROM Sales "
+                      "WHERE revenue > 25;"
+                      "bigger = SELECT productId FROM big WHERE revenue > 70;")
+                  .ok());
+  auto rows = engine_->traces()
+                  ->TraceViewRows("bigger", VersionRef::Current(), {0},
+                                  "Sales", TraceEngine::Mode::kEager)
+                  .value();
+  EXPECT_EQ(rows, (std::set<RowId>{3}));
+}
+
+TEST_F(ProvenanceTest, DevilFourBackwardTraceBrushing) {
+  ASSERT_TRUE(engine_->LoadProgram(kProvenanceProgram).ok());
+  // Initially nothing is selected: B empty, all 4 points gray.
+  EXPECT_EQ(engine_->GetTable("B").value()->num_rows(), 0u);
+  EXPECT_EQ(engine_->GetTable("SPLOT_POINTS").value()->num_rows(), 4u);
+
+  // Brush the region covering products 1 (20,20) and 2 (60,60).
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 100, 100)).ok());
+
+  const Table* b = engine_->GetTable("B").value();
+  ASSERT_EQ(b->num_rows(), 2u);
+  // B holds full Sales rows (the paper: SPLOT_POINTS without productId
+  // annotations, yet the trace recovers the records).
+  EXPECT_EQ(b->schema().num_columns(), 3u);
+  EXPECT_EQ(b->At(0, "productId").value().int_value(), 1);
+  EXPECT_EQ(b->At(1, "productId").value().int_value(), 2);
+
+  // The re-partitioned scatterplot colors the traced subset red.
+  const Table* points = engine_->GetTable("SPLOT_POINTS").value();
+  size_t fill_idx = points->schema().FindColumn("fill").value();
+  size_t red = 0;
+  for (const Row& row : points->rows()) {
+    if (row[fill_idx].string_value() == "red") ++red;
+  }
+  EXPECT_EQ(red, 2u);
+  EXPECT_EQ(engine_->pixels().At(20, 20), ParseColor("red").value());
+  EXPECT_EQ(engine_->pixels().At(180, 180), ParseColor("gray").value());
+
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(2, 100, 100)).ok());
+  EXPECT_EQ(engine_->stats().transactions_committed, 1u);
+}
+
+TEST_F(ProvenanceTest, ForwardTraceFromBaseRowsToView) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "marks = SELECT productId, revenue FROM Sales "
+                      "WHERE revenue > 25;")
+                  .ok());
+  auto program = ParseProgram(
+                     "F = FORWARD TRACE FROM Sales WHERE productId = 3 "
+                     "TO marks;")
+                     .value();
+  Table f = engine_->traces()
+                ->Forward(program.statements[0].trace,
+                          TraceEngine::Mode::kEager)
+                .value();
+  ASSERT_EQ(f.num_rows(), 1u);
+  EXPECT_EQ(f.At(0, "productId").value().int_value(), 3);
+}
+
+TEST_F(ProvenanceTest, ForwardTraceThroughAggregate) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "byband = SELECT floor(revenue / 50) AS band, "
+                      "COUNT(*) AS n FROM Sales GROUP BY floor(revenue / 50);")
+                  .ok());
+  // Product 4 (revenue 90) only affects band 1.
+  auto program =
+      ParseProgram("F = FORWARD TRACE FROM Sales WHERE productId = 4 "
+                   "TO byband;")
+          .value();
+  Table f = engine_->traces()
+                ->Forward(program.statements[0].trace,
+                          TraceEngine::Mode::kLazy)
+                .value();
+  ASSERT_EQ(f.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(f.At(0, "band").value().double_value(), 1.0);
+}
+
+TEST_F(ProvenanceTest, BackwardLineageIndexMatchesTraces) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "big = SELECT productId FROM Sales WHERE revenue > 25;")
+                  .ok());
+  auto index = BackwardLineageIndex::Build(engine_->traces(), "big", 3,
+                                           "Sales", TraceEngine::Mode::kEager)
+                   .value();
+  EXPECT_EQ(index.Lookup(0), (std::set<RowId>{1}));
+  EXPECT_EQ(index.Lookup(2), (std::set<RowId>{3}));
+  EXPECT_EQ(index.Lookup(99).size(), 0u);
+  EXPECT_EQ(index.SizeEntries(), 3u);
+}
+
+TEST_F(ProvenanceTest, TraceToUnrelatedRelationIsEmpty) {
+  ASSERT_TRUE(engine_
+                  ->CreateBaseTable("Other", Schema({{"x", ValueType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(engine_->Insert("Other", {{Value::Int(1)}}).ok());
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "big = SELECT productId FROM Sales WHERE revenue > 25;")
+                  .ok());
+  auto rows = engine_->traces()
+                  ->TraceViewRows("big", VersionRef::Current(), {0}, "Other",
+                                  TraceEngine::Mode::kEager)
+                  .value();
+  EXPECT_TRUE(rows.empty());
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,214 @@
+#include "render/pixels.h"
+#include "render/rasterizer.h"
+#include "render/scale.h"
+#include "storage/catalog.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+constexpr RGBA kRed = {214, 39, 40, 255};
+constexpr RGBA kWhite = {255, 255, 255, 255};
+
+TEST(ColorTest, NamedAndHexColors) {
+  EXPECT_EQ(ParseColor("red").value(), kRed);
+  EXPECT_EQ(ParseColor("RED").value(), kRed);
+  RGBA hex = ParseColor("#102030").value();
+  EXPECT_EQ(hex.r, 0x10);
+  EXPECT_EQ(hex.g, 0x20);
+  EXPECT_EQ(hex.b, 0x30);
+  EXPECT_EQ(hex.a, 255);
+  RGBA hexa = ParseColor("#10203040").value();
+  EXPECT_EQ(hexa.a, 0x40);
+  EXPECT_FALSE(ParseColor("notacolor").ok());
+  EXPECT_FALSE(ParseColor("#12").ok());
+  EXPECT_EQ(ParseColor("none").value().a, 0);
+}
+
+TEST(PixelBufferTest, SetAtAndClipping) {
+  PixelBuffer buf(10, 5);
+  buf.Set(3, 2, kRed);
+  EXPECT_EQ(buf.At(3, 2), kRed);
+  EXPECT_EQ(buf.At(-1, 0).a, 0);
+  EXPECT_EQ(buf.At(100, 100).a, 0);
+  buf.Set(-5, -5, kRed);  // no crash
+  buf.Set(100, 100, kRed);
+  EXPECT_EQ(buf.CountColor(kRed), 1u);
+}
+
+TEST(PixelBufferTest, BlendSrcOver) {
+  PixelBuffer buf(4, 4);
+  buf.Clear(kWhite);
+  RGBA half_red = {255, 0, 0, 128};
+  buf.Blend(1, 1, half_red);
+  RGBA out = buf.At(1, 1);
+  EXPECT_GT(out.r, 200);       // red stays strong
+  EXPECT_GT(out.g, 100);       // white shows through
+  EXPECT_LT(out.g, 140);
+  EXPECT_EQ(out.a, 255);
+  // Fully transparent blend is a no-op.
+  buf.Blend(2, 2, RGBA{0, 255, 0, 0});
+  EXPECT_EQ(buf.At(2, 2), kWhite);
+}
+
+TEST(PixelBufferTest, ToRelationSkipsTransparent) {
+  PixelBuffer buf(4, 4);
+  buf.Set(0, 0, kRed);
+  buf.Set(3, 3, kRed);
+  Table p = buf.ToRelation();
+  EXPECT_EQ(p.num_rows(), 2u);
+  EXPECT_EQ(p.schema().num_columns(), 6u);
+  Table all = buf.ToRelation(/*skip_transparent=*/false);
+  EXPECT_EQ(all.num_rows(), 16u);
+}
+
+TEST(PixelBufferTest, WritePpm) {
+  PixelBuffer buf(8, 8);
+  buf.Clear(kRed);
+  std::string path = ::testing::TempDir() + "/dvms_test.ppm";
+  ASSERT_TRUE(buf.WritePpm(path).ok());
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {0};
+  ASSERT_EQ(fread(magic, 1, 2, f), 2u);
+  EXPECT_EQ(std::string(magic), "P6");
+  fclose(f);
+}
+
+TEST(RasterizerTest, FilledCircleCoversCenterNotCorners) {
+  PixelBuffer buf(40, 40);
+  DrawFilledCircle(&buf, 20, 20, 8, kRed);
+  EXPECT_EQ(buf.At(20, 20), kRed);
+  EXPECT_EQ(buf.At(20, 13), kRed);   // inside top
+  EXPECT_EQ(buf.At(20, 5).a, 0);     // above the circle
+  EXPECT_EQ(buf.At(5, 5).a, 0);      // far corner
+  // Rough area check: |painted - pi*r^2| small.
+  double area = static_cast<double>(buf.CountPainted());
+  EXPECT_NEAR(area, 3.14159 * 64, 20);
+}
+
+TEST(RasterizerTest, RectFillAndOutline) {
+  PixelBuffer buf(30, 30);
+  DrawFilledRect(&buf, 5, 5, 10, 8, kRed);
+  EXPECT_EQ(buf.CountPainted(), 80u);
+  EXPECT_EQ(buf.At(5, 5), kRed);
+  EXPECT_EQ(buf.At(14, 12), kRed);
+  EXPECT_EQ(buf.At(15, 5).a, 0);
+
+  PixelBuffer buf2(30, 30);
+  DrawRectOutline(&buf2, 5, 5, 10, 8, kRed);
+  EXPECT_EQ(buf2.At(5, 5), kRed);
+  EXPECT_EQ(buf2.At(14, 12), kRed);
+  EXPECT_EQ(buf2.At(10, 9).a, 0);  // interior unpainted
+}
+
+TEST(RasterizerTest, LineIsConnected) {
+  PixelBuffer buf(30, 30);
+  DrawLine(&buf, 2, 2, 27, 15, kRed);
+  EXPECT_EQ(buf.At(2, 2), kRed);
+  EXPECT_EQ(buf.At(27, 15), kRed);
+  // At least as many pixels as the max dimension span.
+  EXPECT_GE(buf.CountPainted(), 26u);
+}
+
+TEST(RasterizerTest, InferMarkTypeFromSchema) {
+  Schema circle({{"center_x", ValueType::kDouble},
+                 {"center_y", ValueType::kDouble},
+                 {"radius", ValueType::kDouble},
+                 {"fill", ValueType::kString}});
+  EXPECT_EQ(InferMarkType(circle).value(), MarkType::kCircle);
+  Schema rect({{"x", ValueType::kDouble},
+               {"y", ValueType::kDouble},
+               {"width", ValueType::kDouble},
+               {"height", ValueType::kDouble}});
+  EXPECT_EQ(InferMarkType(rect).value(), MarkType::kRect);
+  Schema line({{"x1", ValueType::kDouble},
+               {"y1", ValueType::kDouble},
+               {"x2", ValueType::kDouble},
+               {"y2", ValueType::kDouble}});
+  EXPECT_EQ(InferMarkType(line).value(), MarkType::kLine);
+  Schema nope({{"foo", ValueType::kDouble}});
+  EXPECT_FALSE(InferMarkType(nope).ok());
+}
+
+TEST(RasterizerTest, RenderMarksRelationWithFillColors) {
+  Table marks(Schema({{"center_x", ValueType::kDouble},
+                      {"center_y", ValueType::kDouble},
+                      {"radius", ValueType::kDouble},
+                      {"fill", ValueType::kString}}));
+  ASSERT_TRUE(marks
+                  .Append({Value::Double(10), Value::Double(10),
+                           Value::Double(3), Value::String("red")})
+                  .ok());
+  ASSERT_TRUE(marks
+                  .Append({Value::Double(30), Value::Double(10),
+                           Value::Double(3), Value::String("blue")})
+                  .ok());
+  PixelBuffer buf(40, 20);
+  ASSERT_TRUE(RenderMarks(marks, &buf).ok());
+  EXPECT_EQ(buf.At(10, 10), ParseColor("red").value());
+  EXPECT_EQ(buf.At(30, 10), ParseColor("blue").value());
+}
+
+TEST(RasterizerTest, NullGeometryRowsSkipped) {
+  Table marks(Schema({{"center_x", ValueType::kDouble},
+                      {"center_y", ValueType::kDouble},
+                      {"radius", ValueType::kDouble}}));
+  ASSERT_TRUE(
+      marks.Append({Value::Null(), Value::Double(10), Value::Double(3)}).ok());
+  PixelBuffer buf(20, 20);
+  ASSERT_TRUE(RenderMarks(marks, &buf).ok());
+  EXPECT_EQ(buf.CountPainted(), 0u);
+}
+
+TEST(RasterizerTest, BadColorReportsError) {
+  Table marks(Schema({{"center_x", ValueType::kDouble},
+                      {"center_y", ValueType::kDouble},
+                      {"radius", ValueType::kDouble},
+                      {"fill", ValueType::kString}}));
+  ASSERT_TRUE(marks
+                  .Append({Value::Double(5), Value::Double(5), Value::Double(2),
+                           Value::String("chartreuse-ish")})
+                  .ok());
+  PixelBuffer buf(10, 10);
+  EXPECT_FALSE(RenderMarks(marks, &buf).ok());
+}
+
+TEST(ScaleTest, CreateScaleRelationShape) {
+  Catalog catalog;
+  ASSERT_TRUE(CreateScaleRelation(&catalog, "scale_x", 0, 100, 0, 400).ok());
+  const Table& t = catalog.Get("scale_x").value()->current();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.At(0, "domain_max").value().double_value(), 100);
+  EXPECT_DOUBLE_EQ(t.At(0, "range_max").value().double_value(), 400);
+  // Replacing updates in place.
+  ASSERT_TRUE(CreateScaleRelation(&catalog, "scale_x", 0, 50, 0, 400).ok());
+  EXPECT_EQ(catalog.Get("scale_x").value()->current().num_rows(), 1u);
+}
+
+TEST(ScaleTest, ComputeDomainIgnoresNulls) {
+  Table t(Schema({{"v", ValueType::kDouble}}));
+  ASSERT_TRUE(t.Append({Value::Double(5)}).ok());
+  ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  ASSERT_TRUE(t.Append({Value::Double(-2)}).ok());
+  auto domain = ComputeDomain(t, "v").value();
+  EXPECT_DOUBLE_EQ(domain.first, -2);
+  EXPECT_DOUBLE_EQ(domain.second, 5);
+  Table empty(Schema({{"v", ValueType::kDouble}}));
+  EXPECT_FALSE(ComputeDomain(empty, "v").ok());
+}
+
+TEST(ScaleTest, CreateScaleFromColumnWithPadding) {
+  Catalog catalog;
+  Table t(Schema({{"v", ValueType::kDouble}}));
+  ASSERT_TRUE(t.Append({Value::Double(0)}).ok());
+  ASSERT_TRUE(t.Append({Value::Double(10)}).ok());
+  ASSERT_TRUE(
+      CreateScaleFromColumn(&catalog, "s", t, "v", 0, 100, 0.1).ok());
+  const Table& s = catalog.Get("s").value()->current();
+  EXPECT_DOUBLE_EQ(s.At(0, "domain_min").value().double_value(), -1);
+  EXPECT_DOUBLE_EQ(s.At(0, "domain_max").value().double_value(), 11);
+}
+
+}  // namespace
+}  // namespace dvms

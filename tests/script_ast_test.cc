@@ -1,0 +1,115 @@
+#include "precision/interface_synth.h"
+#include "precision/script_ast.h"
+#include "precision/transform_graph.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(ScriptAstTest, ParsesCallWithKwargs) {
+  AstNodePtr ast =
+      ParseScriptToAst("plot(table='photoobj', x='ra', bins=20)").value();
+  EXPECT_EQ(ast->type, "Call");
+  EXPECT_EQ(ast->value, "plot");
+  ASSERT_EQ(ast->children.size(), 3u);
+  EXPECT_EQ(ast->children[0]->type, "Kwarg");
+  EXPECT_EQ(ast->children[0]->value, "table");
+  EXPECT_EQ(ast->children[0]->children[0]->value, "photoobj");
+  EXPECT_EQ(ast->children[2]->children[0]->value, "20");
+}
+
+TEST(ScriptAstTest, ParsesEmptyCallAndQuotes) {
+  EXPECT_EQ(ParseScriptToAst("redraw()").value()->children.size(), 0u);
+  AstNodePtr ast = ParseScriptToAst("f(a=\"x y\", b=1.5)").value();
+  EXPECT_EQ(ast->children[0]->children[0]->value, "x y");
+}
+
+TEST(ScriptAstTest, RejectsMalformedScripts) {
+  EXPECT_FALSE(ParseScriptToAst("plot(").ok());
+  EXPECT_FALSE(ParseScriptToAst("plot(a)").ok());
+  EXPECT_FALSE(ParseScriptToAst("plot(a=1) trailing").ok());
+  EXPECT_FALSE(ParseScriptToAst("plot(a='unterminated)").ok());
+  EXPECT_FALSE(ParseScriptToAst("= bad").ok());
+}
+
+TEST(ScriptAstTest, SameRuleMachineryClassifiesScriptTweaks) {
+  // The core §3.4 claim: the rule language and matcher are AST-generic —
+  // the same predicates classify tweaks in a completely different
+  // language.
+  auto rules = DefaultScriptRules();
+  ASSERT_EQ(rules.size(), 5u);
+  auto classify = [&rules](const char* a, const char* b) -> std::string {
+    AstNodePtr old_ast = ParseScriptToAst(a).value();
+    AstNodePtr new_ast = ParseScriptToAst(b).value();
+    for (const TransformRule& rule : rules) {
+      if (RuleMatches(rule, old_ast, new_ast)) return rule.interaction;
+    }
+    return "(none)";
+  };
+  EXPECT_EQ(classify("plot(x='ra', bins=20)", "plot(x='ra', bins=40)"),
+            "numeric-param-change");
+  EXPECT_EQ(classify("plot(x='ra', color='red')",
+                     "plot(x='ra', color='blue')"),
+            "categorical-change");
+  EXPECT_EQ(classify("plot(x='ra')", "plot(x='ra', bins=20)"),
+            "projection-add");
+  EXPECT_EQ(classify("plot(x='ra', bins=20)", "plot(x='ra')"),
+            "projection-remove");
+  EXPECT_EQ(classify("plot(x='ra', bins=20)", "plot(x='ra', y='dec')"),
+            "call-restructure");
+  EXPECT_EQ(classify("plot(x='ra')", "plot(x='ra')"), "(none)");
+}
+
+TEST(ScriptAstTest, TransformGraphOverScriptSessions) {
+  std::vector<std::vector<std::string>> sessions = {
+      {"plot(x='ra', bins=10)", "plot(x='ra', bins=20)",
+       "plot(x='ra', bins=20, color='red')",
+       "plot(x='ra', bins=20, color='green')"},
+      {"hist(col='z', buckets=5)", "hist(col='z', buckets=9)",
+       "not a script at all", "hist(col='z', buckets=12)"},
+  };
+  TransformGraph graph =
+      BuildTransformGraph(sessions, DefaultScriptRules(),
+                          [](const std::string& s) {
+                            return ParseScriptToAst(s);
+                          });
+  EXPECT_EQ(graph.unparsed_queries, 1u);
+  ASSERT_EQ(graph.edges.size(), 4u);
+  EXPECT_EQ(graph.edges[0].interaction, "numeric-param-change");
+  EXPECT_EQ(graph.edges[1].interaction, "projection-add");
+  EXPECT_EQ(graph.edges[2].interaction, "categorical-change");
+  EXPECT_EQ(graph.edges[3].interaction, "numeric-param-change");
+}
+
+TEST(ScriptAstTest, InterfaceSynthesisWorksAcrossLanguages) {
+  // The downstream knapsack consumes only interaction labels, so a script
+  // log synthesizes an interface exactly like a SQL log.
+  std::vector<std::vector<std::string>> sessions;
+  for (int s = 0; s < 20; ++s) {
+    std::vector<std::string> session;
+    for (int i = 0; i < 10; ++i) {
+      session.push_back("plot(x='ra', bins=" + std::to_string(10 + i) + ")");
+    }
+    sessions.push_back(std::move(session));
+  }
+  TransformGraph graph =
+      BuildTransformGraph(sessions, DefaultScriptRules(),
+                          [](const std::string& s) {
+                            return ParseScriptToAst(s);
+                          });
+  SynthesisConfig config;
+  config.max_visual_complexity = 4.0;
+  SynthesizedInterface iface =
+      SynthesizeInterface(graph, DefaultWidgetLibrary(), config);
+  ASSERT_FALSE(iface.widgets.empty());
+  // A pure numeric-tweak log gets a slider-style interface.
+  bool covers_numeric = false;
+  for (const WidgetSpec& w : iface.widgets) {
+    if (w.Covers("numeric-param-change")) covers_numeric = true;
+  }
+  EXPECT_TRUE(covers_numeric);
+  EXPECT_DOUBLE_EQ(iface.coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace dvms

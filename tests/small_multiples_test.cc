@@ -1,0 +1,96 @@
+#include "concurrency/small_multiples.h"
+#include "render/pixels.h"
+#include "render/rasterizer.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+SmallMultiplesConfig TestConfig() {
+  SmallMultiplesConfig config;
+  config.columns = 2;
+  config.cell_width = 100;
+  config.cell_height = 80;
+  config.origin_x = 10;
+  config.origin_y = 10;
+  config.gap = 10;
+  return config;
+}
+
+TEST(SmallMultiplesTest, CellOriginsFollowReadingOrder) {
+  SmallMultiplesConfig config = TestConfig();
+  EXPECT_EQ(SmallMultipleCellOrigin(0, config), std::make_pair(10.0, 10.0));
+  EXPECT_EQ(SmallMultipleCellOrigin(1, config), std::make_pair(120.0, 10.0));
+  EXPECT_EQ(SmallMultipleCellOrigin(2, config), std::make_pair(10.0, 100.0));
+  EXPECT_EQ(SmallMultipleCellOrigin(3, config), std::make_pair(120.0, 100.0));
+}
+
+TEST(SmallMultiplesTest, BarsScaledByGlobalMaximum) {
+  std::vector<ChartCopy> copies = {
+      {"jan", {10, 20}},
+      {"feb", {40, 5}},
+  };
+  Table marks = LayoutSmallMultiples(copies, TestConfig());
+  ASSERT_EQ(marks.num_rows(), 4u);
+  size_t h = marks.schema().IndexOf("height").value();
+  // The global max (40) fills the cell height (80); 10 maps to 20 px.
+  double max_height = 0;
+  for (const Row& row : marks.rows()) {
+    max_height = std::max(max_height, row[h].double_value());
+  }
+  EXPECT_DOUBLE_EQ(max_height, 80);
+  EXPECT_DOUBLE_EQ(marks.row(0)[h].double_value(), 20);
+}
+
+TEST(SmallMultiplesTest, CopiesNeverOverlapPixels) {
+  // The MVCC design goal: each copy's updates are confined to its cell.
+  std::vector<ChartCopy> copies;
+  for (int i = 0; i < 4; ++i) {
+    copies.push_back({"c" + std::to_string(i), {30, 30, 30}});
+  }
+  SmallMultiplesConfig config = TestConfig();
+  Table marks = LayoutSmallMultiples(copies, config);
+  size_t x = marks.schema().IndexOf("x").value();
+  size_t w = marks.schema().IndexOf("width").value();
+  size_t y = marks.schema().IndexOf("y").value();
+  size_t hh = marks.schema().IndexOf("height").value();
+  for (size_t r = 0; r < marks.num_rows(); ++r) {
+    size_t copy = r / 3;
+    auto [cx, cy] = SmallMultipleCellOrigin(copy, config);
+    EXPECT_GE(marks.row(r)[x].double_value(), cx);
+    EXPECT_LE(marks.row(r)[x].double_value() + marks.row(r)[w].double_value(),
+              cx + config.cell_width + 1e-9);
+    EXPECT_GE(marks.row(r)[y].double_value(), cy);
+    EXPECT_LE(marks.row(r)[y].double_value() + marks.row(r)[hh].double_value(),
+              cy + config.cell_height + 1e-9);
+  }
+}
+
+TEST(SmallMultiplesTest, EmptyAndZeroValueCopies) {
+  std::vector<ChartCopy> copies = {
+      {"empty", {}},
+      {"zeros", {0, 0}},
+      {"real", {5}},
+  };
+  Table marks = LayoutSmallMultiples(copies, TestConfig());
+  EXPECT_EQ(marks.num_rows(), 1u);  // only the real bar draws
+}
+
+TEST(SmallMultiplesTest, RendersAsFigure4Grid) {
+  std::vector<ChartCopy> copies = {
+      {"jan", {20, 40, 30}},
+      {"feb", {35, 10, 25}},
+      {"mar", {15, 15, 40}},
+  };
+  SmallMultiplesConfig config = TestConfig();
+  Table marks = LayoutSmallMultiples(copies, config);
+  PixelBuffer buf(240, 200);
+  ASSERT_TRUE(RenderMarks(marks, &buf).ok());
+  RGBA blue = ParseColor("steelblue").value();
+  EXPECT_GT(buf.CountColor(blue), 1000u);
+  // Gaps between cells stay unpainted.
+  EXPECT_EQ(buf.At(115, 50).a, 0);
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,173 @@
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/versioned_table.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+Schema PointSchema() {
+  return Schema({{"id", ValueType::kInt64}, {"x", ValueType::kDouble}});
+}
+
+TEST(TableTest, AppendValidates) {
+  Table t(PointSchema());
+  EXPECT_TRUE(t.Append({Value::Int(1), Value::Double(0.5)}).ok());
+  EXPECT_FALSE(t.Append({Value::String("bad"), Value::Double(0.5)}).ok());
+  EXPECT_FALSE(t.Append({Value::Int(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, AtLooksUpByName) {
+  Table t(PointSchema());
+  ASSERT_TRUE(t.Append({Value::Int(7), Value::Double(1.5)}).ok());
+  EXPECT_EQ(t.At(0, "id").value().int_value(), 7);
+  EXPECT_DOUBLE_EQ(t.At(0, "X").value().double_value(), 1.5);
+  EXPECT_FALSE(t.At(0, "nope").ok());
+  EXPECT_FALSE(t.At(3, "id").ok());
+}
+
+TEST(TableTest, SortByColumns) {
+  Table t(PointSchema());
+  ASSERT_TRUE(t.Append({Value::Int(2), Value::Double(9.0)}).ok());
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::Double(5.0)}).ok());
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::Double(3.0)}).ok());
+  t.SortByColumns({0, 1});
+  EXPECT_EQ(t.row(0)[0].int_value(), 1);
+  EXPECT_DOUBLE_EQ(t.row(0)[1].double_value(), 3.0);
+  EXPECT_EQ(t.row(2)[0].int_value(), 2);
+}
+
+TEST(TableTest, SameContentsIsOrderInsensitive) {
+  Table a(PointSchema()), b(PointSchema());
+  ASSERT_TRUE(a.Append({Value::Int(1), Value::Double(1.0)}).ok());
+  ASSERT_TRUE(a.Append({Value::Int(2), Value::Double(2.0)}).ok());
+  ASSERT_TRUE(b.Append({Value::Int(2), Value::Double(2.0)}).ok());
+  ASSERT_TRUE(b.Append({Value::Int(1), Value::Double(1.0)}).ok());
+  EXPECT_TRUE(a.SameContents(b));
+  ASSERT_TRUE(b.Append({Value::Int(1), Value::Double(1.0)}).ok());
+  EXPECT_FALSE(a.SameContents(b));
+}
+
+TEST(TableTest, ToStringShowsHeaderAndRows) {
+  Table t(PointSchema());
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::Double(2.0)}).ok());
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("id"), std::string::npos);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+TEST(VersionedTableTest, CommitCreatesAddressableVersions) {
+  VersionedTable vt("T", PointSchema());
+  ASSERT_TRUE(vt.Append({Value::Int(1), Value::Double(1.0)}).ok());
+  vt.Commit();
+  ASSERT_TRUE(vt.Append({Value::Int(2), Value::Double(2.0)}).ok());
+  vt.Commit();
+
+  // @vnow-0 == current, @vnow-1 == last committed (2 rows),
+  // @vnow-2 == one before (1 row), @vnow-3 == initial empty version.
+  EXPECT_EQ(vt.Version(0).value()->num_rows(), 2u);
+  EXPECT_EQ(vt.Version(1).value()->num_rows(), 2u);
+  EXPECT_EQ(vt.Version(2).value()->num_rows(), 1u);
+  EXPECT_EQ(vt.Version(3).value()->num_rows(), 0u);
+  EXPECT_FALSE(vt.Version(4).ok());
+}
+
+TEST(VersionedTableTest, AbortRestoresTransactionBase) {
+  VersionedTable vt("T", PointSchema());
+  ASSERT_TRUE(vt.Append({Value::Int(1), Value::Double(1.0)}).ok());
+  vt.Commit();
+
+  vt.BeginTransaction();
+  ASSERT_TRUE(vt.Append({Value::Int(2), Value::Double(2.0)}).ok());
+  ASSERT_TRUE(vt.Append({Value::Int(3), Value::Double(3.0)}).ok());
+  EXPECT_EQ(vt.current().num_rows(), 3u);
+  vt.Abort();
+  EXPECT_EQ(vt.current().num_rows(), 1u);
+  EXPECT_FALSE(vt.in_transaction());
+}
+
+TEST(VersionedTableTest, StepVersionsWithinTransaction) {
+  VersionedTable vt("T", PointSchema());
+  vt.BeginTransaction();
+  ASSERT_TRUE(vt.Append({Value::Int(1), Value::Double(1.0)}).ok());
+  vt.RecordStep();
+  ASSERT_TRUE(vt.Append({Value::Int(2), Value::Double(2.0)}).ok());
+  vt.RecordStep();
+  ASSERT_TRUE(vt.Append({Value::Int(3), Value::Double(3.0)}).ok());
+
+  EXPECT_EQ(vt.StepVersion(0).value()->num_rows(), 3u);  // tnow-0: current
+  EXPECT_EQ(vt.StepVersion(1).value()->num_rows(), 2u);
+  EXPECT_EQ(vt.StepVersion(2).value()->num_rows(), 1u);
+  // Beyond the recorded steps: the interaction-start snapshot (empty).
+  EXPECT_EQ(vt.StepVersion(3).value()->num_rows(), 0u);
+
+  vt.Commit();
+  EXPECT_EQ(vt.num_steps(), 0u);
+  // Outside a transaction @tnow-j addresses an empty relation.
+  EXPECT_EQ(vt.StepVersion(1).value()->num_rows(), 0u);
+}
+
+TEST(VersionedTableTest, VnowDuringTransactionIsInteractionStart) {
+  // DeVIL 3 reads SPLOT_POINTS@vnow-1: the committed state at the beginning
+  // of the current interaction.
+  VersionedTable vt("SPLOT_POINTS", PointSchema());
+  ASSERT_TRUE(vt.Append({Value::Int(1), Value::Double(1.0)}).ok());
+  vt.Commit();
+  vt.BeginTransaction();
+  vt.mutable_current().Clear();
+  ASSERT_TRUE(vt.Append({Value::Int(99), Value::Double(9.0)}).ok());
+  TablePtr v1 = vt.Version(1).value();
+  EXPECT_EQ(v1->num_rows(), 1u);
+  EXPECT_EQ(v1->row(0)[0].int_value(), 1);
+}
+
+TEST(VersionedTableTest, HistoryCapDiscardsOldest) {
+  VersionedTable vt("T", PointSchema(), /*max_history=*/3);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(vt.Append({Value::Int(i), Value::Double(0.0)}).ok());
+    vt.Commit();
+  }
+  EXPECT_EQ(vt.num_committed_versions(), 3u);
+  EXPECT_TRUE(vt.Version(3).ok());
+  EXPECT_FALSE(vt.Version(4).ok());
+}
+
+TEST(VersionedTableTest, SetCurrentChecksCompatibility) {
+  VersionedTable vt("T", PointSchema());
+  Table good(Schema({{"a", ValueType::kInt64}, {"b", ValueType::kDouble}}));
+  ASSERT_TRUE(good.Append({Value::Int(5), Value::Double(1.0)}).ok());
+  EXPECT_TRUE(vt.SetCurrent(good).ok());
+  EXPECT_EQ(vt.current().num_rows(), 1u);
+  // Column names keep the declared schema.
+  EXPECT_TRUE(vt.current().schema().FindColumn("id").has_value());
+
+  Table bad(Schema({{"a", ValueType::kString}}));
+  EXPECT_FALSE(vt.SetCurrent(bad).ok());
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("Sales", PointSchema(), RelationKind::kBase).ok());
+  EXPECT_FALSE(
+      cat.CreateTable("SALES", PointSchema(), RelationKind::kBase).ok());
+  EXPECT_TRUE(cat.Exists("sales"));
+  EXPECT_EQ(cat.Get("Sales").value()->name(), "Sales");
+  EXPECT_EQ(cat.KindOf("sales").value(), RelationKind::kBase);
+  EXPECT_TRUE(cat.Drop("SaLeS").ok());
+  EXPECT_FALSE(cat.Exists("sales"));
+  EXPECT_FALSE(cat.Drop("sales").ok());
+}
+
+TEST(CatalogTest, NamesInCreationOrder) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("B", PointSchema(), RelationKind::kBase).ok());
+  ASSERT_TRUE(cat.CreateTable("A", PointSchema(), RelationKind::kView).ok());
+  auto names = cat.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "B");
+  EXPECT_EQ(names[1], "A");
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,258 @@
+#include <cmath>
+
+#include "streaming/intent_model.h"
+#include "streaming/scheduler.h"
+#include "streaming/simulation.h"
+#include "streaming/wavelet.h"
+#include "workload/mouse.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(WaveletTest, ForwardInverseRoundTrip) {
+  std::vector<double> data = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<double> coeffs = HaarForward(data);
+  std::vector<double> back = HaarInverse(coeffs);
+  ASSERT_EQ(back.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(back[i], data[i], 1e-9);
+}
+
+TEST(WaveletTest, NonPowerOfTwoIsPadded) {
+  std::vector<double> data = {1, 2, 3, 4, 5};
+  ProgressiveEncoding enc(data);
+  EXPECT_EQ(enc.num_coefficients(), 8u);
+  std::vector<double> full = enc.DecodePrefix(8);
+  ASSERT_EQ(full.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(full[i], data[i], 1e-9);
+}
+
+TEST(WaveletTest, EnergyPreserved) {
+  // Orthonormal transform: sum of squares is invariant.
+  std::vector<double> data = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<double> coeffs = HaarForward(data);
+  double e1 = 0, e2 = 0;
+  for (double v : data) e1 += v * v;
+  for (double v : coeffs) e2 += v * v;
+  EXPECT_NEAR(e1, e2, 1e-9);
+}
+
+TEST(WaveletTest, PrefixQualityMonotoneAndExactAtFull) {
+  std::vector<double> data;
+  for (int i = 0; i < 64; ++i) data.push_back(std::sin(i * 0.2) * 10 + 20);
+  ProgressiveEncoding enc(data);
+  double prev = -1;
+  for (size_t k = 0; k <= enc.num_coefficients(); k += 4) {
+    double q = enc.PrefixQuality(k);
+    EXPECT_GE(q, prev - 1e-9);
+    prev = q;
+  }
+  EXPECT_NEAR(enc.PrefixQuality(enc.num_coefficients()), 1.0, 1e-9);
+}
+
+TEST(WaveletTest, UtilityCurveMatchesPrefixQuality) {
+  std::vector<double> data;
+  for (int i = 0; i < 32; ++i) data.push_back(i * i * 0.1 + 5);
+  ProgressiveEncoding enc(data);
+  std::vector<double> curve = enc.UtilityCurve();
+  ASSERT_EQ(curve.size(), enc.num_coefficients() + 1);
+  for (size_t k = 0; k <= enc.num_coefficients(); k += 7) {
+    EXPECT_NEAR(curve[k], enc.PrefixQuality(k), 1e-9) << "k=" << k;
+  }
+}
+
+TEST(WaveletTest, SmoothSignalsCompressWell) {
+  // A smooth aggregate reaches 90% quality from a small prefix — the
+  // property that makes speculative streaming effective.
+  std::vector<double> data;
+  for (int i = 0; i < 256; ++i) data.push_back(50 + 10 * std::sin(i * 0.05));
+  ProgressiveEncoding enc(data);
+  std::vector<double> curve = enc.UtilityCurve();
+  size_t k90 = 0;
+  while (k90 < curve.size() && curve[k90] < 0.9) ++k90;
+  EXPECT_LT(k90, enc.num_coefficients() / 8);
+}
+
+TEST(WaveletTest, ZeroDataHasPerfectQuality) {
+  ProgressiveEncoding enc(std::vector<double>(16, 0.0));
+  EXPECT_DOUBLE_EQ(enc.PrefixQuality(0), 1.0);
+}
+
+TEST(IntentModelTest, PredictsHoveredWidget) {
+  auto widgets = MakeWidgetGrid(2, 1, 0, 0, 100, 100, 50);
+  IntentModel model(widgets);
+  // Move straight toward widget 1's center.
+  for (int i = 0; i <= 10; ++i) {
+    model.Observe({i * 20.0, 50.0 + i * 15.0, 50.0});
+  }
+  EXPECT_EQ(model.Top1(200), 1u);
+  auto p = model.PredictWithin(200);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(IntentModelTest, UniformWithoutObservations) {
+  auto widgets = MakeWidgetGrid(2, 2, 0, 0, 100, 100, 10);
+  IntentModel model(widgets);
+  auto p = model.PredictWithin(200);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(IntentModelTest, Reaches82PercentAccuracyAt200ms) {
+  // The paper: "the model is 82% accurate at predicting the widget that
+  // the user will interact with in 200ms".
+  Rng rng(7);
+  auto widgets = MakeWidgetGrid(4, 4, 20, 20, 140, 100, 16);
+  MouseTraceConfig config;
+  size_t correct = 0, total = 0;
+  double cx = 10, cy = 10;
+  for (int it = 0; it < 400; ++it) {
+    size_t target = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(widgets.size()) - 1));
+    MouseTrace trace =
+        GenerateMouseTrace(widgets, target, cx, cy, config, &rng);
+    IntentModel model(widgets);
+    for (const MouseSample& s : trace.samples) {
+      if (s.t_ms > trace.click_t_ms - 200) break;
+      model.Observe(s);
+    }
+    if (model.Top1(200) == target) ++correct;
+    ++total;
+    cx = trace.samples.back().x;
+    cy = trace.samples.back().y;
+  }
+  double accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  EXPECT_GT(accuracy, 0.72);
+  EXPECT_LT(accuracy, 0.95);
+}
+
+TEST(MouseTraceTest, TraceEndsInsideTargetWidget) {
+  Rng rng(3);
+  auto widgets = MakeWidgetGrid(3, 3, 0, 0, 100, 80, 10);
+  MouseTraceConfig config;
+  for (int i = 0; i < 20; ++i) {
+    size_t target = static_cast<size_t>(rng.UniformInt(0, 8));
+    MouseTrace trace = GenerateMouseTrace(widgets, target, 5, 5, config, &rng);
+    const MouseSample& end = trace.samples.back();
+    EXPECT_TRUE(widgets[target].Contains(end.x, end.y))
+        << "target " << target << " end (" << end.x << "," << end.y << ")";
+    // Samples are in time order.
+    for (size_t s = 1; s < trace.samples.size(); ++s) {
+      EXPECT_GE(trace.samples[s].t_ms, trace.samples[s - 1].t_ms);
+    }
+  }
+}
+
+TEST(MouseTraceTest, FittsLawLongerDistanceLongerDuration) {
+  Rng rng(5);
+  auto widgets = MakeWidgetGrid(2, 1, 0, 0, 50, 50, 800);
+  MouseTraceConfig config;
+  double near_sum = 0, far_sum = 0;
+  for (int i = 0; i < 20; ++i) {
+    near_sum +=
+        GenerateMouseTrace(widgets, 0, 30, 30, config, &rng).click_t_ms;
+    far_sum += GenerateMouseTrace(widgets, 1, 30, 30, config, &rng).click_t_ms;
+  }
+  EXPECT_GT(far_sum, near_sum);
+}
+
+TEST(SchedulerTest, GreedyPrefersHighProbabilityTiles) {
+  StreamScheduler scheduler(10);
+  for (int i = 0; i < 2; ++i) {
+    StreamTile tile;
+    tile.id = i == 0 ? "hot" : "cold";
+    // Linear utility over 100 coefficients.
+    tile.utility.resize(101);
+    for (int k = 0; k <= 100; ++k) tile.utility[k] = k / 100.0;
+    scheduler.AddTile(std::move(tile));
+  }
+  scheduler.SetProbabilities({{"hot", 0.9}, {"cold", 0.1}});
+  auto sent = scheduler.Tick();
+  // With equal (linear) marginal utility, all bandwidth goes to the
+  // likelier tile.
+  EXPECT_EQ(sent["hot"], 10u);
+  EXPECT_EQ(sent.count("cold"), 0u);
+}
+
+TEST(SchedulerTest, ConcaveUtilitySpreadsBandwidth) {
+  StreamScheduler scheduler(20);
+  for (int i = 0; i < 2; ++i) {
+    StreamTile tile;
+    tile.id = "t" + std::to_string(i);
+    // Strongly concave: the first coefficients carry most utility.
+    tile.utility.resize(101);
+    for (int k = 0; k <= 100; ++k) {
+      tile.utility[k] = 1.0 - std::pow(0.8, static_cast<double>(k));
+    }
+    scheduler.AddTile(std::move(tile));
+  }
+  scheduler.SetProbabilities({{"t0", 0.6}, {"t1", 0.4}});
+  auto sent = scheduler.Tick();
+  // Both tiles receive some bandwidth: after t0's cheap gains are taken,
+  // t1's early coefficients dominate t0's late ones.
+  EXPECT_GT(sent["t0"], sent["t1"]);
+  EXPECT_GT(sent["t1"], 0u);
+}
+
+TEST(SchedulerTest, StopsWhenAllTilesComplete) {
+  StreamScheduler scheduler(1000);
+  StreamTile tile;
+  tile.id = "only";
+  tile.utility = {0.0, 0.5, 1.0};  // 2 coefficients
+  scheduler.AddTile(std::move(tile));
+  auto sent = scheduler.Tick();
+  EXPECT_EQ(sent["only"], 2u);
+  EXPECT_TRUE(scheduler.GetTile("only").value()->complete());
+  EXPECT_TRUE(scheduler.Tick().empty());
+}
+
+TEST(SchedulerTest, ExpectedUtilityGrowsWithDelivery) {
+  StreamScheduler scheduler(5);
+  StreamTile tile;
+  tile.id = "t";
+  tile.utility.resize(51);
+  for (int k = 0; k <= 50; ++k) tile.utility[k] = k / 50.0;
+  scheduler.AddTile(std::move(tile));
+  scheduler.SetProbabilities({{"t", 1.0}});
+  double before = scheduler.ExpectedUtility();
+  scheduler.Tick();
+  EXPECT_GT(scheduler.ExpectedUtility(), before);
+}
+
+TEST(StreamingSimulationTest, SpeculationBeatsRequestResponse) {
+  StreamingSimConfig config;
+  config.num_interactions = 100;
+  StreamingSimResult result = SimulateStreaming(config);
+  // Request-response sits in the near-interactive band (150-700 ms);
+  // speculation pushes most interactions past the 100 ms threshold.
+  EXPECT_GT(result.mean_request_response_ms, 150.0);
+  EXPECT_LT(result.mean_request_response_ms, 700.0);
+  EXPECT_LT(result.mean_speculative_ms, result.mean_request_response_ms);
+  EXPECT_EQ(result.frac_rr_under_100ms, 0.0);
+  EXPECT_GT(result.frac_speculative_under_100ms, 0.8);
+  EXPECT_GT(result.mean_quality_at_click, 0.7);
+  // Predictor in the paper's reported regime.
+  EXPECT_GT(result.top1_accuracy, 0.72);
+}
+
+TEST(StreamingSimulationTest, DeterministicForFixedSeed) {
+  StreamingSimConfig config;
+  config.num_interactions = 20;
+  StreamingSimResult a = SimulateStreaming(config);
+  StreamingSimResult b = SimulateStreaming(config);
+  EXPECT_DOUBLE_EQ(a.mean_speculative_ms, b.mean_speculative_ms);
+  EXPECT_DOUBLE_EQ(a.top1_accuracy, b.top1_accuracy);
+}
+
+TEST(StreamingSimulationTest, MoreBandwidthImprovesQualityAtClick) {
+  StreamingSimConfig low;
+  low.num_interactions = 60;
+  low.bandwidth_coeffs_per_ms = 0.1;
+  StreamingSimConfig high = low;
+  high.bandwidth_coeffs_per_ms = 2.0;
+  EXPECT_GT(SimulateStreaming(high).mean_quality_at_click,
+            SimulateStreaming(low).mean_quality_at_click);
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,129 @@
+#include "core/dvms.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class TableUdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dvms::Options options;
+    options.auto_render = false;
+    engine_ = std::make_unique<Dvms>(options);
+    ASSERT_TRUE(engine_
+                    ->CreateBaseTable("Sales",
+                                      Schema({{"month", ValueType::kInt64},
+                                              {"region", ValueType::kString},
+                                              {"revenue", ValueType::kDouble}}))
+                    .ok());
+    std::vector<Row> rows = {
+        {Value::Int(1), Value::String("east"), Value::Double(10)},
+        {Value::Int(1), Value::String("west"), Value::Double(20)},
+        {Value::Int(2), Value::String("east"), Value::Double(30)},
+        {Value::Int(2), Value::String("west"), Value::Double(40)},
+        {Value::Int(2), Value::String("north"), Value::Double(5)},
+    };
+    ASSERT_TRUE(engine_->Insert("Sales", rows).ok());
+  }
+
+  std::unique_ptr<Dvms> engine_;
+};
+
+TEST_F(TableUdfTest, LayoutStackComputesCumulativeExtents) {
+  // Stacked bars: one bar per month, segments stacked per region.
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "STACKED = layout_stack(SELECT month, revenue, region "
+                      "FROM Sales ORDER BY month, region);")
+                  .ok());
+  const Table* t = engine_->GetTable("STACKED").value();
+  ASSERT_EQ(t->num_rows(), 5u);
+  ASSERT_EQ(t->schema().num_columns(), 5u);  // month, revenue, region, y0, y1
+  size_t y0 = t->schema().IndexOf("y0").value();
+  size_t y1 = t->schema().IndexOf("y1").value();
+  // Month 1: east [0,10), west [10,30).
+  EXPECT_DOUBLE_EQ(t->row(0)[y0].double_value(), 0);
+  EXPECT_DOUBLE_EQ(t->row(0)[y1].double_value(), 10);
+  EXPECT_DOUBLE_EQ(t->row(1)[y0].double_value(), 10);
+  EXPECT_DOUBLE_EQ(t->row(1)[y1].double_value(), 30);
+  // Month 2 stacks independently: east [0,30), north [30,35), west [35,75).
+  EXPECT_DOUBLE_EQ(t->row(2)[y0].double_value(), 0);
+  EXPECT_DOUBLE_EQ(t->row(3)[y1].double_value(), 35);
+  EXPECT_DOUBLE_EQ(t->row(4)[y1].double_value(), 75);
+}
+
+TEST_F(TableUdfTest, LayoutStackUpdatesWithData) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "STACKED = layout_stack(SELECT month, revenue, region "
+                      "FROM Sales ORDER BY month, region);")
+                  .ok());
+  ASSERT_TRUE(engine_
+                  ->Insert("Sales", {{Value::Int(1), Value::String("south"),
+                                      Value::Double(7)}})
+                  .ok());
+  const Table* t = engine_->GetTable("STACKED").value();
+  EXPECT_EQ(t->num_rows(), 6u);
+}
+
+TEST_F(TableUdfTest, LayoutIndexAppendsRowNumbers) {
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "INDEXED = layout_index(SELECT DISTINCT region "
+                      "FROM Sales ORDER BY region);")
+                  .ok());
+  const Table* t = engine_->GetTable("INDEXED").value();
+  ASSERT_EQ(t->num_rows(), 3u);
+  size_t idx = t->schema().IndexOf("idx").value();
+  EXPECT_EQ(t->row(0)[idx].int_value(), 0);
+  EXPECT_EQ(t->row(2)[idx].int_value(), 2);
+  // Alphabetical: east, north, west.
+  EXPECT_EQ(t->row(0)[0].string_value(), "east");
+}
+
+TEST_F(TableUdfTest, LayoutIndexFeedsBandScale) {
+  // The end-to-end use: derive band positions for a categorical axis
+  // without hand-maintaining a dimension table.
+  const char* program = R"(
+    REGIONS = layout_index(SELECT DISTINCT region FROM Sales ORDER BY region);
+    BARS = SELECT
+        band_scale(r.idx, 3, 0.0, 300.0, 0.2) AS x,
+        100.0 - t.total / 2 AS y,
+        band_width(3, 0.0, 300.0, 0.2) AS width,
+        t.total / 2 AS height
+      FROM REGIONS AS r,
+           (SELECT region, SUM(revenue) AS total FROM Sales GROUP BY region)
+             AS t
+      WHERE r.region = t.region;
+  )";
+  ASSERT_TRUE(engine_->LoadProgram(program).ok());
+  const Table* bars = engine_->GetTable("BARS").value();
+  EXPECT_EQ(bars->num_rows(), 3u);
+}
+
+TEST_F(TableUdfTest, UnknownTableUdfFails) {
+  Status st = engine_->LoadProgram(
+      "V = no_such_layout(SELECT month FROM Sales);");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST_F(TableUdfTest, LayoutStackRequiresTwoColumns) {
+  Status st = engine_->LoadProgram(
+      "V = layout_stack(SELECT month FROM Sales);");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(TableUdfTest, TableUdfViewParticipatesInDataflow) {
+  // Views can read a table-UDF view downstream.
+  ASSERT_TRUE(engine_
+                  ->LoadProgram(
+                      "STACKED = layout_stack(SELECT month, revenue, region "
+                      "FROM Sales ORDER BY month, region);"
+                      "TALL = SELECT region FROM STACKED WHERE y1 > 30;")
+                  .ok());
+  EXPECT_EQ(engine_->GetTable("TALL").value()->num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace dvms

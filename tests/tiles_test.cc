@@ -1,0 +1,83 @@
+#include "streaming/tiles.h"
+#include "workload/tpch.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class TilesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchConfig config;
+    config.num_rows = 3000;
+    fact_ = GenerateTpchSales(config);
+    cube_ = std::make_unique<CrossfilterCube>(
+        CrossfilterCube::Build(fact_, {"month", "year"}, "revenue").value());
+  }
+
+  Table fact_{Schema{}};
+  std::unique_ptr<CrossfilterCube> cube_;
+};
+
+TEST_F(TilesTest, OneTilePerFilterValue) {
+  auto tiles = MakeTilesFromCube(*cube_, "month", "year").value();
+  ASSERT_EQ(tiles.size(), 7u);  // years 1992..1998
+  for (const DataTile& tile : tiles) {
+    EXPECT_EQ(tile.payload.size(), 12u);  // months
+    EXPECT_EQ(tile.id.rfind("year=", 0), 0u);
+  }
+}
+
+TEST_F(TilesTest, TilePayloadsMatchCubeSlices) {
+  auto tiles = MakeTilesFromCube(*cube_, "month", "year").value();
+  ValueSet y97;
+  y97.insert(Value::Int(1997));
+  Table slice = cube_->FilteredGroupSums("month", "year", y97).value();
+  const DataTile* tile97 = nullptr;
+  for (const DataTile& tile : tiles) {
+    if (tile.id == "year=1997") tile97 = &tile;
+  }
+  ASSERT_NE(tile97, nullptr);
+  ASSERT_EQ(slice.num_rows(), tile97->payload.size());
+  for (size_t i = 0; i < slice.num_rows(); ++i) {
+    EXPECT_NEAR(tile97->payload[i], slice.row(i)[1].double_value(), 1e-6);
+  }
+}
+
+TEST_F(TilesTest, TilesSumToGrandTotal) {
+  auto tiles = MakeTilesFromCube(*cube_, "month", "year").value();
+  double tiles_total = 0;
+  for (const DataTile& tile : tiles) {
+    for (double v : tile.payload) tiles_total += v;
+  }
+  size_t rev = fact_.schema().IndexOf("revenue").value();
+  double fact_total = 0;
+  for (const Row& row : fact_.rows()) fact_total += row[rev].double_value();
+  EXPECT_NEAR(tiles_total, fact_total, 1e-4 * fact_total);
+}
+
+TEST_F(TilesTest, RealTilesAreProgressivelyDecodable) {
+  auto tiles = MakeTilesFromCube(*cube_, "month", "year").value();
+  ProgressiveEncoding enc = EncodeTile(tiles[0]);
+  // Real aggregate slices are front-loaded: the first coefficient (the
+  // mean) already carries most of the energy — the property speculation
+  // relies on.
+  std::vector<double> curve = enc.UtilityCurve();
+  EXPECT_GT(curve[1], 0.4);  // (zero-padding to 16 spills some energy)
+  size_t k90 = 0;
+  while (k90 < curve.size() && curve[k90] < 0.9) ++k90;
+  EXPECT_LT(k90, curve.size());  // reaches usable quality before the end
+  // The full prefix reproduces the slice exactly.
+  std::vector<double> full = enc.DecodePrefix(enc.num_coefficients());
+  for (size_t i = 0; i < tiles[0].payload.size(); ++i) {
+    EXPECT_NEAR(full[i], tiles[0].payload[i], 1e-6);
+  }
+}
+
+TEST_F(TilesTest, UnknownDimensionFails) {
+  EXPECT_FALSE(MakeTilesFromCube(*cube_, "nope", "year").ok());
+  EXPECT_FALSE(MakeTilesFromCube(*cube_, "month", "nope").ok());
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,80 @@
+// Mouse trails via `@tnow-j` — the paper's example of within-transaction
+// versioning: a view can read the compound-event table as it was j events
+// ago and render the cursor's recent history.
+
+#include "core/dvms.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+const char* kTrailProgram = R"(
+  C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+      RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+             (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+
+  -- The cursor's current position plus where it was one and two events
+  -- ago: a three-dot trail.
+  TRAIL_NOW  = SELECT x + dx AS cx, y + dy AS cy FROM C
+    ORDER BY t DESC LIMIT 1;
+  TRAIL_PREV = SELECT x + dx AS cx, y + dy AS cy FROM C@tnow-1
+    ORDER BY t DESC LIMIT 1;
+  TRAIL_OLD  = SELECT x + dx AS cx, y + dy AS cy FROM C@tnow-2
+    ORDER BY t DESC LIMIT 1;
+)";
+
+class TrailsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dvms::Options options;
+    options.auto_render = false;
+    engine_ = std::make_unique<Dvms>(options);
+    ASSERT_TRUE(engine_->LoadProgram(kTrailProgram).ok());
+  }
+
+  std::pair<double, double> Point(const char* view) {
+    const Table* t = engine_->GetTable(view).value();
+    if (t->num_rows() == 0) return {-1, -1};
+    return {t->row(0)[0].double_value(), t->row(0)[1].double_value()};
+  }
+
+  std::unique_ptr<Dvms> engine_;
+};
+
+TEST_F(TrailsTest, TnowViewsLagTheCursor) {
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 20, 20)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(2, 30, 30)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(3, 40, 40)).ok());
+
+  // Current position: the last move.
+  EXPECT_EQ(Point("TRAIL_NOW"), std::make_pair(40.0, 40.0));
+  // One event ago the cursor was at (30, 30); two ago at (20, 20).
+  EXPECT_EQ(Point("TRAIL_PREV"), std::make_pair(30.0, 30.0));
+  EXPECT_EQ(Point("TRAIL_OLD"), std::make_pair(20.0, 20.0));
+}
+
+TEST_F(TrailsTest, TrailGrowsStepwiseFromInteractionStart) {
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  // Only the down event so far: tnow-1 is the pre-interaction empty state.
+  EXPECT_EQ(Point("TRAIL_NOW"), std::make_pair(10.0, 10.0));
+  EXPECT_EQ(Point("TRAIL_PREV"), std::make_pair(-1.0, -1.0));
+
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 20, 25)).ok());
+  EXPECT_EQ(Point("TRAIL_NOW"), std::make_pair(20.0, 25.0));
+  EXPECT_EQ(Point("TRAIL_PREV"), std::make_pair(10.0, 10.0));
+}
+
+TEST_F(TrailsTest, CommitClearsStepHistory) {
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(0, 10, 10)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseMove(1, 20, 20)).ok());
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseUp(2, 20, 20)).ok());
+  // After commit there is no open transaction: @tnow-1 falls back to an
+  // error inside the executor, surfacing as a recompute failure on the
+  // *next* change — so the engine must keep working for new interactions.
+  ASSERT_TRUE(engine_->PushEvent(InputEvent::MouseDown(3, 50, 50)).ok());
+  EXPECT_EQ(Point("TRAIL_NOW"), std::make_pair(50.0, 50.0));
+}
+
+}  // namespace
+}  // namespace dvms

@@ -1,0 +1,108 @@
+#include "core/dvms.h"
+#include "expr/udf_registry.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(UdfRegistryTest, DuplicateRegistrationFails) {
+  UdfRegistry reg = UdfRegistry::WithBuiltins();
+  ScalarUdf dup;
+  dup.name = "ABS";  // collides case-insensitively with builtin abs
+  dup.fn = [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Null();
+  };
+  EXPECT_FALSE(reg.RegisterScalar(std::move(dup)).ok());
+
+  TableUdf tdup;
+  tdup.name = "LAYOUT_STACK";
+  EXPECT_FALSE(reg.RegisterTable(std::move(tdup)).ok());
+}
+
+TEST(UdfRegistryTest, LookupIsCaseInsensitive) {
+  UdfRegistry reg = UdfRegistry::WithBuiltins();
+  EXPECT_TRUE(reg.HasScalar("Linear_Scale"));
+  EXPECT_TRUE(reg.FindScalar("IN_RECTANGLE").ok());
+  EXPECT_TRUE(reg.HasTable("Layout_Index"));
+  EXPECT_FALSE(reg.HasScalar("no_such_fn"));
+  EXPECT_FALSE(reg.FindTable("no_such_fn").ok());
+}
+
+TEST(UdfRegistryTest, UserScalarUdfUsableFromDevil) {
+  // Application developers can extend the engine with domain UDFs and use
+  // them in view definitions immediately.
+  Dvms::Options options;
+  options.auto_render = false;
+  Dvms engine(options);
+  ScalarUdf doubler;
+  doubler.name = "twice";
+  doubler.arity = 1;
+  doubler.pure = true;
+  doubler.return_type = ValueType::kDouble;
+  doubler.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    DVMS_ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+    return Value::Double(2 * x);
+  };
+  ASSERT_TRUE(engine.udfs()->RegisterScalar(std::move(doubler)).ok());
+
+  ASSERT_TRUE(
+      engine.CreateBaseTable("T", Schema({{"x", ValueType::kDouble}})).ok());
+  ASSERT_TRUE(engine.Insert("T", {{Value::Double(21)}}).ok());
+  ASSERT_TRUE(engine.LoadProgram("V = SELECT twice(x) AS y FROM T;").ok());
+  EXPECT_DOUBLE_EQ(
+      engine.GetTable("V").value()->row(0)[0].double_value(), 42.0);
+}
+
+TEST(UdfRegistryTest, ImpureScalarUdfRejectedInViews) {
+  // DeVIL restricts scalar UDFs in views to pure functions; the binder
+  // enforces it.
+  Dvms::Options options;
+  options.auto_render = false;
+  Dvms engine(options);
+  ScalarUdf impure;
+  impure.name = "now_ms";
+  impure.arity = 0;
+  impure.pure = false;
+  impure.fn = [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(0);
+  };
+  ASSERT_TRUE(engine.udfs()->RegisterScalar(std::move(impure)).ok());
+  ASSERT_TRUE(
+      engine.CreateBaseTable("T", Schema({{"x", ValueType::kDouble}})).ok());
+  Status st = engine.LoadProgram("V = SELECT now_ms() AS t FROM T;");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("pure"), std::string::npos);
+}
+
+TEST(UdfRegistryTest, UserTableUdfUsableFromDevil) {
+  Dvms::Options options;
+  options.auto_render = false;
+  Dvms engine(options);
+  TableUdf reverse;
+  reverse.name = "reversed";
+  reverse.pure = true;
+  reverse.schema_fn = [](const Schema& in) -> Result<Schema> { return in; };
+  reverse.fn = [](const Table& in,
+                  const std::vector<Value>&) -> Result<Table> {
+    Table out(in.schema());
+    for (size_t i = in.num_rows(); i > 0; --i) {
+      out.AppendUnchecked(in.row(i - 1));
+    }
+    return out;
+  };
+  ASSERT_TRUE(engine.udfs()->RegisterTable(std::move(reverse)).ok());
+  ASSERT_TRUE(
+      engine.CreateBaseTable("T", Schema({{"x", ValueType::kInt64}})).ok());
+  ASSERT_TRUE(
+      engine.Insert("T", {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)}})
+          .ok());
+  ASSERT_TRUE(
+      engine.LoadProgram("V = reversed(SELECT x FROM T ORDER BY x);").ok());
+  const Table* v = engine.GetTable("V").value();
+  ASSERT_EQ(v->num_rows(), 3u);
+  EXPECT_EQ(v->row(0)[0].int_value(), 3);
+  EXPECT_EQ(v->row(2)[0].int_value(), 1);
+}
+
+}  // namespace
+}  // namespace dvms

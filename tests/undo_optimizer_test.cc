@@ -1,0 +1,99 @@
+// Interplay of engine features: undo/redo over optimizer-adopted views,
+// and rendering correctness after history navigation.
+
+#include "core/dvms.h"
+#include "workload/tpch.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+TEST(UndoOptimizerTest, UndoRestoresAdoptedViewContents) {
+  Dvms::Options options;
+  options.auto_render = false;
+  Dvms engine(options);
+  TpchConfig config;
+  config.num_rows = 500;
+  Table fact = GenerateTpchSales(config);
+  ASSERT_TRUE(engine.CreateBaseTable("Sales", fact.schema()).ok());
+  ASSERT_TRUE(engine.Insert("Sales", fact.rows()).ok());
+
+  const char* program = R"(
+    C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t, D.x, D.y);
+    sel_years = SELECT 1992 + 0 * x AS year FROM C;
+    by_region = SELECT region, SUM(revenue) AS revenue FROM Sales
+                WHERE year IN sel_years GROUP BY region;
+  )";
+  ASSERT_TRUE(engine.LoadProgram(program).ok());
+  ASSERT_TRUE(engine.optimizer().IsAdopted("by_region"));
+  EXPECT_EQ(engine.GetTable("by_region").value()->num_rows(), 0u);
+
+  // A click selects 1992; the adopted view fills.
+  ASSERT_TRUE(engine.PushEvent(InputEvent::MouseDown(0, 1, 1)).ok());
+  ASSERT_TRUE(engine.PushEvent(InputEvent::MouseUp(1, 1, 1)).ok());
+  size_t filled = engine.GetTable("by_region").value()->num_rows();
+  EXPECT_GT(filled, 0u);
+
+  // Undo rolls the event table back; the adopted view follows.
+  ASSERT_TRUE(engine.Undo().ok());
+  EXPECT_EQ(engine.GetTable("by_region").value()->num_rows(), 0u);
+  ASSERT_TRUE(engine.Redo().ok());
+  EXPECT_EQ(engine.GetTable("by_region").value()->num_rows(), filled);
+}
+
+TEST(UndoOptimizerTest, RenderReflectsUndo) {
+  Dvms::Options options;
+  options.canvas_width = 60;
+  options.canvas_height = 60;
+  Dvms engine(options);
+  ASSERT_TRUE(engine
+                  .CreateBaseTable("Items", Schema({{"id", ValueType::kInt64},
+                                                    {"v", ValueType::kDouble}}))
+                  .ok());
+  ASSERT_TRUE(engine.Insert("Items", {{Value::Int(1), Value::Double(30)}}).ok());
+  const char* program = R"(
+    C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t, D.x, D.y);
+    DOTS = SELECT 5 AS radius, v AS center_x, v AS center_y,
+        if(COUNT_HITS.n > 0, 'red', 'blue') AS fill
+      FROM Items, COUNT_HITS;
+    COUNT_HITS = SELECT COUNT(*) AS n FROM C;
+    P = render(SELECT radius, center_x, center_y, fill FROM DOTS);
+  )";
+  // COUNT_HITS is defined after DOTS uses it; define in the right order
+  // instead.
+  const char* ordered = R"(
+    C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U RETURN (D.t, D.x, D.y);
+    COUNT_HITS = SELECT COUNT(*) AS n FROM C;
+    DOTS = SELECT 5 AS radius, v AS center_x, v AS center_y,
+        if(COUNT_HITS.n > 0, 'red', 'blue') AS fill
+      FROM Items, COUNT_HITS;
+    P = render(SELECT radius, center_x, center_y, fill FROM DOTS);
+  )";
+  // Forward references are a bind error (statements execute in order).
+  {
+    Dvms scratch(options);
+    ASSERT_TRUE(scratch
+                    .CreateBaseTable("Items",
+                                     Schema({{"id", ValueType::kInt64},
+                                             {"v", ValueType::kDouble}}))
+                    .ok());
+    EXPECT_FALSE(scratch.LoadProgram(program).ok());
+  }
+  ASSERT_TRUE(engine.LoadProgram(ordered).ok());
+
+  RGBA blue = ParseColor("blue").value();
+  RGBA red = ParseColor("red").value();
+  EXPECT_EQ(engine.pixels().At(30, 30), blue);
+
+  ASSERT_TRUE(engine.PushEvent(InputEvent::MouseDown(0, 1, 1)).ok());
+  ASSERT_TRUE(engine.PushEvent(InputEvent::MouseUp(1, 1, 1)).ok());
+  EXPECT_EQ(engine.pixels().At(30, 30), red);
+
+  ASSERT_TRUE(engine.Undo().ok());
+  EXPECT_EQ(engine.pixels().At(30, 30), blue);
+  ASSERT_TRUE(engine.Redo().ok());
+  EXPECT_EQ(engine.pixels().At(30, 30), red);
+}
+
+}  // namespace
+}  // namespace dvms

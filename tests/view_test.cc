@@ -1,0 +1,222 @@
+#include "query/maintenance.h"
+#include "query/view.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    udfs_ = UdfRegistry::WithBuiltins();
+    maintainer_ = std::make_unique<ViewMaintainer>(&catalog_, &udfs_);
+    auto sales = catalog_
+                     .CreateTable("Sales",
+                                  Schema({{"productId", ValueType::kInt64},
+                                          {"revenue", ValueType::kDouble}}),
+                                  RelationKind::kBase)
+                     .value();
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(
+          sales->Append({Value::Int(i), Value::Double(i * 100.0)}).ok());
+    }
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  std::unique_ptr<ViewMaintainer> maintainer_;
+};
+
+TEST_F(ViewTest, DefineAndRecompute) {
+  auto plan = MakeFilter(MakeScan("Sales"),
+                         MakeBinary(BinaryOp::kGt, MakeColumnRef("revenue"),
+                                    MakeLiteral(Value::Double(250))));
+  ASSERT_TRUE(maintainer_->DefineView("big", plan).ok());
+  ASSERT_TRUE(maintainer_->RecomputeAll().ok());
+  auto big = catalog_.Get("big").value();
+  EXPECT_EQ(big->current().num_rows(), 3u);
+}
+
+TEST_F(ViewTest, ChainedViewsRecomputeInOrder) {
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("big",
+                               MakeFilter(MakeScan("Sales"),
+                                          MakeBinary(BinaryOp::kGt,
+                                                     MakeColumnRef("revenue"),
+                                                     MakeLiteral(Value::Double(
+                                                         250)))))
+                  .ok());
+  ASSERT_TRUE(
+      maintainer_
+          ->DefineView("big_ids", MakeProject(MakeScan("big"),
+                                              {MakeColumnRef("productId")},
+                                              {"productId"}))
+          .ok());
+  ASSERT_TRUE(maintainer_->RecomputeAll().ok());
+  EXPECT_EQ(catalog_.Get("big_ids").value()->current().num_rows(), 3u);
+
+  // Appending a base row and notifying propagates through the chain.
+  ASSERT_TRUE(catalog_.Get("Sales")
+                  .value()
+                  ->Append({Value::Int(6), Value::Double(600)})
+                  .ok());
+  ASSERT_TRUE(maintainer_->OnChanged({"Sales"}).ok());
+  EXPECT_EQ(catalog_.Get("big_ids").value()->current().num_rows(), 4u);
+}
+
+TEST_F(ViewTest, OnChangedSkipsUnaffectedViews) {
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("v1", MakeProject(MakeScan("Sales"),
+                                                 {MakeColumnRef("productId")},
+                                                 {"p"}))
+                  .ok());
+  auto other = catalog_
+                   .CreateTable("Other", Schema({{"x", ValueType::kInt64}}),
+                                RelationKind::kBase)
+                   .value();
+  ASSERT_TRUE(other->Append({Value::Int(1)}).ok());
+  ASSERT_TRUE(
+      maintainer_
+          ->DefineView("v2", MakeProject(MakeScan("Other"),
+                                         {MakeColumnRef("x")}, {"x"}))
+          .ok());
+  ASSERT_TRUE(maintainer_->RecomputeAll().ok());
+  size_t before = maintainer_->recompute_count();
+  ASSERT_TRUE(maintainer_->OnChanged({"Other"}).ok());
+  EXPECT_EQ(maintainer_->recompute_count(), before + 1);  // only v2
+}
+
+TEST_F(ViewTest, RecursionThroughCurrentVersionRejected) {
+  // selected reads marks (current), marks reads selected (current): cycle.
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("marks", MakeProject(MakeScan("Sales"),
+                                                    {MakeColumnRef("productId")},
+                                                    {"productId"}))
+                  .ok());
+  ASSERT_TRUE(
+      maintainer_
+          ->DefineView("selected",
+                       MakeProject(MakeScan("marks"),
+                                   {MakeColumnRef("productId")}, {"productId"}))
+          .ok());
+  // Redefine marks to read selected at the current version: recursive.
+  auto recursive = MakeProject(
+      MakeFilter(MakeScan("Sales"),
+                 MakeInRelation(MakeColumnRef("productId"), "selected", false)),
+      {MakeColumnRef("productId")}, {"productId"});
+  Status s = maintainer_->DefineView("marks", recursive);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("recursive"), std::string::npos);
+}
+
+TEST_F(ViewTest, RecursionBrokenByVersionedReference) {
+  // The DeVIL 3 pattern: selected reads marks@vnow-1, marks reads selected.
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("marks", MakeProject(MakeScan("Sales"),
+                                                    {MakeColumnRef("productId")},
+                                                    {"productId"}))
+                  .ok());
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("selected",
+                               MakeProject(MakeScan("marks", VersionRef::Vnow(1)),
+                                           {MakeColumnRef("productId")},
+                                           {"productId"}))
+                  .ok());
+  auto redefined = MakeProject(
+      MakeFilter(MakeScan("Sales"),
+                 MakeInRelation(MakeColumnRef("productId"), "selected", false)),
+      {MakeColumnRef("productId")}, {"productId"});
+  EXPECT_TRUE(maintainer_->DefineView("marks", redefined).ok());
+  EXPECT_TRUE(maintainer_->RecomputeAll().ok());
+}
+
+TEST_F(ViewTest, RedefinitionMustKeepCompatibleSchema) {
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("v", MakeProject(MakeScan("Sales"),
+                                                {MakeColumnRef("productId")},
+                                                {"p"}))
+                  .ok());
+  // Redefining with a string column where an int was: incompatible.
+  Status s = maintainer_->DefineView(
+      "v", MakeProject(MakeScan("Sales"),
+                       {MakeLiteral(Value::String("x"))}, {"p"}));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(ViewTest, CannotRedefineBaseRelationAsView) {
+  Status s = maintainer_->DefineView(
+      "Sales",
+      MakeProject(MakeScan("Sales"), {MakeColumnRef("productId")}, {"p"}));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(ViewTest, TopoOrderPutsDependenciesFirst) {
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("a", MakeProject(MakeScan("Sales"),
+                                                {MakeColumnRef("productId")},
+                                                {"p"}))
+                  .ok());
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("b", MakeProject(MakeScan("a"),
+                                                {MakeColumnRef("p")}, {"p"}))
+                  .ok());
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("c", MakeProject(MakeScan("b"),
+                                                {MakeColumnRef("p")}, {"p"}))
+                  .ok());
+  auto order = maintainer_->registry().TopoOrder().value();
+  auto pos = [&order](const std::string& n) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (IdentEquals(order[i], n)) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos("a"), pos("b"));
+  EXPECT_LT(pos("b"), pos("c"));
+}
+
+TEST_F(ViewTest, LineageCaptureAndCommittedSnapshot) {
+  maintainer_->set_capture_lineage(true);
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("big",
+                               MakeFilter(MakeScan("Sales"),
+                                          MakeBinary(BinaryOp::kGt,
+                                                     MakeColumnRef("revenue"),
+                                                     MakeLiteral(Value::Double(
+                                                         250)))))
+                  .ok());
+  ASSERT_TRUE(maintainer_->RecomputeAll().ok());
+  const NodeResult* r = maintainer_->LastResult("big").value();
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->has_lineage);
+  EXPECT_EQ(r->table.num_rows(), 3u);
+  // Filter lineage points at scan rows 2,3,4.
+  EXPECT_EQ(r->lineage[0][0].row, 2u);
+
+  maintainer_->SnapshotCommitted();
+  EXPECT_TRUE(maintainer_->CommittedResult("big").ok());
+  EXPECT_FALSE(maintainer_->CommittedResult("nope").ok());
+}
+
+TEST_F(ViewTest, ViewOnViewUsingInRelation) {
+  ASSERT_TRUE(maintainer_
+                  ->DefineView("selected",
+                               MakeProject(
+                                   MakeFilter(MakeScan("Sales"),
+                                              MakeBinary(
+                                                  BinaryOp::kGe,
+                                                  MakeColumnRef("revenue"),
+                                                  MakeLiteral(Value::Double(400)))),
+                                   {MakeColumnRef("productId")}, {"productId"}))
+                  .ok());
+  auto plan = MakeFilter(
+      MakeScan("Sales"),
+      MakeInRelation(MakeColumnRef("productId"), "selected", true));
+  ASSERT_TRUE(maintainer_->DefineView("unselected", plan).ok());
+  ASSERT_TRUE(maintainer_->RecomputeAll().ok());
+  EXPECT_EQ(catalog_.Get("selected").value()->current().num_rows(), 2u);
+  EXPECT_EQ(catalog_.Get("unselected").value()->current().num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace dvms
