@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ivm"
+  "../bench/bench_ablation_ivm.pdb"
+  "CMakeFiles/bench_ablation_ivm.dir/bench_ablation_ivm.cpp.o"
+  "CMakeFiles/bench_ablation_ivm.dir/bench_ablation_ivm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

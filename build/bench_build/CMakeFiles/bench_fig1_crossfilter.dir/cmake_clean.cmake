@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_crossfilter"
+  "../bench/bench_fig1_crossfilter.pdb"
+  "CMakeFiles/bench_fig1_crossfilter.dir/bench_fig1_crossfilter.cpp.o"
+  "CMakeFiles/bench_fig1_crossfilter.dir/bench_fig1_crossfilter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_crossfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

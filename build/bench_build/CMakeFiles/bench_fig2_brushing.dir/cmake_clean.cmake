@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_brushing"
+  "../bench/bench_fig2_brushing.pdb"
+  "CMakeFiles/bench_fig2_brushing.dir/bench_fig2_brushing.cpp.o"
+  "CMakeFiles/bench_fig2_brushing.dir/bench_fig2_brushing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_brushing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_concurrency"
+  "../bench/bench_fig5_concurrency.pdb"
+  "CMakeFiles/bench_fig5_concurrency.dir/bench_fig5_concurrency.cpp.o"
+  "CMakeFiles/bench_fig5_concurrency.dir/bench_fig5_concurrency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_interfaces"
+  "../bench/bench_fig7_interfaces.pdb"
+  "CMakeFiles/bench_fig7_interfaces.dir/bench_fig7_interfaces.cpp.o"
+  "CMakeFiles/bench_fig7_interfaces.dir/bench_fig7_interfaces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec31_provenance"
+  "../bench/bench_sec31_provenance.pdb"
+  "CMakeFiles/bench_sec31_provenance.dir/bench_sec31_provenance.cpp.o"
+  "CMakeFiles/bench_sec31_provenance.dir/bench_sec31_provenance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

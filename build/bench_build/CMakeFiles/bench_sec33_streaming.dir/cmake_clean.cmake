@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec33_streaming"
+  "../bench/bench_sec33_streaming.pdb"
+  "CMakeFiles/bench_sec33_streaming.dir/bench_sec33_streaming.cpp.o"
+  "CMakeFiles/bench_sec33_streaming.dir/bench_sec33_streaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_events"
+  "../bench/bench_table1_events.pdb"
+  "CMakeFiles/bench_table1_events.dir/bench_table1_events.cpp.o"
+  "CMakeFiles/bench_table1_events.dir/bench_table1_events.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_crossfilter"
+  "../examples/example_crossfilter.pdb"
+  "CMakeFiles/example_crossfilter.dir/crossfilter.cpp.o"
+  "CMakeFiles/example_crossfilter.dir/crossfilter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crossfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

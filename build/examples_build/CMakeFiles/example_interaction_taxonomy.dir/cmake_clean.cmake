@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_interaction_taxonomy"
+  "../examples/example_interaction_taxonomy.pdb"
+  "CMakeFiles/example_interaction_taxonomy.dir/interaction_taxonomy.cpp.o"
+  "CMakeFiles/example_interaction_taxonomy.dir/interaction_taxonomy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interaction_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

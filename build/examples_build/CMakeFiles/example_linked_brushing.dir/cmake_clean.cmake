@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_linked_brushing"
+  "../examples/example_linked_brushing.pdb"
+  "CMakeFiles/example_linked_brushing.dir/linked_brushing.cpp.o"
+  "CMakeFiles/example_linked_brushing.dir/linked_brushing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_linked_brushing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

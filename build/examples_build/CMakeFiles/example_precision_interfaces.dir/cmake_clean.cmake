@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_precision_interfaces"
+  "../examples/example_precision_interfaces.pdb"
+  "CMakeFiles/example_precision_interfaces.dir/precision_interfaces.cpp.o"
+  "CMakeFiles/example_precision_interfaces.dir/precision_interfaces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_precision_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_speculative_streaming"
+  "../examples/example_speculative_streaming.pdb"
+  "CMakeFiles/example_speculative_streaming.dir/speculative_streaming.cpp.o"
+  "CMakeFiles/example_speculative_streaming.dir/speculative_streaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speculative_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/dvms.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/dvms.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/dvms.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/dvms.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dvms.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dvms.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dvms.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dvms.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/dvms.dir/common/value.cc.o" "gcc" "src/CMakeFiles/dvms.dir/common/value.cc.o.d"
+  "/root/repo/src/concurrency/policy.cc" "src/CMakeFiles/dvms.dir/concurrency/policy.cc.o" "gcc" "src/CMakeFiles/dvms.dir/concurrency/policy.cc.o.d"
+  "/root/repo/src/concurrency/small_multiples.cc" "src/CMakeFiles/dvms.dir/concurrency/small_multiples.cc.o" "gcc" "src/CMakeFiles/dvms.dir/concurrency/small_multiples.cc.o.d"
+  "/root/repo/src/concurrency/study.cc" "src/CMakeFiles/dvms.dir/concurrency/study.cc.o" "gcc" "src/CMakeFiles/dvms.dir/concurrency/study.cc.o.d"
+  "/root/repo/src/core/dvms.cc" "src/CMakeFiles/dvms.dir/core/dvms.cc.o" "gcc" "src/CMakeFiles/dvms.dir/core/dvms.cc.o.d"
+  "/root/repo/src/events/event.cc" "src/CMakeFiles/dvms.dir/events/event.cc.o" "gcc" "src/CMakeFiles/dvms.dir/events/event.cc.o.d"
+  "/root/repo/src/events/interaction.cc" "src/CMakeFiles/dvms.dir/events/interaction.cc.o" "gcc" "src/CMakeFiles/dvms.dir/events/interaction.cc.o.d"
+  "/root/repo/src/events/nfa.cc" "src/CMakeFiles/dvms.dir/events/nfa.cc.o" "gcc" "src/CMakeFiles/dvms.dir/events/nfa.cc.o.d"
+  "/root/repo/src/events/pattern.cc" "src/CMakeFiles/dvms.dir/events/pattern.cc.o" "gcc" "src/CMakeFiles/dvms.dir/events/pattern.cc.o.d"
+  "/root/repo/src/events/recognizer.cc" "src/CMakeFiles/dvms.dir/events/recognizer.cc.o" "gcc" "src/CMakeFiles/dvms.dir/events/recognizer.cc.o.d"
+  "/root/repo/src/expr/builtin_udfs.cc" "src/CMakeFiles/dvms.dir/expr/builtin_udfs.cc.o" "gcc" "src/CMakeFiles/dvms.dir/expr/builtin_udfs.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/dvms.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/dvms.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/dvms.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/dvms.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/udf_registry.cc" "src/CMakeFiles/dvms.dir/expr/udf_registry.cc.o" "gcc" "src/CMakeFiles/dvms.dir/expr/udf_registry.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/dvms.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/dvms.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/dvms.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/dvms.dir/parser/parser.cc.o.d"
+  "/root/repo/src/parser/planner.cc" "src/CMakeFiles/dvms.dir/parser/planner.cc.o" "gcc" "src/CMakeFiles/dvms.dir/parser/planner.cc.o.d"
+  "/root/repo/src/precision/interface_synth.cc" "src/CMakeFiles/dvms.dir/precision/interface_synth.cc.o" "gcc" "src/CMakeFiles/dvms.dir/precision/interface_synth.cc.o.d"
+  "/root/repo/src/precision/rules.cc" "src/CMakeFiles/dvms.dir/precision/rules.cc.o" "gcc" "src/CMakeFiles/dvms.dir/precision/rules.cc.o.d"
+  "/root/repo/src/precision/script_ast.cc" "src/CMakeFiles/dvms.dir/precision/script_ast.cc.o" "gcc" "src/CMakeFiles/dvms.dir/precision/script_ast.cc.o.d"
+  "/root/repo/src/precision/sql_ast.cc" "src/CMakeFiles/dvms.dir/precision/sql_ast.cc.o" "gcc" "src/CMakeFiles/dvms.dir/precision/sql_ast.cc.o.d"
+  "/root/repo/src/precision/transform_graph.cc" "src/CMakeFiles/dvms.dir/precision/transform_graph.cc.o" "gcc" "src/CMakeFiles/dvms.dir/precision/transform_graph.cc.o.d"
+  "/root/repo/src/provenance/trace.cc" "src/CMakeFiles/dvms.dir/provenance/trace.cc.o" "gcc" "src/CMakeFiles/dvms.dir/provenance/trace.cc.o.d"
+  "/root/repo/src/query/binder.cc" "src/CMakeFiles/dvms.dir/query/binder.cc.o" "gcc" "src/CMakeFiles/dvms.dir/query/binder.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/dvms.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/dvms.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/ivm.cc" "src/CMakeFiles/dvms.dir/query/ivm.cc.o" "gcc" "src/CMakeFiles/dvms.dir/query/ivm.cc.o.d"
+  "/root/repo/src/query/maintenance.cc" "src/CMakeFiles/dvms.dir/query/maintenance.cc.o" "gcc" "src/CMakeFiles/dvms.dir/query/maintenance.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/dvms.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/dvms.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/CMakeFiles/dvms.dir/query/plan.cc.o" "gcc" "src/CMakeFiles/dvms.dir/query/plan.cc.o.d"
+  "/root/repo/src/query/view.cc" "src/CMakeFiles/dvms.dir/query/view.cc.o" "gcc" "src/CMakeFiles/dvms.dir/query/view.cc.o.d"
+  "/root/repo/src/render/axis.cc" "src/CMakeFiles/dvms.dir/render/axis.cc.o" "gcc" "src/CMakeFiles/dvms.dir/render/axis.cc.o.d"
+  "/root/repo/src/render/pixels.cc" "src/CMakeFiles/dvms.dir/render/pixels.cc.o" "gcc" "src/CMakeFiles/dvms.dir/render/pixels.cc.o.d"
+  "/root/repo/src/render/rasterizer.cc" "src/CMakeFiles/dvms.dir/render/rasterizer.cc.o" "gcc" "src/CMakeFiles/dvms.dir/render/rasterizer.cc.o.d"
+  "/root/repo/src/render/scale.cc" "src/CMakeFiles/dvms.dir/render/scale.cc.o" "gcc" "src/CMakeFiles/dvms.dir/render/scale.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/dvms.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/dvms.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/dvms.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/dvms.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/versioned_table.cc" "src/CMakeFiles/dvms.dir/storage/versioned_table.cc.o" "gcc" "src/CMakeFiles/dvms.dir/storage/versioned_table.cc.o.d"
+  "/root/repo/src/streaming/intent_model.cc" "src/CMakeFiles/dvms.dir/streaming/intent_model.cc.o" "gcc" "src/CMakeFiles/dvms.dir/streaming/intent_model.cc.o.d"
+  "/root/repo/src/streaming/scheduler.cc" "src/CMakeFiles/dvms.dir/streaming/scheduler.cc.o" "gcc" "src/CMakeFiles/dvms.dir/streaming/scheduler.cc.o.d"
+  "/root/repo/src/streaming/simulation.cc" "src/CMakeFiles/dvms.dir/streaming/simulation.cc.o" "gcc" "src/CMakeFiles/dvms.dir/streaming/simulation.cc.o.d"
+  "/root/repo/src/streaming/tiles.cc" "src/CMakeFiles/dvms.dir/streaming/tiles.cc.o" "gcc" "src/CMakeFiles/dvms.dir/streaming/tiles.cc.o.d"
+  "/root/repo/src/streaming/wavelet.cc" "src/CMakeFiles/dvms.dir/streaming/wavelet.cc.o" "gcc" "src/CMakeFiles/dvms.dir/streaming/wavelet.cc.o.d"
+  "/root/repo/src/workload/mouse.cc" "src/CMakeFiles/dvms.dir/workload/mouse.cc.o" "gcc" "src/CMakeFiles/dvms.dir/workload/mouse.cc.o.d"
+  "/root/repo/src/workload/sdss.cc" "src/CMakeFiles/dvms.dir/workload/sdss.cc.o" "gcc" "src/CMakeFiles/dvms.dir/workload/sdss.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/dvms.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/dvms.dir/workload/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dvms.
+# This may be replaced when dependencies are built.

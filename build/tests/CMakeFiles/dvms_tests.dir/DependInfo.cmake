@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/axis_test.cc" "tests/CMakeFiles/dvms_tests.dir/axis_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/axis_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dvms_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/composition_test.cc" "tests/CMakeFiles/dvms_tests.dir/composition_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/composition_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/dvms_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/concurrency_test.cc.o.d"
+  "/root/repo/tests/crossfilter_program_test.cc" "tests/CMakeFiles/dvms_tests.dir/crossfilter_program_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/crossfilter_program_test.cc.o.d"
+  "/root/repo/tests/dvms_test.cc" "tests/CMakeFiles/dvms_tests.dir/dvms_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/dvms_test.cc.o.d"
+  "/root/repo/tests/engine_features_test.cc" "tests/CMakeFiles/dvms_tests.dir/engine_features_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/engine_features_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/dvms_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/events_test.cc" "tests/CMakeFiles/dvms_tests.dir/events_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/events_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/dvms_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/ivm_test.cc" "tests/CMakeFiles/dvms_tests.dir/ivm_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/ivm_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/dvms_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/parser_fuzz_test.cc" "tests/CMakeFiles/dvms_tests.dir/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/dvms_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/dvms_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/precision_test.cc" "tests/CMakeFiles/dvms_tests.dir/precision_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/precision_test.cc.o.d"
+  "/root/repo/tests/priority_test.cc" "tests/CMakeFiles/dvms_tests.dir/priority_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/priority_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/dvms_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/provenance_test.cc" "tests/CMakeFiles/dvms_tests.dir/provenance_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/provenance_test.cc.o.d"
+  "/root/repo/tests/render_order_test.cc" "tests/CMakeFiles/dvms_tests.dir/render_order_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/render_order_test.cc.o.d"
+  "/root/repo/tests/render_test.cc" "tests/CMakeFiles/dvms_tests.dir/render_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/render_test.cc.o.d"
+  "/root/repo/tests/script_ast_test.cc" "tests/CMakeFiles/dvms_tests.dir/script_ast_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/script_ast_test.cc.o.d"
+  "/root/repo/tests/small_multiples_test.cc" "tests/CMakeFiles/dvms_tests.dir/small_multiples_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/small_multiples_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/dvms_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/streaming_test.cc" "tests/CMakeFiles/dvms_tests.dir/streaming_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/streaming_test.cc.o.d"
+  "/root/repo/tests/table_udf_test.cc" "tests/CMakeFiles/dvms_tests.dir/table_udf_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/table_udf_test.cc.o.d"
+  "/root/repo/tests/tiles_test.cc" "tests/CMakeFiles/dvms_tests.dir/tiles_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/tiles_test.cc.o.d"
+  "/root/repo/tests/trails_test.cc" "tests/CMakeFiles/dvms_tests.dir/trails_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/trails_test.cc.o.d"
+  "/root/repo/tests/udf_registry_test.cc" "tests/CMakeFiles/dvms_tests.dir/udf_registry_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/udf_registry_test.cc.o.d"
+  "/root/repo/tests/undo_optimizer_test.cc" "tests/CMakeFiles/dvms_tests.dir/undo_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/undo_optimizer_test.cc.o.d"
+  "/root/repo/tests/view_test.cc" "tests/CMakeFiles/dvms_tests.dir/view_test.cc.o" "gcc" "tests/CMakeFiles/dvms_tests.dir/view_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
