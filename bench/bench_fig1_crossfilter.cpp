@@ -11,10 +11,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "benchmark/benchmark.h"
+#include "common/thread_pool.h"
 #include "expr/eval.h"
+#include "parser/parser.h"
+#include "parser/planner.h"
+#include "query/binder.h"
+#include "query/executor.h"
 #include "query/ivm.h"
+#include "storage/catalog.h"
 #include "workload/tpch.h"
 
 namespace {
@@ -130,6 +138,98 @@ void PrintFigure1() {
   std::printf("\n");
 }
 
+/// Appends one JSON object line to the file named by DVMS_BENCH_JSON (if
+/// set); ci.sh collects these lines into BENCH_parallel.json.
+void AppendBenchJson(const char* bench, double serial_ms, double parallel_ms,
+                     bool identical) {
+  const char* path = std::getenv("DVMS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"threads\": 4, \"serial_ms\": %.4f, "
+               "\"parallel_ms\": %.4f, \"speedup\": %.2f, "
+               "\"identical\": %s}\n",
+               bench, serial_ms, parallel_ms, serial_ms / parallel_ms,
+               identical ? "true" : "false");
+  std::fclose(f);
+}
+
+/// Morsel-driven executor, serial vs 4 threads, over the Figure 1 charts
+/// expressed as SQL. Results must be bit-identical (see ExecOptions).
+void PrintParallelComparison() {
+  std::printf("=== Morsel-parallel executor: serial vs 4 threads ===\n\n");
+  TpchConfig config;
+  config.num_rows = 50000;
+  Table fact = GenerateTpchSales(config);
+  Catalog catalog;
+  UdfRegistry udfs = UdfRegistry::WithBuiltins();
+  VersionedTable* table =
+      catalog.CreateTable("Sales", fact.schema(), RelationKind::kBase).value();
+  (void)table->SetCurrent(Table(fact));
+
+  const char* queries[] = {
+      "SELECT region, SUM(revenue) AS revenue FROM Sales "
+      "WHERE year >= 1997 AND year <= 1998 GROUP BY region",
+      "SELECT month, SUM(revenue) AS revenue FROM Sales "
+      "WHERE year >= 1997 AND year <= 1998 GROUP BY month",
+      "SELECT dow, SUM(revenue) AS revenue FROM Sales "
+      "WHERE year >= 1997 AND year <= 1998 GROUP BY dow",
+      "SELECT region, revenue FROM Sales ORDER BY revenue DESC",
+  };
+  std::vector<PlanPtr> plans;
+  for (const char* sql : queries) {
+    SelectStmt stmt = ParseSelect(sql).value();
+    CatalogSchemaResolver resolver(&catalog);
+    Planner planner(&resolver);
+    PlanPtr plan = planner.PlanSelect(stmt).value();
+    Binder binder(&resolver, &udfs);
+    (void)binder.Bind(plan.get());
+    plans.push_back(std::move(plan));
+  }
+
+  ThreadPool pool(4);
+  Executor exec(&catalog, &udfs);
+  auto run_all = [&](size_t threads) {
+    std::vector<Table> out;
+    for (const PlanPtr& plan : plans) {
+      ExecOptions opts;
+      opts.num_threads = threads;
+      opts.pool = &pool;
+      out.push_back(
+          std::move(exec.Execute(*plan, opts).value()->table));
+    }
+    return out;
+  };
+
+  constexpr int kReps = 10;
+  std::vector<Table> serial_out = run_all(1);
+  Clock::time_point t0 = Clock::now();
+  for (int r = 0; r < kReps; ++r) benchmark::DoNotOptimize(run_all(1));
+  double serial_ms = MsSince(t0) / kReps;
+  std::vector<Table> parallel_out = run_all(4);
+  t0 = Clock::now();
+  for (int r = 0; r < kReps; ++r) benchmark::DoNotOptimize(run_all(4));
+  double parallel_ms = MsSince(t0) / kReps;
+
+  bool identical = serial_out.size() == parallel_out.size();
+  for (size_t q = 0; identical && q < serial_out.size(); ++q) {
+    identical = serial_out[q].num_rows() == parallel_out[q].num_rows();
+    for (size_t i = 0; identical && i < serial_out[q].num_rows(); ++i) {
+      for (size_t c = 0; identical && c < serial_out[q].row(i).size(); ++c) {
+        identical = serial_out[q].row(i)[c].Equals(parallel_out[q].row(i)[c]);
+      }
+    }
+  }
+  std::printf("4 chart queries over %zu rows: serial %.2f ms, "
+              "4 threads %.2f ms (%.2fx, %zu hw cores), results %s\n\n",
+              fact.num_rows(), serial_ms, parallel_ms,
+              serial_ms / parallel_ms, ThreadPool::DefaultThreadCount(),
+              identical ? "identical" : "MISMATCH");
+  AppendBenchJson("fig1_crossfilter_queries", serial_ms, parallel_ms,
+                  identical);
+}
+
 void BM_CrossfilterCubeQuery(benchmark::State& state) {
   TpchConfig config;
   config.num_rows = static_cast<size_t>(state.range(0));
@@ -166,6 +266,7 @@ BENCHMARK(BM_CrossfilterFullScan)->Arg(10000)->Arg(100000);
 
 int main(int argc, char** argv) {
   PrintFigure1();
+  PrintParallelComparison();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

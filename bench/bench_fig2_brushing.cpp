@@ -4,9 +4,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "benchmark/benchmark.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/dvms.h"
 
 namespace {
@@ -42,11 +44,13 @@ const char* kProgram = R"(
   P = render(SELECT * FROM SPLOT_POINTS);
 )";
 
-std::unique_ptr<Dvms> MakeEngine(size_t points, bool auto_render) {
+std::unique_ptr<Dvms> MakeEngine(size_t points, bool auto_render,
+                                 size_t num_threads = 0) {
   Dvms::Options options;
   options.canvas_width = 400;
   options.canvas_height = 400;
   options.auto_render = auto_render;
+  options.num_threads = num_threads;
   auto engine = std::make_unique<Dvms>(options);
   (void)engine->CreateBaseTable("Sales",
                                 Schema({{"productId", ValueType::kInt64},
@@ -115,6 +119,62 @@ void PrintFigure2() {
   std::printf("\n");
 }
 
+/// Appends one JSON object line to the file named by DVMS_BENCH_JSON (if
+/// set); ci.sh collects these lines into BENCH_parallel.json.
+void AppendBenchJson(const char* bench, double serial_ms, double parallel_ms,
+                     bool identical) {
+  const char* path = std::getenv("DVMS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"threads\": 4, \"serial_ms\": %.4f, "
+               "\"parallel_ms\": %.4f, \"speedup\": %.2f, "
+               "\"identical\": %s}\n",
+               bench, serial_ms, parallel_ms, serial_ms / parallel_ms,
+               identical ? "true" : "false");
+  std::fclose(f);
+}
+
+/// The same 20-move drag through two engines: fully serial vs a dedicated
+/// 4-thread pool (morsel-parallel maintenance + band-parallel render).
+/// Final pixels must match bit for bit.
+void PrintParallelComparison() {
+  std::printf("=== Engine parallelism: serial vs 4 threads ===\n\n");
+  constexpr size_t kPoints = 20000;
+  auto drive = [](Dvms* engine) {
+    Clock::time_point t0 = Clock::now();
+    (void)engine->PushEvent(InputEvent::MouseDown(0, 10, 10));
+    for (int m = 1; m <= 20; ++m) {
+      (void)engine->PushEvent(
+          InputEvent::MouseMove(m, 10.0 + m * 15, 10.0 + m * 15));
+    }
+    (void)engine->PushEvent(InputEvent::MouseUp(21, 310, 310));
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+               .count() /
+           22.0;
+  };
+  auto serial = MakeEngine(kPoints, /*auto_render=*/true, /*num_threads=*/1);
+  auto parallel = MakeEngine(kPoints, /*auto_render=*/true, /*num_threads=*/4);
+  double serial_ms = drive(serial.get());
+  double parallel_ms = drive(parallel.get());
+  bool identical = true;
+  const PixelBuffer& a = serial->pixels();
+  const PixelBuffer& b = parallel->pixels();
+  for (size_t y = 0; identical && y < a.height(); ++y) {
+    for (size_t x = 0; identical && x < a.width(); ++x) {
+      identical = a.At(static_cast<int64_t>(x), static_cast<int64_t>(y)) ==
+                  b.At(static_cast<int64_t>(x), static_cast<int64_t>(y));
+    }
+  }
+  std::printf("per-event latency, %zu points: serial %.2f ms, 4 threads "
+              "%.2f ms (%.2fx, %zu hw cores), pixels %s\n\n",
+              kPoints, serial_ms, parallel_ms, serial_ms / parallel_ms,
+              ThreadPool::DefaultThreadCount(),
+              identical ? "identical" : "MISMATCH");
+  AppendBenchJson("fig2_brushing_drag", serial_ms, parallel_ms, identical);
+}
+
 void BM_BrushMoveEvent(benchmark::State& state) {
   auto engine = MakeEngine(static_cast<size_t>(state.range(0)),
                            /*auto_render=*/false);
@@ -133,6 +193,7 @@ BENCHMARK(BM_BrushMoveEvent)->Arg(1000)->Arg(10000);
 
 int main(int argc, char** argv) {
   PrintFigure2();
+  PrintParallelComparison();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

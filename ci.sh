@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 CI: Release build + full test suite, the serial-vs-parallel
+# benchmark comparison (emitted as BENCH_parallel.json), then a
+# ThreadSanitizer build re-running every test with 4 morsel workers.
+set -euo pipefail
+cd "$(dirname "$0")"
+JOBS="${JOBS:-$(nproc)}"
+
+# Leg 1: Release build + tests.
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+# Serial vs 4-thread latency on the Figure 1 / Figure 2 workloads. Each
+# bench appends JSON object lines; wrap them into one JSON array.
+# --benchmark_filter=__none__ skips the google-benchmark loops — the
+# comparison sections run unconditionally before them.
+BENCH_LINES="$PWD/build/bench_lines.jsonl"
+rm -f "$BENCH_LINES"
+DVMS_BENCH_JSON="$BENCH_LINES" ./build/bench/bench_fig1_crossfilter \
+  --benchmark_filter=__none__
+DVMS_BENCH_JSON="$BENCH_LINES" ./build/bench/bench_fig2_brushing \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$BENCH_LINES"
+  printf ']\n'
+} > BENCH_parallel.json
+echo "wrote BENCH_parallel.json:"
+cat BENCH_parallel.json
+
+# Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
+# parallelism through every test regardless of host core count.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDVMS_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS"
+(cd build-tsan && DVMS_THREADS=4 ctest --output-on-failure -j "$JOBS")
+
+echo "ci.sh: all legs passed"

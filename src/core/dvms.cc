@@ -7,6 +7,9 @@ namespace dvms {
 
 Dvms::Dvms(Options options)
     : options_(options),
+      owned_pool_(options.num_threads > 0
+                      ? std::make_unique<ThreadPool>(options.num_threads)
+                      : nullptr),
       udfs_(UdfRegistry::WithBuiltins()),
       optimizer_(&catalog_),
       maintainer_(&catalog_, &udfs_),
@@ -14,6 +17,7 @@ Dvms::Dvms(Options options)
       traces_(&catalog_, &udfs_, &maintainer_),
       pixels_(options.canvas_width, options.canvas_height) {
   maintainer_.set_capture_lineage(options_.capture_lineage);
+  maintainer_.set_parallelism(owned_pool_.get(), options_.num_threads);
   if (options_.enable_online_optimizer && !options_.capture_lineage) {
     maintainer_.set_optimizer(&optimizer_);
   }
@@ -21,11 +25,13 @@ Dvms::Dvms(Options options)
 }
 
 Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return catalog_.CreateTable(name, std::move(schema), RelationKind::kBase)
       .status();
 }
 
 Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
   for (Row& row : rows) {
     DVMS_RETURN_IF_ERROR(table->Append(std::move(row)));
@@ -38,17 +44,20 @@ Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
 Status Dvms::CreateScale(const std::string& name, double domain_min,
                          double domain_max, double range_min,
                          double range_max) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_RETURN_IF_ERROR(CreateScaleRelation(&catalog_, name, domain_min,
                                            domain_max, range_min, range_max));
   return ProcessChanges({name});
 }
 
 Result<const Table*> Dvms::GetTable(const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
   return &table->current();
 }
 
 Status Dvms::Execute(const Statement& statement) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   switch (statement.kind) {
     case Statement::Kind::kCreateTable:
       return CreateBaseTable(statement.target_name, statement.create_schema);
@@ -106,6 +115,7 @@ Status Dvms::Execute(const Statement& statement) {
 }
 
 Status Dvms::LoadProgram(const std::string& source) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
   for (const Statement& stmt : program.statements) {
     DVMS_RETURN_IF_ERROR(Execute(stmt));
@@ -118,6 +128,7 @@ Status Dvms::LoadProgram(const std::string& source) {
 }
 
 Result<Table> Dvms::Query(const std::string& select_sql) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(select_sql));
   CatalogSchemaResolver resolver(&catalog_);
   Planner planner(&resolver);
@@ -125,7 +136,12 @@ Result<Table> Dvms::Query(const std::string& select_sql) {
   Binder binder(&resolver, &udfs_);
   DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
   Executor exec(&catalog_, &udfs_);
-  return exec.ExecuteToTable(*plan);
+  ExecOptions exec_opts;
+  exec_opts.pool = owned_pool_.get();
+  exec_opts.num_threads = options_.num_threads;
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result,
+                        exec.Execute(*plan, exec_opts));
+  return std::move(result->table);
 }
 
 Status Dvms::RecomputeTrace(const TraceDefEntry& entry) {
@@ -203,6 +219,7 @@ Status Dvms::CommitViews() {
 
 Result<size_t> Dvms::Delete(const std::string& name,
                             const ExprPtr& predicate) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(name));
   if (kind != RelationKind::kBase) {
     return Status::InvalidArgument(
@@ -259,10 +276,17 @@ Status Dvms::RestoreToCursor() {
 }
 
 bool Dvms::CanUndo() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return undo_cursor_ + 1 < undo_history_.size();
 }
 
+bool Dvms::CanRedo() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return undo_cursor_ > 0;
+}
+
 Status Dvms::Undo() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!CanUndo()) {
     return Status::InvalidArgument("nothing to undo (history exhausted)");
   }
@@ -271,6 +295,7 @@ Status Dvms::Undo() {
 }
 
 Status Dvms::Redo() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!CanRedo()) {
     return Status::InvalidArgument("nothing to redo");
   }
@@ -279,6 +304,7 @@ Status Dvms::Redo() {
 }
 
 std::string Dvms::DumpState() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::string out = "relations:\n";
   for (const std::string& name : catalog_.Names()) {
     auto table = catalog_.Get(name);
@@ -303,6 +329,7 @@ std::string Dvms::DumpState() const {
 }
 
 Result<std::string> Dvms::ExplainView(const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_ASSIGN_OR_RETURN(const ViewDef* def, maintainer_.registry().Get(name));
   std::string out = "view " + def->name +
                     (def->renders ? " (marks, rendered)" : "") + "\n";
@@ -322,6 +349,7 @@ Result<std::string> Dvms::ExplainView(const std::string& name) const {
 }
 
 Status Dvms::PushEvent(const InputEvent& event) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ++stats_.events_processed;
   DVMS_ASSIGN_OR_RETURN(std::vector<EventRecognizer::FeedOutcome> outcomes,
                         recognizer_.Feed(event));
@@ -361,6 +389,7 @@ Status Dvms::PushEvent(const InputEvent& event) {
 }
 
 Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const InputEvent& event : events) {
     DVMS_RETURN_IF_ERROR(PushEvent(event));
   }
@@ -368,10 +397,14 @@ Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
 }
 
 Status Dvms::Render() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   pixels_.Clear(RGBA{255, 255, 255, 255});
+  RenderOptions render_opts;
+  render_opts.pool = owned_pool_.get();
+  render_opts.num_threads = options_.num_threads;
   for (const std::string& name : render_views_) {
     DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
-    DVMS_RETURN_IF_ERROR(RenderMarks(table->current(), &pixels_));
+    DVMS_RETURN_IF_ERROR(RenderMarks(table->current(), &pixels_, render_opts));
   }
   ++stats_.renders;
   return Status::OK();
@@ -380,6 +413,7 @@ Status Dvms::Render() {
 Status Dvms::ComposeInteractions(const std::string& first,
                                  const std::string& second,
                                  const std::string& merged_name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   DVMS_ASSIGN_OR_RETURN(const EventStmt* a, recognizer_.GetStatement(first));
   DVMS_ASSIGN_OR_RETURN(const EventStmt* b, recognizer_.GetStatement(second));
   DVMS_ASSIGN_OR_RETURN(EventStmt merged, MergeSequential(*a, *b));
@@ -387,6 +421,7 @@ Status Dvms::ComposeInteractions(const std::string& first,
 }
 
 std::vector<std::string> Dvms::AnalyzeInteractions() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<std::pair<std::string, const CompiledPattern*>> patterns;
   for (const std::string& name : recognizer_.PatternNames()) {
     auto pattern = recognizer_.GetPattern(name);

@@ -2,10 +2,12 @@
 #define DVMS_CORE_DVMS_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "events/interaction.h"
 #include "events/recognizer.h"
 #include "expr/udf_registry.h"
@@ -42,6 +44,12 @@ class Dvms {
     /// precomputed marginal cubes instead of fact-table rescans. Ignored
     /// (off) while capture_lineage is set.
     bool enable_online_optimizer = true;
+    /// Intra-query parallelism for view recomputation and rasterization.
+    /// 0 = process default (DVMS_THREADS env var, else hardware
+    /// concurrency) on the shared global pool; k > 0 = a dedicated pool of
+    /// k threads owned by this engine (1 = fully serial). Query results
+    /// and rendered pixels are bit-identical at every setting.
+    size_t num_threads = 0;
   };
 
   Dvms() : Dvms(Options()) {}
@@ -130,7 +138,7 @@ class Dvms {
   Status Redo();
 
   bool CanUndo() const;
-  bool CanRedo() const { return undo_cursor_ > 0; }
+  bool CanRedo() const;
 
   // ---- Debugging (§3.1: expose workflow state for inspection) ----
 
@@ -174,6 +182,15 @@ class Dvms {
   Status RestoreToCursor();
 
   Options options_;
+  /// Engine-owned pool when options_.num_threads > 0; otherwise the
+  /// process-global pool is used.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  /// Serializes the public mutating entry points (PushEvent / Insert /
+  /// Delete / Query / ...) so concurrent interaction streams from multiple
+  /// threads are safe. Recursive because statements execute through the
+  /// same public surface. Note: pointers returned by GetTable()/pixels()
+  /// are only stable while no other thread mutates the engine.
+  mutable std::recursive_mutex mu_;
   UdfRegistry udfs_;
   Catalog catalog_;
   CrossfilterOptimizer optimizer_;

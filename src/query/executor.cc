@@ -49,6 +49,24 @@ void UpdateAgg(AggState* state, const AggSpec& spec, const Value& v) {
   }
 }
 
+/// Folds a partial aggregation state into `into`. Addition order is
+/// morsel-index order, so the merged sum is a pure function of the morsel
+/// layout (fixed by ExecOptions::morsel_rows), not of thread scheduling.
+void MergeAgg(AggState* into, const AggState& from) {
+  into->sum += from.sum;
+  into->count += from.count;
+  if (!from.min_value.is_null() &&
+      (into->min_value.is_null() ||
+       from.min_value.Compare(into->min_value) < 0)) {
+    into->min_value = from.min_value;
+  }
+  if (!from.max_value.is_null() &&
+      (into->max_value.is_null() ||
+       from.max_value.Compare(into->max_value) > 0)) {
+    into->max_value = from.max_value;
+  }
+}
+
 Value FinalizeAgg(const AggState& state, const AggSpec& spec) {
   switch (spec.func) {
     case AggFunc::kCount:
@@ -65,6 +83,38 @@ Value FinalizeAgg(const AggState& state, const AggSpec& spec) {
       return state.max_value;
   }
   return Value::Null();
+}
+
+/// Resolved parallel-execution knobs for one operator.
+struct ParallelCfg {
+  ThreadPool* pool;
+  size_t threads;
+  size_t grain;
+};
+
+ParallelCfg ResolveParallel(const ExecOptions& opts) {
+  ThreadPool* pool = opts.pool != nullptr ? opts.pool : ThreadPool::Global();
+  size_t threads =
+      opts.num_threads != 0 ? opts.num_threads : pool->num_threads();
+  size_t grain = opts.morsel_rows == 0 ? 2048 : opts.morsel_rows;
+  return {pool, threads, grain};
+}
+
+/// Runs `fn(morsel) -> Status` over every morsel of [0, total). Returns the
+/// error of the lowest-indexed failing morsel — which, since each morsel
+/// stops at its first failing row, is the error serial row-order execution
+/// would have hit first.
+template <typename Fn>
+Status ForEachMorsel(const ParallelCfg& cfg, size_t total, Fn&& fn) {
+  size_t morsels = MorselCount(total, cfg.grain);
+  if (morsels == 0) return Status::OK();
+  std::vector<Status> status(morsels);
+  cfg.pool->ParallelFor(total, cfg.grain, cfg.threads,
+                        [&](const MorselRange& r) { status[r.index] = fn(r); });
+  for (Status& s : status) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -113,7 +163,17 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecScan(
   out->node = &node;
   DVMS_ASSIGN_OR_RETURN(TablePtr src,
                         ReadRelation(*catalog_, node.relation, node.version));
-  out->table = Table(node.OutputSchema(), std::vector<Row>(src->rows()));
+  // Morsel-parallel row copy; each morsel writes a disjoint slice.
+  const std::vector<Row>& src_rows = src->rows();
+  ParallelCfg cfg = ResolveParallel(opts);
+  std::vector<Row> rows(src_rows.size());
+  cfg.pool->ParallelFor(src_rows.size(), cfg.grain, cfg.threads,
+                        [&](const MorselRange& r) {
+                          for (size_t i = r.begin; i < r.end; ++i) {
+                            rows[i] = src_rows[i];
+                          }
+                        });
+  out->table = Table(node.OutputSchema(), std::move(rows));
   if (opts.capture_lineage) {
     out->has_lineage = true;
     out->lineage.resize(out->table.num_rows());
@@ -146,30 +206,60 @@ Result<std::unique_ptr<NodeResult>> Executor::Exec(
     if (opts.capture_lineage) out->lineage.push_back(std::move(lin));
   };
 
+  // Morsel-driven parallelism where the plan hook allows it; partial
+  // results always merge in morsel-index order so the output is identical
+  // at every thread count.
+  ParallelCfg cfg = ResolveParallel(opts);
+  if (!node.Parallelizable()) cfg.threads = 1;
+
   switch (node.kind) {
     case PlanKind::kScan:
       return Status::Internal("unreachable");
 
     case PlanKind::kFilter: {
       const Table& in = out->children[0]->table;
-      for (size_t i = 0; i < in.num_rows(); ++i) {
-        DVMS_ASSIGN_OR_RETURN(bool keep,
-                              EvalPredicate(*node.predicate, in.row(i), ctx));
-        if (keep) add_row(in.row(i), {{0, i}});
+      size_t morsels = MorselCount(in.num_rows(), cfg.grain);
+      std::vector<std::vector<size_t>> kept(morsels);
+      DVMS_RETURN_IF_ERROR(ForEachMorsel(
+          cfg, in.num_rows(), [&](const MorselRange& r) -> Status {
+            std::vector<size_t>& k = kept[r.index];
+            for (size_t i = r.begin; i < r.end; ++i) {
+              DVMS_ASSIGN_OR_RETURN(
+                  bool keep, EvalPredicate(*node.predicate, in.row(i), ctx));
+              if (keep) k.push_back(i);
+            }
+            return Status::OK();
+          }));
+      for (const std::vector<size_t>& k : kept) {
+        for (size_t i : k) add_row(in.row(i), {{0, i}});
       }
       break;
     }
 
     case PlanKind::kProject: {
       const Table& in = out->children[0]->table;
-      for (size_t i = 0; i < in.num_rows(); ++i) {
-        Row row;
-        row.reserve(node.projections.size());
-        for (const auto& e : node.projections) {
-          DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
-          row.push_back(std::move(v));
+      size_t morsels = MorselCount(in.num_rows(), cfg.grain);
+      std::vector<std::vector<Row>> built(morsels);
+      DVMS_RETURN_IF_ERROR(ForEachMorsel(
+          cfg, in.num_rows(), [&](const MorselRange& r) -> Status {
+            std::vector<Row>& rows = built[r.index];
+            rows.reserve(r.end - r.begin);
+            for (size_t i = r.begin; i < r.end; ++i) {
+              Row row;
+              row.reserve(node.projections.size());
+              for (const auto& e : node.projections) {
+                DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
+                row.push_back(std::move(v));
+              }
+              rows.push_back(std::move(row));
+            }
+            return Status::OK();
+          }));
+      for (size_t mi = 0; mi < morsels; ++mi) {
+        size_t base = MorselAt(in.num_rows(), cfg.grain, mi).begin;
+        for (size_t off = 0; off < built[mi].size(); ++off) {
+          add_row(std::move(built[mi][off]), {{0, base + off}});
         }
-        add_row(std::move(row), {{0, i}});
       }
       break;
     }
@@ -238,56 +328,106 @@ Result<std::unique_ptr<NodeResult>> Executor::Exec(
         std::vector<AggState> states;
         std::vector<LineageEntry> contributors;
       };
+      struct MorselGroups {
+        KeyMap index;
+        std::vector<Group> groups;
+      };
+      const bool global = node.group_by.empty();
+      const size_t num_aggs = node.aggregates.size();
+      // Phase 1: per-morsel partial aggregation into thread-local hash
+      // tables (no shared state).
+      size_t morsels = MorselCount(in.num_rows(), cfg.grain);
+      std::vector<MorselGroups> partials(morsels);
+      DVMS_RETURN_IF_ERROR(ForEachMorsel(
+          cfg, in.num_rows(), [&](const MorselRange& r) -> Status {
+            MorselGroups& local = partials[r.index];
+            if (global) {
+              local.groups.push_back({{}, std::vector<AggState>(num_aggs), {}});
+            }
+            for (size_t i = r.begin; i < r.end; ++i) {
+              size_t gi;
+              if (global) {
+                gi = 0;
+              } else {
+                Row key;
+                key.reserve(node.group_by.size());
+                for (const auto& e : node.group_by) {
+                  DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
+                  key.push_back(std::move(v));
+                }
+                auto it = local.index.find(key);
+                if (it == local.index.end()) {
+                  gi = local.groups.size();
+                  local.index.emplace(key, gi);
+                  local.groups.push_back(
+                      {std::move(key), std::vector<AggState>(num_aggs), {}});
+                } else {
+                  gi = it->second;
+                }
+              }
+              Group& g = local.groups[gi];
+              for (size_t a = 0; a < num_aggs; ++a) {
+                const AggSpec& spec = node.aggregates[a];
+                if (spec.count_star) {
+                  UpdateAgg(&g.states[a], spec, Value::Null());
+                } else {
+                  DVMS_ASSIGN_OR_RETURN(Value v,
+                                        EvalExpr(*spec.arg, in.row(i), ctx));
+                  UpdateAgg(&g.states[a], spec, v);
+                }
+              }
+              if (opts.capture_lineage) g.contributors.push_back({0, i});
+            }
+            return Status::OK();
+          }));
+      // Phase 2: deterministic merge. Walking morsels in index order (and
+      // each morsel's groups in first-seen order) makes global group
+      // discovery order equal serial row order, and fixes the partial-sum
+      // addition tree independent of thread scheduling.
       KeyMap index;
       std::vector<Group> groups;
-      const bool global = node.group_by.empty();
       if (global) {
-        groups.push_back({{}, std::vector<AggState>(node.aggregates.size()), {}});
+        groups.push_back({{}, std::vector<AggState>(num_aggs), {}});
       }
-      for (size_t i = 0; i < in.num_rows(); ++i) {
-        size_t gi;
-        if (global) {
-          gi = 0;
-        } else {
-          Row key;
-          key.reserve(node.group_by.size());
-          for (const auto& e : node.group_by) {
-            DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
-            key.push_back(std::move(v));
-          }
-          auto it = index.find(key);
-          if (it == index.end()) {
-            gi = groups.size();
-            index.emplace(key, gi);
-            groups.push_back(
-                {std::move(key), std::vector<AggState>(node.aggregates.size()),
-                 {}});
+      for (MorselGroups& local : partials) {
+        for (Group& lg : local.groups) {
+          size_t gi;
+          if (global) {
+            gi = 0;
           } else {
-            gi = it->second;
+            auto it = index.find(lg.key);
+            if (it == index.end()) {
+              gi = groups.size();
+              index.emplace(lg.key, gi);
+              groups.push_back(
+                  {std::move(lg.key), std::vector<AggState>(num_aggs), {}});
+            } else {
+              gi = it->second;
+            }
+          }
+          Group& g = groups[gi];
+          for (size_t a = 0; a < num_aggs; ++a) {
+            MergeAgg(&g.states[a], lg.states[a]);
+          }
+          if (opts.capture_lineage) {
+            g.contributors.insert(g.contributors.end(),
+                                  lg.contributors.begin(),
+                                  lg.contributors.end());
           }
         }
-        Group& g = groups[gi];
-        for (size_t a = 0; a < node.aggregates.size(); ++a) {
-          const AggSpec& spec = node.aggregates[a];
-          if (spec.count_star) {
-            UpdateAgg(&g.states[a], spec, Value::Null());
-          } else {
-            DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, in.row(i), ctx));
-            UpdateAgg(&g.states[a], spec, v);
-          }
-        }
-        if (opts.capture_lineage) g.contributors.push_back({0, i});
       }
-      // Deterministic output order: sort groups by key.
+      // Deterministic output order: sort groups by key (stable, so any
+      // keys comparing equal keep first-seen order).
       std::vector<size_t> order(groups.size());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&groups](size_t a, size_t b) {
-        return CompareRows(groups[a].key, groups[b].key) < 0;
-      });
+      std::stable_sort(order.begin(), order.end(),
+                       [&groups](size_t a, size_t b) {
+                         return CompareRows(groups[a].key, groups[b].key) < 0;
+                       });
       for (size_t gi : order) {
         Group& g = groups[gi];
         Row row = g.key;
-        for (size_t a = 0; a < node.aggregates.size(); ++a) {
+        for (size_t a = 0; a < num_aggs; ++a) {
           row.push_back(FinalizeAgg(g.states[a], node.aggregates[a]));
         }
         add_row(std::move(row), std::move(g.contributors));
@@ -358,28 +498,66 @@ Result<std::unique_ptr<NodeResult>> Executor::Exec(
 
     case PlanKind::kOrderBy: {
       const Table& in = out->children[0]->table;
-      std::vector<std::pair<Row, size_t>> keyed;  // sort key, input row index
-      keyed.reserve(in.num_rows());
-      for (size_t i = 0; i < in.num_rows(); ++i) {
-        Row key;
-        key.reserve(node.order_exprs.size());
-        for (const auto& e : node.order_exprs) {
-          DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
-          key.push_back(std::move(v));
+      const size_t n = in.num_rows();
+      // Phase 1: morsel-parallel sort-key evaluation into disjoint slots.
+      std::vector<Row> keys(n);
+      DVMS_RETURN_IF_ERROR(
+          ForEachMorsel(cfg, n, [&](const MorselRange& r) -> Status {
+            for (size_t i = r.begin; i < r.end; ++i) {
+              Row key;
+              key.reserve(node.order_exprs.size());
+              for (const auto& e : node.order_exprs) {
+                DVMS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.row(i), ctx));
+                key.push_back(std::move(v));
+              }
+              keys[i] = std::move(key);
+            }
+            return Status::OK();
+          }));
+      // The input-index tiebreak makes this a total order, so the sorted
+      // permutation is unique: chunked parallel sort + k-way merge yields
+      // exactly what one serial stable sort would.
+      auto less = [&node, &keys](size_t a, size_t b) {
+        const Row& ka = keys[a];
+        const Row& kb = keys[b];
+        for (size_t k = 0; k < ka.size(); ++k) {
+          int c = ka[k].Compare(kb[k]);
+          if (c != 0) return node.order_descending[k] ? c > 0 : c < 0;
         }
-        keyed.emplace_back(std::move(key), i);
+        return a < b;
+      };
+      std::vector<size_t> perm(n);
+      for (size_t i = 0; i < n; ++i) perm[i] = i;
+      size_t chunks = std::min(cfg.threads, MorselCount(n, cfg.grain));
+      if (chunks <= 1) {
+        std::sort(perm.begin(), perm.end(), less);
+      } else {
+        // Phase 2: sort one contiguous chunk per participant.
+        std::vector<size_t> bounds(chunks + 1);
+        for (size_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+        cfg.pool->ParallelFor(chunks, 1, cfg.threads,
+                              [&](const MorselRange& r) {
+                                std::sort(perm.begin() + bounds[r.index],
+                                          perm.begin() + bounds[r.index + 1],
+                                          less);
+                              });
+        // Phase 3: serial k-way merge of the sorted chunks.
+        std::vector<size_t> head(bounds.begin(), bounds.end() - 1);
+        std::vector<size_t> merged;
+        merged.reserve(n);
+        while (merged.size() < n) {
+          size_t best = chunks;
+          for (size_t c = 0; c < chunks; ++c) {
+            if (head[c] == bounds[c + 1]) continue;
+            if (best == chunks || less(perm[head[c]], perm[head[best]])) {
+              best = c;
+            }
+          }
+          merged.push_back(perm[head[best]++]);
+        }
+        perm = std::move(merged);
       }
-      std::stable_sort(keyed.begin(), keyed.end(),
-                       [&node](const auto& a, const auto& b) {
-                         for (size_t k = 0; k < a.first.size(); ++k) {
-                           int c = a.first[k].Compare(b.first[k]);
-                           if (c != 0) {
-                             return node.order_descending[k] ? c > 0 : c < 0;
-                           }
-                         }
-                         return false;
-                       });
-      for (const auto& [key, i] : keyed) {
+      for (size_t i : perm) {
         add_row(in.row(i), {{0, i}});
       }
       break;

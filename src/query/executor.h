@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "expr/eval.h"
 #include "expr/udf_registry.h"
 #include "query/plan.h"
@@ -36,6 +37,17 @@ struct ExecOptions {
   /// Record row-level lineage at every operator (the "eager" strategy of
   /// §3.1). Costs memory and time; see bench_sec31_provenance.
   bool capture_lineage = false;
+  /// Parallelism for morsel-driven operators (scan/filter/project/
+  /// aggregate/sort): 0 = the pool's full width, 1 = serial inline.
+  /// Results are bit-identical at every setting — partial results merge in
+  /// morsel-index order, never completion order.
+  size_t num_threads = 0;
+  /// Rows per morsel. Fixed-size morsels define the shape of partial
+  /// floating-point aggregation, so results are a function of this value
+  /// and the input — never of num_threads.
+  size_t morsel_rows = 2048;
+  /// Pool to run on; nullptr = ThreadPool::Global().
+  ThreadPool* pool = nullptr;
 };
 
 /// Pull-style materializing executor over bound plans. Stateless; reads

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/schema.h"
+#include "common/thread_pool.h"
 
 namespace dvms {
 
@@ -29,18 +30,43 @@ Result<CrossfilterCube> CrossfilterCube::Build(
 
 Status CrossfilterCube::Fold(const Table& fact) {
   const size_t d = dims_.size();
-  for (const Row& row : fact.rows()) {
-    auto m = row[measure_col_].AsDouble();
-    if (!m.ok()) continue;  // NULL / non-numeric measures contribute nothing
-    double v = m.value();
-    for (size_t i = 0; i < d; ++i) {
-      const Value& gval = row[dim_cols_[i]];
-      for (size_t j = 0; j < d; ++j) {
-        if (i == j) continue;
-        Marginal& marginal = marginals_[i * d + j];
-        marginal.cells[gval][row[dim_cols_[j]]] += v;
+  // Morsel-batched delta application: each fixed-size batch of fact rows
+  // folds into its own scratch marginal set (in parallel when threads are
+  // available), then scratch sets merge into the cube in batch-index
+  // order. Per-cell sums therefore depend only on the batch layout, never
+  // on thread count.
+  constexpr size_t kBatchRows = 4096;
+  const size_t n = fact.num_rows();
+  const size_t batches = MorselCount(n, kBatchRows);
+  std::vector<std::vector<Marginal>> partials(batches);
+  ThreadPool::Global()->ParallelFor(
+      n, kBatchRows, /*max_threads=*/0, [&](const MorselRange& r) {
+        std::vector<Marginal>& local = partials[r.index];
+        local.resize(d * d);
+        for (size_t ri = r.begin; ri < r.end; ++ri) {
+          const Row& row = fact.row(ri);
+          auto m = row[measure_col_].AsDouble();
+          if (!m.ok()) continue;  // NULL / non-numeric contribute nothing
+          double v = m.value();
+          for (size_t i = 0; i < d; ++i) {
+            const Value& gval = row[dim_cols_[i]];
+            for (size_t j = 0; j < d; ++j) {
+              if (i == j) continue;
+              local[i * d + j].cells[gval][row[dim_cols_[j]]] += v;
+            }
+            local[i * d + (i == 0 ? 1 : 0)].totals[gval] += v;
+          }
+        }
+      });
+  for (std::vector<Marginal>& local : partials) {
+    for (size_t k = 0; k < local.size(); ++k) {
+      for (auto& [gval, cells] : local[k].cells) {
+        CellMap& dst = marginals_[k].cells[gval];
+        for (auto& [fval, sum] : cells) dst[fval] += sum;
       }
-      marginals_[i * d + (i == 0 ? 1 : 0)].totals[gval] += v;
+      for (auto& [gval, sum] : local[k].totals) {
+        marginals_[k].totals[gval] += sum;
+      }
     }
   }
   return Status::OK();

@@ -70,6 +70,8 @@ Status ViewMaintainer::RecomputeView(const std::string& name) {
   Executor exec(catalog_, udfs_);
   ExecOptions opts;
   opts.capture_lineage = capture_lineage_ && def->table_udf.empty();
+  opts.pool = pool_;
+  opts.num_threads = num_threads_;
   DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result,
                         exec.Execute(*def->plan, opts));
   if (!def->table_udf.empty()) {

@@ -71,10 +71,21 @@ class ViewMaintainer {
     optimizer_ = optimizer;
   }
 
+  /// Parallelism for view recomputation: every plan execution runs with
+  /// `num_threads` morsel workers on `pool` (nullptr = the global pool;
+  /// num_threads 0 = the pool's width). Results are identical at any
+  /// setting — see ExecOptions.
+  void set_parallelism(ThreadPool* pool, size_t num_threads) {
+    pool_ = pool;
+    num_threads_ = num_threads;
+  }
+
  private:
   Catalog* catalog_;
   const UdfRegistry* udfs_;
   CrossfilterOptimizer* optimizer_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  size_t num_threads_ = 0;
   ViewRegistry registry_;
   bool capture_lineage_ = false;
   std::unordered_map<std::string, std::shared_ptr<NodeResult>> last_results_;

@@ -115,6 +115,24 @@ struct PlanNode {
 
   /// Collects relations referenced via IN/NOT IN predicates in this subtree.
   void CollectInRelations(std::vector<std::string>* out) const;
+
+  /// Whether the executor may split this operator's input into morsels and
+  /// process them on multiple threads. Order-sensitive hash operators
+  /// (Union/Minus/Distinct) and the join build stay serial; the
+  /// morsel-parallel operators merge partial results by morsel index so
+  /// output is identical at any thread count.
+  bool Parallelizable() const {
+    switch (kind) {
+      case PlanKind::kScan:
+      case PlanKind::kFilter:
+      case PlanKind::kProject:
+      case PlanKind::kAggregate:
+      case PlanKind::kOrderBy:
+        return true;
+      default:
+        return false;
+    }
+  }
 };
 
 // ---- Construction helpers ----

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace dvms {
 
@@ -37,8 +38,31 @@ Result<MarkType> InferMarkType(const Schema& schema) {
       schema.ToString() + "]");
 }
 
-void DrawFilledCircle(PixelBuffer* buf, double cx, double cy, double radius,
-                      RGBA color) {
+namespace {
+
+/// The fill/outline routines are templated on a blend target so the exact
+/// same pixel math runs for whole-buffer serial drawing and for
+/// row-band-clipped parallel drawing: a band replays the op and the target
+/// drops writes outside its rows.
+struct FullTarget {
+  PixelBuffer* buf;
+  void Blend(int64_t x, int64_t y, RGBA color) const {
+    buf->Blend(x, y, color);
+  }
+};
+
+struct BandTarget {
+  PixelBuffer* buf;
+  int64_t y_begin;
+  int64_t y_end;  // exclusive
+  void Blend(int64_t x, int64_t y, RGBA color) const {
+    if (y >= y_begin && y < y_end) buf->Blend(x, y, color);
+  }
+};
+
+template <typename Target>
+void FillCircleT(const Target& t, double cx, double cy, double radius,
+                 RGBA color) {
   if (color.a == 0 || radius <= 0) return;
   int64_t y0 = static_cast<int64_t>(std::floor(cy - radius));
   int64_t y1 = static_cast<int64_t>(std::ceil(cy + radius));
@@ -49,12 +73,13 @@ void DrawFilledCircle(PixelBuffer* buf, double cx, double cy, double radius,
     double dx = std::sqrt(span);
     int64_t x0 = static_cast<int64_t>(std::ceil(cx - dx));
     int64_t x1 = static_cast<int64_t>(std::floor(cx + dx));
-    for (int64_t x = x0; x <= x1; ++x) buf->Blend(x, y, color);
+    for (int64_t x = x0; x <= x1; ++x) t.Blend(x, y, color);
   }
 }
 
-void DrawCircleOutline(PixelBuffer* buf, double cx, double cy, double radius,
-                       RGBA color) {
+template <typename Target>
+void CircleOutlineT(const Target& t, double cx, double cy, double radius,
+                    RGBA color) {
   if (color.a == 0 || radius <= 0) return;
   // Walk the circumference at sub-pixel steps.
   double circumference = 2 * M_PI * radius;
@@ -65,57 +90,87 @@ void DrawCircleOutline(PixelBuffer* buf, double cx, double cy, double radius,
     int64_t x = static_cast<int64_t>(std::lround(cx + radius * std::cos(theta)));
     int64_t y = static_cast<int64_t>(std::lround(cy + radius * std::sin(theta)));
     if (x == px && y == py) continue;
-    buf->Blend(x, y, color);
+    t.Blend(x, y, color);
     px = x;
     py = y;
   }
 }
 
-void DrawFilledRect(PixelBuffer* buf, double x, double y, double w, double h,
-                    RGBA color) {
+template <typename Target>
+void FillRectT(const Target& t, double x, double y, double w, double h,
+               RGBA color) {
   if (color.a == 0 || w <= 0 || h <= 0) return;
   int64_t x0 = static_cast<int64_t>(std::lround(x));
   int64_t y0 = static_cast<int64_t>(std::lround(y));
   int64_t x1 = static_cast<int64_t>(std::lround(x + w)) - 1;
   int64_t y1 = static_cast<int64_t>(std::lround(y + h)) - 1;
   for (int64_t yy = y0; yy <= y1; ++yy) {
-    for (int64_t xx = x0; xx <= x1; ++xx) buf->Blend(xx, yy, color);
+    for (int64_t xx = x0; xx <= x1; ++xx) t.Blend(xx, yy, color);
   }
 }
 
-void DrawRectOutline(PixelBuffer* buf, double x, double y, double w, double h,
-                     RGBA color) {
+template <typename Target>
+void RectOutlineT(const Target& t, double x, double y, double w, double h,
+                  RGBA color) {
   if (color.a == 0 || w <= 0 || h <= 0) return;
   int64_t x0 = static_cast<int64_t>(std::lround(x));
   int64_t y0 = static_cast<int64_t>(std::lround(y));
   int64_t x1 = static_cast<int64_t>(std::lround(x + w)) - 1;
   int64_t y1 = static_cast<int64_t>(std::lround(y + h)) - 1;
   for (int64_t xx = x0; xx <= x1; ++xx) {
-    buf->Blend(xx, y0, color);
-    buf->Blend(xx, y1, color);
+    t.Blend(xx, y0, color);
+    t.Blend(xx, y1, color);
   }
   for (int64_t yy = y0 + 1; yy < y1; ++yy) {
-    buf->Blend(x0, yy, color);
-    buf->Blend(x1, yy, color);
+    t.Blend(x0, yy, color);
+    t.Blend(x1, yy, color);
   }
 }
 
-void DrawLine(PixelBuffer* buf, double x1, double y1, double x2, double y2,
-              RGBA color) {
+template <typename Target>
+void LineT(const Target& t, double x1, double y1, double x2, double y2,
+           RGBA color) {
   if (color.a == 0) return;
   double dx = x2 - x1;
   double dy = y2 - y1;
   int steps = static_cast<int>(std::max(std::abs(dx), std::abs(dy))) + 1;
   int64_t px = INT64_MIN, py = INT64_MIN;
   for (int i = 0; i <= steps; ++i) {
-    double t = steps == 0 ? 0.0 : static_cast<double>(i) / steps;
-    int64_t x = static_cast<int64_t>(std::lround(x1 + dx * t));
-    int64_t y = static_cast<int64_t>(std::lround(y1 + dy * t));
+    double f = steps == 0 ? 0.0 : static_cast<double>(i) / steps;
+    int64_t x = static_cast<int64_t>(std::lround(x1 + dx * f));
+    int64_t y = static_cast<int64_t>(std::lround(y1 + dy * f));
     if (x == px && y == py) continue;
-    buf->Blend(x, y, color);
+    t.Blend(x, y, color);
     px = x;
     py = y;
   }
+}
+
+}  // namespace
+
+void DrawFilledCircle(PixelBuffer* buf, double cx, double cy, double radius,
+                      RGBA color) {
+  FillCircleT(FullTarget{buf}, cx, cy, radius, color);
+}
+
+void DrawCircleOutline(PixelBuffer* buf, double cx, double cy, double radius,
+                       RGBA color) {
+  CircleOutlineT(FullTarget{buf}, cx, cy, radius, color);
+}
+
+void DrawFilledRect(PixelBuffer* buf, double x, double y, double w, double h,
+                    RGBA color) {
+  FillRectT(FullTarget{buf}, x, y, w, h, color);
+}
+
+void DrawRectOutline(PixelBuffer* buf, double x, double y, double w, double h,
+                     RGBA color) {
+  RectOutlineT(FullTarget{buf}, x, y, w, h, color);
+}
+
+void DrawLine(PixelBuffer* buf, double x1, double y1, double x2, double y2,
+              RGBA color) {
+  LineT(FullTarget{buf}, x1, y1, x2, y2, color);
 }
 
 namespace {
@@ -144,9 +199,22 @@ Result<double> NumOf(const Table& marks, size_t row, size_t col) {
 constexpr RGBA kDefaultFill = {127, 127, 127, 255};  // gray
 constexpr RGBA kNoColor = {0, 0, 0, 0};
 
-}  // namespace
+/// One mark row, decoded: geometry, colors, and a conservative framebuffer
+/// row interval [y_min, y_max] so bands can skip ops that cannot touch
+/// their rows.
+struct MarkOp {
+  MarkType kind;
+  double a, b, c, d;  // circle: cx, cy, r; rect: x, y, w, h; line: x1..y2
+  RGBA fill;
+  RGBA stroke;
+  double y_min, y_max;
+};
 
-Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out) {
+/// Decodes marks rows in order, preserving serial error semantics: on a
+/// bad row, the ops decoded so far still render (a serial loop would have
+/// painted them before hitting the error) and the error is returned after.
+Status DecodeMarkOps(const Table& marks, MarkType type,
+                     std::vector<MarkOp>* ops) {
   const Schema& schema = marks.schema();
   switch (type) {
     case MarkType::kCircle: {
@@ -160,8 +228,8 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out) {
         if (std::isnan(x) || std::isnan(y) || std::isnan(radius)) continue;
         DVMS_ASSIGN_OR_RETURN(RGBA fill, ColorOf(marks, i, "fill", kDefaultFill));
         DVMS_ASSIGN_OR_RETURN(RGBA stroke, ColorOf(marks, i, "stroke", kNoColor));
-        DrawFilledCircle(out, x, y, radius, fill);
-        DrawCircleOutline(out, x, y, radius, stroke);
+        ops->push_back({type, x, y, radius, 0.0, fill, stroke,
+                        y - radius - 2, y + radius + 2});
       }
       return Status::OK();
     }
@@ -180,8 +248,8 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out) {
         }
         DVMS_ASSIGN_OR_RETURN(RGBA fill, ColorOf(marks, i, "fill", kDefaultFill));
         DVMS_ASSIGN_OR_RETURN(RGBA stroke, ColorOf(marks, i, "stroke", kNoColor));
-        DrawFilledRect(out, x, y, w, h, fill);
-        DrawRectOutline(out, x, y, w, h, stroke);
+        ops->push_back({type, x, y, w, h, fill, stroke,
+                        std::min(y, y + h) - 2, std::max(y, y + h) + 2});
       }
       return Status::OK();
     }
@@ -201,7 +269,8 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out) {
         DVMS_ASSIGN_OR_RETURN(RGBA stroke,
                               ColorOf(marks, i, "stroke",
                                       RGBA{0, 0, 0, 255}));
-        DrawLine(out, a, b, c, d, stroke);
+        ops->push_back({type, a, b, c, d, kNoColor, stroke,
+                        std::min(b, d) - 2, std::max(b, d) + 2});
       }
       return Status::OK();
     }
@@ -209,9 +278,69 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out) {
   return Status::Internal("unknown mark type");
 }
 
-Status RenderMarks(const Table& marks, PixelBuffer* out) {
+template <typename Target>
+void ReplayOp(const MarkOp& op, const Target& t) {
+  switch (op.kind) {
+    case MarkType::kCircle:
+      FillCircleT(t, op.a, op.b, op.c, op.fill);
+      CircleOutlineT(t, op.a, op.b, op.c, op.stroke);
+      break;
+    case MarkType::kRect:
+      FillRectT(t, op.a, op.b, op.c, op.d, op.fill);
+      RectOutlineT(t, op.a, op.b, op.c, op.d, op.stroke);
+      break;
+    case MarkType::kLine:
+      LineT(t, op.a, op.b, op.c, op.d, op.stroke);
+      break;
+  }
+}
+
+/// Replays `ops` in order against one blend target (the painter's
+/// algorithm: per pixel, blend order equals relation row order).
+template <typename Target>
+void ReplayOps(const std::vector<MarkOp>& ops, const Target& t) {
+  for (const MarkOp& op : ops) ReplayOp(op, t);
+}
+
+}  // namespace
+
+Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
+                   const RenderOptions& opts) {
+  std::vector<MarkOp> ops;
+  ops.reserve(marks.num_rows());
+  Status decoded = DecodeMarkOps(marks, type, &ops);
+
+  ThreadPool* pool = opts.pool != nullptr ? opts.pool : ThreadPool::Global();
+  size_t threads =
+      opts.num_threads != 0 ? opts.num_threads : pool->num_threads();
+  size_t band_rows = opts.band_rows == 0 ? 64 : opts.band_rows;
+  if (threads <= 1 || out->height() == 0) {
+    ReplayOps(ops, FullTarget{out});
+    return decoded;
+  }
+
+  // Row-band parallel fill: bands own disjoint framebuffer rows, so no
+  // pixel is written by two threads, and each band replays marks in
+  // relation order — the result is bit-identical to the serial path.
+  pool->ParallelFor(
+      out->height(), band_rows, threads, [&](const MorselRange& band) {
+        BandTarget t{out, static_cast<int64_t>(band.begin),
+                     static_cast<int64_t>(band.end)};
+        for (const MarkOp& op : ops) {
+          if (op.y_max < static_cast<double>(band.begin) ||
+              op.y_min >= static_cast<double>(band.end)) {
+            continue;
+          }
+          ReplayOp(op, t);
+        }
+      });
+  return decoded;
+}
+
+Status RenderMarks(const Table& marks, PixelBuffer* out,
+                   const RenderOptions& opts) {
   DVMS_ASSIGN_OR_RETURN(MarkType type, InferMarkType(marks.schema()));
-  return RenderMarks(marks, type, out);
+  return RenderMarks(marks, type, out, opts);
 }
 
 }  // namespace dvms

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/thread_pool.h"
 #include "render/pixels.h"
 #include "storage/table.h"
 
@@ -23,15 +24,30 @@ const char* MarkTypeToString(MarkType type);
 /// when no mark type's required columns are present.
 Result<MarkType> InferMarkType(const Schema& schema);
 
+struct RenderOptions {
+  /// Parallelism for scanline-band rasterization: 0 = the pool's full
+  /// width, 1 = serial. Bands partition the framebuffer rows, each band
+  /// replays every mark in relation order clipped to its rows, so writes
+  /// are disjoint and the P(x, y, RGBA) relation is bit-identical at every
+  /// thread count.
+  size_t num_threads = 0;
+  /// Framebuffer rows per band (one morsel of the parallel fill).
+  size_t band_rows = 64;
+  /// Pool to run on; nullptr = ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+};
+
 /// The render table UDF: rasterizes a marks relation onto the pixel buffer.
 /// This is the only side-effecting UDF DeVIL permits, and it may only be
 /// applied to marks relations — the schema is validated against the mark
 /// type. Rows render in order (painter's algorithm). Missing fill/stroke
 /// columns default to gray fill / no stroke; NULL geometry rows are skipped.
-Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out);
+Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
+                   const RenderOptions& opts = {});
 
 /// Convenience: infers the mark type, then renders.
-Status RenderMarks(const Table& marks, PixelBuffer* out);
+Status RenderMarks(const Table& marks, PixelBuffer* out,
+                   const RenderOptions& opts = {});
 
 // Low-level drawing primitives (exposed for tests).
 void DrawFilledCircle(PixelBuffer* buf, double cx, double cy, double radius,

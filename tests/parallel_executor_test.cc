@@ -1,0 +1,606 @@
+// Differential serial-vs-parallel harness: every query shape, at 1, 2, 4,
+// and 8 threads, must produce bit-identical rows — and every rendered
+// program bit-identical pixels — because parallel operators merge partial
+// results by morsel index, never by completion order.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dvms.h"
+#include "parser/parser.h"
+#include "parser/planner.h"
+#include "query/binder.h"
+#include "query/executor.h"
+#include "render/rasterizer.h"
+#include "storage/catalog.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+// ---- Bit-identical comparison -------------------------------------------
+// Value::Equals treats Int(1) == Double(1.0) and -0.0 == +0.0; the
+// determinism contract is stronger, so compare types and raw bits.
+
+bool BitIdentical(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return a.bool_value() == b.bool_value();
+    case ValueType::kInt64:
+      return a.int_value() == b.int_value();
+    case ValueType::kDouble: {
+      uint64_t ba, bb;
+      double da = a.double_value(), db = b.double_value();
+      std::memcpy(&ba, &da, sizeof(ba));
+      std::memcpy(&bb, &db, sizeof(bb));
+      return ba == bb;
+    }
+    case ValueType::kString:
+      return a.string_value() == b.string_value();
+  }
+  return false;
+}
+
+::testing::AssertionResult TablesBitIdentical(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.num_rows() << " vs " << b.num_rows();
+  }
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    const Row& ra = a.row(i);
+    const Row& rb = b.row(i);
+    if (ra.size() != rb.size()) {
+      return ::testing::AssertionFailure() << "row " << i << " arity differs";
+    }
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (!BitIdentical(ra[c], rb[c])) {
+        return ::testing::AssertionFailure()
+               << "row " << i << " col " << c << " differs: "
+               << ra[c].ToString() << " vs " << rb[c].ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult PixelsBitIdentical(const PixelBuffer& a,
+                                              const PixelBuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return ::testing::AssertionFailure() << "dimensions differ";
+  }
+  for (size_t y = 0; y < a.height(); ++y) {
+    for (size_t x = 0; x < a.width(); ++x) {
+      RGBA pa = a.At(static_cast<int64_t>(x), static_cast<int64_t>(y));
+      RGBA pb = b.At(static_cast<int64_t>(x), static_cast<int64_t>(y));
+      if (!(pa == pb)) {
+        return ::testing::AssertionFailure()
+               << "pixel (" << x << ", " << y << ") differs: rgba("
+               << int(pa.r) << "," << int(pa.g) << "," << int(pa.b) << ","
+               << int(pa.a) << ") vs rgba(" << int(pb.r) << "," << int(pb.g)
+               << "," << int(pb.b) << "," << int(pb.a) << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---- Plan-level differential over a randomized fact table ---------------
+
+class ParallelExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    udfs_ = UdfRegistry::WithBuiltins();
+    auto sales = catalog_
+                     .CreateTable("Sales",
+                                  Schema({{"productId", ValueType::kInt64},
+                                          {"region", ValueType::kString},
+                                          {"year", ValueType::kInt64},
+                                          {"price", ValueType::kDouble},
+                                          {"revenue", ValueType::kDouble}}),
+                                  RelationKind::kBase)
+                     .value();
+    const char* regions[] = {"east", "west", "north", "south"};
+    Rng rng(7);
+    for (int i = 0; i < 3000; ++i) {
+      // NULLs and awkward doubles (negatives, tiny magnitudes) probe the
+      // deterministic-merge path, not just the happy path.
+      Value revenue = rng.Bernoulli(0.05)
+                          ? Value::Null()
+                          : Value::Double(rng.Uniform(-100, 100) *
+                                          (rng.Bernoulli(0.1) ? 1e-9 : 1.0));
+      ASSERT_TRUE(sales
+                      ->Append({Value::Int(i),
+                                Value::String(regions[rng.UniformInt(0, 3)]),
+                                Value::Int(1992 + rng.UniformInt(0, 6)),
+                                Value::Double(rng.Uniform(0, 50)), revenue})
+                      .ok());
+    }
+    auto dim = catalog_
+                   .CreateTable("RegionDim",
+                                Schema({{"region", ValueType::kString},
+                                        {"idx", ValueType::kInt64}}),
+                                RelationKind::kBase)
+                   .value();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(dim->Append({Value::String(regions[i]), Value::Int(i)}).ok());
+    }
+  }
+
+  Result<Table> RunSql(const std::string& sql, size_t threads,
+                       ThreadPool* pool) {
+    DVMS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+    CatalogSchemaResolver resolver(&catalog_);
+    Planner planner(&resolver);
+    DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
+    Binder binder(&resolver, &udfs_);
+    DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+    Executor exec(&catalog_, &udfs_);
+    ExecOptions opts;
+    opts.num_threads = threads;
+    opts.pool = pool;
+    opts.morsel_rows = 256;  // many morsels even at this table size
+    DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result,
+                          exec.Execute(*plan, opts));
+    return std::move(result->table);
+  }
+
+  void ExpectDifferentialMatch(const std::string& sql) {
+    SCOPED_TRACE(sql);
+    auto reference = RunSql(sql, 1, nullptr);
+    ASSERT_TRUE(reference.ok()) << reference.status().message();
+    for (size_t threads : kThreadCounts) {
+      if (threads == 1) continue;
+      ThreadPool pool(threads);
+      auto parallel = RunSql(sql, threads, &pool);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+      EXPECT_TRUE(TablesBitIdentical(reference.value(), parallel.value()))
+          << "at " << threads << " threads";
+    }
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+};
+
+TEST_F(ParallelExecutorTest, FilterProjectPipeline) {
+  ExpectDifferentialMatch(
+      "SELECT productId, price * 2 + revenue AS v FROM Sales "
+      "WHERE revenue > 10 AND year < 1997");
+}
+
+TEST_F(ParallelExecutorTest, AggregateGroupBy) {
+  ExpectDifferentialMatch(
+      "SELECT region, SUM(revenue) AS s, COUNT(*) AS n, AVG(price) AS a, "
+      "MIN(revenue) AS lo, MAX(revenue) AS hi FROM Sales GROUP BY region");
+}
+
+TEST_F(ParallelExecutorTest, GlobalAggregate) {
+  ExpectDifferentialMatch(
+      "SELECT SUM(revenue) AS s, COUNT(revenue) AS n, MIN(price) AS lo "
+      "FROM Sales");
+}
+
+TEST_F(ParallelExecutorTest, FilteredAggregate) {
+  ExpectDifferentialMatch(
+      "SELECT year, SUM(revenue) AS s FROM Sales WHERE region = 'east' "
+      "GROUP BY year");
+}
+
+TEST_F(ParallelExecutorTest, OrderByParallelSort) {
+  ExpectDifferentialMatch(
+      "SELECT productId, revenue FROM Sales ORDER BY revenue DESC, productId");
+}
+
+TEST_F(ParallelExecutorTest, OrderByWithDuplicateKeysIsStable) {
+  ExpectDifferentialMatch(
+      "SELECT productId, region FROM Sales ORDER BY region");
+}
+
+TEST_F(ParallelExecutorTest, DistinctUnionMinus) {
+  ExpectDifferentialMatch("SELECT DISTINCT region, year FROM Sales");
+  ExpectDifferentialMatch(
+      "SELECT region FROM Sales WHERE year = 1993 "
+      "UNION SELECT region FROM Sales WHERE year = 1994");
+  ExpectDifferentialMatch(
+      "SELECT region FROM Sales MINUS SELECT region FROM Sales "
+      "WHERE region = 'east'");
+}
+
+TEST_F(ParallelExecutorTest, JoinThenAggregate) {
+  ExpectDifferentialMatch(
+      "SELECT idx, SUM(revenue) AS total FROM Sales AS s, RegionDim AS d "
+      "WHERE s.region = d.region GROUP BY idx ORDER BY idx");
+}
+
+TEST_F(ParallelExecutorTest, LimitAfterSort) {
+  ExpectDifferentialMatch(
+      "SELECT productId FROM Sales ORDER BY price LIMIT 17");
+}
+
+TEST_F(ParallelExecutorTest, LineageIdenticalAcrossThreadCounts) {
+  const std::string sql =
+      "SELECT region, SUM(revenue) AS s FROM Sales WHERE price < 25 "
+      "GROUP BY region";
+  auto run = [&](size_t threads,
+                 ThreadPool* pool) -> Result<std::unique_ptr<NodeResult>> {
+    DVMS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+    CatalogSchemaResolver resolver(&catalog_);
+    Planner planner(&resolver);
+    DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
+    Binder binder(&resolver, &udfs_);
+    DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+    Executor exec(&catalog_, &udfs_);
+    ExecOptions opts;
+    opts.capture_lineage = true;
+    opts.num_threads = threads;
+    opts.pool = pool;
+    opts.morsel_rows = 128;
+    return exec.Execute(*plan, opts);
+  };
+  auto reference = run(1, nullptr);
+  ASSERT_TRUE(reference.ok());
+  // Compare the full lineage tree, not just root rows.
+  std::function<void(const NodeResult&, const NodeResult&)> compare =
+      [&](const NodeResult& a, const NodeResult& b) {
+        EXPECT_TRUE(TablesBitIdentical(a.table, b.table));
+        ASSERT_EQ(a.lineage.size(), b.lineage.size());
+        for (size_t i = 0; i < a.lineage.size(); ++i) {
+          ASSERT_EQ(a.lineage[i].size(), b.lineage[i].size()) << "row " << i;
+          for (size_t j = 0; j < a.lineage[i].size(); ++j) {
+            EXPECT_EQ(a.lineage[i][j].child, b.lineage[i][j].child);
+            EXPECT_EQ(a.lineage[i][j].row, b.lineage[i][j].row);
+          }
+        }
+        ASSERT_EQ(a.children.size(), b.children.size());
+        for (size_t c = 0; c < a.children.size(); ++c) {
+          compare(*a.children[c], *b.children[c]);
+        }
+      };
+  for (size_t threads : {2ul, 4ul, 8ul}) {
+    ThreadPool pool(threads);
+    auto parallel = run(threads, &pool);
+    ASSERT_TRUE(parallel.ok());
+    compare(*reference.value(), *parallel.value());
+  }
+}
+
+// Randomized plans: filter/aggregate/sort shapes drawn from a seeded
+// vocabulary so regressions reproduce from the seed.
+class RandomizedPlanTest : public ParallelExecutorTest,
+                           public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(RandomizedPlanTest, RandomPlansMatchAtAllThreadCounts) {
+  Rng rng(GetParam());
+  const char* columns[] = {"productId", "year", "price", "revenue"};
+  const char* aggs[] = {"SUM", "COUNT", "AVG", "MIN", "MAX"};
+  const char* cmps[] = {"<", ">", "<=", ">=", "<>"};
+  for (int trial = 0; trial < 12; ++trial) {
+    std::string where;
+    if (rng.Bernoulli(0.7)) {
+      where = std::string(" WHERE ") + columns[rng.UniformInt(0, 3)] + " " +
+              cmps[rng.UniformInt(0, 4)] + " " +
+              std::to_string(rng.UniformInt(-50, 2000));
+      if (rng.Bernoulli(0.4)) {
+        where += std::string(rng.Bernoulli(0.5) ? " AND " : " OR ") +
+                 columns[rng.UniformInt(0, 3)] + " > " +
+                 std::to_string(rng.UniformInt(-50, 50));
+      }
+    }
+    std::string sql;
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {  // filter + project
+        sql = std::string("SELECT productId, ") + columns[rng.UniformInt(1, 3)] +
+              " FROM Sales" + where;
+        break;
+      }
+      case 1: {  // aggregate
+        const char* group = rng.Bernoulli(0.5) ? "region" : "year";
+        sql = std::string("SELECT ") + group + ", " +
+              aggs[rng.UniformInt(0, 4)] + "(" + columns[rng.UniformInt(2, 3)] +
+              ") AS a FROM Sales" + where + " GROUP BY " + group;
+        break;
+      }
+      default: {  // sort (with duplicate-heavy keys half the time)
+        const char* key = rng.Bernoulli(0.5) ? "region" : "revenue";
+        sql = std::string("SELECT productId, region, revenue FROM Sales") +
+              where + " ORDER BY " + key + (rng.Bernoulli(0.5) ? " DESC" : "");
+        break;
+      }
+    }
+    ExpectDifferentialMatch(sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedPlanTest,
+                         ::testing::Values(11, 22, 33));
+
+// ---- Rasterizer band-parallel differential ------------------------------
+
+TEST(ParallelRasterizerTest, RandomMarksRenderBitIdentical) {
+  Rng rng(42);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Random overlapping translucent marks of one random type.
+    int kind = static_cast<int>(rng.UniformInt(0, 2));
+    Table marks =
+        kind == 0
+            ? Table(Schema({{"center_x", ValueType::kDouble},
+                            {"center_y", ValueType::kDouble},
+                            {"radius", ValueType::kDouble},
+                            {"fill", ValueType::kString}}))
+            : kind == 1 ? Table(Schema({{"x", ValueType::kDouble},
+                                        {"y", ValueType::kDouble},
+                                        {"width", ValueType::kDouble},
+                                        {"height", ValueType::kDouble},
+                                        {"fill", ValueType::kString},
+                                        {"stroke", ValueType::kString}}))
+                        : Table(Schema({{"x1", ValueType::kDouble},
+                                        {"y1", ValueType::kDouble},
+                                        {"x2", ValueType::kDouble},
+                                        {"y2", ValueType::kDouble},
+                                        {"stroke", ValueType::kString}}));
+    const char* palette[] = {"#ff000080", "#00ff0040", "#0000ffcc",
+                             "steelblue", "#12345678"};
+    for (int i = 0; i < 120; ++i) {
+      const char* color = palette[rng.UniformInt(0, 4)];
+      if (kind == 0) {
+        marks.AppendUnchecked({Value::Double(rng.Uniform(-20, 220)),
+                               Value::Double(rng.Uniform(-20, 170)),
+                               Value::Double(rng.Uniform(0, 25)),
+                               Value::String(color)});
+      } else if (kind == 1) {
+        marks.AppendUnchecked({Value::Double(rng.Uniform(-20, 220)),
+                               Value::Double(rng.Uniform(-20, 170)),
+                               Value::Double(rng.Uniform(0, 60)),
+                               Value::Double(rng.Uniform(0, 60)),
+                               Value::String(color),
+                               Value::String(palette[rng.UniformInt(0, 4)])});
+      } else {
+        marks.AppendUnchecked({Value::Double(rng.Uniform(-20, 220)),
+                               Value::Double(rng.Uniform(-20, 170)),
+                               Value::Double(rng.Uniform(-20, 220)),
+                               Value::Double(rng.Uniform(-20, 170)),
+                               Value::String(color)});
+      }
+    }
+    PixelBuffer reference(200, 150);
+    reference.Clear(RGBA{255, 255, 255, 255});
+    RenderOptions serial;
+    serial.num_threads = 1;
+    ASSERT_TRUE(RenderMarks(marks, &reference, serial).ok());
+    for (size_t threads : kThreadCounts) {
+      if (threads == 1) continue;
+      ThreadPool pool(threads);
+      PixelBuffer parallel(200, 150);
+      parallel.Clear(RGBA{255, 255, 255, 255});
+      RenderOptions opts;
+      opts.num_threads = threads;
+      opts.pool = &pool;
+      opts.band_rows = 16;  // many bands
+      ASSERT_TRUE(RenderMarks(marks, &parallel, opts).ok());
+      EXPECT_TRUE(PixelsBitIdentical(reference, parallel))
+          << "trial " << trial << " kind " << kind << " at " << threads
+          << " threads";
+    }
+  }
+}
+
+// ---- Whole-engine differential over the example program shapes ----------
+
+struct ProgramFixture {
+  const char* name;
+  const char* program;
+  size_t canvas_w, canvas_h;
+  std::vector<InputEvent> events;
+  std::vector<std::string> check_tables;
+};
+
+std::vector<ProgramFixture> ExamplePrograms() {
+  std::vector<ProgramFixture> fixtures;
+
+  // Linked brushing (examples/linked_brushing.cpp, Figure 2): scatterplot,
+  // drag-select, versioned hit test, re-color.
+  fixtures.push_back(
+      {"linked_brushing",
+       R"(
+        C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+            RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+                   (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+        BBOX = SELECT x AS x0, y AS y0, x + dx AS x1, y + dy AS y1
+          FROM C ORDER BY t DESC LIMIT 1;
+        SPLOT_POINTS = SELECT 3 AS radius, 'gray' AS fill,
+            linear_scale(Sales.revenue, 0, 100, 0, 200) AS center_x,
+            linear_scale(Sales.profit, 0, 100, 0, 200) AS center_y,
+            productId
+          FROM Sales;
+        selected = SELECT SP.productId AS productId
+          FROM BBOX, SPLOT_POINTS@vnow-1 AS SP
+          WHERE in_rectangle(SP.center_x, SP.center_y,
+                             BBOX.x0, BBOX.y0, BBOX.x1, BBOX.y1);
+        SPLOT_POINTS = SELECT 3 AS radius, 'gray' AS fill,
+            linear_scale(Sales.revenue, 0, 100, 0, 200) AS center_x,
+            linear_scale(Sales.profit, 0, 100, 0, 200) AS center_y,
+            productId
+          FROM Sales WHERE productId NOT IN selected
+          UNION SELECT 3 AS radius, 'red' AS fill,
+            linear_scale(Sales.revenue, 0, 100, 0, 200) AS center_x,
+            linear_scale(Sales.profit, 0, 100, 0, 200) AS center_y,
+            productId
+          FROM Sales WHERE productId IN selected;
+        P = render(SELECT * FROM SPLOT_POINTS);
+       )",
+       200,
+       200,
+       {InputEvent::MouseDown(0, 30, 30), InputEvent::MouseMove(1, 90, 110),
+        InputEvent::MouseMove(2, 140, 150), InputEvent::MouseUp(3, 150, 160),
+        InputEvent::MouseDown(4, 10, 10), InputEvent::MouseUp(5, 12, 12)},
+       {"C", "BBOX", "selected", "SPLOT_POINTS"}});
+
+  // Crossfilter (examples/crossfilter.cpp, Figure 1): brushing one chart
+  // filters linked group-by-sum bar charts.
+  fixtures.push_back(
+      {"crossfilter",
+       R"(
+        C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+            WHERE D.x > 100
+            RETURN (D.t, D.x AS x, D.x AS x2),
+                   (M.t, D.x AS x, M.x AS x2);
+        C_RANGE = SELECT min2(x, x2) AS lo, max2(x, x2) AS hi
+          FROM C ORDER BY t DESC LIMIT 1;
+        selected_years = SELECT yb.year AS year
+          FROM C_RANGE, year_bands AS yb
+          WHERE yb.x1 >= C_RANGE.lo AND yb.x0 <= C_RANGE.hi;
+        rev_region   = SELECT region, SUM(revenue) AS revenue
+          FROM Sales GROUP BY region;
+        rev_region_f = SELECT region, SUM(revenue) AS revenue FROM Sales
+          WHERE year IN selected_years GROUP BY region;
+        REGION_BARS = SELECT
+            band_scale(d.idx, 4, 5.0, 95.0, 0.2) AS x,
+            90.0 - linear_scale(r.revenue, 0, 40000, 0, 80) AS y,
+            band_width(4, 5.0, 95.0, 0.2) AS width,
+            linear_scale(r.revenue, 0, 40000, 0, 80) AS height,
+            'lightgray' AS fill
+          FROM rev_region AS r, RegionDim AS d
+          WHERE r.region = d.region;
+        REGION_BARS_F = SELECT
+            band_scale(d.idx, 4, 5.0, 95.0, 0.2) AS x,
+            90.0 - linear_scale(r.revenue, 0, 40000, 0, 80) AS y,
+            band_width(4, 5.0, 95.0, 0.2) AS width,
+            linear_scale(r.revenue, 0, 40000, 0, 80) AS height,
+            'green' AS fill
+          FROM rev_region_f AS r, RegionDim AS d
+          WHERE r.region = d.region;
+        P1 = render(SELECT * FROM REGION_BARS);
+        P2 = render(SELECT * FROM REGION_BARS_F);
+       )",
+       200,
+       100,
+       {InputEvent::MouseDown(0, 110, 50), InputEvent::MouseMove(1, 150, 50),
+        InputEvent::MouseUp(2, 170, 50)},
+       {"C", "C_RANGE", "selected_years", "rev_region", "rev_region_f"}});
+
+  // Small multiples: one chart per year rendered side by side.
+  fixtures.push_back(
+      {"small_multiples",
+       R"(
+        rev_93 = SELECT region, SUM(revenue) AS revenue FROM Sales
+          WHERE year = 1993 GROUP BY region;
+        rev_94 = SELECT region, SUM(revenue) AS revenue FROM Sales
+          WHERE year = 1994 GROUP BY region;
+        rev_95 = SELECT region, SUM(revenue) AS revenue FROM Sales
+          WHERE year = 1995 GROUP BY region;
+        M93 = SELECT band_scale(d.idx, 4, 2.0, 62.0, 0.2) AS x,
+            58.0 - linear_scale(r.revenue, 0, 20000, 0, 50) AS y,
+            band_width(4, 2.0, 62.0, 0.2) AS width,
+            linear_scale(r.revenue, 0, 20000, 0, 50) AS height,
+            'steelblue' AS fill
+          FROM rev_93 AS r, RegionDim AS d WHERE r.region = d.region;
+        M94 = SELECT 66.0 + band_scale(d.idx, 4, 2.0, 62.0, 0.2) AS x,
+            58.0 - linear_scale(r.revenue, 0, 20000, 0, 50) AS y,
+            band_width(4, 2.0, 62.0, 0.2) AS width,
+            linear_scale(r.revenue, 0, 20000, 0, 50) AS height,
+            'orange' AS fill
+          FROM rev_94 AS r, RegionDim AS d WHERE r.region = d.region;
+        M95 = SELECT 132.0 + band_scale(d.idx, 4, 2.0, 62.0, 0.2) AS x,
+            58.0 - linear_scale(r.revenue, 0, 20000, 0, 50) AS y,
+            band_width(4, 2.0, 62.0, 0.2) AS width,
+            linear_scale(r.revenue, 0, 20000, 0, 50) AS height,
+            'purple' AS fill
+          FROM rev_95 AS r, RegionDim AS d WHERE r.region = d.region;
+        P1 = render(SELECT * FROM M93);
+        P2 = render(SELECT * FROM M94);
+        P3 = render(SELECT * FROM M95);
+       )",
+       200,
+       60,
+       {},
+       {"rev_93", "rev_94", "rev_95", "M93", "M94", "M95"}});
+
+  return fixtures;
+}
+
+std::unique_ptr<Dvms> RunProgramAtThreads(const ProgramFixture& fixture,
+                                          size_t threads) {
+  Dvms::Options options;
+  options.canvas_width = fixture.canvas_w;
+  options.canvas_height = fixture.canvas_h;
+  options.num_threads = threads;
+  auto engine = std::make_unique<Dvms>(options);
+  EXPECT_TRUE(engine
+                  ->CreateBaseTable(
+                      "Sales", Schema({{"productId", ValueType::kInt64},
+                                       {"region", ValueType::kString},
+                                       {"year", ValueType::kInt64},
+                                       {"profit", ValueType::kDouble},
+                                       {"revenue", ValueType::kDouble}}))
+                  .ok());
+  EXPECT_TRUE(engine
+                  ->CreateBaseTable("RegionDim",
+                                    Schema({{"region", ValueType::kString},
+                                            {"idx", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(engine
+                  ->CreateBaseTable("year_bands",
+                                    Schema({{"year", ValueType::kInt64},
+                                            {"x0", ValueType::kDouble},
+                                            {"x1", ValueType::kDouble}}))
+                  .ok());
+  const char* regions[] = {"east", "west", "north", "south"};
+  std::vector<Row> dim_rows;
+  for (int i = 0; i < 4; ++i) {
+    dim_rows.push_back({Value::String(regions[i]), Value::Int(i)});
+  }
+  EXPECT_TRUE(engine->Insert("RegionDim", dim_rows).ok());
+  std::vector<Row> band_rows;
+  for (int y = 0; y < 5; ++y) {
+    band_rows.push_back({Value::Int(1993 + y), Value::Double(100 + 20 * y),
+                         Value::Double(120 + 20 * y)});
+  }
+  EXPECT_TRUE(engine->Insert("year_bands", band_rows).ok());
+  Rng rng(99);
+  std::vector<Row> sales;
+  for (int i = 0; i < 600; ++i) {
+    sales.push_back({Value::Int(i), Value::String(regions[rng.UniformInt(0, 3)]),
+                     Value::Int(1993 + rng.UniformInt(0, 4)),
+                     Value::Double(rng.Uniform(0, 100)),
+                     Value::Double(rng.Uniform(0, 100))});
+  }
+  EXPECT_TRUE(engine->Insert("Sales", sales).ok());
+  Status loaded = engine->LoadProgram(fixture.program);
+  EXPECT_TRUE(loaded.ok()) << fixture.name << ": " << loaded.message();
+  for (const InputEvent& event : fixture.events) {
+    EXPECT_TRUE(engine->PushEvent(event).ok());
+  }
+  return engine;
+}
+
+TEST(ParallelEngineTest, ExampleProgramsBitIdenticalAtAllThreadCounts) {
+  for (const ProgramFixture& fixture : ExamplePrograms()) {
+    SCOPED_TRACE(fixture.name);
+    std::unique_ptr<Dvms> reference = RunProgramAtThreads(fixture, 1);
+    for (size_t threads : kThreadCounts) {
+      if (threads == 1) continue;
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      std::unique_ptr<Dvms> parallel = RunProgramAtThreads(fixture, threads);
+      EXPECT_TRUE(PixelsBitIdentical(reference->pixels(), parallel->pixels()));
+      for (const std::string& table : fixture.check_tables) {
+        SCOPED_TRACE("table=" + table);
+        auto ta = reference->GetTable(table);
+        auto tb = parallel->GetTable(table);
+        ASSERT_TRUE(ta.ok() && tb.ok());
+        EXPECT_TRUE(TablesBitIdentical(*ta.value(), *tb.value()));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvms

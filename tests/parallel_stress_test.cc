@@ -1,0 +1,198 @@
+// Thread-safety stress: concurrent interaction streams, queries, and
+// inserts against one shared Dvms engine, plus ThreadPool contention from
+// multiple submitting threads. Run under -DDVMS_SANITIZE=thread to turn
+// every latent race into a hard failure.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dvms.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+constexpr const char* kProgram = R"(
+  C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+      RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+             (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+  BBOX = SELECT x AS x0, y AS y0, x + dx AS x1, y + dy AS y1
+    FROM C ORDER BY t DESC LIMIT 1;
+  totals = SELECT region, SUM(revenue) AS revenue, COUNT(*) AS n
+    FROM Sales GROUP BY region;
+  BARS = SELECT 10.0 + 20.0 * n.idx AS x, 10.0 AS y, 15.0 AS width,
+      linear_scale(t.revenue, 0, 100000, 1, 80) AS height,
+      'steelblue' AS fill
+    FROM totals AS t, RegionDim AS n WHERE t.region = n.region;
+  P = render(SELECT * FROM BARS);
+)";
+
+std::unique_ptr<Dvms> MakeStressEngine(size_t num_threads) {
+  Dvms::Options options;
+  options.canvas_width = 120;
+  options.canvas_height = 100;
+  options.num_threads = num_threads;
+  auto engine = std::make_unique<Dvms>(options);
+  EXPECT_TRUE(engine
+                  ->CreateBaseTable("Sales",
+                                    Schema({{"productId", ValueType::kInt64},
+                                            {"region", ValueType::kString},
+                                            {"revenue", ValueType::kDouble}}))
+                  .ok());
+  EXPECT_TRUE(engine
+                  ->CreateBaseTable("RegionDim",
+                                    Schema({{"region", ValueType::kString},
+                                            {"idx", ValueType::kInt64}}))
+                  .ok());
+  const char* regions[] = {"east", "west", "north", "south"};
+  std::vector<Row> dim;
+  for (int i = 0; i < 4; ++i) {
+    dim.push_back({Value::String(regions[i]), Value::Int(i)});
+  }
+  EXPECT_TRUE(engine->Insert("RegionDim", dim).ok());
+  Rng rng(5);
+  std::vector<Row> sales;
+  for (int i = 0; i < 400; ++i) {
+    sales.push_back({Value::Int(i), Value::String(regions[rng.UniformInt(0, 3)]),
+                     Value::Double(rng.Uniform(0, 100))});
+  }
+  EXPECT_TRUE(engine->Insert("Sales", sales).ok());
+  EXPECT_TRUE(engine->LoadProgram(kProgram).ok());
+  return engine;
+}
+
+// Four threads hammer the same engine: two interaction streams, one
+// analyst issuing ad-hoc queries, one data loader appending rows. The
+// facade serializes them; the test asserts nothing corrupts and the
+// engine stays fully usable afterwards.
+TEST(ParallelStressTest, ConcurrentInteractionStreams) {
+  std::unique_ptr<Dvms> engine = MakeStressEngine(2);
+  constexpr int kIters = 40;
+  std::atomic<int> query_failures{0};
+  std::atomic<int> insert_failures{0};
+
+  auto drag_stream = [&](int64_t t0) {
+    for (int i = 0; i < kIters; ++i) {
+      int64_t t = t0 + i * 10;
+      // Interleaved streams can split one thread's gesture; the recognizer
+      // must stay well-formed regardless of the resulting event salad.
+      (void)engine->PushEvent(InputEvent::MouseDown(t, 10.0 + i, 20.0));
+      (void)engine->PushEvent(InputEvent::MouseMove(t + 1, 30.0 + i, 40.0));
+      (void)engine->PushEvent(InputEvent::MouseUp(t + 2, 50.0 + i, 60.0));
+    }
+  };
+  std::thread brusher_a(drag_stream, 0);
+  std::thread brusher_b(drag_stream, 100000);
+  std::thread analyst([&] {
+    for (int i = 0; i < kIters; ++i) {
+      auto result = engine->Query(
+          "SELECT region, SUM(revenue) AS r FROM Sales GROUP BY region");
+      if (!result.ok() || result.value().num_rows() != 4) {
+        query_failures.fetch_add(1);
+      }
+    }
+  });
+  std::thread loader([&] {
+    Rng rng(11);
+    const char* regions[] = {"east", "west", "north", "south"};
+    for (int i = 0; i < kIters; ++i) {
+      Status s = engine->Insert(
+          "Sales", {{Value::Int(1000 + i),
+                     Value::String(regions[rng.UniformInt(0, 3)]),
+                     Value::Double(rng.Uniform(0, 100))}});
+      if (!s.ok()) insert_failures.fetch_add(1);
+    }
+  });
+  brusher_a.join();
+  brusher_b.join();
+  analyst.join();
+  loader.join();
+
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_EQ(insert_failures.load(), 0);
+  // Engine still consistent: all inserts landed and a fresh interaction
+  // round-trips through recognition, maintenance, and rendering.
+  auto count = engine->Query("SELECT COUNT(*) AS n FROM Sales");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value().row(0)[0].int_value(), 400 + kIters);
+  EXPECT_TRUE(engine->PushEvent(InputEvent::MouseDown(900000, 5, 5)).ok());
+  EXPECT_TRUE(engine->PushEvent(InputEvent::MouseUp(900001, 6, 6)).ok());
+  EXPECT_EQ(engine->pixels().width(), 120u);
+}
+
+// Undo/redo racing against event processing — exercises the versioned
+// snapshot restore path under the facade lock.
+TEST(ParallelStressTest, UndoRedoUnderConcurrentEvents) {
+  std::unique_ptr<Dvms> engine = MakeStressEngine(2);
+  std::thread brusher([&] {
+    for (int i = 0; i < 25; ++i) {
+      int64_t t = i * 10;
+      (void)engine->PushEvent(InputEvent::MouseDown(t, 10, 10));
+      (void)engine->PushEvent(InputEvent::MouseUp(t + 1, 90, 90));
+    }
+  });
+  std::thread historian([&] {
+    for (int i = 0; i < 25; ++i) {
+      if (engine->CanUndo()) (void)engine->Undo();
+      if (engine->CanRedo()) (void)engine->Redo();
+      (void)engine->DumpState();
+    }
+  });
+  brusher.join();
+  historian.join();
+  auto totals = engine->Query("SELECT SUM(revenue) AS r FROM Sales");
+  EXPECT_TRUE(totals.ok());
+}
+
+// Many external threads submitting ParallelFor work to one shared pool:
+// each submission must see exactly its own morsels, exactly once.
+TEST(ParallelStressTest, SharedPoolConcurrentSubmitters) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr size_t kTotal = 10000;
+  std::vector<std::thread> submitters;
+  std::vector<uint64_t> sums(kSubmitters, 0);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 20; ++round) {
+        std::vector<std::atomic<uint32_t>> hits(
+            MorselCount(kTotal, /*grain=*/64));
+        std::atomic<uint64_t> sum{0};
+        pool.ParallelFor(kTotal, 64, 0, [&](const MorselRange& m) {
+          hits[m.index].fetch_add(1);
+          uint64_t local = 0;
+          for (size_t i = m.begin; i < m.end; ++i) local += i;
+          sum.fetch_add(local);
+        });
+        for (const auto& h : hits) ASSERT_EQ(h.load(), 1u);
+        sums[s] = sum.load();
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(sums[s], kTotal * (kTotal - 1) / 2);
+  }
+}
+
+// Nested ParallelFor from inside a worker must degrade to inline
+// execution instead of deadlocking the pool.
+TEST(ParallelStressTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> total{0};
+  pool.ParallelFor(100, 10, 0, [&](const MorselRange& outer) {
+    pool.ParallelFor(outer.end - outer.begin, 2, 0,
+                     [&](const MorselRange& inner) {
+                       total.fetch_add(inner.end - inner.begin);
+                     });
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+}  // namespace
+}  // namespace dvms

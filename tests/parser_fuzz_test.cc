@@ -1,5 +1,13 @@
 // Fuzz-lite robustness: the parser must reject (not crash or hang on)
-// arbitrary token soup and random mutations of valid programs.
+// arbitrary token soup and random mutations of valid programs. Valid seed
+// programs live in tests/corpus/*.devil and are replayed deterministically.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "parser/parser.h"
@@ -7,6 +15,78 @@
 
 namespace dvms {
 namespace {
+
+// Corpus files in sorted order, so every run sees the same sequence.
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DVMS_TEST_CORPUS_DIR)) {
+    if (entry.path().extension() == ".devil") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ParserCorpusTest, EverySeedProgramParses) {
+  std::vector<std::filesystem::path> files = CorpusFiles();
+  ASSERT_GE(files.size(), 6u) << "corpus missing from " << DVMS_TEST_CORPUS_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    auto result = ParseProgram(ReadFile(path));
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    if (result.ok()) EXPECT_FALSE(result.value().statements.empty());
+  }
+}
+
+// Deterministic mutation replay over the corpus: the seed fixes both the
+// file order and every edit, so a crash reproduces from the test name.
+class CorpusMutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusMutationTest, MutatedSeedProgramsNeverCrash) {
+  Rng rng(GetParam());
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string valid = ReadFile(path);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::string mutated = valid;
+      size_t edits = static_cast<size_t>(rng.UniformInt(1, 8));
+      for (size_t e = 0; e < edits && !mutated.empty(); ++e) {
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        switch (rng.UniformInt(0, 3)) {
+          case 0:
+            mutated.erase(pos, 1);
+            break;
+          case 1:
+            mutated.insert(pos, 1,
+                           static_cast<char>(rng.UniformInt(32, 126)));
+            break;
+          case 2:
+            // Token-level chaos: duplicate a random slice elsewhere.
+            mutated.insert(pos, mutated.substr(
+                                    static_cast<size_t>(rng.UniformInt(
+                                        0, (int64_t)mutated.size() - 1)),
+                                    static_cast<size_t>(rng.UniformInt(1, 12))));
+            break;
+          default:
+            mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+            break;
+        }
+      }
+      (void)ParseProgram(mutated);  // any Status is fine; no crash, no hang
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusMutationTest,
+                         ::testing::Values(1001, 2002, 3003));
 
 class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
