@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 CI: Release build + full test suite, the serial-vs-parallel
-# benchmark comparison (emitted as BENCH_parallel.json), then a
-# ThreadSanitizer build re-running every test with 4 morsel workers.
+# benchmark comparison (emitted as BENCH_parallel.json), the undo-log /
+# chaos-survival comparison (BENCH_faults.json), a ThreadSanitizer build
+# re-running every test with 4 morsel workers, and an ASan+UBSan leg
+# running the chaos/fuzz suites under heavy fault injection.
 set -euo pipefail
 cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc)}"
@@ -29,11 +31,37 @@ DVMS_BENCH_JSON="$BENCH_LINES" ./build/bench/bench_fig2_brushing \
 echo "wrote BENCH_parallel.json:"
 cat BENCH_parallel.json
 
+# Undo-log overhead (< 10% budget on the fault-free fig2 workload) and
+# chaos survival under injected faults.
+FAULT_LINES="$PWD/build/bench_fault_lines.jsonl"
+rm -f "$FAULT_LINES"
+DVMS_BENCH_JSON="$FAULT_LINES" ./build/bench/bench_faults \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$FAULT_LINES"
+  printf ']\n'
+} > BENCH_faults.json
+echo "wrote BENCH_faults.json:"
+cat BENCH_faults.json
+
 # Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
 # parallelism through every test regardless of host core count.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && DVMS_THREADS=4 ctest --output-on-failure -j "$JOBS")
+
+# Leg 3: AddressSanitizer + UndefinedBehaviorSanitizer chaos leg — the
+# chaos differential, scheduler-degradation, and fuzz suites, then the
+# fault workload driven by a process-wide DVMS_FAULTS spec: any leak, UB,
+# or use-after-rollback in the recovery paths fails the build.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDVMS_SANITIZE=address,undefined
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS" \
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary')
+DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
+  --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
 
 echo "ci.sh: all legs passed"

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/fault.h"
+
 namespace dvms {
 
 namespace {
@@ -103,6 +105,9 @@ struct ThreadPool::ForState {
 void ThreadPool::RunParticipant(ForState* state, size_t self) {
   t_in_parallel_region = true;
   auto run = [state](size_t morsel) {
+    // Transient task-start faults are absorbed here with bounded retry:
+    // the morsel then runs exactly once, so results stay bit-identical.
+    fault::RetryTransient(FaultSite::kThreadPoolTask, 3);
     (*state->fn)(MorselAt(state->total, state->grain, morsel));
   };
   // Drain the participant's own segment.
@@ -135,7 +140,10 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, size_t max_threads,
   if (max_threads != 0 && max_threads < parallelism) parallelism = max_threads;
   if (parallelism > morsels) parallelism = morsels;
   if (parallelism <= 1 || t_in_parallel_region) {
-    for (size_t i = 0; i < morsels; ++i) fn(MorselAt(total, grain, i));
+    for (size_t i = 0; i < morsels; ++i) {
+      fault::RetryTransient(FaultSite::kThreadPoolTask, 3);
+      fn(MorselAt(total, grain, i));
+    }
     return;
   }
 

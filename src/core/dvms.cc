@@ -21,7 +21,90 @@ Dvms::Dvms(Options options)
   if (options_.enable_online_optimizer && !options_.capture_lineage) {
     maintainer_.set_optimizer(&optimizer_);
   }
+  if (!options_.fault_spec.empty()) {
+    Result<FaultConfig> config = ParseFaultSpec(options_.fault_spec);
+    if (config.ok()) {
+      owned_injector_ = std::make_unique<FaultInjector>(config.value());
+      previous_injector_ =
+          fault::InstallProcessInjector(owned_injector_.get());
+    }
+  }
   pixels_.Clear(RGBA{255, 255, 255, 255});
+}
+
+Dvms::~Dvms() {
+  if (owned_injector_ != nullptr) {
+    fault::InstallProcessInjector(previous_injector_);
+  }
+}
+
+void Dvms::BeginMutationUnit() {
+  if (!options_.transactional_rollback) return;
+  if (++unit_depth_ > 1) return;
+  unit_.relations = catalog_.Names();
+  for (const std::string& name : unit_.relations) {
+    auto table = catalog_.Get(name);
+    if (table.ok()) table.value()->ArmUndo();
+  }
+  unit_.matchers = recognizer_.SaveMatcherStates();
+  unit_.stats = stats_;
+  unit_.undo_history = undo_history_;
+  unit_.undo_cursor = undo_cursor_;
+  if (options_.capture_lineage) unit_.lineage = maintainer_.SaveLineage();
+  unit_.render_entered = false;
+}
+
+Status Dvms::EndMutationUnit(Status st) {
+  if (!options_.transactional_rollback || unit_depth_ == 0) return st;
+  if (--unit_depth_ > 0) return st;
+  if (st.ok()) {
+    for (const std::string& name : unit_.relations) {
+      auto table = catalog_.Get(name);
+      if (table.ok()) table.value()->DisarmUndo();
+    }
+    unit_ = UnitState{};
+    return st;
+  }
+  RollbackMutationUnit();
+  return st;
+}
+
+void Dvms::RollbackMutationUnit() {
+  // Injected faults must not cascade into the code undoing their damage.
+  FaultSuppressScope suppress;
+  std::vector<std::string> restored;
+  for (const std::string& name : unit_.relations) {
+    auto table = catalog_.Get(name);
+    if (table.ok() && table.value()->RollbackUndo()) {
+      restored.push_back(name);
+    }
+  }
+  recognizer_.RestoreMatcherStates(std::move(unit_.matchers));
+  size_t prior_rollbacks = stats_.interactions_rolled_back;
+  stats_ = unit_.stats;
+  stats_.interactions_rolled_back = prior_rollbacks + 1;
+  undo_history_ = std::move(unit_.undo_history);
+  undo_cursor_ = unit_.undo_cursor;
+  if (options_.capture_lineage) {
+    maintainer_.RestoreLineage(std::move(unit_.lineage));
+  }
+  // Derived caches (crossfilter cubes) may have refreshed against the
+  // now-rolled-back data; mark them dirty so the next refresh rebuilds
+  // from the restored relations.
+  for (const std::string& name : restored) {
+    optimizer_.OnRelationChanged(name);
+  }
+  bool rerender = unit_.render_entered;
+  unit_ = UnitState{};
+  if (rerender) {
+    // The framebuffer may hold a partial frame. Rendering is a
+    // deterministic function of the (restored) marks views, so a
+    // suppressed re-render reproduces the pre-unit pixels bit-for-bit —
+    // including reproducing any pre-existing render error's partial state.
+    size_t renders = stats_.renders;
+    (void)RenderLocked();
+    stats_.renders = renders;
+  }
 }
 
 Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
@@ -32,6 +115,11 @@ Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
 
 Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  BeginMutationUnit();
+  return EndMutationUnit(InsertLocked(name, std::move(rows)));
+}
+
+Status Dvms::InsertLocked(const std::string& name, std::vector<Row> rows) {
   DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
   for (Row& row : rows) {
     DVMS_RETURN_IF_ERROR(table->Append(std::move(row)));
@@ -45,6 +133,14 @@ Status Dvms::CreateScale(const std::string& name, double domain_min,
                          double domain_max, double range_min,
                          double range_max) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  BeginMutationUnit();
+  return EndMutationUnit(
+      CreateScaleLocked(name, domain_min, domain_max, range_min, range_max));
+}
+
+Status Dvms::CreateScaleLocked(const std::string& name, double domain_min,
+                               double domain_max, double range_min,
+                               double range_max) {
   DVMS_RETURN_IF_ERROR(CreateScaleRelation(&catalog_, name, domain_min,
                                            domain_max, range_min, range_max));
   return ProcessChanges({name});
@@ -220,6 +316,15 @@ Status Dvms::CommitViews() {
 Result<size_t> Dvms::Delete(const std::string& name,
                             const ExprPtr& predicate) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  BeginMutationUnit();
+  Result<size_t> removed = DeleteLocked(name, predicate);
+  Status st = EndMutationUnit(removed.status());
+  if (!st.ok()) return st;
+  return removed;
+}
+
+Result<size_t> Dvms::DeleteLocked(const std::string& name,
+                                  const ExprPtr& predicate) {
   DVMS_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(name));
   if (kind != RelationKind::kBase) {
     return Status::InvalidArgument(
@@ -287,6 +392,11 @@ bool Dvms::CanRedo() const {
 
 Status Dvms::Undo() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  BeginMutationUnit();
+  return EndMutationUnit(UndoLocked());
+}
+
+Status Dvms::UndoLocked() {
   if (!CanUndo()) {
     return Status::InvalidArgument("nothing to undo (history exhausted)");
   }
@@ -296,6 +406,11 @@ Status Dvms::Undo() {
 
 Status Dvms::Redo() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  BeginMutationUnit();
+  return EndMutationUnit(RedoLocked());
+}
+
+Status Dvms::RedoLocked() {
   if (!CanRedo()) {
     return Status::InvalidArgument("nothing to redo");
   }
@@ -325,6 +440,17 @@ std::string Dvms::DumpState() const {
     out += "  " + entry.name + " -> " + entry.stmt.target_relation +
            (entry.stmt.backward ? " (backward)" : " (forward)") + "\n";
   }
+  out += "rollbacks: " + std::to_string(stats_.interactions_rolled_back) + "\n";
+  if (FaultInjector* injector = fault::Active()) {
+    out += "fault injection (seed " + std::to_string(injector->config().seed) +
+           ", rate " + std::to_string(injector->config().rate) + "):\n";
+    for (size_t i = 0; i < kNumFaultSites; ++i) {
+      FaultSite site = static_cast<FaultSite>(i);
+      out += std::string("  ") + FaultSiteToString(site) + ": " +
+             std::to_string(injector->injections(site)) + "/" +
+             std::to_string(injector->checks(site)) + " checks fired\n";
+    }
+  }
   return out;
 }
 
@@ -350,6 +476,11 @@ Result<std::string> Dvms::ExplainView(const std::string& name) const {
 
 Status Dvms::PushEvent(const InputEvent& event) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  BeginMutationUnit();
+  return EndMutationUnit(PushEventLocked(event));
+}
+
+Status Dvms::PushEventLocked(const InputEvent& event) {
   ++stats_.events_processed;
   DVMS_ASSIGN_OR_RETURN(std::vector<EventRecognizer::FeedOutcome> outcomes,
                         recognizer_.Feed(event));
@@ -398,6 +529,12 @@ Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
 
 Status Dvms::Render() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  BeginMutationUnit();
+  return EndMutationUnit(RenderLocked());
+}
+
+Status Dvms::RenderLocked() {
+  if (unit_depth_ > 0) unit_.render_entered = true;
   pixels_.Clear(RGBA{255, 255, 255, 255});
   RenderOptions render_opts;
   render_opts.pool = owned_pool_.get();

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "events/interaction.h"
 #include "events/recognizer.h"
@@ -50,10 +51,22 @@ class Dvms {
     /// k threads owned by this engine (1 = fully serial). Query results
     /// and rendered pixels are bit-identical at every setting.
     size_t num_threads = 0;
+    /// All-or-nothing statement batches: every mutating entry point
+    /// (PushEvent / Insert / Delete / CreateScale / Undo / Redo / Render)
+    /// arms an undo log and rolls the engine back to a bit-identical
+    /// pre-call state on any mid-batch error (including injected faults).
+    /// Off reproduces the pre-rollback engine for overhead benchmarking.
+    bool transactional_rollback = true;
+    /// Fault-injection spec `<seed>:<rate>[:site,...]` installed as the
+    /// process injector for this engine's lifetime. Empty = the DVMS_FAULTS
+    /// environment variable (or no injection when that is unset). A
+    /// malformed spec disables injection.
+    std::string fault_spec;
   };
 
   Dvms() : Dvms(Options()) {}
   explicit Dvms(Options options);
+  ~Dvms();
   Dvms(const Dvms&) = delete;
   Dvms& operator=(const Dvms&) = delete;
 
@@ -157,6 +170,9 @@ class Dvms {
     size_t transactions_aborted = 0;
     size_t renders = 0;
     size_t trace_recomputes = 0;
+    /// Statement batches that failed mid-flight and were rolled back to
+    /// the pre-batch state (not restored by the rollback itself).
+    size_t interactions_rolled_back = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -166,6 +182,46 @@ class Dvms {
     TraceStmt stmt;
     std::vector<std::string> deps;  // current-version trigger relations
   };
+
+  /// Snapshot backing one mutation unit (an all-or-nothing statement
+  /// batch). Everything here is cheap to capture: matcher states are small
+  /// structs, the undo history holds shared_ptrs, and per-table data
+  /// capture is lazy inside VersionedTable.
+  struct UnitState {
+    std::vector<std::string> relations;  // armed tables (names at begin)
+    std::vector<PatternMatcher::SavedState> matchers;
+    Stats stats;
+    std::vector<std::unordered_map<std::string, TablePtr>> undo_history;
+    size_t undo_cursor = 0;
+    ViewMaintainer::LineageSnapshot lineage;
+    bool render_entered = false;  // the framebuffer may have been touched
+  };
+
+  /// Opens (or joins) a mutation unit; only the outermost call arms the
+  /// undo log.
+  void BeginMutationUnit();
+
+  /// Closes the unit: on the outermost call, a non-OK `st` triggers a full
+  /// rollback to the pre-unit state; OK disarms the undo log. Returns `st`.
+  Status EndMutationUnit(Status st);
+
+  /// Restores tables, matcher states, stats, undo history, view caches,
+  /// and (by deterministic re-render) the framebuffer. Runs under
+  /// FaultSuppressScope so injected faults cannot cascade into recovery.
+  void RollbackMutationUnit();
+
+  // Bodies of the public mutating entry points, called with the lock held
+  // and a mutation unit open.
+  Status InsertLocked(const std::string& name, std::vector<Row> rows);
+  Result<size_t> DeleteLocked(const std::string& name,
+                              const ExprPtr& predicate);
+  Status CreateScaleLocked(const std::string& name, double domain_min,
+                           double domain_max, double range_min,
+                           double range_max);
+  Status PushEventLocked(const InputEvent& event);
+  Status RenderLocked();
+  Status UndoLocked();
+  Status RedoLocked();
 
   /// Propagates relation changes: view maintenance, then trace relations,
   /// iterating until quiescent (bounded rounds).
@@ -206,6 +262,13 @@ class Dvms {
   std::vector<std::unordered_map<std::string, TablePtr>> undo_history_;
   /// 0 = at the newest committed state; k = k interactions undone.
   size_t undo_cursor_ = 0;
+  /// Mutation-unit nesting depth; unit_ is valid while > 0.
+  size_t unit_depth_ = 0;
+  UnitState unit_;
+  /// Injector built from Options::fault_spec (installed process-wide for
+  /// this engine's lifetime).
+  std::unique_ptr<FaultInjector> owned_injector_;
+  FaultInjector* previous_injector_ = nullptr;
 };
 
 }  // namespace dvms

@@ -43,6 +43,24 @@ class PatternMatcher {
   /// Abandons any in-flight match.
   void Reset();
 
+  /// The matcher's full runtime state, snapshotable so an engine-level
+  /// rollback can rewind the NFA to exactly where it was before a faulted
+  /// event was fed (a retried event then replays identically).
+  struct SavedState {
+    bool active = false;
+    size_t pos = 0;
+    Row slots;
+    std::vector<bool> exists_satisfied;
+  };
+
+  SavedState SaveState() const { return {active_, pos_, slots_, exists_satisfied_}; }
+  void RestoreState(SavedState state) {
+    active_ = state.active;
+    pos_ = state.pos;
+    slots_ = std::move(state.slots);
+    exists_satisfied_ = std::move(state.exists_satisfied);
+  }
+
   bool active() const { return active_; }
   const CompiledPattern& pattern() const { return pattern_; }
 

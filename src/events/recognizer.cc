@@ -45,7 +45,7 @@ Result<std::vector<EventRecognizer::FeedOutcome>> EventRecognizer::Feed(
     if (action == MatchAction::kStarted) {
       // A fresh interaction: clear the compound-event table, then open the
       // transaction so @vnow-1 refers to the pre-interaction state.
-      table->mutable_current().Clear();
+      table->ClearCurrent();
       table->BeginTransaction();
     }
     // Snapshot the pre-event state so `@tnow-j` addresses the table as it
@@ -58,7 +58,7 @@ Result<std::vector<EventRecognizer::FeedOutcome>> EventRecognizer::Feed(
       table->Commit();
     } else if (action == MatchAction::kAborted) {
       table->Abort();
-      table->mutable_current().Clear();
+      table->ClearCurrent();
     }
     FeedOutcome outcome;
     outcome.table = entry.name;
@@ -68,6 +68,24 @@ Result<std::vector<EventRecognizer::FeedOutcome>> EventRecognizer::Feed(
     if (consumed) break;
   }
   return outcomes;
+}
+
+std::vector<PatternMatcher::SavedState> EventRecognizer::SaveMatcherStates()
+    const {
+  std::vector<PatternMatcher::SavedState> states;
+  states.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    states.push_back(entry.matcher->SaveState());
+  }
+  return states;
+}
+
+void EventRecognizer::RestoreMatcherStates(
+    std::vector<PatternMatcher::SavedState> states) {
+  size_t n = std::min(states.size(), entries_.size());
+  for (size_t i = 0; i < n; ++i) {
+    entries_[i].matcher->RestoreState(std::move(states[i]));
+  }
 }
 
 std::vector<std::string> EventRecognizer::PatternNames() const {

@@ -51,6 +51,14 @@ class EventRecognizer {
   /// action == kNone and no insertions are omitted.
   Result<std::vector<FeedOutcome>> Feed(const InputEvent& event);
 
+  /// Snapshots every matcher's NFA runtime state (in entry order). Paired
+  /// with RestoreMatcherStates by the engine's interaction rollback.
+  std::vector<PatternMatcher::SavedState> SaveMatcherStates() const;
+
+  /// Restores a snapshot taken by SaveMatcherStates(). The pattern set must
+  /// not have changed in between.
+  void RestoreMatcherStates(std::vector<PatternMatcher::SavedState> states);
+
   /// Names of all defined patterns (in definition order).
   std::vector<std::string> PatternNames() const;
 

@@ -86,12 +86,23 @@ Result<Value> LerpColor(const std::vector<Value>& args) {
   if (AnyNull(args)) return Value::Null();
   DVMS_ASSIGN_OR_RETURN(double t, args[0].AsDouble());
   t = std::clamp(t, 0.0, 1.0);
-  auto parse_hex = [](const std::string& s, int out[3]) -> Status {
+  auto hex_digit = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  auto parse_hex = [&hex_digit](const std::string& s, int out[3]) -> Status {
     if (s.size() != 7 || s[0] != '#') {
       return Status::InvalidArgument("lerp_color expects '#rrggbb' colors");
     }
     for (int i = 0; i < 3; ++i) {
-      out[i] = std::stoi(s.substr(1 + 2 * static_cast<size_t>(i), 2), nullptr, 16);
+      int hi = hex_digit(s[1 + 2 * static_cast<size_t>(i)]);
+      int lo = hex_digit(s[2 + 2 * static_cast<size_t>(i)]);
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("lerp_color expects '#rrggbb' colors");
+      }
+      out[i] = hi * 16 + lo;
     }
     return Status::OK();
   };

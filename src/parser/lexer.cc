@@ -1,6 +1,8 @@
 #include "parser/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 #include "common/schema.h"
 
@@ -127,10 +129,20 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
       }
       std::string text = source.substr(start, i - start);
       Token t = make(is_double ? TokenType::kDouble : TokenType::kInt, text);
+      // Non-throwing conversion: fuzzed or adversarial literals (e.g.
+      // "1e999999", 40-digit integers) must produce a Status, not an
+      // exception escaping the module boundary (see status.h convention).
+      errno = 0;
       if (is_double) {
-        t.double_value = std::stod(text);
+        t.double_value = std::strtod(text.c_str(), nullptr);
+        // Overflow saturates to +/-HUGE_VAL, which evaluates fine.
       } else {
-        t.int_value = std::stoll(text);
+        char* end = nullptr;
+        t.int_value = std::strtoll(text.c_str(), &end, 10);
+        if (errno == ERANGE) {
+          return Status::ParseError("integer literal '" + text +
+                                    "' is out of range");
+        }
       }
       tokens.push_back(std::move(t));
       continue;

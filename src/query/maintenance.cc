@@ -1,5 +1,7 @@
 #include "query/maintenance.h"
 
+#include "common/fault.h"
+
 namespace dvms {
 
 ViewMaintainer::ViewMaintainer(Catalog* catalog, const UdfRegistry* udfs)
@@ -54,6 +56,9 @@ Status ViewMaintainer::DefineView(const std::string& name, PlanPtr plan,
 }
 
 Status ViewMaintainer::RecomputeView(const std::string& name) {
+  // Fault site: a failed delta application / recompute must leave the
+  // surrounding statement batch rollbackable, never half-applied.
+  DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kIvmApply));
   // Online-optimizer fast path: adopted views refresh from their cube.
   if (optimizer_ != nullptr && !capture_lineage_ &&
       optimizer_->IsAdopted(name)) {

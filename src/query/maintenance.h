@@ -61,6 +61,22 @@ class ViewMaintainer {
   /// The lineage tree for `view` as of the last SnapshotCommitted().
   Result<const NodeResult*> CommittedResult(const std::string& view) const;
 
+  /// View-cache (lineage tree) snapshot for engine rollback: both caches
+  /// hold shared_ptrs, so save/restore is O(#views) pointer copies.
+  struct LineageSnapshot {
+    std::unordered_map<std::string, std::shared_ptr<NodeResult>> last;
+    std::unordered_map<std::string, std::shared_ptr<NodeResult>> committed;
+    size_t recompute_count = 0;
+  };
+  LineageSnapshot SaveLineage() const {
+    return {last_results_, committed_results_, recompute_count_};
+  }
+  void RestoreLineage(LineageSnapshot snapshot) {
+    last_results_ = std::move(snapshot.last);
+    committed_results_ = std::move(snapshot.committed);
+    recompute_count_ = snapshot.recompute_count;
+  }
+
   /// Total number of view recomputations performed (for benches).
   size_t recompute_count() const { return recompute_count_; }
 

@@ -52,6 +52,12 @@ class PixelBuffer {
   /// Number of pixels with nonzero alpha.
   size_t CountPainted() const;
 
+  /// Bitwise framebuffer equality (dimensions and every RGBA byte).
+  bool Equals(const PixelBuffer& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           pixels_ == other.pixels_;
+  }
+
   /// Writes a binary PPM (P6) image, alpha composited over white.
   Status WritePpm(const std::string& path) const;
 

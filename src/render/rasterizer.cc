@@ -1,8 +1,11 @@
 #include "render/rasterizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
+
+#include "common/fault.h"
 
 namespace dvms {
 
@@ -315,6 +318,10 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
       opts.num_threads != 0 ? opts.num_threads : pool->num_threads();
   size_t band_rows = opts.band_rows == 0 ? 64 : opts.band_rows;
   if (threads <= 1 || out->height() == 0) {
+    // Serial path: the whole frame is one band for fault purposes. A fired
+    // fault leaves the frame partially drawn (the caller's rollback
+    // restores it by re-rendering under suppression).
+    DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kRasterBand));
     ReplayOps(ops, FullTarget{out});
     return decoded;
   }
@@ -322,8 +329,16 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
   // Row-band parallel fill: bands own disjoint framebuffer rows, so no
   // pixel is written by two threads, and each band replays marks in
   // relation order — the result is bit-identical to the serial path.
+  // A band whose fault fires skips its rows entirely and reports the
+  // failure after the join; the frame is then corrupt and the error Status
+  // tells the engine to roll back.
+  std::atomic<size_t> failed_bands{0};
   pool->ParallelFor(
       out->height(), band_rows, threads, [&](const MorselRange& band) {
+        if (fault::ShouldInject(FaultSite::kRasterBand)) {
+          failed_bands.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
         BandTarget t{out, static_cast<int64_t>(band.begin),
                      static_cast<int64_t>(band.end)};
         for (const MarkOp& op : ops) {
@@ -334,6 +349,12 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
           ReplayOp(op, t);
         }
       });
+  size_t failures = failed_bands.load(std::memory_order_relaxed);
+  if (failures > 0) {
+    return Status::ExecutionError(
+        "injected fault at site 'raster': " + std::to_string(failures) +
+        " band(s) dropped");
+  }
   return decoded;
 }
 

@@ -1,5 +1,7 @@
 #include "storage/versioned_table.h"
 
+#include "common/fault.h"
+
 namespace dvms {
 
 VersionedTable::VersionedTable(std::string name, Schema schema,
@@ -13,6 +15,51 @@ VersionedTable::VersionedTable(std::string name, Schema schema,
   committed_.push_back(MakeTablePtr(current_));
 }
 
+void VersionedTable::CaptureCurrentForUndo() {
+  if (!undo_armed_ || undo_current_.has_value()) return;
+  if (!undo_meta_.has_value()) undo_epoch_ = epoch_;
+  undo_current_ = current_;  // copy: the caller mutates current_ in place
+}
+
+void VersionedTable::CaptureMetaForUndo() {
+  if (!undo_armed_ || undo_meta_.has_value()) return;
+  if (!undo_current_.has_value()) undo_epoch_ = epoch_;
+  UndoMeta meta;
+  meta.committed = committed_;  // shared_ptr copies — cheap
+  meta.steps = steps_;
+  meta.txn_base = txn_base_;
+  meta.in_transaction = in_transaction_;
+  undo_meta_ = std::move(meta);
+}
+
+void VersionedTable::ArmUndo() {
+  undo_armed_ = true;
+  undo_current_.reset();
+  undo_meta_.reset();
+}
+
+void VersionedTable::DisarmUndo() {
+  undo_armed_ = false;
+  undo_current_.reset();
+  undo_meta_.reset();
+}
+
+bool VersionedTable::RollbackUndo() {
+  bool restored = undo_current_.has_value() || undo_meta_.has_value();
+  if (undo_current_.has_value()) {
+    current_ = std::move(*undo_current_);
+  }
+  if (undo_meta_.has_value()) {
+    committed_ = std::move(undo_meta_->committed);
+    steps_ = std::move(undo_meta_->steps);
+    txn_base_ = std::move(undo_meta_->txn_base);
+    in_transaction_ = undo_meta_->in_transaction;
+  }
+  if (restored) epoch_ = undo_epoch_;
+  DisarmUndo();
+  return restored;
+}
+
 Status VersionedTable::SetCurrent(Table t) {
   if (!declared_schema_.UnionCompatible(t.schema())) {
     return Status::TypeError("table '" + name_ +
@@ -22,14 +69,34 @@ Status VersionedTable::SetCurrent(Table t) {
   }
   // Keep the declared column names/types; adopt the rows.
   Table replacement(declared_schema_, std::move(t.mutable_rows()));
+  if (undo_armed_ && !undo_current_.has_value()) {
+    // Capture by displacement: the outgoing working state becomes the undo
+    // snapshot instead of being destroyed — zero-copy on the view path.
+    if (!undo_meta_.has_value()) undo_epoch_ = epoch_;
+    undo_current_ = std::move(current_);
+  }
   current_ = std::move(replacement);
+  ++epoch_;
   return Status::OK();
 }
 
-Status VersionedTable::Append(Row row) { return current_.Append(std::move(row)); }
+Status VersionedTable::Append(Row row) {
+  DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kStorageAppend));
+  CaptureCurrentForUndo();
+  ++epoch_;
+  return current_.Append(std::move(row));
+}
+
+void VersionedTable::ClearCurrent() {
+  CaptureCurrentForUndo();
+  ++epoch_;
+  current_.Clear();
+}
 
 void VersionedTable::BeginTransaction() {
   if (in_transaction_) return;
+  CaptureMetaForUndo();
+  ++epoch_;
   in_transaction_ = true;
   txn_base_ = MakeTablePtr(current_);
   steps_.clear();
@@ -37,10 +104,14 @@ void VersionedTable::BeginTransaction() {
 
 void VersionedTable::RecordStep() {
   if (!in_transaction_) BeginTransaction();
+  CaptureMetaForUndo();
+  ++epoch_;
   steps_.push_back(MakeTablePtr(current_));
 }
 
 void VersionedTable::Commit() {
+  CaptureMetaForUndo();
+  ++epoch_;
   committed_.push_back(MakeTablePtr(current_));
   if (committed_.size() > max_history_) {
     committed_.erase(committed_.begin());
@@ -51,6 +122,9 @@ void VersionedTable::Commit() {
 }
 
 void VersionedTable::Abort() {
+  CaptureMetaForUndo();
+  CaptureCurrentForUndo();
+  ++epoch_;
   if (in_transaction_ && txn_base_ != nullptr) {
     current_ = *txn_base_;
   } else if (!committed_.empty()) {

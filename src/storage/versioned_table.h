@@ -1,6 +1,8 @@
 #ifndef DVMS_STORAGE_VERSIONED_TABLE_H_
 #define DVMS_STORAGE_VERSIONED_TABLE_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,14 @@ namespace dvms {
 ///     (used for interactions like mouse trails).
 ///
 /// Committed history is capped; old versions are discarded FIFO.
+///
+/// Undo capture (interaction rollback): between ArmUndo() and
+/// DisarmUndo()/RollbackUndo(), the first mutation of the working state and
+/// the first mutation of the version metadata each snapshot the
+/// pre-mutation state lazily, so an engine-level statement batch can be
+/// rolled back to a bit-identical pre-batch state on any mid-batch error.
+/// The fault-free cost is near zero: unmutated tables snapshot nothing, and
+/// SetCurrent captures by *moving* the displaced working state.
 class VersionedTable {
  public:
   VersionedTable(std::string name, Schema schema, size_t max_history = 16);
@@ -29,14 +39,25 @@ class VersionedTable {
 
   /// The current working state (uncommitted if a transaction is open).
   const Table& current() const { return current_; }
-  Table& mutable_current() { return current_; }
+
+  /// Mutable working-state access. Counts as a mutation for undo capture
+  /// (the pre-mutation state is snapshotted if capture is armed).
+  Table& mutable_current() {
+    CaptureCurrentForUndo();
+    ++epoch_;
+    return current_;
+  }
 
   /// Replaces the working state. The schema of `t` must be union-compatible
   /// with the declared schema.
   Status SetCurrent(Table t);
 
-  /// Appends a row to the working state (validated).
+  /// Appends a row to the working state (validated). Subject to
+  /// FaultSite::kStorageAppend injection.
   Status Append(Row row);
+
+  /// Clears the working state's rows (undo-capture aware).
+  void ClearCurrent();
 
   /// Begins an interaction transaction: snapshots the working state as the
   /// transaction base and clears per-event step history. Idempotent if a
@@ -63,6 +84,27 @@ class VersionedTable {
   /// Number of per-event snapshots recorded in the open transaction.
   size_t num_steps() const { return steps_.size(); }
 
+  /// Monotone mutation counter: bumps on every working-state or version
+  /// mutation, and is restored by RollbackUndo() — equal epochs before and
+  /// after a rolled-back batch certify untouched state.
+  uint64_t epoch() const { return epoch_; }
+
+  // ---- Undo capture (engine statement-batch rollback) ----
+
+  /// Arms lazy pre-mutation capture. Any capture from a previous arm cycle
+  /// is discarded.
+  void ArmUndo();
+
+  /// Disarms capture and discards any snapshot (the batch committed).
+  void DisarmUndo();
+
+  /// Restores every captured piece of state (working state and/or version
+  /// metadata) and disarms. Returns true if anything was restored — i.e.
+  /// the table was mutated since ArmUndo().
+  bool RollbackUndo();
+
+  bool undo_armed() const { return undo_armed_; }
+
   /// `@vnow-k`. k == 0 returns the working state; k >= 1 returns the k-th
   /// most recent committed version. Errors if history does not reach back
   /// that far.
@@ -76,6 +118,17 @@ class VersionedTable {
   Result<TablePtr> StepVersion(size_t j) const;
 
  private:
+  /// Version metadata snapshot: cheap (vectors of shared_ptr + flags).
+  struct UndoMeta {
+    std::vector<TablePtr> committed;
+    std::vector<TablePtr> steps;
+    TablePtr txn_base;
+    bool in_transaction = false;
+  };
+
+  void CaptureCurrentForUndo();
+  void CaptureMetaForUndo();
+
   std::string name_;
   Schema declared_schema_;
   Table current_;
@@ -84,6 +137,11 @@ class VersionedTable {
   TablePtr txn_base_;
   bool in_transaction_ = false;
   size_t max_history_;
+  uint64_t epoch_ = 0;
+  bool undo_armed_ = false;
+  uint64_t undo_epoch_ = 0;  // epoch at first capture of this arm cycle
+  std::optional<Table> undo_current_;
+  std::optional<UndoMeta> undo_meta_;
 };
 
 }  // namespace dvms

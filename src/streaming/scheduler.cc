@@ -1,6 +1,10 @@
 #include "streaming/scheduler.h"
 
+#include <chrono>
 #include <queue>
+#include <set>
+
+#include "common/fault.h"
 
 namespace dvms {
 
@@ -25,10 +29,24 @@ void StreamScheduler::SetProbabilities(
   }
 }
 
-std::map<std::string, size_t> StreamScheduler::Tick() {
+int64_t StreamScheduler::Now() const {
+  if (clock_) return clock_();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TickReport StreamScheduler::TickDetailed() {
   // Greedy marginal-gain allocation: a max-heap of (expected gain of the
-  // next coefficient, entry index).
-  std::map<std::string, size_t> sent;
+  // next coefficient, entry index), guarded by the deadline watchdog.
+  TickReport report;
+  ++stats_.ticks;
+  const int64_t start = Now();
+  // Simulated backoff time charged by retries; counted against the budget
+  // so retry storms run the watchdog down instead of sleeping.
+  int64_t penalty_us = 0;
+  auto elapsed = [&]() { return (Now() - start) + penalty_us; };
+
   auto gain = [this](size_t idx) {
     const Entry& e = entries_[idx];
     const StreamTile& t = e.tile;
@@ -40,8 +58,16 @@ std::map<std::string, size_t> StreamScheduler::Tick() {
     double g = gain(i);
     if (g >= 0) heap.push({g, i});
   }
+  // Tiles that hit exhausted retries are parked for the rest of the tick:
+  // the client keeps rendering their resident coarse prefix.
+  std::set<size_t> parked;
   size_t budget = coeffs_per_tick_;
   while (budget > 0 && !heap.empty()) {
+    if (elapsed() >= policy_.budget_us) {
+      report.deadline_missed = true;
+      ++stats_.deadline_misses;
+      break;
+    }
     auto [g, idx] = heap.top();
     heap.pop();
     // Lazy re-evaluation: the stored gain may be stale.
@@ -51,14 +77,47 @@ std::map<std::string, size_t> StreamScheduler::Tick() {
       heap.push({fresh, idx});
       continue;
     }
+    // Transient send fault: bounded retry with (simulated) backoff. The
+    // coefficient is only counted as sent after a clean attempt.
+    size_t attempts = 0;
+    bool sent_ok = true;
+    while (fault::ShouldInject(FaultSite::kStreamTick)) {
+      ++report.faults;
+      ++stats_.faults_injected;
+      if (attempts >= policy_.max_retries ||
+          elapsed() >= policy_.budget_us) {
+        sent_ok = false;
+        break;
+      }
+      ++attempts;
+      ++report.retries;
+      ++stats_.retries;
+      penalty_us += policy_.retry_backoff_us;
+    }
+    if (!sent_ok) {
+      // Exhausted retries (or the watchdog fired mid-retry): park the tile
+      // for this tick; it reschedules next tick.
+      parked.insert(idx);
+      continue;
+    }
     entries_[idx].tile.sent_coeffs += 1;
     ++total_sent_;
     --budget;
-    ++sent[entries_[idx].tile.id];
+    ++report.sent[entries_[idx].tile.id];
     double next = gain(idx);
     if (next >= 0) heap.push({next, idx});
   }
-  return sent;
+  // Every incomplete tile that received nothing this tick is being served
+  // from its resident coarse prefix — record the degradation.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const StreamTile& t = entries_[i].tile;
+    if (t.complete()) continue;
+    if (report.sent.count(t.id) > 0) continue;
+    if (!report.deadline_missed && parked.count(i) == 0) continue;
+    report.degraded.push_back(t.id);
+    ++stats_.degraded_serves;
+  }
+  return report;
 }
 
 Result<const StreamTile*> StreamScheduler::GetTile(

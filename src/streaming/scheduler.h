@@ -1,6 +1,8 @@
 #ifndef DVMS_STREAMING_SCHEDULER_H_
 #define DVMS_STREAMING_SCHEDULER_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,12 +28,43 @@ struct StreamTile {
   }
 };
 
+/// Failure-model knobs for one scheduling tick (§3.3 under load): the tick
+/// must return by its deadline no matter what — a missed deadline or a
+/// persistent injected fault degrades a tile to the coarser wavelet prefix
+/// that is already resident client-side instead of stalling the stream.
+struct TickPolicy {
+  /// Wall-clock budget per tick in microseconds (the paper's 50 ms tick).
+  int64_t budget_us = 50000;
+  /// Bounded retry for transient send faults, per coefficient.
+  size_t max_retries = 3;
+  /// Simulated backoff charged against the tick budget per retry, so
+  /// retry storms run the watchdog down instead of blocking real time.
+  int64_t retry_backoff_us = 500;
+};
+
+/// What one tick did — consumed by tests, benches, and the intent loop.
+struct TickReport {
+  std::map<std::string, size_t> sent;  // tile id -> coefficients this tick
+  /// Incomplete tiles that received nothing this tick because of a
+  /// deadline miss or exhausted retries; the client keeps rendering their
+  /// resident coarse prefix (DecodePrefix(sent_coeffs)).
+  std::vector<std::string> degraded;
+  bool deadline_missed = false;
+  size_t faults = 0;   // injected send faults observed this tick
+  size_t retries = 0;  // bounded-retry attempts consumed this tick
+};
+
 /// The bandwidth-bounded speculative scheduler of §3.3, modeled on partial
 /// task execution (Zeta): each 50 ms tick it allocates the tick's
 /// coefficient budget greedily by marginal expected utility
 /// p(tile) * Δu(tile) — optimal for concave per-tile utilities. Tiles
 /// whose deadline passes are simply rescheduled on the next tick, and
 /// probability updates from the intent model re-weight every tick.
+///
+/// Robustness: a per-tick watchdog guarantees Tick() never runs past its
+/// deadline — on budget exhaustion or injected stream faults
+/// (FaultSite::kStreamTick) it degrades gracefully to the coarse resident
+/// prefix and reports the miss, rather than blocking the interaction loop.
 class StreamScheduler {
  public:
   /// `coeffs_per_tick`: bandwidth expressed in coefficients per 50 ms tick.
@@ -46,9 +79,18 @@ class StreamScheduler {
   /// their previous probability.
   void SetProbabilities(const std::map<std::string, double>& probabilities);
 
-  /// Runs one 50 ms scheduling round. Returns (tile id -> coefficients
-  /// sent this tick).
-  std::map<std::string, size_t> Tick();
+  /// Runs one scheduling round under the tick policy's deadline watchdog.
+  TickReport TickDetailed();
+
+  /// Back-compat wrapper: TickDetailed()'s (tile id -> coefficients sent).
+  std::map<std::string, size_t> Tick() { return TickDetailed().sent; }
+
+  void set_tick_policy(TickPolicy policy) { policy_ = policy; }
+  const TickPolicy& tick_policy() const { return policy_; }
+
+  /// Clock override for deterministic tests: returns microseconds on a
+  /// monotone scale. Default is std::chrono::steady_clock.
+  void set_clock(std::function<int64_t()> clock) { clock_ = std::move(clock); }
 
   /// Delivered fraction state of a tile.
   Result<const StreamTile*> GetTile(const std::string& id) const;
@@ -58,14 +100,30 @@ class StreamScheduler {
 
   size_t total_sent() const { return total_sent_; }
 
+  /// Lifetime failure-handling counters.
+  struct SchedulerStats {
+    size_t ticks = 0;
+    size_t deadline_misses = 0;
+    size_t faults_injected = 0;
+    size_t retries = 0;
+    size_t degraded_serves = 0;  // tile-ticks served from a coarse prefix
+  };
+  const SchedulerStats& stats() const { return stats_; }
+
  private:
   struct Entry {
     StreamTile tile;
     double probability = 0.0;
   };
+
+  int64_t Now() const;
+
   size_t coeffs_per_tick_;
+  TickPolicy policy_;
+  std::function<int64_t()> clock_;
   std::vector<Entry> entries_;
   size_t total_sent_ = 0;
+  SchedulerStats stats_;
 };
 
 }  // namespace dvms

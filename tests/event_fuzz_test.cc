@@ -1,0 +1,216 @@
+// Event-stream fuzzing: malformed, out-of-order, and duplicate low-level
+// event tuples fed into the Event Recognizer (and the full engine) must be
+// digested or rejected with a Status — never a crash, hang, or a matcher
+// left in a wedged state. Seed patterns come from tests/corpus/*.devil.
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dvms.h"
+#include "events/nfa.h"
+#include "parser/parser.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DVMS_TEST_CORPUS_DIR)) {
+    if (entry.path().extension() == ".devil") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Every EVENT pattern found in the corpus, compiled.
+std::vector<CompiledPattern> CorpusPatterns(UdfRegistry* udfs) {
+  std::vector<CompiledPattern> patterns;
+  for (const auto& path : CorpusFiles()) {
+    auto program = ParseProgram(ReadFile(path));
+    if (!program.ok()) continue;
+    for (const Statement& stmt : program.value().statements) {
+      if (stmt.kind != Statement::Kind::kEventDef) continue;
+      auto compiled = CompilePattern(stmt.event, udfs);
+      if (compiled.ok()) patterns.push_back(std::move(compiled).value());
+    }
+  }
+  return patterns;
+}
+
+InputEvent RandomEvent(Rng& rng) {
+  InputEvent e;
+  switch (rng.UniformInt(0, 4)) {
+    case 0:
+      e.type = EventType::kMouseDown;
+      break;
+    case 1:
+      e.type = EventType::kMouseMove;
+      break;
+    case 2:
+      e.type = EventType::kMouseUp;
+      break;
+    case 3:
+      e.type = EventType::kKeyPress;
+      break;
+    default:
+      e.type = EventType::kWheel;
+      break;
+  }
+  // Out-of-order and colliding timestamps on purpose.
+  e.t = rng.UniformInt(-10, 10);
+  switch (rng.UniformInt(0, 3)) {
+    case 0:  // well-formed coordinates
+      e.x = static_cast<double>(rng.UniformInt(0, 400));
+      e.y = static_cast<double>(rng.UniformInt(0, 300));
+      break;
+    case 1:  // malformed: NaN / infinities
+      e.x = std::numeric_limits<double>::quiet_NaN();
+      e.y = std::numeric_limits<double>::infinity();
+      break;
+    case 2:  // malformed: far outside any canvas
+      e.x = -1e18;
+      e.y = 1e18;
+      break;
+    default:  // denormal-ish extremes
+      e.x = std::numeric_limits<double>::min();
+      e.y = -std::numeric_limits<double>::max();
+      break;
+  }
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      e.key = "";  // malformed: empty key payload
+      break;
+    case 1:
+      e.key = "a";
+      break;
+    default:
+      e.key = std::string(64, '\xff');  // binary garbage payload
+      break;
+  }
+  e.delta = (rng.UniformInt(0, 1) != 0)
+                ? std::numeric_limits<double>::quiet_NaN()
+                : static_cast<double>(rng.UniformInt(-5, 5));
+  return e;
+}
+
+class EventFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EventFuzzTest, RecognizerDigestsGarbageStreams) {
+  UdfRegistry udfs = UdfRegistry::WithBuiltins();
+  std::vector<CompiledPattern> patterns = CorpusPatterns(&udfs);
+  ASSERT_FALSE(patterns.empty()) << "corpus has no EVENT patterns";
+
+  Rng rng(GetParam());
+  for (const CompiledPattern& pattern : patterns) {
+    PatternMatcher matcher(pattern, &udfs);
+    std::vector<Row> rows;
+    for (int i = 0; i < 400; ++i) {
+      InputEvent e = RandomEvent(rng);
+      rows.clear();
+      auto action = matcher.Feed(e, &rows);
+      ASSERT_TRUE(action.ok() || !action.status().message().empty());
+      if (rng.UniformInt(0, 9) == 0) {
+        // Duplicate tuple: feed the identical event again.
+        rows.clear();
+        (void)matcher.Feed(e, &rows);
+      }
+    }
+  }
+}
+
+TEST_P(EventFuzzTest, MatcherStaysUsableAfterGarbage) {
+  // After an arbitrary garbage prefix, a canonical down-move-up sequence
+  // must still drive the drag pattern to a completed match.
+  UdfRegistry udfs = UdfRegistry::WithBuiltins();
+  auto program = ParseProgram(
+      "C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U "
+      "RETURN (D.t, D.x, D.y), (M.t, M.x, M.y);");
+  ASSERT_TRUE(program.ok());
+  CompiledPattern pattern =
+      CompilePattern(program.value().statements[0].event, &udfs).value();
+
+  Rng rng(GetParam() ^ 0x5eed);
+  for (int trial = 0; trial < 20; ++trial) {
+    PatternMatcher matcher(pattern, &udfs);
+    std::vector<Row> rows;
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 40));
+    for (size_t i = 0; i < len; ++i) {
+      rows.clear();
+      (void)matcher.Feed(RandomEvent(rng), &rows);
+    }
+    matcher.Reset();
+    rows.clear();
+    ASSERT_EQ(matcher.Feed(InputEvent::MouseDown(100, 5, 5), &rows).value(),
+              MatchAction::kStarted);
+    rows.clear();
+    ASSERT_EQ(matcher.Feed(InputEvent::MouseMove(101, 6, 6), &rows).value(),
+              MatchAction::kProgress);
+    rows.clear();
+    ASSERT_EQ(matcher.Feed(InputEvent::MouseUp(102, 6, 6), &rows).value(),
+              MatchAction::kCommitted);
+  }
+}
+
+TEST_P(EventFuzzTest, EngineSurvivesGarbageEventStream) {
+  // Full pipeline: garbage events through PushEvent must never crash the
+  // engine, and a well-formed interaction afterwards still works.
+  Dvms::Options options;
+  options.canvas_width = 120;
+  options.canvas_height = 90;
+  options.num_threads = 1;
+  Dvms engine(options);
+  Schema schema({{"id", ValueType::kInt64}, {"px", ValueType::kDouble}});
+  ASSERT_TRUE(engine.CreateBaseTable("Pts", schema).ok());
+  ASSERT_TRUE(engine
+                  .Insert("Pts", {{Value::Int(1), Value::Double(10)},
+                                  {Value::Int(2), Value::Double(50)}})
+                  .ok());
+  ASSERT_TRUE(engine.LoadProgram(R"(
+    C = EVENT MOUSE_DOWN AS D, MOUSE_UP AS U
+        RETURN (D.t, D.x AS lo, U.x AS hi);
+    picked = SELECT p.id AS id FROM C, Pts AS p
+      WHERE p.px >= C.lo AND p.px <= C.hi;
+    MARKS = SELECT 3 AS radius, 'red' AS fill,
+        p.px AS center_x, 20 AS center_y
+      FROM Pts AS p;
+    P = render(SELECT * FROM MARKS);
+  )")
+                  .ok());
+
+  Rng rng(GetParam() + 99);
+  for (int i = 0; i < 300; ++i) {
+    Status st = engine.PushEvent(RandomEvent(rng));
+    ASSERT_TRUE(st.ok() || !st.message().empty());
+  }
+  // Out-of-order and duplicate tuples of a real interaction.
+  (void)engine.PushEvent(InputEvent::MouseUp(5, 60, 10));
+  (void)engine.PushEvent(InputEvent::MouseUp(5, 60, 10));
+  (void)engine.PushEvent(InputEvent::MouseMove(-3, 0, 0));
+
+  ASSERT_TRUE(engine.PushEvent(InputEvent::MouseDown(10, 5, 10)).ok());
+  ASSERT_TRUE(engine.PushEvent(InputEvent::MouseUp(11, 60, 10)).ok());
+  const Table* picked = engine.GetTable("picked").value();
+  EXPECT_EQ(picked->num_rows(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventFuzzTest,
+                         ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace dvms
