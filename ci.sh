@@ -8,7 +8,9 @@ set -euo pipefail
 cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc)}"
 
-# Leg 1: Release build + tests.
+# Leg 1: Release build + tests. The chaos / crash-injection suites carry
+# the `slow` ctest label; `ctest -LE slow` is the fast local loop, CI runs
+# everything.
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
@@ -45,6 +47,20 @@ DVMS_BENCH_JSON="$FAULT_LINES" ./build/bench/bench_faults \
 echo "wrote BENCH_faults.json:"
 cat BENCH_faults.json
 
+# Interaction-log throughput per DVMS_WAL_FSYNC group-commit mode and
+# cold-start recovery time (log replay vs snapshot + suffix).
+RECOVERY_LINES="$PWD/build/bench_recovery_lines.jsonl"
+rm -f "$RECOVERY_LINES"
+DVMS_BENCH_JSON="$RECOVERY_LINES" ./build/bench/bench_recovery \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$RECOVERY_LINES"
+  printf ']\n'
+} > BENCH_recovery.json
+echo "wrote BENCH_recovery.json:"
+cat BENCH_recovery.json
+
 # Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
 # parallelism through every test regardless of host core count.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -53,14 +69,15 @@ cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && DVMS_THREADS=4 ctest --output-on-failure -j "$JOBS")
 
 # Leg 3: AddressSanitizer + UndefinedBehaviorSanitizer chaos leg — the
-# chaos differential, scheduler-degradation, and fuzz suites, then the
-# fault workload driven by a process-wide DVMS_FAULTS spec: any leak, UB,
-# or use-after-rollback in the recovery paths fails the build.
+# chaos differential, crash-injection/recovery, durability codec,
+# scheduler-degradation, and fuzz suites, then the fault workload driven
+# by a process-wide DVMS_FAULTS spec: any leak, UB, or use-after-rollback
+# in the recovery paths fails the build.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
 

@@ -1,5 +1,6 @@
 #include "common/fault.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
@@ -9,8 +10,8 @@ namespace dvms {
 
 namespace {
 
-const char* kSiteNames[kNumFaultSites] = {"storage", "ivm", "pool", "raster",
-                                          "stream"};
+const char* kSiteNames[kNumFaultSites] = {"storage", "ivm",    "pool",
+                                          "raster",  "stream", "durability"};
 
 /// SplitMix64 finalizer: a high-quality 64 -> 64 mix.
 uint64_t Mix64(uint64_t x) {
@@ -26,13 +27,8 @@ std::once_flag g_env_once;
 
 /// Owns the injector parsed from DVMS_FAULTS, when the variable is set.
 FaultInjector* EnvInjector() {
-  static FaultInjector* env_injector = []() -> FaultInjector* {
-    const char* spec = std::getenv("DVMS_FAULTS");
-    if (spec == nullptr || spec[0] == '\0') return nullptr;
-    Result<FaultConfig> config = ParseFaultSpec(spec);
-    if (!config.ok()) return nullptr;  // a malformed spec disables faults
-    return new FaultInjector(config.value());
-  }();
+  static FaultInjector* env_injector =
+      fault::InjectorFromEnvSpecOrDie(std::getenv("DVMS_FAULTS"));
   return env_injector;
 }
 
@@ -49,7 +45,7 @@ Result<FaultSite> FaultSiteFromName(const std::string& name) {
   }
   return Status::InvalidArgument("unknown fault site '" + name +
                                  "' (expected storage, ivm, pool, raster, "
-                                 "or stream)");
+                                 "stream, or durability)");
 }
 
 Result<FaultConfig> ParseFaultSpec(const std::string& spec) {
@@ -164,6 +160,17 @@ FaultInjector* Active() {
 
 FaultInjector* InstallProcessInjector(FaultInjector* injector) {
   return g_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+FaultInjector* InjectorFromEnvSpecOrDie(const char* spec) {
+  if (spec == nullptr || spec[0] == '\0') return nullptr;
+  Result<FaultConfig> config = ParseFaultSpec(spec);
+  if (!config.ok()) {
+    std::fprintf(stderr, "fatal: DVMS_FAULTS='%s' is malformed: %s\n", spec,
+                 config.status().message().c_str());
+    std::abort();
+  }
+  return new FaultInjector(std::move(config).value());
 }
 
 Status MaybeInject(FaultSite site) {

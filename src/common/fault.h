@@ -18,14 +18,15 @@ enum class FaultSite {
   kThreadPoolTask,     // ThreadPool morsel start (transient task failure)
   kRasterBand,         // rasterizer band fill (render device hiccup)
   kStreamTick,         // streaming-scheduler coefficient send
+  kDurabilityIo,       // interaction-log append/fsync, snapshot write/rename
 };
 
-inline constexpr size_t kNumFaultSites = 5;
+inline constexpr size_t kNumFaultSites = 6;
 
 const char* FaultSiteToString(FaultSite site);
 
-/// Parses a site name ("storage", "ivm", "pool", "raster", "stream" —
-/// case-insensitive, matching FaultSiteToString).
+/// Parses a site name ("storage", "ivm", "pool", "raster", "stream",
+/// "durability" — case-insensitive, matching FaultSiteToString).
 Result<FaultSite> FaultSiteFromName(const std::string& name);
 
 /// Configuration for one injector. The schedule is a pure function of
@@ -101,6 +102,14 @@ FaultInjector* Active();
 /// Installs `injector` as the process injector (nullptr disables). Returns
 /// the previous injector. Not for concurrent use against active traffic.
 FaultInjector* InstallProcessInjector(FaultInjector* injector);
+
+/// Builds a heap-allocated injector from a DVMS_FAULTS-style spec. A
+/// malformed spec prints a diagnostic to stderr and aborts: a typo'd spec
+/// silently disabling fault injection would un-test every error path the
+/// operator believed was being exercised. Null/empty returns nullptr
+/// (faults off). Exposed so tests can cover the abort path directly — the
+/// real environment parse runs only once per process.
+FaultInjector* InjectorFromEnvSpecOrDie(const char* spec);
 
 /// Null-safe, suppression-aware check. The hot fault-free path is one
 /// relaxed atomic load and a branch.

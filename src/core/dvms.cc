@@ -1,5 +1,9 @@
 #include "core/dvms.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
 #include "parser/parser.h"
 #include "parser/planner.h"
 
@@ -27,12 +31,25 @@ Dvms::Dvms(Options options)
       owned_injector_ = std::make_unique<FaultInjector>(config.value());
       previous_injector_ =
           fault::InstallProcessInjector(owned_injector_.get());
+    } else {
+      // A typo'd spec must not silently run the engine without the faults
+      // the caller asked for.
+      std::fprintf(stderr, "dvms: ignoring malformed fault_spec '%s': %s\n",
+                   options_.fault_spec.c_str(),
+                   config.status().message().c_str());
     }
   }
   pixels_.Clear(RGBA{255, 255, 255, 255});
+  InitDurability();
 }
 
 Dvms::~Dvms() {
+  if (durability_ != nullptr) {
+    // Push any batched group-commit frames out before the process forgets
+    // about them. Best-effort: there is no caller to report to.
+    FaultSuppressScope suppress;
+    (void)durability_->Flush();
+  }
   if (owned_injector_ != nullptr) {
     fault::InstallProcessInjector(previous_injector_);
   }
@@ -109,14 +126,35 @@ void Dvms::RollbackMutationUnit() {
 
 Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  return catalog_.CreateTable(name, std::move(schema), RelationKind::kBase)
-      .status();
+  LogScope log_scope(this);
+  DVMS_RETURN_IF_ERROR(
+      catalog_.CreateTable(name, schema, RelationKind::kBase).status());
+  WalRecord record;
+  record.op = WalRecord::Op::kCreateTable;
+  record.name = name;
+  record.schema = std::move(schema);
+  Status logged = LogCommitted(record);
+  if (!logged.ok()) {
+    // Not in a mutation unit — undo by hand so memory and log agree.
+    (void)catalog_.Drop(name);
+    return logged;
+  }
+  return Status::OK();
 }
 
 Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
+  WalRecord record;
+  if (ShouldLog()) {
+    record.op = WalRecord::Op::kInsert;
+    record.name = name;
+    record.rows = rows;
+  }
   BeginMutationUnit();
-  return EndMutationUnit(InsertLocked(name, std::move(rows)));
+  Status st = InsertLocked(name, std::move(rows));
+  if (st.ok()) st = LogCommitted(record);
+  return EndMutationUnit(st);
 }
 
 Status Dvms::InsertLocked(const std::string& name, std::vector<Row> rows) {
@@ -133,9 +171,19 @@ Status Dvms::CreateScale(const std::string& name, double domain_min,
                          double domain_max, double range_min,
                          double range_max) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
+  WalRecord record;
+  record.op = WalRecord::Op::kCreateScale;
+  record.name = name;
+  record.scale_domain_min = domain_min;
+  record.scale_domain_max = domain_max;
+  record.scale_range_min = range_min;
+  record.scale_range_max = range_max;
   BeginMutationUnit();
-  return EndMutationUnit(
-      CreateScaleLocked(name, domain_min, domain_max, range_min, range_max));
+  Status st =
+      CreateScaleLocked(name, domain_min, domain_max, range_min, range_max);
+  if (st.ok()) st = LogCommitted(record);
+  return EndMutationUnit(st);
 }
 
 Status Dvms::CreateScaleLocked(const std::string& name, double domain_min,
@@ -154,6 +202,17 @@ Result<const Table*> Dvms::GetTable(const std::string& name) const {
 
 Status Dvms::Execute(const Statement& statement) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
+  DVMS_RETURN_IF_ERROR(ExecuteDispatch(statement));
+  WalRecord record;
+  if (ShouldLog()) {
+    record.op = WalRecord::Op::kStatement;
+    record.statement = statement;
+  }
+  return LogCommitted(record);
+}
+
+Status Dvms::ExecuteDispatch(const Statement& statement) {
   switch (statement.kind) {
     case Statement::Kind::kCreateTable:
       return CreateBaseTable(statement.target_name, statement.create_schema);
@@ -212,6 +271,7 @@ Status Dvms::Execute(const Statement& statement) {
 
 Status Dvms::LoadProgram(const std::string& source) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
   DVMS_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
   for (const Statement& stmt : program.statements) {
     DVMS_RETURN_IF_ERROR(Execute(stmt));
@@ -220,7 +280,11 @@ Status Dvms::LoadProgram(const std::string& source) {
   // Commit the initial visualization state so @vnow-1 is addressable from
   // the first interaction.
   DVMS_RETURN_IF_ERROR(CommitViews());
-  return Render();
+  DVMS_RETURN_IF_ERROR(Render());
+  WalRecord record;
+  record.op = WalRecord::Op::kLoadProgram;
+  record.text = source;
+  return LogCommitted(record);
 }
 
 Result<Table> Dvms::Query(const std::string& select_sql) {
@@ -316,9 +380,18 @@ Status Dvms::CommitViews() {
 Result<size_t> Dvms::Delete(const std::string& name,
                             const ExprPtr& predicate) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
+  WalRecord record;
+  if (ShouldLog()) {
+    record.op = WalRecord::Op::kDelete;
+    record.name = name;
+    record.predicate = predicate;  // shared, immutable once logged
+  }
   BeginMutationUnit();
   Result<size_t> removed = DeleteLocked(name, predicate);
-  Status st = EndMutationUnit(removed.status());
+  Status st = removed.status();
+  if (st.ok()) st = LogCommitted(record);
+  st = EndMutationUnit(st);
   if (!st.ok()) return st;
   return removed;
 }
@@ -392,8 +465,13 @@ bool Dvms::CanRedo() const {
 
 Status Dvms::Undo() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
+  WalRecord record;
+  record.op = WalRecord::Op::kUndo;
   BeginMutationUnit();
-  return EndMutationUnit(UndoLocked());
+  Status st = UndoLocked();
+  if (st.ok()) st = LogCommitted(record);
+  return EndMutationUnit(st);
 }
 
 Status Dvms::UndoLocked() {
@@ -406,8 +484,13 @@ Status Dvms::UndoLocked() {
 
 Status Dvms::Redo() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
+  WalRecord record;
+  record.op = WalRecord::Op::kRedo;
   BeginMutationUnit();
-  return EndMutationUnit(RedoLocked());
+  Status st = RedoLocked();
+  if (st.ok()) st = LogCommitted(record);
+  return EndMutationUnit(st);
 }
 
 Status Dvms::RedoLocked() {
@@ -476,8 +559,16 @@ Result<std::string> Dvms::ExplainView(const std::string& name) const {
 
 Status Dvms::PushEvent(const InputEvent& event) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
+  WalRecord record;
+  if (ShouldLog()) {
+    record.op = WalRecord::Op::kEvent;
+    record.event = event;
+  }
   BeginMutationUnit();
-  return EndMutationUnit(PushEventLocked(event));
+  Status st = PushEventLocked(event);
+  if (st.ok()) st = LogCommitted(record);
+  return EndMutationUnit(st);
 }
 
 Status Dvms::PushEventLocked(const InputEvent& event) {
@@ -551,10 +642,17 @@ Status Dvms::ComposeInteractions(const std::string& first,
                                  const std::string& second,
                                  const std::string& merged_name) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  LogScope log_scope(this);
   DVMS_ASSIGN_OR_RETURN(const EventStmt* a, recognizer_.GetStatement(first));
   DVMS_ASSIGN_OR_RETURN(const EventStmt* b, recognizer_.GetStatement(second));
   DVMS_ASSIGN_OR_RETURN(EventStmt merged, MergeSequential(*a, *b));
-  return recognizer_.DefinePattern(merged_name, merged);
+  DVMS_RETURN_IF_ERROR(recognizer_.DefinePattern(merged_name, merged));
+  WalRecord record;
+  record.op = WalRecord::Op::kCompose;
+  record.name = merged_name;
+  record.compose_first = first;
+  record.compose_second = second;
+  return LogCommitted(record);
 }
 
 std::vector<std::string> Dvms::AnalyzeInteractions() const {
@@ -565,6 +663,277 @@ std::vector<std::string> Dvms::AnalyzeInteractions() const {
     if (pattern.ok()) patterns.emplace_back(name, pattern.value());
   }
   return AnalyzeAmbiguity(patterns);
+}
+
+// ---- Durability ----
+
+Status Dvms::recovery_status() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return recovery_status_;
+}
+
+DurabilityStats Dvms::durability_stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (durability_ == nullptr) return DurabilityStats{};
+  return durability_->stats();
+}
+
+Status Dvms::FlushWal() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (durability_ == nullptr || durability_poisoned_) return Status::OK();
+  return durability_->Flush();
+}
+
+Status Dvms::Checkpoint() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument("durability is not enabled (no data_dir)");
+  }
+  if (durability_poisoned_) {
+    return Status::ExecutionError("durability disabled after recovery failure");
+  }
+  return WriteSnapshotLocked();
+}
+
+void Dvms::AttachScheduler(StreamScheduler* scheduler) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  scheduler_ = scheduler;
+  if (scheduler_ != nullptr && pending_scheduler_state_) {
+    scheduler_->RestoreDurableState(std::move(scheduler_state_));
+    pending_scheduler_state_ = false;
+    scheduler_state_ = StreamScheduler::DurableState{};
+  }
+}
+
+Status Dvms::LogCommitted(const WalRecord& record) {
+  if (!ShouldLog()) return Status::OK();
+  std::string payload = EncodeWalRecord(record);
+  DVMS_RETURN_IF_ERROR(durability_->Append(durability_->last_lsn() + 1,
+                                           payload));
+  if (record.IsDefinition()) def_records_.push_back(std::move(payload));
+  ++frames_since_snapshot_;
+  if (options_.snapshot_interval > 0 &&
+      frames_since_snapshot_ >= options_.snapshot_interval) {
+    // Snapshots are an optimization: a failed one (e.g. an injected
+    // durability fault) must not fail the interaction that triggered it.
+    Status snap = WriteSnapshotLocked();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "dvms: automatic snapshot failed: %s\n",
+                   snap.message().c_str());
+      frames_since_snapshot_ = 0;  // retry an interval later, not every op
+    }
+  }
+  return Status::OK();
+}
+
+EngineSnapshot Dvms::BuildSnapshotLocked() const {
+  EngineSnapshot snapshot;
+  snapshot.last_lsn = durability_->last_lsn();
+  snapshot.definition_ops = def_records_;
+  for (const std::string& name : catalog_.Names()) {
+    auto table = catalog_.Get(name);
+    if (!table.ok()) continue;
+    snapshot.relations.push_back(
+        EngineSnapshot::RelationState{name, table.value()->SaveDurableState()});
+  }
+  snapshot.matchers = recognizer_.SaveMatcherStates();
+  snapshot.counters.events_processed = stats_.events_processed;
+  snapshot.counters.transactions_started = stats_.transactions_started;
+  snapshot.counters.transactions_committed = stats_.transactions_committed;
+  snapshot.counters.transactions_aborted = stats_.transactions_aborted;
+  snapshot.counters.renders = stats_.renders;
+  snapshot.counters.trace_recomputes = stats_.trace_recomputes;
+  snapshot.counters.interactions_rolled_back = stats_.interactions_rolled_back;
+  for (const auto& commit : undo_history_) {
+    std::vector<std::pair<std::string, Table>> entry;
+    entry.reserve(commit.size());
+    for (const auto& [name, table_ptr] : commit) {
+      entry.emplace_back(name, Table(*table_ptr));
+    }
+    std::sort(entry.begin(), entry.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    snapshot.undo_history.push_back(std::move(entry));
+  }
+  snapshot.undo_cursor = undo_cursor_;
+  if (scheduler_ != nullptr) {
+    snapshot.has_scheduler = true;
+    snapshot.scheduler = scheduler_->SaveDurableState();
+  } else if (pending_scheduler_state_) {
+    // Recovered scheduler state that nothing reclaimed yet still belongs
+    // to the durable image — don't drop it on the next snapshot.
+    snapshot.has_scheduler = true;
+    snapshot.scheduler = scheduler_state_;
+  }
+  return snapshot;
+}
+
+Status Dvms::WriteSnapshotLocked() {
+  EngineSnapshot snapshot = BuildSnapshotLocked();
+  std::string payload = EncodeEngineSnapshot(snapshot);
+  DVMS_RETURN_IF_ERROR(durability_->WriteSnapshot(snapshot.last_lsn, payload));
+  frames_since_snapshot_ = 0;
+  return Status::OK();
+}
+
+Status Dvms::ApplyWalRecord(const WalRecord& record) {
+  switch (record.op) {
+    case WalRecord::Op::kCreateTable:
+      return CreateBaseTable(record.name, record.schema);
+    case WalRecord::Op::kInsert:
+      return Insert(record.name, record.rows);
+    case WalRecord::Op::kDelete:
+      return Delete(record.name, record.predicate).status();
+    case WalRecord::Op::kCreateScale:
+      return CreateScale(record.name, record.scale_domain_min,
+                         record.scale_domain_max, record.scale_range_min,
+                         record.scale_range_max);
+    case WalRecord::Op::kLoadProgram:
+      return LoadProgram(record.text);
+    case WalRecord::Op::kStatement:
+      return Execute(record.statement);
+    case WalRecord::Op::kEvent:
+      return PushEvent(record.event);
+    case WalRecord::Op::kUndo:
+      return Undo();
+    case WalRecord::Op::kRedo:
+      return Redo();
+    case WalRecord::Op::kCompose:
+      return ComposeInteractions(record.compose_first, record.compose_second,
+                                 record.name);
+  }
+  return Status::Internal("unknown wal record op");
+}
+
+Status Dvms::RestoreSnapshot(EngineSnapshot snapshot) {
+  // 1. Re-execute the definition ops through the normal DDL paths: this
+  //    rebuilds compiled plans, NFAs, trace defs, and render-view order.
+  //    Their DML side effects (inserts inside programs, commits) are
+  //    irrelevant — the physical overlay below replaces all table state.
+  def_records_ = snapshot.definition_ops;
+  for (const std::string& payload : def_records_) {
+    DVMS_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+    DVMS_RETURN_IF_ERROR(ApplyWalRecord(record));
+  }
+  // 2. Overlay the physical relation state bit-identically.
+  for (EngineSnapshot::RelationState& rel : snapshot.relations) {
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(rel.name));
+    table->RestoreDurableState(std::move(rel.state));
+    optimizer_.OnRelationChanged(rel.name);
+  }
+  // 3. NFA runtime states (entry order is deterministic given the same
+  //    definition sequence).
+  recognizer_.RestoreMatcherStates(std::move(snapshot.matchers));
+  // 4. Counters.
+  stats_.events_processed = snapshot.counters.events_processed;
+  stats_.transactions_started = snapshot.counters.transactions_started;
+  stats_.transactions_committed = snapshot.counters.transactions_committed;
+  stats_.transactions_aborted = snapshot.counters.transactions_aborted;
+  stats_.renders = snapshot.counters.renders;
+  stats_.trace_recomputes = snapshot.counters.trace_recomputes;
+  stats_.interactions_rolled_back =
+      snapshot.counters.interactions_rolled_back;
+  // 5. Interaction-level undo history.
+  undo_history_.clear();
+  for (auto& commit : snapshot.undo_history) {
+    std::unordered_map<std::string, TablePtr> entry;
+    for (auto& [name, table] : commit) {
+      entry.emplace(name, MakeTablePtr(std::move(table)));
+    }
+    undo_history_.push_back(std::move(entry));
+  }
+  undo_cursor_ = snapshot.undo_cursor;
+  // 6. Stream-scheduler delivery state, held until AttachScheduler().
+  if (snapshot.has_scheduler) {
+    scheduler_state_ = std::move(snapshot.scheduler);
+    pending_scheduler_state_ = true;
+  }
+  return Status::OK();
+}
+
+Status Dvms::RestoreAndReplay(RecoveredLog log) {
+  if (log.has_snapshot) {
+    DVMS_ASSIGN_OR_RETURN(EngineSnapshot snapshot,
+                          DecodeEngineSnapshot(log.snapshot_payload));
+    DVMS_RETURN_IF_ERROR(RestoreSnapshot(std::move(snapshot)));
+  }
+  for (const WalFrame& frame : log.frames) {
+    Result<WalRecord> record = DecodeWalRecord(frame.payload);
+    if (!record.ok()) {
+      return Status::ExecutionError("replay of lsn " +
+                                    std::to_string(frame.lsn) + ": " +
+                                    record.status().message());
+    }
+    Status applied = ApplyWalRecord(record.value());
+    if (!applied.ok()) {
+      return Status::ExecutionError("replay of lsn " +
+                                    std::to_string(frame.lsn) + " (" +
+                                    WalOpToString(record.value().op) + "): " +
+                                    applied.message());
+    }
+    if (record.value().IsDefinition()) def_records_.push_back(frame.payload);
+  }
+  return Status::OK();
+}
+
+void Dvms::InitDurability() {
+  std::string dir = options_.data_dir;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("DVMS_DATA_DIR")) dir = env;
+  }
+  if (dir.empty()) return;
+
+  WalFsyncMode mode = WalFsyncMode::kAlways;
+  std::string mode_text = options_.wal_fsync;
+  if (mode_text.empty()) {
+    if (const char* env = std::getenv("DVMS_WAL_FSYNC")) mode_text = env;
+  }
+  if (!mode_text.empty()) {
+    Result<WalFsyncMode> parsed = ParseWalFsyncMode(mode_text);
+    if (!parsed.ok()) {
+      recovery_status_ = parsed.status();
+      std::fprintf(stderr, "dvms: durability disabled: %s\n",
+                   recovery_status_.message().c_str());
+      return;
+    }
+    mode = parsed.value();
+  }
+
+  // Recovery (including the replayed interactions) must never be
+  // fault-injected: it is itself the error-handling path.
+  FaultSuppressScope suppress;
+  Result<std::unique_ptr<DurabilityManager>> manager =
+      DurabilityManager::Open(dir, mode);
+  if (!manager.ok()) {
+    recovery_status_ = manager.status();
+    std::fprintf(stderr, "dvms: durability disabled: %s\n",
+                 recovery_status_.message().c_str());
+    return;
+  }
+  durability_ = std::move(manager).value();
+  Result<RecoveredLog> recovered = durability_->Recover();
+  if (!recovered.ok()) {
+    recovery_status_ = recovered.status();
+    durability_poisoned_ = true;
+    std::fprintf(stderr, "dvms: recovery failed, logging disabled: %s\n",
+                 recovery_status_.message().c_str());
+    return;
+  }
+
+  replaying_ = true;
+  Status replayed = RestoreAndReplay(std::move(recovered).value());
+  replaying_ = false;
+  if (!replayed.ok()) {
+    recovery_status_ = replayed;
+    durability_poisoned_ = true;
+    std::fprintf(stderr, "dvms: recovery failed, logging disabled: %s\n",
+                 recovery_status_.message().c_str());
+    return;
+  }
+  // The framebuffer is not persisted — it is a deterministic function of
+  // the (restored) marks views. Re-render without disturbing the counters.
+  size_t renders = stats_.renders;
+  (void)RenderLocked();
+  stats_.renders = renders;
 }
 
 }  // namespace dvms

@@ -9,6 +9,9 @@
 
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "durability/log_record.h"
+#include "durability/manager.h"
+#include "durability/snapshot.h"
 #include "events/interaction.h"
 #include "events/recognizer.h"
 #include "expr/udf_registry.h"
@@ -20,6 +23,7 @@
 #include "render/rasterizer.h"
 #include "render/scale.h"
 #include "storage/catalog.h"
+#include "streaming/scheduler.h"
 
 namespace dvms {
 
@@ -60,8 +64,21 @@ class Dvms {
     /// Fault-injection spec `<seed>:<rate>[:site,...]` installed as the
     /// process injector for this engine's lifetime. Empty = the DVMS_FAULTS
     /// environment variable (or no injection when that is unset). A
-    /// malformed spec disables injection.
+    /// malformed spec is rejected loudly (stderr warning, injection off).
     std::string fault_spec;
+    /// Durability directory for the interaction log and snapshots. Empty =
+    /// the DVMS_DATA_DIR environment variable, or no durability when that
+    /// is also unset. On construction the engine recovers from whatever
+    /// the directory holds (see recovery_status()); every committed
+    /// mutation unit is then appended to the log. One engine per
+    /// directory.
+    std::string data_dir;
+    /// When log appends reach disk: "always" (default), "batch" (group
+    /// commit), or "off". Empty = the DVMS_WAL_FSYNC environment variable.
+    std::string wal_fsync;
+    /// Committed frames between automatic snapshots; 0 disables automatic
+    /// snapshotting (Checkpoint() still works).
+    size_t snapshot_interval = 64;
   };
 
   Dvms() : Dvms(Options()) {}
@@ -163,6 +180,30 @@ class Dvms {
   /// input-output dependencies).
   Result<std::string> ExplainView(const std::string& name) const;
 
+  // ---- Durability ----
+
+  /// Outcome of crash recovery run by the constructor when a data
+  /// directory is configured. OK when durability is off, the directory was
+  /// empty, or recovery restored and replayed cleanly. On failure the
+  /// engine stays usable in memory but further logging is disabled
+  /// (fail-stop — silent divergence between memory and disk is worse).
+  Status recovery_status() const;
+
+  /// Log/snapshot/recovery counters; zero-valued when durability is off.
+  DurabilityStats durability_stats() const;
+
+  /// Flushes the log and writes a snapshot now. Errors when durability is
+  /// off or the snapshot cannot be written (the log remains intact).
+  Status Checkpoint();
+
+  /// Forces batched group-commit frames to stable storage.
+  Status FlushWal();
+
+  /// Registers a stream scheduler whose delivery state rides along in
+  /// snapshots. If recovery restored scheduler state, it is applied to
+  /// `scheduler` here. Pass nullptr to detach. Not owned.
+  void AttachScheduler(StreamScheduler* scheduler);
+
   struct Stats {
     size_t events_processed = 0;
     size_t transactions_started = 0;
@@ -210,6 +251,10 @@ class Dvms {
   /// FaultSuppressScope so injected faults cannot cascade into recovery.
   void RollbackMutationUnit();
 
+  /// The Execute() statement switch, sans logging (Execute() logs the
+  /// statement as one frame around it).
+  Status ExecuteDispatch(const Statement& statement);
+
   // Bodies of the public mutating entry points, called with the lock held
   // and a mutation unit open.
   Status InsertLocked(const std::string& name, std::vector<Row> rows);
@@ -236,6 +281,51 @@ class Dvms {
   /// Restores base/event relations from the undo history at the current
   /// cursor and recomputes everything downstream.
   Status RestoreToCursor();
+
+  // ---- Durability plumbing ----
+
+  /// RAII depth marker for the public logged entry points. Public calls
+  /// nest (Execute -> Insert, LoadProgram -> Execute), and only the
+  /// outermost logged call appends a frame — the nested calls are implied
+  /// by replaying it.
+  class LogScope {
+   public:
+    explicit LogScope(Dvms* dvms) : dvms_(dvms) { ++dvms_->log_depth_; }
+    ~LogScope() { --dvms_->log_depth_; }
+    LogScope(const LogScope&) = delete;
+    LogScope& operator=(const LogScope&) = delete;
+
+   private:
+    Dvms* dvms_;
+  };
+
+  /// Opens the durability directory and runs crash recovery: restore the
+  /// newest valid snapshot, replay the log suffix through the normal
+  /// executor, re-render. Sets recovery_status_; never throws or crashes.
+  void InitDurability();
+
+  Status RestoreAndReplay(RecoveredLog log);
+  Status RestoreSnapshot(EngineSnapshot snapshot);
+
+  /// Re-executes one logged operation through its public entry point.
+  Status ApplyWalRecord(const WalRecord& record);
+
+  /// True when the current call is the outermost logged entry point of a
+  /// durable, non-replaying engine — i.e. LogCommitted() would append.
+  /// Lets entry points skip building (copying) the record otherwise.
+  bool ShouldLog() const {
+    return durability_ != nullptr && !durability_poisoned_ && !replaying_ &&
+           log_depth_ == 1;
+  }
+
+  /// Appends `record` to the interaction log if ShouldLog(). Called inside
+  /// the mutation unit so an append failure rolls the unit back — memory
+  /// never acknowledges a mutation the log lost. May also write an
+  /// automatic snapshot (soft-fail).
+  Status LogCommitted(const WalRecord& record);
+
+  EngineSnapshot BuildSnapshotLocked() const;
+  Status WriteSnapshotLocked();
 
   Options options_;
   /// Engine-owned pool when options_.num_threads > 0; otherwise the
@@ -269,6 +359,26 @@ class Dvms {
   /// this engine's lifetime).
   std::unique_ptr<FaultInjector> owned_injector_;
   FaultInjector* previous_injector_ = nullptr;
+  /// Interaction log + snapshots; null when durability is off.
+  std::unique_ptr<DurabilityManager> durability_;
+  /// Set when recovery failed partway: the engine stays usable but no
+  /// further frames are logged (fail-stop beats silent divergence).
+  bool durability_poisoned_ = false;
+  Status recovery_status_;
+  /// Nesting depth of the logged public entry points (see LogScope).
+  size_t log_depth_ = 0;
+  /// True while recovery replays the log: replayed calls must not re-log.
+  bool replaying_ = false;
+  /// Encoded definition frames, in log order — the snapshot's recipe for
+  /// rebuilding compiled plans/NFAs/trace defs.
+  std::vector<std::string> def_records_;
+  uint64_t frames_since_snapshot_ = 0;
+  /// Optional stream scheduler included in snapshots (not owned).
+  StreamScheduler* scheduler_ = nullptr;
+  /// Scheduler state recovered before any scheduler was attached; applied
+  /// by AttachScheduler() and carried forward into new snapshots.
+  bool pending_scheduler_state_ = false;
+  StreamScheduler::DurableState scheduler_state_;
 };
 
 }  // namespace dvms

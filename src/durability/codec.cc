@@ -1,0 +1,215 @@
+#include "durability/codec.h"
+
+#include <limits>
+
+namespace dvms {
+
+namespace {
+
+/// Caps any decoded element count so a corrupted length field cannot drive
+/// a multi-gigabyte allocation before the per-element reads fail.
+constexpr uint64_t kMaxDecodedCount = 1ull << 28;
+
+Status CountError(uint64_t n, const char* what) {
+  return Status::ExecutionError("durability decode: implausible " +
+                                std::string(what) + " count " +
+                                std::to_string(n));
+}
+
+}  // namespace
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out_.append(b, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out_.append(b, 8);
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void BinaryWriter::PutBytes(const void* data, size_t n) {
+  out_.append(static_cast<const char*>(data), n);
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (n_ - pos_ < n) {
+    return Status::ExecutionError(
+        "durability decode: truncated payload (need " + std::to_string(n) +
+        " bytes, have " + std::to_string(n_ - pos_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  DVMS_RETURN_IF_ERROR(Need(1));
+  return p_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  DVMS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  DVMS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryReader::GetI64() {
+  DVMS_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::GetDouble() {
+  DVMS_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<bool> BinaryReader::GetBool() {
+  DVMS_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+  return v != 0;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  DVMS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  DVMS_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(p_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+// ---- Value / Row / Schema / Table ----
+
+void EncodeValue(const Value& v, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      w->PutBool(v.bool_value());
+      break;
+    case ValueType::kInt64:
+      w->PutI64(v.int_value());
+      break;
+    case ValueType::kDouble:
+      w->PutDouble(v.double_value());
+      break;
+    case ValueType::kString:
+      w->PutString(v.string_value());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(BinaryReader* r) {
+  DVMS_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      DVMS_ASSIGN_OR_RETURN(bool b, r->GetBool());
+      return Value::Bool(b);
+    }
+    case ValueType::kInt64: {
+      DVMS_ASSIGN_OR_RETURN(int64_t i, r->GetI64());
+      return Value::Int(i);
+    }
+    case ValueType::kDouble: {
+      DVMS_ASSIGN_OR_RETURN(double d, r->GetDouble());
+      return Value::Double(d);
+    }
+    case ValueType::kString: {
+      DVMS_ASSIGN_OR_RETURN(std::string s, r->GetString());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::ExecutionError("durability decode: unknown value tag " +
+                                std::to_string(tag));
+}
+
+void EncodeRow(const Row& row, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) EncodeValue(v, w);
+}
+
+Result<Row> DecodeRow(BinaryReader* r) {
+  DVMS_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  if (n > kMaxDecodedCount) return CountError(n, "row value");
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DVMS_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+void EncodeSchema(const Schema& schema, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const Column& col : schema.columns()) {
+    w->PutString(col.name);
+    w->PutU8(static_cast<uint8_t>(col.type));
+  }
+}
+
+Result<Schema> DecodeSchema(BinaryReader* r) {
+  DVMS_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  if (n > kMaxDecodedCount) return CountError(n, "column");
+  std::vector<Column> columns;
+  columns.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Column col;
+    DVMS_ASSIGN_OR_RETURN(col.name, r->GetString());
+    DVMS_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::ExecutionError("durability decode: unknown column type " +
+                                    std::to_string(type));
+    }
+    col.type = static_cast<ValueType>(type);
+    columns.push_back(std::move(col));
+  }
+  return Schema(std::move(columns));
+}
+
+void EncodeTable(const Table& table, BinaryWriter* w) {
+  EncodeSchema(table.schema(), w);
+  w->PutU64(table.num_rows());
+  for (const Row& row : table.rows()) EncodeRow(row, w);
+}
+
+Result<Table> DecodeTable(BinaryReader* r) {
+  DVMS_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(r));
+  DVMS_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  if (n > kMaxDecodedCount) return CountError(n, "row");
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DVMS_ASSIGN_OR_RETURN(Row row, DecodeRow(r));
+    rows.push_back(std::move(row));
+  }
+  return Table(std::move(schema), std::move(rows));
+}
+
+}  // namespace dvms

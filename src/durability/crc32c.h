@@ -1,0 +1,31 @@
+#ifndef DVMS_DURABILITY_CRC32C_H_
+#define DVMS_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dvms {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+/// checksum guarding every interaction-log frame and snapshot file. The
+/// software slice-by-4 implementation is plenty for frame sizes here and
+/// has no ISA dependency.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Incremental form: extends `crc` (a previous Crc32c result) over `data`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Masked CRC (the LevelDB/RocksDB trick): storing a CRC of data that
+/// itself contains CRCs is error-prone, so stored checksums are rotated and
+/// offset. Verifiers unmask before comparing.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace dvms
+
+#endif  // DVMS_DURABILITY_CRC32C_H_

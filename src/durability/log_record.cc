@@ -1,0 +1,580 @@
+#include "durability/log_record.h"
+
+namespace dvms {
+
+namespace {
+
+constexpr uint32_t kMaxListCount = 1u << 24;
+/// Expression trees in DeVIL programs are shallow; a corrupt (yet
+/// CRC-passing) payload must not be able to blow the decode stack.
+constexpr int kMaxExprDepth = 512;
+
+Status ListError(const char* what, uint32_t n) {
+  return Status::ExecutionError("log-record decode: implausible " +
+                                std::string(what) + " count " +
+                                std::to_string(n));
+}
+
+Result<ExprPtr> DecodeExprDepth(BinaryReader* r, int depth);
+
+}  // namespace
+
+bool WalRecord::IsDefinition() const {
+  switch (op) {
+    case Op::kCreateTable:
+    case Op::kCreateScale:
+    case Op::kLoadProgram:
+    case Op::kCompose:
+      return true;
+    case Op::kStatement:
+      switch (statement.kind) {
+        case Statement::Kind::kViewDef:
+        case Statement::Kind::kEventDef:
+        case Statement::Kind::kTraceDef:
+        case Statement::Kind::kCreateTable:
+          return true;
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+const char* WalOpToString(WalRecord::Op op) {
+  switch (op) {
+    case WalRecord::Op::kCreateTable: return "create-table";
+    case WalRecord::Op::kInsert: return "insert";
+    case WalRecord::Op::kDelete: return "delete";
+    case WalRecord::Op::kCreateScale: return "create-scale";
+    case WalRecord::Op::kLoadProgram: return "load-program";
+    case WalRecord::Op::kStatement: return "statement";
+    case WalRecord::Op::kEvent: return "event";
+    case WalRecord::Op::kUndo: return "undo";
+    case WalRecord::Op::kRedo: return "redo";
+    case WalRecord::Op::kCompose: return "compose";
+  }
+  return "?";
+}
+
+// ---- Expr ----
+
+void EncodeExpr(const ExprPtr& e, BinaryWriter* w) {
+  if (e == nullptr) {
+    w->PutU8(0);
+    return;
+  }
+  w->PutU8(1);
+  w->PutU8(static_cast<uint8_t>(e->kind));
+  EncodeValue(e->literal, w);
+  w->PutString(e->qualifier);
+  w->PutString(e->column);
+  w->PutU8(static_cast<uint8_t>(e->unary_op));
+  w->PutU8(static_cast<uint8_t>(e->binary_op));
+  w->PutString(e->function_name);
+  w->PutU8(static_cast<uint8_t>(e->agg_func));
+  w->PutBool(e->count_star);
+  w->PutString(e->in_relation);
+  w->PutBool(e->negated);
+  w->PutU32(static_cast<uint32_t>(e->children.size()));
+  for (const ExprPtr& child : e->children) EncodeExpr(child, w);
+}
+
+namespace {
+
+Result<ExprPtr> DecodeExprDepth(BinaryReader* r, int depth) {
+  if (depth > kMaxExprDepth) {
+    return Status::ExecutionError("log-record decode: expression too deep");
+  }
+  DVMS_ASSIGN_OR_RETURN(uint8_t present, r->GetU8());
+  if (present == 0) return ExprPtr(nullptr);
+  auto e = std::make_shared<Expr>();
+  DVMS_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(ExprKind::kInRelation)) {
+    return Status::ExecutionError("log-record decode: unknown expr kind " +
+                                  std::to_string(kind));
+  }
+  e->kind = static_cast<ExprKind>(kind);
+  DVMS_ASSIGN_OR_RETURN(e->literal, DecodeValue(r));
+  DVMS_ASSIGN_OR_RETURN(e->qualifier, r->GetString());
+  DVMS_ASSIGN_OR_RETURN(e->column, r->GetString());
+  DVMS_ASSIGN_OR_RETURN(uint8_t unary, r->GetU8());
+  e->unary_op = static_cast<UnaryOp>(unary);
+  DVMS_ASSIGN_OR_RETURN(uint8_t binary, r->GetU8());
+  e->binary_op = static_cast<BinaryOp>(binary);
+  DVMS_ASSIGN_OR_RETURN(e->function_name, r->GetString());
+  DVMS_ASSIGN_OR_RETURN(uint8_t agg, r->GetU8());
+  e->agg_func = static_cast<AggFunc>(agg);
+  DVMS_ASSIGN_OR_RETURN(e->count_star, r->GetBool());
+  DVMS_ASSIGN_OR_RETURN(e->in_relation, r->GetString());
+  DVMS_ASSIGN_OR_RETURN(e->negated, r->GetBool());
+  DVMS_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  if (n > kMaxListCount) return ListError("expr child", n);
+  e->children.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DVMS_ASSIGN_OR_RETURN(ExprPtr child, DecodeExprDepth(r, depth + 1));
+    e->children.push_back(std::move(child));
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<ExprPtr> DecodeExpr(BinaryReader* r) { return DecodeExprDepth(r, 0); }
+
+// ---- InputEvent ----
+
+void EncodeInputEvent(const InputEvent& e, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(e.type));
+  w->PutI64(e.t);
+  w->PutDouble(e.x);
+  w->PutDouble(e.y);
+  w->PutString(e.key);
+  w->PutDouble(e.delta);
+}
+
+Result<InputEvent> DecodeInputEvent(BinaryReader* r) {
+  InputEvent e;
+  DVMS_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+  if (type > static_cast<uint8_t>(EventType::kWheel)) {
+    return Status::ExecutionError("log-record decode: unknown event type " +
+                                  std::to_string(type));
+  }
+  e.type = static_cast<EventType>(type);
+  DVMS_ASSIGN_OR_RETURN(e.t, r->GetI64());
+  DVMS_ASSIGN_OR_RETURN(e.x, r->GetDouble());
+  DVMS_ASSIGN_OR_RETURN(e.y, r->GetDouble());
+  DVMS_ASSIGN_OR_RETURN(e.key, r->GetString());
+  DVMS_ASSIGN_OR_RETURN(e.delta, r->GetDouble());
+  return e;
+}
+
+// ---- SELECT ----
+
+namespace {
+
+void EncodeVersionRef(const VersionRef& v, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.kind));
+  w->PutU64(v.offset);
+}
+
+Result<VersionRef> DecodeVersionRef(BinaryReader* r) {
+  VersionRef v;
+  DVMS_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(VersionRef::Kind::kTnow)) {
+    return Status::ExecutionError("log-record decode: unknown version kind " +
+                                  std::to_string(kind));
+  }
+  v.kind = static_cast<VersionRef::Kind>(kind);
+  DVMS_ASSIGN_OR_RETURN(v.offset, r->GetU64());
+  return v;
+}
+
+void EncodeTableRef(const TableRef& t, BinaryWriter* w) {
+  w->PutString(t.name);
+  EncodeVersionRef(t.version, w);
+  w->PutString(t.alias);
+  if (t.subquery != nullptr) {
+    w->PutU8(1);
+    EncodeSelectStmt(*t.subquery, w);
+  } else {
+    w->PutU8(0);
+  }
+}
+
+Result<TableRef> DecodeTableRef(BinaryReader* r) {
+  TableRef t;
+  DVMS_ASSIGN_OR_RETURN(t.name, r->GetString());
+  DVMS_ASSIGN_OR_RETURN(t.version, DecodeVersionRef(r));
+  DVMS_ASSIGN_OR_RETURN(t.alias, r->GetString());
+  DVMS_ASSIGN_OR_RETURN(uint8_t has_sub, r->GetU8());
+  if (has_sub != 0) {
+    DVMS_ASSIGN_OR_RETURN(SelectStmt sub, DecodeSelectStmt(r));
+    t.subquery = std::make_shared<SelectStmt>(std::move(sub));
+  }
+  return t;
+}
+
+void EncodeSelectCore(const SelectCore& c, BinaryWriter* w) {
+  w->PutBool(c.distinct);
+  w->PutU32(static_cast<uint32_t>(c.items.size()));
+  for (const SelectItem& item : c.items) {
+    EncodeExpr(item.expr, w);
+    w->PutString(item.alias);
+    w->PutBool(item.star);
+    w->PutString(item.star_qualifier);
+  }
+  w->PutU32(static_cast<uint32_t>(c.from.size()));
+  for (const TableRef& t : c.from) EncodeTableRef(t, w);
+  EncodeExpr(c.where, w);
+  w->PutU32(static_cast<uint32_t>(c.group_by.size()));
+  for (const ExprPtr& e : c.group_by) EncodeExpr(e, w);
+  EncodeExpr(c.having, w);
+  w->PutU32(static_cast<uint32_t>(c.order_by.size()));
+  for (const OrderItem& o : c.order_by) {
+    EncodeExpr(o.expr, w);
+    w->PutBool(o.descending);
+  }
+  w->PutBool(c.limit.has_value());
+  if (c.limit.has_value()) w->PutU64(*c.limit);
+}
+
+Result<SelectCore> DecodeSelectCore(BinaryReader* r) {
+  SelectCore c;
+  DVMS_ASSIGN_OR_RETURN(c.distinct, r->GetBool());
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_items, r->GetU32());
+  if (n_items > kMaxListCount) return ListError("select item", n_items);
+  for (uint32_t i = 0; i < n_items; ++i) {
+    SelectItem item;
+    DVMS_ASSIGN_OR_RETURN(item.expr, DecodeExpr(r));
+    DVMS_ASSIGN_OR_RETURN(item.alias, r->GetString());
+    DVMS_ASSIGN_OR_RETURN(item.star, r->GetBool());
+    DVMS_ASSIGN_OR_RETURN(item.star_qualifier, r->GetString());
+    c.items.push_back(std::move(item));
+  }
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_from, r->GetU32());
+  if (n_from > kMaxListCount) return ListError("table ref", n_from);
+  for (uint32_t i = 0; i < n_from; ++i) {
+    DVMS_ASSIGN_OR_RETURN(TableRef t, DecodeTableRef(r));
+    c.from.push_back(std::move(t));
+  }
+  DVMS_ASSIGN_OR_RETURN(c.where, DecodeExpr(r));
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_group, r->GetU32());
+  if (n_group > kMaxListCount) return ListError("group-by", n_group);
+  for (uint32_t i = 0; i < n_group; ++i) {
+    DVMS_ASSIGN_OR_RETURN(ExprPtr e, DecodeExpr(r));
+    c.group_by.push_back(std::move(e));
+  }
+  DVMS_ASSIGN_OR_RETURN(c.having, DecodeExpr(r));
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_order, r->GetU32());
+  if (n_order > kMaxListCount) return ListError("order-by", n_order);
+  for (uint32_t i = 0; i < n_order; ++i) {
+    OrderItem o;
+    DVMS_ASSIGN_OR_RETURN(o.expr, DecodeExpr(r));
+    DVMS_ASSIGN_OR_RETURN(o.descending, r->GetBool());
+    c.order_by.push_back(std::move(o));
+  }
+  DVMS_ASSIGN_OR_RETURN(bool has_limit, r->GetBool());
+  if (has_limit) {
+    DVMS_ASSIGN_OR_RETURN(uint64_t limit, r->GetU64());
+    c.limit = static_cast<size_t>(limit);
+  }
+  return c;
+}
+
+}  // namespace
+
+void EncodeSelectStmt(const SelectStmt& s, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(s.cores.size()));
+  for (const SelectCore& c : s.cores) EncodeSelectCore(c, w);
+  w->PutU32(static_cast<uint32_t>(s.ops.size()));
+  for (SetOp op : s.ops) w->PutU8(static_cast<uint8_t>(op));
+}
+
+Result<SelectStmt> DecodeSelectStmt(BinaryReader* r) {
+  SelectStmt s;
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_cores, r->GetU32());
+  if (n_cores > kMaxListCount) return ListError("select core", n_cores);
+  for (uint32_t i = 0; i < n_cores; ++i) {
+    DVMS_ASSIGN_OR_RETURN(SelectCore c, DecodeSelectCore(r));
+    s.cores.push_back(std::move(c));
+  }
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_ops, r->GetU32());
+  if (n_ops > kMaxListCount) return ListError("set op", n_ops);
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    DVMS_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+    if (op > static_cast<uint8_t>(SetOp::kMinus)) {
+      return Status::ExecutionError("log-record decode: unknown set op " +
+                                    std::to_string(op));
+    }
+    s.ops.push_back(static_cast<SetOp>(op));
+  }
+  return s;
+}
+
+// ---- EVENT ----
+
+void EncodeEventStmt(const EventStmt& s, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(s.elems.size()));
+  for (const EventElem& e : s.elems) {
+    w->PutString(e.event_type);
+    w->PutString(e.alias);
+    w->PutBool(e.kleene);
+  }
+  w->PutU32(static_cast<uint32_t>(s.predicates.size()));
+  for (const EventPredicate& p : s.predicates) {
+    w->PutU8(static_cast<uint8_t>(p.kind));
+    w->PutString(p.var);
+    w->PutString(p.over_alias);
+    EncodeExpr(p.expr, w);
+  }
+  w->PutU32(static_cast<uint32_t>(s.returns.size()));
+  for (const ReturnTuple& t : s.returns) {
+    w->PutU32(static_cast<uint32_t>(t.fields.size()));
+    for (const ReturnField& f : t.fields) {
+      EncodeExpr(f.expr, w);
+      w->PutString(f.alias);
+    }
+  }
+}
+
+Result<EventStmt> DecodeEventStmt(BinaryReader* r) {
+  EventStmt s;
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_elems, r->GetU32());
+  if (n_elems > kMaxListCount) return ListError("event elem", n_elems);
+  for (uint32_t i = 0; i < n_elems; ++i) {
+    EventElem e;
+    DVMS_ASSIGN_OR_RETURN(e.event_type, r->GetString());
+    DVMS_ASSIGN_OR_RETURN(e.alias, r->GetString());
+    DVMS_ASSIGN_OR_RETURN(e.kleene, r->GetBool());
+    s.elems.push_back(std::move(e));
+  }
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_preds, r->GetU32());
+  if (n_preds > kMaxListCount) return ListError("event predicate", n_preds);
+  for (uint32_t i = 0; i < n_preds; ++i) {
+    EventPredicate p;
+    DVMS_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+    if (kind > static_cast<uint8_t>(EventPredicate::Kind::kExists)) {
+      return Status::ExecutionError(
+          "log-record decode: unknown event-predicate kind " +
+          std::to_string(kind));
+    }
+    p.kind = static_cast<EventPredicate::Kind>(kind);
+    DVMS_ASSIGN_OR_RETURN(p.var, r->GetString());
+    DVMS_ASSIGN_OR_RETURN(p.over_alias, r->GetString());
+    DVMS_ASSIGN_OR_RETURN(p.expr, DecodeExpr(r));
+    s.predicates.push_back(std::move(p));
+  }
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_returns, r->GetU32());
+  if (n_returns > kMaxListCount) return ListError("return tuple", n_returns);
+  for (uint32_t i = 0; i < n_returns; ++i) {
+    ReturnTuple t;
+    DVMS_ASSIGN_OR_RETURN(uint32_t n_fields, r->GetU32());
+    if (n_fields > kMaxListCount) return ListError("return field", n_fields);
+    for (uint32_t j = 0; j < n_fields; ++j) {
+      ReturnField f;
+      DVMS_ASSIGN_OR_RETURN(f.expr, DecodeExpr(r));
+      DVMS_ASSIGN_OR_RETURN(f.alias, r->GetString());
+      t.fields.push_back(std::move(f));
+    }
+    s.returns.push_back(std::move(t));
+  }
+  return s;
+}
+
+// ---- TRACE ----
+
+void EncodeTraceStmt(const TraceStmt& s, BinaryWriter* w) {
+  w->PutBool(s.backward);
+  w->PutU32(static_cast<uint32_t>(s.from.size()));
+  for (const TableRef& t : s.from) EncodeTableRef(t, w);
+  EncodeExpr(s.where, w);
+  w->PutString(s.target_relation);
+}
+
+Result<TraceStmt> DecodeTraceStmt(BinaryReader* r) {
+  TraceStmt s;
+  DVMS_ASSIGN_OR_RETURN(s.backward, r->GetBool());
+  DVMS_ASSIGN_OR_RETURN(uint32_t n_from, r->GetU32());
+  if (n_from > kMaxListCount) return ListError("trace table ref", n_from);
+  for (uint32_t i = 0; i < n_from; ++i) {
+    DVMS_ASSIGN_OR_RETURN(TableRef t, DecodeTableRef(r));
+    s.from.push_back(std::move(t));
+  }
+  DVMS_ASSIGN_OR_RETURN(s.where, DecodeExpr(r));
+  DVMS_ASSIGN_OR_RETURN(s.target_relation, r->GetString());
+  return s;
+}
+
+// ---- Statement ----
+
+void EncodeStatement(const Statement& s, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(s.kind));
+  w->PutString(s.target_name);
+  switch (s.kind) {
+    case Statement::Kind::kViewDef:
+      w->PutBool(s.render);
+      w->PutString(s.table_udf);
+      EncodeSelectStmt(s.select, w);
+      break;
+    case Statement::Kind::kEventDef:
+      EncodeEventStmt(s.event, w);
+      break;
+    case Statement::Kind::kTraceDef:
+      EncodeTraceStmt(s.trace, w);
+      break;
+    case Statement::Kind::kCreateTable:
+      EncodeSchema(s.create_schema, w);
+      break;
+    case Statement::Kind::kInsert:
+      w->PutU32(static_cast<uint32_t>(s.insert_rows.size()));
+      for (const Row& row : s.insert_rows) EncodeRow(row, w);
+      break;
+    case Statement::Kind::kDelete:
+      EncodeExpr(s.delete_where, w);
+      break;
+  }
+}
+
+Result<Statement> DecodeStatement(BinaryReader* r) {
+  Statement s;
+  DVMS_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(Statement::Kind::kDelete)) {
+    return Status::ExecutionError("log-record decode: unknown statement kind " +
+                                  std::to_string(kind));
+  }
+  s.kind = static_cast<Statement::Kind>(kind);
+  DVMS_ASSIGN_OR_RETURN(s.target_name, r->GetString());
+  switch (s.kind) {
+    case Statement::Kind::kViewDef: {
+      DVMS_ASSIGN_OR_RETURN(s.render, r->GetBool());
+      DVMS_ASSIGN_OR_RETURN(s.table_udf, r->GetString());
+      DVMS_ASSIGN_OR_RETURN(s.select, DecodeSelectStmt(r));
+      break;
+    }
+    case Statement::Kind::kEventDef: {
+      DVMS_ASSIGN_OR_RETURN(s.event, DecodeEventStmt(r));
+      break;
+    }
+    case Statement::Kind::kTraceDef: {
+      DVMS_ASSIGN_OR_RETURN(s.trace, DecodeTraceStmt(r));
+      break;
+    }
+    case Statement::Kind::kCreateTable: {
+      DVMS_ASSIGN_OR_RETURN(s.create_schema, DecodeSchema(r));
+      break;
+    }
+    case Statement::Kind::kInsert: {
+      DVMS_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+      if (n > kMaxListCount) return ListError("insert row", n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DVMS_ASSIGN_OR_RETURN(Row row, DecodeRow(r));
+        s.insert_rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      DVMS_ASSIGN_OR_RETURN(s.delete_where, DecodeExpr(r));
+      break;
+    }
+  }
+  return s;
+}
+
+// ---- WalRecord ----
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(record.op));
+  switch (record.op) {
+    case WalRecord::Op::kCreateTable:
+      w.PutString(record.name);
+      EncodeSchema(record.schema, &w);
+      break;
+    case WalRecord::Op::kInsert:
+      w.PutString(record.name);
+      w.PutU32(static_cast<uint32_t>(record.rows.size()));
+      for (const Row& row : record.rows) EncodeRow(row, &w);
+      break;
+    case WalRecord::Op::kDelete:
+      w.PutString(record.name);
+      EncodeExpr(record.predicate, &w);
+      break;
+    case WalRecord::Op::kCreateScale:
+      w.PutString(record.name);
+      w.PutDouble(record.scale_domain_min);
+      w.PutDouble(record.scale_domain_max);
+      w.PutDouble(record.scale_range_min);
+      w.PutDouble(record.scale_range_max);
+      break;
+    case WalRecord::Op::kLoadProgram:
+      w.PutString(record.text);
+      break;
+    case WalRecord::Op::kStatement:
+      EncodeStatement(record.statement, &w);
+      break;
+    case WalRecord::Op::kEvent:
+      EncodeInputEvent(record.event, &w);
+      break;
+    case WalRecord::Op::kUndo:
+    case WalRecord::Op::kRedo:
+      break;
+    case WalRecord::Op::kCompose:
+      w.PutString(record.compose_first);
+      w.PutString(record.compose_second);
+      w.PutString(record.name);
+      break;
+  }
+  return w.Take();
+}
+
+Result<WalRecord> DecodeWalRecord(const std::string& payload) {
+  BinaryReader r(payload);
+  WalRecord record;
+  DVMS_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+  if (op < static_cast<uint8_t>(WalRecord::Op::kCreateTable) ||
+      op > static_cast<uint8_t>(WalRecord::Op::kCompose)) {
+    return Status::ExecutionError("log-record decode: unknown op " +
+                                  std::to_string(op));
+  }
+  record.op = static_cast<WalRecord::Op>(op);
+  switch (record.op) {
+    case WalRecord::Op::kCreateTable: {
+      DVMS_ASSIGN_OR_RETURN(record.name, r.GetString());
+      DVMS_ASSIGN_OR_RETURN(record.schema, DecodeSchema(&r));
+      break;
+    }
+    case WalRecord::Op::kInsert: {
+      DVMS_ASSIGN_OR_RETURN(record.name, r.GetString());
+      DVMS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      if (n > kMaxListCount) return ListError("insert row", n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DVMS_ASSIGN_OR_RETURN(Row row, DecodeRow(&r));
+        record.rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case WalRecord::Op::kDelete: {
+      DVMS_ASSIGN_OR_RETURN(record.name, r.GetString());
+      DVMS_ASSIGN_OR_RETURN(record.predicate, DecodeExpr(&r));
+      break;
+    }
+    case WalRecord::Op::kCreateScale: {
+      DVMS_ASSIGN_OR_RETURN(record.name, r.GetString());
+      DVMS_ASSIGN_OR_RETURN(record.scale_domain_min, r.GetDouble());
+      DVMS_ASSIGN_OR_RETURN(record.scale_domain_max, r.GetDouble());
+      DVMS_ASSIGN_OR_RETURN(record.scale_range_min, r.GetDouble());
+      DVMS_ASSIGN_OR_RETURN(record.scale_range_max, r.GetDouble());
+      break;
+    }
+    case WalRecord::Op::kLoadProgram: {
+      DVMS_ASSIGN_OR_RETURN(record.text, r.GetString());
+      break;
+    }
+    case WalRecord::Op::kStatement: {
+      DVMS_ASSIGN_OR_RETURN(record.statement, DecodeStatement(&r));
+      break;
+    }
+    case WalRecord::Op::kEvent: {
+      DVMS_ASSIGN_OR_RETURN(record.event, DecodeInputEvent(&r));
+      break;
+    }
+    case WalRecord::Op::kUndo:
+    case WalRecord::Op::kRedo:
+      break;
+    case WalRecord::Op::kCompose: {
+      DVMS_ASSIGN_OR_RETURN(record.compose_first, r.GetString());
+      DVMS_ASSIGN_OR_RETURN(record.compose_second, r.GetString());
+      DVMS_ASSIGN_OR_RETURN(record.name, r.GetString());
+      break;
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::ExecutionError("log-record decode: " +
+                                  std::to_string(r.remaining()) +
+                                  " trailing bytes after record");
+  }
+  return record;
+}
+
+}  // namespace dvms

@@ -1,0 +1,79 @@
+#ifndef DVMS_DURABILITY_LOG_RECORD_H_
+#define DVMS_DURABILITY_LOG_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "durability/codec.h"
+#include "events/event.h"
+#include "expr/expr.h"
+#include "parser/ast.h"
+
+namespace dvms {
+
+/// One committed mutation unit, recorded *logically*: the engine's executor
+/// is deterministic, so replaying the public-API call that produced a state
+/// change reproduces that change bit-for-bit. This keeps the log compact
+/// (an event frame is ~60 bytes regardless of how many views it refreshed)
+/// and makes replay exercise the exact production code paths.
+struct WalRecord {
+  enum class Op : uint8_t {
+    kCreateTable = 1,  // CreateBaseTable(name, schema)
+    kInsert,           // Insert(name, rows)
+    kDelete,           // Delete(name, predicate)
+    kCreateScale,      // CreateScale(name, d0, d1, r0, r1)
+    kLoadProgram,      // LoadProgram(text)
+    kStatement,        // Execute(statement)
+    kEvent,            // PushEvent(event)
+    kUndo,             // Undo()
+    kRedo,             // Redo()
+    kCompose,          // ComposeInteractions(first, second, name)
+  };
+
+  Op op = Op::kEvent;
+  std::string name;                      // table / scale / merged-pattern name
+  Schema schema;                         // kCreateTable
+  std::vector<Row> rows;                 // kInsert
+  ExprPtr predicate;                     // kDelete; null = delete all
+  double scale_domain_min = 0, scale_domain_max = 0;  // kCreateScale
+  double scale_range_min = 0, scale_range_max = 0;
+  std::string text;                      // kLoadProgram source
+  Statement statement;                   // kStatement
+  InputEvent event;                      // kEvent
+  std::string compose_first, compose_second;  // kCompose
+
+  /// True for records that define catalog relations, views, patterns, or
+  /// traces. Snapshots persist the definition subsequence of the log so a
+  /// restore can rebuild compiled plans / NFAs (which are never serialized)
+  /// by re-executing their DDL before overlaying physical table state.
+  bool IsDefinition() const;
+};
+
+const char* WalOpToString(WalRecord::Op op);
+
+std::string EncodeWalRecord(const WalRecord& record);
+Result<WalRecord> DecodeWalRecord(const std::string& payload);
+
+// ---- Sub-codecs (exposed for tests) ----
+
+void EncodeExpr(const ExprPtr& e, BinaryWriter* w);  // e may be null
+Result<ExprPtr> DecodeExpr(BinaryReader* r);
+
+void EncodeInputEvent(const InputEvent& e, BinaryWriter* w);
+Result<InputEvent> DecodeInputEvent(BinaryReader* r);
+
+void EncodeStatement(const Statement& s, BinaryWriter* w);
+Result<Statement> DecodeStatement(BinaryReader* r);
+
+void EncodeSelectStmt(const SelectStmt& s, BinaryWriter* w);
+Result<SelectStmt> DecodeSelectStmt(BinaryReader* r);
+
+void EncodeEventStmt(const EventStmt& s, BinaryWriter* w);
+Result<EventStmt> DecodeEventStmt(BinaryReader* r);
+
+void EncodeTraceStmt(const TraceStmt& s, BinaryWriter* w);
+Result<TraceStmt> DecodeTraceStmt(BinaryReader* r);
+
+}  // namespace dvms
+
+#endif  // DVMS_DURABILITY_LOG_RECORD_H_

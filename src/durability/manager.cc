@@ -1,0 +1,399 @@
+#include "durability/manager.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault.h"
+#include "durability/crc32c.h"
+
+namespace dvms {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'D', 'V', 'M', 'S', 'S', 'N', 'P', '1'};
+constexpr size_t kSnapshotHeaderBytes = 28;  // magic + last_lsn + len + crc
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::ExecutionError("durability: " + what + " failed for " + path +
+                                ": " + std::strerror(errno));
+}
+
+/// mkdir -p. Treats an existing directory as success.
+Status MakeDirs(const std::string& dir) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t slash = dir.find('/', pos);
+    partial = dir.substr(0, slash == std::string::npos ? dir.size() : slash);
+    if (!partial.empty() && partial != "/") {
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return IoError("mkdir", partial);
+      }
+    }
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IoError("fsync", dir);
+  return Status::OK();
+}
+
+/// Parses "<prefix><20-digit lsn><suffix>" filenames; nullopt-style via ok.
+bool ParseNumberedName(const std::string& name, const char* prefix,
+                       const char* suffix, uint64_t* lsn) {
+  size_t prefix_len = std::strlen(prefix);
+  size_t suffix_len = std::strlen(suffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, prefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *lsn = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+/// LSN-tagged files of one kind in the directory, sorted ascending by LSN.
+Result<std::vector<uint64_t>> ListNumbered(const std::string& dir,
+                                           const char* prefix,
+                                           const char* suffix) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return IoError("opendir", dir);
+  std::vector<uint64_t> lsns;
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t lsn = 0;
+    if (ParseNumberedName(entry->d_name, prefix, suffix, &lsn)) {
+      lsns.push_back(lsn);
+    }
+  }
+  ::closedir(d);
+  std::sort(lsns.begin(), lsns.end());
+  return lsns;
+}
+
+Status WriteFileFully(int fd, const char* data, size_t n,
+                      const std::string& path) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write", path);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void StoreU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Result<std::pair<uint64_t, std::string>> ReadSnapshotFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", path);
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  char header[kSnapshotHeaderBytes];
+  ssize_t r = ::read(fd, header, sizeof(header));
+  if (r < 0) return IoError("read", path);
+  if (static_cast<size_t>(r) < sizeof(header) ||
+      std::memcmp(header, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::ExecutionError("durability: " + path +
+                                  " has a short or invalid snapshot header");
+  }
+  uint64_t last_lsn = LoadU64(header + 8);
+  uint64_t payload_len = LoadU64(header + 16);
+  uint32_t stored_crc = LoadU32(header + 24);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return IoError("fstat", path);
+  if (payload_len != static_cast<uint64_t>(st.st_size) - kSnapshotHeaderBytes) {
+    return Status::ExecutionError("durability: " + path +
+                                  " payload length disagrees with file size");
+  }
+  std::string payload(payload_len, '\0');
+  size_t off = 0;
+  while (off < payload_len) {
+    ssize_t n = ::read(fd, payload.data() + off, payload_len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("read", path);
+    }
+    if (n == 0) {
+      return Status::ExecutionError("durability: " + path +
+                                    " truncated mid-payload");
+    }
+    off += static_cast<size_t>(n);
+  }
+  // The checksum covers last_lsn as well as the payload: a flipped bit in
+  // the header would otherwise silently shift the recovery resume point.
+  if (stored_crc !=
+      MaskCrc(Crc32cExtend(Crc32c(header + 8, 8), payload.data(),
+                           payload.size()))) {
+    return Status::ExecutionError("durability: " + path +
+                                  " failed checksum validation");
+  }
+  return std::make_pair(last_lsn, std::move(payload));
+}
+
+std::string DurabilityManager::SegmentPath(uint64_t first_lsn) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%020" PRIu64 ".log", first_lsn);
+  return dir_ + "/" + name;
+}
+
+std::string DurabilityManager::SnapshotPath(uint64_t last_lsn) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "snapshot-%020" PRIu64 ".snap", last_lsn);
+  return dir_ + "/" + name;
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    std::string dir, WalFsyncMode mode) {
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  DVMS_RETURN_IF_ERROR(MakeDirs(dir));
+  return std::unique_ptr<DurabilityManager>(
+      new DurabilityManager(std::move(dir), mode));
+}
+
+Result<RecoveredLog> DurabilityManager::Recover() {
+  if (recovered_) {
+    return Status::Internal("durability: Recover() called twice");
+  }
+  recovered_ = true;
+  RecoveredLog out;
+
+  // Newest snapshot whose checksum validates wins; corrupt ones are skipped
+  // (they can only arise from external damage — writes are atomic).
+  DVMS_ASSIGN_OR_RETURN(std::vector<uint64_t> snaps,
+                        ListNumbered(dir_, "snapshot-", ".snap"));
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    Result<std::pair<uint64_t, std::string>> snap =
+        ReadSnapshotFile(SnapshotPath(*it));
+    if (!snap.ok()) {
+      ++stats_.snapshots_discarded;
+      std::fprintf(stderr, "dvms: ignoring corrupt snapshot %s: %s\n",
+                   SnapshotPath(*it).c_str(),
+                   snap.status().message().c_str());
+      continue;
+    }
+    out.has_snapshot = true;
+    out.snapshot_lsn = snap.value().first;
+    out.snapshot_payload = std::move(snap.value().second);
+    break;
+  }
+
+  // Scan segments in LSN order, keeping the contiguous valid frame run that
+  // extends past the snapshot. The first bad frame (or inter-segment gap)
+  // truncates the log there: the file is cut back to its valid prefix and
+  // every later segment is deleted.
+  DVMS_ASSIGN_OR_RETURN(std::vector<uint64_t> segments,
+                        ListNumbered(dir_, "wal-", ".log"));
+  uint64_t next_lsn =
+      out.has_snapshot ? out.snapshot_lsn + 1 : (segments.empty() ? 1 : 0);
+  std::string tail_path;    // last surviving segment
+  uint64_t tail_valid = 0;  // its validated byte length
+  size_t cut_from = segments.size();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string path = SegmentPath(segments[i]);
+    Result<WalScan> scan_result = ScanWalSegment(path);
+    if (!scan_result.ok()) {
+      stats_.tail_truncations++;
+      stats_.tail_error = scan_result.status().message();
+      cut_from = i;
+      break;
+    }
+    WalScan& scan = scan_result.value();
+    if (next_lsn == 0) next_lsn = scan.first_lsn;  // no snapshot: start here
+    // A segment must continue the run: its frames start at its header LSN,
+    // and the run's next expected LSN must fall within [first_lsn, end].
+    if (scan.first_lsn > next_lsn) {
+      stats_.tail_truncations++;
+      stats_.tail_error = "segment " + path + " starts at lsn " +
+                          std::to_string(scan.first_lsn) + ", expected " +
+                          std::to_string(next_lsn);
+      cut_from = i;
+      break;
+    }
+    for (WalFrame& frame : scan.frames) {
+      if (frame.lsn < next_lsn) continue;  // predates the snapshot
+      out.frames.push_back(std::move(frame));
+      ++next_lsn;
+    }
+    tail_path = path;
+    tail_valid = scan.valid_bytes;
+    if (scan.tail_truncated) {
+      stats_.tail_truncations++;
+      stats_.tail_error = scan.tail_error;
+      cut_from = i + 1;
+      break;
+    }
+  }
+  for (size_t i = cut_from; i < segments.size(); ++i) {
+    if (SegmentPath(segments[i]) == tail_path) continue;
+    ::unlink(SegmentPath(segments[i]).c_str());
+    ++stats_.segments_pruned;
+  }
+
+  last_lsn_ = next_lsn == 0 ? 0 : next_lsn - 1;
+  stats_.recovered_from_snapshot = out.has_snapshot;
+  stats_.recovered_lsn = last_lsn_;
+  stats_.frames_replayed = out.frames.size();
+
+  if (!tail_path.empty()) {
+    DVMS_ASSIGN_OR_RETURN(writer_,
+                          WalWriter::OpenForAppend(tail_path, tail_valid, mode_));
+  } else {
+    DVMS_ASSIGN_OR_RETURN(
+        writer_, WalWriter::Create(SegmentPath(last_lsn_ + 1), last_lsn_ + 1,
+                                   mode_));
+    DVMS_RETURN_IF_ERROR(SyncDir(dir_));
+  }
+  return out;
+}
+
+Status DurabilityManager::Append(uint64_t lsn, const std::string& payload) {
+  if (!recovered_ || writer_ == nullptr) {
+    return Status::Internal("durability: Append() before successful Recover()");
+  }
+  if (lsn != last_lsn_ + 1) {
+    return Status::Internal("durability: non-consecutive lsn " +
+                            std::to_string(lsn) + " (log is at " +
+                            std::to_string(last_lsn_) + ")");
+  }
+  DVMS_RETURN_IF_ERROR(writer_->Append(lsn, payload));
+  last_lsn_ = lsn;
+  ++stats_.frames_appended;
+  return Status::OK();
+}
+
+Status DurabilityManager::Flush() {
+  if (writer_ == nullptr) return Status::OK();
+  return writer_->Flush();
+}
+
+Status DurabilityManager::WriteSnapshot(uint64_t last_lsn,
+                                        const std::string& payload) {
+  if (!recovered_) {
+    return Status::Internal("durability: snapshot before Recover()");
+  }
+  DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
+
+  // Frames covered by the snapshot must be durable before the snapshot can
+  // supersede them (it may cause their segment to be pruned).
+  DVMS_RETURN_IF_ERROR(Flush());
+
+  const std::string final_path = SnapshotPath(last_lsn);
+  const std::string tmp_path = final_path + ".tmp";
+  char header[kSnapshotHeaderBytes];
+  std::memcpy(header, kSnapshotMagic, sizeof(kSnapshotMagic));
+  StoreU64(header + 8, last_lsn);
+  StoreU64(header + 16, payload.size());
+  StoreU32(header + 24, MaskCrc(Crc32cExtend(Crc32c(header + 8, 8),
+                                             payload.data(), payload.size())));
+
+  int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return IoError("open", tmp_path);
+  Status st = WriteFileFully(fd, header, sizeof(header), tmp_path);
+  if (st.ok()) st = WriteFileFully(fd, payload.data(), payload.size(), tmp_path);
+  if (st.ok() && ::fsync(fd) != 0) st = IoError("fsync", tmp_path);
+  ::close(fd);
+  if (st.ok() && ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    st = IoError("rename", tmp_path);
+  }
+  if (!st.ok()) {
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+  DVMS_RETURN_IF_ERROR(SyncDir(dir_));
+  ++stats_.snapshots_written;
+
+  // Rotate so the next interval's frames land in a fresh segment; failure
+  // keeps appending to the current segment (recovery handles both layouts).
+  Result<std::unique_ptr<WalWriter>> next =
+      WalWriter::Create(SegmentPath(last_lsn + 1), last_lsn + 1, mode_);
+  if (next.ok()) {
+    writer_ = std::move(next).value();
+    Status dir_st = SyncDir(dir_);
+    if (!dir_st.ok()) return dir_st;
+  }
+  PruneObsoleteFiles();
+  return Status::OK();
+}
+
+void DurabilityManager::PruneObsoleteFiles() {
+  // Keep the two newest snapshots so a corrupt newest still leaves a
+  // recoverable older one.
+  Result<std::vector<uint64_t>> snaps = ListNumbered(dir_, "snapshot-", ".snap");
+  if (!snaps.ok()) return;
+  uint64_t oldest_retained_snap = 0;
+  if (snaps.value().size() > 2) {
+    for (size_t i = 0; i + 2 < snaps.value().size(); ++i) {
+      ::unlink(SnapshotPath(snaps.value()[i]).c_str());
+    }
+  }
+  if (snaps.value().size() >= 2) {
+    oldest_retained_snap = snaps.value()[snaps.value().size() - 2];
+  } else if (!snaps.value().empty()) {
+    oldest_retained_snap = snaps.value().back();
+  } else {
+    return;  // no snapshot: every segment is still needed
+  }
+
+  // A segment is obsolete once the *next* segment begins at or before the
+  // oldest retained snapshot's successor — everything in it is at an LSN
+  // some retained snapshot already covers.
+  Result<std::vector<uint64_t>> segments = ListNumbered(dir_, "wal-", ".log");
+  if (!segments.ok()) return;
+  for (size_t i = 0; i + 1 < segments.value().size(); ++i) {
+    if (segments.value()[i + 1] <= oldest_retained_snap + 1) {
+      if (::unlink(SegmentPath(segments.value()[i]).c_str()) == 0) {
+        ++stats_.segments_pruned;
+      }
+    }
+  }
+}
+
+DurabilityStats DurabilityManager::stats() const {
+  DurabilityStats s = stats_;
+  if (writer_ != nullptr) s.fsyncs = writer_->fsyncs();
+  return s;
+}
+
+}  // namespace dvms

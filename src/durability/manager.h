@@ -1,0 +1,102 @@
+#ifndef DVMS_DURABILITY_MANAGER_H_
+#define DVMS_DURABILITY_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/wal.h"
+
+namespace dvms {
+
+/// Counters describing what durability did — surfaced via
+/// Dvms::durability_stats() and asserted on by the crash harness.
+struct DurabilityStats {
+  uint64_t frames_appended = 0;
+  uint64_t frames_replayed = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t snapshots_discarded = 0;  // corrupt snapshot files skipped
+  uint64_t segments_pruned = 0;
+  uint64_t tail_truncations = 0;     // torn/corrupt log tails dropped
+  uint64_t fsyncs = 0;
+  bool recovered_from_snapshot = false;
+  uint64_t recovered_lsn = 0;        // newest LSN visible after recovery
+  std::string tail_error;            // why the tail was truncated, if it was
+};
+
+/// What a recovery scan found: the newest valid snapshot (if any) plus the
+/// contiguous valid frame suffix to replay on top of it.
+struct RecoveredLog {
+  bool has_snapshot = false;
+  uint64_t snapshot_lsn = 0;
+  std::string snapshot_payload;   // EncodeEngineSnapshot output
+  std::vector<WalFrame> frames;   // LSNs > snapshot_lsn, consecutive
+};
+
+/// Owns one durability directory:
+///   wal-<first_lsn>.log        — log segments (one per snapshot interval)
+///   snapshot-<last_lsn>.snap   — checksummed snapshots (newest two kept)
+///
+/// Snapshots are written atomically (temp file + fsync + rename + directory
+/// fsync) so a crash mid-snapshot leaves the previous one intact. Recovery
+/// picks the newest snapshot whose checksum validates — falling back to an
+/// older one, or to pure log replay — then scans segments in order,
+/// truncating at the first bad frame and discarding anything beyond it.
+class DurabilityManager {
+ public:
+  /// Creates the directory (and parents) if needed. No files are touched
+  /// until Recover().
+  static Result<std::unique_ptr<DurabilityManager>> Open(std::string dir,
+                                                         WalFsyncMode mode);
+
+  /// Scans the directory, repairs torn tails on disk, opens the tail
+  /// segment for appending, and returns what to restore/replay. Call
+  /// exactly once, before the first Append().
+  Result<RecoveredLog> Recover();
+
+  /// Appends one committed-mutation frame. `lsn` must be exactly one past
+  /// the newest LSN (recovered or appended).
+  Status Append(uint64_t lsn, const std::string& payload);
+
+  /// Forces batched frames to stable storage (group-commit flush).
+  Status Flush();
+
+  /// Writes a snapshot covering the log through `last_lsn`, then rotates to
+  /// a fresh segment and prunes snapshots/segments no longer needed. A
+  /// failure leaves the log fully intact — snapshotting is an optimization,
+  /// never a durability requirement.
+  Status WriteSnapshot(uint64_t last_lsn, const std::string& payload);
+
+  uint64_t last_lsn() const { return last_lsn_; }
+  const std::string& dir() const { return dir_; }
+  WalFsyncMode fsync_mode() const { return mode_; }
+  DurabilityStats stats() const;
+
+ private:
+  DurabilityManager(std::string dir, WalFsyncMode mode)
+      : dir_(std::move(dir)), mode_(mode) {}
+
+  std::string SegmentPath(uint64_t first_lsn) const;
+  std::string SnapshotPath(uint64_t last_lsn) const;
+  void PruneObsoleteFiles();
+
+  std::string dir_;
+  WalFsyncMode mode_;
+  std::unique_ptr<WalWriter> writer_;
+  uint64_t last_lsn_ = 0;
+  bool recovered_ = false;
+  DurabilityStats stats_;
+};
+
+/// Reads and validates a snapshot file; errors on any corruption (bad
+/// magic, short file, checksum mismatch). Returns the decoded payload and
+/// the last LSN it covers. Exposed for tests.
+Result<std::pair<uint64_t, std::string>> ReadSnapshotFile(
+    const std::string& path);
+
+}  // namespace dvms
+
+#endif  // DVMS_DURABILITY_MANAGER_H_

@@ -1,0 +1,314 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+#include "durability/crc32c.h"
+
+namespace dvms {
+
+namespace {
+
+std::atomic<int64_t> g_crash_after_wal_bytes{-1};
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::ExecutionError("wal: " + what + " failed for " + path + ": " +
+                                std::strerror(errno));
+}
+
+/// write(2) loop honoring the torn-write crash hook: when the hook's byte
+/// budget runs out inside this chunk, the prefix that fits is written (and
+/// synced, so the torn state is what recovery will actually see) and the
+/// process exits as if SIGKILLed mid-write.
+Status WriteFully(int fd, const char* data, size_t n, const std::string& path) {
+  int64_t budget = g_crash_after_wal_bytes.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    if (static_cast<uint64_t>(budget) < n) {
+      size_t partial = static_cast<size_t>(budget);
+      while (partial > 0) {
+        ssize_t w = ::write(fd, data, partial);
+        if (w <= 0) break;
+        data += w;
+        partial -= static_cast<size_t>(w);
+      }
+      ::fsync(fd);
+      ::_exit(42);
+    }
+    g_crash_after_wal_bytes.store(budget - static_cast<int64_t>(n),
+                                  std::memory_order_relaxed);
+  }
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write", path);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadFully(int fd, char* data, size_t n, const std::string& path,
+                 bool* short_read) {
+  *short_read = false;
+  while (n > 0) {
+    ssize_t r = ::read(fd, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError("read", path);
+    }
+    if (r == 0) {
+      *short_read = true;
+      return Status::OK();
+    }
+    data += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;  // the build targets are little-endian; codec.cc matches
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void StoreU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+uint32_t FrameCrc(uint64_t lsn, const std::string& payload) {
+  char lsn_bytes[8];
+  StoreU64(lsn_bytes, lsn);
+  uint32_t crc = Crc32c(lsn_bytes, sizeof(lsn_bytes));
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  return MaskCrc(crc);
+}
+
+}  // namespace
+
+Result<WalFsyncMode> ParseWalFsyncMode(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "always") return WalFsyncMode::kAlways;
+  if (lower == "batch") return WalFsyncMode::kBatch;
+  if (lower == "off") return WalFsyncMode::kOff;
+  return Status::InvalidArgument("unknown WAL fsync mode '" + name +
+                                 "' (expected always, batch, or off)");
+}
+
+const char* WalFsyncModeToString(WalFsyncMode mode) {
+  switch (mode) {
+    case WalFsyncMode::kAlways:
+      return "always";
+    case WalFsyncMode::kBatch:
+      return "batch";
+    case WalFsyncMode::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint64_t first_lsn,
+                                                     WalFsyncMode mode) {
+  DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", path);
+  std::unique_ptr<WalWriter> writer(new WalWriter(path, fd, 0, mode));
+  char header[kWalHeaderBytes];
+  std::memcpy(header, kWalMagic, sizeof(kWalMagic));
+  StoreU64(header + 8, first_lsn);
+  DVMS_RETURN_IF_ERROR(WriteFully(fd, header, sizeof(header), path));
+  writer->offset_ = kWalHeaderBytes;
+  // The header must be durable before any frame is acknowledged; a segment
+  // with frames but no header would be unrecoverable.
+  if (mode != WalFsyncMode::kOff) DVMS_RETURN_IF_ERROR(writer->Sync());
+  return writer;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    const std::string& path, uint64_t valid_bytes, WalFsyncMode mode) {
+  DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", path);
+  std::unique_ptr<WalWriter> writer(new WalWriter(path, fd, valid_bytes, mode));
+  // Discard any torn tail beyond the validated prefix so new frames are
+  // appended contiguously after the last good one.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    return IoError("ftruncate", path);
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    return IoError("lseek", path);
+  }
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    if (pending_appends_ > 0 && mode_ != WalFsyncMode::kOff) {
+      FaultSuppressScope suppress;  // best-effort final flush
+      Flush();
+    }
+    ::close(fd_);
+  }
+}
+
+Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
+  if (fd_ < 0) {
+    return Status::ExecutionError("wal: log poisoned by earlier I/O failure");
+  }
+  if (payload.size() > kMaxWalFramePayload) {
+    return Status::InvalidArgument("wal: frame payload too large (" +
+                                   std::to_string(payload.size()) + " bytes)");
+  }
+  Status fault = fault::MaybeInject(FaultSite::kDurabilityIo);
+  const uint64_t pre_append = offset_;
+  Status st = fault;
+  if (st.ok()) {
+    char head[kWalFrameOverhead];
+    StoreU32(head, static_cast<uint32_t>(payload.size()));
+    StoreU32(head + 4, FrameCrc(lsn, payload));
+    StoreU64(head + 8, lsn);
+    st = WriteFully(fd_, head, sizeof(head), path_);
+    if (st.ok()) st = WriteFully(fd_, payload.data(), payload.size(), path_);
+    if (st.ok()) {
+      offset_ = pre_append + kWalFrameOverhead + payload.size();
+      ++pending_appends_;
+      if (mode_ == WalFsyncMode::kAlways ||
+          (mode_ == WalFsyncMode::kBatch &&
+           pending_appends_ >= kGroupCommitAppends)) {
+        st = Sync();
+      }
+    }
+  }
+  if (!st.ok()) {
+    // Roll the file back to the pre-append length so the caller's failure
+    // and the on-disk log agree. Runs fault-suppressed: this *is* the
+    // recovery path for an injected append/fsync fault.
+    FaultSuppressScope suppress;
+    if (::ftruncate(fd_, static_cast<off_t>(pre_append)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(pre_append), SEEK_SET) < 0) {
+      // Can't restore a consistent tail: poison the writer (fail-stop) so
+      // no later append lands after a half-written frame.
+      ::close(fd_);
+      fd_ = -1;
+      return Status::ExecutionError(
+          "wal: failed to roll back torn append; log poisoned (" +
+          st.message() + ")");
+    }
+    offset_ = pre_append;
+    return st;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Flush() {
+  if (fd_ < 0) {
+    return Status::ExecutionError("wal: log poisoned by earlier I/O failure");
+  }
+  if (pending_appends_ == 0 || mode_ == WalFsyncMode::kOff) {
+    return Status::OK();
+  }
+  return Sync();
+}
+
+Status WalWriter::Sync() {
+  DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
+  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  pending_appends_ = 0;
+  ++fsyncs_;
+  return Status::OK();
+}
+
+Result<WalScan> ScanWalSegment(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", path);
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  WalScan scan;
+  char header[kWalHeaderBytes];
+  bool short_read = false;
+  DVMS_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header), path, &short_read));
+  if (short_read || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::ExecutionError("wal: " + path +
+                                  " has a short or invalid segment header");
+  }
+  scan.first_lsn = LoadU64(header + 8);
+  scan.valid_bytes = kWalHeaderBytes;
+
+  uint64_t expected_lsn = scan.first_lsn;
+  std::string payload;
+  for (;;) {
+    char head[kWalFrameOverhead];
+    ssize_t r = ::read(fd, head, sizeof(head));
+    if (r == 0) break;  // clean EOF on a frame boundary
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError("read", path);
+    }
+    if (static_cast<size_t>(r) < sizeof(head)) {
+      scan.tail_truncated = true;
+      scan.tail_error = "torn frame header";
+      break;
+    }
+    uint32_t len = LoadU32(head);
+    uint32_t stored_crc = LoadU32(head + 4);
+    uint64_t lsn = LoadU64(head + 8);
+    if (len > kMaxWalFramePayload) {
+      scan.tail_truncated = true;
+      scan.tail_error = "implausible frame length " + std::to_string(len);
+      break;
+    }
+    payload.resize(len);
+    DVMS_RETURN_IF_ERROR(ReadFully(fd, payload.data(), len, path, &short_read));
+    if (short_read) {
+      scan.tail_truncated = true;
+      scan.tail_error = "torn frame payload";
+      break;
+    }
+    if (stored_crc != FrameCrc(lsn, payload)) {
+      scan.tail_truncated = true;
+      scan.tail_error = "frame checksum mismatch at lsn " + std::to_string(lsn);
+      break;
+    }
+    if (lsn != expected_lsn) {
+      scan.tail_truncated = true;
+      scan.tail_error = "lsn discontinuity (expected " +
+                        std::to_string(expected_lsn) + ", found " +
+                        std::to_string(lsn) + ")";
+      break;
+    }
+    scan.frames.push_back(WalFrame{lsn, payload});
+    scan.valid_bytes += kWalFrameOverhead + len;
+    ++expected_lsn;
+  }
+  return scan;
+}
+
+namespace durability_testing {
+
+void CrashAfterWalBytes(int64_t n) {
+  g_crash_after_wal_bytes.store(n, std::memory_order_relaxed);
+}
+
+}  // namespace durability_testing
+
+}  // namespace dvms

@@ -1,0 +1,119 @@
+#ifndef DVMS_DURABILITY_WAL_H_
+#define DVMS_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dvms {
+
+/// When interaction-log appends reach stable storage.
+///   kAlways — fsync after every committed mutation unit (default; an
+///             acknowledged interaction survives power loss).
+///   kBatch  — group commit: fsyncs are batched across consecutive
+///             mutation units and forced every kGroupCommitAppends frames,
+///             at snapshots, and on clean shutdown. A crash can lose the
+///             last unsynced batch, never corrupt the log.
+///   kOff    — never fsync from the engine; the OS flushes lazily.
+enum class WalFsyncMode { kAlways, kBatch, kOff };
+
+/// Parses "always" / "batch" / "off" (case-insensitive; the DVMS_WAL_FSYNC
+/// values).
+Result<WalFsyncMode> ParseWalFsyncMode(const std::string& name);
+const char* WalFsyncModeToString(WalFsyncMode mode);
+
+/// Frames per fsync in kBatch mode.
+inline constexpr size_t kGroupCommitAppends = 16;
+
+/// One decoded log frame: a monotonic log sequence number plus the encoded
+/// WalRecord payload.
+struct WalFrame {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// Segment layout: an 8-byte magic + u64 first-LSN header, then frames of
+///   u32 payload_len | u32 masked-CRC32C(lsn || payload) | u64 lsn | payload
+/// The CRC covers the LSN so a frame spliced from another position (or
+/// segment) is rejected even if its payload is intact.
+inline constexpr char kWalMagic[8] = {'D', 'V', 'M', 'S', 'W', 'A', 'L', '1'};
+inline constexpr size_t kWalHeaderBytes = 16;   // magic + first_lsn
+inline constexpr size_t kWalFrameOverhead = 16; // len + crc + lsn
+inline constexpr uint32_t kMaxWalFramePayload = 1u << 26;  // 64 MiB
+
+/// Appends frames to one segment file. All I/O errors (and injected
+/// FaultSite::kDurabilityIo faults) surface as Status; a failed append
+/// truncates the file back to its pre-append length so the on-disk log
+/// never acknowledges a frame the caller saw fail.
+class WalWriter {
+ public:
+  /// Creates a fresh segment whose header names `first_lsn`.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   uint64_t first_lsn,
+                                                   WalFsyncMode mode);
+
+  /// Reopens an existing segment for appending. `valid_bytes` is the
+  /// validated frame prefix from recovery; anything after it (a torn tail)
+  /// is truncated away first.
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, uint64_t valid_bytes, WalFsyncMode mode);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status Append(uint64_t lsn, const std::string& payload);
+
+  /// Forces any batched frames to stable storage.
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return offset_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t offset, WalFsyncMode mode)
+      : path_(std::move(path)), fd_(fd), offset_(offset), mode_(mode) {}
+
+  Status Sync();
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  WalFsyncMode mode_;
+  size_t pending_appends_ = 0;
+  uint64_t fsyncs_ = 0;
+};
+
+/// Result of scanning one segment. Scanning never fails on frame-level
+/// corruption: the scan stops at the first bad frame (bad CRC, implausible
+/// length, short read, or non-consecutive LSN) and reports the valid
+/// prefix — the paper-trail version of "truncate at the first bad frame".
+struct WalScan {
+  uint64_t first_lsn = 0;        // from the segment header
+  std::vector<WalFrame> frames;  // the valid prefix
+  uint64_t valid_bytes = 0;      // offset just past the last valid frame
+  bool tail_truncated = false;   // a bad/torn frame (or garbage) follows
+  std::string tail_error;        // human-readable reason when truncated
+};
+
+/// Reads and validates a segment. Errors only for an unreadable file or a
+/// mangled segment header; frame corruption is reported via the scan.
+Result<WalScan> ScanWalSegment(const std::string& path);
+
+namespace durability_testing {
+
+/// Crash-injection hook for the recovery harness: after `n` more bytes of
+/// WAL file writes, the process writes a *partial* chunk (a torn frame)
+/// and calls _exit — simulating SIGKILL mid-write. Negative disables.
+/// Test-only; not thread-safe against concurrent writers.
+void CrashAfterWalBytes(int64_t n);
+
+}  // namespace durability_testing
+
+}  // namespace dvms
+
+#endif  // DVMS_DURABILITY_WAL_H_

@@ -135,6 +135,29 @@ void VersionedTable::Abort() {
   in_transaction_ = false;
 }
 
+VersionedTable::DurableState VersionedTable::SaveDurableState() const {
+  DurableState state;
+  state.current = current_;
+  state.committed = committed_;  // shared_ptr copies; versions are immutable
+  state.steps = steps_;
+  state.txn_base = txn_base_;
+  state.in_transaction = in_transaction_;
+  state.epoch = epoch_;
+  return state;
+}
+
+void VersionedTable::RestoreDurableState(DurableState state) {
+  current_ = std::move(state.current);
+  committed_ = std::move(state.committed);
+  steps_ = std::move(state.steps);
+  txn_base_ = std::move(state.txn_base);
+  in_transaction_ = state.in_transaction;
+  epoch_ = state.epoch;
+  undo_armed_ = false;
+  undo_current_.reset();
+  undo_meta_.reset();
+}
+
 Result<TablePtr> VersionedTable::Version(size_t k) const {
   if (k == 0) return MakeTablePtr(current_);
   if (k > committed_.size()) {

@@ -105,6 +105,32 @@ class VersionedTable {
 
   bool undo_armed() const { return undo_armed_; }
 
+  // ---- Durability (snapshot serialization) ----
+
+  /// Everything a snapshot must persist to reproduce this relation
+  /// bit-identically: working state, committed/step version history, the
+  /// open-transaction base, and the mutation epoch. Undo-capture state is
+  /// deliberately excluded — snapshots are taken between mutation units,
+  /// when capture is disarmed.
+  struct DurableState {
+    Table current;
+    std::vector<TablePtr> committed;  // oldest first
+    std::vector<TablePtr> steps;      // oldest first
+    TablePtr txn_base;                // null when no transaction is open
+    bool in_transaction = false;
+    uint64_t epoch = 0;
+  };
+
+  DurableState SaveDurableState() const;
+
+  /// Installs `state` wholesale (row contents are trusted; callers decode
+  /// through the validating snapshot codec). The declared schema keeps the
+  /// value it was constructed with — recovery recreates the table from its
+  /// DDL before overlaying state.
+  void RestoreDurableState(DurableState state);
+
+  size_t max_history() const { return max_history_; }
+
   /// `@vnow-k`. k == 0 returns the working state; k >= 1 returns the k-th
   /// most recent committed version. Errors if history does not reach back
   /// that far.

@@ -136,4 +136,30 @@ double StreamScheduler::ExpectedUtility() const {
   return u;
 }
 
+StreamScheduler::DurableState StreamScheduler::SaveDurableState() const {
+  DurableState state;
+  state.coeffs_per_tick = coeffs_per_tick_;
+  state.policy = policy_;
+  state.tiles.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    state.tiles.push_back(DurableState::TileEntry{entry.tile,
+                                                  entry.probability});
+  }
+  state.total_sent = total_sent_;
+  state.stats = stats_;
+  return state;
+}
+
+void StreamScheduler::RestoreDurableState(DurableState state) {
+  coeffs_per_tick_ = state.coeffs_per_tick;
+  policy_ = state.policy;
+  entries_.clear();
+  entries_.reserve(state.tiles.size());
+  for (DurableState::TileEntry& t : state.tiles) {
+    entries_.push_back(Entry{std::move(t.tile), t.probability});
+  }
+  total_sent_ = state.total_sent;
+  stats_ = state.stats;
+}
+
 }  // namespace dvms

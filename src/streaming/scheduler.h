@@ -110,6 +110,27 @@ class StreamScheduler {
   };
   const SchedulerStats& stats() const { return stats_; }
 
+  // ---- Durability (snapshot serialization) ----
+
+  /// Streaming progress persisted across restarts: tiles with their
+  /// delivery positions and probabilities, bandwidth/policy knobs, and the
+  /// lifetime counters. The clock override is process state, not durable
+  /// state.
+  struct DurableState {
+    size_t coeffs_per_tick = 0;
+    TickPolicy policy;
+    struct TileEntry {
+      StreamTile tile;
+      double probability = 0.0;
+    };
+    std::vector<TileEntry> tiles;  // in scheduling (registration) order
+    size_t total_sent = 0;
+    SchedulerStats stats;
+  };
+
+  DurableState SaveDurableState() const;
+  void RestoreDurableState(DurableState state);
+
  private:
   struct Entry {
     StreamTile tile;
