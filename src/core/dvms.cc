@@ -179,11 +179,19 @@ Status Dvms::CreateScale(const std::string& name, double domain_min,
   record.scale_domain_max = domain_max;
   record.scale_range_min = range_min;
   record.scale_range_max = range_max;
+  const bool existed = catalog_.Exists(name);
   BeginMutationUnit();
   Status st =
       CreateScaleLocked(name, domain_min, domain_max, range_min, range_max);
   if (st.ok()) st = LogCommitted(record);
-  return EndMutationUnit(st);
+  st = EndMutationUnit(st);
+  if (!st.ok() && !existed) {
+    // The unit rollback restores pre-existing relations but cannot remove
+    // one created inside the unit; drop the fresh scale relation by hand
+    // so memory and log agree.
+    (void)catalog_.Drop(name);
+  }
+  return st;
 }
 
 Status Dvms::CreateScaleLocked(const std::string& name, double domain_min,
@@ -209,7 +217,16 @@ Status Dvms::Execute(const Statement& statement) {
     record.op = WalRecord::Op::kStatement;
     record.statement = statement;
   }
-  return LogCommitted(record);
+  Status logged = LogCommitted(record);
+  if (!logged.ok()) {
+    // The dispatch already committed (the nested entry points saw a no-op
+    // depth-2 LogCommitted and disarmed their undo), and DDL effects such
+    // as view/pattern definitions outlive a mutation-unit rollback. Memory
+    // holds a mutation the log lost: fail-stop instead of letting later
+    // frames replay against a diverged state.
+    PoisonDurability("statement executed but not logged", logged);
+  }
+  return logged;
 }
 
 Status Dvms::ExecuteDispatch(const Statement& statement) {
@@ -272,19 +289,37 @@ Status Dvms::ExecuteDispatch(const Statement& statement) {
 Status Dvms::LoadProgram(const std::string& source) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   LogScope log_scope(this);
+  // Parsing touches nothing, so a typo'd program fails cleanly with the
+  // log and memory still in agreement.
   DVMS_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  size_t applied = 0;
+  Status st = Status::OK();
   for (const Statement& stmt : program.statements) {
-    DVMS_RETURN_IF_ERROR(Execute(stmt));
+    st = Execute(stmt);
+    if (!st.ok()) break;
+    ++applied;
   }
-  DVMS_RETURN_IF_ERROR(ProcessChanges(catalog_.Names()));
+  if (st.ok()) st = ProcessChanges(catalog_.Names());
   // Commit the initial visualization state so @vnow-1 is addressable from
   // the first interaction.
-  DVMS_RETURN_IF_ERROR(CommitViews());
-  DVMS_RETURN_IF_ERROR(Render());
-  WalRecord record;
-  record.op = WalRecord::Op::kLoadProgram;
-  record.text = source;
-  return LogCommitted(record);
+  if (st.ok()) st = CommitViews();
+  if (st.ok()) st = Render();
+  if (st.ok()) {
+    WalRecord record;
+    record.op = WalRecord::Op::kLoadProgram;
+    record.text = source;
+    st = LogCommitted(record);
+    if (!st.ok()) {
+      PoisonDurability("program applied but not logged", st);
+    }
+  } else if (applied > 0 && ShouldLog()) {
+    // A mid-program failure leaves the already-executed statements applied
+    // in memory — their DDL cannot be rolled back — but nothing was logged
+    // for them (a program commits as one frame). Fail-stop rather than log
+    // later frames against state the log never saw.
+    PoisonDurability("program partially applied but not logged", st);
+  }
+  return st;
 }
 
 Result<Table> Dvms::Query(const std::string& select_sql) {
@@ -652,7 +687,13 @@ Status Dvms::ComposeInteractions(const std::string& first,
   record.name = merged_name;
   record.compose_first = first;
   record.compose_second = second;
-  return LogCommitted(record);
+  Status logged = LogCommitted(record);
+  if (!logged.ok()) {
+    // The merged pattern (and its compound-event table) is already defined
+    // and cannot be rolled back here.
+    PoisonDurability("composed pattern defined but not logged", logged);
+  }
+  return logged;
 }
 
 std::vector<std::string> Dvms::AnalyzeInteractions() const {
@@ -690,7 +731,8 @@ Status Dvms::Checkpoint() {
     return Status::InvalidArgument("durability is not enabled (no data_dir)");
   }
   if (durability_poisoned_) {
-    return Status::ExecutionError("durability disabled after recovery failure");
+    return Status::ExecutionError("durability disabled (fail-stop): " +
+                                  recovery_status_.message());
   }
   return WriteSnapshotLocked();
 }
@@ -703,6 +745,13 @@ void Dvms::AttachScheduler(StreamScheduler* scheduler) {
     pending_scheduler_state_ = false;
     scheduler_state_ = StreamScheduler::DurableState{};
   }
+}
+
+void Dvms::PoisonDurability(const char* what, const Status& cause) {
+  durability_poisoned_ = true;
+  recovery_status_ = Status::ExecutionError(
+      std::string("durability fail-stop (") + what + "): " + cause.message());
+  std::fprintf(stderr, "dvms: %s\n", recovery_status_.message().c_str());
 }
 
 Status Dvms::LogCommitted(const WalRecord& record) {

@@ -187,6 +187,10 @@ class Dvms {
   /// empty, or recovery restored and replayed cleanly. On failure the
   /// engine stays usable in memory but further logging is disabled
   /// (fail-stop — silent divergence between memory and disk is worse).
+  /// Also reports a later runtime fail-stop: when a WAL append fails after
+  /// the statement already mutated memory (and the entry point cannot roll
+  /// that mutation back), logging shuts down the same way and the cause is
+  /// recorded here.
   Status recovery_status() const;
 
   /// Log/snapshot/recovery counters; zero-valued when durability is off.
@@ -318,11 +322,20 @@ class Dvms {
            log_depth_ == 1;
   }
 
-  /// Appends `record` to the interaction log if ShouldLog(). Called inside
-  /// the mutation unit so an append failure rolls the unit back — memory
-  /// never acknowledges a mutation the log lost. May also write an
-  /// automatic snapshot (soft-fail).
+  /// Appends `record` to the interaction log if ShouldLog(). Entry points
+  /// that can undo their mutation call it inside the mutation unit (or
+  /// with a manual undo) so an append failure rolls the state back —
+  /// memory never acknowledges a mutation the log lost. Entry points that
+  /// cannot fully undo (Execute / LoadProgram / ComposeInteractions, whose
+  /// DDL effects outlive a unit rollback) must PoisonDurability() on
+  /// failure instead. May also write an automatic snapshot (soft-fail).
   Status LogCommitted(const WalRecord& record);
+
+  /// Runtime fail-stop: memory holds a mutation the log lost and cannot be
+  /// rolled back, so further logging is disabled and the cause recorded in
+  /// recovery_status(). The in-memory engine stays usable; a restart
+  /// recovers the last logged state.
+  void PoisonDurability(const char* what, const Status& cause);
 
   EngineSnapshot BuildSnapshotLocked() const;
   Status WriteSnapshotLocked();

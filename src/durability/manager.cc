@@ -130,9 +130,17 @@ Result<std::pair<uint64_t, std::string>> ReadSnapshotFile(
   } closer{fd};
 
   char header[kSnapshotHeaderBytes];
-  ssize_t r = ::read(fd, header, sizeof(header));
-  if (r < 0) return IoError("read", path);
-  if (static_cast<size_t>(r) < sizeof(header) ||
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    ssize_t r = ::read(fd, header + got, sizeof(header) - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError("read", path);
+    }
+    if (r == 0) break;  // short file
+    got += static_cast<size_t>(r);
+  }
+  if (got < sizeof(header) ||
       std::memcmp(header, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     return Status::ExecutionError("durability: " + path +
                                   " has a short or invalid snapshot header");
@@ -219,26 +227,31 @@ Result<RecoveredLog> DurabilityManager::Recover() {
   }
 
   // Scan segments in LSN order, keeping the contiguous valid frame run that
-  // extends past the snapshot. The first bad frame (or inter-segment gap)
-  // truncates the log there: the file is cut back to its valid prefix and
-  // every later segment is deleted.
+  // extends past the snapshot. The first *corrupt* frame (or inter-segment
+  // gap) truncates the log there: the file is cut back to its valid prefix
+  // and every later segment is deleted. An I/O error, by contrast, aborts
+  // recovery with the directory untouched — the failure may be transient
+  // (EMFILE, EACCES, a flaky read) and the frames behind it perfectly
+  // valid, so pruning on that evidence would destroy acknowledged writes.
   DVMS_ASSIGN_OR_RETURN(std::vector<uint64_t> segments,
                         ListNumbered(dir_, "wal-", ".log"));
   uint64_t next_lsn =
       out.has_snapshot ? out.snapshot_lsn + 1 : (segments.empty() ? 1 : 0);
-  std::string tail_path;    // last surviving segment
-  uint64_t tail_valid = 0;  // its validated byte length
+  std::string tail_path;      // last surviving segment
+  uint64_t tail_valid = 0;    // its validated byte length
+  uint64_t tail_next_lsn = 0; // one past its last valid frame
   size_t cut_from = segments.size();
   for (size_t i = 0; i < segments.size(); ++i) {
     const std::string path = SegmentPath(segments[i]);
-    Result<WalScan> scan_result = ScanWalSegment(path);
-    if (!scan_result.ok()) {
+    DVMS_ASSIGN_OR_RETURN(WalScan scan, ScanWalSegment(path));
+    if (scan.bad_header) {
+      // Checksum/format evidence: the file itself is garbage. Truncate the
+      // log here, as for any corrupt tail.
       stats_.tail_truncations++;
-      stats_.tail_error = scan_result.status().message();
+      stats_.tail_error = scan.tail_error;
       cut_from = i;
       break;
     }
-    WalScan& scan = scan_result.value();
     if (next_lsn == 0) next_lsn = scan.first_lsn;  // no snapshot: start here
     // A segment must continue the run: its frames start at its header LSN,
     // and the run's next expected LSN must fall within [first_lsn, end].
@@ -257,6 +270,7 @@ Result<RecoveredLog> DurabilityManager::Recover() {
     }
     tail_path = path;
     tail_valid = scan.valid_bytes;
+    tail_next_lsn = scan.first_lsn + scan.frames.size();
     if (scan.tail_truncated) {
       stats_.tail_truncations++;
       stats_.tail_error = scan.tail_error;
@@ -275,10 +289,22 @@ Result<RecoveredLog> DurabilityManager::Recover() {
   stats_.recovered_lsn = last_lsn_;
   stats_.frames_replayed = out.frames.size();
 
-  if (!tail_path.empty()) {
+  if (!tail_path.empty() && last_lsn_ + 1 == tail_next_lsn) {
     DVMS_ASSIGN_OR_RETURN(writer_,
                           WalWriter::OpenForAppend(tail_path, tail_valid, mode_));
   } else {
+    if (!tail_path.empty()) {
+      // The resume point is past the tail's last frame: a snapshot covers
+      // LSNs whose frames never reached this segment (possible when a crash
+      // under DVMS_WAL_FSYNC=off loses unsynced frames that an fsynced
+      // snapshot had already superseded). Appending here would leave an
+      // in-segment LSN gap the next recovery must truncate as corruption,
+      // so seal the tail at its valid prefix and rotate to a fresh segment
+      // starting at the resume LSN.
+      if (::truncate(tail_path.c_str(), static_cast<off_t>(tail_valid)) != 0) {
+        return IoError("truncate", tail_path);
+      }
+    }
     DVMS_ASSIGN_OR_RETURN(
         writer_, WalWriter::Create(SegmentPath(last_lsn_ + 1), last_lsn_ + 1,
                                    mode_));

@@ -178,6 +178,7 @@ Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
   }
   Status fault = fault::MaybeInject(FaultSite::kDurabilityIo);
   const uint64_t pre_append = offset_;
+  const size_t pre_pending = pending_appends_;
   Status st = fault;
   if (st.ok()) {
     char head[kWalFrameOverhead];
@@ -199,8 +200,10 @@ Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
   if (!st.ok()) {
     // Roll the file back to the pre-append length so the caller's failure
     // and the on-disk log agree. Runs fault-suppressed: this *is* the
-    // recovery path for an injected append/fsync fault.
+    // recovery path for an injected append/fsync fault. The truncated
+    // frame must not keep counting toward the group-commit threshold.
     FaultSuppressScope suppress;
+    pending_appends_ = pre_pending;
     if (::ftruncate(fd_, static_cast<off_t>(pre_append)) != 0 ||
         ::lseek(fd_, static_cast<off_t>(pre_append), SEEK_SET) < 0) {
       // Can't restore a consistent tail: poison the writer (fail-stop) so
@@ -248,8 +251,13 @@ Result<WalScan> ScanWalSegment(const std::string& path) {
   bool short_read = false;
   DVMS_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header), path, &short_read));
   if (short_read || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
-    return Status::ExecutionError("wal: " + path +
-                                  " has a short or invalid segment header");
+    // Format violation, not an I/O failure: report it through the scan so
+    // recovery can truncate here, reserving Status for errors where the
+    // bytes themselves might still be fine.
+    scan.bad_header = true;
+    scan.tail_truncated = true;
+    scan.tail_error = "short or invalid segment header in " + path;
+    return scan;
   }
   scan.first_lsn = LoadU64(header + 8);
   scan.valid_bytes = kWalHeaderBytes;

@@ -73,6 +73,9 @@ class WalWriter {
   const std::string& path() const { return path_; }
   uint64_t bytes_written() const { return offset_; }
   uint64_t fsyncs() const { return fsyncs_; }
+  /// Frames appended since the last successful fsync (group-commit
+  /// accounting; a rolled-back append does not count).
+  size_t pending_appends() const { return pending_appends_; }
 
  private:
   WalWriter(std::string path, int fd, uint64_t offset, WalFsyncMode mode)
@@ -88,20 +91,26 @@ class WalWriter {
   uint64_t fsyncs_ = 0;
 };
 
-/// Result of scanning one segment. Scanning never fails on frame-level
-/// corruption: the scan stops at the first bad frame (bad CRC, implausible
-/// length, short read, or non-consecutive LSN) and reports the valid
-/// prefix — the paper-trail version of "truncate at the first bad frame".
+/// Result of scanning one segment. Scanning never fails on corruption:
+/// the scan stops at the first bad frame (bad CRC, implausible length,
+/// short read, or non-consecutive LSN) and reports the valid prefix — the
+/// paper-trail version of "truncate at the first bad frame" — while a
+/// short or mangled segment header sets `bad_header` (the whole file is
+/// garbage).
 struct WalScan {
   uint64_t first_lsn = 0;        // from the segment header
   std::vector<WalFrame> frames;  // the valid prefix
   uint64_t valid_bytes = 0;      // offset just past the last valid frame
   bool tail_truncated = false;   // a bad/torn frame (or garbage) follows
+  bool bad_header = false;       // the segment header itself is corrupt
   std::string tail_error;        // human-readable reason when truncated
 };
 
-/// Reads and validates a segment. Errors only for an unreadable file or a
-/// mangled segment header; frame corruption is reported via the scan.
+/// Reads and validates a segment. A Status error means the file could not
+/// be read at all (open/read I/O failure — possibly transient, the bytes
+/// may be fine); every checksum/format violation, including a corrupt
+/// segment header, is reported through the scan so the caller can
+/// distinguish "retry later" from "truncate here".
 Result<WalScan> ScanWalSegment(const std::string& path);
 
 namespace durability_testing {

@@ -230,11 +230,25 @@ TEST(WalSegmentTest, SplicedFrameFromOtherLsnRejected) {
   EXPECT_TRUE(scan.tail_truncated);  // duplicate LSN = discontinuity
 }
 
-TEST(WalSegmentTest, BadHeaderMagicErrors) {
+TEST(WalSegmentTest, BadHeaderReportedThroughScanNotStatus) {
+  // A mangled or short header is corruption evidence, not an I/O failure:
+  // the scan succeeds and flags bad_header so recovery can truncate here,
+  // while a file that cannot be opened at all still errors.
   TempDir dir("wal_magic");
   const std::string path = SegPath(dir);
   WriteAll(path, "NOTAWAL!\x01\x00\x00\x00\x00\x00\x00\x00");
-  EXPECT_FALSE(ScanWalSegment(path).ok());
+  WalScan scan = ScanWalSegment(path).value();
+  EXPECT_TRUE(scan.bad_header);
+  EXPECT_TRUE(scan.tail_truncated);
+  EXPECT_TRUE(scan.frames.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_FALSE(scan.tail_error.empty());
+
+  WriteAll(path, "DVMSWAL");  // shorter than the header
+  scan = ScanWalSegment(path).value();
+  EXPECT_TRUE(scan.bad_header);
+  EXPECT_TRUE(scan.frames.empty());
+
   EXPECT_FALSE(ScanWalSegment((dir.path() / "missing.log").string()).ok());
 }
 
@@ -279,6 +293,48 @@ TEST(WalSegmentTest, BatchModeSyncsEveryGroupAndOnFlush) {
   EXPECT_EQ(writer->fsyncs(), base + 2);
   ASSERT_TRUE(writer->Flush().ok());  // nothing pending: no extra fsync
   EXPECT_EQ(writer->fsyncs(), base + 2);
+}
+
+TEST(WalSegmentTest, FailedSyncRollsBackGroupCommitAccounting) {
+  // A frame whose group-boundary fsync fails is truncated away; it must not
+  // keep counting toward the next sync threshold.
+  TempDir dir("wal_pending");
+  const std::string path = SegPath(dir);
+  auto writer = WalWriter::Create(path, 1, WalFsyncMode::kBatch).value();
+  for (uint64_t lsn = 1; lsn < kGroupCommitAppends; ++lsn) {
+    ASSERT_TRUE(writer->Append(lsn, "x").ok());
+  }
+  ASSERT_EQ(writer->pending_appends(), kGroupCommitAppends - 1);
+  const uint64_t bytes_before = writer->bytes_written();
+
+  // Find a seed whose deterministic durability schedule passes the
+  // append-entry check (draw 0) and fires inside Sync() (draw 1).
+  FaultConfig config = ParseFaultSpec("1:0.5:durability").value();
+  for (uint64_t seed = 1;; ++seed) {
+    ASSERT_LT(seed, 10000u) << "no seed fails exactly the sync draw";
+    config.seed = seed;
+    FaultInjector probe(config);
+    bool entry = probe.ShouldInject(FaultSite::kDurabilityIo);
+    bool sync = probe.ShouldInject(FaultSite::kDurabilityIo);
+    if (!entry && sync) break;
+  }
+  {
+    ScopedFaultInjector scoped(config);
+    Status st = writer->Append(kGroupCommitAppends, "x");
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("injected fault"), std::string::npos);
+  }
+  EXPECT_EQ(writer->pending_appends(), kGroupCommitAppends - 1);
+  EXPECT_EQ(writer->bytes_written(), bytes_before);
+
+  // The retry lands normally and syncs at the group boundary.
+  const uint64_t syncs_before = writer->fsyncs();
+  ASSERT_TRUE(writer->Append(kGroupCommitAppends, "x").ok());
+  EXPECT_EQ(writer->pending_appends(), 0u);
+  EXPECT_EQ(writer->fsyncs(), syncs_before + 1);
+  WalScan scan = ScanWalSegment(path).value();
+  EXPECT_EQ(scan.frames.size(), kGroupCommitAppends);
+  EXPECT_FALSE(scan.tail_truncated);
 }
 
 // ---------------------------------------------------------------------------
@@ -412,6 +468,85 @@ TEST(DurabilityManagerTest, ObsoleteSegmentsArePruned) {
   EXPECT_EQ(ListDir(dir.path(), ".snap").size(), 2u);
   EXPECT_LE(ListDir(dir.path(), ".log").size(), 3u);
   EXPECT_GT(mgr->stats().segments_pruned, 0u);
+}
+
+TEST(DurabilityManagerTest, UnreadableSegmentAbortsRecoveryWithoutPruning) {
+  TempDir dir("mgr_ioerr");
+  {
+    auto mgr = DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+    (void)mgr->Recover().value();
+    ASSERT_TRUE(mgr->Append(1, "keep-me").ok());
+  }
+  const fs::path seg1 = dir.path() / "wal-00000000000000000001.log";
+  const std::string seg1_bytes = ReadAll(seg1);
+  // A segment-named entry that open()s but fails read(2) — EISDIR stands in
+  // for any transient I/O failure (EMFILE, EACCES, a flaky disk) that is
+  // *not* evidence of corruption.
+  const fs::path bogus = dir.path() / "wal-00000000000000000002.log";
+  fs::create_directories(bogus);
+  {
+    auto mgr = DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+    EXPECT_FALSE(mgr->Recover().ok());
+  }
+  // Recovery aborted with the directory untouched: the frames behind the
+  // failure may be perfectly valid, so nothing was truncated or unlinked.
+  EXPECT_TRUE(fs::exists(bogus));
+  ASSERT_TRUE(fs::exists(seg1));
+  EXPECT_EQ(ReadAll(seg1), seg1_bytes);
+  // Once the failure clears, recovery proceeds with every frame intact.
+  fs::remove_all(bogus);
+  auto mgr = DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+  RecoveredLog log = mgr->Recover().value();
+  ASSERT_EQ(log.frames.size(), 1u);
+  EXPECT_EQ(log.frames[0].payload, "keep-me");
+  EXPECT_EQ(mgr->stats().tail_truncations, 0u);
+}
+
+TEST(DurabilityManagerTest, SnapshotAheadOfTailRotatesToFreshSegment) {
+  // The DVMS_WAL_FSYNC=off crash shape: an fsynced snapshot at LSN 5
+  // survives while the unsynced frames 3-5 (and the rotated segment) are
+  // lost. The resume point (6) is then past the tail's last frame (2);
+  // appending there would create an in-segment LSN gap the *next* recovery
+  // truncates as corruption — silently losing acknowledged writes — so
+  // recovery must rotate to a fresh segment instead.
+  TempDir dir("mgr_snap_ahead");
+  {
+    auto mgr = DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+    (void)mgr->Recover().value();
+    for (uint64_t lsn = 1; lsn <= 5; ++lsn) {
+      ASSERT_TRUE(mgr->Append(lsn, "pre-" + std::to_string(lsn)).ok());
+    }
+    ASSERT_TRUE(mgr->WriteSnapshot(5, "snap-at-5").ok());
+  }
+  // Reconstruct the crash state: drop the rotated segment and rebuild the
+  // first one with only frames 1-2 (the snapshot pruned the original).
+  const fs::path seg1 = dir.path() / "wal-00000000000000000001.log";
+  const fs::path seg6 = dir.path() / "wal-00000000000000000006.log";
+  fs::remove(seg6);
+  fs::remove(seg1);
+  {
+    auto writer =
+        WalWriter::Create(seg1.string(), 1, WalFsyncMode::kOff).value();
+    ASSERT_TRUE(writer->Append(1, "pre-1").ok());
+    ASSERT_TRUE(writer->Append(2, "pre-2").ok());
+  }
+  {
+    auto mgr = DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+    RecoveredLog log = mgr->Recover().value();
+    ASSERT_TRUE(log.has_snapshot);
+    EXPECT_EQ(log.snapshot_lsn, 5u);
+    EXPECT_TRUE(log.frames.empty());
+    EXPECT_EQ(mgr->last_lsn(), 5u);
+    EXPECT_TRUE(fs::exists(seg6));  // fresh segment at the resume point
+    ASSERT_TRUE(mgr->Append(6, "post-6").ok());
+  }
+  // The new frame survives the next recovery un-truncated.
+  auto mgr = DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+  RecoveredLog log = mgr->Recover().value();
+  ASSERT_EQ(log.frames.size(), 1u);
+  EXPECT_EQ(log.frames[0].lsn, 6u);
+  EXPECT_EQ(log.frames[0].payload, "post-6");
+  EXPECT_EQ(mgr->stats().tail_truncations, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -947,6 +1082,87 @@ TEST(EngineRecoveryTest, FailedAppendRollsBackMemoryState) {
   auto recovered = MakeEngine(dir.str());
   ASSERT_TRUE(recovered->recovery_status().ok());
   EXPECT_EQ(Fingerprint(*recovered), after);
+}
+
+TEST(EngineRecoveryTest, StatementAppendFailureFailsStop) {
+  // Execute() commits through nested entry points whose depth-2 logging is
+  // a no-op, so a failed append at depth 1 cannot roll the mutation back.
+  // Logging must fail-stop rather than let later frames replay against a
+  // diverged state.
+  TempDir dir("recover_failstop");
+  auto engine = MakeEngine(dir.str());
+  Schema schema({{"id", ValueType::kInt64}});
+  ASSERT_TRUE(engine->CreateBaseTable("T", schema).ok());
+  ASSERT_TRUE(engine->Insert("T", {{Value::Int(1)}}).ok());
+  const auto frames_before = engine->durability_stats().frames_appended;
+
+  Statement stmt;
+  stmt.kind = Statement::Kind::kInsert;
+  stmt.target_name = "T";
+  stmt.insert_rows = {{Value::Int(2)}};
+  FaultConfig config = ParseFaultSpec("1:1.0:durability").value();
+  config.max_injections = 1;
+  Status st;
+  {
+    ScopedFaultInjector scoped(config);
+    st = engine->Execute(stmt);
+  }
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("injected fault"), std::string::npos);
+  // Memory kept the mutation the log lost; logging is now fail-stopped.
+  EXPECT_EQ(engine->GetTable("T").value()->num_rows(), 2u);
+  EXPECT_EQ(engine->durability_stats().frames_appended, frames_before);
+  EXPECT_FALSE(engine->recovery_status().ok());
+  EXPECT_NE(engine->recovery_status().message().find("fail-stop"),
+            std::string::npos);
+  EXPECT_FALSE(engine->Checkpoint().ok());
+
+  // The engine stays usable in memory but appends nothing further.
+  ASSERT_TRUE(engine->Insert("T", {{Value::Int(3)}}).ok());
+  EXPECT_EQ(engine->durability_stats().frames_appended, frames_before);
+
+  // A restart recovers the last logged state and logs normally again.
+  engine.reset();
+  auto recovered = MakeEngine(dir.str());
+  ASSERT_TRUE(recovered->recovery_status().ok())
+      << recovered->recovery_status().message();
+  EXPECT_EQ(recovered->GetTable("T").value()->num_rows(), 1u);
+  ASSERT_TRUE(recovered->Insert("T", {{Value::Int(2)}}).ok());
+  EXPECT_GT(recovered->durability_stats().frames_appended, 0u);
+}
+
+TEST(EngineRecoveryTest, PartiallyAppliedProgramFailsStop) {
+  // A program commits as one frame; when a later statement fails, the
+  // earlier ones are already applied (view DDL outlives a unit rollback)
+  // but unlogged — so logging must fail-stop. A pure parse error, by
+  // contrast, touches nothing and must not poison anything.
+  TempDir dir("recover_partial");
+  auto engine = MakeEngine(dir.str());
+  Schema schema({{"id", ValueType::kInt64}});
+  ASSERT_TRUE(engine->CreateBaseTable("Pts", schema).ok());
+  ASSERT_TRUE(engine->Insert("Pts", {{Value::Int(1)}}).ok());
+  const auto frames_before = engine->durability_stats().frames_appended;
+
+  ASSERT_FALSE(engine->LoadProgram("not ! a : program").ok());
+  EXPECT_TRUE(engine->recovery_status().ok());  // nothing was applied
+
+  Status st = engine->LoadProgram(
+      "ok_view = SELECT id AS id FROM Pts;\n"
+      "bad = SELECT x AS x FROM NoSuchRelation;");
+  ASSERT_FALSE(st.ok());
+  // The first statement stuck in memory but nothing reached the log.
+  EXPECT_TRUE(engine->catalog()->Exists("ok_view"));
+  EXPECT_EQ(engine->durability_stats().frames_appended, frames_before);
+  EXPECT_FALSE(engine->recovery_status().ok());
+  EXPECT_NE(engine->recovery_status().message().find("fail-stop"),
+            std::string::npos);
+
+  engine.reset();
+  auto recovered = MakeEngine(dir.str());
+  ASSERT_TRUE(recovered->recovery_status().ok())
+      << recovered->recovery_status().message();
+  EXPECT_FALSE(recovered->catalog()->Exists("ok_view"));
+  EXPECT_EQ(recovered->GetTable("Pts").value()->num_rows(), 1u);
 }
 
 TEST(EngineRecoveryTest, CorpusSeedsReplayCompoundInteractions) {
