@@ -130,7 +130,7 @@ void BM_SchedulerTick(benchmark::State& state) {
     scheduler.AddTile(std::move(tile));
   }
   for (auto _ : state) {
-    auto sent = scheduler.Tick();
+    auto sent = scheduler.TickDetailed().sent;
     if (sent.empty()) {
       state.PauseTiming();
       // All tiles drained: reinstall fresh ones.

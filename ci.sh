@@ -61,6 +61,22 @@ DVMS_BENCH_JSON="$RECOVERY_LINES" ./build/bench/bench_recovery \
 echo "wrote BENCH_recovery.json:"
 cat BENCH_recovery.json
 
+# Observability overhead: the tracing-disabled guard must bound under 2%
+# of the fig2 brushing workload (the "pass" field in BENCH_obs.json).
+OBS_LINES="$PWD/build/bench_obs_lines.jsonl"
+rm -f "$OBS_LINES"
+DVMS_BENCH_JSON="$OBS_LINES" ./build/bench/bench_obs \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$OBS_LINES"
+  printf ']\n'
+} > BENCH_obs.json
+echo "wrote BENCH_obs.json:"
+cat BENCH_obs.json
+grep -q '"pass": true' BENCH_obs.json || {
+  echo "observability overhead budget exceeded" >&2; exit 1; }
+
 # Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
 # parallelism through every test regardless of host core count.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -70,15 +86,20 @@ cmake --build build-tsan -j "$JOBS"
 
 # Leg 3: AddressSanitizer + UndefinedBehaviorSanitizer chaos leg — the
 # chaos differential, crash-injection/recovery, durability codec,
-# scheduler-degradation, and fuzz suites, then the fault workload driven
-# by a process-wide DVMS_FAULTS spec: any leak, UB, or use-after-rollback
-# in the recovery paths fails the build.
+# scheduler-degradation, observability/EXPLAIN, and fuzz suites, then the
+# fault workload driven by a process-wide DVMS_FAULTS spec: any leak, UB,
+# or use-after-rollback in the recovery paths fails the build.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
+# EXPLAIN ANALYZE + dvms_metrics smoke with tracing force-enabled: the
+# traced hot paths (registry, span ring, system-relation refresh) must be
+# clean under ASan/UBSan too.
+DVMS_TRACE=1 ./build-asan/bench/bench_obs \
+  --benchmark_filter=__none__ >/dev/null && echo "asan obs smoke passed"
 
 echo "ci.sh: all legs passed"

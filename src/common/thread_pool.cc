@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/fault.h"
+#include "obs/trace.h"
 
 namespace dvms {
 
@@ -117,6 +118,7 @@ void ThreadPool::RunParticipant(ForState* state, size_t self) {
   }
   // Steal: sweep the other segments until a full pass finds no morsel left.
   const size_t p = state->segments.size();
+  size_t stolen = 0;
   bool found = true;
   while (found) {
     found = false;
@@ -126,9 +128,11 @@ void ThreadPool::RunParticipant(ForState* state, size_t self) {
       if (i < victim.end) {
         run(i);
         found = true;
+        ++stolen;
       }
     }
   }
+  if (stolen > 0) obs::Count("pool.steals", stolen);
   t_in_parallel_region = false;
 }
 
@@ -136,6 +140,10 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, size_t max_threads,
                              const MorselFn& fn) {
   size_t morsels = MorselCount(total, grain);
   if (morsels == 0) return;
+  if (obs::Enabled()) {
+    obs::Count("pool.parallel_fors");
+    obs::Count("pool.morsels", morsels);
+  }
   size_t parallelism = num_threads();
   if (max_threads != 0 && max_threads < parallelism) parallelism = max_threads;
   if (parallelism > morsels) parallelism = morsels;
@@ -178,6 +186,11 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, size_t max_threads,
         ++state.joined;
         state.done_cv.notify_one();
       });
+    }
+    // Depth after this enqueue: backlog the workers are facing. The obs
+    // registry lock is a leaf, so taking it under mu_ cannot deadlock.
+    if (obs::Enabled()) {
+      obs::Observe("pool.queue_depth", static_cast<double>(queue_.size()));
     }
   }
   cv_.notify_all();

@@ -1,13 +1,93 @@
 #include "core/dvms.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 
 #include "parser/parser.h"
 #include "parser/planner.h"
 
 namespace dvms {
+
+namespace {
+
+constexpr char kMetricsRelation[] = "dvms_metrics";
+constexpr char kSpansRelation[] = "dvms_spans";
+
+void CollectFromNames(const SelectStmt& stmt, std::vector<std::string>* out);
+
+void CollectFromNames(const SelectCore& core, std::vector<std::string>* out) {
+  for (const TableRef& ref : core.from) {
+    if (ref.subquery != nullptr) {
+      CollectFromNames(*ref.subquery, out);
+    } else {
+      out->push_back(ref.name);
+    }
+  }
+}
+
+void CollectFromNames(const SelectStmt& stmt, std::vector<std::string>* out) {
+  for (const SelectCore& core : stmt.cores) CollectFromNames(core, out);
+}
+
+Value DoubleOrNull(double v) {
+  return std::isnan(v) ? Value::Null() : Value::Double(v);
+}
+
+Table BuildMetricsTable() {
+  Table out(Schema({{"name", ValueType::kString},
+                    {"kind", ValueType::kString},
+                    {"count", ValueType::kInt64},
+                    {"sum", ValueType::kDouble},
+                    {"min", ValueType::kDouble},
+                    {"max", ValueType::kDouble},
+                    {"p50", ValueType::kDouble},
+                    {"p95", ValueType::kDouble},
+                    {"p99", ValueType::kDouble}}));
+  for (const obs::MetricRow& m : obs::SnapshotMetrics()) {
+    out.AppendUnchecked({Value::String(m.name), Value::String(m.kind),
+                         Value::Int(static_cast<int64_t>(m.count)),
+                         Value::Double(m.sum), DoubleOrNull(m.min),
+                         DoubleOrNull(m.max), DoubleOrNull(m.p50),
+                         DoubleOrNull(m.p95), DoubleOrNull(m.p99)});
+  }
+  return out;
+}
+
+Table BuildSpansTable() {
+  Table out(Schema({{"id", ValueType::kInt64},
+                    {"parent", ValueType::kInt64},
+                    {"name", ValueType::kString},
+                    {"thread", ValueType::kInt64},
+                    {"start_us", ValueType::kInt64},
+                    {"dur_us", ValueType::kInt64}}));
+  for (const obs::SpanRow& s : obs::SnapshotSpans()) {
+    out.AppendUnchecked({Value::Int(static_cast<int64_t>(s.id)),
+                         Value::Int(static_cast<int64_t>(s.parent)),
+                         Value::String(s.name),
+                         Value::Int(static_cast<int64_t>(s.thread)),
+                         Value::Int(s.start_us), Value::Int(s.dur_us)});
+  }
+  return out;
+}
+
+/// One-line operator annotation for the EXPLAIN report.
+std::string PlanNodeDetail(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return node.relation + node.version.ToString();
+    case PlanKind::kLimit:
+      return std::to_string(node.limit);
+    case PlanKind::kAlias:
+      return node.alias;
+    default:
+      return "";
+  }
+}
+
+}  // namespace
 
 Dvms::Dvms(Options options)
     : options_(options),
@@ -40,6 +120,8 @@ Dvms::Dvms(Options options)
     }
   }
   pixels_.Clear(RGBA{255, 255, 255, 255});
+  obs::InitFromEnv();
+  if (options_.trace) obs::SetEnabled(true);
   InitDurability();
 }
 
@@ -58,13 +140,19 @@ Dvms::~Dvms() {
 void Dvms::BeginMutationUnit() {
   if (!options_.transactional_rollback) return;
   if (++unit_depth_ > 1) return;
-  unit_.relations = catalog_.Names();
-  for (const std::string& name : unit_.relations) {
+  unit_.relations.clear();
+  for (const std::string& name : catalog_.Names()) {
+    // System relations (dvms_metrics, ...) are engine-maintained diagnostics;
+    // they are refreshed on read, never rolled back.
+    auto kind = catalog_.KindOf(name);
+    if (kind.ok() && kind.value() == RelationKind::kSystem) continue;
+    unit_.relations.push_back(name);
     auto table = catalog_.Get(name);
     if (table.ok()) table.value()->ArmUndo();
   }
   unit_.matchers = recognizer_.SaveMatcherStates();
   unit_.stats = stats_;
+  unit_.obs_state = obs::Save();
   unit_.undo_history = undo_history_;
   unit_.undo_cursor = undo_cursor_;
   if (options_.capture_lineage) unit_.lineage = maintainer_.SaveLineage();
@@ -112,6 +200,7 @@ void Dvms::RollbackMutationUnit() {
     optimizer_.OnRelationChanged(name);
   }
   bool rerender = unit_.render_entered;
+  obs::SavedState saved_obs = std::move(unit_.obs_state);
   unit_ = UnitState{};
   if (rerender) {
     // The framebuffer may hold a partial frame. Rendering is a
@@ -122,6 +211,11 @@ void Dvms::RollbackMutationUnit() {
     (void)RenderLocked();
     stats_.renders = renders;
   }
+  // Observability state is restored last, after the re-render's worker
+  // threads have joined, so counters/spans recorded anywhere inside the
+  // failed unit (pool workers included) do not leak into dvms_metrics.
+  obs::Restore(saved_obs);
+  obs::Count("dvms.rollbacks");
 }
 
 Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
@@ -282,6 +376,34 @@ Status Dvms::ExecuteDispatch(const Statement& statement) {
       trace_defs_.push_back(std::move(entry));
       return Status::OK();
     }
+    case Statement::Kind::kExplain: {
+      DVMS_RETURN_IF_ERROR(SyncSystemRelationsLocked(statement.select));
+      DVMS_ASSIGN_OR_RETURN(
+          Table report,
+          ExplainLocked(statement.select, statement.explain_analyze));
+      if (statement.target_name.empty()) return Status::OK();
+      // Named form materializes the report as a system relation so later
+      // DeVIL queries can join/filter it.
+      if (catalog_.Exists(statement.target_name)) {
+        DVMS_ASSIGN_OR_RETURN(RelationKind kind,
+                              catalog_.KindOf(statement.target_name));
+        if (kind != RelationKind::kSystem) {
+          return Status::InvalidArgument(
+              "EXPLAIN target '" + statement.target_name + "' already names a " +
+              std::string(RelationKindToString(kind)) + " relation");
+        }
+      } else {
+        DVMS_RETURN_IF_ERROR(catalog_
+                                 .CreateTable(statement.target_name,
+                                              report.schema(),
+                                              RelationKind::kSystem,
+                                              /*max_history=*/2)
+                                 .status());
+      }
+      DVMS_ASSIGN_OR_RETURN(VersionedTable * table,
+                            catalog_.Get(statement.target_name));
+      return table->SetCurrent(std::move(report));
+    }
   }
   return Status::Internal("unknown statement kind");
 }
@@ -324,10 +446,13 @@ Status Dvms::LoadProgram(const std::string& source) {
 
 Result<Table> Dvms::Query(const std::string& select_sql) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  DVMS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(select_sql));
+  obs::Span span("engine.query");
+  DVMS_ASSIGN_OR_RETURN(QueryRequest req, ParseQuery(select_sql));
+  DVMS_RETURN_IF_ERROR(SyncSystemRelationsLocked(req.select));
+  if (req.explain) return ExplainLocked(req.select, req.analyze);
   CatalogSchemaResolver resolver(&catalog_);
   Planner planner(&resolver);
-  DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(stmt));
+  DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(req.select));
   Binder binder(&resolver, &udfs_);
   DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
   Executor exec(&catalog_, &udfs_);
@@ -337,6 +462,84 @@ Result<Table> Dvms::Query(const std::string& select_sql) {
   DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result,
                         exec.Execute(*plan, exec_opts));
   return std::move(result->table);
+}
+
+Status Dvms::SyncSystemRelationsLocked(const SelectStmt& select) {
+  std::vector<std::string> names;
+  CollectFromNames(select, &names);
+  for (const std::string& name : names) {
+    Table refreshed(Schema{});
+    if (IdentEquals(name, kMetricsRelation)) {
+      refreshed = BuildMetricsTable();
+    } else if (IdentEquals(name, kSpansRelation)) {
+      refreshed = BuildSpansTable();
+    } else {
+      continue;
+    }
+    const std::string canonical =
+        IdentEquals(name, kMetricsRelation) ? kMetricsRelation : kSpansRelation;
+    if (!catalog_.Exists(canonical)) {
+      DVMS_RETURN_IF_ERROR(catalog_
+                               .CreateTable(canonical, refreshed.schema(),
+                                            RelationKind::kSystem,
+                                            /*max_history=*/2)
+                               .status());
+    }
+    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(canonical));
+    DVMS_RETURN_IF_ERROR(table->SetCurrent(std::move(refreshed)));
+  }
+  return Status::OK();
+}
+
+Result<Table> Dvms::ExplainLocked(const SelectStmt& select, bool analyze) {
+  CatalogSchemaResolver resolver(&catalog_);
+  Planner planner(&resolver);
+  DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(select));
+  Binder binder(&resolver, &udfs_);
+  DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+  Table report(Schema({{"operator", ValueType::kString},
+                       {"detail", ValueType::kString},
+                       {"depth", ValueType::kInt64},
+                       {"rows", ValueType::kInt64},
+                       {"morsels", ValueType::kInt64},
+                       {"self_us", ValueType::kInt64},
+                       {"total_us", ValueType::kInt64}}));
+  if (!analyze) {
+    // Plan-only: pre-order walk with NULL runtime columns.
+    std::function<void(const PlanNode&, int64_t)> walk =
+        [&](const PlanNode& node, int64_t depth) {
+          report.AppendUnchecked(
+              {Value::String(PlanKindToString(node.kind)),
+               Value::String(PlanNodeDetail(node)), Value::Int(depth),
+               Value::Null(), Value::Null(), Value::Null(), Value::Null()});
+          for (const PlanPtr& child : node.children) walk(*child, depth + 1);
+        };
+    walk(*plan, 0);
+    return report;
+  }
+  Executor exec(&catalog_, &udfs_);
+  ExecOptions exec_opts;
+  exec_opts.pool = owned_pool_.get();
+  exec_opts.num_threads = options_.num_threads;
+  exec_opts.analyze = true;
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result,
+                        exec.Execute(*plan, exec_opts));
+  std::function<void(const NodeResult&, int64_t)> walk =
+      [&](const NodeResult& node, int64_t depth) {
+        int64_t children_us = 0;
+        for (const auto& child : node.children) children_us += child->exec_us;
+        int64_t self_us = node.exec_us - children_us;
+        if (self_us < 0) self_us = 0;
+        report.AppendUnchecked(
+            {Value::String(PlanKindToString(node.node->kind)),
+             Value::String(PlanNodeDetail(*node.node)), Value::Int(depth),
+             Value::Int(static_cast<int64_t>(node.table.num_rows())),
+             Value::Int(static_cast<int64_t>(node.morsels_used)),
+             Value::Int(self_us), Value::Int(node.exec_us)});
+        for (const auto& child : node.children) walk(*child, depth + 1);
+      };
+  walk(*result, 0);
+  return report;
 }
 
 Status Dvms::RecomputeTrace(const TraceDefEntry& entry) {
@@ -391,9 +594,10 @@ Status Dvms::CommitViews() {
   // also what Undo()/Redo() step through.
   std::unordered_map<std::string, TablePtr> snapshot;
   for (const std::string& name : catalog_.Names()) {
+    DVMS_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(name));
+    if (kind == RelationKind::kSystem) continue;
     DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
     table->Commit();
-    DVMS_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(name));
     if (kind == RelationKind::kBase || kind == RelationKind::kEvent) {
       snapshot.emplace(IdentKey(name), MakeTablePtr(table->current()));
     }
@@ -558,6 +762,18 @@ std::string Dvms::DumpState() const {
     out += "  " + entry.name + " -> " + entry.stmt.target_relation +
            (entry.stmt.backward ? " (backward)" : " (forward)") + "\n";
   }
+  out += "stats:\n";
+  out += "  events_processed: " + std::to_string(stats_.events_processed) +
+         "\n";
+  out += "  transactions_started: " +
+         std::to_string(stats_.transactions_started) + "\n";
+  out += "  transactions_committed: " +
+         std::to_string(stats_.transactions_committed) + "\n";
+  out += "  transactions_aborted: " +
+         std::to_string(stats_.transactions_aborted) + "\n";
+  out += "  renders: " + std::to_string(stats_.renders) + "\n";
+  out += "  trace_recomputes: " + std::to_string(stats_.trace_recomputes) +
+         "\n";
   out += "rollbacks: " + std::to_string(stats_.interactions_rolled_back) + "\n";
   if (FaultInjector* injector = fault::Active()) {
     out += "fault injection (seed " + std::to_string(injector->config().seed) +
@@ -607,6 +823,7 @@ Status Dvms::PushEvent(const InputEvent& event) {
 }
 
 Status Dvms::PushEventLocked(const InputEvent& event) {
+  obs::Span span("engine.push_event");
   ++stats_.events_processed;
   DVMS_ASSIGN_OR_RETURN(std::vector<EventRecognizer::FeedOutcome> outcomes,
                         recognizer_.Feed(event));
@@ -660,6 +877,7 @@ Status Dvms::Render() {
 }
 
 Status Dvms::RenderLocked() {
+  obs::Span span("engine.render");
   if (unit_depth_ > 0) unit_.render_entered = true;
   pixels_.Clear(RGBA{255, 255, 255, 255});
   RenderOptions render_opts;
@@ -780,6 +998,10 @@ EngineSnapshot Dvms::BuildSnapshotLocked() const {
   snapshot.last_lsn = durability_->last_lsn();
   snapshot.definition_ops = def_records_;
   for (const std::string& name : catalog_.Names()) {
+    // System relations hold nondeterministic timing content; excluding them
+    // keeps snapshot payloads replay-stable.
+    auto kind = catalog_.KindOf(name);
+    if (kind.ok() && kind.value() == RelationKind::kSystem) continue;
     auto table = catalog_.Get(name);
     if (!table.ok()) continue;
     snapshot.relations.push_back(

@@ -15,6 +15,7 @@
 #include "events/interaction.h"
 #include "events/recognizer.h"
 #include "expr/udf_registry.h"
+#include "obs/trace.h"
 #include "parser/ast.h"
 #include "provenance/trace.h"
 #include "query/maintenance.h"
@@ -79,6 +80,13 @@ class Dvms {
     /// Committed frames between automatic snapshots; 0 disables automatic
     /// snapshotting (Checkpoint() still works).
     size_t snapshot_interval = 64;
+    /// Enables the process-wide observability layer (src/obs): tracing
+    /// spans + named counters/histograms across executor, IVM, raster,
+    /// events, streaming, durability, and the thread pool, queryable as
+    /// the system relations dvms_metrics / dvms_spans. The DVMS_TRACE
+    /// environment variable also enables it; with both unset the
+    /// instrumentation sites cost one relaxed atomic load each.
+    bool trace = false;
   };
 
   Dvms() : Dvms(Options()) {}
@@ -115,7 +123,12 @@ class Dvms {
   /// Executes one pre-parsed statement.
   Status Execute(const Statement& statement);
 
-  /// Ad-hoc query evaluation (not registered as a view).
+  /// Ad-hoc query evaluation (not registered as a view). Accepts
+  /// `SELECT ...` as well as `EXPLAIN [ANALYZE] SELECT ...`; the EXPLAIN
+  /// forms return the plan report table (per-operator rows/time/morsels
+  /// under ANALYZE) instead of the query result. Queries over the system
+  /// relations dvms_metrics / dvms_spans see a snapshot refreshed at the
+  /// start of this call.
   Result<Table> Query(const std::string& select_sql);
 
   // ---- Interaction loop ----
@@ -240,6 +253,9 @@ class Dvms {
     size_t undo_cursor = 0;
     ViewMaintainer::LineageSnapshot lineage;
     bool render_entered = false;  // the framebuffer may have been touched
+    /// Observability checkpoint: counters/spans recorded inside a unit
+    /// that rolls back must not leak into dvms_metrics (mirrors `stats`).
+    obs::SavedState obs_state;
   };
 
   /// Opens (or joins) a mutation unit; only the outermost call arms the
@@ -281,6 +297,18 @@ class Dvms {
   /// Commits every view relation (interaction boundary) and snapshots
   /// lineage for @vnow-1 provenance.
   Status CommitViews();
+
+  // ---- Observability plumbing ----
+
+  /// Refreshes the system relations referenced by `select` (dvms_metrics /
+  /// dvms_spans), creating them lazily with RelationKind::kSystem. System
+  /// relations are excluded from mutation-unit arming, interaction
+  /// commits, and durability snapshots.
+  Status SyncSystemRelationsLocked(const SelectStmt& select);
+
+  /// EXPLAIN [ANALYZE]: plans (and under `analyze` executes) the select,
+  /// returning the per-operator report table.
+  Result<Table> ExplainLocked(const SelectStmt& select, bool analyze);
 
   /// Restores base/event relations from the undo history at the current
   /// cursor and recomputes everything downstream.

@@ -413,13 +413,17 @@ void EncodeStatement(const Statement& s, BinaryWriter* w) {
     case Statement::Kind::kDelete:
       EncodeExpr(s.delete_where, w);
       break;
+    case Statement::Kind::kExplain:
+      w->PutBool(s.explain_analyze);
+      EncodeSelectStmt(s.select, w);
+      break;
   }
 }
 
 Result<Statement> DecodeStatement(BinaryReader* r) {
   Statement s;
   DVMS_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
-  if (kind > static_cast<uint8_t>(Statement::Kind::kDelete)) {
+  if (kind > static_cast<uint8_t>(Statement::Kind::kExplain)) {
     return Status::ExecutionError("log-record decode: unknown statement kind " +
                                   std::to_string(kind));
   }
@@ -455,6 +459,11 @@ Result<Statement> DecodeStatement(BinaryReader* r) {
     }
     case Statement::Kind::kDelete: {
       DVMS_ASSIGN_OR_RETURN(s.delete_where, DecodeExpr(r));
+      break;
+    }
+    case Statement::Kind::kExplain: {
+      DVMS_ASSIGN_OR_RETURN(s.explain_analyze, r->GetBool());
+      DVMS_ASSIGN_OR_RETURN(s.select, DecodeSelectStmt(r));
       break;
     }
   }

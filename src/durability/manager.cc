@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/fault.h"
+#include "obs/trace.h"
 #include "durability/crc32c.h"
 
 namespace dvms {
@@ -338,6 +339,9 @@ Status DurabilityManager::WriteSnapshot(uint64_t last_lsn,
   if (!recovered_) {
     return Status::Internal("durability: snapshot before Recover()");
   }
+  obs::Span span("snapshot.write");
+  obs::Count("snapshot.writes");
+  obs::Count("snapshot.bytes", payload.size());
   DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
 
   // Frames covered by the snapshot must be durable before the snapshot can

@@ -11,6 +11,7 @@
 
 #include "common/fault.h"
 #include "durability/crc32c.h"
+#include "obs/trace.h"
 
 namespace dvms {
 
@@ -176,6 +177,9 @@ Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
     return Status::InvalidArgument("wal: frame payload too large (" +
                                    std::to_string(payload.size()) + " bytes)");
   }
+  obs::Span span("wal.append");
+  const int64_t append_start =
+      obs::Enabled() ? obs::NowMicros() : 0;
   Status fault = fault::MaybeInject(FaultSite::kDurabilityIo);
   const uint64_t pre_append = offset_;
   const size_t pre_pending = pending_appends_;
@@ -217,6 +221,12 @@ Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
     offset_ = pre_append;
     return st;
   }
+  if (obs::Enabled()) {
+    obs::Count("wal.appends");
+    obs::Count("wal.append_bytes", kWalFrameOverhead + payload.size());
+    obs::Observe("wal.append_us",
+                 static_cast<double>(obs::NowMicros() - append_start));
+  }
   return Status::OK();
 }
 
@@ -231,10 +241,17 @@ Status WalWriter::Flush() {
 }
 
 Status WalWriter::Sync() {
+  obs::Span span("wal.fsync");
+  const int64_t sync_start = obs::Enabled() ? obs::NowMicros() : 0;
   DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
   if (::fsync(fd_) != 0) return IoError("fsync", path_);
   pending_appends_ = 0;
   ++fsyncs_;
+  if (obs::Enabled()) {
+    obs::Count("wal.fsyncs");
+    obs::Observe("wal.fsync_us",
+                 static_cast<double>(obs::NowMicros() - sync_start));
+  }
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #include "events/nfa.h"
 
 #include "expr/eval.h"
+#include "obs/trace.h"
 
 namespace dvms {
 
@@ -110,6 +111,28 @@ Result<MatchAction> PatternMatcher::BindAt(size_t elem, const InputEvent& event,
 
 Result<MatchAction> PatternMatcher::Feed(const InputEvent& event,
                                          std::vector<Row>* out_rows) {
+  Result<MatchAction> result = FeedImpl(event, out_rows);
+  if (obs::Enabled() && result.ok()) {
+    obs::Count("events.transitions");
+    switch (result.value()) {
+      case MatchAction::kCommitted:
+        obs::Count("events.commits");
+        break;
+      case MatchAction::kAborted:
+        obs::Count("events.aborts");
+        break;
+      case MatchAction::kNone:
+        obs::Count("events.filtered");
+        break;
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+Result<MatchAction> PatternMatcher::FeedImpl(const InputEvent& event,
+                                             std::vector<Row>* out_rows) {
   // Non-alphabet event types are filtered from the input stream.
   if (!pattern_.InAlphabet(event.type)) return MatchAction::kNone;
 

@@ -69,6 +69,10 @@ class PatternMatcher {
   /// (exclusive), skipping optional kleene elements; returns npos if none.
   size_t FindBindable(size_t from_pos, EventType type) const;
 
+  /// Feed() minus the obs counters.
+  Result<MatchAction> FeedImpl(const InputEvent& event,
+                               std::vector<Row>* out_rows);
+
   /// Binds the event into element `elem`; evaluates gates/quantifiers.
   /// Appends emissions. Returns the resulting action.
   Result<MatchAction> BindAt(size_t elem, const InputEvent& event,

@@ -118,6 +118,7 @@ struct Statement {
     kCreateTable,  // CREATE TABLE name (col TYPE, ...)
     kInsert,       // INSERT INTO name VALUES (...), (...)
     kDelete,       // DELETE FROM name [WHERE expr]
+    kExplain,      // [NAME =] EXPLAIN [ANALYZE] SELECT ...
   };
   Kind kind = Kind::kViewDef;
   std::string target_name;
@@ -129,6 +130,12 @@ struct Statement {
   /// Non-empty for `NAME = some_table_udf(SELECT ...)`: the named table
   /// UDF post-processes the select's result (layout computations).
   std::string table_udf;
+
+  /// kExplain only: EXPLAIN ANALYZE executes the select and reports
+  /// per-operator rows/time/morsels; plain EXPLAIN only prints the plan.
+  /// For the bare form `EXPLAIN ... SELECT ...`, target_name is empty and
+  /// the report is returned instead of materialized as a relation.
+  bool explain_analyze = false;
 
   SelectStmt select;
   EventStmt event;

@@ -14,6 +14,7 @@ class Parser {
 
   Result<Program> ParseProgram();
   Result<SelectStmt> ParseSelectOnly();
+  Result<QueryRequest> ParseQueryOnly();
   Result<ExprPtr> ParseExprOnly();
 
  private:
@@ -56,6 +57,7 @@ class Parser {
   }
 
   Result<Statement> ParseStatement();
+  Result<Statement> ParseExplain();
   Result<Statement> ParseCreateTable();
   Result<Statement> ParseInsert();
   Result<Statement> ParseDelete();
@@ -589,10 +591,28 @@ Result<Statement> Parser::ParseDelete() {
   return stmt;
 }
 
+Result<Statement> Parser::ParseExplain() {
+  // EXPLAIN [ANALYZE] SELECT ... — `EXPLAIN` itself was already consumed.
+  Statement stmt;
+  stmt.kind = Statement::Kind::kExplain;
+  stmt.explain_analyze = MatchKeyword("ANALYZE");
+  if (!CheckKeyword("SELECT")) {
+    return Error("expected SELECT after EXPLAIN");
+  }
+  DVMS_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+  return stmt;
+}
+
 Result<Statement> Parser::ParseStatement() {
   if (MatchKeyword("CREATE")) return ParseCreateTable();
   if (MatchKeyword("INSERT")) return ParseInsert();
   if (MatchKeyword("DELETE")) return ParseDelete();
+  // Bare EXPLAIN statement. `EXPLAIN = SELECT ...` (a view actually named
+  // EXPLAIN) still parses as a view definition via the lookahead.
+  if (CheckKeyword("EXPLAIN") && Peek(1).type != TokenType::kEq) {
+    Advance();
+    return ParseExplain();
+  }
 
   Statement stmt;
   DVMS_ASSIGN_OR_RETURN(stmt.target_name, ExpectIdent("statement target name"));
@@ -619,6 +639,13 @@ Result<Statement> Parser::ParseStatement() {
     DVMS_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen, "')'"));
     return stmt;
   }
+  // `NAME = EXPLAIN [ANALYZE] SELECT ...` materializes the report as a
+  // relation named NAME (queryable/renderable like any other view source).
+  if (MatchKeyword("EXPLAIN")) {
+    DVMS_ASSIGN_OR_RETURN(Statement explain, ParseExplain());
+    explain.target_name = std::move(stmt.target_name);
+    return explain;
+  }
   if (MatchKeyword("EVENT")) {
     stmt.kind = Statement::Kind::kEventDef;
     DVMS_ASSIGN_OR_RETURN(stmt.event, ParseEventStmt());
@@ -635,8 +662,8 @@ Result<Statement> Parser::ParseStatement() {
     return stmt;
   }
   return Error(
-      "expected SELECT, render(, EVENT, BACKWARD TRACE, or FORWARD TRACE "
-      "after '='");
+      "expected SELECT, render(, EXPLAIN, EVENT, BACKWARD TRACE, or FORWARD "
+      "TRACE after '='");
 }
 
 Result<Program> Parser::ParseProgram() {
@@ -661,6 +688,20 @@ Result<SelectStmt> Parser::ParseSelectOnly() {
   return stmt;
 }
 
+Result<QueryRequest> Parser::ParseQueryOnly() {
+  QueryRequest req;
+  if (MatchKeyword("EXPLAIN")) {
+    req.explain = true;
+    req.analyze = MatchKeyword("ANALYZE");
+  }
+  DVMS_ASSIGN_OR_RETURN(req.select, ParseSelectStmt());
+  MatchToken(TokenType::kSemicolon);
+  if (!Check(TokenType::kEof)) {
+    return Error("unexpected trailing input after query");
+  }
+  return req;
+}
+
 Result<ExprPtr> Parser::ParseExprOnly() {
   DVMS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
   if (!Check(TokenType::kEof)) {
@@ -681,6 +722,12 @@ Result<SelectStmt> ParseSelect(const std::string& source) {
   DVMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   Parser parser(std::move(tokens));
   return parser.ParseSelectOnly();
+}
+
+Result<QueryRequest> ParseQuery(const std::string& source) {
+  DVMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseQueryOnly();
 }
 
 Result<ExprPtr> ParseExpression(const std::string& source) {

@@ -24,6 +24,17 @@ Result<Program> ParseProgram(const std::string& source);
 /// entries into ASTs.
 Result<SelectStmt> ParseSelect(const std::string& source);
 
+/// An ad-hoc query: a SELECT optionally wrapped in EXPLAIN [ANALYZE].
+struct QueryRequest {
+  bool explain = false;
+  bool analyze = false;  // implies explain
+  SelectStmt select;
+};
+
+/// Parses `[EXPLAIN [ANALYZE]] SELECT ...` — the Dvms::Query entry point,
+/// a superset of ParseSelect.
+Result<QueryRequest> ParseQuery(const std::string& source);
+
 /// Parses a standalone scalar expression.
 Result<ExprPtr> ParseExpression(const std::string& source);
 

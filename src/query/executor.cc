@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.h"
+
 namespace dvms {
 
 namespace {
@@ -166,6 +168,7 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecScan(
   // Morsel-parallel row copy; each morsel writes a disjoint slice.
   const std::vector<Row>& src_rows = src->rows();
   ParallelCfg cfg = ResolveParallel(opts);
+  out->morsels_used = std::max<size_t>(1, MorselCount(src_rows.size(), cfg.grain));
   std::vector<Row> rows(src_rows.size());
   cfg.pool->ParallelFor(src_rows.size(), cfg.grain, cfg.threads,
                         [&](const MorselRange& r) {
@@ -189,8 +192,26 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecScan(
 Result<std::unique_ptr<NodeResult>> Executor::Exec(
     const PlanNode& node, const ExecOptions& opts,
     const EvalContext& ctx) const {
-  if (node.kind == PlanKind::kScan) return ExecScan(node, opts);
+  const int64_t start_us = opts.analyze ? obs::NowMicros() : 0;
+  Result<std::unique_ptr<NodeResult>> result =
+      node.kind == PlanKind::kScan ? ExecScan(node, opts)
+                                   : ExecImpl(node, opts, ctx);
+  if (result.ok()) {
+    NodeResult& r = *result.value();
+    // Inclusive subtree time; the EXPLAIN ANALYZE report subtracts the
+    // children to get self time.
+    if (opts.analyze) r.exec_us = obs::NowMicros() - start_us;
+    if (obs::Enabled()) {
+      std::string key = std::string("exec.rows.") + PlanKindToString(node.kind);
+      obs::Count(key.c_str(), r.table.num_rows());
+    }
+  }
+  return result;
+}
 
+Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
+    const PlanNode& node, const ExecOptions& opts,
+    const EvalContext& ctx) const {
   auto out = std::make_unique<NodeResult>();
   out->node = &node;
   out->has_lineage = opts.capture_lineage;
@@ -219,6 +240,7 @@ Result<std::unique_ptr<NodeResult>> Executor::Exec(
     case PlanKind::kFilter: {
       const Table& in = out->children[0]->table;
       size_t morsels = MorselCount(in.num_rows(), cfg.grain);
+      out->morsels_used = std::max<size_t>(1, morsels);
       std::vector<std::vector<size_t>> kept(morsels);
       DVMS_RETURN_IF_ERROR(ForEachMorsel(
           cfg, in.num_rows(), [&](const MorselRange& r) -> Status {
@@ -239,6 +261,7 @@ Result<std::unique_ptr<NodeResult>> Executor::Exec(
     case PlanKind::kProject: {
       const Table& in = out->children[0]->table;
       size_t morsels = MorselCount(in.num_rows(), cfg.grain);
+      out->morsels_used = std::max<size_t>(1, morsels);
       std::vector<std::vector<Row>> built(morsels);
       DVMS_RETURN_IF_ERROR(ForEachMorsel(
           cfg, in.num_rows(), [&](const MorselRange& r) -> Status {
@@ -337,6 +360,7 @@ Result<std::unique_ptr<NodeResult>> Executor::Exec(
       // Phase 1: per-morsel partial aggregation into thread-local hash
       // tables (no shared state).
       size_t morsels = MorselCount(in.num_rows(), cfg.grain);
+      out->morsels_used = std::max<size_t>(1, morsels);
       std::vector<MorselGroups> partials(morsels);
       DVMS_RETURN_IF_ERROR(ForEachMorsel(
           cfg, in.num_rows(), [&](const MorselRange& r) -> Status {
@@ -499,6 +523,7 @@ Result<std::unique_ptr<NodeResult>> Executor::Exec(
     case PlanKind::kOrderBy: {
       const Table& in = out->children[0]->table;
       const size_t n = in.num_rows();
+      out->morsels_used = std::max<size_t>(1, MorselCount(n, cfg.grain));
       // Phase 1: morsel-parallel sort-key evaluation into disjoint slots.
       std::vector<Row> keys(n);
       DVMS_RETURN_IF_ERROR(

@@ -31,6 +31,13 @@ struct NodeResult {
   /// lineage[i] lists the child rows that produced output row i.
   std::vector<std::vector<LineageEntry>> lineage;
   std::vector<std::unique_ptr<NodeResult>> children;
+
+  /// EXPLAIN ANALYZE accounting (filled when ExecOptions::analyze).
+  /// Inclusive wall time for this operator and its subtree; the report
+  /// derives self time as exec_us - sum(children exec_us).
+  int64_t exec_us = 0;
+  /// Morsels the operator was split into (1 for serial / non-morsel ops).
+  size_t morsels_used = 1;
 };
 
 struct ExecOptions {
@@ -48,6 +55,9 @@ struct ExecOptions {
   size_t morsel_rows = 2048;
   /// Pool to run on; nullptr = ThreadPool::Global().
   ThreadPool* pool = nullptr;
+  /// Per-operator timing + morsel accounting for EXPLAIN ANALYZE. Off by
+  /// default: two steady_clock reads per operator are cheap but not free.
+  bool analyze = false;
 };
 
 /// Pull-style materializing executor over bound plans. Stateless; reads
@@ -71,9 +81,14 @@ class Executor {
   /// Materializes the first column of every IN-referenced relation.
   Result<InSets> BuildInSets(const PlanNode& plan) const;
 
+  /// Timing/metrics wrapper around ExecImpl/ExecScan (one node).
   Result<std::unique_ptr<NodeResult>> Exec(const PlanNode& node,
                                            const ExecOptions& opts,
                                            const EvalContext& ctx) const;
+
+  Result<std::unique_ptr<NodeResult>> ExecImpl(const PlanNode& node,
+                                               const ExecOptions& opts,
+                                               const EvalContext& ctx) const;
 
   Result<std::unique_ptr<NodeResult>> ExecScan(const PlanNode& node,
                                                const ExecOptions& opts) const;

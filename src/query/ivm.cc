@@ -4,6 +4,7 @@
 
 #include "common/schema.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace dvms {
 
@@ -29,6 +30,9 @@ Result<CrossfilterCube> CrossfilterCube::Build(
 }
 
 Status CrossfilterCube::Fold(const Table& fact) {
+  obs::Span span("ivm.fold");
+  obs::Count("ivm.folds");
+  obs::Count("ivm.fold_rows", fact.num_rows());
   const size_t d = dims_.size();
   // Morsel-batched delta application: each fixed-size batch of fact rows
   // folds into its own scratch marginal set (in parallel when threads are

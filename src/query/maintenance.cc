@@ -1,6 +1,7 @@
 #include "query/maintenance.h"
 
 #include "common/fault.h"
+#include "obs/trace.h"
 
 namespace dvms {
 
@@ -56,6 +57,8 @@ Status ViewMaintainer::DefineView(const std::string& name, PlanPtr plan,
 }
 
 Status ViewMaintainer::RecomputeView(const std::string& name) {
+  obs::Span span("view.recompute");
+  obs::Count("view.recomputes");
   // Fault site: a failed delta application / recompute must leave the
   // surrounding statement batch rollbackable, never half-applied.
   DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kIvmApply));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "obs/trace.h"
 
 namespace dvms {
 
@@ -309,6 +310,9 @@ void ReplayOps(const std::vector<MarkOp>& ops, const Target& t) {
 
 Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
                    const RenderOptions& opts) {
+  obs::Span span("raster.frame");
+  obs::Count("raster.frames");
+  obs::Count("raster.marks", marks.num_rows());
   std::vector<MarkOp> ops;
   ops.reserve(marks.num_rows());
   Status decoded = DecodeMarkOps(marks, type, &ops);
@@ -318,6 +322,7 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
       opts.num_threads != 0 ? opts.num_threads : pool->num_threads();
   size_t band_rows = opts.band_rows == 0 ? 64 : opts.band_rows;
   if (threads <= 1 || out->height() == 0) {
+    obs::Count("raster.bands");
     // Serial path: the whole frame is one band for fault purposes. A fired
     // fault leaves the frame partially drawn (the caller's rollback
     // restores it by re-rendering under suppression).
@@ -332,6 +337,7 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
   // A band whose fault fires skips its rows entirely and reports the
   // failure after the join; the frame is then corrupt and the error Status
   // tells the engine to roll back.
+  obs::Count("raster.bands", MorselCount(out->height(), band_rows));
   std::atomic<size_t> failed_bands{0};
   pool->ParallelFor(
       out->height(), band_rows, threads, [&](const MorselRange& band) {

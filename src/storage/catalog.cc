@@ -16,6 +16,8 @@ const char* RelationKindToString(RelationKind kind) {
       return "EVENT";
     case RelationKind::kMarks:
       return "MARKS";
+    case RelationKind::kSystem:
+      return "SYSTEM";
   }
   return "UNKNOWN";
 }

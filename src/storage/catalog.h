@@ -17,7 +17,9 @@ enum class RelationKind {
   kBase,   // user data loaded into the system
   kView,   // materialized result of a DeVIL view statement
   kEvent,  // compound-event table fed by the event recognizer
-  kMarks,  // marks relation (a view whose output is renderable)
+  kMarks,   // marks relation (a view whose output is renderable)
+  kSystem,  // engine-maintained introspection relation (dvms_metrics, ...);
+            // excluded from commits, undo, snapshots, and the WAL
 };
 
 const char* RelationKindToString(RelationKind kind);

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/fault.h"
+#include "obs/trace.h"
 
 namespace dvms {
 
@@ -39,6 +40,8 @@ int64_t StreamScheduler::Now() const {
 TickReport StreamScheduler::TickDetailed() {
   // Greedy marginal-gain allocation: a max-heap of (expected gain of the
   // next coefficient, entry index), guarded by the deadline watchdog.
+  obs::Span span("stream.tick");
+  const int64_t obs_start = obs::Enabled() ? obs::NowMicros() : 0;
   TickReport report;
   ++stats_.ticks;
   const int64_t start = Now();
@@ -116,6 +119,23 @@ TickReport StreamScheduler::TickDetailed() {
     if (!report.deadline_missed && parked.count(i) == 0) continue;
     report.degraded.push_back(t.id);
     ++stats_.degraded_serves;
+  }
+  // The TickReport fields Tick() used to discard feed the metrics
+  // relations, so deadline misses and coarse-prefix serves are queryable
+  // even through code paths that only look at `sent`.
+  if (obs::Enabled()) {
+    size_t coeffs = 0;
+    for (const auto& [id, n] : report.sent) coeffs += n;
+    obs::Count("stream.ticks");
+    obs::Count("stream.sent_coeffs", coeffs);
+    if (report.deadline_missed) obs::Count("stream.deadline_misses");
+    if (!report.degraded.empty()) {
+      obs::Count("stream.degraded", report.degraded.size());
+    }
+    if (report.faults > 0) obs::Count("stream.faults", report.faults);
+    if (report.retries > 0) obs::Count("stream.retries", report.retries);
+    obs::Observe("stream.tick_us",
+                 static_cast<double>(obs::NowMicros() - obs_start));
   }
   return report;
 }

@@ -83,6 +83,10 @@ class StreamScheduler {
   TickReport TickDetailed();
 
   /// Back-compat wrapper: TickDetailed()'s (tile id -> coefficients sent).
+  /// Deprecated: it throws away the report's deadline_missed / degraded /
+  /// faults / retries fields, so callers cannot observe that a tick served
+  /// a coarse wavelet prefix. Use TickDetailed().
+  [[deprecated("use TickDetailed(); Tick() discards deadline/degradation")]]
   std::map<std::string, size_t> Tick() { return TickDetailed().sent; }
 
   void set_tick_policy(TickPolicy policy) { policy_ = policy; }

@@ -101,7 +101,7 @@ StreamingSimResult SimulateStreaming(const StreamingSimConfig& config) {
         std::map<std::string, double> probs;
         for (size_t i = 0; i < num_widgets; ++i) probs[widgets[i].id] = p[i];
         scheduler.SetProbabilities(probs);
-        scheduler.Tick();
+        (void)scheduler.TickDetailed();
         next_tick += config.tick_ms;
       }
     }

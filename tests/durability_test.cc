@@ -743,7 +743,7 @@ TEST(SnapshotCodecTest, MatcherAndSchedulerStatesRoundTrip) {
   sched.AddTile({"tile-a", {0.0, 0.5, 0.8, 1.0}, 0});
   sched.AddTile({"tile-b", {0.0, 0.3, 0.6}, 0});
   sched.SetProbabilities({{"tile-a", 0.9}, {"tile-b", 0.1}});
-  (void)sched.Tick();
+  (void)sched.TickDetailed();
   StreamScheduler::DurableState s = sched.SaveDurableState();
   BinaryWriter sw;
   EncodeSchedulerState(s, &sw);
@@ -1026,7 +1026,7 @@ TEST(EngineRecoveryTest, SchedulerStateRidesAlongInSnapshots) {
     sched.SetProbabilities({{"t0", 0.8}, {"t1", 0.2}});
     engine->AttachScheduler(&sched);
     RunWorkload(*engine);
-    (void)sched.Tick();
+    (void)sched.TickDetailed();
     want_sent = sched.total_sent();
     ASSERT_GT(want_sent, 0u);
     ASSERT_TRUE(engine->Checkpoint().ok());

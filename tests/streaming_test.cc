@@ -167,7 +167,7 @@ TEST(SchedulerTest, GreedyPrefersHighProbabilityTiles) {
     scheduler.AddTile(std::move(tile));
   }
   scheduler.SetProbabilities({{"hot", 0.9}, {"cold", 0.1}});
-  auto sent = scheduler.Tick();
+  auto sent = scheduler.TickDetailed().sent;
   // With equal (linear) marginal utility, all bandwidth goes to the
   // likelier tile.
   EXPECT_EQ(sent["hot"], 10u);
@@ -187,7 +187,7 @@ TEST(SchedulerTest, ConcaveUtilitySpreadsBandwidth) {
     scheduler.AddTile(std::move(tile));
   }
   scheduler.SetProbabilities({{"t0", 0.6}, {"t1", 0.4}});
-  auto sent = scheduler.Tick();
+  auto sent = scheduler.TickDetailed().sent;
   // Both tiles receive some bandwidth: after t0's cheap gains are taken,
   // t1's early coefficients dominate t0's late ones.
   EXPECT_GT(sent["t0"], sent["t1"]);
@@ -200,10 +200,10 @@ TEST(SchedulerTest, StopsWhenAllTilesComplete) {
   tile.id = "only";
   tile.utility = {0.0, 0.5, 1.0};  // 2 coefficients
   scheduler.AddTile(std::move(tile));
-  auto sent = scheduler.Tick();
+  auto sent = scheduler.TickDetailed().sent;
   EXPECT_EQ(sent["only"], 2u);
   EXPECT_TRUE(scheduler.GetTile("only").value()->complete());
-  EXPECT_TRUE(scheduler.Tick().empty());
+  EXPECT_TRUE(scheduler.TickDetailed().sent.empty());
 }
 
 TEST(SchedulerTest, ExpectedUtilityGrowsWithDelivery) {
@@ -215,7 +215,7 @@ TEST(SchedulerTest, ExpectedUtilityGrowsWithDelivery) {
   scheduler.AddTile(std::move(tile));
   scheduler.SetProbabilities({{"t", 1.0}});
   double before = scheduler.ExpectedUtility();
-  scheduler.Tick();
+  (void)scheduler.TickDetailed();
   EXPECT_GT(scheduler.ExpectedUtility(), before);
 }
 
