@@ -1,0 +1,287 @@
+// Resource-governor cost and behavior: (1) the armed-but-untriggered
+// overhead of per-request deadlines + memory budgets on the fault-free
+// fig2 interaction workload — the budget is < 2% over the unarmed engine
+// (the "pass" field BENCH_governor.json is gated on); (2) cooperative
+// deadline-abort latency — how far past its 50 ms deadline a runaway
+// cross join runs before the next checkpoint aborts it; (3) an abort /
+// rollback exercise (deadline, cancel, memory budget) verifying the
+// engine state is bit-identical to the pre-abort state each time.
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "common/rng.h"
+#include "core/dvms.h"
+
+namespace {
+
+using namespace dvms;
+using Clock = std::chrono::steady_clock;
+
+const char* kProgram = R"(
+  C = EVENT MOUSE_DOWN AS D, MOUSE_MOVE* AS M, MOUSE_UP AS U
+      RETURN (D.t, D.x, D.y, 0 AS dx, 0 AS dy),
+             (M.t, D.x, D.y, (M.x - D.x) AS dx, (M.y - D.y) AS dy);
+  BBOX = SELECT x AS x0, y AS y0, x + dx AS x1, y + dy AS y1
+    FROM C ORDER BY t DESC LIMIT 1;
+  SPLOT_POINTS = SELECT 3 AS radius, 'gray' AS fill,
+      linear_scale(Sales.revenue, 0, 100, 0, 400) AS center_x,
+      linear_scale(Sales.profit, 0, 100, 0, 400) AS center_y,
+      productId
+    FROM Sales;
+  selected = SELECT SP.productId AS productId
+    FROM BBOX, SPLOT_POINTS@vnow-1 AS SP
+    WHERE in_rectangle(SP.center_x, SP.center_y,
+                       BBOX.x0, BBOX.y0, BBOX.x1, BBOX.y1);
+  P = render(SELECT * FROM SPLOT_POINTS);
+)";
+
+std::unique_ptr<Dvms> MakeEngine(size_t points, bool armed) {
+  Dvms::Options options;
+  options.canvas_width = 400;
+  options.canvas_height = 400;
+  options.num_threads = 1;
+  if (armed) {
+    // Roomy limits: every checkpoint and charge runs, nothing triggers.
+    options.deadline_ms = 1'000'000'000;
+    options.mem_budget = INT64_MAX / 2;
+  }
+  auto engine = std::make_unique<Dvms>(options);
+  (void)engine->CreateBaseTable("Sales",
+                                Schema({{"productId", ValueType::kInt64},
+                                        {"profit", ValueType::kDouble},
+                                        {"revenue", ValueType::kDouble}}));
+  Rng rng(11);
+  std::vector<Row> rows;
+  for (size_t i = 0; i < points; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Double(rng.Uniform(0, 100)),
+                    Value::Double(rng.Uniform(0, 100))});
+  }
+  (void)engine->Insert("Sales", rows);
+  if (!engine->LoadProgram(kProgram).ok()) return nullptr;
+  return engine;
+}
+
+double DriveWorkloadMs(Dvms* engine, int64_t t_base) {
+  Clock::time_point t0 = Clock::now();
+  (void)engine->PushEvent(InputEvent::MouseDown(t_base, 10, 10));
+  for (int m = 1; m <= 20; ++m) {
+    (void)engine->PushEvent(
+        InputEvent::MouseMove(t_base + m, 10.0 + m * 15, 10.0 + m * 15));
+  }
+  (void)engine->PushEvent(InputEvent::MouseUp(t_base + 21, 310, 310));
+  (void)engine->Insert(
+      "Sales", {{Value::Int(t_base + 1000000), Value::Double(50),
+                 Value::Double(50)}});
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+void AppendJsonLine(const char* fmt, ...) {
+  const char* path = std::getenv("DVMS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(f, fmt, args);
+  va_end(args);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+std::string Fingerprint(const Dvms& engine) {
+  std::ostringstream out;
+  for (const std::string& name : engine.catalog().Names()) {
+    auto table = engine.GetTable(name);
+    if (!table.ok()) continue;
+    out << "== " << name << " ==\n";
+    for (size_t r = 0; r < table.value()->num_rows(); ++r) {
+      for (const Value& v : table.value()->row(r)) out << v.ToString() << "|";
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// (1) Armed-but-untriggered overhead, budget < 2%.
+void PrintArmedOverhead() {
+  std::printf("=== Governor armed-but-untriggered overhead ===\n\n");
+  constexpr size_t kPoints = 20000;
+  constexpr int kRounds = 7;
+
+  double unarmed_ms = 0, armed_ms = 0;
+  // Interleave the arms so thermal / allocator drift hits both equally.
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool armed = mode == 1;
+    auto engine = MakeEngine(kPoints, armed);
+    if (engine == nullptr) {
+      std::printf("program failed to load\n");
+      return;
+    }
+    (void)DriveWorkloadMs(engine.get(), 0);  // warmup
+    double best = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      double ms = DriveWorkloadMs(engine.get(), (round + 1) * 100);
+      if (best == 0 || ms < best) best = ms;
+    }
+    (armed ? armed_ms : unarmed_ms) = best;
+  }
+
+  double overhead_pct = (armed_ms - unarmed_ms) / unarmed_ms * 100.0;
+  bool pass = overhead_pct < 2.0;
+  std::printf("%zu points, 22-event drag + insert, best of %d rounds:\n",
+              kPoints, kRounds);
+  std::printf("  governor unarmed: %8.2f ms\n", unarmed_ms);
+  std::printf("  governor armed:   %8.2f ms  (deadline + budget, roomy)\n",
+              armed_ms);
+  std::printf("  overhead:         %8.2f %%  (budget < 2%%) -> %s\n\n",
+              overhead_pct, pass ? "OK" : "OVER BUDGET");
+  AppendJsonLine(
+      "{\"bench\": \"governor_armed_overhead\", \"points\": %zu, "
+      "\"unarmed_ms\": %.4f, \"armed_ms\": %.4f, "
+      "\"overhead_pct\": %.2f, \"pass\": %s}",
+      kPoints, unarmed_ms, armed_ms, overhead_pct, pass ? "true" : "false");
+}
+
+/// (2) Cooperative deadline-abort latency on a runaway statement: a cross
+/// join over 4000 x 4000 pairs under a 50 ms deadline. The overrun past
+/// the deadline is the checkpoint granularity — about one morsel / one
+/// 1024-pair slice, i.e. milliseconds, not the seconds the join needs.
+void PrintDeadlineAbortLatency() {
+  std::printf("=== Deadline abort latency (50 ms deadline) ===\n\n");
+  constexpr size_t kPoints = 4000;
+  Dvms::Options options;
+  options.canvas_width = 400;
+  options.canvas_height = 400;
+  options.num_threads = 1;
+  options.deadline_ms = 50;
+  Dvms engine(options);
+  (void)engine.CreateBaseTable("Sales",
+                               Schema({{"productId", ValueType::kInt64},
+                                       {"profit", ValueType::kDouble},
+                                       {"revenue", ValueType::kDouble}}));
+  Rng rng(13);
+  std::vector<Row> rows;
+  for (size_t i = 0; i < kPoints; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Double(rng.Uniform(0, 100)),
+                    Value::Double(rng.Uniform(0, 100))});
+  }
+  // Seeding must beat the 50 ms deadline too — insert in small batches.
+  for (size_t at = 0; at < rows.size(); at += 500) {
+    std::vector<Row> batch(rows.begin() + at,
+                           rows.begin() + std::min(at + 500, rows.size()));
+    if (!engine.Insert("Sales", batch).ok()) {
+      std::printf("seeding aborted by the 50 ms deadline; host too slow\n");
+      return;
+    }
+  }
+
+  Clock::time_point t0 = Clock::now();
+  Status st = engine.Query(
+                        "SELECT a.productId AS x FROM Sales AS a, Sales AS b "
+                        "WHERE a.revenue + b.revenue < -1")
+                  .status();
+  double abort_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  bool aborted = st.code() == StatusCode::kDeadlineExceeded;
+  std::printf("16M-pair cross join, 50 ms deadline:\n");
+  std::printf("  returned after: %8.2f ms (%s)\n", abort_ms,
+              aborted ? "kDeadlineExceeded" : st.message().c_str());
+  std::printf("  overrun:        %8.2f ms past the deadline\n\n",
+              abort_ms - 50.0);
+  AppendJsonLine(
+      "{\"bench\": \"governor_deadline_abort\", \"deadline_ms\": 50, "
+      "\"abort_ms\": %.4f, \"aborted\": %s}",
+      abort_ms, aborted ? "true" : "false");
+}
+
+/// (3) Abort + rollback exercise: deadline, cancel, and memory-budget
+/// aborts each leave the engine bit-identical to its pre-abort state.
+/// This section is also the ASan leg's governed-abort workload.
+void PrintAbortRollbackExercise() {
+  std::printf("=== Governed abort rollback exercise ===\n\n");
+  Dvms::Options options;
+  options.canvas_width = 400;
+  options.canvas_height = 400;
+  options.num_threads = 1;
+  options.deadline_ms = 10'000;
+  // Roomy enough for the program's own views over 5000 rows; the 25M-pair
+  // cross join charges orders of magnitude more and must trip it.
+  options.mem_budget = 32 * 1024 * 1024;
+  {
+    Dvms armed(options);
+    (void)armed.CreateBaseTable("Sales",
+                                Schema({{"productId", ValueType::kInt64},
+                                        {"profit", ValueType::kDouble},
+                                        {"revenue", ValueType::kDouble}}));
+    Rng rng(11);
+    std::vector<Row> rows;
+    for (size_t i = 0; i < 5000; ++i) {
+      rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                      Value::Double(rng.Uniform(0, 100)),
+                      Value::Double(rng.Uniform(0, 100))});
+    }
+    (void)armed.Insert("Sales", rows);
+    if (!armed.LoadProgram(kProgram).ok()) {
+      std::printf("program failed to load\n");
+      return;
+    }
+    const std::string before = Fingerprint(armed);
+
+    // Memory-budget abort: 25M-pair cross join against a 1 MiB budget.
+    Status mem = armed.Query(
+                          "SELECT a.revenue AS x, b.revenue AS y "
+                          "FROM Sales AS a, Sales AS b")
+                     .status();
+    // Cancel abort: raised from "another client", consumed by the insert.
+    armed.RequestCancel();
+    Status cancel = armed.Insert(
+        "Sales", {{Value::Int(7000000), Value::Double(1), Value::Double(1)}});
+    bool rolled_back = Fingerprint(armed) == before;
+    size_t mem_aborts = armed.governor_stats().mem_aborts;
+    size_t cancel_aborts = armed.governor_stats().cancel_aborts;
+    std::printf("memory abort: %s; cancel abort: %s; state restored: %s\n\n",
+                mem.ok() ? "MISSED" : "ok",
+                cancel.ok() ? "MISSED" : "ok",
+                rolled_back ? "bit-identical" : "DIVERGED");
+    AppendJsonLine(
+        "{\"bench\": \"governor_abort_rollback\", \"mem_aborts\": %zu, "
+        "\"cancel_aborts\": %zu, \"rolled_back\": %s}",
+        mem_aborts, cancel_aborts, rolled_back ? "true" : "false");
+  }
+}
+
+void BM_PushEventGoverned(benchmark::State& state) {
+  auto engine = MakeEngine(static_cast<size_t>(state.range(0)),
+                           /*armed=*/state.range(1) != 0);
+  (void)engine->PushEvent(InputEvent::MouseDown(0, 10, 10));
+  int64_t t = 1;
+  double x = 11;
+  for (auto _ : state) {
+    (void)engine->PushEvent(InputEvent::MouseMove(t++, x, x));
+    x = x < 390 ? x + 1 : 11;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushEventGoverned)->Args({10000, 0})->Args({10000, 1});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintArmedOverhead();
+  PrintDeadlineAbortLatency();
+  PrintAbortRollbackExercise();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -77,6 +77,24 @@ cat BENCH_obs.json
 grep -q '"pass": true' BENCH_obs.json || {
   echo "observability overhead budget exceeded" >&2; exit 1; }
 
+# Resource-governor overhead: an armed-but-untriggered governor (deadline
+# + memory budget with roomy limits) must stay under 2% of the unarmed
+# engine on the fig2 workload; the same binary reports deadline-abort
+# latency and the abort/rollback exercise.
+GOV_LINES="$PWD/build/bench_governor_lines.jsonl"
+rm -f "$GOV_LINES"
+DVMS_BENCH_JSON="$GOV_LINES" ./build/bench/bench_governor \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$GOV_LINES"
+  printf ']\n'
+} > BENCH_governor.json
+echo "wrote BENCH_governor.json:"
+cat BENCH_governor.json
+grep -q '"pass": true' BENCH_governor.json || {
+  echo "governor overhead budget exceeded" >&2; exit 1; }
+
 # Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
 # parallelism through every test regardless of host core count.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -93,9 +111,14 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
+# Governed-abort leg: deadline/cancel/memory-budget aborts and their
+# rollbacks must be leak- and UB-free; DVMS_DEADLINE_MS additionally
+# drives real deadline aborts through the env-resolved config path.
+DVMS_DEADLINE_MS=50 ./build-asan/bench/bench_governor \
+  --benchmark_filter=__none__ >/dev/null && echo "asan governor leg passed"
 # EXPLAIN ANALYZE + dvms_metrics smoke with tracing force-enabled: the
 # traced hot paths (registry, span ring, system-relation refresh) must be
 # clean under ASan/UBSan too.

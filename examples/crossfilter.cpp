@@ -197,11 +197,14 @@ int main() {
 
   // Bar-height scale sized to the largest monthly total (months have the
   // smallest group count, so the largest bars).
-  Table totals =
-      engine.Query("SELECT region, SUM(revenue) AS r FROM Sales GROUP BY region")
-          .value();
+  Result<Table> totals =
+      engine.Query("SELECT region, SUM(revenue) AS r FROM Sales GROUP BY region");
+  if (!totals.ok()) {
+    std::fprintf(stderr, "setup query: %s\n", totals.status().ToString().c_str());
+    return 1;
+  }
   double max_total = 1;
-  for (const Row& row : totals.rows()) {
+  for (const Row& row : totals.value().rows()) {
     max_total = std::max(max_total, row[1].double_value());
   }
   (void)engine.CreateScale("chart_scale", 0, max_total * 1.05, 0, 240);

@@ -15,6 +15,13 @@ namespace {
 
 constexpr char kMetricsRelation[] = "dvms_metrics";
 constexpr char kSpansRelation[] = "dvms_spans";
+constexpr char kGovernorRelation[] = "dvms_governor";
+
+/// Nesting depth of governed public entry points on this thread. Nested
+/// calls (Execute -> Insert, PushEvents -> PushEvent, auto_render ->
+/// Render) happen on the thread that already holds mu_, so a thread-local
+/// counter is enough to tell an outermost request from a joined one.
+thread_local int t_governed_depth = 0;
 
 void CollectFromNames(const SelectStmt& stmt, std::vector<std::string>* out);
 
@@ -122,6 +129,7 @@ Dvms::Dvms(Options options)
   pixels_.Clear(RGBA{255, 255, 255, 255});
   obs::InitFromEnv();
   if (options_.trace) obs::SetEnabled(true);
+  InitGovernor();
   InitDurability();
 }
 
@@ -130,11 +138,135 @@ Dvms::~Dvms() {
     // Push any batched group-commit frames out before the process forgets
     // about them. Best-effort: there is no caller to report to.
     FaultSuppressScope suppress;
+    GovernorSuppressScope governor_suppress;
     (void)durability_->Flush();
   }
   if (owned_injector_ != nullptr) {
     fault::InstallProcessInjector(previous_injector_);
   }
+}
+
+// ---- Resource governance ----
+
+void Dvms::InitGovernor() {
+  governor_config_.deadline_ms = options_.deadline_ms;
+  governor_config_.mem_budget = options_.mem_budget;
+  governor_config_.max_inflight = options_.max_inflight;
+  governor_config_.queue_ms = options_.queue_ms;
+  governor_config_.clock = options_.governor_clock;
+  governor_config_.FromEnv();
+  governor_armed_ =
+      governor_config_.deadline_ms > 0 || governor_config_.mem_budget > 0;
+  cancel_flag_ = std::make_shared<std::atomic<bool>>(false);
+  if (governor_config_.max_inflight > 0) {
+    admission_ = std::make_unique<AdmissionGate>(
+        governor_config_.max_inflight, governor_config_.queue_ms * 1000);
+  }
+}
+
+Dvms::AdmissionTicket::AdmissionTicket(Dvms* dvms) : dvms_(dvms) {
+  // Nested entry points already hold an admission slot (and hold mu_ — a
+  // blocking wait here would deadlock against the slot holder queued on
+  // that mutex). Recovery replay and rollback are engine-internal work,
+  // never client traffic.
+  if (dvms_->admission_ == nullptr || t_governed_depth > 0 ||
+      dvms_->replaying_ || governor::Suppressed()) {
+    return;
+  }
+  status_ = dvms_->admission_->Enter();
+  admitted_ = status_.ok();
+}
+
+Dvms::AdmissionTicket::~AdmissionTicket() {
+  if (admitted_) dvms_->admission_->Leave();
+}
+
+Dvms::GovernedRequest::GovernedRequest(Dvms* dvms) : dvms_(dvms) {
+  outermost_ = (t_governed_depth++ == 0);
+  if (!outermost_ || !dvms_->governor_armed_ || dvms_->replaying_ ||
+      governor::Suppressed()) {
+    return;
+  }
+  const GovernorConfig& cfg = dvms_->governor_config_;
+  ctx_.ArmDeadline(cfg.deadline_ms, cfg.clock);
+  ctx_.ArmMemoryBudget(cfg.mem_budget);
+  ctx_.ShareCancelFlag(dvms_->cancel_flag_);
+  prev_ = governor::InstallContext(&ctx_);
+  armed_ = true;
+}
+
+Dvms::GovernedRequest::~GovernedRequest() {
+  if (armed_) {
+    governor::InstallContext(prev_);
+    // This runs after EndMutationUnit (rollback + obs::Restore) and while
+    // mu_ is still held, so abort counters survive the rollback's metric
+    // rewind and never race.
+    GovernorStats& gs = dvms_->governor_stats_;
+    gs.checkpoints += ctx_.checkpoints();
+    if (ctx_.peak_bytes() > gs.peak_mem_bytes) {
+      gs.peak_mem_bytes = ctx_.peak_bytes();
+    }
+    switch (ctx_.abort_code()) {
+      case StatusCode::kDeadlineExceeded:
+        ++gs.deadline_aborts;
+        obs::Count("governor.deadline_aborts");
+        break;
+      case StatusCode::kCancelled:
+        ++gs.cancel_aborts;
+        // One cancel aborts one request.
+        dvms_->cancel_flag_->store(false, std::memory_order_relaxed);
+        obs::Count("governor.cancel_aborts");
+        break;
+      case StatusCode::kResourceExhausted:
+        ++gs.mem_aborts;
+        obs::Count("governor.mem_aborts");
+        break;
+      default:
+        break;
+    }
+  }
+  --t_governed_depth;
+}
+
+void Dvms::RequestCancel() {
+  // Lock-free on purpose: the whole point is cancelling a request that is
+  // holding mu_.
+  if (governor_armed_) {
+    cancel_flag_->store(true, std::memory_order_relaxed);
+  }
+}
+
+Dvms::GovernorStats Dvms::governor_stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernorStats gs = governor_stats_;
+  if (admission_ != nullptr) {
+    gs.admitted = admission_->admitted();
+    gs.rejected = admission_->rejected();
+  }
+  return gs;
+}
+
+Table Dvms::BuildGovernorTableLocked() const {
+  Table out(Schema({{"name", ValueType::kString},
+                    {"value", ValueType::kInt64}}));
+  auto row = [&out](const char* name, int64_t value) {
+    out.AppendUnchecked({Value::String(name), Value::Int(value)});
+  };
+  row("armed", governor_armed_ ? 1 : 0);
+  row("deadline_ms", governor_config_.deadline_ms);
+  row("mem_budget", governor_config_.mem_budget);
+  row("max_inflight", governor_config_.max_inflight);
+  row("queue_ms", governor_config_.queue_ms);
+  row("in_flight", admission_ != nullptr ? admission_->in_flight() : 0);
+  row("admitted", admission_ != nullptr ? admission_->admitted() : 0);
+  row("rejected", admission_ != nullptr ? admission_->rejected() : 0);
+  row("deadline_aborts",
+      static_cast<int64_t>(governor_stats_.deadline_aborts));
+  row("cancel_aborts", static_cast<int64_t>(governor_stats_.cancel_aborts));
+  row("mem_aborts", static_cast<int64_t>(governor_stats_.mem_aborts));
+  row("checkpoints", static_cast<int64_t>(governor_stats_.checkpoints));
+  row("peak_mem_bytes", governor_stats_.peak_mem_bytes);
+  return out;
 }
 
 void Dvms::BeginMutationUnit() {
@@ -175,8 +307,11 @@ Status Dvms::EndMutationUnit(Status st) {
 }
 
 void Dvms::RollbackMutationUnit() {
-  // Injected faults must not cascade into the code undoing their damage.
+  // Injected faults must not cascade into the code undoing their damage,
+  // and an expired deadline / raised cancel flag must not abort its own
+  // rollback (the restoring re-render runs to completion regardless).
   FaultSuppressScope suppress;
+  GovernorSuppressScope governor_suppress;
   std::vector<std::string> restored;
   for (const std::string& name : unit_.relations) {
     auto table = catalog_.Get(name);
@@ -219,7 +354,10 @@ void Dvms::RollbackMutationUnit() {
 }
 
 Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   DVMS_RETURN_IF_ERROR(
       catalog_.CreateTable(name, schema, RelationKind::kBase).status());
@@ -237,7 +375,10 @@ Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
 }
 
 Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   WalRecord record;
   if (ShouldLog()) {
@@ -264,7 +405,10 @@ Status Dvms::InsertLocked(const std::string& name, std::vector<Row> rows) {
 Status Dvms::CreateScale(const std::string& name, double domain_min,
                          double domain_max, double range_min,
                          double range_max) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   WalRecord record;
   record.op = WalRecord::Op::kCreateScale;
@@ -303,7 +447,10 @@ Result<const Table*> Dvms::GetTable(const std::string& name) const {
 }
 
 Status Dvms::Execute(const Statement& statement) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   DVMS_RETURN_IF_ERROR(ExecuteDispatch(statement));
   WalRecord record;
@@ -409,7 +556,10 @@ Status Dvms::ExecuteDispatch(const Statement& statement) {
 }
 
 Status Dvms::LoadProgram(const std::string& source) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   // Parsing touches nothing, so a typo'd program fails cleanly with the
   // log and memory still in agreement.
@@ -445,7 +595,10 @@ Status Dvms::LoadProgram(const std::string& source) {
 }
 
 Result<Table> Dvms::Query(const std::string& select_sql) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   obs::Span span("engine.query");
   DVMS_ASSIGN_OR_RETURN(QueryRequest req, ParseQuery(select_sql));
   DVMS_RETURN_IF_ERROR(SyncSystemRelationsLocked(req.select));
@@ -469,15 +622,19 @@ Status Dvms::SyncSystemRelationsLocked(const SelectStmt& select) {
   CollectFromNames(select, &names);
   for (const std::string& name : names) {
     Table refreshed(Schema{});
+    const char* canonical = nullptr;
     if (IdentEquals(name, kMetricsRelation)) {
       refreshed = BuildMetricsTable();
+      canonical = kMetricsRelation;
     } else if (IdentEquals(name, kSpansRelation)) {
       refreshed = BuildSpansTable();
+      canonical = kSpansRelation;
+    } else if (IdentEquals(name, kGovernorRelation)) {
+      refreshed = BuildGovernorTableLocked();
+      canonical = kGovernorRelation;
     } else {
       continue;
     }
-    const std::string canonical =
-        IdentEquals(name, kMetricsRelation) ? kMetricsRelation : kSpansRelation;
     if (!catalog_.Exists(canonical)) {
       DVMS_RETURN_IF_ERROR(catalog_
                                .CreateTable(canonical, refreshed.schema(),
@@ -618,7 +775,10 @@ Status Dvms::CommitViews() {
 
 Result<size_t> Dvms::Delete(const std::string& name,
                             const ExprPtr& predicate) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   WalRecord record;
   if (ShouldLog()) {
@@ -703,7 +863,10 @@ bool Dvms::CanRedo() const {
 }
 
 Status Dvms::Undo() {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   WalRecord record;
   record.op = WalRecord::Op::kUndo;
@@ -722,7 +885,10 @@ Status Dvms::UndoLocked() {
 }
 
 Status Dvms::Redo() {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   WalRecord record;
   record.op = WalRecord::Op::kRedo;
@@ -809,7 +975,10 @@ Result<std::string> Dvms::ExplainView(const std::string& name) const {
 }
 
 Status Dvms::PushEvent(const InputEvent& event) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   WalRecord record;
   if (ShouldLog()) {
@@ -863,7 +1032,10 @@ Status Dvms::PushEventLocked(const InputEvent& event) {
 }
 
 Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   for (const InputEvent& event : events) {
     DVMS_RETURN_IF_ERROR(PushEvent(event));
   }
@@ -871,7 +1043,10 @@ Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
 }
 
 Status Dvms::Render() {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   BeginMutationUnit();
   return EndMutationUnit(RenderLocked());
 }
@@ -894,7 +1069,10 @@ Status Dvms::RenderLocked() {
 Status Dvms::ComposeInteractions(const std::string& first,
                                  const std::string& second,
                                  const std::string& merged_name) {
+  AdmissionTicket ticket(this);
+  DVMS_RETURN_IF_ERROR(ticket.status());
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  GovernedRequest request(this);
   LogScope log_scope(this);
   DVMS_ASSIGN_OR_RETURN(const EventStmt* a, recognizer_.GetStatement(first));
   DVMS_ASSIGN_OR_RETURN(const EventStmt* b, recognizer_.GetStatement(second));
@@ -1170,8 +1348,10 @@ void Dvms::InitDurability() {
   }
 
   // Recovery (including the replayed interactions) must never be
-  // fault-injected: it is itself the error-handling path.
+  // fault-injected or governed: it is itself the error-handling path, and
+  // replay must reproduce logged history regardless of current deadlines.
   FaultSuppressScope suppress;
+  GovernorSuppressScope governor_suppress;
   Result<std::unique_ptr<DurabilityManager>> manager =
       DurabilityManager::Open(dir, mode);
   if (!manager.ok()) {

@@ -15,6 +15,7 @@
 #include "events/interaction.h"
 #include "events/recognizer.h"
 #include "expr/udf_registry.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 #include "parser/ast.h"
 #include "provenance/trace.h"
@@ -87,6 +88,26 @@ class Dvms {
     /// environment variable also enables it; with both unset the
     /// instrumentation sites cost one relaxed atomic load each.
     bool trace = false;
+    /// Per-request deadline in milliseconds; a request still running after
+    /// this aborts cooperatively (within one morsel of work), rolls back
+    /// via the mutation-unit undo, and returns kDeadlineExceeded. 0 = the
+    /// DVMS_DEADLINE_MS environment variable, or no deadline.
+    int64_t deadline_ms = 0;
+    /// Per-request transient-memory budget in bytes (scan/join/sort/hash
+    /// scratch, IVM marginals, decoded mark ops, matcher slots). A request
+    /// whose charges exceed it aborts with kResourceExhausted instead of
+    /// growing toward an OOM kill. 0 = DVMS_MEM_BUDGET, or no budget.
+    int64_t mem_budget = 0;
+    /// Admission control: at most this many requests execute at once;
+    /// excess arrivals wait up to queue_ms and are then shed with
+    /// kResourceExhausted. 0 = DVMS_MAX_INFLIGHT, or unbounded.
+    int max_inflight = 0;
+    /// How long an arrival may wait for an in-flight slot before being
+    /// shed. 0 = DVMS_QUEUE_MS, or shed immediately at capacity.
+    int64_t queue_ms = 0;
+    /// Injectable governor clock (microseconds, monotonic) so deadline
+    /// tests are deterministic. nullptr = steady clock.
+    QueryContext::Clock governor_clock;
   };
 
   Dvms() : Dvms(Options()) {}
@@ -221,6 +242,29 @@ class Dvms {
   /// `scheduler` here. Pass nullptr to detach. Not owned.
   void AttachScheduler(StreamScheduler* scheduler);
 
+  // ---- Resource governance ----
+
+  /// Raises the cancel flag observed by the in-flight request's next
+  /// governor checkpoint (callable from any thread; takes no lock). The
+  /// cancelled request rolls back all-or-nothing and returns kCancelled; a
+  /// cancel raised while no request is running aborts the next one at its
+  /// first checkpoint. No-op unless the governor is armed (a deadline or
+  /// memory budget is configured).
+  void RequestCancel();
+
+  /// Abort / admission counters, also exported as the dvms_governor system
+  /// relation and governor.* obs counters.
+  struct GovernorStats {
+    size_t deadline_aborts = 0;
+    size_t cancel_aborts = 0;
+    size_t mem_aborts = 0;      // memory-budget aborts
+    uint64_t checkpoints = 0;   // cooperative checks across all requests
+    int64_t peak_mem_bytes = 0; // largest per-request transient footprint
+    int64_t admitted = 0;
+    int64_t rejected = 0;       // shed with kResourceExhausted at the gate
+  };
+  GovernorStats governor_stats() const;
+
   struct Stats {
     size_t events_processed = 0;
     size_t transactions_started = 0;
@@ -314,6 +358,56 @@ class Dvms {
   /// cursor and recomputes everything downstream.
   Status RestoreToCursor();
 
+  // ---- Resource-governance plumbing ----
+
+  /// RAII admission at the front door, constructed BEFORE taking mu_ so a
+  /// full engine sheds load instead of growing an unbounded mutex queue.
+  /// Nested entry points (Execute -> Insert, recovery replay, rollback)
+  /// skip the gate.
+  class AdmissionTicket {
+   public:
+    explicit AdmissionTicket(Dvms* dvms);
+    ~AdmissionTicket();
+    AdmissionTicket(const AdmissionTicket&) = delete;
+    AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+    /// kResourceExhausted when the request was shed; the caller returns it
+    /// without touching engine state.
+    const Status& status() const { return status_; }
+
+   private:
+    Dvms* dvms_;
+    bool admitted_ = false;
+    Status status_;
+  };
+
+  /// RAII request governance, constructed with mu_ held just after the
+  /// lock: the outermost call on a thread arms a QueryContext (deadline /
+  /// cancel flag / memory budget) process-wide. The destructor — which
+  /// runs after EndMutationUnit's rollback but before the lock releases —
+  /// folds the context's abort/checkpoint/peak-memory accounting into
+  /// engine counters. Nested public calls join the outer request.
+  class GovernedRequest {
+   public:
+    explicit GovernedRequest(Dvms* dvms);
+    ~GovernedRequest();
+    GovernedRequest(const GovernedRequest&) = delete;
+    GovernedRequest& operator=(const GovernedRequest&) = delete;
+
+   private:
+    Dvms* dvms_;
+    bool outermost_ = false;
+    bool armed_ = false;
+    QueryContext ctx_;
+    QueryContext* prev_ = nullptr;
+  };
+
+  /// Resolves GovernorConfig from Options + environment and builds the
+  /// admission gate.
+  void InitGovernor();
+
+  /// Snapshot of knobs + counters for the dvms_governor system relation.
+  Table BuildGovernorTableLocked() const;
+
   // ---- Durability plumbing ----
 
   /// RAII depth marker for the public logged entry points. Public calls
@@ -396,6 +490,19 @@ class Dvms {
   /// Mutation-unit nesting depth; unit_ is valid while > 0.
   size_t unit_depth_ = 0;
   UnitState unit_;
+  /// Resolved governor knobs (Options overlaid with DVMS_DEADLINE_MS /
+  /// DVMS_MEM_BUDGET / DVMS_MAX_INFLIGHT / DVMS_QUEUE_MS); immutable after
+  /// construction.
+  GovernorConfig governor_config_;
+  /// True when requests run under a QueryContext (deadline or memory
+  /// budget configured).
+  bool governor_armed_ = false;
+  /// Admission gate; null when max_inflight is unbounded.
+  std::unique_ptr<AdmissionGate> admission_;
+  /// Cancel flag shared into each request's QueryContext so
+  /// RequestCancel() works lock-free from any thread.
+  std::shared_ptr<std::atomic<bool>> cancel_flag_;
+  GovernorStats governor_stats_;
   /// Injector built from Options::fault_spec (installed process-wide for
   /// this engine's lifetime).
   std::unique_ptr<FaultInjector> owned_injector_;

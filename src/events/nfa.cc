@@ -1,6 +1,7 @@
 #include "events/nfa.h"
 
 #include "expr/eval.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 
 namespace dvms {
@@ -133,6 +134,9 @@ Result<MatchAction> PatternMatcher::Feed(const InputEvent& event,
 
 Result<MatchAction> PatternMatcher::FeedImpl(const InputEvent& event,
                                              std::vector<Row>* out_rows) {
+  // Governor checkpoint per transition: event streams are unbounded, so a
+  // deadline or cancel must be able to abort between any two events.
+  DVMS_RETURN_IF_ERROR(governor::CheckPoint());
   // Non-alphabet event types are filtered from the input stream.
   if (!pattern_.InAlphabet(event.type)) return MatchAction::kNone;
 

@@ -43,12 +43,19 @@ std::string TransformGraph::ToDot(size_t max_edges) const {
   std::map<size_t, bool> used;
   size_t emitted = 0;
   for (const Edge& edge : edges) {
-    if (emitted++ >= max_edges) break;
+    if (emitted >= max_edges) break;
+    ++emitted;
     used[edge.from] = true;
     used[edge.to] = true;
     out += "  q" + std::to_string(edge.from) + " -> q" +
            std::to_string(edge.to) + " [color=\"" +
            color_of[edge.interaction] + "\"];\n";
+  }
+  if (edges.size() > emitted) {
+    // Make the cut visible in the rendered artifact itself: a reader of a
+    // capped dump should never mistake it for the whole graph.
+    out += "  // truncated " + std::to_string(edges.size() - emitted) +
+           " of " + std::to_string(edges.size()) + " edges\n";
   }
   out += "}\n";
   return out;

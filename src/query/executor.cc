@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <map>
 
+#include "governor/governor.h"
 #include "obs/trace.h"
 
 namespace dvms {
 
 namespace {
+
+/// Rough transient-memory footprint of `rows` materialized rows of
+/// `cols` values each, charged against the request's governor budget.
+/// Deliberately cheap (no per-value walk): the budget bounds blow-ups by
+/// orders of magnitude, not bytes.
+int64_t ApproxRowsBytes(size_t rows, size_t cols) {
+  return static_cast<int64_t>(rows) *
+         static_cast<int64_t>(sizeof(Row) + cols * 48);
+}
+
+/// Inner-loop work between cooperative governor checks in the serial
+/// (non-morselized) operator loops: join emits, dedup probes, merge steps.
+constexpr size_t kSerialCheckRows = 1024;
 
 /// Group-by / dedup key: a row of values with value-equality semantics.
 using KeyMap = std::unordered_map<Row, size_t, RowHash, RowEq>;
@@ -112,7 +126,13 @@ Status ForEachMorsel(const ParallelCfg& cfg, size_t total, Fn&& fn) {
   if (morsels == 0) return Status::OK();
   std::vector<Status> status(morsels);
   cfg.pool->ParallelFor(total, cfg.grain, cfg.threads,
-                        [&](const MorselRange& r) { status[r.index] = fn(r); });
+                        [&](const MorselRange& r) {
+                          // One governor check per morsel bounds how far a
+                          // request can overrun its deadline: at most one
+                          // morsel of work per worker.
+                          Status st = governor::CheckPoint();
+                          status[r.index] = st.ok() ? fn(r) : std::move(st);
+                        });
   for (Status& s : status) {
     if (!s.ok()) return std::move(s);
   }
@@ -167,6 +187,9 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecScan(
                         ReadRelation(*catalog_, node.relation, node.version));
   // Morsel-parallel row copy; each morsel writes a disjoint slice.
   const std::vector<Row>& src_rows = src->rows();
+  DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+  DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+      ApproxRowsBytes(src_rows.size(), src->schema().num_columns())));
   ParallelCfg cfg = ResolveParallel(opts);
   out->morsels_used = std::max<size_t>(1, MorselCount(src_rows.size(), cfg.grain));
   std::vector<Row> rows(src_rows.size());
@@ -252,6 +275,10 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
             }
             return Status::OK();
           }));
+      size_t total_kept = 0;
+      for (const std::vector<size_t>& k : kept) total_kept += k.size();
+      DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+          ApproxRowsBytes(total_kept, in.schema().num_columns())));
       for (const std::vector<size_t>& k : kept) {
         for (size_t i : k) add_row(in.row(i), {{0, i}});
       }
@@ -276,7 +303,8 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
               }
               rows.push_back(std::move(row));
             }
-            return Status::OK();
+            return governor::ChargeMemory(
+                ApproxRowsBytes(rows.size(), node.projections.size()));
           }));
       for (size_t mi = 0; mi < morsels; ++mi) {
         size_t base = MorselAt(in.num_rows(), cfg.grain, mi).begin;
@@ -290,7 +318,19 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
     case PlanKind::kJoin: {
       const Table& left = out->children[0]->table;
       const Table& right = out->children[1]->table;
+      // The emit path is where a cross join blows up, so both governor
+      // limits ride on it: a cooperative check every kSerialCheckRows
+      // pairs examined, and a memory charge per batch of produced rows —
+      // an over-budget join aborts within one batch of slack instead of
+      // growing toward an OOM kill.
+      const size_t out_width =
+          left.schema().num_columns() + right.schema().num_columns();
+      size_t pairs_seen = 0;
+      size_t rows_uncharged = 0;
       auto emit = [&](size_t li, size_t ri) -> Status {
+        if (++pairs_seen % kSerialCheckRows == 0) {
+          DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+        }
         Row combined = left.row(li);
         const Row& r = right.row(ri);
         combined.insert(combined.end(), r.begin(), r.end());
@@ -299,13 +339,23 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
                                 EvalPredicate(*node.predicate, combined, ctx));
           if (!keep) return Status::OK();
         }
+        if (++rows_uncharged == kSerialCheckRows) {
+          DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+              ApproxRowsBytes(rows_uncharged, out_width)));
+          rows_uncharged = 0;
+        }
         add_row(std::move(combined), {{0, li}, {1, ri}});
         return Status::OK();
       };
       if (!node.equi_keys.empty()) {
         // Hash join: build on the right side.
         std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> build;
+        DVMS_RETURN_IF_ERROR(governor::ChargeMemory(ApproxRowsBytes(
+            right.num_rows(), node.equi_keys.size() + 1)));
         for (size_t ri = 0; ri < right.num_rows(); ++ri) {
+          if (ri % (4 * kSerialCheckRows) == 0) {
+            DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+          }
           Row key;
           key.reserve(node.equi_keys.size());
           bool has_null = false;
@@ -318,6 +368,9 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
           if (!has_null) build[std::move(key)].push_back(ri);
         }
         for (size_t li = 0; li < left.num_rows(); ++li) {
+          if (li % (4 * kSerialCheckRows) == 0) {
+            DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+          }
           Row key;
           key.reserve(node.equi_keys.size());
           bool has_null = false;
@@ -402,7 +455,10 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
               }
               if (opts.capture_lineage) g.contributors.push_back({0, i});
             }
-            return Status::OK();
+            // Group hash tables are the aggregate's scratch: charge what
+            // this morsel discovered.
+            return governor::ChargeMemory(ApproxRowsBytes(
+                local.groups.size(), node.group_by.size() + num_aggs));
           }));
       // Phase 2: deterministic merge. Walking morsels in index order (and
       // each morsel's groups in first-seen order) makes global group
@@ -473,6 +529,9 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
       for (size_t c = 0; c < out->children.size(); ++c) {
         const Table& in = out->children[c]->table;
         for (size_t i = 0; i < in.num_rows(); ++i) {
+          if (i % kSerialCheckRows == 0) {
+            DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+          }
           auto it = seen.find(in.row(i));
           if (it == seen.end()) {
             seen.emplace(in.row(i), out->table.num_rows());
@@ -482,6 +541,8 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
             out->lineage[it->second].push_back({static_cast<uint32_t>(c), i});
           }
         }
+        DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+            ApproxRowsBytes(in.num_rows(), in.schema().num_columns())));
       }
       break;
     }
@@ -490,9 +551,14 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
       const Table& left = out->children[0]->table;
       const Table& right = out->children[1]->table;
       std::unordered_map<Row, bool, RowHash, RowEq> right_rows;
+      DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+          ApproxRowsBytes(right.num_rows(), right.schema().num_columns())));
       for (const Row& r : right.rows()) right_rows.emplace(r, true);
       KeyMap seen;
       for (size_t i = 0; i < left.num_rows(); ++i) {
+        if (i % kSerialCheckRows == 0) {
+          DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+        }
         if (right_rows.count(left.row(i)) > 0) continue;
         auto it = seen.find(left.row(i));
         if (it == seen.end()) {
@@ -508,7 +574,12 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
     case PlanKind::kDistinct: {
       const Table& in = out->children[0]->table;
       KeyMap seen;
+      DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+          ApproxRowsBytes(in.num_rows(), in.schema().num_columns())));
       for (size_t i = 0; i < in.num_rows(); ++i) {
+        if (i % kSerialCheckRows == 0) {
+          DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+        }
         auto it = seen.find(in.row(i));
         if (it == seen.end()) {
           seen.emplace(in.row(i), out->table.num_rows());
@@ -525,6 +596,10 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
       const size_t n = in.num_rows();
       out->morsels_used = std::max<size_t>(1, MorselCount(n, cfg.grain));
       // Phase 1: morsel-parallel sort-key evaluation into disjoint slots.
+      // Key vector + permutation are the sort's scratch footprint.
+      DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+          ApproxRowsBytes(n, node.order_exprs.size()) +
+          static_cast<int64_t>(n * sizeof(size_t))));
       std::vector<Row> keys(n);
       DVMS_RETURN_IF_ERROR(
           ForEachMorsel(cfg, n, [&](const MorselRange& r) -> Status {
@@ -571,6 +646,9 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecImpl(
         std::vector<size_t> merged;
         merged.reserve(n);
         while (merged.size() < n) {
+          if (merged.size() % kSerialCheckRows == 0) {
+            DVMS_RETURN_IF_ERROR(governor::CheckPoint());
+          }
           size_t best = chunks;
           for (size_t c = 0; c < chunks; ++c) {
             if (head[c] == bounds[c + 1]) continue;

@@ -4,6 +4,7 @@
 
 #include "common/schema.h"
 #include "common/thread_pool.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 
 namespace dvms {
@@ -43,10 +44,17 @@ Status CrossfilterCube::Fold(const Table& fact) {
   const size_t n = fact.num_rows();
   const size_t batches = MorselCount(n, kBatchRows);
   std::vector<std::vector<Marginal>> partials(batches);
+  // Per-batch governor status: a deadline expiring mid-fold aborts within
+  // one batch of work, and each batch charges its scratch marginals.
+  std::vector<Status> batch_status(batches);
   ThreadPool::Global()->ParallelFor(
       n, kBatchRows, /*max_threads=*/0, [&](const MorselRange& r) {
+        Status& st = batch_status[r.index];
+        st = governor::CheckPoint();
+        if (!st.ok()) return;
         std::vector<Marginal>& local = partials[r.index];
         local.resize(d * d);
+        size_t touched = 0;
         for (size_t ri = r.begin; ri < r.end; ++ri) {
           const Row& row = fact.row(ri);
           auto m = row[measure_col_].AsDouble();
@@ -60,8 +68,15 @@ Status CrossfilterCube::Fold(const Table& fact) {
             }
             local[i * d + (i == 0 ? 1 : 0)].totals[gval] += v;
           }
+          touched += d * d;
         }
+        // Upper bound on the cells this batch may have added (~48 bytes
+        // per map node: key/value pair + bucket overhead).
+        st = governor::ChargeMemory(static_cast<int64_t>(touched) * 48);
       });
+  for (Status& st : batch_status) {
+    DVMS_RETURN_IF_ERROR(std::move(st));
+  }
   for (std::vector<Marginal>& local : partials) {
     for (size_t k = 0; k < local.size(); ++k) {
       for (auto& [gval, cells] : local[k].cells) {

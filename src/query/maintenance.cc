@@ -1,6 +1,7 @@
 #include "query/maintenance.h"
 
 #include "common/fault.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 
 namespace dvms {
@@ -60,8 +61,11 @@ Status ViewMaintainer::RecomputeView(const std::string& name) {
   obs::Span span("view.recompute");
   obs::Count("view.recomputes");
   // Fault site: a failed delta application / recompute must leave the
-  // surrounding statement batch rollbackable, never half-applied.
+  // surrounding statement batch rollbackable, never half-applied. The
+  // governor check here bounds deadline overrun across a long view chain
+  // to one recompute's morsels.
   DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kIvmApply));
+  DVMS_RETURN_IF_ERROR(governor::CheckPoint());
   // Online-optimizer fast path: adopted views refresh from their cube.
   if (optimizer_ != nullptr && !capture_lineage_ &&
       optimizer_->IsAdopted(name)) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 
 namespace dvms {
@@ -315,6 +316,9 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
   obs::Count("raster.marks", marks.num_rows());
   std::vector<MarkOp> ops;
   ops.reserve(marks.num_rows());
+  // The decoded op list is the rasterizer's transient footprint.
+  DVMS_RETURN_IF_ERROR(governor::ChargeMemory(
+      static_cast<int64_t>(marks.num_rows() * sizeof(MarkOp))));
   Status decoded = DecodeMarkOps(marks, type, &ops);
 
   ThreadPool* pool = opts.pool != nullptr ? opts.pool : ThreadPool::Global();
@@ -324,9 +328,10 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
   if (threads <= 1 || out->height() == 0) {
     obs::Count("raster.bands");
     // Serial path: the whole frame is one band for fault purposes. A fired
-    // fault leaves the frame partially drawn (the caller's rollback
-    // restores it by re-rendering under suppression).
+    // fault (or expired deadline) leaves the frame partially drawn — the
+    // caller's rollback restores it by re-rendering under suppression.
     DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kRasterBand));
+    DVMS_RETURN_IF_ERROR(governor::CheckPoint());
     ReplayOps(ops, FullTarget{out});
     return decoded;
   }
@@ -337,14 +342,22 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
   // A band whose fault fires skips its rows entirely and reports the
   // failure after the join; the frame is then corrupt and the error Status
   // tells the engine to roll back.
-  obs::Count("raster.bands", MorselCount(out->height(), band_rows));
+  const size_t bands = MorselCount(out->height(), band_rows);
+  obs::Count("raster.bands", bands);
   std::atomic<size_t> failed_bands{0};
+  // Per-band governor status: a band that sees the deadline expired skips
+  // its rows (the frame is then corrupt and the engine rolls it back, same
+  // contract as an injected band fault). The lowest-indexed band's status
+  // is reported, keeping the error deterministic at any thread count.
+  std::vector<Status> band_status(bands);
   pool->ParallelFor(
       out->height(), band_rows, threads, [&](const MorselRange& band) {
         if (fault::ShouldInject(FaultSite::kRasterBand)) {
           failed_bands.fetch_add(1, std::memory_order_relaxed);
           return;
         }
+        band_status[band.index] = governor::CheckPoint();
+        if (!band_status[band.index].ok()) return;
         BandTarget t{out, static_cast<int64_t>(band.begin),
                      static_cast<int64_t>(band.end)};
         for (const MarkOp& op : ops) {
@@ -360,6 +373,9 @@ Status RenderMarks(const Table& marks, MarkType type, PixelBuffer* out,
     return Status::ExecutionError(
         "injected fault at site 'raster': " + std::to_string(failures) +
         " band(s) dropped");
+  }
+  for (Status& st : band_status) {
+    DVMS_RETURN_IF_ERROR(std::move(st));
   }
   return decoded;
 }

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/fault.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 
 namespace dvms {
@@ -66,7 +67,11 @@ TickReport StreamScheduler::TickDetailed() {
   std::set<size_t> parked;
   size_t budget = coeffs_per_tick_;
   while (budget > 0 && !heap.empty()) {
-    if (elapsed() >= policy_.budget_us) {
+    // Both deadlines end the tick the same way: the scheduler's own
+    // watchdog and the per-request governor deadline degrade to the
+    // resident coarse prefix rather than stalling (the governor abort
+    // itself surfaces at the enclosing entry point's next checkpoint).
+    if (elapsed() >= policy_.budget_us || !governor::CheckPoint().ok()) {
       report.deadline_missed = true;
       ++stats_.deadline_misses;
       break;
@@ -120,9 +125,9 @@ TickReport StreamScheduler::TickDetailed() {
     report.degraded.push_back(t.id);
     ++stats_.degraded_serves;
   }
-  // The TickReport fields Tick() used to discard feed the metrics
-  // relations, so deadline misses and coarse-prefix serves are queryable
-  // even through code paths that only look at `sent`.
+  // Every TickReport field also feeds the metrics relations, so deadline
+  // misses and coarse-prefix serves stay queryable even through code
+  // paths that only look at `sent`.
   if (obs::Enabled()) {
     size_t coeffs = 0;
     for (const auto& [id, n] : report.sent) coeffs += n;

@@ -61,7 +61,7 @@ struct TickReport {
 /// whose deadline passes are simply rescheduled on the next tick, and
 /// probability updates from the intent model re-weight every tick.
 ///
-/// Robustness: a per-tick watchdog guarantees Tick() never runs past its
+/// Robustness: a per-tick watchdog guarantees TickDetailed() never runs past its
 /// deadline — on budget exhaustion or injected stream faults
 /// (FaultSite::kStreamTick) it degrades gracefully to the coarse resident
 /// prefix and reports the miss, rather than blocking the interaction loop.
@@ -80,14 +80,10 @@ class StreamScheduler {
   void SetProbabilities(const std::map<std::string, double>& probabilities);
 
   /// Runs one scheduling round under the tick policy's deadline watchdog.
+  /// The returned report carries everything the tick did — including
+  /// deadline_missed / degraded / faults / retries — so callers can always
+  /// observe that a tick served a coarse wavelet prefix.
   TickReport TickDetailed();
-
-  /// Back-compat wrapper: TickDetailed()'s (tile id -> coefficients sent).
-  /// Deprecated: it throws away the report's deadline_missed / degraded /
-  /// faults / retries fields, so callers cannot observe that a tick served
-  /// a coarse wavelet prefix. Use TickDetailed().
-  [[deprecated("use TickDetailed(); Tick() discards deadline/degradation")]]
-  std::map<std::string, size_t> Tick() { return TickDetailed().sent; }
 
   void set_tick_policy(TickPolicy policy) { policy_ = policy; }
   const TickPolicy& tick_policy() const { return policy_; }

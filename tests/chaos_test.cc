@@ -363,6 +363,68 @@ TEST_P(ChaosDifferentialTest, RollbackDisabledReproducesLegacyEngine) {
   EXPECT_TRUE(legacy.pixels().Equals(transactional->pixels()));
 }
 
+TEST_P(ChaosDifferentialTest, GovernorArmedFaultedReplayConverges) {
+  // The resource governor armed (roomy limits, real clock) on top of fault
+  // injection must change nothing: checkpoints fire on every morsel, yet
+  // the faulted replay still converges to the bit-identical clean state.
+  const size_t threads = GetParam();
+  auto clean = MakeChaosEngine(threads);
+  RunCleanTrace(*clean);
+  const std::string want = Fingerprint(*clean);
+
+  Dvms::Options options;
+  options.canvas_width = 200;
+  options.canvas_height = 150;
+  options.num_threads = threads;
+  options.deadline_ms = 1'000'000'000;  // armed, never expires
+  options.mem_budget = INT64_MAX / 2;
+  Dvms engine(options);
+  Schema schema({{"id", ValueType::kInt64},
+                 {"v", ValueType::kDouble},
+                 {"px", ValueType::kDouble}});
+  ASSERT_TRUE(engine.CreateBaseTable("Pts", schema).ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 24; ++i) {
+    rows.push_back({Value::Int(i), Value::Double((i * 37) % 100),
+                    Value::Double(5.0 + i * 8.0)});
+  }
+  ASSERT_TRUE(engine.Insert("Pts", rows).ok());
+  ASSERT_TRUE(engine.LoadProgram(kChaosProgram).ok());
+
+  FaultConfig config;
+  config.seed = 23;
+  config.rate = 0.02;
+  ScopedFaultInjector scoped(config);
+  size_t op_index = 0;
+  size_t cancels = 0;
+  for (const TraceOp& op : ChaosTrace()) {
+    SCOPED_TRACE(op.label);
+    // Every third op first arrives pre-cancelled: the governed abort must
+    // roll back exactly like an injected fault, then the retry lands.
+    if (op_index++ % 3 == 2) {
+      engine.RequestCancel();
+      // The attempt fails — with kCancelled at its first checkpoint, or
+      // with an injected fault that happened to fire even earlier (the
+      // still-raised flag then cancels the next attempt instead). Either
+      // way exactly one later abort consumes the flag.
+      Status st = op.run(engine);
+      EXPECT_FALSE(st.ok());
+      ++cancels;
+    }
+    bool done = false;
+    for (int attempt = 0; attempt < 50 && !done; ++attempt) {
+      done = op.run(engine).ok();
+    }
+    ASSERT_TRUE(done) << "op never landed within the retry bound";
+  }
+  EXPECT_EQ(Fingerprint(engine), want);
+  EXPECT_TRUE(engine.pixels().Equals(clean->pixels()));
+  EXPECT_EQ(engine.governor_stats().cancel_aborts, cancels);
+  EXPECT_GT(engine.governor_stats().checkpoints, 0u);
+  EXPECT_EQ(engine.governor_stats().deadline_aborts, 0u);
+  EXPECT_EQ(engine.governor_stats().mem_aborts, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, ChaosDifferentialTest,
                          ::testing::Values(1, 4));
 

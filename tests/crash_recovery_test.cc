@@ -9,6 +9,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -407,6 +408,79 @@ TEST(CrashRecoveryTest, CorruptSnapshotFallsBackWithoutDataLoss) {
     EXPECT_EQ(engine.durability_stats().recovered_lsn, Workload().size());
     EXPECT_EQ(Fingerprint(engine), Reference().back().fingerprint);
     EXPECT_TRUE(engine.pixels().Equals(Reference().back().pixels));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resource governor x durability
+// ---------------------------------------------------------------------------
+
+/// Child body for the governor tests: runs `clean_ops` trace ops on a
+/// durable engine whose governor runs a step-controlled fake clock, then
+/// expires the 50 ms deadline inside the next op. `resume_after_abort`
+/// finishes the remaining trace (frozen clock again) before dying; either
+/// way the child _exits without clean shutdown — the crash lands right on
+/// (or after) the aborted request.
+[[noreturn]] void GovernorChildRun(const std::string& dir, size_t clean_ops,
+                                   bool resume_after_abort) {
+  static std::atomic<int64_t> now{0};
+  static std::atomic<int64_t> step{0};
+  Dvms::Options options = BaseOptions(dir, 0);
+  options.deadline_ms = 50;
+  options.governor_clock = [] { return now.fetch_add(step.load()); };
+  Dvms engine(options);
+  if (!engine.recovery_status().ok()) _exit(6);
+  std::vector<TraceOp> ops = Workload();
+  if (clean_ops >= ops.size()) _exit(9);
+  for (size_t i = 0; i < clean_ops; ++i) {
+    if (!ops[i].run(engine).ok()) _exit(7);
+  }
+  // 20 ms per checkpoint: the third check inside the op crosses 50 ms.
+  step.store(20'000);
+  Status st = ops[clean_ops].run(engine);
+  step.store(0);
+  if (st.code() != StatusCode::kDeadlineExceeded) _exit(8);
+  if (resume_after_abort) {
+    for (size_t i = clean_ops; i < ops.size(); ++i) {
+      if (!ops[i].run(engine).ok()) _exit(7);
+    }
+  }
+  _exit(0);
+}
+
+int RunGovernorChild(const std::string& dir, size_t clean_ops,
+                     bool resume_after_abort) {
+  fflush(nullptr);
+  pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) GovernorChildRun(dir, clean_ops, resume_after_abort);
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child crashed hard, status=" << status;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CrashRecoveryTest, CrashAfterDeadlineAbortRecoversBitIdentically) {
+  // A deadline-aborted mutation unit must leave NOTHING in the WAL: a
+  // crash immediately after the abort recovers to exactly the k-op prefix,
+  // bit-identical to the reference — the aborted request is invisible.
+  for (size_t k : {size_t{3}, size_t{6}, size_t{10}, size_t{13}}) {
+    SCOPED_TRACE("abort_at_op=" + std::to_string(k));
+    TempDir dir("govabort");
+    ASSERT_EQ(RunGovernorChild(dir.str(), k, /*resume_after_abort=*/false), 0);
+    VerifyRecovery(dir.str(), 0, k);
+  }
+}
+
+TEST(CrashRecoveryTest, AbortMidTraceLeavesNoHoleInTheLog) {
+  // Abort op k, then retry it and finish the trace: the log must read as
+  // an uninterrupted committed sequence (LSN == full op count) and recover
+  // to the reference final state — no gap, no ghost frame, no reordering.
+  for (size_t k : {size_t{4}, size_t{8}}) {
+    SCOPED_TRACE("abort_at_op=" + std::to_string(k));
+    TempDir dir("govhole");
+    ASSERT_EQ(RunGovernorChild(dir.str(), k, /*resume_after_abort=*/true), 0);
+    VerifyRecovery(dir.str(), 0, Workload().size());
   }
 }
 

@@ -301,8 +301,12 @@ TEST(TransformGraphTest, DotExportColorsEdgesByInteraction) {
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("q0 -> q1"), std::string::npos);
   EXPECT_NE(dot.find("color="), std::string::npos);
-  // Edge cap respected.
-  EXPECT_EQ(graph.ToDot(1).find("q1 -> q2"), std::string::npos);
+  // Edge cap respected, and the cut is announced in the artifact itself.
+  std::string capped = graph.ToDot(1);
+  EXPECT_EQ(capped.find("q1 -> q2"), std::string::npos);
+  EXPECT_NE(capped.find("// truncated 1 of 2 edges"), std::string::npos);
+  // An uncapped dump carries no truncation banner.
+  EXPECT_EQ(dot.find("truncated"), std::string::npos);
 }
 
 TEST(InterfaceSynthTest, ZeroBudgetYieldsEmptyInterface) {
