@@ -95,8 +95,30 @@ cat BENCH_governor.json
 grep -q '"pass": true' BENCH_governor.json || {
   echo "governor overhead budget exceeded" >&2; exit 1; }
 
+# Concurrent-session read throughput: serial vs 2/4/8 reader sessions and
+# reads under a continuous writer. The gate is 1-core-safe: the best
+# concurrent throughput must be >= 85% of serial (no-regression), with the
+# scalability shape recorded per thread count.
+SESS_LINES="$PWD/build/bench_sessions_lines.jsonl"
+rm -f "$SESS_LINES"
+DVMS_BENCH_JSON="$SESS_LINES" ./build/bench/bench_sessions \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$SESS_LINES"
+  printf ']\n'
+} > BENCH_sessions.json
+echo "wrote BENCH_sessions.json:"
+cat BENCH_sessions.json
+if grep -q '"pass": false' BENCH_sessions.json; then
+  echo "concurrent session reads regressed below serial" >&2; exit 1
+fi
+
 # Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
-# parallelism through every test regardless of host core count.
+# parallelism through every test regardless of host core count — including
+# the linearizability stress harness (1/2/4/8 reader sessions racing the
+# writer) and the session/snapshot-isolation suites, which is where reader
+# concurrency races would surface.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
@@ -111,7 +133,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
 # Governed-abort leg: deadline/cancel/memory-budget aborts and their

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/fault.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 
 namespace dvms {
@@ -88,6 +89,10 @@ struct ThreadPool::ForState {
   size_t total = 0;
   size_t grain = 1;
   const MorselFn* fn = nullptr;
+  /// Governor context of the submitting thread, installed around each
+  /// participant so pool workers observe the submitter's deadline/budget
+  /// (contexts are thread-local now that readers run concurrently).
+  QueryContext* governor_ctx = nullptr;
 
   /// Per-participant contiguous run of morsel indices. `next` is bumped by
   /// the owner and by thieves; claims at or past `end` are no-ops.
@@ -105,6 +110,7 @@ struct ThreadPool::ForState {
 
 void ThreadPool::RunParticipant(ForState* state, size_t self) {
   t_in_parallel_region = true;
+  QueryContext* prev_ctx = governor::InstallContext(state->governor_ctx);
   auto run = [state](size_t morsel) {
     // Transient task-start faults are absorbed here with bounded retry:
     // the morsel then runs exactly once, so results stay bit-identical.
@@ -133,6 +139,7 @@ void ThreadPool::RunParticipant(ForState* state, size_t self) {
     }
   }
   if (stolen > 0) obs::Count("pool.steals", stolen);
+  governor::InstallContext(prev_ctx);
   t_in_parallel_region = false;
 }
 
@@ -159,6 +166,7 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, size_t max_threads,
   state.total = total;
   state.grain = grain == 0 ? 1 : grain;
   state.fn = &fn;
+  state.governor_ctx = governor::Current();
   state.segments = std::vector<ForState::Segment>(parallelism);
   // Contiguous partition of morsel indices: participant i owns
   // [i*per + min(i, extra), ...) — balanced to within one morsel.

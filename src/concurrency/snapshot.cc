@@ -1,0 +1,192 @@
+#include "concurrency/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dvms {
+
+Result<TablePtr> RelationSnapshot::Read(const VersionRef& version) const {
+  switch (version.kind) {
+    case VersionRef::Kind::kCurrent:
+      return current;
+    case VersionRef::Kind::kVnow: {
+      size_t k = version.offset;
+      if (k == 0) return current;
+      if (k > committed.size()) {
+        return Status::NotFound("table '" + name + "' has no version @vnow-" +
+                                std::to_string(k) + " (history depth " +
+                                std::to_string(committed.size()) + ")");
+      }
+      return committed[committed.size() - k];
+    }
+    case VersionRef::Kind::kTnow: {
+      size_t j = version.offset;
+      if (j == 0) return current;
+      if (!in_transaction) return MakeTablePtr(Table(declared_schema));
+      if (j > steps.size()) {
+        if (txn_base != nullptr) return txn_base;
+        return MakeTablePtr(Table(declared_schema));
+      }
+      return steps[steps.size() - j];
+    }
+  }
+  return Status::Internal("bad version ref");
+}
+
+const RelationSnapshotPtr* EngineSnapshotView::Find(
+    const std::string& name) const {
+  auto it = relations_.find(IdentKey(name));
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+Result<Schema> EngineSnapshotView::ResolveRelation(
+    const std::string& name) const {
+  const RelationSnapshotPtr* rel = Find(name);
+  if (rel == nullptr) {
+    return Status::NotFound("unknown relation '" + name + "'");
+  }
+  return (*rel)->current->schema();
+}
+
+Result<TablePtr> EngineSnapshotView::Read(const std::string& relation,
+                                          const VersionRef& version) const {
+  const RelationSnapshotPtr* rel = Find(relation);
+  if (rel == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  return (*rel)->Read(version);
+}
+
+void OverlaySnapshotView::AddOverlay(const std::string& name, Table table) {
+  overlays_[IdentKey(name)] = MakeTablePtr(std::move(table));
+}
+
+bool OverlaySnapshotView::HasOverlay(const std::string& name) const {
+  return overlays_.count(IdentKey(name)) > 0;
+}
+
+Result<Schema> OverlaySnapshotView::ResolveRelation(
+    const std::string& name) const {
+  auto it = overlays_.find(IdentKey(name));
+  if (it != overlays_.end()) return it->second->schema();
+  return base_->ResolveRelation(name);
+}
+
+Result<TablePtr> OverlaySnapshotView::Read(const std::string& relation,
+                                           const VersionRef& version) const {
+  auto it = overlays_.find(IdentKey(relation));
+  if (it != overlays_.end()) {
+    // System relations have no history: every version ref resolves to the
+    // freshly built table (they are excluded from commits and snapshots).
+    return it->second;
+  }
+  return base_->Read(relation, version);
+}
+
+uint64_t SnapshotManager::Publish(const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const EngineSnapshotView* prev = latest_.get();
+  auto next = std::make_shared<EngineSnapshotView>();
+  bool changed = prev == nullptr;
+  for (const std::string& name : catalog.Names()) {
+    auto table_or = catalog.Get(name);
+    if (!table_or.ok()) continue;  // racing Drop cannot happen (write lock)
+    const VersionedTable* table = table_or.value();
+    auto kind_or = catalog.KindOf(name);
+    RelationKind kind = kind_or.ok() ? kind_or.value() : RelationKind::kBase;
+    if (kind == RelationKind::kSystem) continue;  // rebuilt per read
+    std::string key = IdentKey(table->name());
+
+    // Incremental reuse: an unchanged mutation epoch certifies the whole
+    // version surface is bit-identical to the previous publish.
+    if (prev != nullptr) {
+      auto it = prev->relations_.find(key);
+      if (it != prev->relations_.end() &&
+          it->second->table_epoch == table->epoch()) {
+        next->relations_.emplace(key, it->second);
+        next->names_.push_back(it->second->name);
+        continue;
+      }
+    }
+    changed = true;
+    auto rel = std::make_shared<RelationSnapshot>();
+    rel->name = table->name();
+    rel->kind = kind;
+    rel->declared_schema = table->declared_schema();
+    rel->table_epoch = table->epoch();
+    rel->current = MakeTablePtr(table->current());
+    rel->committed = table->committed_versions();
+    rel->steps = table->step_versions();
+    rel->txn_base = table->transaction_base();
+    rel->in_transaction = table->in_transaction();
+    next->relations_.emplace(std::move(key), std::move(rel));
+    next->names_.push_back(table->name());
+  }
+  if (prev != nullptr && !changed &&
+      next->relations_.size() == prev->relations_.size()) {
+    // Nothing moved (e.g. a rolled-back unit restored every epoch): the
+    // previous view stays current and no epoch is minted.
+    return prev->epoch_;
+  }
+  next->epoch_ = next_epoch_++;
+  ++epochs_published_;
+  history_.push_back(next);
+  // Bound the weak history (retired entries are counted then dropped).
+  if (history_.size() > 4096) {
+    uint64_t retired = 0;
+    history_.erase(std::remove_if(history_.begin(), history_.end(),
+                                  [&retired](const auto& w) {
+                                    if (w.expired()) {
+                                      ++retired;
+                                      return true;
+                                    }
+                                    return false;
+                                  }),
+                   history_.end());
+    retired_compacted_ += retired;
+  }
+  latest_ = std::move(next);
+  return latest_->epoch();
+}
+
+SnapshotPtr SnapshotManager::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+void SnapshotManager::NotePin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pinned_;
+}
+
+void SnapshotManager::NoteUnpin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --pinned_;
+}
+
+uint64_t SnapshotManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_ == nullptr ? 0 : latest_->epoch();
+}
+
+int64_t SnapshotManager::pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_;
+}
+
+uint64_t SnapshotManager::epochs_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_published_;
+}
+
+uint64_t SnapshotManager::epochs_retired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t retired = retired_compacted_;
+  for (const auto& w : history_) {
+    if (w.expired()) ++retired;
+  }
+  return retired;
+}
+
+}  // namespace dvms

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 
+#include "core/session.h"
 #include "parser/parser.h"
 #include "parser/planner.h"
 
@@ -43,7 +45,7 @@ Value DoubleOrNull(double v) {
   return std::isnan(v) ? Value::Null() : Value::Double(v);
 }
 
-Table BuildMetricsTable() {
+Table BuildMetricsTable(uint64_t write_lock_acquisitions) {
   Table out(Schema({{"name", ValueType::kString},
                     {"kind", ValueType::kString},
                     {"count", ValueType::kInt64},
@@ -60,6 +62,16 @@ Table BuildMetricsTable() {
                          DoubleOrNull(m.max), DoubleOrNull(m.p50),
                          DoubleOrNull(m.p95), DoubleOrNull(m.p99)});
   }
+  // Synthetic row, not an obs counter: it must survive the rollback
+  // Save/Restore that wipes everything a failed unit recorded, and it must
+  // be visible with observability disabled — it is the witness that
+  // concurrent snapshot reads never touched the write path.
+  double locks = static_cast<double>(write_lock_acquisitions);
+  out.AppendUnchecked(
+      {Value::String("engine.write_lock"), Value::String("counter"),
+       Value::Int(static_cast<int64_t>(write_lock_acquisitions)),
+       Value::Double(locks), DoubleOrNull(locks), DoubleOrNull(locks),
+       DoubleOrNull(locks), DoubleOrNull(locks), DoubleOrNull(locks)});
   return out;
 }
 
@@ -79,6 +91,18 @@ Table BuildSpansTable() {
   }
   return out;
 }
+
+/// Counting acquisition of the engine write mutex: every public entry
+/// point takes mu_ through this guard, so the engine.write_lock counter in
+/// dvms_metrics is an observable witness that concurrent snapshot reads
+/// never touched the write path.
+struct MuLock {
+  MuLock(std::recursive_mutex& mu, std::atomic<uint64_t>& acquisitions)
+      : lock(mu) {
+    acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::recursive_mutex> lock;
+};
 
 /// One-line operator annotation for the EXPLAIN report.
 std::string PlanNodeDetail(const PlanNode& node) {
@@ -131,6 +155,9 @@ Dvms::Dvms(Options options)
   if (options_.trace) obs::SetEnabled(true);
   InitGovernor();
   InitDurability();
+  // First publish: whatever state recovery restored (or an empty catalog)
+  // becomes epoch 1, so sessions always have a snapshot to read.
+  PublishSnapshotLocked();
 }
 
 Dvms::~Dvms() {
@@ -153,6 +180,7 @@ void Dvms::InitGovernor() {
   governor_config_.mem_budget = options_.mem_budget;
   governor_config_.max_inflight = options_.max_inflight;
   governor_config_.queue_ms = options_.queue_ms;
+  governor_config_.max_readers = options_.max_readers;
   governor_config_.clock = options_.governor_clock;
   governor_config_.FromEnv();
   governor_armed_ =
@@ -162,23 +190,32 @@ void Dvms::InitGovernor() {
     admission_ = std::make_unique<AdmissionGate>(
         governor_config_.max_inflight, governor_config_.queue_ms * 1000);
   }
+  // Always built (effectively unbounded at max_readers == 0) so reader
+  // admission accounting is exact even without a configured cap.
+  int reader_slots = governor_config_.max_readers > 0
+                         ? governor_config_.max_readers
+                         : std::numeric_limits<int>::max();
+  read_admission_ = std::make_unique<AdmissionGate>(
+      reader_slots, governor_config_.queue_ms * 1000);
 }
 
-Dvms::AdmissionTicket::AdmissionTicket(Dvms* dvms) : dvms_(dvms) {
+Dvms::AdmissionTicket::AdmissionTicket(Dvms* dvms, Gate gate) : dvms_(dvms) {
   // Nested entry points already hold an admission slot (and hold mu_ — a
   // blocking wait here would deadlock against the slot holder queued on
   // that mutex). Recovery replay and rollback are engine-internal work,
   // never client traffic.
-  if (dvms_->admission_ == nullptr || t_governed_depth > 0 ||
-      dvms_->replaying_ || governor::Suppressed()) {
+  if (t_governed_depth > 0 || dvms_->replaying_ || governor::Suppressed()) {
     return;
   }
-  status_ = dvms_->admission_->Enter();
+  gate_ = gate == Gate::kReader ? dvms_->read_admission_.get()
+                                : dvms_->admission_.get();
+  if (gate_ == nullptr) return;
+  status_ = gate_->Enter();
   admitted_ = status_.ok();
 }
 
 Dvms::AdmissionTicket::~AdmissionTicket() {
-  if (admitted_) dvms_->admission_->Leave();
+  if (admitted_) gate_->Leave();
 }
 
 Dvms::GovernedRequest::GovernedRequest(Dvms* dvms) : dvms_(dvms) {
@@ -200,7 +237,9 @@ Dvms::GovernedRequest::~GovernedRequest() {
     governor::InstallContext(prev_);
     // This runs after EndMutationUnit (rollback + obs::Restore) and while
     // mu_ is still held, so abort counters survive the rollback's metric
-    // rewind and never race.
+    // rewind. gov_mu_ (a leaf lock) serializes the fold against concurrent
+    // snapshot readers folding theirs.
+    std::lock_guard<std::mutex> gov_lock(dvms_->gov_mu_);
     GovernorStats& gs = dvms_->governor_stats_;
     gs.checkpoints += ctx_.checkpoints();
     if (ctx_.peak_bytes() > gs.peak_mem_bytes) {
@@ -237,16 +276,27 @@ void Dvms::RequestCancel() {
 }
 
 Dvms::GovernorStats Dvms::governor_stats() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  GovernorStats gs = governor_stats_;
+  // gov_mu_ + gate atomics + the snapshot manager's own lock: callable
+  // while a writer holds mu_ (e.g. from a concurrent monitoring thread).
+  GovernorStats gs;
+  {
+    std::lock_guard<std::mutex> lock(gov_mu_);
+    gs = governor_stats_;
+  }
   if (admission_ != nullptr) {
     gs.admitted = admission_->admitted();
     gs.rejected = admission_->rejected();
   }
+  gs.readers_admitted = read_admission_->admitted();
+  gs.readers_rejected = read_admission_->rejected();
+  gs.snapshot_epoch = static_cast<int64_t>(snapshots_.current_epoch());
+  gs.epochs_published = static_cast<int64_t>(snapshots_.epochs_published());
+  gs.epochs_retired = static_cast<int64_t>(snapshots_.epochs_retired());
+  gs.pinned_snapshots = snapshots_.pinned();
   return gs;
 }
 
-Table Dvms::BuildGovernorTableLocked() const {
+Table Dvms::BuildGovernorTable() const {
   Table out(Schema({{"name", ValueType::kString},
                     {"value", ValueType::kInt64}}));
   auto row = [&out](const char* name, int64_t value) {
@@ -257,15 +307,27 @@ Table Dvms::BuildGovernorTableLocked() const {
   row("mem_budget", governor_config_.mem_budget);
   row("max_inflight", governor_config_.max_inflight);
   row("queue_ms", governor_config_.queue_ms);
+  row("max_readers", governor_config_.max_readers);
   row("in_flight", admission_ != nullptr ? admission_->in_flight() : 0);
   row("admitted", admission_ != nullptr ? admission_->admitted() : 0);
   row("rejected", admission_ != nullptr ? admission_->rejected() : 0);
-  row("deadline_aborts",
-      static_cast<int64_t>(governor_stats_.deadline_aborts));
-  row("cancel_aborts", static_cast<int64_t>(governor_stats_.cancel_aborts));
-  row("mem_aborts", static_cast<int64_t>(governor_stats_.mem_aborts));
-  row("checkpoints", static_cast<int64_t>(governor_stats_.checkpoints));
-  row("peak_mem_bytes", governor_stats_.peak_mem_bytes);
+  row("readers_in_flight", read_admission_->in_flight());
+  row("readers_admitted", read_admission_->admitted());
+  row("readers_rejected", read_admission_->rejected());
+  {
+    std::lock_guard<std::mutex> lock(gov_mu_);
+    row("deadline_aborts",
+        static_cast<int64_t>(governor_stats_.deadline_aborts));
+    row("cancel_aborts", static_cast<int64_t>(governor_stats_.cancel_aborts));
+    row("mem_aborts", static_cast<int64_t>(governor_stats_.mem_aborts));
+    row("checkpoints", static_cast<int64_t>(governor_stats_.checkpoints));
+    row("peak_mem_bytes", governor_stats_.peak_mem_bytes);
+  }
+  row("snapshot_epoch", static_cast<int64_t>(snapshots_.current_epoch()));
+  row("epochs_published",
+      static_cast<int64_t>(snapshots_.epochs_published()));
+  row("epochs_retired", static_cast<int64_t>(snapshots_.epochs_retired()));
+  row("pinned_snapshots", snapshots_.pinned());
   return out;
 }
 
@@ -356,9 +418,10 @@ void Dvms::RollbackMutationUnit() {
 Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   DVMS_RETURN_IF_ERROR(
       catalog_.CreateTable(name, schema, RelationKind::kBase).status());
   WalRecord record;
@@ -377,9 +440,10 @@ Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
 Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   WalRecord record;
   if (ShouldLog()) {
     record.op = WalRecord::Op::kInsert;
@@ -407,9 +471,10 @@ Status Dvms::CreateScale(const std::string& name, double domain_min,
                          double range_max) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   WalRecord record;
   record.op = WalRecord::Op::kCreateScale;
   record.name = name;
@@ -441,17 +506,22 @@ Status Dvms::CreateScaleLocked(const std::string& name, double domain_min,
 }
 
 Result<const Table*> Dvms::GetTable(const std::string& name) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_.Get(name));
   return &table->current();
 }
 
 Status Dvms::Execute(const Statement& statement) {
-  AdmissionTicket ticket(this);
+  // Plan-level classification (never string matching): a bare EXPLAIN is
+  // the one read-only Statement form and draws a reader slot.
+  AdmissionTicket ticket(this, StatementIsReadOnly(statement)
+                                   ? AdmissionTicket::Gate::kReader
+                                   : AdmissionTicket::Gate::kWriter);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   DVMS_RETURN_IF_ERROR(ExecuteDispatch(statement));
   WalRecord record;
   if (ShouldLog()) {
@@ -558,9 +628,10 @@ Status Dvms::ExecuteDispatch(const Statement& statement) {
 Status Dvms::LoadProgram(const std::string& source) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   // Parsing touches nothing, so a typo'd program fails cleanly with the
   // log and memory still in agreement.
   DVMS_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
@@ -595,9 +666,12 @@ Status Dvms::LoadProgram(const std::string& source) {
 }
 
 Result<Table> Dvms::Query(const std::string& select_sql) {
-  AdmissionTicket ticket(this);
+  // Read-only by construction (ParseQuery only accepts SELECT / EXPLAIN):
+  // draws a reader slot, never a mutation slot. Still serialized under mu_
+  // — the lock-free concurrent path is Session::Query.
+  AdmissionTicket ticket(this, AdmissionTicket::Gate::kReader);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   obs::Span span("engine.query");
   DVMS_ASSIGN_OR_RETURN(QueryRequest req, ParseQuery(select_sql));
@@ -624,13 +698,14 @@ Status Dvms::SyncSystemRelationsLocked(const SelectStmt& select) {
     Table refreshed(Schema{});
     const char* canonical = nullptr;
     if (IdentEquals(name, kMetricsRelation)) {
-      refreshed = BuildMetricsTable();
+      refreshed = BuildMetricsTable(
+          write_lock_acquisitions_.load(std::memory_order_relaxed));
       canonical = kMetricsRelation;
     } else if (IdentEquals(name, kSpansRelation)) {
       refreshed = BuildSpansTable();
       canonical = kSpansRelation;
     } else if (IdentEquals(name, kGovernorRelation)) {
-      refreshed = BuildGovernorTableLocked();
+      refreshed = BuildGovernorTable();
       canonical = kGovernorRelation;
     } else {
       continue;
@@ -650,6 +725,13 @@ Status Dvms::SyncSystemRelationsLocked(const SelectStmt& select) {
 
 Result<Table> Dvms::ExplainLocked(const SelectStmt& select, bool analyze) {
   CatalogSchemaResolver resolver(&catalog_);
+  CatalogRelationSource source(&catalog_);
+  return ExplainWith(resolver, source, select, analyze);
+}
+
+Result<Table> Dvms::ExplainWith(const SchemaResolver& resolver,
+                                const RelationSource& source,
+                                const SelectStmt& select, bool analyze) {
   Planner planner(&resolver);
   DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(select));
   Binder binder(&resolver, &udfs_);
@@ -674,7 +756,7 @@ Result<Table> Dvms::ExplainLocked(const SelectStmt& select, bool analyze) {
     walk(*plan, 0);
     return report;
   }
-  Executor exec(&catalog_, &udfs_);
+  Executor exec(&source, &udfs_);
   ExecOptions exec_opts;
   exec_opts.pool = owned_pool_.get();
   exec_opts.num_threads = options_.num_threads;
@@ -777,9 +859,10 @@ Result<size_t> Dvms::Delete(const std::string& name,
                             const ExprPtr& predicate) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   WalRecord record;
   if (ShouldLog()) {
     record.op = WalRecord::Op::kDelete;
@@ -853,21 +936,22 @@ Status Dvms::RestoreToCursor() {
 }
 
 bool Dvms::CanUndo() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   return undo_cursor_ + 1 < undo_history_.size();
 }
 
 bool Dvms::CanRedo() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   return undo_cursor_ > 0;
 }
 
 Status Dvms::Undo() {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   WalRecord record;
   record.op = WalRecord::Op::kUndo;
   BeginMutationUnit();
@@ -887,9 +971,10 @@ Status Dvms::UndoLocked() {
 Status Dvms::Redo() {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   WalRecord record;
   record.op = WalRecord::Op::kRedo;
   BeginMutationUnit();
@@ -907,7 +992,7 @@ Status Dvms::RedoLocked() {
 }
 
 std::string Dvms::DumpState() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   std::string out = "relations:\n";
   for (const std::string& name : catalog_.Names()) {
     auto table = catalog_.Get(name);
@@ -955,7 +1040,7 @@ std::string Dvms::DumpState() const {
 }
 
 Result<std::string> Dvms::ExplainView(const std::string& name) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   DVMS_ASSIGN_OR_RETURN(const ViewDef* def, maintainer_.registry().Get(name));
   std::string out = "view " + def->name +
                     (def->renders ? " (marks, rendered)" : "") + "\n";
@@ -977,9 +1062,10 @@ Result<std::string> Dvms::ExplainView(const std::string& name) const {
 Status Dvms::PushEvent(const InputEvent& event) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   WalRecord record;
   if (ShouldLog()) {
     record.op = WalRecord::Op::kEvent;
@@ -1034,7 +1120,7 @@ Status Dvms::PushEventLocked(const InputEvent& event) {
 Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   for (const InputEvent& event : events) {
     DVMS_RETURN_IF_ERROR(PushEvent(event));
@@ -1045,7 +1131,7 @@ Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
 Status Dvms::Render() {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   BeginMutationUnit();
   return EndMutationUnit(RenderLocked());
@@ -1071,9 +1157,10 @@ Status Dvms::ComposeInteractions(const std::string& first,
                                  const std::string& merged_name) {
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   GovernedRequest request(this);
   LogScope log_scope(this);
+  SnapshotPublisher publish(this);
   DVMS_ASSIGN_OR_RETURN(const EventStmt* a, recognizer_.GetStatement(first));
   DVMS_ASSIGN_OR_RETURN(const EventStmt* b, recognizer_.GetStatement(second));
   DVMS_ASSIGN_OR_RETURN(EventStmt merged, MergeSequential(*a, *b));
@@ -1093,7 +1180,7 @@ Status Dvms::ComposeInteractions(const std::string& first,
 }
 
 std::vector<std::string> Dvms::AnalyzeInteractions() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   std::vector<std::pair<std::string, const CompiledPattern*>> patterns;
   for (const std::string& name : recognizer_.PatternNames()) {
     auto pattern = recognizer_.GetPattern(name);
@@ -1105,24 +1192,24 @@ std::vector<std::string> Dvms::AnalyzeInteractions() const {
 // ---- Durability ----
 
 Status Dvms::recovery_status() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   return recovery_status_;
 }
 
 DurabilityStats Dvms::durability_stats() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   if (durability_ == nullptr) return DurabilityStats{};
   return durability_->stats();
 }
 
 Status Dvms::FlushWal() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   if (durability_ == nullptr || durability_poisoned_) return Status::OK();
   return durability_->Flush();
 }
 
 Status Dvms::Checkpoint() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   if (durability_ == nullptr) {
     return Status::InvalidArgument("durability is not enabled (no data_dir)");
   }
@@ -1134,7 +1221,7 @@ Status Dvms::Checkpoint() {
 }
 
 void Dvms::AttachScheduler(StreamScheduler* scheduler) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MuLock lock(mu_, write_lock_acquisitions_);
   scheduler_ = scheduler;
   if (scheduler_ != nullptr && pending_scheduler_state_) {
     scheduler_->RestoreDurableState(std::move(scheduler_state_));
@@ -1385,6 +1472,118 @@ void Dvms::InitDurability() {
   size_t renders = stats_.renders;
   (void)RenderLocked();
   stats_.renders = renders;
+}
+
+// ---- Concurrent snapshot reads ----
+
+void Dvms::PublishSnapshotLocked() {
+  uint64_t before = snapshots_.current_epoch();
+  uint64_t after = snapshots_.Publish(catalog_);
+  if (obs::Enabled() && after != before) {
+    obs::Count("engine.snapshot_publishes");
+  }
+}
+
+Result<Table> Dvms::SnapshotRead(Session* session,
+                                 const std::string& select_sql) {
+  // Parse before admission: a syntax error should not consume a slot.
+  DVMS_ASSIGN_OR_RETURN(QueryRequest req, ParseQuery(select_sql));
+  AdmissionTicket ticket(this, AdmissionTicket::Gate::kReader);
+  DVMS_RETURN_IF_ERROR(ticket.status());
+  obs::Span span("session.query");
+
+  // Pin the epoch for the duration of the read: the session-pinned epoch
+  // if set, else the latest published one. shared_ptr ownership is the GC
+  // barrier; NotePin/NoteUnpin is pure accounting for leak checks.
+  const bool transient_pin = session->pinned_ == nullptr;
+  SnapshotPtr view =
+      transient_pin ? snapshots_.Acquire() : session->pinned_;
+  if (view == nullptr) {
+    return Status::Internal("no snapshot epoch published yet");
+  }
+  if (transient_pin) snapshots_.NotePin();
+  session->last_read_epoch_ = view->epoch();
+
+  // The session's own governor envelope: engine deadline/budget unless the
+  // session overrides them, plus the session-private cancel flag — so
+  // cancelling one session can never abort another's query.
+  QueryContext ctx;
+  int64_t deadline_ms = session->options_.deadline_ms >= 0
+                            ? session->options_.deadline_ms
+                            : governor_config_.deadline_ms;
+  int64_t mem_budget = session->options_.mem_budget >= 0
+                           ? session->options_.mem_budget
+                           : governor_config_.mem_budget;
+  ctx.ArmDeadline(deadline_ms, governor_config_.clock);
+  ctx.ArmMemoryBudget(mem_budget);
+  ctx.ShareCancelFlag(session->cancel_);
+
+  Result<Table> out = [&]() -> Result<Table> {
+    GovernorRequestScope scope(&ctx);
+    // System relations are rebuilt fresh from thread-safe obs/governor
+    // state and overlaid on the snapshot — never read from (or written
+    // to) the live catalog.
+    OverlaySnapshotView overlay(view.get());
+    std::vector<std::string> names;
+    CollectFromNames(req.select, &names);
+    for (const std::string& name : names) {
+      if (IdentEquals(name, kMetricsRelation)) {
+        overlay.AddOverlay(
+            kMetricsRelation,
+            BuildMetricsTable(
+                write_lock_acquisitions_.load(std::memory_order_relaxed)));
+      } else if (IdentEquals(name, kSpansRelation)) {
+        overlay.AddOverlay(kSpansRelation, BuildSpansTable());
+      } else if (IdentEquals(name, kGovernorRelation)) {
+        overlay.AddOverlay(kGovernorRelation, BuildGovernorTable());
+      }
+    }
+    if (req.explain) {
+      return ExplainWith(overlay, overlay, req.select, req.analyze);
+    }
+    Planner planner(&overlay);
+    DVMS_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanSelect(req.select));
+    Binder binder(&overlay, &udfs_);
+    DVMS_RETURN_IF_ERROR(binder.Bind(plan.get()));
+    Executor exec(static_cast<const RelationSource*>(&overlay), &udfs_);
+    ExecOptions exec_opts;
+    exec_opts.pool = owned_pool_.get();
+    exec_opts.num_threads = options_.num_threads;
+    DVMS_ASSIGN_OR_RETURN(std::unique_ptr<NodeResult> result,
+                          exec.Execute(*plan, exec_opts));
+    return std::move(result->table);
+  }();
+
+  // Fold the read's governor accounting; reader aborts land in the same
+  // counters the serialized writer uses, under the gov_mu_ leaf lock.
+  {
+    std::lock_guard<std::mutex> gov_lock(gov_mu_);
+    GovernorStats& gs = governor_stats_;
+    gs.checkpoints += ctx.checkpoints();
+    if (ctx.peak_bytes() > gs.peak_mem_bytes) {
+      gs.peak_mem_bytes = ctx.peak_bytes();
+    }
+    switch (ctx.abort_code()) {
+      case StatusCode::kDeadlineExceeded:
+        ++gs.deadline_aborts;
+        obs::Count("governor.deadline_aborts");
+        break;
+      case StatusCode::kCancelled:
+        ++gs.cancel_aborts;
+        // One cancel aborts one query of this session.
+        session->cancel_->store(false, std::memory_order_relaxed);
+        obs::Count("governor.cancel_aborts");
+        break;
+      case StatusCode::kResourceExhausted:
+        ++gs.mem_aborts;
+        obs::Count("governor.mem_aborts");
+        break;
+      default:
+        break;
+    }
+  }
+  if (transient_pin) snapshots_.NoteUnpin();
+  return out;
 }
 
 }  // namespace dvms

@@ -1,6 +1,7 @@
 #ifndef DVMS_CORE_DVMS_H_
 #define DVMS_CORE_DVMS_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "concurrency/snapshot.h"
 #include "durability/log_record.h"
 #include "durability/manager.h"
 #include "durability/snapshot.h"
@@ -28,6 +30,8 @@
 #include "streaming/scheduler.h"
 
 namespace dvms {
+
+class Session;
 
 /// The Data Visualization Management System engine of Figure 3.
 ///
@@ -105,6 +109,11 @@ class Dvms {
     /// How long an arrival may wait for an in-flight slot before being
     /// shed. 0 = DVMS_QUEUE_MS, or shed immediately at capacity.
     int64_t queue_ms = 0;
+    /// Concurrent snapshot-read slots (Session queries and read-only
+    /// Query/EXPLAIN calls). Readers are accounted separately from the
+    /// max_inflight mutation slots so dashboards polling dvms_metrics can
+    /// never starve interactions. 0 = DVMS_MAX_READERS, or unbounded.
+    int max_readers = 0;
     /// Injectable governor clock (microseconds, monotonic) so deadline
     /// tests are deterministic. nullptr = steady clock.
     QueryContext::Clock governor_clock;
@@ -260,10 +269,26 @@ class Dvms {
     size_t mem_aborts = 0;      // memory-budget aborts
     uint64_t checkpoints = 0;   // cooperative checks across all requests
     int64_t peak_mem_bytes = 0; // largest per-request transient footprint
-    int64_t admitted = 0;
+    int64_t admitted = 0;       // mutation slots granted
     int64_t rejected = 0;       // shed with kResourceExhausted at the gate
+    // Reader-side accounting (snapshot reads never take mutation slots).
+    int64_t readers_admitted = 0;
+    int64_t readers_rejected = 0;
+    // Snapshot-epoch lifecycle, for pinned-epoch leak checks.
+    int64_t snapshot_epoch = 0;    // latest published epoch (0 = none yet)
+    int64_t epochs_published = 0;
+    int64_t epochs_retired = 0;    // published views since destroyed
+    int64_t pinned_snapshots = 0;  // live pins (sessions + in-flight reads)
   };
   GovernorStats governor_stats() const;
+
+  // ---- Concurrent snapshot reads ----
+
+  /// Monotone epoch of the latest published engine snapshot: bumped at the
+  /// end of every mutation unit that changed any relation, after the WAL
+  /// append — readers can never observe an unpublished (or rolled-back)
+  /// state. 0 before the first publish.
+  uint64_t published_epoch() const { return snapshots_.current_epoch(); }
 
   struct Stats {
     size_t events_processed = 0;
@@ -279,6 +304,8 @@ class Dvms {
   const Stats& stats() const { return stats_; }
 
  private:
+  friend class Session;
+
   struct TraceDefEntry {
     std::string name;
     TraceStmt stmt;
@@ -366,7 +393,11 @@ class Dvms {
   /// skip the gate.
   class AdmissionTicket {
    public:
-    explicit AdmissionTicket(Dvms* dvms);
+    /// Which accounting pool the request draws from: mutations take
+    /// max_inflight slots, snapshot reads take max_readers slots.
+    enum class Gate { kWriter, kReader };
+
+    explicit AdmissionTicket(Dvms* dvms, Gate gate = Gate::kWriter);
     ~AdmissionTicket();
     AdmissionTicket(const AdmissionTicket&) = delete;
     AdmissionTicket& operator=(const AdmissionTicket&) = delete;
@@ -376,6 +407,7 @@ class Dvms {
 
    private:
     Dvms* dvms_;
+    AdmissionGate* gate_ = nullptr;
     bool admitted_ = false;
     Status status_;
   };
@@ -406,7 +438,50 @@ class Dvms {
   void InitGovernor();
 
   /// Snapshot of knobs + counters for the dvms_governor system relation.
-  Table BuildGovernorTableLocked() const;
+  /// Safe without mu_ (immutable config, gate atomics, gov_mu_ for the
+  /// fold counters) so concurrent session reads can build it too.
+  Table BuildGovernorTable() const;
+
+  // ---- Snapshot-read plumbing ----
+
+  /// Publishes the catalog as an immutable snapshot epoch. Requires mu_;
+  /// incremental (relations whose mutation epoch did not move are shared
+  /// with the previous epoch) and a no-op when nothing changed — a rolled
+  /// back unit restores every epoch, so aborts publish nothing.
+  void PublishSnapshotLocked();
+
+  /// RAII publish at the close of a public mutating entry point: the
+  /// destructor runs after EndMutationUnit / LogCommitted but while mu_ is
+  /// still held, on success and error paths alike. Only the outermost
+  /// entry point publishes (nested calls see log_depth_ > 1), and replay
+  /// publishes once at the end of recovery instead of per record.
+  class SnapshotPublisher {
+   public:
+    explicit SnapshotPublisher(Dvms* dvms)
+        : dvms_(dvms),
+          active_(dvms->log_depth_ == 1 && !dvms->replaying_) {}
+    ~SnapshotPublisher() {
+      if (active_) dvms_->PublishSnapshotLocked();
+    }
+    SnapshotPublisher(const SnapshotPublisher&) = delete;
+    SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+   private:
+    Dvms* dvms_;
+    bool active_;
+  };
+
+  /// The lock-free read path behind Session::Query: parse, admit through
+  /// the reader gate, pin a snapshot epoch (the session-pinned epoch if
+  /// set), overlay freshly built system relations, then plan/bind/execute
+  /// entirely against immutable state. Never acquires mu_.
+  Result<Table> SnapshotRead(Session* session, const std::string& select_sql);
+
+  /// EXPLAIN [ANALYZE] report over an arbitrary resolver/source pair —
+  /// shared by the locked path (live catalog) and snapshot reads.
+  Result<Table> ExplainWith(const SchemaResolver& resolver,
+                            const RelationSource& source,
+                            const SelectStmt& select, bool analyze);
 
   // ---- Durability plumbing ----
 
@@ -499,10 +574,23 @@ class Dvms {
   bool governor_armed_ = false;
   /// Admission gate; null when max_inflight is unbounded.
   std::unique_ptr<AdmissionGate> admission_;
+  /// Reader gate: always constructed (effectively unbounded when
+  /// max_readers is 0) so reader admission/rejection accounting is exact.
+  std::unique_ptr<AdmissionGate> read_admission_;
   /// Cancel flag shared into each request's QueryContext so
   /// RequestCancel() works lock-free from any thread.
   std::shared_ptr<std::atomic<bool>> cancel_flag_;
+  /// Guards governor_stats_ alone (a leaf lock): the serialized writer
+  /// folds request accounting under mu_ + gov_mu_, concurrent readers fold
+  /// theirs under gov_mu_ only.
+  mutable std::mutex gov_mu_;
   GovernorStats governor_stats_;
+  /// Published immutable snapshot epochs for lock-free readers.
+  SnapshotManager snapshots_;
+  /// Times mu_ was taken, surfaced as the synthetic engine.write_lock row
+  /// of dvms_metrics. A plain atomic (not an obs counter) so rollback's
+  /// obs Save/Restore cannot rewind it and it works with obs disabled.
+  mutable std::atomic<uint64_t> write_lock_acquisitions_{0};
   /// Injector built from Options::fault_spec (installed process-wide for
   /// this engine's lifetime).
   std::unique_ptr<FaultInjector> owned_injector_;

@@ -14,9 +14,13 @@ int64_t SteadyNowMicros() {
       .count();
 }
 
-// Process-wide installed context + suppression depth, mirroring the fault
-// injector: the unarmed hot path is one relaxed load and a null check.
-std::atomic<QueryContext*> g_context{nullptr};
+// Per-thread installed context: concurrent readers each govern their own
+// request, so the context can no longer be process-wide. Pool workers
+// inherit the submitting thread's context via ThreadPool::ParallelFor
+// (which captures Current() at submission and installs it around each
+// participant). Suppression stays process-wide for the same reason as
+// FaultSuppressScope: a rollback re-render fans out onto pool threads.
+thread_local QueryContext* t_context = nullptr;
 std::atomic<int> g_suppress_depth{0};
 
 // Fail-loud env parsing (same rationale as DVMS_FAULTS): a governor knob
@@ -105,10 +109,12 @@ void QueryContext::Release(int64_t bytes) {
 
 namespace governor {
 
-QueryContext* Current() { return g_context.load(std::memory_order_relaxed); }
+QueryContext* Current() { return t_context; }
 
 QueryContext* InstallContext(QueryContext* ctx) {
-  return g_context.exchange(ctx, std::memory_order_acq_rel);
+  QueryContext* prev = t_context;
+  t_context = ctx;
+  return prev;
 }
 
 bool Suppressed() {
@@ -116,21 +122,21 @@ bool Suppressed() {
 }
 
 Status CheckPoint() {
-  QueryContext* ctx = g_context.load(std::memory_order_relaxed);
+  QueryContext* ctx = t_context;
   if (ctx == nullptr) return Status::OK();
   if (Suppressed()) return Status::OK();
   return ctx->Check();
 }
 
 Status ChargeMemory(int64_t bytes) {
-  QueryContext* ctx = g_context.load(std::memory_order_relaxed);
+  QueryContext* ctx = t_context;
   if (ctx == nullptr) return Status::OK();
   if (Suppressed()) return Status::OK();
   return ctx->Charge(bytes);
 }
 
 void ReleaseMemory(int64_t bytes) {
-  QueryContext* ctx = g_context.load(std::memory_order_relaxed);
+  QueryContext* ctx = t_context;
   if (ctx == nullptr) return;
   if (Suppressed()) return;
   ctx->Release(bytes);
@@ -180,6 +186,9 @@ void GovernorConfig::FromEnv() {
     max_inflight = static_cast<int>(EnvInt64OrDie("DVMS_MAX_INFLIGHT"));
   }
   if (queue_ms == 0) queue_ms = EnvInt64OrDie("DVMS_QUEUE_MS");
+  if (max_readers == 0) {
+    max_readers = static_cast<int>(EnvInt64OrDie("DVMS_MAX_READERS"));
+  }
 }
 
 }  // namespace dvms

@@ -15,10 +15,11 @@ namespace dvms {
 
 /// Per-request resource envelope: an absolute deadline on an injectable
 /// clock, a cancel flag another thread may raise, and a transient-memory
-/// budget. One QueryContext is installed process-wide for the duration of
-/// an outermost Dvms entry point (the engine serializes requests under its
-/// mutex, so at most one is ever live); work that fans out onto pool
-/// threads reads it through governor::CheckPoint() / ChargeMemory().
+/// budget. One QueryContext is installed per thread for the duration of a
+/// request on that thread (concurrent snapshot readers each govern their
+/// own request); work that fans out onto pool threads inherits the
+/// submitting thread's context through ThreadPool::ParallelFor and reads
+/// it through governor::CheckPoint() / ChargeMemory().
 ///
 /// All hot-path members are relaxed atomics: a check is one atomic load of
 /// the installed-context pointer (nullptr when unarmed) plus, when armed,
@@ -85,13 +86,14 @@ class QueryContext {
 
 namespace governor {
 
-/// The context governing the in-flight request, or nullptr when unarmed.
-/// Mirrors fault::Active(): process-wide because morsel work fans out onto
-/// pool worker threads that must observe the same deadline.
+/// The context governing this thread's in-flight request, or nullptr when
+/// unarmed. Thread-local so concurrent snapshot readers and the serialized
+/// writer each observe their own envelope; ThreadPool::ParallelFor
+/// propagates the submitter's context onto pool workers.
 QueryContext* Current();
 
-/// Installs `ctx` process-wide (nullptr disarms). Returns the previous
-/// context. Callers hold the engine mutex, so installs never race.
+/// Installs `ctx` on the calling thread (nullptr disarms). Returns the
+/// previous context so scopes nest.
 QueryContext* InstallContext(QueryContext* ctx);
 
 /// Null-safe, suppression-aware cooperative check: one relaxed load when
@@ -170,13 +172,14 @@ class AdmissionGate {
 };
 
 /// Engine-level governor configuration, resolved from Dvms::Options with
-/// DVMS_DEADLINE_MS / DVMS_MEM_BUDGET / DVMS_MAX_INFLIGHT / DVMS_QUEUE_MS
-/// environment fallbacks (see GovernorConfig::FromEnv).
+/// DVMS_DEADLINE_MS / DVMS_MEM_BUDGET / DVMS_MAX_INFLIGHT / DVMS_QUEUE_MS /
+/// DVMS_MAX_READERS environment fallbacks (see GovernorConfig::FromEnv).
 struct GovernorConfig {
   int64_t deadline_ms = 0;   // 0 = no deadline
   int64_t mem_budget = 0;    // bytes; 0 = no budget
-  int max_inflight = 0;      // 0 = no admission control
+  int max_inflight = 0;      // mutation slots; 0 = no admission control
   int64_t queue_ms = 0;      // wait before shedding when at capacity
+  int max_readers = 0;       // concurrent read slots; 0 = unlimited
   QueryContext::Clock clock; // injectable for tests; nullptr = steady clock
 
   bool armed() const {

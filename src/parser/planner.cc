@@ -435,6 +435,10 @@ Result<PlanPtr> Planner::PlanCore(const SelectCore& core) const {
   return result;
 }
 
+bool StatementIsReadOnly(const Statement& stmt) {
+  return stmt.kind == Statement::Kind::kExplain && stmt.target_name.empty();
+}
+
 Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) const {
   if (stmt.cores.empty()) {
     return Status::ParseError("empty select statement");

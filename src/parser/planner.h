@@ -8,6 +8,15 @@
 
 namespace dvms {
 
+/// Plan-level read/write classification for the engine's admission split.
+/// A statement is read-only iff executing it cannot mutate catalog state:
+/// today that is exactly the bare `EXPLAIN [ANALYZE] SELECT ...` form
+/// (empty target_name — a named EXPLAIN materializes its report as a
+/// relation). Standalone SELECTs arrive via ParseQuery, not Statement, and
+/// are read-only by construction. Derived from the parsed AST, never from
+/// string matching.
+bool StatementIsReadOnly(const Statement& stmt);
+
 /// Lowers SELECT ASTs into logical plans. Performs the rule-based
 /// optimizations the DVMS Interaction Manager applies offline:
 ///   * extraction of equi-join conjuncts from WHERE into hash-join keys,

@@ -26,21 +26,6 @@ constexpr size_t kSerialCheckRows = 1024;
 /// Group-by / dedup key: a row of values with value-equality semantics.
 using KeyMap = std::unordered_map<Row, size_t, RowHash, RowEq>;
 
-Result<TablePtr> ReadRelation(const Catalog& catalog,
-                              const std::string& relation,
-                              const VersionRef& version) {
-  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog.Get(relation));
-  switch (version.kind) {
-    case VersionRef::Kind::kCurrent:
-      return MakeTablePtr(table->current());
-    case VersionRef::Kind::kVnow:
-      return table->Version(version.offset);
-    case VersionRef::Kind::kTnow:
-      return table->StepVersion(version.offset);
-  }
-  return Status::Internal("bad version ref");
-}
-
 struct AggState {
   double sum = 0.0;
   int64_t count = 0;      // non-null inputs (or all rows for COUNT(*))
@@ -141,6 +126,20 @@ Status ForEachMorsel(const ParallelCfg& cfg, size_t total, Fn&& fn) {
 
 }  // namespace
 
+Result<TablePtr> CatalogRelationSource::Read(const std::string& relation,
+                                             const VersionRef& version) const {
+  DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(relation));
+  switch (version.kind) {
+    case VersionRef::Kind::kCurrent:
+      return MakeTablePtr(table->current());
+    case VersionRef::Kind::kVnow:
+      return table->Version(version.offset);
+    case VersionRef::Kind::kTnow:
+      return table->StepVersion(version.offset);
+  }
+  return Status::Internal("bad version ref");
+}
+
 Result<Executor::InSets> Executor::BuildInSets(const PlanNode& plan) const {
   InSets sets;
   std::vector<std::string> names;
@@ -148,9 +147,9 @@ Result<Executor::InSets> Executor::BuildInSets(const PlanNode& plan) const {
   for (const std::string& name : names) {
     std::string key = IdentKey(name);
     if (sets.count(key) > 0) continue;
-    DVMS_ASSIGN_OR_RETURN(VersionedTable * table, catalog_->Get(name));
+    DVMS_ASSIGN_OR_RETURN(TablePtr table, source_->Read(name, VersionRef{}));
     auto set = std::make_shared<ValueSet>();
-    const Table& t = table->current();
+    const Table& t = *table;
     if (t.schema().num_columns() == 0) {
       return Status::ExecutionError("IN-relation '" + name + "' has no columns");
     }
@@ -184,7 +183,7 @@ Result<std::unique_ptr<NodeResult>> Executor::ExecScan(
   auto out = std::make_unique<NodeResult>();
   out->node = &node;
   DVMS_ASSIGN_OR_RETURN(TablePtr src,
-                        ReadRelation(*catalog_, node.relation, node.version));
+                        source_->Read(node.relation, node.version));
   // Morsel-parallel row copy; each morsel writes a disjoint slice.
   const std::vector<Row>& src_rows = src->rows();
   DVMS_RETURN_IF_ERROR(governor::CheckPoint());

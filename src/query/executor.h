@@ -60,12 +60,41 @@ struct ExecOptions {
   bool analyze = false;
 };
 
+/// Where the executor reads relations from. The engine's locked path reads
+/// the live catalog; concurrent session reads go through an immutable
+/// snapshot view (see concurrency/snapshot.h) so no scan ever touches
+/// mutable storage.
+class RelationSource {
+ public:
+  virtual ~RelationSource() = default;
+  /// Resolves `relation` at `version` to an immutable table.
+  virtual Result<TablePtr> Read(const std::string& relation,
+                                const VersionRef& version) const = 0;
+};
+
+/// RelationSource over the live catalog. Callers must hold the engine
+/// write lock (or otherwise guarantee no concurrent mutation).
+class CatalogRelationSource final : public RelationSource {
+ public:
+  explicit CatalogRelationSource(const Catalog* catalog) : catalog_(catalog) {}
+  Result<TablePtr> Read(const std::string& relation,
+                        const VersionRef& version) const override;
+
+ private:
+  const Catalog* catalog_;
+};
+
 /// Pull-style materializing executor over bound plans. Stateless; reads
-/// relations from the catalog at the versions named by Scan nodes.
+/// relations from a RelationSource at the versions named by Scan nodes.
 class Executor {
  public:
   Executor(const Catalog* catalog, const UdfRegistry* udfs)
-      : catalog_(catalog), udfs_(udfs) {}
+      : owned_source_(std::make_unique<CatalogRelationSource>(catalog)),
+        source_(owned_source_.get()),
+        udfs_(udfs) {}
+
+  Executor(const RelationSource* source, const UdfRegistry* udfs)
+      : source_(source), udfs_(udfs) {}
 
   /// Executes a bound plan. Returns the full operator-result tree.
   Result<std::unique_ptr<NodeResult>> Execute(const PlanNode& plan,
@@ -93,7 +122,8 @@ class Executor {
   Result<std::unique_ptr<NodeResult>> ExecScan(const PlanNode& node,
                                                const ExecOptions& opts) const;
 
-  const Catalog* catalog_;
+  std::unique_ptr<CatalogRelationSource> owned_source_;
+  const RelationSource* source_;
   const UdfRegistry* udfs_;
 };
 

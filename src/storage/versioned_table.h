@@ -143,6 +143,18 @@ class VersionedTable {
   /// the current transaction").
   Result<TablePtr> StepVersion(size_t j) const;
 
+  // ---- Snapshot publishing (concurrent readers) ----
+  // Cheap structural access for SnapshotManager::Publish, which freezes a
+  // relation's full version history into an immutable RelationSnapshot at
+  // the end of a mutation unit (under the engine write lock). The shared
+  // TablePtr histories make this O(history length), not O(rows); only the
+  // working state is deep-copied, and only for relations whose epoch moved.
+
+  const Schema& declared_schema() const { return declared_schema_; }
+  const std::vector<TablePtr>& committed_versions() const { return committed_; }
+  const std::vector<TablePtr>& step_versions() const { return steps_; }
+  const TablePtr& transaction_base() const { return txn_base_; }
+
  private:
   /// Version metadata snapshot: cheap (vectors of shared_ptr + flags).
   struct UndoMeta {

@@ -1,0 +1,233 @@
+// Snapshot-read invariants: a session pinned at epoch e observes a
+// bit-identical table state before, during, and after concurrent mutation
+// units commit, abort on a governor deadline, or roll back from an
+// injected storage fault — and epoch garbage collection (shared_ptr
+// reclamation of retired EngineSnapshotViews) can never touch an epoch a
+// session still pins. The ASan+UBSan ci leg re-runs this suite to verify
+// the GC claim at the allocator level, not just through the counters.
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/dvms.h"
+#include "core/session.h"
+#include "governor/governor.h"
+#include "parser/parser.h"
+#include "gtest/gtest.h"
+
+namespace dvms {
+namespace {
+
+constexpr const char* kReadQuery = "SELECT id, v FROM T ORDER BY id, v";
+
+std::string Fingerprint(const Table& table) {
+  std::ostringstream out;
+  for (const Row& row : table.rows()) {
+    for (const Value& v : row) out << v.ToString() << '|';
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::vector<Row> MakeRows(int64_t first_id, int64_t count) {
+  std::vector<Row> rows;
+  for (int64_t j = 0; j < count; ++j) {
+    int64_t id = first_id + j;
+    rows.push_back({Value::Int(id), Value::Double((id * 37) % 101)});
+  }
+  return rows;
+}
+
+std::unique_ptr<Dvms> MakeEngine(Dvms::Options options = Dvms::Options()) {
+  options.canvas_width = 100;
+  options.canvas_height = 100;
+  auto engine = std::make_unique<Dvms>(options);
+  Schema schema({{"id", ValueType::kInt64}, {"v", ValueType::kDouble}});
+  EXPECT_TRUE(engine->CreateBaseTable("T", schema).ok());
+  EXPECT_TRUE(engine->Insert("T", MakeRows(0, 32)).ok());
+  return engine;
+}
+
+/// Step-controlled fake clock (governor_test idiom): each read advances
+/// the counter by `step` microseconds; step = 0 freezes time.
+struct FakeClock {
+  std::shared_ptr<std::atomic<int64_t>> now =
+      std::make_shared<std::atomic<int64_t>>(0);
+  std::shared_ptr<std::atomic<int64_t>> step =
+      std::make_shared<std::atomic<int64_t>>(0);
+  QueryContext::Clock fn() const {
+    auto n = now;
+    auto s = step;
+    return [n, s] { return n->fetch_add(s->load()); };
+  }
+};
+
+TEST(SnapshotIsolationTest, PinnedReaderUnaffectedByCommits) {
+  auto engine = MakeEngine();
+  Session pinned(engine.get());
+  ASSERT_TRUE(pinned.Pin().ok());
+  const uint64_t e = pinned.pinned_epoch();
+  auto before = pinned.Query(kReadQuery);
+  ASSERT_TRUE(before.ok());
+  const std::string fp = Fingerprint(before.value());
+
+  // Commits interleave with pinned reads: inserts, then a delete that
+  // rewrites rows the pinned snapshot is still serving.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(engine->Insert("T", MakeRows(100 + round * 8, 8)).ok());
+    auto during = pinned.Query(kReadQuery);
+    ASSERT_TRUE(during.ok());
+    EXPECT_EQ(Fingerprint(during.value()), fp) << "round " << round;
+    EXPECT_EQ(pinned.last_read_epoch(), e);
+  }
+  ASSERT_TRUE(
+      engine->Delete("T", ParseExpression("id < 16").value()).ok());
+  auto after = pinned.Query(kReadQuery);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Fingerprint(after.value()), fp);
+
+  // An unpinned session sees the latest commit; unpinning rejoins it.
+  Session fresh(engine.get());
+  auto latest = fresh.Query(kReadQuery);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_NE(Fingerprint(latest.value()), fp);
+  pinned.Unpin();
+  auto rejoined = pinned.Query(kReadQuery);
+  ASSERT_TRUE(rejoined.ok());
+  EXPECT_EQ(Fingerprint(rejoined.value()), Fingerprint(latest.value()));
+}
+
+TEST(SnapshotIsolationTest, DeadlineAbortedMutationPublishesNothing) {
+  FakeClock clock;
+  Dvms::Options options;
+  options.deadline_ms = 50;
+  options.governor_clock = clock.fn();
+  auto engine = MakeEngine(options);
+  // Enough governed work per mutation (view maintenance + rasterization)
+  // that the stepping clock crosses the deadline mid-unit.
+  ASSERT_TRUE(engine->LoadProgram(R"(
+    totals = SELECT id, SUM(v) AS total FROM T GROUP BY id;
+    MARKS = SELECT 3 AS radius, 'blue' AS fill,
+        linear_scale(t.total, 0, 5000, 0, 90) AS center_x,
+        linear_scale(t.id, 0, 600, 0, 90) AS center_y
+      FROM totals AS t;
+    P = render(SELECT * FROM MARKS);
+  )")
+                  .ok());
+
+  Session session(engine.get());
+  ASSERT_TRUE(session.Pin().ok());
+  auto before = session.Query(kReadQuery);
+  ASSERT_TRUE(before.ok());
+  const std::string fp = Fingerprint(before.value());
+  const uint64_t published = engine->published_epoch();
+
+  // 20 ms per clock read: the mutation's view maintenance blows the 50 ms
+  // deadline and the unit rolls back all-or-nothing.
+  clock.step->store(20'000);
+  Status st = engine->Insert("T", MakeRows(500, 64));
+  clock.step->store(0);
+  ASSERT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+
+  // Nothing was published: same epoch, and both the pinned view and a
+  // fresh unpinned read reproduce the pre-abort state bit-for-bit.
+  EXPECT_EQ(engine->published_epoch(), published);
+  auto pinned_read = session.Query(kReadQuery);
+  ASSERT_TRUE(pinned_read.ok());
+  EXPECT_EQ(Fingerprint(pinned_read.value()), fp);
+  Session fresh(engine.get());
+  auto fresh_read = fresh.Query(kReadQuery);
+  ASSERT_TRUE(fresh_read.ok());
+  EXPECT_EQ(Fingerprint(fresh_read.value()), fp);
+}
+
+TEST(SnapshotIsolationTest, FaultRollbackPublishesNothing) {
+  auto engine = MakeEngine();
+  Session session(engine.get());
+  ASSERT_TRUE(session.Pin().ok());
+  auto before = session.Query(kReadQuery);
+  ASSERT_TRUE(before.ok());
+  const std::string fp = Fingerprint(before.value());
+  const uint64_t published = engine->published_epoch();
+  const int64_t epochs_before = engine->governor_stats().epochs_published;
+
+  {
+    FaultConfig config = ParseFaultSpec("7:1.0:storage").value();
+    config.max_injections = 1;
+    ScopedFaultInjector scoped(config);
+    Status st = engine->Insert("T", MakeRows(500, 8));
+    ASSERT_FALSE(st.ok());
+  }
+
+  EXPECT_EQ(engine->published_epoch(), published);
+  EXPECT_EQ(engine->governor_stats().epochs_published, epochs_before);
+  auto pinned_read = session.Query(kReadQuery);
+  ASSERT_TRUE(pinned_read.ok());
+  EXPECT_EQ(Fingerprint(pinned_read.value()), fp);
+  Session fresh(engine.get());
+  auto fresh_read = fresh.Query(kReadQuery);
+  ASSERT_TRUE(fresh_read.ok());
+  EXPECT_EQ(Fingerprint(fresh_read.value()), fp);
+
+  // The engine is not wedged: the same insert commits cleanly now and
+  // publishes exactly one new epoch.
+  ASSERT_TRUE(engine->Insert("T", MakeRows(500, 8)).ok());
+  EXPECT_EQ(engine->published_epoch(), published + 1);
+}
+
+TEST(SnapshotIsolationTest, GcNeverReclaimsAPinnedEpoch) {
+  auto engine = MakeEngine();
+  Session session(engine.get());
+  ASSERT_TRUE(session.Pin().ok());
+  const uint64_t e = session.pinned_epoch();
+  auto before = session.Query(kReadQuery);
+  ASSERT_TRUE(before.ok());
+  const std::string fp = Fingerprint(before.value());
+
+  // 50 committed epochs later, the pinned view must still be fully alive
+  // (ASan would flag a reclaimed table) while every intermediate unpinned
+  // epoch is free to retire.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine->Insert("T", MakeRows(1000 + i, 1)).ok());
+    if (i % 10 == 0) {
+      auto read = session.Query(kReadQuery);
+      ASSERT_TRUE(read.ok());
+      ASSERT_EQ(Fingerprint(read.value()), fp) << "after commit " << i;
+    }
+  }
+  Dvms::GovernorStats stats = engine->governor_stats();
+  EXPECT_EQ(stats.pinned_snapshots, 1);
+  EXPECT_GE(stats.epochs_published, 50);
+  EXPECT_GT(stats.epochs_retired, 0);  // the unpinned middles did retire
+  EXPECT_EQ(session.pinned_epoch(), e);
+  auto last = session.Query(kReadQuery);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(Fingerprint(last.value()), fp);
+
+  session.Unpin();
+  EXPECT_EQ(engine->governor_stats().pinned_snapshots, 0);
+}
+
+TEST(SnapshotIsolationTest, RepinMovesToTheLatestEpoch) {
+  auto engine = MakeEngine();
+  Session session(engine.get());
+  ASSERT_TRUE(session.Pin().ok());
+  const uint64_t first = session.pinned_epoch();
+  ASSERT_TRUE(engine->Insert("T", MakeRows(600, 4)).ok());
+  ASSERT_TRUE(session.Pin().ok());  // re-pin: moves, never stacks
+  EXPECT_GT(session.pinned_epoch(), first);
+  EXPECT_EQ(engine->governor_stats().pinned_snapshots, 1);
+  auto read = session.Query(kReadQuery);
+  ASSERT_TRUE(read.ok());
+  Session fresh(engine.get());
+  auto latest = fresh.Query(kReadQuery);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(Fingerprint(read.value()), Fingerprint(latest.value()));
+}
+
+}  // namespace
+}  // namespace dvms
