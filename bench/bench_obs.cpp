@@ -19,6 +19,7 @@
 #include "benchmark/benchmark.h"
 #include "common/rng.h"
 #include "core/dvms.h"
+#include "core/session.h"
 #include "obs/trace.h"
 
 namespace {
@@ -183,7 +184,10 @@ void PrintExplainAnalyze() {
   if (engine == nullptr) return;
   (void)engine->PushEvent(InputEvent::MouseDown(0, 10, 10));
   (void)engine->PushEvent(InputEvent::MouseMove(1, 200, 200));
-  auto report = engine->Query(
+  // Through a read session: EXPLAIN ANALYZE is a read and takes the same
+  // lock-free snapshot path as any other session query.
+  Session session(engine.get());
+  auto report = session.Query(
       "EXPLAIN ANALYZE SELECT SP.productId AS productId "
       "FROM BBOX, SPLOT_POINTS@vnow-1 AS SP "
       "WHERE in_rectangle(SP.center_x, SP.center_y, "

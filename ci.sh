@@ -114,6 +114,26 @@ if grep -q '"pass": false' BENCH_sessions.json; then
   echo "concurrent session reads regressed below serial" >&2; exit 1
 fi
 
+# Replication: tail-apply throughput + steady-state lag, failover promotion
+# time, and tailing under injected replication faults. Gates are
+# 1-core-safe: the replica must converge to the primary's final LSN (zero
+# lag after quiesce), promotion must yield a writable engine, and faults
+# may only slow the tail, never break convergence.
+REPL_LINES="$PWD/build/bench_replication_lines.jsonl"
+rm -f "$REPL_LINES"
+DVMS_BENCH_JSON="$REPL_LINES" ./build/bench/bench_replication \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$REPL_LINES"
+  printf ']\n'
+} > BENCH_replication.json
+echo "wrote BENCH_replication.json:"
+cat BENCH_replication.json
+if grep -q '"pass": false' BENCH_replication.json; then
+  echo "replication diverged, stalled, or failed to promote" >&2; exit 1
+fi
+
 # Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
 # parallelism through every test regardless of host core count — including
 # the linearizability stress harness (1/2/4/8 reader sessions racing the
@@ -133,7 +153,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session|Replication|Replica')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
 # Governed-abort leg: deadline/cancel/memory-budget aborts and their

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/dvms.h"
+#include "core/session.h"
 #include "workload/tpch.h"
 
 namespace {
@@ -198,7 +199,8 @@ int main() {
   // Bar-height scale sized to the largest monthly total (months have the
   // smallest group count, so the largest bars).
   Result<Table> totals =
-      engine.Query("SELECT region, SUM(revenue) AS r FROM Sales GROUP BY region");
+      Session(&engine).Query(
+          "SELECT region, SUM(revenue) AS r FROM Sales GROUP BY region");
   if (!totals.ok()) {
     std::fprintf(stderr, "setup query: %s\n", totals.status().ToString().c_str());
     return 1;

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/dvms.h"
+#include "core/session.h"
 
 int main() {
   using namespace dvms;
@@ -65,9 +66,11 @@ int main() {
   std::printf("SPLOT_POINTS (%zu marks):\n%s\n", marks->num_rows(),
               marks->ToString(6).c_str());
 
-  // ...run an ad-hoc query...
+  // ...run an ad-hoc query through a read session — the snapshot-isolated,
+  // lock-free path concurrent readers (dashboards, replicas) use...
+  Session session(&engine);
   Table summary =
-      engine.Query("SELECT COUNT(*) AS n, AVG(revenue) AS avg_rev FROM Sales")
+      session.Query("SELECT COUNT(*) AS n, AVG(revenue) AS avg_rev FROM Sales")
           .value();
   std::printf("Summary:\n%s\n", summary.ToString().c_str());
 

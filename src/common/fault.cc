@@ -10,8 +10,9 @@ namespace dvms {
 
 namespace {
 
-const char* kSiteNames[kNumFaultSites] = {"storage", "ivm",    "pool",
-                                          "raster",  "stream", "durability"};
+const char* kSiteNames[kNumFaultSites] = {"storage", "ivm",        "pool",
+                                          "raster",  "stream",     "durability",
+                                          "replication"};
 
 /// SplitMix64 finalizer: a high-quality 64 -> 64 mix.
 uint64_t Mix64(uint64_t x) {
@@ -22,7 +23,10 @@ uint64_t Mix64(uint64_t x) {
 }
 
 std::atomic<FaultInjector*> g_injector{nullptr};
-std::atomic<int> g_suppress_depth{0};
+/// Suppression is per-thread: a writer's rollback must not silence a
+/// concurrent reader's checks. ThreadPool re-establishes the submitter's
+/// suppression on participants (see ForState::fault_suppressed).
+thread_local int t_suppress_depth = 0;
 std::once_flag g_env_once;
 
 /// Owns the injector parsed from DVMS_FAULTS, when the variable is set.
@@ -45,7 +49,7 @@ Result<FaultSite> FaultSiteFromName(const std::string& name) {
   }
   return Status::InvalidArgument("unknown fault site '" + name +
                                  "' (expected storage, ivm, pool, raster, "
-                                 "stream, or durability)");
+                                 "stream, durability, or replication)");
 }
 
 Result<FaultConfig> ParseFaultSpec(const std::string& spec) {
@@ -175,8 +179,7 @@ FaultInjector* InjectorFromEnvSpecOrDie(const char* spec) {
 
 Status MaybeInject(FaultSite site) {
   FaultInjector* injector = Active();
-  if (injector == nullptr ||
-      g_suppress_depth.load(std::memory_order_relaxed) > 0) {
+  if (injector == nullptr || t_suppress_depth > 0) {
     return Status::OK();
   }
   return injector->MaybeInject(site);
@@ -184,8 +187,7 @@ Status MaybeInject(FaultSite site) {
 
 bool ShouldInject(FaultSite site) {
   FaultInjector* injector = Active();
-  if (injector == nullptr ||
-      g_suppress_depth.load(std::memory_order_relaxed) > 0) {
+  if (injector == nullptr || t_suppress_depth > 0) {
     return false;
   }
   return injector->ShouldInject(site);
@@ -193,8 +195,7 @@ bool ShouldInject(FaultSite site) {
 
 size_t RetryTransient(FaultSite site, size_t max_retries) {
   FaultInjector* injector = Active();
-  if (injector == nullptr ||
-      g_suppress_depth.load(std::memory_order_relaxed) > 0) {
+  if (injector == nullptr || t_suppress_depth > 0) {
     return 0;
   }
   size_t faulted = 0;
@@ -205,14 +206,12 @@ size_t RetryTransient(FaultSite site, size_t max_retries) {
   return faulted;
 }
 
+bool Suppressed() { return t_suppress_depth > 0; }
+
 }  // namespace fault
 
-FaultSuppressScope::FaultSuppressScope() {
-  g_suppress_depth.fetch_add(1, std::memory_order_relaxed);
-}
+FaultSuppressScope::FaultSuppressScope() { ++t_suppress_depth; }
 
-FaultSuppressScope::~FaultSuppressScope() {
-  g_suppress_depth.fetch_sub(1, std::memory_order_relaxed);
-}
+FaultSuppressScope::~FaultSuppressScope() { --t_suppress_depth; }
 
 }  // namespace dvms

@@ -19,14 +19,16 @@ enum class FaultSite {
   kRasterBand,         // rasterizer band fill (render device hiccup)
   kStreamTick,         // streaming-scheduler coefficient send
   kDurabilityIo,       // interaction-log append/fsync, snapshot write/rename
+  kReplication,        // replica WAL tailing: segment listing/scan reads
 };
 
-inline constexpr size_t kNumFaultSites = 6;
+inline constexpr size_t kNumFaultSites = 7;
 
 const char* FaultSiteToString(FaultSite site);
 
 /// Parses a site name ("storage", "ivm", "pool", "raster", "stream",
-/// "durability" — case-insensitive, matching FaultSiteToString).
+/// "durability", "replication" — case-insensitive, matching
+/// FaultSiteToString).
 Result<FaultSite> FaultSiteFromName(const std::string& name);
 
 /// Configuration for one injector. The schedule is a pure function of
@@ -123,6 +125,12 @@ bool ShouldInject(FaultSite site);
 /// corrupts or duplicates it.
 size_t RetryTransient(FaultSite site, size_t max_retries);
 
+/// True while a FaultSuppressScope is alive on the calling thread.
+/// ThreadPool captures this at ParallelFor submission and re-establishes it
+/// on each participant, so fanned-out recovery work inherits the
+/// submitter's suppression without silencing unrelated threads.
+bool Suppressed();
+
 }  // namespace fault
 
 /// RAII: installs an injector built from `config` for the process and
@@ -143,11 +151,12 @@ class ScopedFaultInjector {
   FaultInjector* prev_;
 };
 
-/// RAII: suppresses all fault injection process-wide while alive. Recovery
-/// paths (interaction rollback, the restoring re-render) run under this so
-/// an injected fault cannot cascade into the very code undoing its damage.
-/// Process-wide (not thread-local) because recovery work fans out onto pool
-/// worker threads.
+/// RAII: suppresses fault injection on the owning thread while alive.
+/// Recovery paths (interaction rollback, the restoring re-render, replica
+/// batch apply) run under this so an injected fault cannot cascade into the
+/// very code undoing its damage. Thread-local so a writer's rollback never
+/// silences a concurrent reader's checks; work fanned onto pool threads
+/// inherits the submitter's suppression via ThreadPool::ParallelFor.
 class FaultSuppressScope {
  public:
   FaultSuppressScope();

@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kReadOnlyReplica:
+      return "ReadOnlyReplica";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kResourceExhausted,
+  kReadOnlyReplica,
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
@@ -73,6 +74,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ReadOnlyReplica(std::string msg) {
+    return Status(StatusCode::kReadOnlyReplica, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "common/fault.h"
@@ -93,6 +94,12 @@ struct ThreadPool::ForState {
   /// participant so pool workers observe the submitter's deadline/budget
   /// (contexts are thread-local now that readers run concurrently).
   QueryContext* governor_ctx = nullptr;
+  /// Suppression state of the submitting thread, re-established around each
+  /// participant: fault/governor suppression is thread-local (a writer's
+  /// rollback must not silence concurrent readers), but rollback and
+  /// recovery work fans out here and must stay suppressed on the workers.
+  bool fault_suppressed = false;
+  bool governor_suppressed = false;
 
   /// Per-participant contiguous run of morsel indices. `next` is bumped by
   /// the owner and by thieves; claims at or past `end` are no-ops.
@@ -111,6 +118,10 @@ struct ThreadPool::ForState {
 void ThreadPool::RunParticipant(ForState* state, size_t self) {
   t_in_parallel_region = true;
   QueryContext* prev_ctx = governor::InstallContext(state->governor_ctx);
+  std::optional<FaultSuppressScope> fault_suppress;
+  if (state->fault_suppressed) fault_suppress.emplace();
+  std::optional<GovernorSuppressScope> governor_suppress;
+  if (state->governor_suppressed) governor_suppress.emplace();
   auto run = [state](size_t morsel) {
     // Transient task-start faults are absorbed here with bounded retry:
     // the morsel then runs exactly once, so results stay bit-identical.
@@ -167,6 +178,8 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, size_t max_threads,
   state.grain = grain == 0 ? 1 : grain;
   state.fn = &fn;
   state.governor_ctx = governor::Current();
+  state.fault_suppressed = fault::Suppressed();
+  state.governor_suppressed = governor::Suppressed();
   state.segments = std::vector<ForState::Segment>(parallelism);
   // Contiguous partition of morsel indices: participant i owns
   // [i*per + min(i, extra), ...) — balanced to within one morsel.

@@ -1,6 +1,7 @@
 #include "core/dvms.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -18,12 +19,42 @@ namespace {
 constexpr char kMetricsRelation[] = "dvms_metrics";
 constexpr char kSpansRelation[] = "dvms_spans";
 constexpr char kGovernorRelation[] = "dvms_governor";
+constexpr char kReplicationRelation[] = "dvms_replication";
 
 /// Nesting depth of governed public entry points on this thread. Nested
 /// calls (Execute -> Insert, PushEvents -> PushEvent, auto_render ->
 /// Render) happen on the thread that already holds mu_, so a thread-local
 /// counter is enough to tell an outermost request from a joined one.
 thread_local int t_governed_depth = 0;
+
+/// True while the calling thread is the replica's own apply path (batch
+/// apply, bootstrap replay, promotion suffix replay): the one caller
+/// allowed through CheckWritable on a replica. Thread-local, not engine
+/// state, so an external writer racing a batch can never slip through the
+/// writability check while the tail thread happens to be applying.
+thread_local bool t_replica_apply = false;
+
+struct ReplicaApplyScope {
+  ReplicaApplyScope() { t_replica_apply = true; }
+  ~ReplicaApplyScope() { t_replica_apply = false; }
+  ReplicaApplyScope(const ReplicaApplyScope&) = delete;
+  ReplicaApplyScope& operator=(const ReplicaApplyScope&) = delete;
+};
+
+/// Replication knobs are tuning, not safety: a malformed value warns and
+/// falls back (unlike the governor's fail-loud knobs, nothing is silently
+/// un-protected by a typo here).
+uint64_t EnvU64Or(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr, "dvms: ignoring malformed %s=\"%s\"\n", name, raw);
+    return fallback;
+  }
+  return static_cast<uint64_t>(v);
+}
 
 void CollectFromNames(const SelectStmt& stmt, std::vector<std::string>* out);
 
@@ -154,13 +185,29 @@ Dvms::Dvms(Options options)
   obs::InitFromEnv();
   if (options_.trace) obs::SetEnabled(true);
   InitGovernor();
-  InitDurability();
-  // First publish: whatever state recovery restored (or an empty catalog)
-  // becomes epoch 1, so sessions always have a snapshot to read.
+  if (options_.replica_of.empty()) {
+    if (const char* env = std::getenv("DVMS_REPLICA_OF")) {
+      options_.replica_of = env;
+    }
+  }
+  if (!options_.replica_of.empty()) {
+    InitReplica();
+  } else {
+    InitDurability();
+  }
+  // First publish: whatever state recovery (or the replica bootstrap)
+  // restored — or an empty catalog — becomes epoch 1, so sessions always
+  // have a snapshot to read.
   PublishSnapshotLocked();
+  // The tail thread starts only after that first publish: every epoch it
+  // replaces was complete.
+  if (tailer_ != nullptr) {
+    tail_thread_ = std::thread([this] { TailLoop(); });
+  }
 }
 
 Dvms::~Dvms() {
+  StopTailer();
   if (durability_ != nullptr) {
     // Push any batched group-commit frames out before the process forgets
     // about them. Best-effort: there is no caller to report to.
@@ -416,6 +463,7 @@ void Dvms::RollbackMutationUnit() {
 }
 
 Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("CreateBaseTable"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -438,6 +486,7 @@ Status Dvms::CreateBaseTable(const std::string& name, Schema schema) {
 }
 
 Status Dvms::Insert(const std::string& name, std::vector<Row> rows) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("Insert"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -469,6 +518,7 @@ Status Dvms::InsertLocked(const std::string& name, std::vector<Row> rows) {
 Status Dvms::CreateScale(const std::string& name, double domain_min,
                          double domain_max, double range_min,
                          double range_max) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("CreateScale"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -513,7 +563,11 @@ Result<const Table*> Dvms::GetTable(const std::string& name) const {
 
 Status Dvms::Execute(const Statement& statement) {
   // Plan-level classification (never string matching): a bare EXPLAIN is
-  // the one read-only Statement form and draws a reader slot.
+  // the one read-only Statement form — it stays allowed on a replica and
+  // draws a reader slot.
+  if (!StatementIsReadOnly(statement)) {
+    DVMS_RETURN_IF_ERROR(CheckWritable("Execute"));
+  }
   AdmissionTicket ticket(this, StatementIsReadOnly(statement)
                                    ? AdmissionTicket::Gate::kReader
                                    : AdmissionTicket::Gate::kWriter);
@@ -626,6 +680,7 @@ Status Dvms::ExecuteDispatch(const Statement& statement) {
 }
 
 Status Dvms::LoadProgram(const std::string& source) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("LoadProgram"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -707,6 +762,9 @@ Status Dvms::SyncSystemRelationsLocked(const SelectStmt& select) {
     } else if (IdentEquals(name, kGovernorRelation)) {
       refreshed = BuildGovernorTable();
       canonical = kGovernorRelation;
+    } else if (IdentEquals(name, kReplicationRelation)) {
+      refreshed = BuildReplicationTable();
+      canonical = kReplicationRelation;
     } else {
       continue;
     }
@@ -857,6 +915,7 @@ Status Dvms::CommitViews() {
 
 Result<size_t> Dvms::Delete(const std::string& name,
                             const ExprPtr& predicate) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("Delete"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -946,6 +1005,7 @@ bool Dvms::CanRedo() const {
 }
 
 Status Dvms::Undo() {
+  DVMS_RETURN_IF_ERROR(CheckWritable("Undo"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -969,6 +1029,7 @@ Status Dvms::UndoLocked() {
 }
 
 Status Dvms::Redo() {
+  DVMS_RETURN_IF_ERROR(CheckWritable("Redo"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -1060,6 +1121,7 @@ Result<std::string> Dvms::ExplainView(const std::string& name) const {
 }
 
 Status Dvms::PushEvent(const InputEvent& event) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("PushEvent"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -1118,6 +1180,7 @@ Status Dvms::PushEventLocked(const InputEvent& event) {
 }
 
 Status Dvms::PushEvents(const std::vector<InputEvent>& events) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("PushEvents"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -1155,6 +1218,7 @@ Status Dvms::RenderLocked() {
 Status Dvms::ComposeInteractions(const std::string& first,
                                  const std::string& second,
                                  const std::string& merged_name) {
+  DVMS_RETURN_IF_ERROR(CheckWritable("ComposeInteractions"));
   AdmissionTicket ticket(this);
   DVMS_RETURN_IF_ERROR(ticket.status());
   MuLock lock(mu_, write_lock_acquisitions_);
@@ -1209,6 +1273,7 @@ Status Dvms::FlushWal() {
 }
 
 Status Dvms::Checkpoint() {
+  DVMS_RETURN_IF_ERROR(CheckWritable("Checkpoint"));
   MuLock lock(mu_, write_lock_acquisitions_);
   if (durability_ == nullptr) {
     return Status::InvalidArgument("durability is not enabled (no data_dir)");
@@ -1411,6 +1476,15 @@ Status Dvms::RestoreAndReplay(RecoveredLog log) {
   return Status::OK();
 }
 
+Result<WalFsyncMode> Dvms::ResolveFsyncMode() const {
+  std::string mode_text = options_.wal_fsync;
+  if (mode_text.empty()) {
+    if (const char* env = std::getenv("DVMS_WAL_FSYNC")) mode_text = env;
+  }
+  if (mode_text.empty()) return WalFsyncMode::kAlways;
+  return ParseWalFsyncMode(mode_text);
+}
+
 void Dvms::InitDurability() {
   std::string dir = options_.data_dir;
   if (dir.empty()) {
@@ -1418,21 +1492,14 @@ void Dvms::InitDurability() {
   }
   if (dir.empty()) return;
 
-  WalFsyncMode mode = WalFsyncMode::kAlways;
-  std::string mode_text = options_.wal_fsync;
-  if (mode_text.empty()) {
-    if (const char* env = std::getenv("DVMS_WAL_FSYNC")) mode_text = env;
+  Result<WalFsyncMode> parsed = ResolveFsyncMode();
+  if (!parsed.ok()) {
+    recovery_status_ = parsed.status();
+    std::fprintf(stderr, "dvms: durability disabled: %s\n",
+                 recovery_status_.message().c_str());
+    return;
   }
-  if (!mode_text.empty()) {
-    Result<WalFsyncMode> parsed = ParseWalFsyncMode(mode_text);
-    if (!parsed.ok()) {
-      recovery_status_ = parsed.status();
-      std::fprintf(stderr, "dvms: durability disabled: %s\n",
-                   recovery_status_.message().c_str());
-      return;
-    }
-    mode = parsed.value();
-  }
+  WalFsyncMode mode = parsed.value();
 
   // Recovery (including the replayed interactions) must never be
   // fault-injected or governed: it is itself the error-handling path, and
@@ -1472,6 +1539,374 @@ void Dvms::InitDurability() {
   size_t renders = stats_.renders;
   (void)RenderLocked();
   stats_.renders = renders;
+}
+
+// ---- Replication ----
+
+Status Dvms::CheckWritable(const char* op) const {
+  if (role_.load(std::memory_order_relaxed) == Role::kReplica &&
+      !t_replica_apply) {
+    return Status::ReadOnlyReplica(
+        std::string(op) + " rejected: this engine is a read replica of " +
+        options_.replica_of +
+        " (reads stay available; Promote() fails over to writable)");
+  }
+  return Status::OK();
+}
+
+void Dvms::InitReplica() {
+  role_.store(Role::kReplica, std::memory_order_relaxed);
+  replica_poll_ms_ = options_.replica_poll_ms > 0
+                         ? static_cast<uint64_t>(options_.replica_poll_ms)
+                         : EnvU64Or("DVMS_REPLICA_POLL_MS", 5);
+  if (replica_poll_ms_ == 0) replica_poll_ms_ = 1;
+  replica_retry_budget_ =
+      options_.replica_retry_budget > 0
+          ? static_cast<uint64_t>(options_.replica_retry_budget)
+          : EnvU64Or("DVMS_REPLICA_RETRY_BUDGET", 8);
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_.replica = true;
+  }
+  // Bootstrap read-only from whatever the primary's directory holds right
+  // now. Like recovery, the bootstrap replay must never be fault-injected
+  // or governed.
+  FaultSuppressScope suppress;
+  GovernorSuppressScope governor_suppress;
+  uint64_t applied = 0;
+  Result<RecoveredLog> log = ReadLogReadOnly(options_.replica_of);
+  if (log.ok()) {
+    RecoveredLog recovered = std::move(log).value();
+    if (recovered.has_snapshot) applied = recovered.snapshot_lsn;
+    if (!recovered.frames.empty()) applied = recovered.frames.back().lsn;
+    ReplicaApplyScope apply_scope;
+    replaying_.store(true, std::memory_order_relaxed);
+    Status st = RestoreAndReplay(std::move(recovered));
+    replaying_.store(false, std::memory_order_relaxed);
+    if (!st.ok()) {
+      // A half-applied bootstrap cannot be retried in place (replaying from
+      // lsn 0 onto a populated catalog would double-apply): fail-stop into
+      // permanently-stale, like a primary whose recovery failed.
+      recovery_status_ =
+          Status::ExecutionError("replica bootstrap failed: " + st.message());
+      std::fprintf(stderr, "dvms: %s\n", recovery_status_.message().c_str());
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      repl_.stale = true;
+      repl_.last_error = recovery_status_.message();
+      return;  // no tailer: the replica serves whatever state it reached
+    }
+    size_t renders = stats_.renders;
+    (void)RenderLocked();
+    stats_.renders = renders;
+  } else {
+    // Missing or unreadable directory — a replica may start before its
+    // primary. Start empty; the tailer catches up once frames appear.
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_.last_error = log.status().message();
+  }
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_.replica_lsn = applied;
+    if (applied > repl_.primary_lsn) repl_.primary_lsn = applied;
+  }
+  tailer_ = std::make_unique<WalTailer>(options_.replica_of, applied);
+}
+
+void Dvms::TailLoop() {
+  uint64_t consecutive_failures = 0;
+  for (;;) {
+    // Exponential backoff under sustained failure, capped at 64x the poll
+    // cadence; a cv wait so StopTailer() interrupts the sleep promptly.
+    uint64_t wait_ms = replica_poll_ms_
+                       << std::min<uint64_t>(consecutive_failures, 6);
+    {
+      std::unique_lock<std::mutex> lock(tail_mu_);
+      tail_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                        [this] { return tail_stop_; });
+      if (tail_stop_) return;
+    }
+    Result<std::vector<WalFrame>> polled = tailer_->Poll();
+    if (!polled.ok()) {
+      ++consecutive_failures;
+      const bool terminal = polled.status().code() == StatusCode::kNotFound;
+      {
+        std::lock_guard<std::mutex> lock(repl_mu_);
+        ++repl_.poll_errors;
+        repl_.last_error = polled.status().message();
+        SyncTailerStatsLocked();
+        if (terminal || consecutive_failures > replica_retry_budget_) {
+          // Degraded, not dead: the last applied epoch stays served and
+          // (unless terminal) polling continues.
+          repl_.stale = true;
+        }
+      }
+      obs::Count("replication.poll_errors");
+      if (terminal) {
+        std::fprintf(stderr, "dvms: replica tailing stopped: %s\n",
+                     polled.status().message().c_str());
+        return;
+      }
+      continue;
+    }
+    consecutive_failures = 0;
+    std::vector<WalFrame> frames = std::move(polled).value();
+    if (frames.empty()) {
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      repl_.stale = false;
+      repl_.last_error.clear();
+      SyncTailerStatsLocked();
+      continue;
+    }
+    if (!ApplyReplicaBatch(std::move(frames))) return;
+  }
+}
+
+bool Dvms::ApplyReplicaBatch(std::vector<WalFrame> frames) {
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t batch_bytes = 0;
+  for (const WalFrame& frame : frames) {
+    batch_bytes += frame.payload.size() + kWalFrameOverhead;
+  }
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_.lag_bytes = batch_bytes;
+    SyncTailerStatsLocked();
+  }
+  MuLock lock(mu_, write_lock_acquisitions_);
+  // Replaying the primary's history must reproduce it exactly: suppressed
+  // like recovery so injected faults and governor aborts cannot make the
+  // pair diverge.
+  FaultSuppressScope suppress;
+  GovernorSuppressScope governor_suppress;
+  ReplicaApplyScope apply_scope;
+  replaying_.store(true, std::memory_order_relaxed);
+  Status st = Status::OK();
+  uint64_t applied = 0;
+  uint64_t applied_count = 0;
+  for (const WalFrame& frame : frames) {
+    Result<WalRecord> record = DecodeWalRecord(frame.payload);
+    if (!record.ok()) {
+      st = Status::ExecutionError("replica apply of lsn " +
+                                  std::to_string(frame.lsn) + ": " +
+                                  record.status().message());
+      break;
+    }
+    st = ApplyWalRecord(record.value());
+    if (!st.ok()) {
+      st = Status::ExecutionError(
+          "replica apply of lsn " + std::to_string(frame.lsn) + " (" +
+          WalOpToString(record.value().op) + "): " + st.message());
+      break;
+    }
+    if (record.value().IsDefinition()) def_records_.push_back(frame.payload);
+    applied = frame.lsn;
+    ++applied_count;
+  }
+  replaying_.store(false, std::memory_order_relaxed);
+  // Publish even a partial batch: each frame applied all-or-nothing
+  // through its entry point, so the catalog is the primary's state at
+  // `applied` — a consistent committed prefix.
+  PublishSnapshotLocked();
+  if (obs::Enabled()) {
+    obs::Observe("replication.apply_batch_us",
+                 static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count()));
+    obs::Count("replication.frames_applied", applied_count);
+  }
+  {
+    std::lock_guard<std::mutex> repl_lock(repl_mu_);
+    if (applied_count > 0) repl_.replica_lsn = applied;
+    repl_.frames_applied += applied_count;
+    ++repl_.batches_applied;
+    repl_.lag_bytes = 0;
+    SyncTailerStatsLocked();
+    if (st.ok()) {
+      repl_.stale = false;
+      repl_.last_error.clear();
+    } else {
+      // The replica must not skip a frame; applying past a failure would
+      // diverge from the primary. Terminal for the tailer.
+      repl_.stale = true;
+      repl_.last_error = st.message();
+    }
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "dvms: replica tailing stopped: %s\n",
+                 st.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+void Dvms::StopTailer() {
+  {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    tail_stop_ = true;
+  }
+  tail_cv_.notify_all();
+  if (tail_thread_.joinable()) tail_thread_.join();
+}
+
+void Dvms::SyncTailerStatsLocked() {
+  // Tail thread only (tailer_ is not otherwise synchronized), repl_mu_
+  // held by the caller.
+  if (tailer_ == nullptr) return;
+  const TailerStats& ts = tailer_->stats();
+  repl_.polls = ts.polls;
+  repl_.torn_tail_retries = ts.torn_tail_retries;
+  repl_.rotations = ts.rotations;
+  if (ts.primary_lsn > repl_.primary_lsn) repl_.primary_lsn = ts.primary_lsn;
+  if (repl_.replica_lsn > repl_.primary_lsn) {
+    repl_.primary_lsn = repl_.replica_lsn;
+  }
+}
+
+Dvms::ReplicationStats Dvms::replication_stats() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  ReplicationStats rs = repl_;
+  rs.lag_frames = rs.primary_lsn > rs.replica_lsn
+                      ? rs.primary_lsn - rs.replica_lsn
+                      : 0;
+  return rs;
+}
+
+Table Dvms::BuildReplicationTable() const {
+  Table out(Schema({{"name", ValueType::kString},
+                    {"value", ValueType::kInt64}}));
+  auto row = [&out](const char* name, int64_t value) {
+    out.AppendUnchecked({Value::String(name), Value::Int(value)});
+  };
+  ReplicationStats rs = replication_stats();
+  row("replica", rs.replica ? 1 : 0);
+  row("promoted", rs.promoted ? 1 : 0);
+  row("stale", rs.stale ? 1 : 0);
+  row("replica_lsn", static_cast<int64_t>(rs.replica_lsn));
+  row("primary_lsn", static_cast<int64_t>(rs.primary_lsn));
+  row("lag_frames", static_cast<int64_t>(rs.lag_frames));
+  row("lag_bytes", static_cast<int64_t>(rs.lag_bytes));
+  row("batches_applied", static_cast<int64_t>(rs.batches_applied));
+  row("frames_applied", static_cast<int64_t>(rs.frames_applied));
+  row("polls", static_cast<int64_t>(rs.polls));
+  row("poll_errors", static_cast<int64_t>(rs.poll_errors));
+  row("torn_tail_retries", static_cast<int64_t>(rs.torn_tail_retries));
+  row("rotations", static_cast<int64_t>(rs.rotations));
+  return out;
+}
+
+uint64_t Dvms::wal_lsn() const {
+  if (is_replica()) {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    return repl_.replica_lsn;
+  }
+  MuLock lock(mu_, write_lock_acquisitions_);
+  return durability_ != nullptr ? durability_->last_lsn() : 0;
+}
+
+uint64_t Dvms::WaitForReplicaLsn(uint64_t lsn, int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!is_replica()) return wal_lsn();
+    uint64_t at;
+    {
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      at = repl_.replica_lsn;
+    }
+    if (at >= lsn || std::chrono::steady_clock::now() >= deadline) return at;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+Status Dvms::Promote() {
+  if (role_.load(std::memory_order_relaxed) != Role::kReplica) {
+    return Status::InvalidArgument("Promote: engine is not a replica");
+  }
+  // Stop the tailer first, without mu_ (the tail thread takes mu_ to
+  // apply). After the join this thread is the only mutator.
+  StopTailer();
+  MuLock lock(mu_, write_lock_acquisitions_);
+  // Promotion is the error-handling path; like recovery it must never be
+  // fault-injected or governed.
+  FaultSuppressScope suppress;
+  GovernorSuppressScope governor_suppress;
+  DVMS_ASSIGN_OR_RETURN(WalFsyncMode mode, ResolveFsyncMode());
+  // Standard crash recovery on the primary's directory: seals any torn
+  // tail and opens the log for append — from here on this engine owns it.
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<DurabilityManager> manager,
+                        DurabilityManager::Open(options_.replica_of, mode));
+  DVMS_ASSIGN_OR_RETURN(RecoveredLog sealed, manager->Recover());
+  uint64_t applied;
+  {
+    std::lock_guard<std::mutex> repl_lock(repl_mu_);
+    applied = repl_.replica_lsn;
+  }
+  const uint64_t sealed_lsn = manager->last_lsn();
+  if (sealed_lsn < applied) {
+    // The tailer only ever delivered CRC-valid frames, which recovery
+    // never truncates — so this means the directory lost acknowledged
+    // frames (or is not the directory we were tailing). Divergence risk:
+    // stay a read-only replica.
+    return Status::ExecutionError(
+        "promote: replica applied lsn " + std::to_string(applied) +
+        " but the sealed log ends at " + std::to_string(sealed_lsn) +
+        "; refusing to promote a replica ahead of the surviving log");
+  }
+  if (sealed.has_snapshot && sealed.snapshot_lsn > applied) {
+    // The sealed image resumes from a snapshot ahead of everything this
+    // replica applied; the intervening frames are no longer on disk, so
+    // the suffix cannot be replayed onto our state.
+    return Status::ExecutionError(
+        "promote: sealed log resumes at snapshot lsn " +
+        std::to_string(sealed.snapshot_lsn) + " but this replica applied " +
+        std::to_string(applied) +
+        "; it lagged past the pruning window — start a fresh engine on the "
+        "directory instead");
+  }
+  {
+    // Catch up on the sealed suffix this replica had not applied yet.
+    ReplicaApplyScope apply_scope;
+    replaying_.store(true, std::memory_order_relaxed);
+    Status st = Status::OK();
+    for (const WalFrame& frame : sealed.frames) {
+      if (frame.lsn <= applied) continue;
+      Result<WalRecord> record = DecodeWalRecord(frame.payload);
+      st = record.ok() ? ApplyWalRecord(record.value()) : record.status();
+      if (!st.ok()) {
+        replaying_.store(false, std::memory_order_relaxed);
+        return Status::ExecutionError(
+            "promote: replay of sealed lsn " + std::to_string(frame.lsn) +
+            ": " + st.message());
+      }
+      if (record.value().IsDefinition()) {
+        def_records_.push_back(frame.payload);
+      }
+      applied = frame.lsn;
+    }
+    replaying_.store(false, std::memory_order_relaxed);
+  }
+  durability_ = std::move(manager);
+  durability_poisoned_ = false;
+  recovery_status_ = Status::OK();
+  frames_since_snapshot_ = 0;
+  role_.store(Role::kPrimary, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> repl_lock(repl_mu_);
+    repl_.replica = false;
+    repl_.promoted = true;
+    repl_.stale = false;
+    repl_.last_error.clear();
+    repl_.replica_lsn = sealed_lsn;
+    repl_.primary_lsn = sealed_lsn;
+    repl_.lag_bytes = 0;
+  }
+  size_t renders = stats_.renders;
+  (void)RenderLocked();
+  stats_.renders = renders;
+  PublishSnapshotLocked();
+  obs::Count("replication.promotions");
+  return Status::OK();
 }
 
 // ---- Concurrent snapshot reads ----
@@ -1536,6 +1971,8 @@ Result<Table> Dvms::SnapshotRead(Session* session,
         overlay.AddOverlay(kSpansRelation, BuildSpansTable());
       } else if (IdentEquals(name, kGovernorRelation)) {
         overlay.AddOverlay(kGovernorRelation, BuildGovernorTable());
+      } else if (IdentEquals(name, kReplicationRelation)) {
+        overlay.AddOverlay(kReplicationRelation, BuildReplicationTable());
       }
     }
     if (req.explain) {

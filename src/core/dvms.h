@@ -2,9 +2,11 @@
 #define DVMS_CORE_DVMS_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "concurrency/snapshot.h"
 #include "durability/log_record.h"
 #include "durability/manager.h"
+#include "durability/tailer.h"
 #include "durability/snapshot.h"
 #include "events/interaction.h"
 #include "events/recognizer.h"
@@ -85,6 +88,23 @@ class Dvms {
     /// Committed frames between automatic snapshots; 0 disables automatic
     /// snapshotting (Checkpoint() still works).
     size_t snapshot_interval = 64;
+    /// Open as a read replica of the engine whose durability directory is
+    /// this path: bootstrap from its newest snapshot + log suffix, then
+    /// continuously tail its WAL, publishing a fresh snapshot epoch after
+    /// each applied batch. All mutating entry points return
+    /// kReadOnlyReplica; reads (Query / Session / GetTable / EXPLAIN) serve
+    /// the last applied state. Empty = the DVMS_REPLICA_OF environment
+    /// variable, or primary mode. A replica ignores data_dir (it never
+    /// writes the log); Promote() takes ownership of this directory.
+    std::string replica_of;
+    /// Replica tail-poll cadence in milliseconds. 0 = the
+    /// DVMS_REPLICA_POLL_MS environment variable, or 5.
+    int64_t replica_poll_ms = 0;
+    /// Consecutive failed polls before the replica reports itself stale in
+    /// dvms_replication. Staleness is a degraded mode, not a stop: the
+    /// replica keeps serving its last applied epoch and keeps retrying with
+    /// capped exponential backoff. 0 = DVMS_REPLICA_RETRY_BUDGET, or 8.
+    int64_t replica_retry_budget = 0;
     /// Enables the process-wide observability layer (src/obs): tracing
     /// spans + named counters/histograms across executor, IVM, raster,
     /// events, streaming, durability, and the thread pool, queryable as
@@ -250,6 +270,52 @@ class Dvms {
   /// snapshots. If recovery restored scheduler state, it is applied to
   /// `scheduler` here. Pass nullptr to detach. Not owned.
   void AttachScheduler(StreamScheduler* scheduler);
+
+  /// Newest LSN acknowledged by the log (0 when durability is off). On a
+  /// replica this is the newest LSN applied from the primary's log.
+  uint64_t wal_lsn() const;
+
+  // ---- Replication (see DESIGN.md § Replication & failover) ----
+
+  /// True while this engine is a read replica (Options::replica_of).
+  bool is_replica() const {
+    return role_.load(std::memory_order_relaxed) == Role::kReplica;
+  }
+
+  /// Replica-side lag and tailing counters, also exported as the
+  /// dvms_replication system relation. All-zero on a plain primary.
+  struct ReplicationStats {
+    bool replica = false;        // current role
+    bool promoted = false;       // became primary via Promote()
+    bool stale = false;          // poll failures exceeded the retry budget
+    uint64_t replica_lsn = 0;    // newest LSN applied here
+    uint64_t primary_lsn = 0;    // newest LSN observed on the primary's disk
+    uint64_t lag_frames = 0;     // max(primary_lsn - replica_lsn, 0)
+    uint64_t lag_bytes = 0;      // delivered-but-not-yet-applied bytes
+    uint64_t batches_applied = 0;
+    uint64_t frames_applied = 0;
+    uint64_t polls = 0;
+    uint64_t poll_errors = 0;    // transient tailing failures (retried)
+    uint64_t torn_tail_retries = 0;
+    uint64_t rotations = 0;      // segment boundaries drained across
+    std::string last_error;      // most recent poll/apply failure, if any
+  };
+  ReplicationStats replication_stats() const;
+
+  /// Failover: stops the tailer, runs standard crash recovery on the
+  /// primary's directory (sealing any torn tail and taking ownership of
+  /// it), applies whatever sealed suffix this replica had not yet seen,
+  /// and re-opens writable. After OK the engine is a primary whose state
+  /// is bit-identical to the clean committed prefix of the dead primary's
+  /// log. Fails (and stays a read-only replica) when the engine is not a
+  /// replica, the directory cannot be recovered, or the sealed log
+  /// contradicts what was already applied here.
+  Status Promote();
+
+  /// Blocks until the replica has applied at least `lsn` or `timeout_ms`
+  /// elapses; returns the newest applied LSN. For tests and benchmarks; a
+  /// primary returns its wal_lsn() immediately.
+  uint64_t WaitForReplicaLsn(uint64_t lsn, int64_t timeout_ms);
 
   // ---- Resource governance ----
 
@@ -505,6 +571,46 @@ class Dvms {
   /// executor, re-render. Sets recovery_status_; never throws or crashes.
   void InitDurability();
 
+  /// Options::wal_fsync overlaid with DVMS_WAL_FSYNC; kAlways when unset.
+  Result<WalFsyncMode> ResolveFsyncMode() const;
+
+  // ---- Replication plumbing ----
+
+  enum class Role { kPrimary, kReplica };
+
+  /// kReadOnlyReplica unless this engine is a primary or the calling
+  /// thread is the replica's own apply path. Checked at the top of every
+  /// mutating entry point, before admission.
+  Status CheckWritable(const char* op) const;
+
+  /// Replica-mode constructor leg: bootstraps from the primary's newest
+  /// snapshot + sealed log suffix (read-only — a missing or torn directory
+  /// degrades to an empty start, never an error) and builds the tailer.
+  /// The tail thread itself starts after the first snapshot publish.
+  void InitReplica();
+
+  /// The tail thread: poll → apply → publish, with capped exponential
+  /// backoff on transient failures. Sustained failure marks the replica
+  /// stale (still serving its last applied epoch); a pruned-away resume
+  /// LSN or an apply failure is terminal for the thread.
+  void TailLoop();
+
+  /// Applies one polled batch under mu_ (suppressed like recovery replay),
+  /// advances replica_lsn, and publishes a fresh epoch. False on an apply
+  /// failure — the replica must not skip a frame, so the tailer stops.
+  bool ApplyReplicaBatch(std::vector<WalFrame> frames);
+
+  /// Signals and joins the tail thread. Safe to call twice; never holds
+  /// mu_ (the tail thread takes mu_ to apply).
+  void StopTailer();
+
+  /// Copies tailer counters into repl_ and recomputes lag. repl_mu_ held.
+  void SyncTailerStatsLocked();
+
+  /// Snapshot of repl_ for the dvms_replication system relation. Takes
+  /// only repl_mu_ (a leaf lock) so concurrent session reads can build it.
+  Table BuildReplicationTable() const;
+
   Status RestoreAndReplay(RecoveredLog log);
   Status RestoreSnapshot(EngineSnapshot snapshot);
 
@@ -603,8 +709,10 @@ class Dvms {
   Status recovery_status_;
   /// Nesting depth of the logged public entry points (see LogScope).
   size_t log_depth_ = 0;
-  /// True while recovery replays the log: replayed calls must not re-log.
-  bool replaying_ = false;
+  /// True while recovery (or a replica batch) replays the log: replayed
+  /// calls must not re-log. Atomic because AdmissionTicket reads it before
+  /// taking mu_ while the replica's tail thread writes it under mu_.
+  std::atomic<bool> replaying_{false};
   /// Encoded definition frames, in log order — the snapshot's recipe for
   /// rebuilding compiled plans/NFAs/trace defs.
   std::vector<std::string> def_records_;
@@ -615,6 +723,25 @@ class Dvms {
   /// by AttachScheduler() and carried forward into new snapshots.
   bool pending_scheduler_state_ = false;
   StreamScheduler::DurableState scheduler_state_;
+  // ---- Replication state ----
+  /// Atomic so CheckWritable runs before taking mu_ (like admission) and
+  /// Promote() can flip it while readers look on.
+  std::atomic<Role> role_{Role::kPrimary};
+  /// Guards repl_ alone (a leaf lock, like gov_mu_): the tail thread folds
+  /// apply progress under it, concurrent session reads snapshot it.
+  mutable std::mutex repl_mu_;
+  ReplicationStats repl_;
+  /// Resolved replica knobs (Options overlaid with DVMS_REPLICA_POLL_MS /
+  /// DVMS_REPLICA_RETRY_BUDGET); immutable after construction.
+  uint64_t replica_poll_ms_ = 5;
+  uint64_t replica_retry_budget_ = 8;
+  /// Owned by the tail thread while it runs; touched elsewhere only after
+  /// StopTailer() joins.
+  std::unique_ptr<WalTailer> tailer_;
+  std::thread tail_thread_;
+  std::mutex tail_mu_;
+  std::condition_variable tail_cv_;
+  bool tail_stop_ = false;
 };
 
 }  // namespace dvms

@@ -180,16 +180,32 @@ Result<std::pair<uint64_t, std::string>> ReadSnapshotFile(
   return std::make_pair(last_lsn, std::move(payload));
 }
 
-std::string DurabilityManager::SegmentPath(uint64_t first_lsn) const {
+std::string WalSegmentPath(const std::string& dir, uint64_t first_lsn) {
   char name[64];
   std::snprintf(name, sizeof(name), "wal-%020" PRIu64 ".log", first_lsn);
-  return dir_ + "/" + name;
+  return dir + "/" + name;
+}
+
+std::string WalSnapshotPath(const std::string& dir, uint64_t last_lsn) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "snapshot-%020" PRIu64 ".snap", last_lsn);
+  return dir + "/" + name;
+}
+
+Result<std::vector<uint64_t>> ListWalSegments(const std::string& dir) {
+  return ListNumbered(dir, "wal-", ".log");
+}
+
+Result<std::vector<uint64_t>> ListWalSnapshots(const std::string& dir) {
+  return ListNumbered(dir, "snapshot-", ".snap");
+}
+
+std::string DurabilityManager::SegmentPath(uint64_t first_lsn) const {
+  return WalSegmentPath(dir_, first_lsn);
 }
 
 std::string DurabilityManager::SnapshotPath(uint64_t last_lsn) const {
-  char name[64];
-  std::snprintf(name, sizeof(name), "snapshot-%020" PRIu64 ".snap", last_lsn);
-  return dir_ + "/" + name;
+  return WalSnapshotPath(dir_, last_lsn);
 }
 
 Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(

@@ -97,6 +97,16 @@ class DurabilityManager {
 Result<std::pair<uint64_t, std::string>> ReadSnapshotFile(
     const std::string& path);
 
+/// Directory-layout helpers shared with the replication tailer, which
+/// watches another engine's durability directory read-only.
+/// LSN-sorted (ascending) header LSNs of the wal-<lsn>.log segments in
+/// `dir`; a Status error means the directory could not be listed.
+Result<std::vector<uint64_t>> ListWalSegments(const std::string& dir);
+/// LSN-sorted (ascending) covered LSNs of the snapshot-<lsn>.snap files.
+Result<std::vector<uint64_t>> ListWalSnapshots(const std::string& dir);
+std::string WalSegmentPath(const std::string& dir, uint64_t first_lsn);
+std::string WalSnapshotPath(const std::string& dir, uint64_t last_lsn);
+
 }  // namespace dvms
 
 #endif  // DVMS_DURABILITY_MANAGER_H_

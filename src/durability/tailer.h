@@ -1,0 +1,76 @@
+#ifndef DVMS_DURABILITY_TAILER_H_
+#define DVMS_DURABILITY_TAILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/manager.h"
+#include "durability/wal.h"
+
+namespace dvms {
+
+/// Counters describing what a WalTailer has seen and delivered. Surfaced
+/// (merged with apply-side counters) through the dvms_replication relation.
+struct TailerStats {
+  uint64_t polls = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t bytes_delivered = 0;      // frame payloads + framing overhead
+  uint64_t torn_tail_retries = 0;    // in-flight tails left for a later poll
+  uint64_t rotations = 0;            // drained across a segment boundary
+  uint64_t segment_switches = 0;     // resume segment changed between polls
+  uint64_t primary_lsn = 0;          // newest committed LSN visible on disk
+};
+
+/// Read-only recovery scan for a replica bootstrap: the newest valid
+/// snapshot plus the contiguous valid frame suffix, exactly what
+/// DurabilityManager::Recover() restores — but never repairing, truncating,
+/// pruning, or opening the tail for append, because the replica does not
+/// own the primary's directory. A torn or corrupt tail simply ends the scan
+/// (those frames are still in flight on the primary and will be delivered
+/// by a later poll); only open/read I/O failures surface as Status.
+Result<RecoveredLog> ReadLogReadOnly(const std::string& dir);
+
+/// Polls a primary's durability directory for freshly committed WAL frames.
+/// Stateless against the directory (every poll re-lists and re-resolves the
+/// resume position), which makes it robust to everything the primary does
+/// concurrently: appends, torn in-flight tail frames, segment rotation at
+/// snapshot boundaries, and pruning of segments the tailer has already
+/// consumed. Injected FaultSite::kReplication faults model transient read
+/// failures of the listing and scan steps.
+///
+/// Not thread-safe; the replica's single tail thread owns it.
+class WalTailer {
+ public:
+  /// `applied_lsn` is the newest LSN the replica has already applied
+  /// (0 = nothing); Poll() delivers frames strictly after it.
+  WalTailer(std::string dir, uint64_t applied_lsn);
+
+  /// One poll: returns every newly durable frame in LSN order (possibly
+  /// none — caught up, or the tail frame is torn and will be retried).
+  ///
+  /// Status errors and how the caller should treat them:
+  ///   - kNotFound: the frames after `applied_lsn` have been pruned (the
+  ///     primary snapshotted past a replica that lagged by more than the
+  ///     retained window). Terminal — the replica cannot catch up from the
+  ///     log alone; restart it to re-bootstrap from the newest snapshot.
+  ///   - anything else: transient I/O failure (injected or real); retry
+  ///     with backoff.
+  Result<std::vector<WalFrame>> Poll();
+
+  /// Newest LSN delivered so far (== the constructor's applied_lsn until
+  /// the first delivery).
+  uint64_t delivered_lsn() const { return next_lsn_ - 1; }
+  const TailerStats& stats() const { return stats_; }
+
+ private:
+  std::string dir_;
+  uint64_t next_lsn_;            // next frame LSN to deliver
+  uint64_t last_segment_ = 0;    // header LSN of the last segment read
+  TailerStats stats_;
+};
+
+}  // namespace dvms
+
+#endif  // DVMS_DURABILITY_TAILER_H_

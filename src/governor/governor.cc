@@ -18,10 +18,11 @@ int64_t SteadyNowMicros() {
 // request, so the context can no longer be process-wide. Pool workers
 // inherit the submitting thread's context via ThreadPool::ParallelFor
 // (which captures Current() at submission and installs it around each
-// participant). Suppression stays process-wide for the same reason as
-// FaultSuppressScope: a rollback re-render fans out onto pool threads.
+// participant). Suppression is per-thread for the same reason: a writer's
+// rollback must not silence a concurrent reader's checks; ParallelFor
+// re-establishes the submitter's suppression on participants.
 thread_local QueryContext* t_context = nullptr;
-std::atomic<int> g_suppress_depth{0};
+thread_local int t_suppress_depth = 0;
 
 // Fail-loud env parsing (same rationale as DVMS_FAULTS): a governor knob
 // that silently parses to zero would leave the process unprotected while
@@ -117,9 +118,7 @@ QueryContext* InstallContext(QueryContext* ctx) {
   return prev;
 }
 
-bool Suppressed() {
-  return g_suppress_depth.load(std::memory_order_relaxed) > 0;
-}
+bool Suppressed() { return t_suppress_depth > 0; }
 
 Status CheckPoint() {
   QueryContext* ctx = t_context;
@@ -144,13 +143,9 @@ void ReleaseMemory(int64_t bytes) {
 
 }  // namespace governor
 
-GovernorSuppressScope::GovernorSuppressScope() {
-  g_suppress_depth.fetch_add(1, std::memory_order_relaxed);
-}
+GovernorSuppressScope::GovernorSuppressScope() { ++t_suppress_depth; }
 
-GovernorSuppressScope::~GovernorSuppressScope() {
-  g_suppress_depth.fetch_sub(1, std::memory_order_relaxed);
-}
+GovernorSuppressScope::~GovernorSuppressScope() { --t_suppress_depth; }
 
 Status AdmissionGate::Enter() {
   std::unique_lock<std::mutex> lock(mu_);

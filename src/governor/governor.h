@@ -106,7 +106,9 @@ Status CheckPoint();
 Status ChargeMemory(int64_t bytes);
 void ReleaseMemory(int64_t bytes);
 
-/// True while a SuppressScope is alive anywhere in the process.
+/// True while a GovernorSuppressScope is alive on the calling thread.
+/// ThreadPool captures this at submission and re-establishes it on each
+/// participant, alongside the submitter's context.
 bool Suppressed();
 
 }  // namespace governor
@@ -124,11 +126,12 @@ class GovernorRequestScope {
   QueryContext* prev_;
 };
 
-/// RAII: suppresses governor checks and charges process-wide while alive.
-/// Rollback, recovery replay, and destructor flushes run under this — the
-/// code undoing an aborted request must not itself be aborted. Process-wide
-/// (not thread-local) for the same reason as FaultSuppressScope: the
-/// rollback re-render fans out onto pool threads.
+/// RAII: suppresses governor checks and charges on the owning thread while
+/// alive. Rollback, recovery replay, replica batch apply, and destructor
+/// flushes run under this — the code undoing an aborted request must not
+/// itself be aborted. Thread-local, like FaultSuppressScope, so a writer's
+/// rollback never suppresses a concurrent reader's deadline/budget checks;
+/// pool participants inherit the submitter's suppression.
 class GovernorSuppressScope {
  public:
   GovernorSuppressScope();

@@ -4,13 +4,16 @@
 // statement batch is all-or-nothing (transactional interaction rollback),
 // so a faulted op leaves no trace and a bounded retry eventually lands it.
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
+#include "common/thread_pool.h"
 #include "core/dvms.h"
 #include "parser/parser.h"
 #include "gtest/gtest.h"
@@ -114,6 +117,50 @@ TEST(FaultInjectorTest, SuppressionScopeMasksInjection) {
     EXPECT_FALSE(fault::ShouldInject(FaultSite::kIvmApply));
   }
   EXPECT_FALSE(fault::MaybeInject(FaultSite::kStorageAppend).ok());
+}
+
+TEST(FaultInjectorTest, SuppressionIsThreadLocal) {
+  // A writer's rollback suppressing faults must not silence checks on
+  // concurrent threads (e.g. a replica's tailer or a session read).
+  FaultConfig config;
+  config.seed = 5;
+  config.rate = 1.0;
+  ScopedFaultInjector scoped(config);
+  FaultSuppressScope suppress;
+  EXPECT_TRUE(fault::Suppressed());
+  EXPECT_TRUE(fault::MaybeInject(FaultSite::kStorageAppend).ok());
+  bool other_suppressed = true;
+  bool other_injected = false;
+  std::thread peer([&] {
+    other_suppressed = fault::Suppressed();
+    other_injected = fault::ShouldInject(FaultSite::kStorageAppend);
+  });
+  peer.join();
+  EXPECT_FALSE(other_suppressed) << "suppression leaked across threads";
+  EXPECT_TRUE(other_injected);
+}
+
+TEST(FaultInjectorTest, ParallelForInheritsSubmitterSuppression) {
+  // Work fanned onto pool threads runs on behalf of the submitter: if the
+  // submitter is suppressed (recovery, rollback, replica apply), its
+  // morsels must be too — and only for that ParallelFor, not permanently.
+  FaultConfig config;
+  config.seed = 5;
+  config.rate = 1.0;
+  ScopedFaultInjector scoped(config);
+  ThreadPool pool(4);
+  std::atomic<int> injected{0};
+  {
+    FaultSuppressScope suppress;
+    pool.ParallelFor(64, 1, 0, [&](const MorselRange&) {
+      injected += fault::ShouldInject(FaultSite::kThreadPoolTask) ? 1 : 0;
+    });
+  }
+  EXPECT_EQ(injected.load(), 0) << "pool threads ignored the submitter";
+  pool.ParallelFor(64, 1, 0, [&](const MorselRange&) {
+    injected += fault::ShouldInject(FaultSite::kThreadPoolTask) ? 1 : 0;
+  });
+  EXPECT_GT(injected.load(), 0) << "suppression stuck to the pool threads";
 }
 
 TEST(FaultInjectorTest, MaybeInjectTagsSiteInMessage) {

@@ -23,6 +23,7 @@
 #include "durability/log_record.h"
 #include "durability/manager.h"
 #include "durability/snapshot.h"
+#include "durability/tailer.h"
 #include "durability/wal.h"
 #include "parser/parser.h"
 #include "gtest/gtest.h"
@@ -335,6 +336,210 @@ TEST(WalSegmentTest, FailedSyncRollsBackGroupCommitAccounting) {
   WalScan scan = ScanWalSegment(path).value();
   EXPECT_EQ(scan.frames.size(), kGroupCommitAppends);
   EXPECT_FALSE(scan.tail_truncated);
+}
+
+// ---------------------------------------------------------------------------
+// WalTailer + ReadLogReadOnly: the replication read path over a primary's
+// directory. These cover the resume-LSN edge cases a live primary creates:
+// growth between polls, torn tails that complete later, rotation, pruning.
+// ---------------------------------------------------------------------------
+
+TEST(WalTailerTest, DeliversNewFramesAcrossPolls) {
+  TempDir dir("tail_grow");
+  const std::string path = SegPath(dir);
+  {
+    auto writer = WalWriter::Create(path, 1, WalFsyncMode::kOff).value();
+    for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+      ASSERT_TRUE(writer->Append(lsn, "p" + std::to_string(lsn)).ok());
+    }
+  }
+  WalTailer tailer(dir.str(), 0);
+  std::vector<WalFrame> batch = tailer.Poll().value();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].lsn, 1u);
+  EXPECT_EQ(batch[2].payload, "p3");
+  EXPECT_EQ(tailer.delivered_lsn(), 3u);
+  EXPECT_TRUE(tailer.Poll().value().empty());  // caught up: empty, no error
+
+  // The primary appends more; the next poll picks up exactly the suffix.
+  const uint64_t keep = fs::file_size(path);
+  {
+    auto writer =
+        WalWriter::OpenForAppend(path, keep, WalFsyncMode::kOff).value();
+    ASSERT_TRUE(writer->Append(4, "p4").ok());
+    ASSERT_TRUE(writer->Append(5, "p5").ok());
+  }
+  batch = tailer.Poll().value();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].lsn, 4u);
+  EXPECT_EQ(batch[1].payload, "p5");
+  EXPECT_EQ(tailer.stats().frames_delivered, 5u);
+}
+
+TEST(WalTailerTest, TornTailRetriedThenDeliveredWhenComplete) {
+  TempDir dir("tail_torn");
+  const std::string path = SegPath(dir);
+  {
+    auto writer = WalWriter::Create(path, 1, WalFsyncMode::kOff).value();
+    ASSERT_TRUE(writer->Append(1, "first-frame").ok());
+    ASSERT_TRUE(writer->Append(2, "second-frame").ok());
+  }
+  const std::string bytes = ReadAll(path);
+  // Tear the tail mid-frame-2: the poll delivers the valid prefix and notes
+  // a retry — never an error, never the torn frame.
+  WriteAll(path, bytes.substr(0, bytes.size() - 5));
+  WalTailer tailer(dir.str(), 0);
+  std::vector<WalFrame> batch = tailer.Poll().value();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload, "first-frame");
+  EXPECT_EQ(tailer.stats().torn_tail_retries, 1u);
+
+  // The in-flight append completes on the primary; the retry delivers it.
+  WriteAll(path, bytes);
+  batch = tailer.Poll().value();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].lsn, 2u);
+  EXPECT_EQ(batch[0].payload, "second-frame");
+}
+
+TEST(WalTailerTest, DrainsAcrossSegmentRotation) {
+  TempDir dir("tail_rotate");
+  {
+    auto w1 = WalWriter::Create(WalSegmentPath(dir.str(), 1), 1,
+                                WalFsyncMode::kOff)
+                  .value();
+    ASSERT_TRUE(w1->Append(1, "a").ok());
+    ASSERT_TRUE(w1->Append(2, "b").ok());
+    auto w2 = WalWriter::Create(WalSegmentPath(dir.str(), 3), 3,
+                                WalFsyncMode::kOff)
+                  .value();
+    ASSERT_TRUE(w2->Append(3, "c").ok());
+    ASSERT_TRUE(w2->Append(4, "d").ok());
+  }
+  // One poll drains both segments in LSN order, crossing the rotation.
+  WalTailer tailer(dir.str(), 0);
+  std::vector<WalFrame> batch = tailer.Poll().value();
+  ASSERT_EQ(batch.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].lsn, i + 1);
+  EXPECT_GE(tailer.stats().rotations, 1u);
+  EXPECT_EQ(tailer.stats().primary_lsn, 4u);
+
+  // Resuming mid-first-segment also crosses cleanly.
+  WalTailer resumed(dir.str(), 2);
+  batch = resumed.Poll().value();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].lsn, 3u);
+}
+
+TEST(WalTailerTest, PrunedResumePointIsTerminalNotFound) {
+  TempDir dir("tail_pruned");
+  {
+    auto writer = WalWriter::Create(WalSegmentPath(dir.str(), 5), 5,
+                                    WalFsyncMode::kOff)
+                      .value();
+    ASSERT_TRUE(writer->Append(5, "e").ok());
+    ASSERT_TRUE(writer->Append(6, "f").ok());
+  }
+  // The replica needs LSN 3 but every surviving segment starts later: the
+  // primary pruned past it. kNotFound tells the tail loop to stop retrying.
+  WalTailer tailer(dir.str(), 2);
+  Result<std::vector<WalFrame>> polled = tailer.Poll();
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(polled.status().code(), StatusCode::kNotFound);
+
+  // A tailer already past the gap is unaffected.
+  WalTailer caught_up(dir.str(), 4);
+  EXPECT_EQ(caught_up.Poll().value().size(), 2u);
+}
+
+TEST(WalTailerTest, SnapshotNameBoundsPrimaryLsnAndFlagsPrunedGap) {
+  TempDir dir("tail_snap");
+  {
+    auto manager =
+        DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+    ASSERT_TRUE(manager->Recover().ok());
+    for (uint64_t lsn = 1; lsn <= 8; ++lsn) {
+      ASSERT_TRUE(manager->Append(lsn, "x").ok());
+    }
+    // Snapshot + rotate: the old segment is pruned, frames 1..8 survive
+    // only inside the snapshot, and the live segment starts (empty) at 9.
+    ASSERT_TRUE(manager->WriteSnapshot(8, "snapshot-payload").ok());
+  }
+  // A caught-up tailer learns the primary's LSN from the snapshot name even
+  // though no log frame carries it.
+  WalTailer caught_up(dir.str(), 8);
+  EXPECT_TRUE(caught_up.Poll().value().empty());
+  EXPECT_EQ(caught_up.stats().primary_lsn, 8u);
+
+  // A tailer needing pruned frames cannot proceed from the log alone.
+  WalTailer lagged(dir.str(), 3);
+  Result<std::vector<WalFrame>> polled = lagged.Poll();
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(polled.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReadLogReadOnlyTest, BootstrapsFromSnapshotPlusSuffix) {
+  TempDir dir("ro_bootstrap");
+  {
+    auto manager =
+        DurabilityManager::Open(dir.str(), WalFsyncMode::kOff).value();
+    ASSERT_TRUE(manager->Recover().ok());
+    for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+      ASSERT_TRUE(manager->Append(lsn, "pre").ok());
+    }
+    ASSERT_TRUE(manager->WriteSnapshot(3, "payload-A").ok());
+    ASSERT_TRUE(manager->Append(4, "post4").ok());
+    ASSERT_TRUE(manager->Append(5, "post5").ok());
+  }
+  RecoveredLog log = ReadLogReadOnly(dir.str()).value();
+  EXPECT_TRUE(log.has_snapshot);
+  EXPECT_EQ(log.snapshot_lsn, 3u);
+  EXPECT_EQ(log.snapshot_payload, "payload-A");
+  ASSERT_EQ(log.frames.size(), 2u);
+  EXPECT_EQ(log.frames[0].lsn, 4u);
+  EXPECT_EQ(log.frames[1].payload, "post5");
+}
+
+TEST(ReadLogReadOnlyTest, NeverRepairsTheOwnersFiles) {
+  TempDir dir("ro_readonly");
+  const std::string path = SegPath(dir);
+  {
+    auto writer = WalWriter::Create(path, 1, WalFsyncMode::kOff).value();
+    ASSERT_TRUE(writer->Append(1, "kept").ok());
+    ASSERT_TRUE(writer->Append(2, "torn").ok());
+  }
+  std::string torn_bytes = ReadAll(path);
+  torn_bytes.resize(torn_bytes.size() - 3);
+  WriteAll(path, torn_bytes);
+
+  // The read-only scan stops at the valid prefix...
+  RecoveredLog log = ReadLogReadOnly(dir.str()).value();
+  ASSERT_EQ(log.frames.size(), 1u);
+  EXPECT_EQ(log.frames[0].payload, "kept");
+  // ...and leaves the torn tail byte-for-byte intact: repairing it is the
+  // owning primary's job (DurabilityManager::Recover truncates; we must
+  // not race its in-flight append).
+  EXPECT_EQ(ReadAll(path), torn_bytes);
+}
+
+TEST(ReadLogReadOnlyTest, GapStopsAtContiguousPrefix) {
+  TempDir dir("ro_gap");
+  {
+    auto w1 = WalWriter::Create(WalSegmentPath(dir.str(), 1), 1,
+                                WalFsyncMode::kOff)
+                  .value();
+    ASSERT_TRUE(w1->Append(1, "a").ok());
+    ASSERT_TRUE(w1->Append(2, "b").ok());
+    // A segment starting beyond the contiguous end (3 was pruned or lost).
+    auto w2 = WalWriter::Create(WalSegmentPath(dir.str(), 5), 5,
+                                WalFsyncMode::kOff)
+                  .value();
+    ASSERT_TRUE(w2->Append(5, "e").ok());
+  }
+  RecoveredLog log = ReadLogReadOnly(dir.str()).value();
+  EXPECT_FALSE(log.has_snapshot);
+  ASSERT_EQ(log.frames.size(), 2u);
+  EXPECT_EQ(log.frames[1].lsn, 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -113,6 +113,17 @@ TEST(GovernorPlumbingTest, SuppressScopeMasksInstalledContext) {
   EXPECT_EQ(governor::CheckPoint().code(), StatusCode::kCancelled);
 }
 
+TEST(GovernorPlumbingTest, SuppressionIsThreadLocal) {
+  // One request's suppression (rollback, replica apply) must never blind
+  // the governor on a concurrently executing request's thread.
+  GovernorSuppressScope suppress;
+  ASSERT_TRUE(governor::Suppressed());
+  bool other_suppressed = true;
+  std::thread peer([&] { other_suppressed = governor::Suppressed(); });
+  peer.join();
+  EXPECT_FALSE(other_suppressed) << "suppression leaked across threads";
+}
+
 // ---------------------------------------------------------------------------
 // Admission gate
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@
 
 #include "common/fault.h"
 #include "core/dvms.h"
+#include "core/session.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 #include "gtest/gtest.h"
@@ -207,11 +208,12 @@ class ObsEngineTest : public ::testing::Test {
 };
 
 TEST_F(ObsEngineTest, MetricsRelationIsQueryable) {
-  // Generate executor traffic, then read it back through DeVIL itself.
+  // Generate executor traffic, then read it back through DeVIL itself —
+  // via a read session, the path an observability dashboard would use.
   ASSERT_TRUE(engine_->Query("SELECT * FROM Sales").ok());
-  Table t = engine_
-                ->Query("SELECT name, count FROM dvms_metrics "
-                        "WHERE name = 'exec.rows.Scan'")
+  Table t = Session(engine_.get())
+                .Query("SELECT name, count FROM dvms_metrics "
+                       "WHERE name = 'exec.rows.Scan'")
                 .value();
   ASSERT_EQ(t.num_rows(), 1u);
   EXPECT_GE(t.At(0, "count").value().int_value(), 4);
@@ -230,9 +232,9 @@ TEST_F(ObsEngineTest, MetricsRelationRendersCounterGaugesAsNull) {
 
 TEST_F(ObsEngineTest, SpansRelationIsQueryable) {
   ASSERT_TRUE(engine_->Query("SELECT * FROM Sales").ok());
-  Table t = engine_
-                ->Query("SELECT name, dur_us FROM dvms_spans "
-                        "WHERE name = 'engine.query'")
+  Table t = Session(engine_.get())
+                .Query("SELECT name, dur_us FROM dvms_spans "
+                       "WHERE name = 'engine.query'")
                 .value();
   ASSERT_GE(t.num_rows(), 1u);
   EXPECT_GE(t.At(0, "dur_us").value().int_value(), 0);
