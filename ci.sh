@@ -134,6 +134,41 @@ if grep -q '"pass": false' BENCH_replication.json; then
   echo "replication diverged, stalled, or failed to promote" >&2; exit 1
 fi
 
+# Integrity-scrubber cost: a 20ms background scrub cadence must stay under
+# 2% of the scrubber-off durable workload ("pass" in BENCH_scrub.json);
+# the same binary records per-pass latency and a detection/quarantine
+# smoke on a flipped byte in a sealed segment.
+SCRUB_LINES="$PWD/build/bench_scrub_lines.jsonl"
+rm -f "$SCRUB_LINES"
+DVMS_BENCH_JSON="$SCRUB_LINES" ./build/bench/bench_scrub \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$SCRUB_LINES"
+  printf ']\n'
+} > BENCH_scrub.json
+echo "wrote BENCH_scrub.json:"
+cat BENCH_scrub.json
+if grep -q '"pass": false' BENCH_scrub.json; then
+  echo "scrubber overhead budget exceeded or detection failed" >&2; exit 1
+fi
+
+# Env-fault chaos sweep: seeded disk-fault injection (DVMS_IO_FAULTS)
+# driven through the storage Env layer over the durability and replication
+# workloads. Injected EIO/ENOSPC/short-write/fsync-fail may fail
+# individual operations or degrade the engine to read-only — never crash
+# the process. Recovery, rollback, and replica-apply paths run
+# fault-exempt by design, so every run must terminate cleanly.
+for seed in 1 2 3; do
+  DVMS_IO_FAULTS="${seed}:0.005" ./build/bench/bench_recovery \
+    --benchmark_filter=__none__ >/dev/null
+  DVMS_IO_FAULTS="${seed}:0.01:write,fsync" ./build/bench/bench_replication \
+    --benchmark_filter=__none__ >/dev/null
+  DVMS_IO_FAULTS="${seed}:0.02" ./build/bench/bench_scrub \
+    --benchmark_filter=__none__ >/dev/null
+done
+echo "env-fault chaos sweep passed"
+
 # Leg 2: ThreadSanitizer build; DVMS_THREADS=4 forces real morsel
 # parallelism through every test regardless of host core count — including
 # the linearizability stress harness (1/2/4/8 reader sessions racing the
@@ -153,7 +188,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session|Replication|Replica')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session|Replication|Replica|Env|Scrub|Degraded')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
 # Governed-abort leg: deadline/cancel/memory-budget aborts and their

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kReadOnlyReplica:
       return "ReadOnlyReplica";
+    case StatusCode::kStorageDegraded:
+      return "StorageDegraded";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kCancelled,
   kResourceExhausted,
   kReadOnlyReplica,
+  kStorageDegraded,
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
@@ -77,6 +78,9 @@ class Status {
   }
   static Status ReadOnlyReplica(std::string msg) {
     return Status(StatusCode::kReadOnlyReplica, std::move(msg));
+  }
+  static Status StorageDegraded(std::string msg) {
+    return Status(StatusCode::kStorageDegraded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,13 +1,17 @@
 #include "core/dvms.h"
 
+#include <fcntl.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <limits>
 
+#include "common/env.h"
 #include "core/session.h"
 #include "parser/parser.h"
 #include "parser/planner.h"
@@ -20,6 +24,19 @@ constexpr char kMetricsRelation[] = "dvms_metrics";
 constexpr char kSpansRelation[] = "dvms_spans";
 constexpr char kGovernorRelation[] = "dvms_governor";
 constexpr char kReplicationRelation[] = "dvms_replication";
+constexpr char kStorageRelation[] = "dvms_storage";
+
+/// Space-probe backoff bounds: 1ms doubling to a 1s cap, so a mutation
+/// storm against a full disk costs at most one probe per second while
+/// recovery after the disk frees is still prompt.
+constexpr uint64_t kProbeBackoffFloorUs = 1000;
+constexpr uint64_t kProbeBackoffCapUs = 1000 * 1000;
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Nesting depth of governed public entry points on this thread. Nested
 /// calls (Execute -> Insert, PushEvents -> PushEvent, auto_render ->
@@ -204,9 +221,17 @@ Dvms::Dvms(Options options)
   if (tailer_ != nullptr) {
     tail_thread_ = std::thread([this] { TailLoop(); });
   }
+  // Background integrity scrubber. Started even on a replica (where passes
+  // no-op until a Promote() hands it a durability directory).
+  scrub_ms_ = options_.scrub_ms > 0 ? static_cast<uint64_t>(options_.scrub_ms)
+                                    : EnvU64Or("DVMS_SCRUB_MS", 0);
+  if (scrub_ms_ > 0) {
+    scrub_thread_ = std::thread([this] { ScrubLoop(); });
+  }
 }
 
 Dvms::~Dvms() {
+  StopScrubber();
   StopTailer();
   if (durability_ != nullptr) {
     // Push any batched group-commit frames out before the process forgets
@@ -765,6 +790,9 @@ Status Dvms::SyncSystemRelationsLocked(const SelectStmt& select) {
     } else if (IdentEquals(name, kReplicationRelation)) {
       refreshed = BuildReplicationTable();
       canonical = kReplicationRelation;
+    } else if (IdentEquals(name, kStorageRelation)) {
+      refreshed = BuildStorageTable();
+      canonical = kStorageRelation;
     } else {
       continue;
     }
@@ -1269,7 +1297,9 @@ DurabilityStats Dvms::durability_stats() const {
 Status Dvms::FlushWal() {
   MuLock lock(mu_, write_lock_acquisitions_);
   if (durability_ == nullptr || durability_poisoned_) return Status::OK();
-  return durability_->Flush();
+  Status st = durability_->Flush();
+  if (!st.ok() && env::IsOutOfSpace(st)) EnterDegraded("wal flush", st);
+  return st;
 }
 
 Status Dvms::Checkpoint() {
@@ -1282,7 +1312,14 @@ Status Dvms::Checkpoint() {
     return Status::ExecutionError("durability disabled (fail-stop): " +
                                   recovery_status_.message());
   }
-  return WriteSnapshotLocked();
+  Status st = WriteSnapshotLocked();
+  if (!st.ok() && env::IsOutOfSpace(st)) {
+    // The log is intact and nothing was acknowledged, but the disk is
+    // full: degrade to read-only until the space probe clears.
+    EnterDegraded("checkpoint snapshot", st);
+    return Status::StorageDegraded("checkpoint not written: " + st.message());
+  }
+  return st;
 }
 
 void Dvms::AttachScheduler(StreamScheduler* scheduler) {
@@ -1305,8 +1342,19 @@ void Dvms::PoisonDurability(const char* what, const Status& cause) {
 Status Dvms::LogCommitted(const WalRecord& record) {
   if (!ShouldLog()) return Status::OK();
   std::string payload = EncodeWalRecord(record);
-  DVMS_RETURN_IF_ERROR(durability_->Append(durability_->last_lsn() + 1,
-                                           payload));
+  Status appended = durability_->Append(durability_->last_lsn() + 1, payload);
+  if (!appended.ok()) {
+    if (env::IsOutOfSpace(appended)) {
+      // Out of space is transient and the frame was never acknowledged:
+      // degrade to read-only (the caller rolls the mutation back, reads
+      // keep serving, a bounded-backoff space probe auto-recovers) instead
+      // of the unconditional fail-stop a lost acknowledged frame forces.
+      EnterDegraded("wal append", appended);
+      return Status::StorageDegraded("mutation not logged: " +
+                                     appended.message());
+    }
+    return appended;
+  }
   if (record.IsDefinition()) def_records_.push_back(std::move(payload));
   ++frames_since_snapshot_;
   if (options_.snapshot_interval > 0 &&
@@ -1318,6 +1366,10 @@ Status Dvms::LogCommitted(const WalRecord& record) {
       std::fprintf(stderr, "dvms: automatic snapshot failed: %s\n",
                    snap.message().c_str());
       frames_since_snapshot_ = 0;  // retry an interval later, not every op
+      // A full disk at snapshot time predicts the next append failing the
+      // same way; enter degraded mode now. The triggering interaction was
+      // logged durably and stays acknowledged.
+      if (env::IsOutOfSpace(snap)) EnterDegraded("automatic snapshot", snap);
     }
   }
   return Status::OK();
@@ -1515,6 +1567,7 @@ void Dvms::InitDurability() {
     return;
   }
   durability_ = std::move(manager).value();
+  storage_dir_ = durability_->dir();  // constructor: still single-threaded
   Result<RecoveredLog> recovered = durability_->Recover();
   if (!recovered.ok()) {
     recovery_status_ = recovered.status();
@@ -1550,6 +1603,19 @@ Status Dvms::CheckWritable(const char* op) const {
         std::string(op) + " rejected: this engine is a read replica of " +
         options_.replica_of +
         " (reads stay available; Promote() fails over to writable)");
+  }
+  if (storage_degraded_.load(std::memory_order_relaxed) &&
+      !StorageWritableOrProbe()) {
+    std::string reason;
+    {
+      std::lock_guard<std::mutex> lock(storage_mu_);
+      reason = storage_stats_.degraded_reason;
+    }
+    return Status::StorageDegraded(
+        std::string(op) + " rejected: storage is degraded read-only (" +
+        reason +
+        "); snapshot reads stay available and a bounded-backoff space probe "
+        "re-enables writes when the disk frees");
   }
   return Status::OK();
 }
@@ -1890,6 +1956,10 @@ Status Dvms::Promote() {
   durability_poisoned_ = false;
   recovery_status_ = Status::OK();
   frames_since_snapshot_ = 0;
+  {
+    std::lock_guard<std::mutex> storage_lock(storage_mu_);
+    storage_dir_ = durability_->dir();
+  }
   role_.store(Role::kPrimary, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> repl_lock(repl_mu_);
@@ -1907,6 +1977,293 @@ Status Dvms::Promote() {
   PublishSnapshotLocked();
   obs::Count("replication.promotions");
   return Status::OK();
+}
+
+// ---- Storage health: degraded mode + integrity scrubber ----
+
+void Dvms::EnterDegraded(const char* what, const Status& cause) {
+  bool entered = false;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    entered = !storage_degraded_.exchange(true, std::memory_order_relaxed);
+    storage_stats_.degraded_reason =
+        std::string(what) + ": " + cause.message();
+    if (entered) {
+      ++storage_stats_.degraded_entries;
+      probe_backoff_us_ = kProbeBackoffFloorUs;
+      next_probe_us_ = SteadyMicros() + static_cast<int64_t>(probe_backoff_us_);
+    }
+  }
+  if (entered) {
+    // Counted in storage_stats_, not obs: entry often happens inside a
+    // mutation unit whose rollback rewinds obs counters (like the
+    // engine.write_lock witness, the degraded trail must survive that).
+    std::fprintf(stderr, "dvms: entering degraded read-only mode (%s): %s\n",
+                 what, cause.message().c_str());
+  }
+}
+
+bool Dvms::StorageWritableOrProbe() const {
+  std::lock_guard<std::mutex> lock(storage_mu_);
+  if (!storage_degraded_.load(std::memory_order_relaxed)) {
+    return true;  // another caller's probe already cleared the mode
+  }
+  const int64_t now = SteadyMicros();
+  if (now < next_probe_us_) return false;  // inside the backoff window
+  ++storage_stats_.space_probes;
+  Status probed = ProbeStorage();
+  if (!probed.ok()) {
+    probe_backoff_us_ =
+        std::min<uint64_t>(probe_backoff_us_ * 2, kProbeBackoffCapUs);
+    if (probe_backoff_us_ < kProbeBackoffFloorUs) {
+      probe_backoff_us_ = kProbeBackoffFloorUs;
+    }
+    next_probe_us_ = now + static_cast<int64_t>(probe_backoff_us_);
+    return false;
+  }
+  storage_degraded_.store(false, std::memory_order_relaxed);
+  ++storage_stats_.degraded_exits;
+  storage_stats_.degraded_reason.clear();
+  std::fprintf(stderr,
+               "dvms: space probe succeeded; leaving degraded read-only "
+               "mode\n");
+  return true;
+}
+
+Status Dvms::ProbeStorage() const {
+  if (storage_dir_.empty()) return Status::OK();
+  // Deliberately NOT fault-suppressed: under a FaultEnv that simulates a
+  // full disk the probe must keep failing until the test disarms it, just
+  // as a real probe keeps failing until the disk frees.
+  Env* env = env::Active();
+  const std::string path = storage_dir_ + "/.space-probe";
+  DVMS_ASSIGN_OR_RETURN(
+      int fd, env->Open(path, O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644));
+  char block[4096];
+  std::memset(block, 0, sizeof(block));
+  Status st = env::WriteFully(env, fd, block, sizeof(block), path);
+  if (st.ok()) st = env::FsyncOrPoison(env, &fd, path);
+  if (fd >= 0) env->Close(fd);
+  {
+    // Cleanup of the probe artifact, not part of the verdict.
+    FaultSuppressScope suppress;
+    (void)env->Unlink(path);
+  }
+  return st;
+}
+
+Dvms::StorageStats Dvms::storage_stats() const {
+  std::lock_guard<std::mutex> lock(storage_mu_);
+  StorageStats ss = storage_stats_;
+  ss.degraded = storage_degraded_.load(std::memory_order_relaxed);
+  return ss;
+}
+
+Status Dvms::ScrubNow() { return ScrubPass(); }
+
+void Dvms::StopScrubber() {
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrub_thread_.joinable()) scrub_thread_.join();
+}
+
+void Dvms::ScrubLoop() {
+  std::unique_lock<std::mutex> lock(scrub_mu_);
+  while (!scrub_stop_) {
+    if (scrub_cv_.wait_for(lock, std::chrono::milliseconds(scrub_ms_),
+                           [this] { return scrub_stop_; })) {
+      return;
+    }
+    lock.unlock();
+    // Failures (durability off on a not-yet-promoted replica, a transient
+    // listing error) are reflected in storage_stats_; the thread itself
+    // never stops until shutdown.
+    (void)ScrubPass();
+    lock.lock();
+  }
+}
+
+Status Dvms::ScrubPass() {
+  std::string dir;
+  std::string active;
+  {
+    MuLock lock(mu_, write_lock_acquisitions_);
+    if (durability_ == nullptr) {
+      return Status::InvalidArgument("durability is not enabled (no data_dir)");
+    }
+    dir = durability_->dir();
+    active = durability_->ActiveSegmentPath();
+  }
+  obs::Span span("scrub.pass");
+  StorageStats found;  // this pass's deltas
+  std::string uncovered;  // corruption no snapshot makes redundant
+
+  Result<std::vector<uint64_t>> snaps = ListWalSnapshots(dir);
+  Result<std::vector<uint64_t>> segs = ListWalSegments(dir);
+  if (!snaps.ok() || !segs.ok()) {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    ++storage_stats_.scrub_passes;
+    ++storage_stats_.scrub_io_errors;
+    return snaps.ok() ? segs.status() : snaps.status();
+  }
+
+  // Snapshots first: segment quarantine decisions depend on which snapshot
+  // LSNs actually validate, not on file names alone.
+  uint64_t newest_valid_snap = 0;
+  std::vector<uint64_t> corrupt_snaps;
+  for (uint64_t lsn : snaps.value()) {
+    const std::string path = WalSnapshotPath(dir, lsn);
+    Result<std::pair<uint64_t, std::string>> snap = ReadSnapshotFile(path);
+    if (snap.ok()) {
+      ++found.scrub_snapshots_scanned;
+      newest_valid_snap = std::max(newest_valid_snap, lsn);
+      continue;
+    }
+    if (env::IsNotFound(snap.status())) continue;  // pruned mid-pass
+    ++found.scrub_snapshots_scanned;
+    if (env::IsEnvIoError(snap.status())) {
+      ++found.scrub_io_errors;  // device error — maybe transient, retry later
+      continue;
+    }
+    ++found.scrub_corruptions;
+    found.last_corruption = path + ": " + snap.status().message();
+    corrupt_snaps.push_back(lsn);
+  }
+  // A corrupt snapshot is quarantined only when some valid snapshot still
+  // exists (recovery never chooses a corrupt one, so setting it aside can
+  // only silence re-detection, never change the recovery outcome — but
+  // with NO valid peer we keep the evidence in place and stay loud).
+  for (uint64_t lsn : corrupt_snaps) {
+    const std::string path = WalSnapshotPath(dir, lsn);
+    if (newest_valid_snap == 0) {
+      std::fprintf(stderr,
+                   "dvms: scrub found corrupt snapshot %s with no valid "
+                   "replacement; leaving it in place\n",
+                   path.c_str());
+      continue;
+    }
+    MuLock lock(mu_, write_lock_acquisitions_);  // vs. concurrent pruning
+    Status q = env::Active()->Rename(path, path + ".quarantined");
+    if (q.ok()) {
+      ++found.scrub_quarantined;
+      std::fprintf(stderr, "dvms: scrub quarantined corrupt snapshot %s\n",
+                   path.c_str());
+    } else if (!env::IsNotFound(q)) {
+      ++found.scrub_io_errors;
+    }
+  }
+
+  // Sealed segments were cut to a clean frame boundary when sealed, so any
+  // scan violation now — bad header, bad CRC, torn tail — is bit rot.
+  const std::vector<uint64_t>& seg_lsns = segs.value();
+  for (size_t i = 0; i < seg_lsns.size(); ++i) {
+    const std::string path = WalSegmentPath(dir, seg_lsns[i]);
+    if (path == active) continue;  // in flight; validated once sealed
+    Result<WalScan> scan = ScanWalSegment(path);
+    if (!scan.ok()) {
+      if (!env::IsNotFound(scan.status())) {
+        ++found.scrub_segments_scanned;
+        ++found.scrub_io_errors;
+      }
+      continue;
+    }
+    ++found.scrub_segments_scanned;
+    if (!scan.value().bad_header && !scan.value().tail_truncated) continue;
+    ++found.scrub_corruptions;
+    const std::string why =
+        path + ": " +
+        (scan.value().tail_error.empty() ? "corrupt sealed segment"
+                                         : scan.value().tail_error);
+    found.last_corruption = why;
+    // The segment's frames end just before the next segment's first LSN;
+    // it is redundant only when a valid snapshot covers that whole range.
+    const bool covered = i + 1 < seg_lsns.size() &&
+                         newest_valid_snap + 1 >= seg_lsns[i + 1];
+    if (covered) {
+      MuLock lock(mu_, write_lock_acquisitions_);
+      Status q = env::Active()->Rename(path, path + ".quarantined");
+      if (q.ok()) {
+        ++found.scrub_quarantined;
+        std::fprintf(stderr,
+                     "dvms: scrub quarantined corrupt sealed segment %s "
+                     "(covered by snapshot %llu)\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(newest_valid_snap));
+      } else if (!env::IsNotFound(q)) {
+        ++found.scrub_io_errors;
+      }
+    } else {
+      // Acknowledged commits live only in this segment; a restart would
+      // truncate the log at the corruption and silently lose them.
+      uncovered = "scrub: " + why + " and no snapshot covers it";
+    }
+  }
+
+  if (!uncovered.empty()) {
+    // Fail loud: stop acknowledging new frames against a log whose durable
+    // history is already damaged. Reads keep serving, exactly like any
+    // other fail-stop.
+    MuLock lock(mu_, write_lock_acquisitions_);
+    if (!durability_poisoned_) {
+      PoisonDurability("scrub found unrecoverable corruption",
+                       Status::ExecutionError(uncovered));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    ++storage_stats_.scrub_passes;
+    storage_stats_.scrub_segments_scanned += found.scrub_segments_scanned;
+    storage_stats_.scrub_snapshots_scanned += found.scrub_snapshots_scanned;
+    storage_stats_.scrub_corruptions += found.scrub_corruptions;
+    storage_stats_.scrub_quarantined += found.scrub_quarantined;
+    storage_stats_.scrub_io_errors += found.scrub_io_errors;
+    if (!found.last_corruption.empty()) {
+      storage_stats_.last_corruption = found.last_corruption;
+    }
+  }
+  obs::Count("scrub.passes");
+  if (found.scrub_corruptions > 0) {
+    obs::Count("scrub.corruptions", found.scrub_corruptions);
+  }
+  if (found.scrub_quarantined > 0) {
+    obs::Count("scrub.quarantined", found.scrub_quarantined);
+  }
+  if (found.scrub_io_errors > 0) {
+    obs::Count("scrub.io_errors", found.scrub_io_errors);
+  }
+  return Status::OK();
+}
+
+Table Dvms::BuildStorageTable() const {
+  Table out(Schema({{"name", ValueType::kString},
+                    {"value", ValueType::kInt64}}));
+  auto row = [&out](const char* name, int64_t value) {
+    out.AppendUnchecked({Value::String(name), Value::Int(value)});
+  };
+  StorageStats ss = storage_stats();
+  row("degraded", ss.degraded ? 1 : 0);
+  row("degraded_entries", static_cast<int64_t>(ss.degraded_entries));
+  row("degraded_exits", static_cast<int64_t>(ss.degraded_exits));
+  row("space_probes", static_cast<int64_t>(ss.space_probes));
+  row("scrub_ms", static_cast<int64_t>(scrub_ms_));
+  row("scrub_passes", static_cast<int64_t>(ss.scrub_passes));
+  row("scrub_segments_scanned",
+      static_cast<int64_t>(ss.scrub_segments_scanned));
+  row("scrub_snapshots_scanned",
+      static_cast<int64_t>(ss.scrub_snapshots_scanned));
+  row("scrub_corruptions", static_cast<int64_t>(ss.scrub_corruptions));
+  row("scrub_quarantined", static_cast<int64_t>(ss.scrub_quarantined));
+  row("scrub_io_errors", static_cast<int64_t>(ss.scrub_io_errors));
+  FaultEnv* injector = env::ActiveFault();
+  row("io_fault_checks",
+      injector != nullptr ? static_cast<int64_t>(injector->checks()) : 0);
+  row("io_faults_injected",
+      injector != nullptr ? static_cast<int64_t>(injector->injections()) : 0);
+  return out;
 }
 
 // ---- Concurrent snapshot reads ----
@@ -1973,6 +2330,8 @@ Result<Table> Dvms::SnapshotRead(Session* session,
         overlay.AddOverlay(kGovernorRelation, BuildGovernorTable());
       } else if (IdentEquals(name, kReplicationRelation)) {
         overlay.AddOverlay(kReplicationRelation, BuildReplicationTable());
+      } else if (IdentEquals(name, kStorageRelation)) {
+        overlay.AddOverlay(kStorageRelation, BuildStorageTable());
       }
     }
     if (req.explain) {

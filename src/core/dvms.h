@@ -105,6 +105,13 @@ class Dvms {
     /// replica keeps serving its last applied epoch and keeps retrying with
     /// capped exponential backoff. 0 = DVMS_REPLICA_RETRY_BUDGET, or 8.
     int64_t replica_retry_budget = 0;
+    /// Background integrity-scrub cadence in milliseconds: a low-priority
+    /// thread periodically re-reads the sealed WAL segments and snapshots,
+    /// re-validating every checksum, so latent disk corruption is found
+    /// while an intact snapshot still covers it — not at the next restart.
+    /// 0 = the DVMS_SCRUB_MS environment variable, or no background
+    /// scrubbing (ScrubNow() works either way).
+    int64_t scrub_ms = 0;
     /// Enables the process-wide observability layer (src/obs): tracing
     /// spans + named counters/histograms across executor, IVM, raster,
     /// events, streaming, durability, and the thread pool, queryable as
@@ -274,6 +281,41 @@ class Dvms {
   /// Newest LSN acknowledged by the log (0 when durability is off). On a
   /// replica this is the newest LSN applied from the primary's log.
   uint64_t wal_lsn() const;
+
+  // ---- Storage health (see DESIGN.md § Storage fault model) ----
+
+  /// True while the engine is in degraded read-only mode: an out-of-space
+  /// WAL append or snapshot write was observed, mutations are rejected
+  /// with kStorageDegraded, snapshot reads keep serving the last published
+  /// epoch, and a bounded-backoff space probe exits the mode once the disk
+  /// frees up.
+  bool storage_degraded() const {
+    return storage_degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Degraded-mode and integrity-scrub counters, also exported as the
+  /// dvms_storage system relation. All-zero when durability is off.
+  struct StorageStats {
+    bool degraded = false;
+    uint64_t degraded_entries = 0;  // times degraded mode was entered
+    uint64_t degraded_exits = 0;    // successful probe recoveries
+    uint64_t space_probes = 0;      // probe attempts (incl. failures)
+    uint64_t scrub_passes = 0;
+    uint64_t scrub_segments_scanned = 0;
+    uint64_t scrub_snapshots_scanned = 0;
+    uint64_t scrub_corruptions = 0;   // checksum/format failures found
+    uint64_t scrub_quarantined = 0;   // corrupt files set aside (renamed)
+    uint64_t scrub_io_errors = 0;     // transient read failures (skipped)
+    std::string degraded_reason;      // empty unless degraded
+    std::string last_corruption;      // most recent scrub finding, if any
+  };
+  StorageStats storage_stats() const;
+
+  /// Runs one synchronous integrity-scrub pass over the sealed WAL
+  /// segments and snapshots (the same pass the DVMS_SCRUB_MS thread runs
+  /// on a cadence). Errors when durability is off; corruption findings are
+  /// reported through storage_stats(), not the return status.
+  Status ScrubNow();
 
   // ---- Replication (see DESIGN.md § Replication & failover) ----
 
@@ -643,6 +685,44 @@ class Dvms {
   EngineSnapshot BuildSnapshotLocked() const;
   Status WriteSnapshotLocked();
 
+  // ---- Storage-health plumbing ----
+
+  /// Enters degraded read-only mode (idempotent): records the reason,
+  /// resets the probe backoff, and logs once per entry. Out-of-space is
+  /// transient — unlike PoisonDurability, nothing was acknowledged and
+  /// then lost, so the engine keeps its log and waits for space.
+  void EnterDegraded(const char* what, const Status& cause);
+
+  /// The degraded-mode gate: true when storage is writable (not degraded,
+  /// or a space probe just succeeded and cleared the mode). Probes are
+  /// rate-limited with bounded exponential backoff (1ms doubling to 1s) so
+  /// a rejected-mutation storm cannot hammer a full disk. Const because
+  /// CheckWritable is; all state lives behind storage_mu_ / atomics.
+  bool StorageWritableOrProbe() const;
+
+  /// One probe: write + fsync + unlink a small file in the durability
+  /// directory through the active Env. storage_mu_ must be held.
+  Status ProbeStorage() const;
+
+  /// The DVMS_SCRUB_MS thread body: cv-waits the cadence, runs ScrubPass.
+  void ScrubLoop();
+
+  /// One integrity pass: briefly takes mu_ to capture the directory layout
+  /// and active segment, then re-reads every sealed segment and snapshot
+  /// without the lock. Corrupt sealed segments are quarantined (renamed
+  /// *.quarantined) only when a valid snapshot already covers every LSN
+  /// they hold; uncovered corruption fails loud (stderr + fail-stop via
+  /// PoisonDurability — acknowledged history would not survive a restart).
+  Status ScrubPass();
+
+  /// Signals and joins the scrub thread. Safe to call twice.
+  void StopScrubber();
+
+  /// Snapshot of storage health for the dvms_storage system relation.
+  /// Takes only storage_mu_ + atomics (no mu_) so concurrent session reads
+  /// can build it too.
+  Table BuildStorageTable() const;
+
   Options options_;
   /// Engine-owned pool when options_.num_threads > 0; otherwise the
   /// process-global pool is used.
@@ -742,6 +822,27 @@ class Dvms {
   std::mutex tail_mu_;
   std::condition_variable tail_cv_;
   bool tail_stop_ = false;
+  // ---- Storage-health state ----
+  /// Lock-free fast path for CheckWritable / storage_degraded(); all
+  /// transitions happen under storage_mu_.
+  mutable std::atomic<bool> storage_degraded_{false};
+  /// Guards storage_stats_ + the probe backoff (a leaf lock, like gov_mu_):
+  /// mutators probe under it before taking mu_, the scrub thread folds its
+  /// counters under it, session reads snapshot it.
+  mutable std::mutex storage_mu_;
+  mutable StorageStats storage_stats_;
+  /// Copy of the durability directory for the (mu_-free) space probe; set
+  /// while single-threaded in the constructor and under mu_ by Promote().
+  std::string storage_dir_;
+  mutable uint64_t probe_backoff_us_ = 0;
+  mutable int64_t next_probe_us_ = 0;
+  /// Resolved scrub cadence (Options overlaid with DVMS_SCRUB_MS); 0 = no
+  /// background thread.
+  uint64_t scrub_ms_ = 0;
+  std::thread scrub_thread_;
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
 };
 
 }  // namespace dvms

@@ -1,16 +1,13 @@
 #include "durability/manager.h"
 
-#include <dirent.h>
 #include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/fault.h"
 #include "obs/trace.h"
 #include "durability/crc32c.h"
@@ -22,35 +19,20 @@ namespace {
 constexpr char kSnapshotMagic[8] = {'D', 'V', 'M', 'S', 'S', 'N', 'P', '1'};
 constexpr size_t kSnapshotHeaderBytes = 28;  // magic + last_lsn + len + crc
 
-Status IoError(const std::string& what, const std::string& path) {
-  return Status::ExecutionError("durability: " + what + " failed for " + path +
-                                ": " + std::strerror(errno));
-}
-
 /// mkdir -p. Treats an existing directory as success.
 Status MakeDirs(const std::string& dir) {
+  Env* env = env::Active();
   std::string partial;
   size_t pos = 0;
   while (pos <= dir.size()) {
     size_t slash = dir.find('/', pos);
     partial = dir.substr(0, slash == std::string::npos ? dir.size() : slash);
     if (!partial.empty() && partial != "/") {
-      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
-        return IoError("mkdir", partial);
-      }
+      DVMS_RETURN_IF_ERROR(env->Mkdir(partial));
     }
     if (slash == std::string::npos) break;
     pos = slash + 1;
   }
-  return Status::OK();
-}
-
-Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return IoError("open", dir);
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return IoError("fsync", dir);
   return Status::OK();
 }
 
@@ -78,32 +60,17 @@ bool ParseNumberedName(const std::string& name, const char* prefix,
 Result<std::vector<uint64_t>> ListNumbered(const std::string& dir,
                                            const char* prefix,
                                            const char* suffix) {
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return IoError("opendir", dir);
+  DVMS_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        env::Active()->ListDir(dir));
   std::vector<uint64_t> lsns;
-  while (struct dirent* entry = ::readdir(d)) {
+  for (const std::string& name : names) {
     uint64_t lsn = 0;
-    if (ParseNumberedName(entry->d_name, prefix, suffix, &lsn)) {
+    if (ParseNumberedName(name, prefix, suffix, &lsn)) {
       lsns.push_back(lsn);
     }
   }
-  ::closedir(d);
   std::sort(lsns.begin(), lsns.end());
   return lsns;
-}
-
-Status WriteFileFully(int fd, const char* data, size_t n,
-                      const std::string& path) {
-  while (n > 0) {
-    ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return IoError("write", path);
-    }
-    data += w;
-    n -= static_cast<size_t>(w);
-  }
-  return Status::OK();
 }
 
 void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
@@ -123,24 +90,18 @@ uint64_t LoadU64(const char* p) {
 
 Result<std::pair<uint64_t, std::string>> ReadSnapshotFile(
     const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return IoError("open", path);
+  Env* env = env::Active();
+  DVMS_ASSIGN_OR_RETURN(int fd, env->Open(path, O_RDONLY | O_CLOEXEC, 0));
   struct FdCloser {
+    Env* env;
     int fd;
-    ~FdCloser() { ::close(fd); }
-  } closer{fd};
+    ~FdCloser() { env->Close(fd); }
+  } closer{env, fd};
 
   char header[kSnapshotHeaderBytes];
   size_t got = 0;
-  while (got < sizeof(header)) {
-    ssize_t r = ::read(fd, header + got, sizeof(header) - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return IoError("read", path);
-    }
-    if (r == 0) break;  // short file
-    got += static_cast<size_t>(r);
-  }
+  DVMS_RETURN_IF_ERROR(
+      env::ReadFully(env, fd, header, sizeof(header), path, &got));
   if (got < sizeof(header) ||
       std::memcmp(header, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     return Status::ExecutionError("durability: " + path +
@@ -149,25 +110,17 @@ Result<std::pair<uint64_t, std::string>> ReadSnapshotFile(
   uint64_t last_lsn = LoadU64(header + 8);
   uint64_t payload_len = LoadU64(header + 16);
   uint32_t stored_crc = LoadU32(header + 24);
-  struct stat st;
-  if (::fstat(fd, &st) != 0) return IoError("fstat", path);
-  if (payload_len != static_cast<uint64_t>(st.st_size) - kSnapshotHeaderBytes) {
+  DVMS_ASSIGN_OR_RETURN(uint64_t file_size, env->FileSize(fd, path));
+  if (payload_len != file_size - kSnapshotHeaderBytes) {
     return Status::ExecutionError("durability: " + path +
                                   " payload length disagrees with file size");
   }
   std::string payload(payload_len, '\0');
-  size_t off = 0;
-  while (off < payload_len) {
-    ssize_t n = ::read(fd, payload.data() + off, payload_len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return IoError("read", path);
-    }
-    if (n == 0) {
-      return Status::ExecutionError("durability: " + path +
-                                    " truncated mid-payload");
-    }
-    off += static_cast<size_t>(n);
+  DVMS_RETURN_IF_ERROR(
+      env::ReadFully(env, fd, payload.data(), payload_len, path, &got));
+  if (got < payload_len) {
+    return Status::ExecutionError("durability: " + path +
+                                  " truncated mid-payload");
   }
   // The checksum covers last_lsn as well as the payload: a flipped bit in
   // the header would otherwise silently shift the recovery resume point.
@@ -206,6 +159,19 @@ std::string DurabilityManager::SegmentPath(uint64_t first_lsn) const {
 
 std::string DurabilityManager::SnapshotPath(uint64_t last_lsn) const {
   return WalSnapshotPath(dir_, last_lsn);
+}
+
+bool DurabilityManager::UnlinkCounted(const std::string& path) {
+  Status st = env::Active()->Unlink(path);
+  if (st.ok()) return true;
+  ++stats_.unlink_failures;
+  obs::Count("storage.unlink_failed");
+  if (!unlink_warned_) {
+    unlink_warned_ = true;
+    std::fprintf(stderr, "dvms: failed to remove %s: %s\n", path.c_str(),
+                 st.message().c_str());
+  }
+  return false;
 }
 
 Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
@@ -297,8 +263,9 @@ Result<RecoveredLog> DurabilityManager::Recover() {
   }
   for (size_t i = cut_from; i < segments.size(); ++i) {
     if (SegmentPath(segments[i]) == tail_path) continue;
-    ::unlink(SegmentPath(segments[i]).c_str());
-    ++stats_.segments_pruned;
+    if (UnlinkCounted(SegmentPath(segments[i]))) {
+      ++stats_.segments_pruned;
+    }
   }
 
   last_lsn_ = next_lsn == 0 ? 0 : next_lsn - 1;
@@ -318,16 +285,61 @@ Result<RecoveredLog> DurabilityManager::Recover() {
       // in-segment LSN gap the next recovery must truncate as corruption,
       // so seal the tail at its valid prefix and rotate to a fresh segment
       // starting at the resume LSN.
-      if (::truncate(tail_path.c_str(), static_cast<off_t>(tail_valid)) != 0) {
-        return IoError("truncate", tail_path);
-      }
+      DVMS_RETURN_IF_ERROR(env::Active()->Truncate(tail_path, tail_valid));
     }
     DVMS_ASSIGN_OR_RETURN(
         writer_, WalWriter::Create(SegmentPath(last_lsn_ + 1), last_lsn_ + 1,
                                    mode_));
-    DVMS_RETURN_IF_ERROR(SyncDir(dir_));
+    DVMS_RETURN_IF_ERROR(env::Active()->SyncDir(dir_));
   }
   return out;
+}
+
+Status DurabilityManager::RotateAfterFsyncFailure() {
+  // This *is* the recovery path for the failed fsync: it must not be
+  // re-faulted while undoing the damage, and the crash harness's rollback
+  // scopes expect the same exemption.
+  FaultSuppressScope suppress;
+  Env* env = env::Active();
+  std::vector<WalFrame> retained = writer_->TakeUnsyncedFrames();
+  const uint64_t synced = writer_->synced_offset();
+  const std::string old_path = writer_->path();
+  writer_.reset();  // fd already closed by the fsyncgate poison
+  // The unsynced tail of the old segment may be garbage — the kernel was
+  // free to drop those dirty pages when the fsync failed. Cut the file
+  // back to the prefix the last successful fsync made durable.
+  DVMS_RETURN_IF_ERROR(env->Truncate(old_path, synced));
+  const uint64_t first =
+      retained.empty() ? last_lsn_ + 1 : retained.front().lsn;
+  DVMS_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> next,
+                        WalWriter::Create(SegmentPath(first), first, mode_));
+  for (const WalFrame& frame : retained) {
+    DVMS_RETURN_IF_ERROR(next->Append(frame.lsn, frame.payload));
+  }
+  // Re-establish durability of the previously acknowledged frames by
+  // rewriting and syncing them in the fresh segment — never by assuming a
+  // retried fsync on the old fd would have covered them.
+  DVMS_RETURN_IF_ERROR(next->Flush());
+  DVMS_RETURN_IF_ERROR(env->SyncDir(dir_));
+  writer_ = std::move(next);
+  ++stats_.fsync_rotations;
+  obs::Count("storage.fsync_rotations");
+  return Status::OK();
+}
+
+Status DurabilityManager::HandleWriterFailure(Status st) {
+  if (writer_ == nullptr || !writer_->sync_failed()) return st;
+  Status rotated = RotateAfterFsyncFailure();
+  if (!rotated.ok()) {
+    // Rotation could not re-establish a durable log: terminal. Drop the
+    // writer so every later append fails fast instead of appending after
+    // an untrustworthy tail.
+    writer_.reset();
+    return Status::ExecutionError(
+        "durability: fsync failed and segment rotation failed (" +
+        rotated.message() + "); original failure: " + st.message());
+  }
+  return st;
 }
 
 Status DurabilityManager::Append(uint64_t lsn, const std::string& payload) {
@@ -339,7 +351,8 @@ Status DurabilityManager::Append(uint64_t lsn, const std::string& payload) {
                             std::to_string(lsn) + " (log is at " +
                             std::to_string(last_lsn_) + ")");
   }
-  DVMS_RETURN_IF_ERROR(writer_->Append(lsn, payload));
+  Status st = writer_->Append(lsn, payload);
+  if (!st.ok()) return HandleWriterFailure(std::move(st));
   last_lsn_ = lsn;
   ++stats_.frames_appended;
   return Status::OK();
@@ -347,7 +360,9 @@ Status DurabilityManager::Append(uint64_t lsn, const std::string& payload) {
 
 Status DurabilityManager::Flush() {
   if (writer_ == nullptr) return Status::OK();
-  return writer_->Flush();
+  Status st = writer_->Flush();
+  if (!st.ok()) return HandleWriterFailure(std::move(st));
+  return Status::OK();
 }
 
 Status DurabilityManager::WriteSnapshot(uint64_t last_lsn,
@@ -364,6 +379,7 @@ Status DurabilityManager::WriteSnapshot(uint64_t last_lsn,
   // supersede them (it may cause their segment to be pruned).
   DVMS_RETURN_IF_ERROR(Flush());
 
+  Env* env = env::Active();
   const std::string final_path = SnapshotPath(last_lsn);
   const std::string tmp_path = final_path + ".tmp";
   char header[kSnapshotHeaderBytes];
@@ -373,21 +389,25 @@ Status DurabilityManager::WriteSnapshot(uint64_t last_lsn,
   StoreU32(header + 24, MaskCrc(Crc32cExtend(Crc32c(header + 8, 8),
                                              payload.data(), payload.size())));
 
-  int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
-                  0644);
-  if (fd < 0) return IoError("open", tmp_path);
-  Status st = WriteFileFully(fd, header, sizeof(header), tmp_path);
-  if (st.ok()) st = WriteFileFully(fd, payload.data(), payload.size(), tmp_path);
-  if (st.ok() && ::fsync(fd) != 0) st = IoError("fsync", tmp_path);
-  ::close(fd);
-  if (st.ok() && ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    st = IoError("rename", tmp_path);
+  DVMS_ASSIGN_OR_RETURN(
+      int fd, env->Open(tmp_path, O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                        0644));
+  Status st = env::WriteFully(env, fd, header, sizeof(header), tmp_path);
+  if (st.ok()) {
+    st = env::WriteFully(env, fd, payload.data(), payload.size(), tmp_path);
   }
+  // A failed snapshot fsync needs no rotation dance: the tmp file is
+  // simply abandoned before the rename, so the snapshot is never
+  // acknowledged and the previous one stays authoritative.
+  if (st.ok()) st = env::FsyncOrPoison(env, &fd, tmp_path);
+  env->Close(fd);
+  if (st.ok()) st = env->Rename(tmp_path, final_path);
   if (!st.ok()) {
-    ::unlink(tmp_path.c_str());
+    FaultSuppressScope suppress;  // cleanup of the failure, not new work
+    UnlinkCounted(tmp_path);
     return st;
   }
-  DVMS_RETURN_IF_ERROR(SyncDir(dir_));
+  DVMS_RETURN_IF_ERROR(env->SyncDir(dir_));
   ++stats_.snapshots_written;
 
   // Rotate so the next interval's frames land in a fresh segment; failure
@@ -396,7 +416,7 @@ Status DurabilityManager::WriteSnapshot(uint64_t last_lsn,
       WalWriter::Create(SegmentPath(last_lsn + 1), last_lsn + 1, mode_);
   if (next.ok()) {
     writer_ = std::move(next).value();
-    Status dir_st = SyncDir(dir_);
+    Status dir_st = env->SyncDir(dir_);
     if (!dir_st.ok()) return dir_st;
   }
   PruneObsoleteFiles();
@@ -411,7 +431,7 @@ void DurabilityManager::PruneObsoleteFiles() {
   uint64_t oldest_retained_snap = 0;
   if (snaps.value().size() > 2) {
     for (size_t i = 0; i + 2 < snaps.value().size(); ++i) {
-      ::unlink(SnapshotPath(snaps.value()[i]).c_str());
+      UnlinkCounted(SnapshotPath(snaps.value()[i]));
     }
   }
   if (snaps.value().size() >= 2) {
@@ -429,7 +449,7 @@ void DurabilityManager::PruneObsoleteFiles() {
   if (!segments.ok()) return;
   for (size_t i = 0; i + 1 < segments.value().size(); ++i) {
     if (segments.value()[i + 1] <= oldest_retained_snap + 1) {
-      if (::unlink(SegmentPath(segments.value()[i]).c_str()) == 0) {
+      if (UnlinkCounted(SegmentPath(segments.value()[i]))) {
         ++stats_.segments_pruned;
       }
     }

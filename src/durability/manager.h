@@ -22,6 +22,8 @@ struct DurabilityStats {
   uint64_t segments_pruned = 0;
   uint64_t tail_truncations = 0;     // torn/corrupt log tails dropped
   uint64_t fsyncs = 0;
+  uint64_t unlink_failures = 0;      // cleanup unlinks that failed (logged)
+  uint64_t fsync_rotations = 0;      // fsyncgate rotations after failed syncs
   bool recovered_from_snapshot = false;
   uint64_t recovered_lsn = 0;        // newest LSN visible after recovery
   std::string tail_error;            // why the tail was truncated, if it was
@@ -75,6 +77,14 @@ class DurabilityManager {
   WalFsyncMode fsync_mode() const { return mode_; }
   DurabilityStats stats() const;
 
+  /// Path of the segment currently open for appends — empty after a
+  /// terminal writer failure. The integrity scrubber skips it: its tail is
+  /// legitimately in flight, so only sealed files are held to the
+  /// every-byte-validates standard.
+  std::string ActiveSegmentPath() const {
+    return writer_ != nullptr ? writer_->path() : std::string();
+  }
+
  private:
   DurabilityManager(std::string dir, WalFsyncMode mode)
       : dir_(std::move(dir)), mode_(mode) {}
@@ -82,12 +92,29 @@ class DurabilityManager {
   std::string SegmentPath(uint64_t first_lsn) const;
   std::string SnapshotPath(uint64_t last_lsn) const;
   void PruneObsoleteFiles();
+  /// Removes `path`; a failure is logged to stderr (once per manager),
+  /// counted in stats().unlink_failures and the storage.unlink_failed
+  /// metric, and otherwise tolerated — retention just holds extra files
+  /// until the next prune retries. Returns whether the unlink succeeded.
+  bool UnlinkCounted(const std::string& path);
+  /// fsyncgate recovery: after a failed WAL fsync the poisoned writer's
+  /// unsynced tail is untrustworthy. Truncates the old segment back to its
+  /// durable prefix, creates a fresh segment at the first unsynced LSN,
+  /// rewrites the retained frames into it, and forces them to stable
+  /// storage — re-establishing durability by rewrite, never by re-running
+  /// fsync on the old fd. Any failure here is terminal for the log.
+  Status RotateAfterFsyncFailure();
+  /// Routes writer failures through the rotation above when the writer was
+  /// poisoned by a failed fsync; returns the (possibly annotated) original
+  /// failure.
+  Status HandleWriterFailure(Status st);
 
   std::string dir_;
   WalFsyncMode mode_;
   std::unique_ptr<WalWriter> writer_;
   uint64_t last_lsn_ = 0;
   bool recovered_ = false;
+  bool unlink_warned_ = false;
   DurabilityStats stats_;
 };
 

@@ -1,14 +1,13 @@
 #include "durability/wal.h"
 
 #include <fcntl.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cctype>
-#include <cerrno>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/fault.h"
 #include "durability/crc32c.h"
 #include "obs/trace.h"
@@ -19,61 +18,30 @@ namespace {
 
 std::atomic<int64_t> g_crash_after_wal_bytes{-1};
 
-Status IoError(const std::string& what, const std::string& path) {
-  return Status::ExecutionError("wal: " + what + " failed for " + path + ": " +
-                                std::strerror(errno));
-}
-
-/// write(2) loop honoring the torn-write crash hook: when the hook's byte
+/// WAL file writes honor the torn-write crash hook: when the hook's byte
 /// budget runs out inside this chunk, the prefix that fits is written (and
 /// synced, so the torn state is what recovery will actually see) and the
-/// process exits as if SIGKILLed mid-write.
-Status WriteFully(int fd, const char* data, size_t n, const std::string& path) {
+/// process exits as if SIGKILLed mid-write. Everything else delegates to
+/// the shared env::WriteFully loop.
+Status WalFileWrite(Env* env, int fd, const char* data, size_t n,
+                    const std::string& path) {
   int64_t budget = g_crash_after_wal_bytes.load(std::memory_order_relaxed);
   if (budget >= 0) {
     if (static_cast<uint64_t>(budget) < n) {
       size_t partial = static_cast<size_t>(budget);
       while (partial > 0) {
-        ssize_t w = ::write(fd, data, partial);
-        if (w <= 0) break;
-        data += w;
-        partial -= static_cast<size_t>(w);
+        Result<size_t> w = env->Write(fd, data, partial, path);
+        if (!w.ok() || w.value() == 0) break;
+        data += w.value();
+        partial -= w.value();
       }
-      ::fsync(fd);
+      env->Fsync(fd, path);
       ::_exit(42);
     }
     g_crash_after_wal_bytes.store(budget - static_cast<int64_t>(n),
                                   std::memory_order_relaxed);
   }
-  while (n > 0) {
-    ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return IoError("write", path);
-    }
-    data += w;
-    n -= static_cast<size_t>(w);
-  }
-  return Status::OK();
-}
-
-Status ReadFully(int fd, char* data, size_t n, const std::string& path,
-                 bool* short_read) {
-  *short_read = false;
-  while (n > 0) {
-    ssize_t r = ::read(fd, data, n);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return IoError("read", path);
-    }
-    if (r == 0) {
-      *short_read = true;
-      return Status::OK();
-    }
-    data += r;
-    n -= static_cast<size_t>(r);
-  }
-  return Status::OK();
+  return env::WriteFully(env, fd, data, n, path);
 }
 
 uint32_t LoadU32(const char* p) {
@@ -128,13 +96,14 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
                                                      uint64_t first_lsn,
                                                      WalFsyncMode mode) {
   DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
-  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
-  if (fd < 0) return IoError("open", path);
+  Env* env = env::Active();
+  DVMS_ASSIGN_OR_RETURN(
+      int fd, env->Open(path, O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644));
   std::unique_ptr<WalWriter> writer(new WalWriter(path, fd, 0, mode));
   char header[kWalHeaderBytes];
   std::memcpy(header, kWalMagic, sizeof(kWalMagic));
   StoreU64(header + 8, first_lsn);
-  DVMS_RETURN_IF_ERROR(WriteFully(fd, header, sizeof(header), path));
+  DVMS_RETURN_IF_ERROR(WalFileWrite(env, fd, header, sizeof(header), path));
   writer->offset_ = kWalHeaderBytes;
   // The header must be durable before any frame is acknowledged; a segment
   // with frames but no header would be unrecoverable.
@@ -145,17 +114,13 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
 Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
     const std::string& path, uint64_t valid_bytes, WalFsyncMode mode) {
   DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
-  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
-  if (fd < 0) return IoError("open", path);
+  Env* env = env::Active();
+  DVMS_ASSIGN_OR_RETURN(int fd, env->Open(path, O_WRONLY | O_CLOEXEC, 0));
   std::unique_ptr<WalWriter> writer(new WalWriter(path, fd, valid_bytes, mode));
   // Discard any torn tail beyond the validated prefix so new frames are
   // appended contiguously after the last good one.
-  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
-    return IoError("ftruncate", path);
-  }
-  if (::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
-    return IoError("lseek", path);
-  }
+  DVMS_RETURN_IF_ERROR(env->Ftruncate(fd, valid_bytes, path));
+  DVMS_RETURN_IF_ERROR(env->Seek(fd, valid_bytes, path));
   return writer;
 }
 
@@ -165,7 +130,7 @@ WalWriter::~WalWriter() {
       FaultSuppressScope suppress;  // best-effort final flush
       Flush();
     }
-    ::close(fd_);
+    env::Active()->Close(fd_);
   }
 }
 
@@ -180,6 +145,7 @@ Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
   obs::Span span("wal.append");
   const int64_t append_start =
       obs::Enabled() ? obs::NowMicros() : 0;
+  Env* env = env::Active();
   Status fault = fault::MaybeInject(FaultSite::kDurabilityIo);
   const uint64_t pre_append = offset_;
   const size_t pre_pending = pending_appends_;
@@ -189,11 +155,14 @@ Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
     StoreU32(head, static_cast<uint32_t>(payload.size()));
     StoreU32(head + 4, FrameCrc(lsn, payload));
     StoreU64(head + 8, lsn);
-    st = WriteFully(fd_, head, sizeof(head), path_);
-    if (st.ok()) st = WriteFully(fd_, payload.data(), payload.size(), path_);
+    st = WalFileWrite(env, fd_, head, sizeof(head), path_);
+    if (st.ok()) {
+      st = WalFileWrite(env, fd_, payload.data(), payload.size(), path_);
+    }
     if (st.ok()) {
       offset_ = pre_append + kWalFrameOverhead + payload.size();
       ++pending_appends_;
+      if (mode_ != WalFsyncMode::kOff) unsynced_.push_back({lsn, payload});
       if (mode_ == WalFsyncMode::kAlways ||
           (mode_ == WalFsyncMode::kBatch &&
            pending_appends_ >= kGroupCommitAppends)) {
@@ -202,17 +171,27 @@ Status WalWriter::Append(uint64_t lsn, const std::string& payload) {
     }
   }
   if (!st.ok()) {
+    if (sync_failed_) {
+      // The write landed but its fsync failed: the writer is already
+      // poisoned (fd closed — see Sync). This frame's append is being
+      // reported failed, so it must not ride along when the manager
+      // rotates the retained unsynced frames into a fresh segment.
+      if (!unsynced_.empty() && unsynced_.back().lsn == lsn) {
+        unsynced_.pop_back();
+      }
+      return st;
+    }
     // Roll the file back to the pre-append length so the caller's failure
     // and the on-disk log agree. Runs fault-suppressed: this *is* the
-    // recovery path for an injected append/fsync fault. The truncated
-    // frame must not keep counting toward the group-commit threshold.
+    // recovery path for an injected append fault. The truncated frame
+    // must not keep counting toward the group-commit threshold.
     FaultSuppressScope suppress;
     pending_appends_ = pre_pending;
-    if (::ftruncate(fd_, static_cast<off_t>(pre_append)) != 0 ||
-        ::lseek(fd_, static_cast<off_t>(pre_append), SEEK_SET) < 0) {
+    if (!env->Ftruncate(fd_, pre_append, path_).ok() ||
+        !env->Seek(fd_, pre_append, path_).ok()) {
       // Can't restore a consistent tail: poison the writer (fail-stop) so
       // no later append lands after a half-written frame.
-      ::close(fd_);
+      env->Close(fd_);
       fd_ = -1;
       return Status::ExecutionError(
           "wal: failed to roll back torn append; log poisoned (" +
@@ -243,8 +222,20 @@ Status WalWriter::Flush() {
 Status WalWriter::Sync() {
   obs::Span span("wal.fsync");
   const int64_t sync_start = obs::Enabled() ? obs::NowMicros() : 0;
+  // The logical durability site fires *before* the fsync is issued: it
+  // models a transient failure to reach the sync call at all, so the dirty
+  // pages are still intact and the caller may roll back and retry. Only a
+  // failure from the fsync itself (real or FaultEnv-injected) means the
+  // kernel may have dropped dirty pages — that is the fsyncgate case.
   DVMS_RETURN_IF_ERROR(fault::MaybeInject(FaultSite::kDurabilityIo));
-  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  Status st = env::FsyncOrPoison(env::Active(), &fd_, path_);
+  if (!st.ok()) {
+    sync_failed_ = true;
+    obs::Count("storage.fsync_failures");
+    return st;
+  }
+  synced_offset_ = offset_;
+  unsynced_.clear();
   pending_appends_ = 0;
   ++fsyncs_;
   if (obs::Enabled()) {
@@ -256,18 +247,21 @@ Status WalWriter::Sync() {
 }
 
 Result<WalScan> ScanWalSegment(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return IoError("open", path);
+  Env* env = env::Active();
+  DVMS_ASSIGN_OR_RETURN(int fd, env->Open(path, O_RDONLY | O_CLOEXEC, 0));
   struct FdCloser {
+    Env* env;
     int fd;
-    ~FdCloser() { ::close(fd); }
-  } closer{fd};
+    ~FdCloser() { env->Close(fd); }
+  } closer{env, fd};
 
   WalScan scan;
   char header[kWalHeaderBytes];
-  bool short_read = false;
-  DVMS_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header), path, &short_read));
-  if (short_read || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
+  size_t got = 0;
+  DVMS_RETURN_IF_ERROR(
+      env::ReadFully(env, fd, header, sizeof(header), path, &got));
+  if (got < sizeof(header) ||
+      std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
     // Format violation, not an I/O failure: report it through the scan so
     // recovery can truncate here, reserving Status for errors where the
     // bytes themselves might still be fine.
@@ -283,13 +277,10 @@ Result<WalScan> ScanWalSegment(const std::string& path) {
   std::string payload;
   for (;;) {
     char head[kWalFrameOverhead];
-    ssize_t r = ::read(fd, head, sizeof(head));
-    if (r == 0) break;  // clean EOF on a frame boundary
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return IoError("read", path);
-    }
-    if (static_cast<size_t>(r) < sizeof(head)) {
+    DVMS_RETURN_IF_ERROR(
+        env::ReadFully(env, fd, head, sizeof(head), path, &got));
+    if (got == 0) break;  // clean EOF on a frame boundary
+    if (got < sizeof(head)) {
       scan.tail_truncated = true;
       scan.tail_error = "torn frame header";
       break;
@@ -303,8 +294,9 @@ Result<WalScan> ScanWalSegment(const std::string& path) {
       break;
     }
     payload.resize(len);
-    DVMS_RETURN_IF_ERROR(ReadFully(fd, payload.data(), len, path, &short_read));
-    if (short_read) {
+    DVMS_RETURN_IF_ERROR(env::ReadFully(env, fd, payload.data(), len, path,
+                                        &got));
+    if (got < len) {
       scan.tail_truncated = true;
       scan.tail_error = "torn frame payload";
       break;

@@ -44,10 +44,16 @@ inline constexpr size_t kWalHeaderBytes = 16;   // magic + first_lsn
 inline constexpr size_t kWalFrameOverhead = 16; // len + crc + lsn
 inline constexpr uint32_t kMaxWalFramePayload = 1u << 26;  // 64 MiB
 
-/// Appends frames to one segment file. All I/O errors (and injected
-/// FaultSite::kDurabilityIo faults) surface as Status; a failed append
-/// truncates the file back to its pre-append length so the on-disk log
-/// never acknowledges a frame the caller saw fail.
+/// Appends frames to one segment file. All I/O goes through the injectable
+/// Env captured at construction; I/O errors (and injected
+/// FaultSite::kDurabilityIo / DVMS_IO_FAULTS faults) surface as Status. A
+/// failed write truncates the file back to its pre-append length so the
+/// on-disk log never acknowledges a frame the caller saw fail. A failed
+/// fsync poisons the writer outright (fsyncgate: the kernel may have
+/// dropped the dirty pages, so retrying the fsync and assuming durability
+/// would silently lose acknowledged group-committed frames); the writer
+/// retains copies of every unsynced frame so DurabilityManager can rotate
+/// them into a fresh segment and re-establish durability by rewriting.
 class WalWriter {
  public:
   /// Creates a fresh segment whose header names `first_lsn`.
@@ -77,18 +83,39 @@ class WalWriter {
   /// accounting; a rolled-back append does not count).
   size_t pending_appends() const { return pending_appends_; }
 
+  /// True once an fsync failed and poisoned the writer. The on-disk bytes
+  /// past synced_offset() are untrustworthy; the frames they held are
+  /// available via TakeUnsyncedFrames() for rotation.
+  bool sync_failed() const { return sync_failed_; }
+  /// File length as of the last successful fsync — the prefix that is
+  /// known durable even after a failed sync.
+  uint64_t synced_offset() const { return synced_offset_; }
+  /// Hands over the retained unsynced frames (excluding any frame whose
+  /// append was reported failed). For DurabilityManager's fsync-failure
+  /// rotation; leaves the retention list empty.
+  std::vector<WalFrame> TakeUnsyncedFrames() { return std::move(unsynced_); }
+
  private:
   WalWriter(std::string path, int fd, uint64_t offset, WalFsyncMode mode)
-      : path_(std::move(path)), fd_(fd), offset_(offset), mode_(mode) {}
+      : path_(std::move(path)),
+        fd_(fd),
+        offset_(offset),
+        synced_offset_(offset),
+        mode_(mode) {}
 
   Status Sync();
 
   std::string path_;
   int fd_ = -1;
   uint64_t offset_ = 0;
+  uint64_t synced_offset_ = 0;
   WalFsyncMode mode_;
   size_t pending_appends_ = 0;
   uint64_t fsyncs_ = 0;
+  bool sync_failed_ = false;
+  /// Copies of appended-but-unsynced frames (empty in kOff mode, where no
+  /// fsync can fail; bounded by the group-commit threshold otherwise).
+  std::vector<WalFrame> unsynced_;
 };
 
 /// Result of scanning one segment. Scanning never fails on corruption:
