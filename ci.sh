@@ -33,6 +33,25 @@ DVMS_BENCH_JSON="$BENCH_LINES" ./build/bench/bench_fig2_brushing \
 echo "wrote BENCH_parallel.json:"
 cat BENCH_parallel.json
 
+# Columnar kernels vs the row interpreter on the Figure 1 chart queries,
+# plus the snapshot-size comparison. Gates: bit-identical results with a
+# >= 2x vectorized speedup, and the columnar snapshot encoding must be
+# smaller than the legacy row format (every line carries a "pass" field).
+COLUMNAR_LINES="$PWD/build/bench_columnar_lines.jsonl"
+rm -f "$COLUMNAR_LINES"
+DVMS_BENCH_JSON="$COLUMNAR_LINES" ./build/bench/bench_columnar \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$COLUMNAR_LINES"
+  printf ']\n'
+} > BENCH_columnar.json
+echo "wrote BENCH_columnar.json:"
+cat BENCH_columnar.json
+if grep -q '"pass": false' BENCH_columnar.json; then
+  echo "columnar speedup or snapshot-size gate failed" >&2; exit 1
+fi
+
 # Undo-log overhead (< 10% budget on the fault-free fig2 workload) and
 # chaos survival under injected faults.
 FAULT_LINES="$PWD/build/bench_fault_lines.jsonl"
@@ -188,7 +207,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session|Replication|Replica|Env|Scrub|Degraded')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session|Replication|Replica|Env|Scrub|Degraded|Columnar')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
 # Governed-abort leg: deadline/cancel/memory-budget aborts and their

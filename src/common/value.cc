@@ -84,15 +84,53 @@ double NumericOf(const Value& v) {
   }
 }
 
+/// Shared numeric comparison for Compare/Equals: exact for int64 pairs and
+/// int64-vs-double, total-ordered (NaN-last, NaN == NaN) for everything
+/// that goes through doubles. BOOL participates via its 0/1 image, which
+/// is always exactly representable.
+int CompareNumericValues(const Value& a, const Value& b) {
+  ValueType ta = a.type(), tb = b.type();
+  if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+    int64_t x = a.int_value(), y = b.int_value();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (ta == ValueType::kInt64 && tb == ValueType::kDouble) {
+    return CompareInt64Double(a.int_value(), b.double_value());
+  }
+  if (ta == ValueType::kDouble && tb == ValueType::kInt64) {
+    return -CompareInt64Double(b.int_value(), a.double_value());
+  }
+  return CompareDoublesTotal(NumericOf(a), NumericOf(b));
+}
+
 }  // namespace
+
+int CompareDoublesTotal(double a, double b) {
+  bool na = std::isnan(a), nb = std::isnan(b);
+  if (na || nb) return na == nb ? 0 : (na ? 1 : -1);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+int CompareInt64Double(int64_t a, double b) {
+  if (std::isnan(b)) return -1;  // every number sorts before NaN
+  // 2^63 and -2^63 are exactly representable as doubles, so classifying b
+  // against the int64 range is exact.
+  constexpr double kTwo63 = 9223372036854775808.0;
+  if (b >= kTwo63) return -1;
+  if (b < -kTwo63) return 1;
+  // b is in [-2^63, 2^63): floor(b) fits in int64 and the cast is exact.
+  double fb = std::floor(b);
+  int64_t ib = static_cast<int64_t>(fb);
+  if (a < ib) return -1;
+  if (a > ib) return 1;
+  // a == floor(b): equal unless b carries a fractional part.
+  return b > fb ? -1 : 0;
+}
 
 bool Value::Equals(const Value& other) const {
   if (is_null() || other.is_null()) return is_null() && other.is_null();
   if (IsNumeric(type()) && IsNumeric(other.type())) {
-    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
-      return int_value() == other.int_value();
-    }
-    return NumericOf(*this) == NumericOf(other);
+    return CompareNumericValues(*this, other) == 0;
   }
   if (type() != other.type()) return false;
   if (type() == ValueType::kString) {
@@ -121,14 +159,8 @@ int Value::Compare(const Value& other) const {
   switch (ra) {
     case 0:
       return 0;
-    case 1: {
-      if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
-        int64_t a = int_value(), b = other.int_value();
-        return a < b ? -1 : (a > b ? 1 : 0);
-      }
-      double a = NumericOf(*this), b = NumericOf(other);
-      return a < b ? -1 : (a > b ? 1 : 0);
-    }
+    case 1:
+      return CompareNumericValues(*this, other);
     default: {
       const std::string& a = string_value();
       const std::string& b = other.string_value();
@@ -171,9 +203,11 @@ size_t Value::Hash() const {
     case ValueType::kInt64:
     case ValueType::kDouble: {
       // Hash all numerics via their double image so Equals-equal values
-      // hash equal.
+      // hash equal. (Int64s beyond 2^53 may collide with nearby doubles
+      // they no longer Equal; collisions are fine, inconsistency is not.)
       double d = NumericOf(*this);
       if (d == 0.0) d = 0.0;  // normalize -0.0
+      if (std::isnan(d)) return 0x7ff8dead5eedf00dULL;  // NaN == NaN now
       return std::hash<double>()(d);
     }
     case ValueType::kString:

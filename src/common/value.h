@@ -98,6 +98,17 @@ class Value {
   Storage data_;
 };
 
+/// Total order on doubles for sorting/comparison: -0.0 == 0.0, and NaN
+/// sorts after every other double (including +inf) with NaN == NaN. This
+/// keeps Value::Compare a strict weak ordering in the presence of NaN.
+int CompareDoublesTotal(double a, double b);
+
+/// Exact comparison of an int64 against a double: classifies the double
+/// against the int64 range before any widening, so integers of magnitude
+/// > 2^53 are never misordered by a lossy double conversion. NaN compares
+/// greater than every integer (consistent with CompareDoublesTotal).
+int CompareInt64Double(int64_t a, double b);
+
 /// A tuple of values. Row layout is positional against a Schema.
 using Row = std::vector<Value>;
 

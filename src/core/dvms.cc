@@ -1000,7 +1000,7 @@ Result<size_t> Dvms::DeleteLocked(const std::string& name,
         kept.push_back(row);
       }
     }
-    current.mutable_rows() = std::move(kept);
+    current.ReplaceRows(std::move(kept));
   }
   DVMS_RETURN_IF_ERROR(ProcessChanges({name}));
   if (options_.auto_render) {

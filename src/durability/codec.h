@@ -74,7 +74,18 @@ Result<Row> DecodeRow(BinaryReader* r);
 void EncodeSchema(const Schema& schema, BinaryWriter* w);
 Result<Schema> DecodeSchema(BinaryReader* r);
 
+/// Encodes a table for snapshots. Non-ragged tables use the columnar v1
+/// format (per-column typed payloads, validity bitmaps, and a local string
+/// dictionary — ids are remapped to first-occurrence order so the bytes
+/// are independent of the process's global dictionary history). Ragged
+/// tables, and every table when DVMS_SNAPSHOT_LEGACY is set, use the
+/// row-wise legacy format. DecodeTable reads both transparently.
 void EncodeTable(const Table& table, BinaryWriter* w);
+
+/// The pre-columnar row-wise format (schema, row count, tagged values).
+/// Kept callable so tests can pin recovery from row-store-era snapshots.
+void EncodeTableLegacy(const Table& table, BinaryWriter* w);
+
 Result<Table> DecodeTable(BinaryReader* r);
 
 }  // namespace dvms

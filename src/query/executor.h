@@ -40,6 +40,14 @@ struct NodeResult {
   size_t morsels_used = 1;
 };
 
+namespace exec {
+/// Process-wide default for ExecOptions::vectorize: the DVMS_VECTORIZE
+/// environment variable ("0" disables), overridable at runtime for
+/// differential tests.
+bool VectorizeDefault();
+void SetVectorizeDefault(bool on);
+}  // namespace exec
+
 struct ExecOptions {
   /// Record row-level lineage at every operator (the "eager" strategy of
   /// §3.1). Costs memory and time; see bench_sec31_provenance.
@@ -58,6 +66,12 @@ struct ExecOptions {
   /// Per-operator timing + morsel accounting for EXPLAIN ANALYZE. Off by
   /// default: two steady_clock reads per operator are cheap but not free.
   bool analyze = false;
+  /// Columnar kernels for scan/filter/project/aggregate/sort: operate on
+  /// typed column runs (dictionary ids for strings) instead of per-row
+  /// Value dispatch. Bit-identical to the row-at-a-time paths — same
+  /// values, same order, same lineage — at every thread count; operators
+  /// whose expressions aren't vectorizable fall back per-operator.
+  bool vectorize = exec::VectorizeDefault();
 };
 
 /// Where the executor reads relations from. The engine's locked path reads

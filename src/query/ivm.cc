@@ -55,16 +55,37 @@ Status CrossfilterCube::Fold(const Table& fact) {
         std::vector<Marginal>& local = partials[r.index];
         local.resize(d * d);
         size_t touched = 0;
+        // Columnar fold: the measure reads straight off its typed column
+        // and each dimension cell materializes once per row — the fact
+        // table's row view is never built.
+        const ColumnVec& mcol = fact.col(measure_col_);
+        std::vector<Value> dvals(d);
         for (size_t ri = r.begin; ri < r.end; ++ri) {
-          const Row& row = fact.row(ri);
-          auto m = row[measure_col_].AsDouble();
-          if (!m.ok()) continue;  // NULL / non-numeric contribute nothing
-          double v = m.value();
+          if (mcol.IsNull(ri)) continue;  // NULL contributes nothing
+          double v;
+          switch (mcol.enc()) {
+            case ColumnVec::Enc::kInt64:
+              v = static_cast<double>(mcol.ints()[ri]);
+              break;
+            case ColumnVec::Enc::kDouble:
+              v = mcol.doubles()[ri];
+              break;
+            case ColumnVec::Enc::kBool:
+              v = mcol.bools()[ri] != 0 ? 1.0 : 0.0;
+              break;
+            default: {
+              auto m = mcol.Get(ri).AsDouble();
+              if (!m.ok()) continue;  // non-numeric contributes nothing
+              v = m.value();
+              break;
+            }
+          }
+          for (size_t i = 0; i < d; ++i) dvals[i] = fact.ValueAt(ri, dim_cols_[i]);
           for (size_t i = 0; i < d; ++i) {
-            const Value& gval = row[dim_cols_[i]];
+            const Value& gval = dvals[i];
             for (size_t j = 0; j < d; ++j) {
               if (i == j) continue;
-              local[i * d + j].cells[gval][row[dim_cols_[j]]] += v;
+              local[i * d + j].cells[gval][dvals[j]] += v;
             }
             local[i * d + (i == 0 ? 1 : 0)].totals[gval] += v;
           }

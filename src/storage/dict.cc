@@ -1,0 +1,87 @@
+#include "storage/dict.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace dvms {
+namespace strdict {
+
+namespace {
+
+// Chunked stable storage: ids index into fixed-capacity chunks that are
+// allocated once and never moved, so readers can dereference without a
+// lock. A chunk pointer is published with release ordering after
+// allocation; `size` is published with release ordering after the string
+// at the new id is fully constructed.
+constexpr size_t kChunkBits = 12;  // 4096 strings per chunk
+constexpr size_t kChunkSize = 1u << kChunkBits;
+constexpr size_t kMaxChunks = 1u << 16;  // 256M strings
+
+struct Store {
+  std::mutex mu;  // serializes interning only
+  std::unordered_map<std::string, uint32_t> ids;
+  std::atomic<std::string*> chunks[kMaxChunks] = {};
+  std::atomic<size_t> size{0};
+  std::atomic<size_t> payload_bytes{0};
+};
+
+Store* TheStore() {
+  // Leaked: interned strings must outlive every table, including statics
+  // destroyed after main().
+  static Store* store = [] {
+    std::atexit(MaybeReportStats);
+    return new Store();
+  }();
+  return store;
+}
+
+}  // namespace
+
+uint32_t Intern(const std::string& s) {
+  Store* st = TheStore();
+  std::lock_guard<std::mutex> lock(st->mu);
+  auto it = st->ids.find(s);
+  if (it != st->ids.end()) return it->second;
+  size_t id = st->size.load(std::memory_order_relaxed);
+  assert(id < kInvalidId);
+  size_t chunk = id >> kChunkBits;
+  std::string* storage = st->chunks[chunk].load(std::memory_order_relaxed);
+  if (storage == nullptr) {
+    storage = new std::string[kChunkSize];
+    st->chunks[chunk].store(storage, std::memory_order_release);
+  }
+  storage[id & (kChunkSize - 1)] = s;
+  st->ids.emplace(s, static_cast<uint32_t>(id));
+  st->payload_bytes.fetch_add(s.size(), std::memory_order_relaxed);
+  // Publish the id only after the string is in place.
+  st->size.store(id + 1, std::memory_order_release);
+  return static_cast<uint32_t>(id);
+}
+
+const std::string& Lookup(uint32_t id) {
+  Store* st = TheStore();
+  assert(id < st->size.load(std::memory_order_acquire));
+  std::string* storage =
+      st->chunks[id >> kChunkBits].load(std::memory_order_acquire);
+  return storage[id & (kChunkSize - 1)];
+}
+
+size_t Size() { return TheStore()->size.load(std::memory_order_acquire); }
+
+size_t PayloadBytes() {
+  return TheStore()->payload_bytes.load(std::memory_order_relaxed);
+}
+
+void MaybeReportStats() {
+  const char* env = std::getenv("DVMS_DICT_STATS");
+  if (env == nullptr || env[0] == '\0') return;
+  std::fprintf(stderr, "dvms dict: %zu strings, %zu bytes\n", Size(),
+               PayloadBytes());
+}
+
+}  // namespace strdict
+}  // namespace dvms

@@ -1,0 +1,51 @@
+#ifndef DVMS_STORAGE_DICT_H_
+#define DVMS_STORAGE_DICT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dvms {
+
+/// Process-global append-only string dictionary (the cdec `FD::Convert`
+/// idiom): every distinct string the storage layer ever sees is interned
+/// exactly once and addressed by a dense uint32 id thereafter. Columnar
+/// string storage holds ids, so equality/grouping/joins compare 4-byte
+/// integers and string bytes are touched only at output (or for ordering,
+/// where ids are insertion-ordered, not collated).
+///
+/// The table is append-only and leaked at process exit. Interning takes a
+/// mutex; id -> string lookup is lock-free (ids are published with release
+/// ordering after the string is fully constructed, and chunk storage never
+/// moves). Durability does NOT persist ids: snapshots/WAL carry string
+/// bytes and re-intern on decode, so ids are stable within a process but
+/// never cross a restart — which keeps recovery byte-streams deterministic
+/// regardless of what else this process interned first.
+namespace strdict {
+
+/// Sentinel id used by columnar storage for NULL slots; never returned by
+/// Intern().
+constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Returns the dense id for `s`, interning it on first sight.
+uint32_t Intern(const std::string& s);
+
+/// The string for a previously returned id. Lock-free; `id` must have come
+/// from Intern() in this process.
+const std::string& Lookup(uint32_t id);
+
+/// Number of distinct strings interned so far.
+size_t Size();
+
+/// Total bytes of interned string payload (excludes container overhead).
+size_t PayloadBytes();
+
+/// If the DVMS_DICT_STATS env var is set (to anything non-empty), prints
+/// "dvms dict: N strings, B bytes" to stderr. Called at engine shutdown;
+/// safe to call any number of times.
+void MaybeReportStats();
+
+}  // namespace strdict
+
+}  // namespace dvms
+
+#endif  // DVMS_STORAGE_DICT_H_

@@ -67,8 +67,9 @@ Status VersionedTable::SetCurrent(Table t) {
                              "with declared schema [" +
                              declared_schema_.ToString() + "]");
   }
-  // Keep the declared column names/types; adopt the rows.
-  Table replacement(declared_schema_, std::move(t.mutable_rows()));
+  // Keep the declared column names/types; adopt the columns in place.
+  Table replacement = std::move(t);
+  replacement.ReplaceSchema(declared_schema_);
   if (undo_armed_ && !undo_current_.has_value()) {
     // Capture by displacement: the outgoing working state becomes the undo
     // snapshot instead of being destroyed — zero-copy on the view path.

@@ -1,4 +1,8 @@
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/schema.h"
@@ -77,6 +81,90 @@ TEST(ValueTest, CompareTotalOrder) {
   EXPECT_LT(Value::Int(999).Compare(Value::String("a")), 0);
   EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
   EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.0)), 0);
+}
+
+TEST(ValueTest, NaNSortsAfterEveryNumberAndEqualsItself) {
+  // Regression: Compare used raw `<` on doubles, so NaN was incomparable
+  // (neither side ever "less"), breaking strict weak ordering and letting
+  // std::sort scramble or crash on NaN-bearing columns. NaN now sorts
+  // after every finite number and compares equal to itself, consistent
+  // with Equals and Hash.
+  const Value nan = Value::Double(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_GT(nan.Compare(Value::Double(std::numeric_limits<double>::max())), 0);
+  EXPECT_GT(nan.Compare(Value::Double(-1e308)), 0);
+  EXPECT_GT(nan.Compare(Value::Int(std::numeric_limits<int64_t>::max())), 0);
+  EXPECT_GT(nan.Compare(Value::Bool(true)), 0);
+  EXPECT_LT(Value::Double(0.0).Compare(nan), 0);
+  EXPECT_LT(Value::Int(0).Compare(nan), 0);
+  EXPECT_EQ(nan.Compare(nan), 0);
+  EXPECT_EQ(nan.Compare(Value::Double(std::nan("payload"))), 0);
+  // Equals/Hash agree with Compare == 0.
+  EXPECT_TRUE(nan.Equals(Value::Double(std::nan(""))));
+  EXPECT_EQ(nan.Hash(), Value::Double(std::nan("")).Hash());
+  // Type ranks unchanged: numbers (NaN included) below strings, above NULL.
+  EXPECT_LT(nan.Compare(Value::String("")), 0);
+  EXPECT_GT(nan.Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, SortingWithNaNsIsAStrictWeakOrder) {
+  // A shuffled mix of NaNs and finite doubles must sort cleanly with all
+  // NaNs at the end — this hangs or scrambles under the old comparator.
+  Rng rng(11);
+  std::vector<Value> vals;
+  for (int i = 0; i < 400; ++i) {
+    vals.push_back(rng.Bernoulli(0.3)
+                       ? Value::Double(std::numeric_limits<double>::quiet_NaN())
+                       : Value::Double(rng.Uniform(-10, 10)));
+  }
+  std::sort(vals.begin(), vals.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  bool seen_nan = false;
+  for (const Value& v : vals) {
+    if (std::isnan(v.double_value())) {
+      seen_nan = true;
+    } else {
+      EXPECT_FALSE(seen_nan) << "finite double sorted after a NaN";
+    }
+  }
+}
+
+TEST(ValueTest, LargeIntegerDoubleComparisonIsExact) {
+  // Regression: mixed int64/double comparison coerced both sides to
+  // double, collapsing integers that differ beyond 2^53 (the last integer
+  // with unit double spacing) into spurious equality.
+  constexpr int64_t k2p53 = int64_t{1} << 53;
+  const double d2p53 = 9007199254740992.0;  // exactly 2^53
+  EXPECT_EQ(Value::Int(k2p53).Compare(Value::Double(d2p53)), 0);
+  EXPECT_TRUE(Value::Int(k2p53).Equals(Value::Double(d2p53)));
+  EXPECT_GT(Value::Int(k2p53 + 1).Compare(Value::Double(d2p53)), 0);
+  EXPECT_FALSE(Value::Int(k2p53 + 1).Equals(Value::Double(d2p53)));
+  EXPECT_LT(Value::Double(d2p53).Compare(Value::Int(k2p53 + 1)), 0);
+  EXPECT_LT(Value::Int(-(k2p53 + 1)).Compare(Value::Double(-d2p53)), 0);
+  EXPECT_FALSE(Value::Int(-(k2p53 + 1)).Equals(Value::Double(-d2p53)));
+}
+
+TEST(ValueTest, Int64RangeBoundariesAgainstDoubles) {
+  const int64_t imax = std::numeric_limits<int64_t>::max();
+  const int64_t imin = std::numeric_limits<int64_t>::min();
+  const double d2p63 = 9223372036854775808.0;  // exactly 2^63
+  // 2^63 as a double exceeds every int64 (INT64_MAX is 2^63 - 1).
+  EXPECT_LT(Value::Int(imax).Compare(Value::Double(d2p63)), 0);
+  EXPECT_FALSE(Value::Int(imax).Equals(Value::Double(d2p63)));
+  EXPECT_GT(Value::Double(d2p63).Compare(Value::Int(imax)), 0);
+  // -2^63 as a double is exactly INT64_MIN.
+  EXPECT_EQ(Value::Int(imin).Compare(Value::Double(-d2p63)), 0);
+  EXPECT_TRUE(Value::Int(imin).Equals(Value::Double(-d2p63)));
+  // Anything below the int64 range sorts under every integer.
+  EXPECT_GT(Value::Int(imin).Compare(Value::Double(-1.0e19)), 0);
+  EXPECT_GT(Value::Int(imin).Compare(
+                Value::Double(-std::numeric_limits<double>::infinity())),
+            0);
+  EXPECT_LT(Value::Int(imax).Compare(
+                Value::Double(std::numeric_limits<double>::infinity())),
+            0);
+  // Fractional doubles order strictly between neighbouring integers.
+  EXPECT_LT(Value::Int(100).Compare(Value::Double(100.5)), 0);
+  EXPECT_GT(Value::Int(101).Compare(Value::Double(100.5)), 0);
 }
 
 TEST(ValueTest, Truthiness) {
