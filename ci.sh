@@ -172,6 +172,26 @@ if grep -q '"pass": false' BENCH_scrub.json; then
   echo "scrubber overhead budget exceeded or detection failed" >&2; exit 1
 fi
 
+# Cluster routing: the healthy routed-read path must stay within 5% of
+# direct engine reads, a mid-stream primary kill must lose zero
+# acknowledged commits (the blackout window is recorded), and hedged-read
+# accounting must balance exactly (won + lost == launched).
+CLUSTER_LINES="$PWD/build/bench_cluster_lines.jsonl"
+rm -f "$CLUSTER_LINES"
+DVMS_BENCH_JSON="$CLUSTER_LINES" ./build/bench/bench_cluster \
+  --benchmark_filter=__none__
+{
+  printf '[\n'
+  sed -e 's/^/  /' -e '$!s/$/,/' "$CLUSTER_LINES"
+  printf ']\n'
+} > BENCH_cluster.json
+echo "wrote BENCH_cluster.json:"
+cat BENCH_cluster.json
+if grep -q '"pass": false' BENCH_cluster.json; then
+  echo "cluster routing overhead, failover, or hedge accounting regressed" >&2
+  exit 1
+fi
+
 # Env-fault chaos sweep: seeded disk-fault injection (DVMS_IO_FAULTS)
 # driven through the storage Env layer over the durability and replication
 # workloads. Injected EIO/ENOSPC/short-write/fsync-fail may fail
@@ -184,6 +204,11 @@ for seed in 1 2 3; do
   DVMS_IO_FAULTS="${seed}:0.01:write,fsync" ./build/bench/bench_replication \
     --benchmark_filter=__none__ >/dev/null
   DVMS_IO_FAULTS="${seed}:0.02" ./build/bench/bench_scrub \
+    --benchmark_filter=__none__ >/dev/null
+  # Routed writes under seeded disk faults: retries, degraded-mode
+  # backoff, breaker trips, poisoned-primary condemnation, and failover
+  # all fire along this leg — the process must still terminate cleanly.
+  DVMS_IO_FAULTS="${seed}:0.01:write,fsync" ./build/bench/bench_cluster \
     --benchmark_filter=__none__ >/dev/null
 done
 echo "env-fault chaos sweep passed"
@@ -207,7 +232,7 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDVMS_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session|Replication|Replica|Env|Scrub|Degraded|Columnar')
+  -R 'Chaos|Fault|Scheduler|Fuzz|UndoRedoBoundary|Crash|Durability|Recovery|Wal|Snapshot|Crc32c|Obs|Explain|Governor|QueryContext|Admission|Linearizability|Session|Replication|Replica|Env|Scrub|Degraded|Columnar|Cluster')
 DVMS_FAULTS="7:0.01" ./build-asan/bench/bench_faults \
   --benchmark_filter=__none__ >/dev/null && echo "asan chaos leg passed"
 # Governed-abort leg: deadline/cancel/memory-budget aborts and their

@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ReadOnlyReplica";
     case StatusCode::kStorageDegraded:
       return "StorageDegraded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted,
   kReadOnlyReplica,
   kStorageDegraded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
@@ -81,6 +82,12 @@ class Status {
   }
   static Status StorageDegraded(std::string msg) {
     return Status(StatusCode::kStorageDegraded, std::move(msg));
+  }
+  /// An endpoint (replica / primary) cannot be reached at all — detached,
+  /// destroyed, or no eligible endpoint exists. Always retryable at the
+  /// cluster-routing layer, never produced by a healthy engine.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "core/dvms.h"
 
 #include <fcntl.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -1597,8 +1598,13 @@ void Dvms::InitDurability() {
 // ---- Replication ----
 
 Status Dvms::CheckWritable(const char* op) const {
+  // Rejections are counted as dvms_metrics counters so operators can see
+  // the rejection *rate*, not just individual statuses. CheckWritable runs
+  // at the top of every mutating entry point, before the mutation unit
+  // arms, so these counts are never rewound by a rollback's obs restore.
   if (role_.load(std::memory_order_relaxed) == Role::kReplica &&
       !t_replica_apply) {
+    obs::Count("engine.rejected_readonly_replica");
     return Status::ReadOnlyReplica(
         std::string(op) + " rejected: this engine is a read replica of " +
         options_.replica_of +
@@ -1611,6 +1617,7 @@ Status Dvms::CheckWritable(const char* op) const {
       std::lock_guard<std::mutex> lock(storage_mu_);
       reason = storage_stats_.degraded_reason;
     }
+    obs::Count("engine.rejected_storage_degraded");
     return Status::StorageDegraded(
         std::string(op) + " rejected: storage is degraded read-only (" +
         reason +
@@ -1630,6 +1637,19 @@ void Dvms::InitReplica() {
       options_.replica_retry_budget > 0
           ? static_cast<uint64_t>(options_.replica_retry_budget)
           : EnvU64Or("DVMS_REPLICA_RETRY_BUDGET", 8);
+  if (options_.replica_jitter_seed != 0) {
+    replica_jitter_seed_ = options_.replica_jitter_seed;
+  } else {
+    // Derive a per-replica seed: a process-wide counter decorrelates
+    // replicas of the same process, the pid decorrelates processes started
+    // together (the lockstep case the jitter exists to break).
+    static std::atomic<uint64_t> counter{0};
+    replica_jitter_seed_ =
+        (static_cast<uint64_t>(::getpid()) << 32) ^
+        (counter.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ULL ^
+         0x5eedULL);
+    if (replica_jitter_seed_ == 0) replica_jitter_seed_ = 0x5eedULL;
+  }
   {
     std::lock_guard<std::mutex> lock(repl_mu_);
     repl_.replica = true;
@@ -1680,11 +1700,13 @@ void Dvms::InitReplica() {
 
 void Dvms::TailLoop() {
   uint64_t consecutive_failures = 0;
+  // Exponential backoff under sustained failure (capped at 64x the poll
+  // cadence) with seeded per-replica jitter so a fleet of replicas spreads
+  // its polls instead of hitting the primary's directory in lockstep.
+  PollCadence cadence(replica_poll_ms_, replica_jitter_seed_);
   for (;;) {
-    // Exponential backoff under sustained failure, capped at 64x the poll
-    // cadence; a cv wait so StopTailer() interrupts the sleep promptly.
-    uint64_t wait_ms = replica_poll_ms_
-                       << std::min<uint64_t>(consecutive_failures, 6);
+    // A cv wait so StopTailer() interrupts the sleep promptly.
+    uint64_t wait_ms = cadence.NextWaitMs(consecutive_failures);
     {
       std::unique_lock<std::mutex> lock(tail_mu_);
       tail_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),

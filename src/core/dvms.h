@@ -105,6 +105,12 @@ class Dvms {
     /// replica keeps serving its last applied epoch and keeps retrying with
     /// capped exponential backoff. 0 = DVMS_REPLICA_RETRY_BUDGET, or 8.
     int64_t replica_retry_budget = 0;
+    /// Seed for the tail-poll jitter (see durability/tailer.h PollCadence):
+    /// each wait is the poll cadence scaled by a seeded uniform draw in
+    /// [0.5, 1.5) so N replicas of one primary don't poll in lockstep.
+    /// 0 = a per-engine derived seed (distinct per replica in a process);
+    /// set explicitly for deterministic schedules in tests.
+    uint64_t replica_jitter_seed = 0;
     /// Background integrity-scrub cadence in milliseconds: a low-priority
     /// thread periodically re-reads the sealed WAL segments and snapshots,
     /// re-validating every checksum, so latent disk corruption is found
@@ -815,6 +821,7 @@ class Dvms {
   /// DVMS_REPLICA_RETRY_BUDGET); immutable after construction.
   uint64_t replica_poll_ms_ = 5;
   uint64_t replica_retry_budget_ = 8;
+  uint64_t replica_jitter_seed_ = 0;
   /// Owned by the tail thread while it runs; touched elsewhere only after
   /// StopTailer() joins.
   std::unique_ptr<WalTailer> tailer_;

@@ -7,7 +7,9 @@ Session::Session(Dvms* engine) : Session(engine, Options()) {}
 Session::Session(Dvms* engine, Options options)
     : engine_(engine),
       options_(options),
-      cancel_(std::make_shared<std::atomic<bool>>(false)) {}
+      cancel_(options.cancel_flag != nullptr
+                  ? options.cancel_flag
+                  : std::make_shared<std::atomic<bool>>(false)) {}
 
 Session::~Session() { Close(); }
 

@@ -40,6 +40,13 @@ class Session {
     int64_t deadline_ms = -1;
     /// Per-query transient-memory budget in bytes; -1 inherits, 0 disables.
     int64_t mem_budget = -1;
+    /// External cancel token adopted by this session instead of allocating
+    /// a private flag — the cluster router's per-request context shares one
+    /// token into every attempt session it opens, so cancelling the routed
+    /// request aborts whichever endpoint's read is currently in flight.
+    /// Raising the token behaves exactly like RequestCancel(); an abort
+    /// consumes (lowers) it. nullptr = private flag.
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
   };
 
   explicit Session(Dvms* engine);

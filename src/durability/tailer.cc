@@ -25,6 +25,14 @@ bool ResumeSegment(const std::vector<uint64_t>& segments, uint64_t lsn,
 
 }  // namespace
 
+uint64_t PollCadence::NextWaitMs(uint64_t consecutive_failures) {
+  const uint64_t backed_off = base_ms_
+                              << std::min<uint64_t>(consecutive_failures, 6);
+  const double jittered =
+      static_cast<double>(backed_off) * rng_.Uniform(0.5, 1.5);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(jittered));
+}
+
 Result<RecoveredLog> ReadLogReadOnly(const std::string& dir) {
   RecoveredLog out;
   DVMS_ASSIGN_OR_RETURN(std::vector<uint64_t> snapshots,

@@ -5,11 +5,32 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "durability/manager.h"
 #include "durability/wal.h"
 
 namespace dvms {
+
+/// Seeded jitter over the replica tail-poll cadence. N replicas started
+/// together would otherwise poll the primary's directory in lockstep (same
+/// DVMS_REPLICA_POLL_MS, same start instant), turning every cadence tick
+/// into a synchronized listing/read burst. Each wait is the base cadence —
+/// shifted left under consecutive failures (capped exponential backoff, the
+/// pre-jitter behavior) — scaled by a uniform draw in [0.5, 1.5) from a
+/// per-replica seeded Rng, so schedules decorrelate deterministically:
+/// the same seed always yields the same wait sequence.
+class PollCadence {
+ public:
+  PollCadence(uint64_t base_ms, uint64_t seed) : base_ms_(base_ms), rng_(seed) {}
+
+  /// Next cv-wait in ms: (base << min(failures, 6)) * U[0.5, 1.5), >= 1.
+  uint64_t NextWaitMs(uint64_t consecutive_failures);
+
+ private:
+  uint64_t base_ms_;
+  Rng rng_;
+};
 
 /// Counters describing what a WalTailer has seen and delivered. Surfaced
 /// (merged with apply-side counters) through the dvms_replication relation.

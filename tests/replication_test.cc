@@ -11,17 +11,20 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
 #include "core/dvms.h"
 #include "core/session.h"
+#include "durability/tailer.h"
 #include "gtest/gtest.h"
 
 namespace dvms {
@@ -386,6 +389,141 @@ TEST(ReplicationTest, ReplicaBootstrapsFromSnapshotPlusSuffix) {
   AwaitCaughtUp(primary, replica);
   EXPECT_EQ(Fingerprint(replica.Query(kReadSql).value()),
             Fingerprint(primary.Query(kReadSql).value()));
+}
+
+// ---------------------------------------------------------------------------
+
+// N replicas started together would otherwise tail in lockstep; the seeded
+// jitter decorrelates them while staying deterministic per seed.
+TEST(PollCadenceTest, SameSeedYieldsIdenticalSchedule) {
+  PollCadence a(8, 42);
+  PollCadence b(8, 42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextWaitMs(0), b.NextWaitMs(0));
+  }
+}
+
+TEST(PollCadenceTest, JitterStaysWithinHalfToOneAndAHalf) {
+  PollCadence cadence(8, 7);
+  bool below_base = false;
+  bool above_base = false;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t w = cadence.NextWaitMs(0);
+    EXPECT_GE(w, 4u);   // 0.5 * base
+    EXPECT_LT(w, 12u);  // 1.5 * base
+    below_base |= w < 8;
+    above_base |= w > 8;
+  }
+  // The draw actually spreads; a degenerate constant would re-synchronize
+  // the fleet.
+  EXPECT_TRUE(below_base);
+  EXPECT_TRUE(above_base);
+}
+
+TEST(PollCadenceTest, FailureBackoffShiftIsCappedAtSixDoublings) {
+  PollCadence cadence(1, 11);
+  for (uint64_t failures : {uint64_t{6}, uint64_t{9}, uint64_t{50}}) {
+    const uint64_t w = cadence.NextWaitMs(failures);
+    EXPECT_GE(w, 32u);  // 0.5 * (1 << 6)
+    EXPECT_LT(w, 96u);  // 1.5 * (1 << 6)
+  }
+}
+
+TEST(PollCadenceTest, WaitNeverRoundsToZero) {
+  PollCadence cadence(1, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(cadence.NextWaitMs(0), 1u);  // 0.5 * 1 must clamp up
+  }
+}
+
+TEST(PollCadenceTest, DifferentSeedsDecorrelate) {
+  PollCadence a(8, 1);
+  PollCadence b(8, 2);
+  int diverged = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextWaitMs(0) != b.NextWaitMs(0)) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+// ---------------------------------------------------------------------------
+
+// Promote() racing in-flight Session reads: a pinned epoch survives the
+// role flip bit-for-bit, pin accounting stays exact, and concurrent
+// dvms_replication scans see the (replica, promoted) flags flip atomically
+// — only (1,0) or (0,1), never a mixed row pair.
+TEST(ReplicationTest, PromoteRacesPinnedSessionReads) {
+  TempDir dir("promote_race");
+  auto primary = std::make_unique<Dvms>(PrimaryOptions(dir.str()));
+  ASSERT_TRUE(SeedPrimary(*primary).ok());
+  Dvms replica(ReplicaOptions(dir.str()));
+  ASSERT_TRUE(replica.recovery_status().ok());
+  AwaitCaughtUp(*primary, replica);
+
+  Session pinned(&replica);
+  ASSERT_TRUE(pinned.Pin().ok());
+  Result<Table> before = pinned.Query(kReadSql);
+  ASSERT_TRUE(before.ok()) << before.status().message();
+  const std::string fp = Fingerprint(before.value());
+  EXPECT_EQ(replica.governor_stats().pinned_snapshots, 1);
+
+  primary.reset();  // single-owner: release the directory before promoting
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mixed_role_rows{0};
+  std::atomic<int> failed_reads{0};
+  std::vector<std::thread> racers;
+  for (int t = 0; t < 4; ++t) {
+    racers.emplace_back([&replica, &stop, &mixed_role_rows, &failed_reads] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<Table> table =
+            replica.Query("SELECT name, value FROM dvms_replication");
+        if (!table.ok()) {
+          failed_reads.fetch_add(1);
+          continue;
+        }
+        int64_t is_replica = -1, promoted = -1;
+        for (const Row& row : table.value().rows()) {
+          if (row[0].string_value() == "replica") {
+            is_replica = row[1].int_value();
+          }
+          if (row[0].string_value() == "promoted") promoted = row[1].int_value();
+        }
+        const bool consistent = (is_replica == 1 && promoted == 0) ||
+                                (is_replica == 0 && promoted == 1);
+        if (!consistent) mixed_role_rows.fetch_add(1);
+        Result<Table> read = replica.Query(kReadSql);
+        if (!read.ok()) failed_reads.fetch_add(1);
+      }
+    });
+  }
+  ASSERT_TRUE(replica.Promote().ok());
+  stop.store(true);
+  for (std::thread& t : racers) t.join();
+  EXPECT_EQ(mixed_role_rows.load(), 0)
+      << "dvms_replication exposed a half-flipped role";
+  EXPECT_EQ(failed_reads.load(), 0);
+
+  // The pinned epoch survived the role flip, bit-for-bit, and its pin is
+  // still the only one now that the racers are gone.
+  Result<Table> after = pinned.Query(kReadSql);
+  ASSERT_TRUE(after.ok()) << after.status().message();
+  EXPECT_EQ(Fingerprint(after.value()), fp);
+  EXPECT_EQ(replica.governor_stats().pinned_snapshots, 1);
+
+  // A post-promotion write moves the fleet forward; the pin still reads
+  // the pre-promotion epoch until released.
+  ASSERT_TRUE(
+      replica.Insert("Sales", {{Value::Int(999), Value::Double(1)}}).ok());
+  Result<Table> still_pinned = pinned.Query(kReadSql);
+  ASSERT_TRUE(still_pinned.ok());
+  EXPECT_EQ(Fingerprint(still_pinned.value()), fp);
+  Result<Table> latest = replica.Query(kReadSql);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_NE(Fingerprint(latest.value()), fp);
+
+  pinned.Unpin();
+  EXPECT_EQ(replica.governor_stats().pinned_snapshots, 0);
 }
 
 }  // namespace
